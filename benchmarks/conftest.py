@@ -1,0 +1,51 @@
+"""Benchmark-harness fixtures.
+
+Each ``test_fig8_*`` module regenerates one benchmark's Figure 8 row pair
+(NVIDIA + AMD): it prints the same series the paper plots, asserts the
+paper's qualitative claims for that benchmark, and uses pytest-benchmark
+to time (a) the performance-model evaluation and (b) a reduced functional
+simulation of the kernel — so ``pytest benchmarks/ --benchmark-only``
+doubles as a performance regression suite for the simulator itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.common import BenchmarkApp, VersionLabel
+from repro.gpu import get_device
+from repro.harness.report import format_seconds, render_table
+from repro.openmp.data import data_environment
+from repro.perf.timing import AMD_SYSTEM, NVIDIA_SYSTEM
+
+
+@pytest.fixture(autouse=True)
+def clean_data_environments():
+    yield
+    for ordinal in (0, 1):
+        data_environment(get_device(ordinal)).reset()
+
+
+def figure8_row(app: BenchmarkApp, *, excluded_omp: bool = False) -> dict:
+    """Compute and print one app's Figure 8 pair of cells."""
+    params = app.paper_params()
+    cells = {}
+    for system in (NVIDIA_SYSTEM, AMD_SYSTEM):
+        row = {}
+        for label in VersionLabel.ALL:
+            display = VersionLabel.display(label, system)
+            if excluded_omp and label == VersionLabel.OMP:
+                row[display] = None
+                continue
+            row[display] = app.reported_seconds(app.estimate(label, system, params))
+        cells[system.name] = row
+    unit = "per iteration" if app.reports == "per_launch" else "total"
+    for system_name, row in cells.items():
+        rows = [
+            [label, format_seconds(v) if v is not None else "excluded (invalid checksum)"]
+            for label, v in row.items()
+        ]
+        print()
+        print(render_table(["version", f"time ({unit})"], rows,
+                           title=f"{app.name} on {system_name} (paper Figure 8)"))
+    return cells

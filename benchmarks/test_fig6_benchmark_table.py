@@ -1,0 +1,26 @@
+"""Figure 6: the benchmark table (name, description, command line)."""
+
+from repro.apps import ALL_APPS
+from repro.harness import figure6, render_figure6
+
+
+def test_fig6_table_regenerates(benchmark):
+    rows = benchmark(figure6)
+    assert [r["Name"] for r in rows] == [a.name for a in ALL_APPS]
+    by_name = {r["Name"]: r for r in rows}
+    assert by_name["XSBench"]["Command Line"] == "-m event"
+    assert by_name["RSBench"]["Command Line"] == "-m event"
+    assert by_name["SU3"]["Command Line"] == "-i 1000 -l 32 -t 128 -v 3 -w 1"
+    assert by_name["AIDW"]["Command Line"] == "100 0 100"
+    assert by_name["Adam"]["Command Line"] == "10000 200 100"
+    assert by_name["Stencil 1D"]["Command Line"] == "134217728 1000"
+    print()
+    print(render_figure6())
+
+
+def test_fig6_every_command_line_parses(benchmark):
+    def parse_all():
+        return [cls.parse_args(cls.command_line.split()) for cls in ALL_APPS]
+
+    parsed = benchmark(parse_all)
+    assert len(parsed) == 6

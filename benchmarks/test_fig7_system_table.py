@@ -1,0 +1,27 @@
+"""Figure 7: the hardware/software configuration table."""
+
+from repro.harness import figure7, render_figure7
+from repro.perf import AMD_SYSTEM, NVIDIA_SYSTEM
+
+
+def test_fig7_table_regenerates(benchmark):
+    data = benchmark(figure7)
+    assert data["NVIDIA"]["GPU"] == "NVIDIA A100 (40 GB)"
+    assert data["NVIDIA"]["Memory"] == "512 GB"
+    assert data["NVIDIA"]["SDK"] == "CUDA 11.8"
+    assert "MI250" in data["AMD"]["GPU"]
+    assert data["AMD"]["Memory"] == "256 GB"
+    assert data["AMD"]["SDK"] == "ROCm 5.5"
+    print()
+    print(render_figure7())
+
+
+def test_fig7_device_presets_are_consistent(benchmark):
+    def check():
+        assert NVIDIA_SYSTEM.gpu.warp_size == 32
+        assert AMD_SYSTEM.gpu.warp_size == 64
+        assert NVIDIA_SYSTEM.gpu.vendor == "nvidia"
+        assert AMD_SYSTEM.gpu.vendor == "amd"
+        return True
+
+    assert benchmark(check)

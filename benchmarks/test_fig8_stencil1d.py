@@ -1,0 +1,47 @@
+"""Figures 8f / 8l: Stencil 1D on both systems.
+
+Paper shape: ompx beats the natives on both systems; the classic omp
+version collapses by roughly two orders of magnitude because the
+generic-mode state machine cannot be rewritten (bars annotated 145.6 ms
+and 60.87 ms against ~1 ms natives).
+"""
+
+from conftest import figure8_row
+
+from repro.apps import Stencil1D, VersionLabel
+from repro.gpu import get_device
+from repro.perf import NVIDIA_SYSTEM
+
+
+def test_fig8f_fig8l_estimates(benchmark):
+    app = Stencil1D()
+    cells = benchmark(lambda: figure8_row(app))
+    for system, native in (("NVIDIA", "cuda"), ("AMD", "hip")):
+        row = cells[system]
+        assert row["ompx"] < row[native], system
+        assert row["omp"] > 10 * row[native], system
+    # per-iteration magnitude on the A100: paper natives ~1.4 ms
+    assert 0.5e-3 < cells["NVIDIA"]["cuda"] < 3e-3
+    # omp collapse lands in the tens of milliseconds (paper: 145.6 ms)
+    assert cells["NVIDIA"]["omp"] > 20e-3
+
+
+def test_fig8_stencil_state_machine_mechanism(benchmark):
+    """§4.2.6's cause: the omp build keeps its worker state machine."""
+    app = Stencil1D()
+    params = app.paper_params()
+
+    def compile_omp():
+        return app.compiled_for(VersionLabel.OMP, NVIDIA_SYSTEM, params)
+
+    ck = benchmark(compile_omp)
+    assert ck.codegen.state_machine
+    assert ck.codegen.mode == "generic"
+
+
+def test_fig8_stencil_functional_kernel(benchmark):
+    app = Stencil1D()
+    params = app.functional_params()
+    device = get_device(0)
+    result = benchmark(lambda: app.run_functional(VersionLabel.OMPX, params, device))
+    assert app.verify(result, params)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Grid-wide dot product with block collectives and an occupancy query.
+
+Builds the classic two-level reduction out of the paper's §3.3.2
+primitives: each block reduces its partial dot product with shuffle trees
+and shared memory (``repro.ompx.block_reduce``), thread 0 of each block
+atomically accumulates into the result, and the launch geometry comes
+from the occupancy query API — the CUDA tuning workflow, spelled ompx.
+
+Run:  python examples/block_reduction.py
+"""
+
+import numpy as np
+
+from repro import ompx
+from repro.gpu import get_device
+
+N = 1 << 14
+BLOCK = 128
+
+
+@ompx.bare_kernel
+def dot_kernel(x, d_a, d_b, d_out, n):
+    i = x.global_thread_id_x()
+    a = x.array(d_a, n, np.float64)
+    b = x.array(d_b, n, np.float64)
+    partial = a[i] * b[i] if i < n else 0.0
+    total = ompx.block_reduce(x, partial)
+    if x.thread_id_x() == 0:
+        x.atomic_add(x.array(d_out, 1, np.float64), 0, total)
+
+
+def main() -> None:
+    dev = get_device(0)
+    rng = np.random.default_rng(21)
+    a = rng.random(N)
+    b = rng.random(N)
+
+    # How many of these blocks fit an SM?  (cudaOccupancy..., ompx-spelled.)
+    resident = ompx.ompx_occupancy_max_active_blocks(dot_kernel, BLOCK, device=dev)
+    print(f"occupancy query: {resident} blocks of {BLOCK} threads per SM "
+          f"({resident * BLOCK} threads resident)")
+
+    d_a = ompx.ompx_malloc(a.nbytes, dev)
+    d_b = ompx.ompx_malloc(b.nbytes, dev)
+    d_out = ompx.ompx_malloc(8, dev)
+    ompx.ompx_memcpy(d_a, a, a.nbytes, dev)
+    ompx.ompx_memcpy(d_b, b, b.nbytes, dev)
+
+    grid = (N + BLOCK - 1) // BLOCK
+    ompx.target_teams_bare(dev, grid, BLOCK, dot_kernel, (d_a, d_b, d_out, N))
+
+    result = np.zeros(1)
+    ompx.ompx_memcpy(result, d_out, 8, dev)
+    expected = float(a @ b)
+    assert np.isclose(result[0], expected), (result[0], expected)
+    print(f"dot({N} elements) = {result[0]:.6f}  (numpy: {expected:.6f})")
+
+    for ptr in (d_a, d_b, d_out):
+        ompx.ompx_free(ptr, dev)
+    print("two-level reduction verified against numpy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Run a scaled-down XSBench across all four Figure 8 versions.
+
+Executes the Monte Carlo cross-section lookup functionally on the virtual
+GPU in each programming model (ompx bare, classic OpenMP worksharing, and
+the CUDA/HIP natives), verifies every variant against the NumPy golden
+reference, then prices the paper-scale run with the performance model —
+i.e. regenerates the Figure 8a/8g cells from Python.
+
+Run:  python examples/montecarlo_lookup.py
+"""
+
+from repro.apps import VersionLabel, XSBench
+from repro.gpu import get_device
+from repro.harness import format_seconds
+from repro.perf import AMD_SYSTEM, NVIDIA_SYSTEM
+
+def main() -> None:
+    app = XSBench()
+    params = app.functional_params()
+
+    print(f"functional run: {params['lookups']} lookups, "
+          f"{params['n_isotopes']} isotopes, {params['n_gridpoints']} gridpoints")
+    for device_ordinal, device_name in ((0, "A100"), (1, "MI250")):
+        device = get_device(device_ordinal)
+        for variant in app.functional_variants:
+            result = app.run_functional(variant, params, device)
+            ok = app.verify(result, params)
+            status = "ok" if ok else "MISMATCH"
+            print(f"  [{device_name}] {variant:<12} checksum={result.checksum:14.4f}  {status}")
+            assert ok
+
+    print("\npaper-scale estimates (Figure 8a / 8g):")
+    paper = app.paper_params()
+    for system in (NVIDIA_SYSTEM, AMD_SYSTEM):
+        row = []
+        for label in VersionLabel.ALL:
+            display = VersionLabel.display(label, system)
+            if label == VersionLabel.OMP:
+                row.append(f"{display}=excluded")  # invalid checksum in the paper's run
+                continue
+            tb = app.estimate(label, system, paper)
+            row.append(f"{display}={format_seconds(app.reported_seconds(tb))}")
+        print(f"  {system.name}: " + ", ".join(row))
+
+
+if __name__ == "__main__":
+    main()

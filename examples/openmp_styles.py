@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""The paper's Figures 2, 3 and 4 side by side: three ways to write the
+same GPU computation in OpenMP.
+
+* **Figure 2** — the *typical* OpenMP port: directives do the work
+  distribution (``target teams`` + ``parallel for``) and the map clauses
+  move the data.
+* **Figure 3** — the *SIMT-style* region classic OpenMP permits: explicit
+  thread indices, ``groupprivate`` shared storage, a ``barrier`` — but
+  still carrying the full device runtime and only 1-D launches.
+* **Figure 4** — the paper's ``ompx_bare`` region: the same SIMT body in
+  bare-metal mode, CUDA-equivalent APIs, no runtime.
+
+All three produce identical results; the codegen report shows what each
+style costs (runtime init, execution mode) — the §3.1 motivation in code.
+
+Run:  python examples/openmp_styles.py
+"""
+
+import numpy as np
+
+from repro import ompx, openmp
+from repro.gpu import get_device
+
+N = 2048
+BSIZE = 128
+GSIZE = (N + BSIZE - 1) // BSIZE
+
+
+def use(a, b):
+    """Figure 1/2's helper."""
+    return a + b
+
+
+def figure2_worksharing(device, a, b):
+    """#pragma omp target teams ... map(to: a) map(from: b) + parallel for."""
+    def vbody(indices, acc):
+        shared_seed = 1.0  # the "shared" init of Figure 2, scalarized
+        acc.mapped(b)[indices] = acc.mapped(a)[indices] + shared_seed
+
+    return openmp.target_teams_distribute_parallel_for(
+        device, N, vector_body=vbody,
+        num_teams=GSIZE, thread_limit=BSIZE,
+        maps=[(a, "to"), (b, "from")],
+    )
+
+
+def figure3_simt_region(device, a, b):
+    """target teams + parallel with explicit indices (classic OpenMP)."""
+    def region(omp, acc):
+        shared = omp.groupprivate("shared", BSIZE, np.float64)
+        thread_id = omp.omp_get_thread_num()
+        if thread_id == 0:
+            shared[:] = 1.0
+        omp.barrier()
+        block_id = omp.omp_get_team_num()
+        block_dim = omp.omp_get_team_size()
+        i = block_id * block_dim + thread_id
+        if i < N:
+            acc.mapped(b)[i] = use(acc.mapped(a)[i], shared[thread_id])
+
+    return openmp.target_teams_parallel(
+        device, GSIZE, BSIZE, region, maps=[(a, "to"), (b, "from")],
+    )
+
+
+def figure4_bare_region(device, a, b):
+    """#pragma omp target teams ompx_bare — the paper's extension."""
+    @ompx.bare_kernel
+    def kernel(x, acc):
+        shared = x.groupprivate("shared", BSIZE, np.float64)
+        tid = x.thread_id_x()
+        if tid == 0:
+            shared[:] = 1.0
+        x.sync_thread_block()
+        i = x.block_id_x() * x.block_dim_x() + tid
+        if i < N:
+            acc.mapped(b)[i] = use(acc.mapped(a)[i], shared[tid])
+
+    return ompx.target_teams_bare(
+        device, GSIZE, BSIZE, kernel, maps=[(a, "to"), (b, "from")],
+    )
+
+
+def main() -> None:
+    device = get_device(0)
+    rng = np.random.default_rng(33)
+    source = rng.random(N)
+    expected = source + 1.0
+
+    for label, runner in (
+        ("Figure 2 (worksharing)", figure2_worksharing),
+        ("Figure 3 (SIMT-style) ", figure3_simt_region),
+        ("Figure 4 (ompx_bare)  ", figure4_bare_region),
+    ):
+        a = source.copy()
+        b = np.zeros(N)
+        report = runner(device, a, b)
+        assert np.allclose(b, expected), label
+        cg = report.codegen
+        print(f"{label}: ok | mode={cg.mode:8s} runtime_init={cg.runtime_init} "
+              f"state_machine={cg.state_machine}")
+
+    print("\nAll three styles compute the same result; only the bare region")
+    print("sheds the device runtime — that is what §3.1 is for.")
+
+
+if __name__ == "__main__":
+    main()

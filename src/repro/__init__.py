@@ -1,0 +1,57 @@
+"""repro — a reproduction of *OpenMP Kernel Language Extensions for
+Performance Portable GPU Codes* (Tian, Scogland, Chapman, Doerfert;
+SC-W 2023) on a simulated SIMT substrate.
+
+Layer map (bottom to top):
+
+* :mod:`repro.gpu`      — the virtual GPU: devices, memory, warps, streams.
+* :mod:`repro.cuda` / :mod:`repro.hip` — the native kernel-language layers.
+* :mod:`repro.openmp`   — the classic OpenMP runtime + codegen model.
+* :mod:`repro.ompx`     — **the paper's contribution**: bare regions,
+  device/host APIs, multi-dim launches, ``depend(interopobj:)``, vendor
+  wrappers.
+* :mod:`repro.compiler` — the toolchain model (registers, binaries, codegen).
+* :mod:`repro.perf`     — occupancy + roofline + overhead timing model.
+* :mod:`repro.apps`     — the six evaluated applications (Figure 6).
+* :mod:`repro.port`     — the CUDA -> ompx source rewriting tools.
+* :mod:`repro.harness`  — regenerates Figures 6, 7 and 8.
+
+Quickstart::
+
+    import numpy as np
+    from repro.gpu import get_device
+    from repro import ompx
+
+    dev = get_device(0)                     # the A100 preset
+    n = 1 << 10
+    d_a = ompx.ompx_malloc(n * 8, dev)      # §3.4 host API
+    ompx.ompx_memcpy(d_a, np.arange(n, dtype=np.float64), n * 8, dev)
+
+    @ompx.bare_kernel                        # §3.1 ompx_bare
+    def scale(x, a, n):
+        i = x.global_thread_id_x()           # §3.3 device API
+        if i < n:
+            x.array(a, n, np.float64)[i] *= 2.0
+
+    ompx.target_teams_bare(dev, (n + 255) // 256, 256, scale, (d_a, n))
+"""
+
+from . import apps, compiler, cuda, gpu, harness, hip, openmp, ompx, perf, port
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "compiler",
+    "cuda",
+    "gpu",
+    "harness",
+    "hip",
+    "openmp",
+    "ompx",
+    "perf",
+    "port",
+    "ReproError",
+    "__version__",
+]

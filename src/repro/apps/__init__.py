@@ -1,0 +1,32 @@
+"""The six evaluated applications (paper Figure 6).
+
+Each app ships four source variants — CUDA, HIP (textually CUDA on our
+substrate), classic OpenMP, and the ompx port — a NumPy golden reference,
+functional runners for the virtual GPU, and the analytic workload
+footprints the Figure 8 harness prices.
+"""
+
+from .adam import Adam
+from .aidw import AIDW
+from .common import BenchmarkApp, FunctionalResult, VersionLabel, checksum
+from .rsbench import RSBench
+from .stencil1d import Stencil1D
+from .su3 import SU3
+from .xsbench import XSBench
+
+#: Figure 6 order.
+ALL_APPS = (XSBench, RSBench, SU3, AIDW, Adam, Stencil1D)
+
+__all__ = [
+    "Adam",
+    "AIDW",
+    "BenchmarkApp",
+    "FunctionalResult",
+    "VersionLabel",
+    "checksum",
+    "RSBench",
+    "Stencil1D",
+    "SU3",
+    "XSBench",
+    "ALL_APPS",
+]

@@ -1,0 +1,112 @@
+"""Run a benchmark application from the command line.
+
+Mirrors how the paper ran the HeCBench binaries — same command lines as
+Figure 6 — with two modes:
+
+* ``--estimate`` (default): price the run with the performance model at
+  the given (paper) parameters, printing the four Figure 8 bars per
+  system.
+* ``--run``: execute the chosen variant *functionally* on the virtual GPU
+  at the app's reduced functional scale, verify against the NumPy
+  reference, and print the checksum.
+
+Examples::
+
+    python -m repro.apps xsbench -m event
+    python -m repro.apps su3 -i 1000 -l 32 -t 128 -v 3 -w 1 --estimate
+    python -m repro.apps stencil1d 134217728 1000 --run --variant ompx
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..errors import AppError
+from ..gpu import get_device
+from ..harness.report import format_seconds
+from ..perf.timing import AMD_SYSTEM, NVIDIA_SYSTEM
+from . import ALL_APPS, VersionLabel
+
+_BY_KEY = {
+    "xsbench": 0,
+    "rsbench": 1,
+    "su3": 2,
+    "aidw": 3,
+    "adam": 4,
+    "stencil1d": 5,
+}
+
+
+def _split_args(argv: Sequence[str]):
+    """Separate app arguments from our ``--`` flags.
+
+    App command lines use single-dash flags (``-m event``, ``-i 1000``);
+    everything from the first double-dash token onward belongs to us.
+    """
+    for i, arg in enumerate(argv):
+        if arg.startswith("--"):
+            return list(argv[:i]), list(argv[i:])
+    return list(argv), []
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("apps:", ", ".join(sorted(_BY_KEY)))
+        return 0
+
+    key = argv[0].lower()
+    if key not in _BY_KEY:
+        print(f"unknown app {key!r}; choose from {sorted(_BY_KEY)}", file=sys.stderr)
+        return 2
+    app = ALL_APPS[_BY_KEY[key]]()
+
+    app_args, flag_args = _split_args(argv[1:])
+    parser = argparse.ArgumentParser(prog=f"repro.apps {key}", add_help=False)
+    parser.add_argument("--run", action="store_true",
+                        help="functional run at reduced scale (default: estimate)")
+    parser.add_argument("--estimate", action="store_true")
+    parser.add_argument("--variant", default=VersionLabel.OMPX,
+                        choices=list(VersionLabel.ALL))
+    parser.add_argument("--device", type=int, default=0, choices=[0, 1, 2])
+    flags = parser.parse_args(flag_args)
+
+    try:
+        params = app.parse_args(app_args) if app_args else app.paper_params()
+    except AppError as exc:
+        print(f"bad arguments: {exc}", file=sys.stderr)
+        return 2
+
+    if flags.run:
+        run_params = app.functional_params()
+        print(f"{app.name}: functional run of variant {flags.variant!r} on "
+              f"device {flags.device} (reduced scale: {dict(run_params)})")
+        variant = flags.variant
+        if variant == VersionLabel.NATIVE_VENDOR:
+            variant = VersionLabel.NATIVE_LLVM  # same sources
+        result = app.run_functional(variant, run_params, get_device(flags.device))
+        ok = app.verify(result, run_params)
+        print(f"checksum = {result.checksum:.6f}  "
+              f"verification {'PASSED' if ok else 'FAILED'}")
+        return 0 if ok else 1
+
+    print(f"{app.name} ({app.command_line}): performance-model estimates")
+    for system in (NVIDIA_SYSTEM, AMD_SYSTEM):
+        parts = []
+        for label in VersionLabel.ALL:
+            display = VersionLabel.display(label, system)
+            if label == VersionLabel.OMP and getattr(app, "omp_excluded_in_paper", False):
+                parts.append(f"{display}=excluded")
+                continue
+            tb = app.estimate(label, system, params)
+            parts.append(f"{display}={format_seconds(app.reported_seconds(tb))}")
+        print(f"  {system.name:7s} " + "  ".join(parts))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,238 @@
+"""Adam: adaptive moment estimation optimizer (paper §4.2.5, Figures 8e/8k).
+
+Command line (Figure 6): ``10000 200 100`` — 10 000 parameters, 200
+optimizer time steps per kernel, 100 repetitions of the kernel launch.
+
+Each thread owns one parameter and walks all time steps, updating the
+first/second moment estimates and the weight.  No intra-block
+communication at all — which is exactly why the paper's ``omp`` result is
+so diagnostic: the kernel itself is trivial, and the 8x slowdown is purely
+the LLVM thread-limit bug launching 32-thread blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .. import cuda, ompx
+from ..errors import AppError
+from ..gpu.device import Device
+from ..openmp import target_teams_distribute_parallel_for
+from ..openmp.codegen import RegionTraits
+from ..perf.roofline import Footprint
+from .common import BenchmarkApp, FunctionalResult, VersionLabel, checksum
+
+__all__ = ["Adam", "adam_cuda_kernel", "adam_ompx_kernel"]
+
+_BLOCK = 256
+_LR = 1e-3
+_BETA1 = 0.9
+_BETA2 = 0.999
+_EPS = 1e-8
+
+
+def adam_update(w, g, m, v, b1_t, b2_t):
+    """One Adam step for one parameter (the __device__ helper)."""
+    m = _BETA1 * m + (1.0 - _BETA1) * g
+    v = _BETA2 * v + (1.0 - _BETA2) * g * g
+    m_hat = m / (1.0 - b1_t)
+    v_hat = v / (1.0 - b2_t)
+    w = w - _LR * m_hat / (math.sqrt(v_hat) + _EPS)
+    return w, m, v
+
+
+@cuda.kernel(sync_free=True)
+def adam_cuda_kernel(t, d_w, d_g, d_m, d_v, n, steps):
+    i = t.blockIdx.x * t.blockDim.x + t.threadIdx.x
+    if i >= n:
+        return
+    wv = t.array(d_w, n, np.float64)
+    gv = t.array(d_g, n, np.float64)
+    mv = t.array(d_m, n, np.float64)
+    vv = t.array(d_v, n, np.float64)
+    w, g, m, v = wv[i], gv[i], mv[i], vv[i]
+    b1_t = 1.0
+    b2_t = 1.0
+    for _ in range(steps):
+        b1_t *= _BETA1
+        b2_t *= _BETA2
+        w, m, v = adam_update(w, g, m, v, b1_t, b2_t)
+    wv[i] = w
+    mv[i] = m
+    vv[i] = v
+
+
+@ompx.bare_kernel(sync_free=True)
+def adam_ompx_kernel(x, d_w, d_g, d_m, d_v, n, steps):
+    i = x.block_id_x() * x.block_dim_x() + x.thread_id_x()
+    if i >= n:
+        return
+    wv = x.array(d_w, n, np.float64)
+    gv = x.array(d_g, n, np.float64)
+    mv = x.array(d_m, n, np.float64)
+    vv = x.array(d_v, n, np.float64)
+    w, g, m, v = wv[i], gv[i], mv[i], vv[i]
+    b1_t = 1.0
+    b2_t = 1.0
+    for _ in range(steps):
+        b1_t *= _BETA1
+        b2_t *= _BETA2
+        w, m, v = adam_update(w, g, m, v, b1_t, b2_t)
+    wv[i] = w
+    mv[i] = m
+    vv[i] = v
+
+
+def adam_omp_body(indices: np.ndarray, acc, h_w, h_g, h_m, h_v, steps: int):
+    """Classic-OpenMP worksharing body (vectorized over the team's chunk)."""
+    w = acc.mapped(h_w)
+    g = acc.mapped(h_g)
+    m = acc.mapped(h_m)
+    v = acc.mapped(h_v)
+    wi, gi, mi, vi = w[indices], g[indices], m[indices], v[indices]
+    b1_t = 1.0
+    b2_t = 1.0
+    for _ in range(steps):
+        b1_t *= _BETA1
+        b2_t *= _BETA2
+        mi = _BETA1 * mi + (1.0 - _BETA1) * gi
+        vi = _BETA2 * vi + (1.0 - _BETA2) * gi * gi
+        m_hat = mi / (1.0 - b1_t)
+        v_hat = vi / (1.0 - b2_t)
+        wi = wi - _LR * m_hat / (np.sqrt(v_hat) + _EPS)
+    w[indices] = wi
+    m[indices] = mi
+    v[indices] = vi
+
+
+class Adam(BenchmarkApp):
+    name = "Adam"
+    description = "Adaptive moment estimation"
+    command_line = "10000 200 100"
+    reports = "total"
+    perf_hints = {"lto_inlining": True}
+
+    @classmethod
+    def parse_args(cls, argv: Sequence[str]) -> Mapping[str, object]:
+        if len(argv) != 3:
+            raise AppError(f"adam expects '<params> <steps> <repeat>', got {argv!r}")
+        n, steps, repeat = (int(a) for a in argv)
+        if min(n, steps, repeat) <= 0:
+            raise AppError("all adam arguments must be positive")
+        return {"n": n, "steps": steps, "repeat": repeat, "block": _BLOCK}
+
+    @classmethod
+    def paper_params(cls) -> Mapping[str, object]:
+        return cls.parse_args(cls.command_line.split())
+
+    @classmethod
+    def functional_params(cls) -> Mapping[str, object]:
+        return {"n": 300, "steps": 5, "repeat": 2, "block": 64}
+
+    # --- golden reference -----------------------------------------------------
+    def _inputs(self, params):
+        rng = np.random.default_rng(7)
+        n = params["n"]
+        return (
+            rng.standard_normal(n),          # w
+            rng.standard_normal(n) * 0.01,   # g
+            np.zeros(n),                     # m
+            np.zeros(n),                     # v
+        )
+
+    def reference(self, params) -> np.ndarray:
+        w, g, m, v = (a.copy() for a in self._inputs(params))
+        for _ in range(params["repeat"]):
+            b1_t = 1.0
+            b2_t = 1.0
+            for _ in range(params["steps"]):
+                b1_t *= _BETA1
+                b2_t *= _BETA2
+                m = _BETA1 * m + (1.0 - _BETA1) * g
+                v = _BETA2 * v + (1.0 - _BETA2) * g * g
+                m_hat = m / (1.0 - b1_t)
+                v_hat = v / (1.0 - b2_t)
+                w = w - _LR * m_hat / (np.sqrt(v_hat) + _EPS)
+        return w
+
+    # --- functional execution ------------------------------------------------------
+    def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:
+        n, steps, repeat, block = params["n"], params["steps"], params["repeat"], params["block"]
+        h_w, h_g, h_m, h_v = (a.copy() for a in self._inputs(params))
+        teams = (n + block - 1) // block
+
+        if variant == VersionLabel.OMP:
+            for _ in range(repeat):
+                target_teams_distribute_parallel_for(
+                    device,
+                    n,
+                    vector_body=lambda idx, acc: adam_omp_body(idx, acc, h_w, h_g, h_m, h_v, steps),
+                    thread_limit=block,
+                    maps=[(h_w, "tofrom"), (h_g, "to"), (h_m, "tofrom"), (h_v, "tofrom")],
+                    traits=self.omp_region_traits(params),
+                )
+            result = h_w
+        else:
+            kernel = adam_ompx_kernel if variant == VersionLabel.OMPX else adam_cuda_kernel
+            alloc = device.allocator
+            ptrs = [alloc.malloc(n * 8) for _ in range(4)]
+            for ptr, host in zip(ptrs, (h_w, h_g, h_m, h_v)):
+                alloc.memcpy_h2d(ptr, host)
+            for _ in range(repeat):
+                if variant == VersionLabel.OMPX:
+                    ompx.target_teams_bare(device, teams, block, kernel, (*ptrs, n, steps))
+                else:
+                    cuda.launch(kernel, teams, block, (*ptrs, n, steps), device=device)
+                    device.synchronize()
+            result = np.zeros(n)
+            alloc.memcpy_d2h(result, ptrs[0])
+            for ptr in ptrs:
+                alloc.free(ptr)
+
+        return FunctionalResult(variant=variant, output=result, checksum=checksum(result), valid=False)
+
+    # --- performance model -----------------------------------------------------------
+    def footprint(self, params, label: str = VersionLabel.OMPX) -> Footprint:
+        n, steps = params["n"], params["steps"]
+        return Footprint(
+            flops_fp64=n * steps * 12.0,
+            # One sqrt per step, pipelined through the SFUs.
+            special_ops=n * steps * 0.25,
+            global_read_bytes=n * 4 * 8.0,
+            global_write_bytes=n * 3 * 8.0,
+        )
+
+    def transfer_plan(self, params):
+        """Weights, gradients, moments up; weights down."""
+        from ..perf.transfer import TransferPlan
+
+        n = params["n"]
+        return TransferPlan(h2d_bytes=n * 4 * 8.0, d2h_bytes=n * 8.0,
+                            h2d_transfers=4, d2h_transfers=1)
+
+    def launch_geometry(self, params) -> Tuple[int, int]:
+        n, block = params["n"], params["block"]
+        return ((n + block - 1) // block, block)
+
+    def launches(self, params) -> int:
+        return params["repeat"]
+
+    def kernel_for(self, label: str):
+        if label == VersionLabel.OMPX:
+            return adam_ompx_kernel
+        if label == VersionLabel.OMP:
+            return adam_omp_body
+        return adam_cuda_kernel
+
+    def omp_region_traits(self, params) -> RegionTraits:
+        # §4.2.5: "an issue in LLVM OpenMP that results in the launch of
+        # only 32 threads per thread block" — the explicit defect flag.
+        return RegionTraits(
+            style="worksharing",
+            spmd_amenable=True,
+            requested_thread_limit=params["block"],
+            thread_limit_bug=True,
+        )

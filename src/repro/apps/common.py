@@ -1,0 +1,251 @@
+"""Shared framework for the six evaluated applications (paper Figure 6).
+
+Each application module provides:
+
+* parameter parsing for the exact command line the paper used (Figure 6),
+* a NumPy host reference producing the golden output/checksum,
+* kernels in the CUDA DSL and their ompx ports (the paper's point: the
+  port is a renaming), plus a classic-OpenMP variant,
+* a workload :class:`~repro.perf.Footprint` derived analytically from the
+  parameters, feeding the Figure 8 harness,
+* functional runners that execute each variant on the virtual GPU at a
+  reduced problem size and verify the checksum.
+
+The four *version labels* of Figure 8 (``ompx``, ``omp``, ``cuda``/
+``hip``, ``cuda-nvcc``/``hip-hipcc``) are combinations of a variant and a
+toolchain; :meth:`BenchmarkApp.compiled_for` resolves them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler.compile import CompiledKernel, compile_kernel
+from ..compiler.toolchain import HIPCC, LLVM_CLANG, NVCC, OMP_LLVM, OMPX_PROTO, Toolchain
+from ..errors import AppError
+from ..gpu.device import Device
+from ..openmp.codegen import RegionTraits
+from ..perf.roofline import Footprint
+from ..perf.timing import SystemConfig, TimeBreakdown, estimate_time
+from ..perf.transfer import TransferPlan
+
+__all__ = ["VersionLabel", "FunctionalResult", "BenchmarkApp", "checksum"]
+
+
+class VersionLabel:
+    """The bar labels of Figure 8."""
+
+    OMPX = "ompx"
+    OMP = "omp"
+    NATIVE_LLVM = "native-llvm"     # 'cuda' on NVIDIA, 'hip' on AMD
+    NATIVE_VENDOR = "native-vendor"  # 'cuda-nvcc' / 'hip-hipcc'
+
+    ALL = (OMPX, OMP, NATIVE_LLVM, NATIVE_VENDOR)
+
+    @staticmethod
+    def display(label: str, system: SystemConfig) -> str:
+        """The exact bar label the paper prints for a system."""
+        if label == VersionLabel.NATIVE_LLVM:
+            return system.native_language
+        if label == VersionLabel.NATIVE_VENDOR:
+            return f"{system.native_language}-{system.vendor_compiler}"
+        return label
+
+
+def checksum(*arrays: np.ndarray) -> float:
+    """Order-independent output digest used for cross-variant verification."""
+    total = 0.0
+    for arr in arrays:
+        arr = np.asarray(arr, dtype=np.float64)
+        total += float(np.sum(arr)) + float(np.sum(np.abs(arr))) * 0.5
+    return total
+
+
+@dataclass
+class FunctionalResult:
+    """Output of one functional (simulated) run of a variant."""
+
+    variant: str
+    output: np.ndarray
+    checksum: float
+    valid: bool
+
+
+class BenchmarkApp(abc.ABC):
+    """One of the six HeCBench applications."""
+
+    #: Figure 6 columns.
+    name: str = ""
+    description: str = ""
+    command_line: str = ""
+
+    #: Whether Figure 8 reports the whole measured section or a
+    #: per-iteration time (the stencil/Adam plots are per launch).
+    reports: str = "total"
+
+    #: Perf hints established by the paper's profiling (see
+    #: repro.compiler.toolchain); keyed by version label when they differ.
+    perf_hints: Mapping[str, bool] = {}
+
+    # --- parameters --------------------------------------------------------
+    @classmethod
+    @abc.abstractmethod
+    def parse_args(cls, argv: Sequence[str]) -> Mapping[str, object]:
+        """Parse the Figure 6 command line into parameters."""
+
+    @classmethod
+    @abc.abstractmethod
+    def paper_params(cls) -> Mapping[str, object]:
+        """The exact parameters of the paper's runs."""
+
+    @classmethod
+    @abc.abstractmethod
+    def functional_params(cls) -> Mapping[str, object]:
+        """A reduced problem the thread-level simulator can execute."""
+
+    # --- golden reference -----------------------------------------------------
+    @abc.abstractmethod
+    def reference(self, params: Mapping[str, object]) -> np.ndarray:
+        """Vectorized NumPy host reference (the verification oracle)."""
+
+    # --- functional execution ----------------------------------------------------
+    @abc.abstractmethod
+    def run_functional(
+        self, variant: str, params: Mapping[str, object], device: Device
+    ) -> FunctionalResult:
+        """Run one variant on the virtual GPU and verify it."""
+
+    #: Variants the app implements functionally; NATIVE_VENDOR shares the
+    #: NATIVE_LLVM sources (only the toolchain differs).
+    functional_variants: Tuple[str, ...] = (
+        VersionLabel.OMPX,
+        VersionLabel.OMP,
+        VersionLabel.NATIVE_LLVM,
+    )
+
+    # --- performance-model inputs ---------------------------------------------------
+    @abc.abstractmethod
+    def footprint(
+        self, params: Mapping[str, object], label: str = "ompx"
+    ) -> Footprint:
+        """Bytes/flops of ONE kernel launch at these parameters.
+
+        ``label`` matters when the versions are *algorithmically* different
+        — e.g. the classic OpenMP Stencil cannot stage a shared tile from a
+        worksharing loop, so it re-reads the halo from global memory.
+        """
+
+    @abc.abstractmethod
+    def launch_geometry(self, params: Mapping[str, object]) -> Tuple[int, int]:
+        """(teams, threads_per_team) requested by the host code."""
+
+    def launches(self, params: Mapping[str, object]) -> int:
+        """Kernel launches in the measured section (default: one)."""
+        return 1
+
+    @abc.abstractmethod
+    def kernel_for(self, label: str):
+        """The kernel object compiled for a version label."""
+
+    def omp_region_traits(self, params: Mapping[str, object]) -> RegionTraits:
+        """How the classic OpenMP version's region lowers (per app)."""
+        _, block = self.launch_geometry(params)
+        return RegionTraits(style="worksharing", requested_thread_limit=block)
+
+    def static_shared_bytes(self, params: Mapping[str, object]) -> int:
+        """Static ``__shared__`` usage per block (0 for most apps)."""
+        return 0
+
+    # --- version resolution -----------------------------------------------------------
+    def _toolchain_for(self, label: str, system: SystemConfig) -> Tuple[str, Toolchain]:
+        if label == VersionLabel.OMPX:
+            return "ompx", OMPX_PROTO
+        if label == VersionLabel.OMP:
+            return "omp", OMP_LLVM
+        language = system.native_language
+        if label == VersionLabel.NATIVE_LLVM:
+            return language, LLVM_CLANG
+        if label == VersionLabel.NATIVE_VENDOR:
+            return language, NVCC if language == "cuda" else HIPCC
+        raise AppError(f"unknown version label {label!r}; expected {VersionLabel.ALL}")
+
+    def compiled_for(
+        self, label: str, system: SystemConfig, params: Mapping[str, object]
+    ) -> CompiledKernel:
+        """Compile the app's kernel as one of the Figure 8 versions."""
+        language, toolchain = self._toolchain_for(label, system)
+        region_traits = self.omp_region_traits(params) if label == VersionLabel.OMP else None
+        return compile_kernel(
+            self.kernel_for(label),
+            system.gpu,
+            language=language,
+            toolchain=toolchain,
+            shared_bytes=self.static_shared_bytes(params),
+            region_traits=region_traits,
+            hints=dict(self.perf_hints),
+        )
+
+    def footprint_ex(
+        self, params: Mapping[str, object], label: str, system: SystemConfig
+    ) -> Footprint:
+        """System-aware footprint hook.
+
+        Most apps delegate to :meth:`footprint`; RSBench overrides it
+        because its register-spill traffic exists only where the register
+        file is tight (the A100, not the MI250).
+        """
+        return self.footprint(params, label)
+
+    def estimate(
+        self,
+        label: str,
+        system: SystemConfig,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> TimeBreakdown:
+        """Price one Figure 8 cell: (this app, this version, this system)."""
+        params = params or self.paper_params()
+        compiled = self.compiled_for(label, system, params)
+        teams, block = self.launch_geometry(params)
+        return estimate_time(
+            compiled,
+            self.footprint_ex(params, label, system),
+            block_threads=block,
+            teams=teams,
+            launches=self.launches(params),
+        )
+
+    def reported_seconds(self, tb: TimeBreakdown) -> float:
+        """Map a TimeBreakdown onto what the benchmark itself reports."""
+        return tb.per_launch_s if self.reports == "per_launch" else tb.total_s
+
+    def transfer_plan(self, params: Mapping[str, object]) -> TransferPlan:
+        """Host<->device data movement around the measured section.
+
+        Default: no movement (the Figure 8 timings are device-side only);
+        apps override with their Figure 1-style upload/download sizes.
+        """
+        return TransferPlan(h2d_bytes=0.0, d2h_bytes=0.0,
+                            h2d_transfers=0, d2h_transfers=0)
+
+    def estimate_end_to_end(
+        self,
+        label: str,
+        system: SystemConfig,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> float:
+        """Measured section plus the host<->device transfers, in seconds."""
+        params = params or self.paper_params()
+        tb = self.estimate(label, system, params)
+        return tb.total_s + self.transfer_plan(params).seconds(system.host_link)
+
+    # --- verification helper -------------------------------------------------------------
+    def verify(self, result: FunctionalResult, params: Mapping[str, object]) -> bool:
+        """Compare a functional result against the NumPy golden reference."""
+        expected = self.reference(params)
+        ok = np.allclose(result.output, expected, rtol=1e-10, atol=1e-12)
+        result.valid = bool(ok)
+        return result.valid

@@ -1,0 +1,317 @@
+"""XSBench: Monte Carlo macroscopic cross-section lookup (§4.2.1, 8a/8g).
+
+Command line (Figure 6): ``-m event`` — event-based parallelism: one
+thread per lookup event.  XSBench (Tramm et al., the paper's ref [28]) is
+the *memory-intensive* OpenMC proxy: each lookup picks a material and an
+energy, then for every nuclide in that material binary-searches the
+nuclide's energy grid and interpolates five cross sections, accumulating
+a density-weighted macroscopic XS.
+
+Material composition and sampling probabilities follow XSBench's "large"
+problem (355 isotopes, 11 303 gridpoints, 17M lookups; fuel holds 321
+nuclides and dominates the sampled work).
+
+Paper results: the ompx version beats both natives on both systems; the
+``omp`` version was *excluded* because the benchmark reported an invalid
+checksum (we reproduce the exclusion in the harness; our own omp port
+verifies, so the exclusion is a faithfully recorded artifact of the
+paper's run, not of ours).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .. import cuda, ompx
+from ..errors import AppError
+from ..gpu.device import Device
+from ..openmp import target_teams_distribute_parallel_for
+from ..openmp.codegen import RegionTraits
+from ..perf.roofline import Footprint
+from .common import BenchmarkApp, FunctionalResult, VersionLabel, checksum
+
+__all__ = ["XSBench", "xsbench_cuda_kernel", "xsbench_ompx_kernel"]
+
+_BLOCK = 256
+_N_XS = 5  # total, elastic, absorption, fission, nu-fission
+
+# XSBench's 12 materials: nuclide counts and sampling probabilities.
+_MAT_COUNTS = (321, 5, 4, 4, 27, 21, 21, 21, 21, 21, 9, 9)
+_MAT_PROBS = (
+    0.140, 0.052, 0.275, 0.134, 0.154, 0.064,
+    0.066, 0.055, 0.008, 0.015, 0.025, 0.013,
+)
+
+
+def grid_search(egrid_row: np.ndarray, energy: float, ngp: int) -> int:
+    """Binary search for the interval with egrid[k] <= e < egrid[k+1].
+
+    A __device__ function in the CUDA source; clamped to a valid interval
+    at both ends (matches ``searchsorted(side='right') - 1`` clipped).
+    """
+    lo = 0
+    hi = ngp - 1
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if energy >= egrid_row[mid]:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def interpolate_xs(xs_row: np.ndarray, egrid_row: np.ndarray, k: int, energy: float):
+    """Linear interpolation of the 5 XS channels at grid interval k."""
+    e0 = egrid_row[k]
+    e1 = egrid_row[k + 1]
+    f = (energy - e0) / (e1 - e0)
+    return xs_row[k] + f * (xs_row[k + 1] - xs_row[k])
+
+
+@cuda.kernel(sync_free=True)
+def xsbench_cuda_kernel(
+    t, d_egrid, d_xs, d_nucs, d_dens, d_offsets, d_counts,
+    d_energies, d_mats, d_out, n_iso, ngp, n_lookups, total_nucs,
+):
+    i = t.blockIdx.x * t.blockDim.x + t.threadIdx.x
+    if i >= n_lookups:
+        return
+    egrid = t.array(d_egrid, (n_iso, ngp), np.float64)
+    xs = t.array(d_xs, (n_iso, ngp, _N_XS), np.float64)
+    nucs = t.array(d_nucs, total_nucs, np.int32)
+    dens = t.array(d_dens, total_nucs, np.float64)
+    offsets = t.array(d_offsets, len(_MAT_COUNTS), np.int32)
+    counts = t.array(d_counts, len(_MAT_COUNTS), np.int32)
+    energy = t.array(d_energies, n_lookups, np.float64)[i]
+    mat = t.array(d_mats, n_lookups, np.int32)[i]
+
+    macro = 0.0
+    base = offsets[mat]
+    for j in range(counts[mat]):
+        nuc = nucs[base + j]
+        k = grid_search(egrid[nuc], energy, ngp)
+        micro = interpolate_xs(xs[nuc], egrid[nuc], k, energy)
+        macro += dens[base + j] * micro.sum()
+    t.array(d_out, n_lookups, np.float64)[i] = macro
+
+
+@ompx.bare_kernel(sync_free=True)
+def xsbench_ompx_kernel(
+    x, d_egrid, d_xs, d_nucs, d_dens, d_offsets, d_counts,
+    d_energies, d_mats, d_out, n_iso, ngp, n_lookups, total_nucs,
+):
+    i = x.block_id_x() * x.block_dim_x() + x.thread_id_x()
+    if i >= n_lookups:
+        return
+    egrid = x.array(d_egrid, (n_iso, ngp), np.float64)
+    xs = x.array(d_xs, (n_iso, ngp, _N_XS), np.float64)
+    nucs = x.array(d_nucs, total_nucs, np.int32)
+    dens = x.array(d_dens, total_nucs, np.float64)
+    offsets = x.array(d_offsets, len(_MAT_COUNTS), np.int32)
+    counts = x.array(d_counts, len(_MAT_COUNTS), np.int32)
+    energy = x.array(d_energies, n_lookups, np.float64)[i]
+    mat = x.array(d_mats, n_lookups, np.int32)[i]
+
+    macro = 0.0
+    base = offsets[mat]
+    for j in range(counts[mat]):
+        nuc = nucs[base + j]
+        k = grid_search(egrid[nuc], energy, ngp)
+        micro = interpolate_xs(xs[nuc], egrid[nuc], k, energy)
+        macro += dens[base + j] * micro.sum()
+    x.array(d_out, n_lookups, np.float64)[i] = macro
+
+
+class XSBench(BenchmarkApp):
+    name = "XSBench"
+    description = "Monte Carlo neutron transport algorithm"
+    command_line = "-m event"
+    reports = "total"
+    perf_hints = {"lto_inlining": True}
+    #: The paper excluded the omp bar: "the benchmark reporting an invalid
+    #: checksum, rendering the results non-comparable" (§4.2.1).
+    omp_excluded_in_paper = True
+
+    @classmethod
+    def parse_args(cls, argv: Sequence[str]) -> Mapping[str, object]:
+        args = list(argv)
+        if args[:2] != ["-m", "event"]:
+            raise AppError(f"xsbench expects '-m event', got {argv!r}")
+        return {
+            "n_isotopes": 355,
+            "n_gridpoints": 11303,
+            "lookups": 17_000_000,
+            "block": _BLOCK,
+            "mat_counts": _MAT_COUNTS,
+        }
+
+    @classmethod
+    def paper_params(cls) -> Mapping[str, object]:
+        return cls.parse_args(cls.command_line.split())
+
+    @classmethod
+    def functional_params(cls) -> Mapping[str, object]:
+        # Scaled-down materials with the same 12-entry structure.
+        return {
+            "n_isotopes": 24,
+            "n_gridpoints": 32,
+            "lookups": 200,
+            "block": 32,
+            "mat_counts": (20, 3, 2, 2, 6, 5, 5, 5, 5, 5, 3, 3),
+        }
+
+    # --- problem construction ----------------------------------------------------
+    def _build(self, params):
+        rng = np.random.default_rng(1234)
+        n_iso, ngp = params["n_isotopes"], params["n_gridpoints"]
+        counts = np.asarray(params["mat_counts"], dtype=np.int32)
+        if counts.max() > n_iso:
+            raise AppError("material nuclide count exceeds isotope count")
+        egrid = np.sort(rng.random((n_iso, ngp)), axis=1)
+        xs = rng.random((n_iso, ngp, _N_XS))
+        nucs = np.concatenate(
+            [rng.choice(n_iso, size=c, replace=False) for c in counts]
+        ).astype(np.int32)
+        dens = rng.random(nucs.shape[0]) * 10.0
+        offsets = np.concatenate(([0], np.cumsum(counts[:-1]))).astype(np.int32)
+        probs = np.asarray(_MAT_PROBS)
+        probs = probs / probs.sum()
+        lookups = params["lookups"]
+        energies = rng.random(lookups)
+        mats = rng.choice(len(counts), size=lookups, p=probs).astype(np.int32)
+        return egrid, xs, nucs, dens, offsets, counts, energies, mats
+
+    def reference(self, params) -> np.ndarray:
+        egrid, xs, nucs, dens, offsets, counts, energies, mats = self._build(params)
+        ngp = params["n_gridpoints"]
+        out = np.zeros(len(energies))
+        for m in range(len(counts)):
+            sel = np.flatnonzero(mats == m)
+            if sel.size == 0:
+                continue
+            e = energies[sel]
+            macro = np.zeros(sel.size)
+            base = offsets[m]
+            for j in range(counts[m]):
+                nuc = nucs[base + j]
+                k = np.clip(np.searchsorted(egrid[nuc], e, side="right") - 1, 0, ngp - 2)
+                e0 = egrid[nuc][k]
+                e1 = egrid[nuc][k + 1]
+                f = (e - e0) / (e1 - e0)
+                micro = xs[nuc][k] + f[:, None] * (xs[nuc][k + 1] - xs[nuc][k])
+                macro += dens[base + j] * micro.sum(axis=1)
+            out[sel] = macro
+        return out
+
+    # --- functional execution --------------------------------------------------------
+    def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:
+        egrid, xs, nucs, dens, offsets, counts, energies, mats = self._build(params)
+        n_iso, ngp = params["n_isotopes"], params["n_gridpoints"]
+        lookups, block = params["lookups"], params["block"]
+        out = np.zeros(lookups)
+        teams = (lookups + block - 1) // block
+
+        if variant == VersionLabel.OMP:
+            def body(idx, acc):
+                e = acc.mapped(energies)[idx]
+                m = acc.mapped(mats)[idx]
+                eg = acc.mapped(egrid)
+                xv = acc.mapped(xs)
+                nv = acc.mapped(nucs)
+                dv = acc.mapped(dens)
+                ov = acc.mapped(offsets)
+                cv = acc.mapped(counts)
+                res = acc.mapped(out)
+                for pos, (ei, mi) in enumerate(zip(e, m)):
+                    macro = 0.0
+                    base = ov[mi]
+                    for j in range(cv[mi]):
+                        nuc = nv[base + j]
+                        k = grid_search(eg[nuc], ei, ngp)
+                        micro = interpolate_xs(xv[nuc], eg[nuc], k, ei)
+                        macro += dv[base + j] * micro.sum()
+                    res[idx[pos]] = macro
+
+            target_teams_distribute_parallel_for(
+                device,
+                lookups,
+                vector_body=body,
+                thread_limit=block,
+                maps=[(a, "to") for a in (egrid, xs, nucs, dens, offsets, counts, energies, mats)]
+                + [(out, "from")],
+                traits=self.omp_region_traits(params),
+            )
+            result = out
+        else:
+            kernel = xsbench_ompx_kernel if variant == VersionLabel.OMPX else xsbench_cuda_kernel
+            alloc = device.allocator
+            hosts = (egrid, xs, nucs, dens, offsets, counts, energies, mats)
+            ptrs = []
+            for host in hosts:
+                ptr = alloc.malloc(host.nbytes)
+                alloc.memcpy_h2d(ptr, np.ascontiguousarray(host))
+                ptrs.append(ptr)
+            d_out = alloc.malloc(out.nbytes)
+            args = (*ptrs[:6], ptrs[6], ptrs[7], d_out, n_iso, ngp, lookups, int(nucs.shape[0]))
+            if variant == VersionLabel.OMPX:
+                ompx.target_teams_bare(device, teams, block, kernel, args)
+            else:
+                cuda.launch(kernel, teams, block, args, device=device)
+                device.synchronize()
+            result = np.zeros(lookups)
+            alloc.memcpy_d2h(result, d_out)
+            for ptr in (*ptrs, d_out):
+                alloc.free(ptr)
+
+        return FunctionalResult(variant=variant, output=result, checksum=checksum(result), valid=False)
+
+    # --- performance model ---------------------------------------------------------------
+    @staticmethod
+    def _avg_nuclides(params) -> float:
+        counts = np.asarray(params["mat_counts"], dtype=np.float64)
+        probs = np.asarray(_MAT_PROBS)
+        probs = probs / probs.sum()
+        return float(counts @ probs)
+
+    def footprint(self, params, label: str = VersionLabel.OMPX) -> Footprint:
+        lookups = params["lookups"]
+        nuc_lookups = lookups * self._avg_nuclides(params)
+        # Each micro-XS lookup touches ~4 distinct cache lines of grid/XS
+        # data at effectively random energies (the tree's upper levels hit
+        # in L2; the leaves and the 2x5 XS values miss).
+        return Footprint(
+            int_ops=nuc_lookups * 40.0,
+            flops_fp64=nuc_lookups * 14.0,
+            global_read_bytes=nuc_lookups * 4 * 128.0,
+            global_write_bytes=lookups * 8.0,
+            dependent_accesses=nuc_lookups * 2.0,
+            warp_efficiency=0.55,  # material-dependent trip counts diverge
+        )
+
+    def transfer_plan(self, params):
+        """Figure 1-style movement: grids + event arrays up, results down."""
+        from ..perf.transfer import TransferPlan
+
+        n_iso, ngp = params["n_isotopes"], params["n_gridpoints"]
+        lookups = params["lookups"]
+        h2d = n_iso * ngp * (1 + _N_XS) * 8.0 + lookups * (8.0 + 4.0)
+        return TransferPlan(h2d_bytes=h2d, d2h_bytes=lookups * 8.0,
+                            h2d_transfers=8, d2h_transfers=1)
+
+    def launch_geometry(self, params) -> Tuple[int, int]:
+        lookups, block = params["lookups"], params["block"]
+        return ((lookups + block - 1) // block, block)
+
+    def kernel_for(self, label: str):
+        if label == VersionLabel.OMPX:
+            return xsbench_ompx_kernel
+        return xsbench_cuda_kernel
+
+    def omp_region_traits(self, params) -> RegionTraits:
+        return RegionTraits(
+            style="worksharing",
+            spmd_amenable=True,
+            requested_thread_limit=params["block"],
+        )

@@ -1,0 +1,34 @@
+"""The toolchain model: what each compiler makes of a kernel.
+
+Python cannot reproduce the paper's compiler-level contribution directly,
+so this package models the *observable outputs* of compilation the paper's
+profiling discusses — registers, binary size, codegen mode, instruction
+quality — from syntactic kernel traits plus per-toolchain behaviour.
+"""
+
+from .analysis import KernelTraits, analyze_kernel
+from .compile import CompiledKernel, compile_kernel, default_toolchain
+from .toolchain import (
+    HIPCC,
+    LLVM_CLANG,
+    NVCC,
+    OMP_LLVM,
+    OMPX_PROTO,
+    Toolchain,
+    toolchain_for,
+)
+
+__all__ = [
+    "KernelTraits",
+    "analyze_kernel",
+    "CompiledKernel",
+    "compile_kernel",
+    "default_toolchain",
+    "HIPCC",
+    "LLVM_CLANG",
+    "NVCC",
+    "OMP_LLVM",
+    "OMPX_PROTO",
+    "Toolchain",
+    "toolchain_for",
+]

@@ -1,0 +1,133 @@
+"""The compile step: kernel + language + toolchain + device -> CompiledKernel.
+
+A :class:`CompiledKernel` is everything the performance model needs to
+price a launch: per-thread registers, static shared memory, binary size,
+the OpenMP codegen facts (runtime init? state machine? globalization?) and
+the toolchain's instruction-stream quality.
+
+Language rules:
+
+* ``cuda``/``hip`` — native kernel languages; no OpenMP device runtime at
+  all, so the codegen info is the bare one.
+* ``ompx`` — the paper's extension: also bare (§3.1), compiled by the
+  prototype toolchain.
+* ``omp`` — classic target offloading; requires :class:`RegionTraits` so
+  the lowering can decide SPMD vs generic, globalization, etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from ..errors import CompileError
+from ..gpu.device import DeviceSpec
+from ..openmp.codegen import CodegenInfo, RegionTraits, lower_region
+from .analysis import KernelTraits, analyze_kernel
+from .toolchain import HIPCC, LLVM_CLANG, NVCC, OMP_LLVM, OMPX_PROTO, Toolchain
+
+__all__ = ["CompiledKernel", "compile_kernel", "default_toolchain"]
+
+_LANGUAGES = ("cuda", "hip", "ompx", "omp")
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """The artifact of one (kernel, language, toolchain, device) build."""
+
+    name: str
+    language: str
+    toolchain: Toolchain
+    device: DeviceSpec
+    traits: KernelTraits
+    codegen: CodegenInfo
+    registers: int
+    static_shared_bytes: int
+    binary_bytes: int
+    efficiency: float
+    hints: Mapping[str, bool] = field(default_factory=dict)
+
+    @property
+    def effective_shared_bytes(self) -> int:
+        """Static shared memory plus heap-to-shared relocations."""
+        return self.static_shared_bytes + self.codegen.heap_to_shared_bytes
+
+
+def default_toolchain(language: str, vendor_compiler: bool = False) -> Toolchain:
+    """The toolchain the paper pairs with each version label.
+
+    ``vendor_compiler=True`` selects the ``cuda-nvcc``/``hip-hipcc`` bars.
+    """
+    if language == "cuda":
+        return NVCC if vendor_compiler else LLVM_CLANG
+    if language == "hip":
+        return HIPCC if vendor_compiler else LLVM_CLANG
+    if language == "ompx":
+        return OMPX_PROTO
+    if language == "omp":
+        return OMP_LLVM
+    raise CompileError(f"unknown language {language!r}; expected one of {_LANGUAGES}")
+
+
+def compile_kernel(
+    kernel: Callable,
+    device: DeviceSpec,
+    *,
+    language: Optional[str] = None,
+    toolchain: Optional[Toolchain] = None,
+    shared_bytes: int = 0,
+    region_traits: Optional[RegionTraits] = None,
+    hints: Optional[Mapping[str, bool]] = None,
+) -> CompiledKernel:
+    """Build a kernel for a device.
+
+    ``language`` defaults to the kernel wrapper's own (``@cuda.kernel``
+    sets "cuda", ``@ompx.bare_kernel`` sets "ompx").  ``shared_bytes`` is
+    the kernel's static shared usage (the simulator knows the truth at run
+    time; the compile step takes it as a declaration, like ``__shared__``
+    sizes in real source).  ``hints`` are the documented perf hints
+    (``lto_inlining``, ``shared_demotable``).
+    """
+    language = language or getattr(kernel, "language", None)
+    if language not in _LANGUAGES:
+        raise CompileError(
+            f"cannot determine language for {kernel!r}; pass language= or use "
+            f"a layer decorator"
+        )
+    toolchain = toolchain or default_toolchain(language)
+    traits = analyze_kernel(kernel)
+    hints = dict(hints or {})
+
+    if language in ("cuda", "hip", "ompx"):
+        if language == "ompx" and toolchain is not OMPX_PROTO and toolchain.name != "ompx-proto":
+            raise CompileError(
+                f"ompx kernels need the prototype toolchain, not {toolchain.name!r} "
+                f"(only the prototype implements the §3.1/§3.3 extensions)"
+            )
+        # Retention of inlined device functions is the *toolchain's*
+        # behaviour (binary_bytes accounts for it); the bare codegen itself
+        # adds nothing.
+        codegen = lower_region(RegionTraits(style="bare"))
+    else:
+        if region_traits is None:
+            region_traits = RegionTraits(style="worksharing")
+        if region_traits.style == "bare":
+            raise CompileError(
+                "bare region traits with language='omp': bare is the ompx "
+                "extension; use language='ompx'"
+            )
+        codegen = lower_region(region_traits)
+
+    return CompiledKernel(
+        name=traits.name,
+        language=language,
+        toolchain=toolchain,
+        device=device,
+        traits=traits,
+        codegen=codegen,
+        registers=toolchain.registers(traits, codegen),
+        static_shared_bytes=shared_bytes,
+        binary_bytes=toolchain.binary_bytes(traits, codegen),
+        efficiency=toolchain.instruction_efficiency(traits, codegen, device, hints),
+        hints=hints,
+    )

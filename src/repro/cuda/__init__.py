@@ -1,0 +1,62 @@
+"""CUDA kernel-language layer — the paper's "native" baseline on NVIDIA.
+
+A faithful-in-shape subset of the CUDA runtime API and kernel model over
+the virtual GPU: ``@kernel`` (``__global__``), :func:`launch` (chevron
+syntax), ``cudaMalloc``/``cudaMemcpy``/``cudaDeviceSynchronize``, streams
+and events.  Kernels see CUDA spellings through :class:`CudaThread`.
+"""
+
+from .builtins import FULL_MASK, CudaThread
+from .kernel import KernelFunction, kernel, launch
+from .runtime import (
+    cudaDeviceSynchronize,
+    cudaEventCreate,
+    cudaEventRecord,
+    cudaEventSynchronize,
+    cudaFree,
+    cudaGetDevice,
+    cudaMalloc,
+    cudaMemcpy,
+    cudaMemcpyAsync,
+    cudaMemcpyDeviceToDevice,
+    cudaMemcpyDeviceToHost,
+    cudaMemcpyHostToDevice,
+    cudaMemcpyToSymbol,
+    cudaMemcpyFromSymbol,
+    cudaMemset,
+    cudaOccupancyMaxActiveBlocksPerMultiprocessor,
+    cudaSetDevice,
+    cudaStreamCreate,
+    cudaStreamDestroy,
+    cudaStreamSynchronize,
+    current_cuda_device,
+)
+
+__all__ = [
+    "FULL_MASK",
+    "CudaThread",
+    "KernelFunction",
+    "kernel",
+    "launch",
+    "cudaDeviceSynchronize",
+    "cudaEventCreate",
+    "cudaEventRecord",
+    "cudaEventSynchronize",
+    "cudaFree",
+    "cudaGetDevice",
+    "cudaMalloc",
+    "cudaMemcpy",
+    "cudaMemcpyAsync",
+    "cudaMemcpyDeviceToDevice",
+    "cudaMemcpyDeviceToHost",
+    "cudaMemcpyHostToDevice",
+    "cudaMemcpyToSymbol",
+    "cudaMemcpyFromSymbol",
+    "cudaMemset",
+    "cudaOccupancyMaxActiveBlocksPerMultiprocessor",
+    "cudaSetDevice",
+    "cudaStreamCreate",
+    "cudaStreamDestroy",
+    "cudaStreamSynchronize",
+    "current_cuda_device",
+]

@@ -1,0 +1,180 @@
+"""CUDA device-side built-ins: the kernel's view of the machine.
+
+A CUDA kernel in this library is a Python function whose first parameter
+is a :class:`CudaThread` — conventionally named ``t`` — carrying the exact
+CUDA spellings: ``t.threadIdx.x``, ``t.blockDim``, ``t.syncthreads()``,
+``t.shfl_down_sync(mask, v, d)``, ``t.atomicAdd(arr, i, v)``,
+``t.shared(...)`` for ``__shared__``.  It is a thin renaming façade over
+:class:`repro.gpu.ThreadCtx`; the ompx layer wraps the same object with
+OpenMP spellings, which is how the paper's "porting is text replacement"
+claim becomes literally true in this codebase.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.context import ThreadCtx
+from ..gpu.dim import Dim3
+from ..gpu.memory import DevicePointer
+
+__all__ = ["CudaThread", "FULL_MASK"]
+
+FULL_MASK = 0xFFFFFFFF
+
+
+class CudaThread:
+    """CUDA-spelled façade over one simulated GPU thread."""
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: ThreadCtx) -> None:
+        self._ctx = ctx
+
+    # --- indexing (CUDA built-in variables) --------------------------------
+    @property
+    def threadIdx(self) -> Dim3:  # noqa: N802 - CUDA spelling
+        return self._ctx.thread_idx
+
+    @property
+    def blockIdx(self) -> Dim3:  # noqa: N802
+        return self._ctx.block_idx
+
+    @property
+    def blockDim(self) -> Dim3:  # noqa: N802
+        return self._ctx.block_dim
+
+    @property
+    def gridDim(self) -> Dim3:  # noqa: N802
+        return self._ctx.grid_dim
+
+    @property
+    def warpSize(self) -> int:  # noqa: N802
+        return self._ctx.warp_size
+
+    @property
+    def laneid(self) -> int:
+        return self._ctx.lane_id
+
+    @property
+    def global_thread_id(self) -> int:
+        """The ubiquitous ``blockIdx.x * blockDim.x + threadIdx.x``."""
+        return self._ctx.global_id_x
+
+    # --- memory --------------------------------------------------------------
+    def array(self, ptr: DevicePointer, shape, dtype) -> np.ndarray:
+        """Dereference a global-memory pointer argument as an array."""
+        return self._ctx.deref(ptr, shape, dtype)
+
+    def shared(self, name: str, shape, dtype) -> np.ndarray:
+        """``__shared__ dtype name[shape];``"""
+        return self._ctx.shared_array(name, shape, dtype)
+
+    def extern_shared(self, dtype) -> np.ndarray:
+        """``extern __shared__ dtype name[];`` (dynamic shared memory)."""
+        return self._ctx.dynamic_shared(dtype)
+
+    def constant(self, name: str) -> np.ndarray:
+        """``__constant__`` symbol access (uploaded via cudaMemcpyToSymbol)."""
+        return self._ctx.constant(name)
+
+    # --- synchronization -------------------------------------------------------
+    def syncthreads(self) -> None:
+        """``__syncthreads()``: block-level barrier."""
+        self._ctx.sync_threads()
+
+    def syncwarp(self, mask: int = FULL_MASK) -> None:
+        """``__syncwarp(mask)``: warp-level barrier."""
+        self._ctx.sync_warp(self._narrow(mask))
+
+    def _narrow(self, mask: int) -> Optional[int]:
+        """Map CUDA's 32-bit FULL_MASK onto the device's warp width."""
+        if mask == FULL_MASK:
+            return None  # all lanes of this device's warp, whatever its width
+        return mask
+
+    # --- warp primitives ----------------------------------------------------------
+    def shfl_sync(self, mask: int, var, src_lane: int):
+        """``__shfl_sync`` / ``ompx_shfl_sync``: read ``var`` from ``src_lane``."""
+        return self._ctx.shfl_sync(var, src_lane, self._narrow(mask))
+
+    def shfl_up_sync(self, mask: int, var, delta: int):
+        """``__shfl_up_sync``: read from the lane ``delta`` below."""
+        return self._ctx.shfl_up_sync(var, delta, self._narrow(mask))
+
+    def shfl_down_sync(self, mask: int, var, delta: int):
+        """``__shfl_down_sync``: read from the lane ``delta`` above."""
+        return self._ctx.shfl_down_sync(var, delta, self._narrow(mask))
+
+    def shfl_xor_sync(self, mask: int, var, lane_mask: int):
+        """``__shfl_xor_sync``: butterfly exchange with lane ``lane_id ^ lane_mask``."""
+        return self._ctx.shfl_xor_sync(var, lane_mask, self._narrow(mask))
+
+    def ballot_sync(self, mask: int, predicate) -> int:
+        """``__ballot_sync``: bitmask of lanes whose predicate is true."""
+        return self._ctx.ballot_sync(bool(predicate), self._narrow(mask))
+
+    def any_sync(self, mask: int, predicate) -> bool:
+        """``__any_sync``: true iff any participating lane's predicate is true."""
+        return self._ctx.any_sync(bool(predicate), self._narrow(mask))
+
+    def all_sync(self, mask: int, predicate) -> bool:
+        """``__all_sync``: true iff every participating lane's predicate is true."""
+        return self._ctx.all_sync(bool(predicate), self._narrow(mask))
+
+    def match_any_sync(self, mask: int, value) -> int:
+        """``__match_any_sync``: mask of lanes holding the same value."""
+        return self._ctx.match_any_sync(value, self._narrow(mask))
+
+    def match_all_sync(self, mask: int, value):
+        """``__match_all_sync``: (mask, pred) — full mask iff all lanes agree."""
+        return self._ctx.match_all_sync(value, self._narrow(mask))
+
+    # --- atomics ----------------------------------------------------------------
+    def atomicAdd(self, array, index, value):  # noqa: N802
+        """``atomicAdd``: fetch-and-add; returns the old value."""
+        return self._ctx.atomic.add(array, index, value)
+
+    def atomicSub(self, array, index, value):  # noqa: N802
+        """``atomicSub``: fetch-and-subtract; returns the old value."""
+        return self._ctx.atomic.sub(array, index, value)
+
+    def atomicMax(self, array, index, value):  # noqa: N802
+        """``atomicMax``: fetch-and-max; returns the old value."""
+        return self._ctx.atomic.max(array, index, value)
+
+    def atomicMin(self, array, index, value):  # noqa: N802
+        """``atomicMin``: fetch-and-min; returns the old value."""
+        return self._ctx.atomic.min(array, index, value)
+
+    def atomicExch(self, array, index, value):  # noqa: N802
+        """``atomicExch``: atomic exchange; returns the old value."""
+        return self._ctx.atomic.exchange(array, index, value)
+
+    def atomicCAS(self, array, index, compare, value):  # noqa: N802
+        """``atomicCAS``: compare-and-swap; returns the old value."""
+        return self._ctx.atomic.cas(array, index, compare, value)
+
+    def atomicAnd(self, array, index, value):  # noqa: N802
+        """``atomicAnd``: atomic bitwise AND; returns the old value."""
+        return self._ctx.atomic.and_(array, index, value)
+
+    def atomicOr(self, array, index, value):  # noqa: N802
+        """``atomicOr``: atomic bitwise OR; returns the old value."""
+        return self._ctx.atomic.or_(array, index, value)
+
+    def atomicXor(self, array, index, value):  # noqa: N802
+        """``atomicXor``: atomic bitwise XOR; returns the old value."""
+        return self._ctx.atomic.xor(array, index, value)
+
+    def atomicInc(self, array, index, limit):  # noqa: N802
+        """``atomicInc``: wrap-around increment; returns the old value."""
+        return self._ctx.atomic.inc(array, index, limit)
+
+    # --- escape hatch ---------------------------------------------------------------
+    @property
+    def ctx(self) -> ThreadCtx:
+        """The underlying substrate context (for layer-crossing tests)."""
+        return self._ctx

@@ -1,0 +1,101 @@
+"""CUDA kernel definition and launch (``__global__`` + chevron syntax).
+
+``@kernel`` marks a function as a ``__global__`` entry point; ``launch``
+is the chevron ``kernel<<<grid, block, shared, stream>>>(args...)``.
+Launches are asynchronous with respect to the host — work is enqueued on a
+stream (the default stream if none is given) — matching the behaviour the
+paper contrasts with OpenMP's synchronous ``target`` in §2.3.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional, Sequence
+
+from ..errors import LaunchError
+from ..gpu.device import Device
+from ..gpu.dim import DimLike
+from ..gpu.launch import LaunchConfig, launch_kernel
+from ..gpu.stream import Stream
+from .builtins import CudaThread
+
+__all__ = ["kernel", "launch", "KernelFunction"]
+
+
+class KernelFunction:
+    """A compiled-in-spirit ``__global__`` function.
+
+    Wraps the user's ``fn(t, *args)`` so the engine's ``(ctx, *args)``
+    calling convention is adapted to the CUDA façade.  Carries metadata the
+    compiler model reads: ``language``, ``sync_free`` and the original
+    Python function (for source analysis).
+    """
+
+    def __init__(self, fn: Callable, *, sync_free: bool = False, language: str = "cuda") -> None:
+        functools.update_wrapper(self, fn)
+        self.fn = fn
+        self.language = language
+        self.sync_free = sync_free
+
+        def adapter(ctx, *args):
+            return fn(CudaThread(ctx), *args)
+
+        adapter.sync_free = sync_free
+        self._adapter = adapter
+
+    @property
+    def entry(self) -> Callable:
+        """The engine-facing callable."""
+        return self._adapter
+
+    def __call__(self, t, *args):
+        """Direct call — usable as a ``__device__`` function from other kernels."""
+        return self.fn(t, *args)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.language} kernel {self.fn.__name__}>"
+
+
+def kernel(fn: Optional[Callable] = None, *, sync_free: bool = False, language: str = "cuda"):
+    """Decorator marking a ``__global__`` kernel.
+
+    ``sync_free=True`` asserts the kernel never synchronizes within a
+    block, unlocking the fast sequential engine.  Misuse is caught: any
+    sync call under the fast engine raises ``SyncError``.
+    """
+    if fn is None:
+        return lambda f: KernelFunction(f, sync_free=sync_free, language=language)
+    return KernelFunction(fn, sync_free=sync_free, language=language)
+
+
+def launch(
+    kern: KernelFunction,
+    grid: DimLike,
+    block: DimLike,
+    args: Sequence = (),
+    *,
+    device: Optional[Device] = None,
+    shared_bytes: int = 0,
+    stream: Optional[Stream] = None,
+) -> None:
+    """``kern<<<grid, block, shared_bytes, stream>>>(*args)``.
+
+    Asynchronous: returns as soon as the work is enqueued.  Synchronize
+    with ``cudaDeviceSynchronize``/``cudaStreamSynchronize`` before reading
+    results on the host (Figure 1's ``cudaDeviceSynchronize`` call).
+    ``device`` defaults to the caller's current CUDA device, like the
+    chevron syntax.
+    """
+    if not isinstance(kern, KernelFunction):
+        raise LaunchError(
+            f"launch() needs a @kernel-decorated function, got {kern!r}; "
+            f"plain Python functions cannot be __global__ entry points"
+        )
+    if device is None:
+        from .runtime import current_cuda_device
+
+        device = current_cuda_device()
+    config = LaunchConfig.create(
+        grid, block, shared_bytes, stream if stream is not None else device.default_stream
+    )
+    launch_kernel(kern.entry, config, tuple(args), device, synchronous=False)

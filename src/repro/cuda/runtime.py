@@ -1,0 +1,179 @@
+"""CUDA host runtime API (``cudaMalloc``, ``cudaMemcpy``, streams, events).
+
+The subset Figure 1 of the paper uses, plus the stream/event APIs §2.4
+describes.  All functions default to the caller's current CUDA device
+(ordinal 0, the A100 preset) and may be pointed at another device with
+``cudaSetDevice``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GpuError
+from ..gpu.device import Device, get_device
+from ..gpu.memory import DevicePointer, MemcpyKind
+from ..gpu.stream import Event, Stream
+
+__all__ = [
+    "cudaMalloc",
+    "cudaFree",
+    "cudaMemcpy",
+    "cudaMemcpyAsync",
+    "cudaMemset",
+    "cudaMemcpyToSymbol",
+    "cudaMemcpyFromSymbol",
+    "cudaDeviceSynchronize",
+    "cudaSetDevice",
+    "cudaGetDevice",
+    "cudaStreamCreate",
+    "cudaStreamDestroy",
+    "cudaStreamSynchronize",
+    "cudaEventCreate",
+    "cudaEventRecord",
+    "cudaEventSynchronize",
+    "cudaOccupancyMaxActiveBlocksPerMultiprocessor",
+    "cudaMemcpyHostToDevice",
+    "cudaMemcpyDeviceToHost",
+    "cudaMemcpyDeviceToDevice",
+    "current_cuda_device",
+]
+
+cudaMemcpyHostToDevice = MemcpyKind.HOST_TO_DEVICE
+cudaMemcpyDeviceToHost = MemcpyKind.DEVICE_TO_HOST
+cudaMemcpyDeviceToDevice = MemcpyKind.DEVICE_TO_DEVICE
+
+_state = threading.local()
+_DEFAULT_ORDINAL = 0  # the NVIDIA A100 preset
+
+
+def current_cuda_device() -> Device:
+    """The calling thread's current CUDA device."""
+    ordinal = getattr(_state, "ordinal", _DEFAULT_ORDINAL)
+    return get_device(ordinal)
+
+
+def cudaSetDevice(ordinal: int) -> None:  # noqa: N802 - CUDA spelling
+    """``cudaSetDevice``: select this thread's current device."""
+    get_device(ordinal)  # validate
+    _state.ordinal = ordinal
+
+
+def cudaGetDevice() -> int:  # noqa: N802
+    """``cudaGetDevice``: ordinal of this thread's current device."""
+    return getattr(_state, "ordinal", _DEFAULT_ORDINAL)
+
+
+def cudaMalloc(size: int) -> DevicePointer:  # noqa: N802
+    """Allocate ``size`` bytes of device global memory."""
+    return current_cuda_device().allocator.malloc(size)
+
+
+def cudaFree(ptr: DevicePointer) -> None:  # noqa: N802
+    """``cudaFree``: release device memory."""
+    current_cuda_device().allocator.free(ptr)
+
+
+def _do_memcpy(device: Device, dst, src, count: int, kind: str) -> None:
+    alloc = device.allocator
+    if kind == MemcpyKind.HOST_TO_DEVICE:
+        host = np.ascontiguousarray(src).view(np.uint8).reshape(-1)[:count]
+        alloc.memcpy_h2d(dst, host)
+    elif kind == MemcpyKind.DEVICE_TO_HOST:
+        host = dst.view(np.uint8).reshape(-1)[:count]
+        alloc.memcpy_d2h(host, src)
+    elif kind == MemcpyKind.DEVICE_TO_DEVICE:
+        alloc.memcpy_d2d(dst, src, count)
+    else:
+        raise GpuError(f"unsupported memcpy kind {kind!r}")
+
+
+def cudaMemcpy(dst, src, count: int, kind: str) -> None:  # noqa: N802
+    """Synchronous memcpy: drains the default stream first, like CUDA.
+
+    ``dst``/``src`` are :class:`DevicePointer` or NumPy arrays depending on
+    ``kind``.  ``count`` is in bytes.
+    """
+    device = current_cuda_device()
+    device.default_stream.synchronize()
+    _do_memcpy(device, dst, src, count, kind)
+
+
+def cudaMemcpyAsync(dst, src, count: int, kind: str, stream: Stream) -> None:  # noqa: N802
+    """Enqueue a memcpy on ``stream``; returns immediately."""
+    device = current_cuda_device()
+    stream.enqueue(lambda: _do_memcpy(device, dst, src, count, kind))
+
+
+def cudaMemset(ptr: DevicePointer, value: int, count: int) -> None:  # noqa: N802
+    """``cudaMemset``: fill device memory with a byte value."""
+    device = current_cuda_device()
+    device.default_stream.synchronize()
+    device.allocator.memset(ptr, value, count)
+
+
+def cudaDeviceSynchronize() -> None:  # noqa: N802
+    """Block until all streams of the current device are idle."""
+    current_cuda_device().synchronize()
+
+
+def cudaMemcpyToSymbol(symbol: str, src) -> None:  # noqa: N802
+    """Upload a ``__constant__`` symbol (kernels read it via t.constant)."""
+    device = current_cuda_device()
+    device.default_stream.synchronize()
+    device.write_constant(symbol, src)
+
+
+def cudaMemcpyFromSymbol(dst: np.ndarray, symbol: str) -> None:  # noqa: N802
+    """Read a ``__constant__`` symbol back to the host."""
+    device = current_cuda_device()
+    device.default_stream.synchronize()
+    np.copyto(dst, device.read_constant(symbol).reshape(dst.shape))
+
+
+def cudaStreamCreate(name: str = "") -> Stream:  # noqa: N802
+    """``cudaStreamCreate``: new asynchronous work queue."""
+    return Stream(current_cuda_device(), name=name)
+
+
+def cudaStreamDestroy(stream: Stream) -> None:  # noqa: N802
+    """``cudaStreamDestroy``: drain and close a stream."""
+    stream.synchronize()
+    stream.close()
+
+
+def cudaStreamSynchronize(stream: Stream) -> None:  # noqa: N802
+    """``cudaStreamSynchronize``: wait for a stream to drain."""
+    stream.synchronize()
+
+
+def cudaEventCreate(name: str = "") -> Event:  # noqa: N802
+    """``cudaEventCreate``: new event marker."""
+    return Event(name)
+
+
+def cudaEventRecord(event: Event, stream: Optional[Stream] = None) -> None:  # noqa: N802
+    """``cudaEventRecord``: enqueue an event record on a stream."""
+    (stream or current_cuda_device().default_stream).record_event(event)
+
+
+def cudaEventSynchronize(event: Event) -> None:  # noqa: N802
+    """``cudaEventSynchronize``: host-wait for an event."""
+    event.wait()
+
+
+def cudaOccupancyMaxActiveBlocksPerMultiprocessor(  # noqa: N802
+    kernel, block_threads: int, shared_bytes: int = 0
+) -> int:
+    """Resident blocks per SM for a kernel at a block size (driver query)."""
+    from ..compiler.compile import compile_kernel
+    from ..perf.occupancy import compute_occupancy
+
+    spec = current_cuda_device().spec
+    compiled = compile_kernel(kernel, spec, shared_bytes=shared_bytes)
+    info = compute_occupancy(spec, block_threads, compiled.registers,
+                             compiled.effective_shared_bytes)
+    return info.blocks_per_sm

@@ -1,0 +1,94 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every subsystem raises exceptions rooted at :class:`ReproError` so callers
+can catch library failures without also swallowing programming errors from
+their own code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GpuError",
+    "LaunchError",
+    "MemoryError_",
+    "InvalidPointerError",
+    "OutOfMemoryError",
+    "SyncError",
+    "CompileError",
+    "OpenMPError",
+    "MappingError",
+    "DependenceError",
+    "InteropError",
+    "PortError",
+    "PerfModelError",
+    "AppError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GpuError(ReproError):
+    """Base class for errors raised by the virtual GPU substrate."""
+
+
+class LaunchError(GpuError):
+    """A kernel launch configuration is invalid for the target device."""
+
+
+class MemoryError_(GpuError):
+    """Base class for device memory errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class InvalidPointerError(MemoryError_):
+    """A device pointer does not refer to a live allocation."""
+
+
+class OutOfMemoryError(MemoryError_):
+    """The device allocator cannot satisfy a request."""
+
+
+class SyncError(GpuError):
+    """A synchronization primitive was used incorrectly.
+
+    Examples: barrier divergence inside a thread block, or a warp
+    collective executed by only part of a warp without a matching mask.
+    """
+
+
+class CompileError(ReproError):
+    """The compiler model rejected a kernel/toolchain combination."""
+
+
+class OpenMPError(ReproError):
+    """Base class for errors raised by the OpenMP runtime model."""
+
+
+class MappingError(OpenMPError):
+    """An inconsistent map clause or device data environment operation."""
+
+
+class DependenceError(OpenMPError):
+    """An invalid ``depend`` clause (unknown type, bad item, cycle)."""
+
+
+class InteropError(OpenMPError):
+    """An interop object was used before init or after destroy."""
+
+
+class PortError(ReproError):
+    """The CUDA->ompx source translator could not translate an input."""
+
+
+class PerfModelError(ReproError):
+    """The performance model received inconsistent inputs."""
+
+
+class AppError(ReproError):
+    """A benchmark application failed (bad arguments, failed checksum)."""

@@ -1,0 +1,68 @@
+"""The SIMT virtual GPU substrate.
+
+Everything the kernel-language layers (:mod:`repro.cuda`, :mod:`repro.hip`,
+:mod:`repro.ompx`) and the OpenMP runtime model (:mod:`repro.openmp`) need
+from "hardware": devices, global/shared memory, warps, barriers, atomics,
+streams and kernel launch.
+
+The paper's evaluation hardware (Figure 7) is available as device presets:
+``get_device(0)`` is the NVIDIA A100 (40 GB), ``get_device(1)`` the AMD
+MI250 (one GCD, 64-wide wavefronts).
+"""
+
+from .atomics import AtomicDomain
+from .context import BlockState, ThreadCtx
+from .device import (
+    A100_SPEC,
+    MI250_SPEC,
+    Device,
+    DeviceSpec,
+    Vendor,
+    current_device,
+    get_device,
+    registered_devices,
+    reset_devices,
+    set_current_device,
+)
+from .dim import Dim3, as_dim3, delinearize, linearize
+from .engine import BlockThreadEngine, Engine, KernelStats, MapEngine, select_engine
+from .launch import LaunchConfig, launch_kernel
+from .memory import DevicePointer, GlobalAllocator, MemcpyKind
+from .shared import SharedMemory
+from .stream import Event, Stream
+from .warp import full_mask, mask_to_lanes
+
+__all__ = [
+    "AtomicDomain",
+    "BlockState",
+    "ThreadCtx",
+    "A100_SPEC",
+    "MI250_SPEC",
+    "Device",
+    "DeviceSpec",
+    "Vendor",
+    "current_device",
+    "get_device",
+    "registered_devices",
+    "reset_devices",
+    "set_current_device",
+    "Dim3",
+    "as_dim3",
+    "delinearize",
+    "linearize",
+    "BlockThreadEngine",
+    "Engine",
+    "KernelStats",
+    "MapEngine",
+    "select_engine",
+    "LaunchConfig",
+    "launch_kernel",
+    "DevicePointer",
+    "GlobalAllocator",
+    "MemcpyKind",
+    "SharedMemory",
+    "Event",
+    "Stream",
+    "full_mask",
+    "mask_to_lanes",
+]

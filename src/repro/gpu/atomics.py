@@ -1,0 +1,100 @@
+"""Device atomic operations.
+
+GPU atomics (``atomicAdd`` and friends) are read-modify-write operations
+that are indivisible with respect to every other thread on the device.  The
+simulator serializes them through one device-wide lock, which is exactly
+the ordering guarantee (and no more) that hardware provides.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["AtomicDomain"]
+
+
+class AtomicDomain:
+    """Atomic read-modify-write operations over NumPy-backed memory.
+
+    One instance is shared by all threads of a launch (it models the
+    device's atomic units).  ``array`` may be a view of global memory or a
+    shared-memory array; ``index`` any valid NumPy index for it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def add(self, array: np.ndarray, index, value):
+        """``old = array[index]; array[index] += value; return old``."""
+        with self._lock:
+            old = array[index].copy() if hasattr(array[index], "copy") else array[index]
+            array[index] = array[index] + value
+            return old
+
+    def sub(self, array: np.ndarray, index, value):
+        """Atomic fetch-and-subtract; returns the old value."""
+        with self._lock:
+            old = array[index]
+            array[index] = array[index] - value
+            return old
+
+    def max(self, array: np.ndarray, index, value):
+        """Atomic fetch-and-max; returns the old value."""
+        with self._lock:
+            old = array[index]
+            if value > old:
+                array[index] = value
+            return old
+
+    def min(self, array: np.ndarray, index, value):
+        """Atomic fetch-and-min; returns the old value."""
+        with self._lock:
+            old = array[index]
+            if value < old:
+                array[index] = value
+            return old
+
+    def exchange(self, array: np.ndarray, index, value):
+        """Atomic exchange; returns the old value."""
+        with self._lock:
+            old = array[index]
+            array[index] = value
+            return old
+
+    def cas(self, array: np.ndarray, index, compare, value):
+        """Compare-and-swap; returns the old value (swap happened iff old == compare)."""
+        with self._lock:
+            old = array[index]
+            if old == compare:
+                array[index] = value
+            return old
+
+    def and_(self, array: np.ndarray, index, value):
+        """Atomic bitwise AND; returns the old value."""
+        with self._lock:
+            old = array[index]
+            array[index] = old & value
+            return old
+
+    def or_(self, array: np.ndarray, index, value):
+        """Atomic bitwise OR; returns the old value."""
+        with self._lock:
+            old = array[index]
+            array[index] = old | value
+            return old
+
+    def xor(self, array: np.ndarray, index, value):
+        """Atomic bitwise XOR; returns the old value."""
+        with self._lock:
+            old = array[index]
+            array[index] = old ^ value
+            return old
+
+    def inc(self, array: np.ndarray, index, limit):
+        """CUDA ``atomicInc``: old = a[i]; a[i] = (old >= limit) ? 0 : old+1."""
+        with self._lock:
+            old = array[index]
+            array[index] = 0 if old >= limit else old + 1
+            return old

@@ -1,0 +1,102 @@
+"""Block- and warp-level collective algorithms built on the primitives.
+
+Kernel languages ship these as libraries (CUB's ``BlockReduce``, HIP's
+rocPRIM); the paper's extensions make them expressible in OpenMP because
+§3.3.2 provides the missing shuffle/barrier granularity.  The functions
+here are written *against the kernel façades* — the same calls work from
+a CUDA kernel (``t``), an ompx bare kernel (``x``), or a raw
+:class:`~repro.gpu.context.ThreadCtx` — and they are exactly the
+textbook shuffle-tree + shared-scratch algorithms.
+
+All functions are block-collective: every live thread of the block must
+call them (they contain barriers and warp collectives).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable
+
+import numpy as np
+
+from .context import ThreadCtx
+
+__all__ = ["block_reduce", "warp_inclusive_scan", "block_inclusive_scan"]
+
+
+def _ctx(thread) -> ThreadCtx:
+    """Accept a façade (CudaThread/OmpxThread) or a raw ThreadCtx."""
+    return thread.ctx if hasattr(thread, "ctx") else thread
+
+
+def warp_inclusive_scan(thread, value, op: Callable = operator.add):
+    """Inclusive scan across the calling thread's warp (shuffle tree).
+
+    Lane ``i`` receives ``op(value_0, ..., value_i)``.  Every lane of the
+    warp must call.
+    """
+    ctx = _ctx(thread)
+    lane = ctx.lane_id
+    offset = 1
+    while offset < ctx.warp_size:
+        neighbour = ctx.shfl_up_sync(value, offset)
+        if lane >= offset:
+            value = op(value, neighbour)
+        offset *= 2
+    return value
+
+
+def block_reduce(thread, value, op: Callable = operator.add, *,
+                 scratch_dtype=np.float64, name: str = "__block_reduce"):
+    """Block-wide reduction; every thread receives the combined value.
+
+    Warp-level shuffle reduction, then one value per warp through shared
+    memory, combined by thread 0 and broadcast back.  ``scratch_dtype``
+    must be able to hold the values being reduced.
+    """
+    ctx = _ctx(thread)
+    warp_total = ctx.warp_reduce(value, op)
+    n_warps = (ctx.num_threads + ctx.warp_size - 1) // ctx.warp_size
+    scratch = ctx.shared_array(name, n_warps + 1, scratch_dtype)
+    if ctx.lane_id == 0:
+        scratch[ctx.warp_id] = warp_total
+    ctx.sync_threads()
+    if ctx.flat_thread_id == 0:
+        total = scratch[0]
+        for w in range(1, n_warps):
+            total = op(total, scratch[w])
+        scratch[n_warps] = total
+    ctx.sync_threads()
+    result = scratch[n_warps]
+    # Reuse across calls: reset happens naturally because every slot is
+    # rewritten before it is read on the next invocation.
+    ctx.sync_threads()
+    return result
+
+
+def block_inclusive_scan(thread, value, op: Callable = operator.add, *,
+                         scratch_dtype=np.float64, name: str = "__block_scan"):
+    """Block-wide inclusive scan over flat thread ids.
+
+    Warp-local shuffle scan, then an exclusive scan of the warp totals in
+    shared memory, added back as each warp's offset.
+    """
+    ctx = _ctx(thread)
+    scanned = warp_inclusive_scan(thread, value, op)
+    n_warps = (ctx.num_threads + ctx.warp_size - 1) // ctx.warp_size
+    totals = ctx.shared_array(name, n_warps, scratch_dtype)
+    warp_lanes = min(ctx.warp_size, ctx.num_threads - ctx.warp_id * ctx.warp_size)
+    if ctx.lane_id == warp_lanes - 1:
+        totals[ctx.warp_id] = scanned
+    ctx.sync_threads()
+    if ctx.flat_thread_id == 0:
+        # in-place exclusive scan of the warp totals
+        running = totals[0]
+        totals[0] = 0
+        for w in range(1, n_warps):
+            running, totals[w] = op(running, totals[w]), running
+    ctx.sync_threads()
+    if ctx.warp_id > 0:
+        scanned = op(scanned, totals[ctx.warp_id])
+    ctx.sync_threads()
+    return scanned

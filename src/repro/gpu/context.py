@@ -1,0 +1,267 @@
+"""Per-thread kernel execution context.
+
+A kernel in this library is a Python callable ``kernel(ctx, *args)``.
+``ctx`` is the :class:`ThreadCtx` of one simulated GPU thread: it carries
+the thread/block indices, shared memory, the block barrier, the thread's
+warp, atomics, and global-memory dereferencing.  The CUDA, HIP and ompx
+layers are thin façades over this one object — which is precisely the
+paper's point: the underlying SIMT machine is the same, only the spelling
+differs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import SyncError
+from .atomics import AtomicDomain
+from .dim import Dim3, linearize
+from .memory import DevicePointer
+from .shared import SharedMemory
+from .warp import CooperativeBarrier, LiveSet, WarpCollectives, full_mask, mask_to_lanes
+
+__all__ = ["BlockState", "ThreadCtx"]
+
+
+class BlockState:
+    """State shared by all threads of one block: barrier, shared memory, warps."""
+
+    def __init__(
+        self,
+        block_idx: Dim3,
+        block_dim: Dim3,
+        grid_dim: Dim3,
+        device,
+        shared_bytes: int,
+        atomics: AtomicDomain,
+    ) -> None:
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.device = device
+        self.atomics = atomics
+        self.shared = SharedMemory(device.spec.shared_mem_per_block, shared_bytes)
+        nthreads = block_dim.volume
+        self.live = LiveSet(range(nthreads))
+        self.barrier = CooperativeBarrier(self.live)
+        warp_size = device.spec.warp_size
+        self.warps: Dict[int, WarpCollectives] = {}
+        for warp_index in range((nthreads + warp_size - 1) // warp_size):
+            first = warp_index * warp_size
+            lanes = {
+                lane: first + lane
+                for lane in range(min(warp_size, nthreads - first))
+            }
+            self.warps[warp_index] = WarpCollectives(warp_index, lanes, self.live)
+
+
+class ThreadCtx:
+    """Everything one simulated GPU thread can see and do.
+
+    The index properties mirror CUDA's built-ins (§3.3.1 of the paper);
+    ``sync_threads``/``sync_warp``/``shfl_*`` mirror §3.3.2.  Language
+    layers rename these, they do not re-implement them.
+    """
+
+    __slots__ = (
+        "_block", "thread_idx", "_flat", "_warp", "_lane", "_sync_free",
+        "n_barriers", "n_warp_collectives", "n_global_derefs", "n_shared_decls",
+    )
+
+    def __init__(self, block: BlockState, thread_idx: Dim3, *, sync_free: bool = False) -> None:
+        self._block = block
+        self.thread_idx = thread_idx
+        self._flat = linearize(thread_idx, block.block_dim)
+        warp_size = block.device.spec.warp_size
+        self._warp = self._flat // warp_size
+        self._lane = self._flat % warp_size
+        self._sync_free = sync_free
+        # Behavioural counters, harvested into KernelStats by the engines.
+        self.n_barriers = 0
+        self.n_warp_collectives = 0
+        self.n_global_derefs = 0
+        self.n_shared_decls = 0
+
+    # --- indexing ------------------------------------------------------------
+    @property
+    def block_idx(self) -> Dim3:
+        return self._block.block_idx
+
+    @property
+    def block_dim(self) -> Dim3:
+        """Team extent in the given dimension (C++ ``ompx::block_dim``)."""
+        return self._block.block_dim
+
+    @property
+    def grid_dim(self) -> Dim3:
+        """Grid extent in the given dimension (C++ ``ompx::grid_dim``)."""
+        return self._block.grid_dim
+
+    @property
+    def flat_thread_id(self) -> int:
+        """Flat thread id within the block (x fastest)."""
+        return self._flat
+
+    @property
+    def flat_block_id(self) -> int:
+        return linearize(self._block.block_idx, self._block.grid_dim)
+
+    @property
+    def global_id_x(self) -> int:
+        """``blockIdx.x * blockDim.x + threadIdx.x`` — the idiom in Figure 1."""
+        return self.block_idx.x * self.block_dim.x + self.thread_idx.x
+
+    @property
+    def global_id_y(self) -> int:
+        return self.block_idx.y * self.block_dim.y + self.thread_idx.y
+
+    @property
+    def global_id_z(self) -> int:
+        return self.block_idx.z * self.block_dim.z + self.thread_idx.z
+
+    @property
+    def global_flat_id(self) -> int:
+        """Flat id across the whole launch (block-major, x fastest)."""
+        return self.flat_block_id * self._block.block_dim.volume + self._flat
+
+    @property
+    def lane_id(self) -> int:
+        """Lane index of this thread within its warp."""
+        return self._lane
+
+    @property
+    def warp_id(self) -> int:
+        """Warp index within the block."""
+        return self._warp
+
+    @property
+    def warp_size(self) -> int:
+        """Lanes per warp/wavefront on this device (32 or 64)."""
+        return self._block.device.spec.warp_size
+
+    @property
+    def num_threads(self) -> int:
+        """Threads per block (``blockDim`` volume)."""
+        return self._block.block_dim.volume
+
+    @property
+    def num_blocks(self) -> int:
+        return self._block.grid_dim.volume
+
+    @property
+    def device(self):
+        return self._block.device
+
+    # --- memory ----------------------------------------------------------------
+    def deref(self, ptr: DevicePointer, shape, dtype) -> np.ndarray:
+        """View global memory at ``ptr`` as an array (the kernel's pointers)."""
+        self.n_global_derefs += 1
+        return self._block.device.allocator.view(ptr, shape, dtype)
+
+    def shared_array(self, name: str, shape, dtype) -> np.ndarray:
+        """Declare/get a ``__shared__`` array for this block."""
+        self.n_shared_decls += 1
+        return self._block.shared.array(name, shape, dtype)
+
+    def dynamic_shared(self, dtype) -> np.ndarray:
+        """The dynamic (``extern __shared__``) region, viewed as ``dtype``."""
+        return self._block.shared.dynamic(dtype)
+
+    def constant(self, name: str) -> np.ndarray:
+        """Read a ``__constant__`` symbol (read-only device view)."""
+        return self._block.device.read_constant(name)
+
+    # --- synchronization --------------------------------------------------------
+    def _require_sync(self, what: str) -> None:
+        if self._sync_free:
+            raise SyncError(
+                f"{what} called from a kernel launched on the sync-free MapEngine; "
+                f"launch it cooperatively (sync_free=False) instead"
+            )
+
+    def sync_threads(self) -> None:
+        """Block-level barrier (``__syncthreads`` / ``ompx_sync_thread_block``)."""
+        self._require_sync("sync_threads")
+        self.n_barriers += 1
+        self._block.barrier.wait(self._flat)
+
+    def sync_warp(self, mask: Optional[int] = None) -> None:
+        """Warp-level barrier (``__syncwarp`` / ``ompx_sync_warp``)."""
+        self._require_sync("sync_warp")
+        warp = self._block.warps[self._warp]
+        lanes = self._decode_mask(warp, mask)
+        warp.sync(lanes, self._lane)
+
+    def _decode_mask(self, warp: WarpCollectives, mask: Optional[int]):
+        self.n_warp_collectives += 1
+        if mask is None:
+            return mask_to_lanes(full_mask(warp.width), warp.width)
+        return mask_to_lanes(mask, self.warp_size) & frozenset(range(warp.width))
+
+    # --- warp collectives ---------------------------------------------------------
+    def shfl_sync(self, value, src_lane: int, mask: Optional[int] = None):
+        """``__shfl_sync`` / ``ompx_shfl_sync``: read ``var`` from ``src_lane``."""
+        self._require_sync("shfl_sync")
+        warp = self._block.warps[self._warp]
+        return warp.shfl(self._decode_mask(warp, mask), self._lane, value, src_lane)
+
+    def shfl_up_sync(self, value, delta: int, mask: Optional[int] = None):
+        """``__shfl_up_sync``: read from the lane ``delta`` below."""
+        self._require_sync("shfl_up_sync")
+        warp = self._block.warps[self._warp]
+        return warp.shfl_up(self._decode_mask(warp, mask), self._lane, value, delta)
+
+    def shfl_down_sync(self, value, delta: int, mask: Optional[int] = None):
+        """``__shfl_down_sync``: read from the lane ``delta`` above."""
+        self._require_sync("shfl_down_sync")
+        warp = self._block.warps[self._warp]
+        return warp.shfl_down(self._decode_mask(warp, mask), self._lane, value, delta)
+
+    def shfl_xor_sync(self, value, lane_mask: int, mask: Optional[int] = None):
+        """``__shfl_xor_sync``: butterfly exchange with lane ``lane_id ^ lane_mask``."""
+        self._require_sync("shfl_xor_sync")
+        warp = self._block.warps[self._warp]
+        return warp.shfl_xor(self._decode_mask(warp, mask), self._lane, value, lane_mask)
+
+    def ballot_sync(self, predicate: bool, mask: Optional[int] = None) -> int:
+        """``__ballot_sync``: bitmask of lanes whose predicate is true."""
+        self._require_sync("ballot_sync")
+        warp = self._block.warps[self._warp]
+        return warp.ballot(self._decode_mask(warp, mask), self._lane, predicate)
+
+    def any_sync(self, predicate: bool, mask: Optional[int] = None) -> bool:
+        """``__any_sync``: true iff any participating lane's predicate is true."""
+        self._require_sync("any_sync")
+        warp = self._block.warps[self._warp]
+        return warp.any(self._decode_mask(warp, mask), self._lane, predicate)
+
+    def all_sync(self, predicate: bool, mask: Optional[int] = None) -> bool:
+        """``__all_sync``: true iff every participating lane's predicate is true."""
+        self._require_sync("all_sync")
+        warp = self._block.warps[self._warp]
+        return warp.all(self._decode_mask(warp, mask), self._lane, predicate)
+
+    def warp_reduce(self, value, op, mask: Optional[int] = None):
+        """Warp-wide reduction with ``op``; every lane receives the result."""
+        self._require_sync("warp_reduce")
+        warp = self._block.warps[self._warp]
+        return warp.reduce(self._decode_mask(warp, mask), self._lane, value, op)
+
+    def match_any_sync(self, value, mask: Optional[int] = None) -> int:
+        """Mask of lanes in the warp holding the same ``value``."""
+        self._require_sync("match_any_sync")
+        warp = self._block.warps[self._warp]
+        return warp.match_any(self._decode_mask(warp, mask), self._lane, value)
+
+    def match_all_sync(self, value, mask: Optional[int] = None):
+        """(mask, predicate): full participating mask iff all values equal."""
+        self._require_sync("match_all_sync")
+        warp = self._block.warps[self._warp]
+        return warp.match_all(self._decode_mask(warp, mask), self._lane, value)
+
+    # --- atomics -------------------------------------------------------------------
+    @property
+    def atomic(self) -> AtomicDomain:
+        return self._block.atomics

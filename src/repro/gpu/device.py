@@ -1,0 +1,340 @@
+"""Virtual GPU device descriptions and the device registry.
+
+The paper evaluates on an NVIDIA A100 (40 GB, CUDA 11.8) and an AMD MI250
+(ROCm 5.5) — Figure 7.  :class:`DeviceSpec` captures the architectural
+parameters that matter to both the functional simulator (warp size, limits)
+and the performance model (peaks, latencies, register files).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..errors import GpuError, LaunchError
+from .dim import Dim3, as_dim3
+
+__all__ = [
+    "Vendor",
+    "DeviceSpec",
+    "A100_SPEC",
+    "MI250_SPEC",
+    "Device",
+    "get_device",
+    "set_current_device",
+    "current_device",
+    "reset_devices",
+    "registered_devices",
+]
+
+
+class Vendor:
+    """Vendor tags used for dispatch (e.g. the §3.6 wrapper layer)."""
+
+    NVIDIA = "nvidia"
+    AMD = "amd"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural description of a virtual GPU.
+
+    Functional fields (``warp_size``, ``max_*``) constrain what kernels may
+    do; performance fields (``peak_*``, ``*_latency_us``) feed
+    :mod:`repro.perf`.
+    """
+
+    name: str
+    vendor: str
+    # --- functional limits -------------------------------------------------
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_block_dim: Dim3 = field(default_factory=lambda: Dim3(1024, 1024, 64))
+    max_grid_dim: Dim3 = field(default_factory=lambda: Dim3(2**31 - 1, 65535, 65535))
+    shared_mem_per_block: int = 48 * 1024       # bytes
+    shared_mem_per_sm: int = 164 * 1024         # bytes
+    registers_per_thread_max: int = 255
+    registers_per_sm: int = 65536
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    num_sms: int = 108
+    global_mem_bytes: int = 40 * 1024**3
+    constant_mem_bytes: int = 64 * 1024
+    # --- performance parameters -------------------------------------------
+    peak_bandwidth_gbs: float = 1555.0          # HBM bandwidth, GB/s
+    peak_fp64_gflops: float = 9700.0
+    peak_fp32_gflops: float = 19500.0
+    peak_int_gops: float = 19500.0
+    #: Special-function throughput (rsqrt/pow/exp/sin); NVIDIA ships dense
+    #: SFU arrays, AMD emulates more in the vector ALUs.
+    peak_special_gops: float = 4875.0
+    shared_bandwidth_gbs: float = 19400.0       # aggregate LDS/shared bandwidth
+    #: Per-SM instruction cache; device binaries past this size start
+    #: missing (drives the SU3 ompx binary-bloat penalty, paper §4.2.3).
+    icache_bytes: int = 16 * 1024
+    kernel_launch_latency_us: float = 3.0
+    sm_clock_ghz: float = 1.41
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise ValueError(f"warp_size must be a positive power of two, got {self.warp_size}")
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.max_threads_per_block <= 0:
+            raise ValueError("max_threads_per_block must be positive")
+
+    def validate_launch(self, grid: Dim3, block: Dim3, shared_bytes: int = 0) -> None:
+        """Raise :class:`LaunchError` if a launch is impossible on this device.
+
+        Dimensions beyond the device's capability are *not* silently
+        accepted: the paper (§3.2) says excess dimensions "will be
+        disregarded", which the ompx layer implements by clamping before it
+        reaches this check.
+        """
+        if grid.volume == 0 or block.volume == 0:
+            raise LaunchError(f"empty launch: grid={grid} block={block}")
+        if block.volume > self.max_threads_per_block:
+            raise LaunchError(
+                f"block {block} has {block.volume} threads; device "
+                f"{self.name!r} allows {self.max_threads_per_block}"
+            )
+        for axis in range(3):
+            if block[axis] > self.max_block_dim[axis]:
+                raise LaunchError(
+                    f"block dim {axis} = {block[axis]} exceeds device limit "
+                    f"{self.max_block_dim[axis]}"
+                )
+            if grid[axis] > self.max_grid_dim[axis]:
+                raise LaunchError(
+                    f"grid dim {axis} = {grid[axis]} exceeds device limit "
+                    f"{self.max_grid_dim[axis]}"
+                )
+        if shared_bytes > self.shared_mem_per_block:
+            raise LaunchError(
+                f"requested {shared_bytes} B of shared memory; device "
+                f"{self.name!r} allows {self.shared_mem_per_block} B per block"
+            )
+
+    def clamp_dims(self, dims: Dim3, *, kind: str) -> Dim3:
+        """Clamp dims exceeding this device's dimensionality support.
+
+        ``kind`` is ``"grid"`` or ``"block"``.  Used by the ompx layer to
+        implement §3.2's "dimensions exceeding a device's capability will be
+        disregarded".
+        """
+        limit = self.max_grid_dim if kind == "grid" else self.max_block_dim
+        clamped = [min(dims[i], limit[i]) if dims[i] > 0 else dims[i] for i in range(3)]
+        return as_dim3(tuple(max(c, 1) for c in clamped))
+
+
+# Figure 7 presets.  Performance parameters use public datasheet numbers for
+# the A100-40GB and one GCD of the MI250 (LLVM OpenMP treats each GCD as a
+# device).
+A100_SPEC = DeviceSpec(
+    name="NVIDIA A100 (40 GB)",
+    vendor=Vendor.NVIDIA,
+    warp_size=32,
+    num_sms=108,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    shared_mem_per_block=48 * 1024,
+    shared_mem_per_sm=164 * 1024,
+    global_mem_bytes=40 * 1024**3,
+    peak_bandwidth_gbs=1555.0,
+    peak_fp64_gflops=9700.0,
+    peak_fp32_gflops=19500.0,
+    peak_int_gops=19500.0,
+    peak_special_gops=4875.0,
+    shared_bandwidth_gbs=19400.0,
+    icache_bytes=16 * 1024,
+    kernel_launch_latency_us=1.0,
+    sm_clock_ghz=1.41,
+)
+
+MI250_SPEC = DeviceSpec(
+    name="AMD MI250 (1 GCD)",
+    vendor=Vendor.AMD,
+    warp_size=64,
+    num_sms=104,                    # CUs per GCD
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536 * 2,     # AMD vector registers are larger
+    shared_mem_per_block=64 * 1024,
+    shared_mem_per_sm=64 * 1024,
+    global_mem_bytes=64 * 1024**3,
+    peak_bandwidth_gbs=1638.0,
+    peak_fp64_gflops=23900.0,       # per GCD, vector FP64
+    peak_fp32_gflops=23900.0,
+    peak_int_gops=23900.0,
+    peak_special_gops=1500.0,       # emulated specials; far below NVIDIA's SFUs
+    shared_bandwidth_gbs=12800.0,
+    icache_bytes=32 * 1024,
+    kernel_launch_latency_us=2.0,   # ROCm launch overhead is higher
+    sm_clock_ghz=1.7,
+    max_threads_per_block=1024,
+)
+
+
+class Device:
+    """A live virtual GPU: a spec plus mutable memory/stream state.
+
+    The memory allocator and default stream live in other modules but attach
+    themselves here so that all state for one device is reachable from the
+    one object (and can be torn down by :func:`reset_devices` in tests).
+    """
+
+    def __init__(self, spec: DeviceSpec, ordinal: int) -> None:
+        self.spec = spec
+        self.ordinal = ordinal
+        self._lock = threading.RLock()
+        # Lazily attached by memory.py / stream.py to avoid import cycles.
+        self._allocator = None
+        self._default_stream = None
+        self._streams: list = []
+        # __constant__ memory: named, host-written, device-read-only.
+        self._constants: Dict[str, "object"] = {}
+        self._constant_bytes = 0
+
+    # --- constant memory (§2.5's fourth memory space) -----------------------
+    def write_constant(self, name: str, data) -> None:
+        """Upload a named ``__constant__`` symbol (``cudaMemcpyToSymbol``)."""
+        import numpy as np
+
+        array = np.ascontiguousarray(data).copy()
+        with self._lock:
+            old = self._constants.get(name)
+            new_total = self._constant_bytes - (old.nbytes if old is not None else 0) + array.nbytes
+            if new_total > self.spec.constant_mem_bytes:
+                raise GpuError(
+                    f"constant memory overflow on {self.spec.name!r}: symbol "
+                    f"{name!r} needs {array.nbytes} B, bank holds "
+                    f"{self.spec.constant_mem_bytes} B "
+                    f"({self._constant_bytes} B in use)"
+                )
+            array.flags.writeable = False
+            self._constants[name] = array
+            self._constant_bytes = new_total
+
+    def read_constant(self, name: str):
+        """Device-side view of a constant symbol (read-only)."""
+        with self._lock:
+            try:
+                return self._constants[name]
+            except KeyError:
+                raise GpuError(
+                    f"no constant symbol {name!r} on {self.spec.name!r}; "
+                    f"upload it with cudaMemcpyToSymbol/ompx_memcpy_to_symbol"
+                ) from None
+
+    @property
+    def constant_bytes_in_use(self) -> int:
+        with self._lock:
+            return self._constant_bytes
+
+    # --- memory ------------------------------------------------------------
+    @property
+    def allocator(self):
+        """The device's global-memory allocator (created on first use)."""
+        with self._lock:
+            if self._allocator is None:
+                from .memory import GlobalAllocator
+
+                self._allocator = GlobalAllocator(self)
+            return self._allocator
+
+    # --- streams -----------------------------------------------------------
+    @property
+    def default_stream(self):
+        """The device's default (NULL) stream."""
+        with self._lock:
+            if self._default_stream is None:
+                from .stream import Stream
+
+                self._default_stream = Stream(self, name="default")
+            return self._default_stream
+
+    def register_stream(self, stream) -> None:
+        """Track a stream so device-wide synchronize can drain it."""
+        with self._lock:
+            self._streams.append(stream)
+
+    def synchronize(self) -> None:
+        """Block until all work queued on every stream of this device is done."""
+        with self._lock:
+            streams = list(self._streams)
+            default = self._default_stream
+        if default is not None:
+            default.synchronize()
+        for stream in streams:
+            stream.synchronize()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Device {self.ordinal}: {self.spec.name}>"
+
+
+# --- registry ---------------------------------------------------------------
+#
+# The default registry mirrors the paper's two systems, with one twist the
+# paper's AMD users will recognize: an MI250 is two GCDs, and the ROCm/LLVM
+# stack exposes EACH GCD as its own device.  Ordinal 0 is the A100,
+# ordinals 1 and 2 are the MI250's two GCDs (1 is the conventional
+# default AMD target throughout this library).
+
+_registry_lock = threading.RLock()
+_devices: Dict[int, Device] = {}
+_current: Optional[int] = None
+_DEFAULT_SPECS = (A100_SPEC, MI250_SPEC, MI250_SPEC)
+
+
+def _ensure_defaults() -> None:
+    with _registry_lock:
+        if not _devices:
+            for i, spec in enumerate(_DEFAULT_SPECS):
+                _devices[i] = Device(spec, i)
+        global _current
+        if _current is None:
+            _current = 0
+
+
+def get_device(ordinal: int) -> Device:
+    """Return the device with the given ordinal (0 = A100, 1 = MI250)."""
+    _ensure_defaults()
+    with _registry_lock:
+        try:
+            return _devices[ordinal]
+        except KeyError:
+            raise GpuError(f"no device with ordinal {ordinal}") from None
+
+
+def registered_devices() -> Dict[int, Device]:
+    """A snapshot of the registry (ordinal -> Device)."""
+    _ensure_defaults()
+    with _registry_lock:
+        return dict(_devices)
+
+
+def set_current_device(ordinal: int) -> Device:
+    """Select the calling context's current device (like ``cudaSetDevice``)."""
+    device = get_device(ordinal)
+    global _current
+    with _registry_lock:
+        _current = ordinal
+    return device
+
+
+def current_device() -> Device:
+    """Return the current device (defaults to ordinal 0)."""
+    _ensure_defaults()
+    with _registry_lock:
+        assert _current is not None
+        return _devices[_current]
+
+
+def reset_devices() -> None:
+    """Drop all device state.  Intended for test isolation."""
+    global _current
+    with _registry_lock:
+        _devices.clear()
+        _current = None

@@ -1,0 +1,110 @@
+"""Three-dimensional index arithmetic for grids and blocks.
+
+CUDA and HIP describe launch geometry with ``dim3``; the paper's §3.2
+extension lets OpenMP's ``num_teams``/``thread_limit`` clauses take the same
+multi-dimensional lists.  :class:`Dim3` is the common currency used by the
+virtual GPU, the kernel-language layers and the ompx layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple, Union
+
+from ..errors import LaunchError
+
+__all__ = ["Dim3", "as_dim3", "linearize", "delinearize"]
+
+DimLike = Union["Dim3", int, Tuple[int, ...], Iterable[int]]
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """An ``(x, y, z)`` extent or index triple.
+
+    All components must be non-negative; extents used for launches must be
+    strictly positive (validated at launch time, not here, so that ``Dim3``
+    can also represent indices that may legitimately be zero).
+    """
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("x", "y", "z"):
+            value = getattr(self, name)
+            if not isinstance(value, (int,)) or isinstance(value, bool):
+                raise TypeError(f"Dim3.{name} must be an int, got {value!r}")
+            if value < 0:
+                raise ValueError(f"Dim3.{name} must be >= 0, got {value}")
+
+    @property
+    def volume(self) -> int:
+        """Total number of elements covered by this extent."""
+        return self.x * self.y * self.z
+
+    @property
+    def ndim(self) -> int:
+        """Number of trailing dimensions that are not 1 (at least 1)."""
+        if self.z != 1:
+            return 3
+        if self.y != 1:
+            return 2
+        return 1
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """The ``(x, y, z)`` components as a plain tuple."""
+        return (self.x, self.y, self.z)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.as_tuple())
+
+    def __getitem__(self, axis: int) -> int:
+        return self.as_tuple()[axis]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x}, {self.y}, {self.z})"
+
+
+def as_dim3(value: DimLike) -> Dim3:
+    """Coerce an int, tuple or :class:`Dim3` into a :class:`Dim3`.
+
+    This mirrors CUDA's implicit ``int -> dim3`` conversion and the paper's
+    list-valued ``num_teams(128, 64, 32)`` syntax.
+    """
+    if isinstance(value, Dim3):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("bool is not a valid dimension")
+    if isinstance(value, int):
+        return Dim3(value, 1, 1)
+    parts = tuple(int(v) for v in value)
+    if not 1 <= len(parts) <= 3:
+        raise LaunchError(
+            f"dimension list must have 1-3 entries, got {len(parts)}: {parts!r}"
+        )
+    padded = parts + (1,) * (3 - len(parts))
+    return Dim3(*padded)
+
+
+def linearize(index: Dim3, extent: Dim3) -> int:
+    """Map a 3-D index within ``extent`` to a flat id, x fastest.
+
+    This matches the CUDA convention where ``threadIdx.x`` is the fastest
+    varying component (consecutive ``x`` form a warp).
+    """
+    if not (0 <= index.x < extent.x and 0 <= index.y < extent.y and 0 <= index.z < extent.z):
+        raise IndexError(f"index {index} out of extent {extent}")
+    return index.x + extent.x * (index.y + extent.y * index.z)
+
+
+def delinearize(flat: int, extent: Dim3) -> Dim3:
+    """Inverse of :func:`linearize`."""
+    if not 0 <= flat < extent.volume:
+        raise IndexError(f"flat index {flat} out of extent {extent} (volume {extent.volume})")
+    x = flat % extent.x
+    rest = flat // extent.x
+    y = rest % extent.y
+    z = rest // extent.y
+    return Dim3(x, y, z)

@@ -1,0 +1,227 @@
+"""Kernel execution engines.
+
+Two functional engines execute kernels on the virtual GPU:
+
+* :class:`BlockThreadEngine` — one cooperative OS thread per GPU thread of
+  a block, blocks run one after another.  Honours barriers, warp
+  collectives, shared memory.  This is the full-SIMT reference engine.
+* :class:`MapEngine` — for kernels declared ``sync_free``: threads are
+  independent, so they run as a plain sequential loop with no OS-thread
+  overhead.  Calling any sync primitive under this engine raises
+  :class:`~repro.errors.SyncError`.
+
+Engines are deliberately *functional only*.  Timing comes from
+:mod:`repro.perf`, which consumes the launch geometry and the compiled
+kernel's resource usage instead of wall-clock measurements of the
+interpreter (the interpreter's speed says nothing about a GPU).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import LaunchError
+from .atomics import AtomicDomain
+from .context import BlockState, ThreadCtx
+from .dim import Dim3, delinearize
+
+__all__ = ["KernelStats", "Engine", "BlockThreadEngine", "MapEngine", "select_engine"]
+
+# Guard rail: a full-SIMT simulation of a paper-scale launch (e.g. the
+# 134M-element stencil) is not meaningful to attempt thread-by-thread.
+_MAX_COOPERATIVE_THREADS = 2_000_000
+#: The sequential map engine absorbs more threads, but still refuses a
+#: paper-scale launch clearly instead of hanging for hours.
+_MAX_MAP_THREADS = 20_000_000
+
+
+@dataclass
+class KernelStats:
+    """What a launch actually executed — consumed by tests and the perf model.
+
+    The behavioural counters (barriers, warp collectives, global derefs,
+    shared declarations) are summed over every thread of the launch; they
+    give tests and the perf model an observed-behaviour cross-check
+    against the static kernel analysis.
+    """
+
+    grid: Dim3 = field(default_factory=Dim3)
+    block: Dim3 = field(default_factory=Dim3)
+    threads_run: int = 0
+    blocks_run: int = 0
+    shared_bytes: int = 0
+    engine: str = ""
+    barriers: int = 0
+    warp_collectives: int = 0
+    global_derefs: int = 0
+    shared_declarations: int = 0
+
+    def absorb(self, ctx) -> None:
+        """Accumulate one thread's counters (engines call this)."""
+        self.barriers += ctx.n_barriers
+        self.warp_collectives += ctx.n_warp_collectives
+        self.global_derefs += ctx.n_global_derefs
+        self.shared_declarations += ctx.n_shared_decls
+
+
+class Engine:
+    """Interface: run ``kernel(ctx, *args)`` over a grid of blocks."""
+
+    name = "abstract"
+
+    def run(
+        self,
+        kernel: Callable,
+        grid: Dim3,
+        block: Dim3,
+        args: Sequence,
+        device,
+        shared_bytes: int = 0,
+    ) -> KernelStats:
+        """Execute ``kernel`` over the grid; returns the launch's KernelStats."""
+        raise NotImplementedError
+
+
+class BlockThreadEngine(Engine):
+    """Full SIMT semantics via one OS thread per GPU thread of a block."""
+
+    name = "block-thread"
+
+    def run(
+        self,
+        kernel: Callable,
+        grid: Dim3,
+        block: Dim3,
+        args: Sequence,
+        device,
+        shared_bytes: int = 0,
+    ) -> KernelStats:
+        """Execute ``kernel`` over the grid; returns the launch's KernelStats."""
+        total = grid.volume * block.volume
+        if total > _MAX_COOPERATIVE_THREADS:
+            raise LaunchError(
+                f"cooperative simulation of {total} threads exceeds the "
+                f"{_MAX_COOPERATIVE_THREADS}-thread guard rail; use a smaller "
+                f"functional problem size (paper-scale runs go through the "
+                f"vectorized references + perf model)"
+            )
+        atomics = AtomicDomain()
+        stats = KernelStats(grid=grid, block=block, shared_bytes=shared_bytes, engine=self.name)
+        for flat_block in range(grid.volume):
+            block_idx = delinearize(flat_block, grid)
+            self._run_block(
+                kernel, block_idx, block, grid, args, device, shared_bytes,
+                atomics, stats,
+            )
+            stats.blocks_run += 1
+            stats.threads_run += block.volume
+        return stats
+
+    def _run_block(
+        self,
+        kernel: Callable,
+        block_idx: Dim3,
+        block_dim: Dim3,
+        grid_dim: Dim3,
+        args: Sequence,
+        device,
+        shared_bytes: int,
+        atomics: AtomicDomain,
+        stats: KernelStats,
+    ) -> None:
+        state = BlockState(block_idx, block_dim, grid_dim, device, shared_bytes, atomics)
+        errors: List[Tuple[int, BaseException]] = []
+        errors_lock = threading.Lock()
+
+        def worker(flat_id: int) -> None:
+            ctx = ThreadCtx(state, delinearize(flat_id, block_dim))
+            try:
+                kernel(ctx, *args)
+            except BaseException as exc:  # noqa: BLE001 - must propagate to launcher
+                with errors_lock:
+                    errors.append((flat_id, exc))
+            finally:
+                state.live.mark_exited(flat_id)
+                with errors_lock:
+                    stats.absorb(ctx)
+
+        threads = [
+            threading.Thread(
+                target=worker,
+                args=(flat_id,),
+                name=f"gpu-b{block_idx}-t{flat_id}",
+                daemon=True,
+            )
+            for flat_id in range(block_dim.volume)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            flat_id, exc = min(errors, key=lambda e: e[0])
+            raise LaunchError(
+                f"kernel failed in block {block_idx}, thread {flat_id}: {exc!r}"
+            ) from exc
+
+
+class MapEngine(Engine):
+    """Fast path for sync-free kernels: a plain sequential thread loop."""
+
+    name = "map"
+
+    def run(
+        self,
+        kernel: Callable,
+        grid: Dim3,
+        block: Dim3,
+        args: Sequence,
+        device,
+        shared_bytes: int = 0,
+    ) -> KernelStats:
+        """Execute ``kernel`` over the grid; returns the launch's KernelStats."""
+        total = grid.volume * block.volume
+        if total > _MAX_MAP_THREADS:
+            raise LaunchError(
+                f"sequential simulation of {total} threads exceeds the "
+                f"{_MAX_MAP_THREADS}-thread guard rail; use a smaller "
+                f"functional problem size (paper-scale runs go through the "
+                f"vectorized references + perf model)"
+            )
+        atomics = AtomicDomain()
+        stats = KernelStats(grid=grid, block=block, shared_bytes=shared_bytes, engine=self.name)
+        for flat_block in range(grid.volume):
+            block_idx = delinearize(flat_block, grid)
+            state = BlockState(block_idx, block, grid, device, shared_bytes, atomics)
+            for flat_id in range(block.volume):
+                ctx = ThreadCtx(state, delinearize(flat_id, block), sync_free=True)
+                try:
+                    kernel(ctx, *args)
+                except BaseException as exc:  # noqa: BLE001 - same surface as cooperative engine
+                    raise LaunchError(
+                        f"kernel failed in block {block_idx}, thread {flat_id}: {exc!r}"
+                    ) from exc
+                finally:
+                    state.live.mark_exited(flat_id)
+                    stats.absorb(ctx)
+            stats.blocks_run += 1
+            stats.threads_run += block.volume
+        return stats
+
+
+_BLOCK_THREAD = BlockThreadEngine()
+_MAP = MapEngine()
+
+
+def select_engine(kernel: Callable) -> Engine:
+    """Pick the engine for a kernel.
+
+    Kernels opt into the fast path by carrying ``sync_free = True``
+    (set by the ``@kernel(sync_free=True)`` decorators of the language
+    layers).  Anything else gets full SIMT semantics.
+    """
+    if getattr(kernel, "sync_free", False):
+        return _MAP
+    return _BLOCK_THREAD

@@ -1,0 +1,81 @@
+"""Kernel launch: geometry validation + engine dispatch + stream routing.
+
+This is the one choke point every language layer calls:  CUDA's chevron
+launch, HIP's ``hipLaunchKernelGGL`` and ompx's ``target teams ompx_bare``
+all build a :class:`LaunchConfig` and call :func:`launch_kernel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from .dim import Dim3, DimLike, as_dim3
+from .engine import KernelStats, select_engine
+from .stream import Stream
+
+__all__ = ["LaunchConfig", "launch_kernel"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid/block geometry plus the optional dynamic-shared size and stream.
+
+    Mirrors CUDA's ``<<<grid, block, sharedBytes, stream>>>`` and the ompx
+    ``num_teams(...) thread_limit(...)`` clauses.
+    """
+
+    grid: Dim3
+    block: Dim3
+    shared_bytes: int = 0
+    stream: Optional[Stream] = None
+
+    @classmethod
+    def create(
+        cls,
+        grid: DimLike,
+        block: DimLike,
+        shared_bytes: int = 0,
+        stream: Optional[Stream] = None,
+    ) -> "LaunchConfig":
+        return cls(as_dim3(grid), as_dim3(block), int(shared_bytes), stream)
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid.volume * self.block.volume
+
+
+def launch_kernel(
+    kernel: Callable,
+    config: LaunchConfig,
+    args: Sequence,
+    device,
+    *,
+    synchronous: bool = True,
+) -> Optional[KernelStats]:
+    """Validate and run a kernel.
+
+    With a stream and ``synchronous=False`` the launch is enqueued and
+    ``None`` is returned (stats are unavailable until the stream drains) —
+    the CUDA behaviour.  Otherwise the kernel runs to completion and its
+    :class:`KernelStats` are returned — the default OpenMP ``target``
+    behaviour the paper contrasts in §2.3.
+    """
+    device.spec.validate_launch(config.grid, config.block, config.shared_bytes)
+    engine = select_engine(kernel)
+
+    def run() -> KernelStats:
+        return engine.run(
+            kernel, config.grid, config.block, args, device, config.shared_bytes
+        )
+
+    if config.stream is not None and not synchronous:
+        config.stream.enqueue(run)
+        return None
+    if config.stream is not None:
+        # Synchronous launch on a stream still respects stream ordering.
+        result: list = []
+        config.stream.enqueue(lambda: result.append(run()))
+        config.stream.synchronize()
+        return result[0]
+    return run()

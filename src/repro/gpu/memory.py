@@ -1,0 +1,224 @@
+"""Virtual device global memory: allocator, typed pointers, memcpy.
+
+Device memory is a set of NumPy-backed allocations indexed by virtual
+addresses.  A :class:`DevicePointer` is a (address) handle supporting
+pointer arithmetic, exactly like the ``int*`` values flowing through the
+paper's CUDA example (Figure 1) and through ``ompx_malloc`` (§3.4).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import InvalidPointerError, OutOfMemoryError
+
+__all__ = [
+    "MemcpyKind",
+    "DevicePointer",
+    "Allocation",
+    "GlobalAllocator",
+]
+
+
+class MemcpyKind:
+    """Direction tags mirroring ``cudaMemcpyKind``."""
+
+    HOST_TO_DEVICE = "host_to_device"
+    DEVICE_TO_HOST = "device_to_host"
+    DEVICE_TO_DEVICE = "device_to_device"
+    HOST_TO_HOST = "host_to_host"
+
+
+_ALIGNMENT = 256  # bytes; matches CUDA's minimum allocation alignment
+
+
+@dataclass(frozen=True)
+class DevicePointer:
+    """An address in a device's virtual global address space.
+
+    Supports ``ptr + n`` / ``ptr - n`` byte arithmetic so that kernels and
+    host code can index into the middle of allocations; dereferencing is
+    done through the owning :class:`GlobalAllocator`.
+    """
+
+    device_ordinal: int
+    address: int
+
+    def __add__(self, offset: int) -> "DevicePointer":
+        return DevicePointer(self.device_ordinal, self.address + int(offset))
+
+    def __sub__(self, offset: int) -> "DevicePointer":
+        return DevicePointer(self.device_ordinal, self.address - int(offset))
+
+    def offset_elements(self, count: int, dtype: np.dtype) -> "DevicePointer":
+        """Advance by ``count`` elements of ``dtype``."""
+        return self + int(count) * np.dtype(dtype).itemsize
+
+    @property
+    def is_null(self) -> bool:
+        return self.address == 0
+
+    def __bool__(self) -> bool:
+        return not self.is_null
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DevicePointer(dev={self.device_ordinal}, 0x{self.address:x})"
+
+
+NULL_ADDRESS = 0
+
+
+@dataclass
+class Allocation:
+    """One live allocation: base address plus raw byte storage."""
+
+    base: int
+    data: np.ndarray  # uint8 buffer of len size
+
+    @property
+    def size(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+class GlobalAllocator:
+    """Bump allocator with a free list over a device's global memory.
+
+    The virtual address space starts above zero so that the null pointer is
+    always invalid.  Freed ranges are not recycled (addresses are never
+    reused), which turns use-after-free into a deterministic
+    :class:`InvalidPointerError` rather than silent corruption — valuable in
+    a simulator whose main job is catching porting bugs.
+    """
+
+    _BASE = 0x1000
+
+    def __init__(self, device) -> None:
+        self._device = device
+        self._lock = threading.RLock()
+        self._next = self._BASE
+        self._allocations: Dict[int, Allocation] = {}
+        self._bytes_in_use = 0
+
+    # --- allocation --------------------------------------------------------
+    def malloc(self, size: int) -> DevicePointer:
+        """Allocate ``size`` bytes of zero-initialized global memory."""
+        if size < 0:
+            raise ValueError(f"allocation size must be >= 0, got {size}")
+        size = max(int(size), 1)
+        with self._lock:
+            if self._bytes_in_use + size > self._device.spec.global_mem_bytes:
+                raise OutOfMemoryError(
+                    f"device {self._device.spec.name!r}: requested {size} B, "
+                    f"{self._device.spec.global_mem_bytes - self._bytes_in_use} B free"
+                )
+            base = self._next
+            aligned = (size + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+            self._next = base + aligned
+            self._allocations[base] = Allocation(base, np.zeros(size, dtype=np.uint8))
+            self._bytes_in_use += size
+        return DevicePointer(self._device.ordinal, base)
+
+    def free(self, ptr: DevicePointer) -> None:
+        """Release an allocation.  Freeing the null pointer is a no-op."""
+        if ptr.is_null:
+            return
+        with self._lock:
+            alloc = self._allocations.pop(ptr.address, None)
+            if alloc is None:
+                raise InvalidPointerError(
+                    f"free of {ptr!r}: not the base of a live allocation"
+                )
+            self._bytes_in_use -= alloc.size
+
+    @property
+    def bytes_in_use(self) -> int:
+        with self._lock:
+            return self._bytes_in_use
+
+    @property
+    def live_allocations(self) -> int:
+        with self._lock:
+            return len(self._allocations)
+
+    # --- dereference -------------------------------------------------------
+    def _resolve(self, ptr: DevicePointer, nbytes: int) -> Tuple[Allocation, int]:
+        """Find the allocation containing [ptr, ptr+nbytes)."""
+        if ptr.is_null:
+            raise InvalidPointerError("null pointer dereference")
+        if ptr.device_ordinal != self._device.ordinal:
+            raise InvalidPointerError(
+                f"pointer for device {ptr.device_ordinal} used on device "
+                f"{self._device.ordinal}"
+            )
+        with self._lock:
+            # Allocations are sparse; find the one whose range contains ptr.
+            # The dict is keyed by base address; do a fast path exact hit
+            # first, then a scan (allocation count is small in practice).
+            alloc = self._allocations.get(ptr.address)
+            if alloc is None:
+                for candidate in self._allocations.values():
+                    if candidate.base <= ptr.address < candidate.end:
+                        alloc = candidate
+                        break
+            if alloc is None:
+                raise InvalidPointerError(f"{ptr!r} does not point into a live allocation")
+            offset = ptr.address - alloc.base
+            if offset + nbytes > alloc.size:
+                raise InvalidPointerError(
+                    f"access of {nbytes} B at offset {offset} overruns allocation "
+                    f"of {alloc.size} B"
+                )
+            return alloc, offset
+
+    def view(self, ptr: DevicePointer, shape, dtype) -> np.ndarray:
+        """Return a writable NumPy view of device memory at ``ptr``.
+
+        This is the simulator's core primitive: kernels and memcpy both go
+        through views so that all reads/writes hit the single backing
+        buffer (no copies — see the hpc guide's "views, not copies" rule).
+        """
+        dtype = np.dtype(dtype)
+        shape = (int(shape),) if np.isscalar(shape) else tuple(int(s) for s in shape)
+        count = int(np.prod(shape)) if shape else 1
+        nbytes = count * dtype.itemsize
+        alloc, offset = self._resolve(ptr, nbytes)
+        flat = alloc.data[offset : offset + nbytes]
+        return flat.view(dtype).reshape(shape)
+
+    # --- transfers ----------------------------------------------------------
+    def memcpy_h2d(self, dst: DevicePointer, src: np.ndarray) -> None:
+        """Copy a host array into device memory at ``dst``."""
+        src = np.ascontiguousarray(src)
+        dest = self.view(dst, src.size, src.dtype).reshape(src.shape)
+        np.copyto(dest, src)
+
+    def memcpy_d2h(self, dst: np.ndarray, src: DevicePointer) -> None:
+        """Copy device memory at ``src`` into a writable host array."""
+        if not dst.flags.writeable:
+            raise ValueError("destination host array is not writeable")
+        if not dst.flags.c_contiguous:
+            raise ValueError("destination host array must be C-contiguous")
+        view = self.view(src, dst.size, dst.dtype).reshape(dst.shape)
+        np.copyto(dst, view)
+
+    def memcpy_d2d(self, dst: DevicePointer, src: DevicePointer, nbytes: int) -> None:
+        """Copy ``nbytes`` between two device allocations."""
+        dst_alloc, dst_off = self._resolve(dst, nbytes)
+        src_alloc, src_off = self._resolve(src, nbytes)
+        # np.copyto handles overlapping views incorrectly only for the same
+        # buffer; use an explicit copy of the source bytes to be safe.
+        data = src_alloc.data[src_off : src_off + nbytes].copy()
+        dst_alloc.data[dst_off : dst_off + nbytes] = data
+
+    def memset(self, ptr: DevicePointer, value: int, nbytes: int) -> None:
+        """Fill ``nbytes`` of device memory with a byte value."""
+        alloc, offset = self._resolve(ptr, nbytes)
+        alloc.data[offset : offset + nbytes] = np.uint8(value & 0xFF)

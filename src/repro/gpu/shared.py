@@ -1,0 +1,77 @@
+"""Block-scoped shared memory.
+
+CUDA's ``__shared__`` (and the proposed OpenMP ``groupprivate(team: var)``
+from the paper's §2.5 footnote) declare variables visible to all threads of
+one block.  In the simulator a block owns a :class:`SharedMemory` holding
+named NumPy arrays plus the dynamic shared region requested at launch.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import LaunchError
+
+__all__ = ["SharedMemory"]
+
+
+class SharedMemory:
+    """Shared memory for one thread block.
+
+    ``array(name, shape, dtype)`` is idempotent per block: the first caller
+    allocates, later callers (other threads of the block) get the same
+    array.  Total static + dynamic usage is checked against the device's
+    per-block limit.
+    """
+
+    def __init__(self, limit_bytes: int, dynamic_bytes: int = 0) -> None:
+        if dynamic_bytes > limit_bytes:
+            raise LaunchError(
+                f"dynamic shared memory {dynamic_bytes} B exceeds the per-block "
+                f"limit of {limit_bytes} B"
+            )
+        self._limit = limit_bytes
+        self._lock = threading.Lock()
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._static_bytes = 0
+        self._dynamic = np.zeros(dynamic_bytes, dtype=np.uint8)
+
+    def array(self, name: str, shape, dtype) -> np.ndarray:
+        """Get or create the named shared array for this block."""
+        dtype = np.dtype(dtype)
+        shape = (int(shape),) if np.isscalar(shape) else tuple(int(s) for s in shape)
+        with self._lock:
+            existing = self._arrays.get(name)
+            if existing is not None:
+                if existing.shape != shape or existing.dtype != dtype:
+                    raise LaunchError(
+                        f"shared array {name!r} redeclared with shape={shape} "
+                        f"dtype={dtype}, but exists with shape={existing.shape} "
+                        f"dtype={existing.dtype}"
+                    )
+                return existing
+            nbytes = int(np.prod(shape)) * dtype.itemsize if shape else dtype.itemsize
+            if self._static_bytes + nbytes + self._dynamic.nbytes > self._limit:
+                raise LaunchError(
+                    f"shared array {name!r} ({nbytes} B) would exceed the "
+                    f"per-block shared memory limit of {self._limit} B "
+                    f"(in use: {self._static_bytes + self._dynamic.nbytes} B)"
+                )
+            arr = np.zeros(shape, dtype=dtype)
+            self._arrays[name] = arr
+            self._static_bytes += nbytes
+            return arr
+
+    def dynamic(self, dtype) -> np.ndarray:
+        """View the dynamic shared region (``extern __shared__``) as ``dtype``."""
+        dtype = np.dtype(dtype)
+        usable = (self._dynamic.nbytes // dtype.itemsize) * dtype.itemsize
+        return self._dynamic[:usable].view(dtype)
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._static_bytes + self._dynamic.nbytes

@@ -1,0 +1,127 @@
+"""Streams and events — ordered asynchronous work queues.
+
+§2.4 of the paper: a stream is "an ordered queue of operations"; work in
+one stream is sequential, work across streams may overlap.  The extended
+``depend(interopobj: obj)`` clause (§3.5) ultimately enqueues target
+regions onto one of these.
+
+Each :class:`Stream` owns a worker thread draining a FIFO of closures.
+``synchronize`` blocks until the queue is empty *and* the worker is idle —
+the same contract as ``cudaStreamSynchronize``.  Exceptions raised by
+queued work are captured and re-raised on the next synchronization point,
+mirroring CUDA's sticky-error behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import Callable, List, Optional
+
+from ..errors import GpuError
+
+__all__ = ["Stream", "Event"]
+
+_stream_ids = itertools.count(1)
+
+
+class Event:
+    """A marker that becomes set once the stream reaches it (``cudaEvent_t``)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or f"event-{next(_stream_ids)}"
+        self._flag = threading.Event()
+
+    def _record(self) -> None:
+        self._flag.set()
+
+    @property
+    def is_complete(self) -> bool:
+        return self._flag.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Host-side wait (``cudaEventSynchronize``)."""
+        return self._flag.wait(timeout)
+
+
+class Stream:
+    """An ordered asynchronous queue of device operations."""
+
+    def __init__(self, device, name: str = "") -> None:
+        self.device = device
+        self.name = name or f"stream-{next(_stream_ids)}"
+        self._queue: "queue.Queue[Optional[Callable[[], None]]]" = queue.Queue()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._pending = 0
+        self._lock = threading.Lock()
+        self._errors: List[BaseException] = []
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._drain, name=f"{self.name}-worker", daemon=True
+        )
+        self._worker.start()
+        if name != "default":
+            device.register_stream(self)
+
+    # --- queue management -------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                break
+            try:
+                item()
+            except BaseException as exc:  # noqa: BLE001 - reported at sync
+                with self._lock:
+                    self._errors.append(exc)
+            finally:
+                with self._lock:
+                    self._pending -= 1
+                    if self._pending == 0:
+                        self._idle.set()
+
+    def enqueue(self, fn: Callable[[], None]) -> None:
+        """Append an operation; it runs after everything already queued."""
+        with self._lock:
+            if self._closed:
+                raise GpuError(f"stream {self.name!r} is closed")
+            self._pending += 1
+            self._idle.clear()
+        self._queue.put(fn)
+
+    def record_event(self, event: Optional[Event] = None) -> Event:
+        """Enqueue an event record (``cudaEventRecord``)."""
+        event = event or Event()
+        self.enqueue(event._record)
+        return event
+
+    def wait_event(self, event: Event) -> None:
+        """Make later work in this stream wait for ``event`` (``cudaStreamWaitEvent``)."""
+        self.enqueue(lambda: event._flag.wait())
+
+    def synchronize(self) -> None:
+        """Block until all queued work has run; re-raise any captured error."""
+        self._idle.wait()
+        with self._lock:
+            if self._errors:
+                first = self._errors[0]
+                self._errors.clear()
+                raise GpuError(f"stream {self.name!r}: queued work failed") from first
+
+    @property
+    def is_idle(self) -> bool:
+        return self._idle.is_set()
+
+    def close(self) -> None:
+        """Stop the worker (used by tests; streams are normally immortal)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(None)
+        self._worker.join(timeout=5)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Stream {self.name} on {self.device.spec.name}>"

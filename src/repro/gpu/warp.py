@@ -1,0 +1,301 @@
+"""Warp-level collectives and the cooperative block barrier.
+
+These implement the synchronization gap the paper identifies in §2.7: CUDA
+has warp, block and kernel level synchronization plus primitives like
+shuffle, while stock OpenMP only has ``barrier``.  The ompx layer (§3.3.2)
+exposes these through ``ompx_sync_warp``, ``ompx_sync_thread_block`` and
+``ompx_shfl_sync``-style APIs; the CUDA/HIP layers expose the native
+spellings.  All of them bottom out here.
+
+The simulator runs one OS thread per GPU thread, so collectives are
+rendezvous points: every participating lane deposits its value, the last
+arrival computes per-lane results, and everyone picks theirs up.  Threads
+that exit the kernel are removed from the expected set, matching the
+post-Volta semantics where barriers wait only for live threads.  A warp
+collective whose mask names an exited lane raises :class:`SyncError` —
+that is undefined behaviour on hardware, and surfacing it loudly is the
+simulator's job.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, FrozenSet, Optional, Set
+
+from ..errors import SyncError
+
+__all__ = ["LiveSet", "CooperativeBarrier", "WarpCollectives", "full_mask", "mask_to_lanes"]
+
+
+def full_mask(width: int) -> int:
+    """The all-lanes-active mask for a warp of ``width`` lanes."""
+    return (1 << width) - 1
+
+
+def mask_to_lanes(mask: int, width: int) -> FrozenSet[int]:
+    """Decode a lane bitmask into the set of participating lane ids."""
+    if mask <= 0:
+        raise SyncError(f"warp collective mask must be positive, got {mask:#x}")
+    lanes = frozenset(lane for lane in range(width) if mask >> lane & 1)
+    if mask >> width:
+        raise SyncError(
+            f"mask {mask:#x} names lanes beyond warp width {width}"
+        )
+    return lanes
+
+
+class LiveSet:
+    """The set of thread flat-ids in a block that have not exited.
+
+    Shared by the barrier and all warp collectives of one block so that a
+    thread's exit can wake any waiters whose expected set just shrank.
+    """
+
+    def __init__(self, flat_ids) -> None:
+        self._cv = threading.Condition()
+        self._live: Set[int] = set(flat_ids)
+        self._watchers: list = []
+
+    @property
+    def cv(self) -> threading.Condition:
+        return self._cv
+
+    def live(self) -> Set[int]:
+        """Snapshot of the flat ids that have not exited."""
+        with self._cv:
+            return set(self._live)
+
+    def is_live(self, flat_id: int) -> bool:
+        """Whether the given flat id is still executing."""
+        with self._cv:
+            return flat_id in self._live
+
+    def mark_exited(self, flat_id: int) -> None:
+        """Remove a thread from the live set and wake any waiters."""
+        with self._cv:
+            self._live.discard(flat_id)
+            self._cv.notify_all()
+
+
+class CooperativeBarrier:
+    """Block-wide barrier (``__syncthreads`` / ``ompx_sync_thread_block``).
+
+    Releases when every *live* thread of the block has arrived.  Exited
+    threads do not count (post-Volta semantics).  Generations prevent a
+    fast thread from lapping a slow one.
+    """
+
+    def __init__(self, live: LiveSet) -> None:
+        self._live = live
+        self._generation = 0
+        self._arrived: Set[int] = set()
+
+    def wait(self, flat_id: int) -> None:
+        """Block until released (all live threads arrived / task completed)."""
+        cv = self._live.cv
+        with cv:
+            gen = self._generation
+            self._arrived.add(flat_id)
+            if self._arrived >= self._live._live:
+                # Last live arrival: open the next generation.
+                self._generation += 1
+                self._arrived = set()
+                cv.notify_all()
+                return
+            while self._generation == gen:
+                cv.wait(timeout=None)
+                # A thread exit may have satisfied the barrier.
+                if self._generation == gen and self._arrived >= self._live._live:
+                    self._generation += 1
+                    self._arrived = set()
+                    cv.notify_all()
+                    return
+
+
+class _CollectiveRecord:
+    __slots__ = ("phase", "values", "results", "remaining")
+
+    def __init__(self) -> None:
+        self.phase = "gather"
+        self.values: Dict[int, object] = {}
+        self.results: Dict[int, object] = {}
+        self.remaining = 0
+
+
+class WarpCollectives:
+    """Rendezvous engine for one warp.
+
+    Each collective call provides the participating lane set (from the
+    mask), the caller's lane, its contributed value and a ``result_fn``
+    mapping ``(values, lane) -> result``.  Lanes outside the mask must not
+    call; all lanes inside the mask must call with the same mask, mirroring
+    CUDA's ``*_sync`` contract.
+    """
+
+    def __init__(self, warp_index: int, lane_to_flat: Dict[int, int], live: LiveSet) -> None:
+        self._warp_index = warp_index
+        self._lane_to_flat = dict(lane_to_flat)
+        self._live = live
+        self._records: Dict[FrozenSet[int], _CollectiveRecord] = {}
+
+    @property
+    def width(self) -> int:
+        return len(self._lane_to_flat)
+
+    def _check_mask_live(self, lanes: FrozenSet[int]) -> None:
+        for lane in lanes:
+            flat = self._lane_to_flat.get(lane)
+            if flat is None:
+                raise SyncError(
+                    f"mask names lane {lane}, but warp {self._warp_index} has "
+                    f"only {self.width} lanes (partial warp at the block edge)"
+                )
+            if not self._live.is_live(flat):
+                raise SyncError(
+                    f"warp collective in warp {self._warp_index} includes lane "
+                    f"{lane}, which already exited the kernel (undefined "
+                    f"behaviour on hardware)"
+                )
+
+    def collective(
+        self,
+        lanes: FrozenSet[int],
+        lane: int,
+        value,
+        result_fn: Callable[[Dict[int, object], int], object],
+    ):
+        """Run one rendezvous: gather all lanes' values, scatter results."""
+        if lane not in lanes:
+            raise SyncError(
+                f"lane {lane} executed a warp collective whose mask {sorted(lanes)} "
+                f"does not include it"
+            )
+        cv = self._live.cv
+        with cv:
+            # Wait out a previous collective on the same mask that is still
+            # scattering results.
+            while True:
+                record = self._records.get(lanes)
+                if record is None or record.phase == "gather":
+                    break
+                cv.wait()
+            if record is None:
+                record = _CollectiveRecord()
+                self._records[lanes] = record
+            record.values[lane] = value
+            if set(record.values) >= lanes:
+                # Last arrival: compute every lane's result.
+                record.results = {l: result_fn(record.values, l) for l in lanes}
+                record.remaining = len(lanes)
+                record.phase = "scatter"
+                cv.notify_all()
+            else:
+                while record.phase != "scatter":
+                    # Liveness only matters while gathering: a lane that
+                    # exits after results are published already contributed.
+                    self._check_mask_live(lanes)
+                    cv.wait()
+            result = record.results[lane]
+            record.remaining -= 1
+            if record.remaining == 0:
+                del self._records[lanes]
+                cv.notify_all()
+            return result
+
+    # --- the standard ops ----------------------------------------------------
+    def sync(self, lanes: FrozenSet[int], lane: int) -> None:
+        """``__syncwarp(mask)`` / ``ompx_sync_warp``."""
+        self.collective(lanes, lane, None, lambda values, l: None)
+
+    def shfl(self, lanes: FrozenSet[int], lane: int, value, src_lane: int):
+        """``__shfl_sync``: every lane reads ``src_lane``'s value."""
+        def result(values: Dict[int, object], l: int):
+            if src_lane not in values:
+                # Reading from a lane outside the mask yields an undefined
+                # value on hardware; we return the caller's own value, which
+                # is one of the allowed behaviours, and keep it deterministic.
+                return values[l]
+            return values[src_lane]
+
+        return self.collective(lanes, lane, value, result)
+
+    def shfl_up(self, lanes: FrozenSet[int], lane: int, value, delta: int):
+        """Shuffle from ``delta`` lanes below (out-of-range lanes keep their value)."""
+        def result(values: Dict[int, object], l: int):
+            src = l - delta
+            return values[src] if src in values else values[l]
+
+        return self.collective(lanes, lane, value, result)
+
+    def shfl_down(self, lanes: FrozenSet[int], lane: int, value, delta: int):
+        """Shuffle from ``delta`` lanes above (out-of-range lanes keep their value)."""
+        def result(values: Dict[int, object], l: int):
+            src = l + delta
+            return values[src] if src in values else values[l]
+
+        return self.collective(lanes, lane, value, result)
+
+    def shfl_xor(self, lanes: FrozenSet[int], lane: int, value, lane_mask: int):
+        """Butterfly shuffle with partner ``lane ^ lane_mask``."""
+        def result(values: Dict[int, object], l: int):
+            src = l ^ lane_mask
+            return values[src] if src in values else values[l]
+
+        return self.collective(lanes, lane, value, result)
+
+    def ballot(self, lanes: FrozenSet[int], lane: int, predicate: bool) -> int:
+        """Bitmask of participating lanes with a true predicate."""
+        def result(values: Dict[int, object], l: int) -> int:
+            bits = 0
+            for src, pred in values.items():
+                if pred:
+                    bits |= 1 << src
+            return bits
+
+        return self.collective(lanes, lane, bool(predicate), result)
+
+    def any(self, lanes: FrozenSet[int], lane: int, predicate: bool) -> bool:
+        """True iff any participating lane's predicate is true."""
+        return self.collective(
+            lanes, lane, bool(predicate), lambda values, l: any(values.values())
+        )
+
+    def all(self, lanes: FrozenSet[int], lane: int, predicate: bool) -> bool:
+        """True iff every participating lane's predicate is true."""
+        return self.collective(
+            lanes, lane, bool(predicate), lambda values, l: all(values.values())
+        )
+
+    def reduce(self, lanes: FrozenSet[int], lane: int, value, op: Callable):
+        """Warp-wide reduction; every lane receives the combined value."""
+        def result(values: Dict[int, object], l: int):
+            acc = None
+            for src in sorted(values):
+                acc = values[src] if acc is None else op(acc, values[src])
+            return acc
+
+        return self.collective(lanes, lane, value, result)
+
+    def match_any(self, lanes: FrozenSet[int], lane: int, value) -> int:
+        """``__match_any_sync``: mask of lanes holding the same value."""
+        def result(values: Dict[int, object], l: int) -> int:
+            bits = 0
+            for src, v in values.items():
+                if v == values[l]:
+                    bits |= 1 << src
+            return bits
+
+        return self.collective(lanes, lane, value, result)
+
+    def match_all(self, lanes: FrozenSet[int], lane: int, value):
+        """``__match_all_sync``: (mask, pred) — full mask iff all values equal."""
+        def result(values: Dict[int, object], l: int):
+            distinct = set(values.values())
+            if len(distinct) == 1:
+                bits = 0
+                for src in values:
+                    bits |= 1 << src
+                return (bits, True)
+            return (0, False)
+
+        return self.collective(lanes, lane, value, result)

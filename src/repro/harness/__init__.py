@@ -1,0 +1,40 @@
+"""Regeneration harness for the paper's evaluation section."""
+
+from .figures import (
+    SYSTEMS,
+    render_end_to_end,
+    figure6,
+    figure7,
+    figure8,
+    figure8_relations,
+    paper_relations,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_figure8_bars,
+)
+from .report import format_seconds, render_bars, render_table
+from .sweep import SweepResult, sweep
+from .verification import VerificationCell, render_verification, verification_matrix
+
+__all__ = [
+    "SYSTEMS",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure8_relations",
+    "paper_relations",
+    "render_figure6",
+    "render_figure7",
+    "render_figure8",
+    "render_figure8_bars",
+    "render_end_to_end",
+    "format_seconds",
+    "render_bars",
+    "render_table",
+    "SweepResult",
+    "sweep",
+    "VerificationCell",
+    "render_verification",
+    "verification_matrix",
+]

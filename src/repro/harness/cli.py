@@ -1,0 +1,73 @@
+"""``repro-figures``: print every reproduced table and figure.
+
+Usage::
+
+    repro-figures            # Figures 6, 7, 8 and the §4.2 claim check
+    repro-figures fig6       # just the benchmark table
+    repro-figures fig7       # just the system configuration
+    repro-figures fig8       # just the execution-time estimates
+    repro-figures bars       # Figure 8 as ASCII bar panels
+    repro-figures e2e        # kernel-only vs end-to-end (with transfers)
+    repro-figures relations  # just the qualitative-claim check
+    repro-figures verify     # functional verification matrix (runs kernels)
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence
+
+from .figures import (
+    figure8_relations,
+    render_end_to_end,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_figure8_bars,
+)
+from .verification import render_verification
+
+__all__ = ["main"]
+
+
+def render_relations() -> str:
+    lines = ["Paper claims (§4.2) vs. the regenerated Figure 8:"]
+    failures = 0
+    for rel, ok in figure8_relations():
+        mark = "PASS" if ok else "FAIL"
+        if not ok:
+            failures += 1
+        lines.append(f"  {mark}  [{rel.app} / {rel.system}] {rel.claim}")
+    lines.append(f"{failures} failure(s)")
+    return "\n".join(lines)
+
+
+_SECTIONS = {
+    "fig6": render_figure6,
+    "fig7": render_figure7,
+    "fig8": render_figure8,
+    "bars": render_figure8_bars,
+    "e2e": render_end_to_end,
+    "relations": render_relations,
+    "verify": render_verification,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point; returns a process exit code."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and any(a in ("-h", "--help") for a in args):
+        print(__doc__)
+        return 0
+    unknown = [a for a in args if a not in _SECTIONS]
+    if unknown:
+        print(f"unknown section(s): {unknown}; choose from {sorted(_SECTIONS)}", file=sys.stderr)
+        return 2
+    sections: List[str] = args or ["fig6", "fig7", "fig8", "relations"]  # verify is opt-in
+    out = [_SECTIONS[name]() for name in sections]
+    print("\n\n".join(out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Plain-text rendering of the reproduced tables and figures."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+__all__ = ["render_table", "format_seconds", "render_bars"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table (the harness's one output format)."""
+    columns = [list(col) for col in zip(headers, *rows)] if rows else [[h] for h in headers]
+    widths = [max(len(str(cell)) for cell in col) for col in columns]
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with the unit the paper's plot for it uses."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def render_bars(
+    values: Mapping[str, Optional[float]],
+    *,
+    title: Optional[str] = None,
+    width: int = 50,
+    clip_ratio: float = 20.0,
+) -> str:
+    """ASCII bar chart in the spirit of the paper's Figure 8 panels.
+
+    Bars scale to the largest *unclipped* value; values more than
+    ``clip_ratio`` times the smallest are clipped and annotated with their
+    number, exactly like the paper annotates the off-scale ``omp`` bars
+    (e.g. "145.6ms").  ``None`` values render as excluded.
+    """
+    present = {k: v for k, v in values.items() if v is not None}
+    out: List[str] = []
+    if title:
+        out.append(title)
+    if not present:
+        return "\n".join(out + ["  (no data)"])
+    smallest = min(present.values())
+    unclipped = {k: v for k, v in present.items() if v <= smallest * clip_ratio}
+    scale_max = max(unclipped.values()) if unclipped else max(present.values())
+    label_width = max(len(k) for k in values)
+    for label, value in values.items():
+        if value is None:
+            out.append(f"  {label.ljust(label_width)} | excluded (invalid checksum)")
+            continue
+        if value > smallest * clip_ratio:
+            bar = "#" * width
+            out.append(
+                f"  {label.ljust(label_width)} |{bar}> {format_seconds(value)} (off scale)"
+            )
+            continue
+        bar = "#" * max(1, round(width * value / scale_max))
+        out.append(f"  {label.ljust(label_width)} |{bar.ljust(width)}  {format_seconds(value)}")
+    return "\n".join(out)

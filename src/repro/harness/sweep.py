@@ -1,0 +1,96 @@
+"""Parameter sweeps over the performance model.
+
+The paper reports single operating points; a reproduction with an analytic
+model can also answer the neighbouring questions reviewers ask — *does the
+ompx advantage survive at other problem sizes? where do the omp overheads
+stop mattering?* — by sweeping a parameter and re-pricing every version.
+
+:func:`sweep` produces a :class:`SweepResult` holding one series per
+Figure 8 version label; :meth:`SweepResult.render` prints the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..apps.common import BenchmarkApp, VersionLabel
+from ..errors import ReproError
+from ..perf.timing import SystemConfig
+from .report import format_seconds, render_table
+
+__all__ = ["SweepResult", "sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Execution-time series over one swept parameter."""
+
+    app_name: str
+    system_name: str
+    parameter: str
+    values: List[object]
+    #: label -> series of reported seconds (None for excluded cells)
+    series: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+
+    def ratio(self, numerator: str, denominator: str) -> List[Optional[float]]:
+        """Pointwise ratio between two version series."""
+        out: List[Optional[float]] = []
+        for a, b in zip(self.series[numerator], self.series[denominator]):
+            out.append(None if (a is None or b is None or b == 0) else a / b)
+        return out
+
+    def render(self) -> str:
+        """Render this result as an ASCII table."""
+        headers = [self.parameter] + list(self.series)
+        rows = []
+        for i, value in enumerate(self.values):
+            row = [str(value)]
+            for label in self.series:
+                cell = self.series[label][i]
+                row.append("excluded" if cell is None else format_seconds(cell))
+            rows.append(row)
+        return render_table(
+            headers, rows,
+            title=f"{self.app_name} on {self.system_name}: sweep over {self.parameter}",
+        )
+
+
+def sweep(
+    app: BenchmarkApp,
+    system: SystemConfig,
+    parameter: str,
+    values: Sequence[object],
+    *,
+    labels: Sequence[str] = VersionLabel.ALL,
+    base_params: Optional[Mapping[str, object]] = None,
+) -> SweepResult:
+    """Price every version of ``app`` across ``values`` of one parameter.
+
+    ``parameter`` must be a key of the app's parameter mapping (e.g. ``n``
+    for Stencil-1D, ``lookups`` for XSBench); the other parameters come
+    from ``base_params`` (default: the paper's).
+    """
+    base = dict(base_params or app.paper_params())
+    if parameter not in base:
+        raise ReproError(
+            f"{app.name} has no parameter {parameter!r}; available: {sorted(base)}"
+        )
+    excluded_omp = bool(getattr(app, "omp_excluded_in_paper", False))
+    result = SweepResult(
+        app_name=app.name,
+        system_name=system.name,
+        parameter=parameter,
+        values=list(values),
+    )
+    for label in labels:
+        display = VersionLabel.display(label, system)
+        series: List[Optional[float]] = []
+        for value in values:
+            if label == VersionLabel.OMP and excluded_omp:
+                series.append(None)
+                continue
+            params = {**base, parameter: value}
+            series.append(app.reported_seconds(app.estimate(label, system, params)))
+        result.series[display] = series
+    return result

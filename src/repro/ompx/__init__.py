@@ -1,0 +1,91 @@
+"""The paper's OpenMP kernel-language extensions ("ompx").
+
+Importing this package is the moral equivalent of compiling with the
+paper's prototype compiler: the bare-region construct, device/host APIs,
+multi-dimensional launches, the ``interopobj`` dependence type (installed
+into the OpenMP task runtime as a side effect of this import) and the
+vendor-library wrapper all become available.
+
+Map from paper section to module:
+
+* §3.1 ``ompx_bare``                 -> :mod:`repro.ompx.bare`
+* §3.2 multi-dimensional grid/block -> :func:`target_teams_bare` dims
+* §3.3 device APIs (C and C++)      -> :mod:`repro.ompx.device`, :mod:`repro.ompx.cxx`
+* §3.4 host APIs                    -> :mod:`repro.ompx.host`
+* §3.5 ``depend(interopobj:)``      -> :mod:`repro.ompx.depend`
+* §3.6 vendor-library wrappers      -> :mod:`repro.ompx.vendor`
+"""
+
+from . import depend as _depend  # side effect: installs interopobj handler
+from .bare import BareKernel, bare_kernel, target_teams_bare
+from .cxx import CxxApi
+from .depend import taskwait_interop
+from .device import DIM_X, DIM_Y, DIM_Z, OmpxThread
+from . import capi
+from ..gpu.collectives import block_inclusive_scan, block_reduce, warp_inclusive_scan
+from .host import (
+    ompx_device_synchronize,
+    ompx_free,
+    ompx_malloc,
+    ompx_memcpy,
+    ompx_memcpy_from_symbol,
+    ompx_memcpy_to_symbol,
+    ompx_memset,
+    ompx_occupancy_max_active_blocks,
+    ompx_stream_create,
+    ompx_stream_synchronize,
+)
+from .vendor import (
+    OMPXBLAS_OP_N,
+    OMPXBLAS_OP_T,
+    CublasSim,
+    OmpxBlasHandle,
+    RocblasSim,
+    ompxblas_create,
+    ompxblas_daxpy,
+    ompxblas_ddot,
+    ompxblas_destroy,
+    ompxblas_dgemm,
+    ompxblas_dnrm2,
+    ompxblas_dscal,
+    ompxblas_sgemm,
+)
+
+__all__ = [
+    "BareKernel",
+    "bare_kernel",
+    "target_teams_bare",
+    "CxxApi",
+    "taskwait_interop",
+    "DIM_X",
+    "DIM_Y",
+    "DIM_Z",
+    "OmpxThread",
+    "ompx_device_synchronize",
+    "ompx_free",
+    "ompx_malloc",
+    "ompx_memcpy",
+    "ompx_memcpy_from_symbol",
+    "ompx_memcpy_to_symbol",
+    "ompx_memset",
+    "ompx_stream_create",
+    "ompx_occupancy_max_active_blocks",
+    "capi",
+    "block_reduce",
+    "block_inclusive_scan",
+    "warp_inclusive_scan",
+    "ompx_stream_synchronize",
+    "OMPXBLAS_OP_N",
+    "OMPXBLAS_OP_T",
+    "CublasSim",
+    "OmpxBlasHandle",
+    "RocblasSim",
+    "ompxblas_create",
+    "ompxblas_daxpy",
+    "ompxblas_ddot",
+    "ompxblas_destroy",
+    "ompxblas_dgemm",
+    "ompxblas_dnrm2",
+    "ompxblas_dscal",
+    "ompxblas_sgemm",
+]

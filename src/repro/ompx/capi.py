@@ -1,0 +1,282 @@
+"""The ompx C API as free functions (§3.3: "C APIs prefixed with ompx_").
+
+The façade-method spelling (``x.thread_id_x()``) is ergonomic Python, but
+the paper's C API is a set of *free functions* — and the output of the
+C-source rewriting tool (:func:`repro.port.port_c_source`) calls them that
+way.  This module provides exactly those functions: inside a bare region
+(or any kernel), the executing GPU thread is bound to the OS thread
+running it, and ``ompx_thread_id_x()`` & co. resolve against that binding.
+
+.. code-block:: python
+
+    from repro.ompx.capi import (
+        ompx_thread_id_x, ompx_block_id_x, ompx_block_dim_x,
+        ompx_sync_thread_block,
+    )
+
+    @ompx.bare_kernel
+    def k(x, data, n):          # the façade arg still exists, but
+        i = ompx_block_id_x() * ompx_block_dim_x() + ompx_thread_id_x()
+        ompx_sync_thread_block()  # ...the body can be pure C-style calls
+        ...
+
+Calling any of these outside a kernel raises
+:class:`~repro.errors.OpenMPError` (there is no "current thread" on the
+host, exactly as the real C API only exists in device code).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, Optional
+
+from ..errors import OpenMPError
+from .device import DIM_X, DIM_Y, DIM_Z, OmpxThread
+
+__all__ = [
+    "current_thread",
+    "bound",
+    "ompx_thread_id_x", "ompx_thread_id_y", "ompx_thread_id_z", "ompx_thread_id",
+    "ompx_block_id_x", "ompx_block_id_y", "ompx_block_id_z", "ompx_block_id",
+    "ompx_block_dim_x", "ompx_block_dim_y", "ompx_block_dim_z", "ompx_block_dim",
+    "ompx_grid_dim_x", "ompx_grid_dim_y", "ompx_grid_dim_z", "ompx_grid_dim",
+    "ompx_global_thread_id_x",
+    "ompx_warp_size", "ompx_lane_id", "ompx_warp_id",
+    "ompx_sync_thread_block", "ompx_sync_warp",
+    "ompx_shfl_sync", "ompx_shfl_up_sync", "ompx_shfl_down_sync", "ompx_shfl_xor_sync",
+    "ompx_ballot_sync", "ompx_any_sync", "ompx_all_sync",
+    "ompx_match_any_sync", "ompx_match_all_sync",
+    "ompx_atomic_add", "ompx_atomic_sub", "ompx_atomic_max", "ompx_atomic_min",
+    "ompx_atomic_exchange", "ompx_atomic_cas",
+    "ompx_array", "ompx_groupprivate",
+]
+
+_binding = threading.local()
+
+
+def current_thread() -> OmpxThread:
+    """The GPU thread executing on this OS thread (device-code only)."""
+    thread: Optional[OmpxThread] = getattr(_binding, "thread", None)
+    if thread is None:
+        raise OpenMPError(
+            "ompx_* device APIs are only callable from inside a kernel "
+            "(there is no current GPU thread on the host)"
+        )
+    return thread
+
+
+@contextlib.contextmanager
+def bound(thread: OmpxThread) -> Iterator[None]:
+    """Bind a GPU thread to this OS thread for the duration of a kernel
+    body.  Installed automatically by :class:`repro.ompx.bare.BareKernel`;
+    nesting restores the previous binding (device functions may re-enter)."""
+    previous = getattr(_binding, "thread", None)
+    _binding.thread = thread
+    try:
+        yield
+    finally:
+        _binding.thread = previous
+
+
+# --- thread indexing (§3.3.1) -------------------------------------------------
+
+def ompx_thread_id_x() -> int:
+    """C free-function form of the ``thread_id_x`` device/host API."""
+    return current_thread().thread_id_x()
+
+
+def ompx_thread_id_y() -> int:
+    """C free-function form of the ``thread_id_y`` device/host API."""
+    return current_thread().thread_id_y()
+
+
+def ompx_thread_id_z() -> int:
+    """C free-function form of the ``thread_id_z`` device/host API."""
+    return current_thread().thread_id_z()
+
+
+def ompx_thread_id(dim: int = DIM_X) -> int:
+    """C free-function form of the ``thread_id`` device/host API."""
+    return current_thread().thread_id(dim)
+
+
+def ompx_block_id_x() -> int:
+    """C free-function form of the ``block_id_x`` device/host API."""
+    return current_thread().block_id_x()
+
+
+def ompx_block_id_y() -> int:
+    """C free-function form of the ``block_id_y`` device/host API."""
+    return current_thread().block_id_y()
+
+
+def ompx_block_id_z() -> int:
+    """C free-function form of the ``block_id_z`` device/host API."""
+    return current_thread().block_id_z()
+
+
+def ompx_block_id(dim: int = DIM_X) -> int:
+    """C free-function form of the ``block_id`` device/host API."""
+    return current_thread().block_id(dim)
+
+
+def ompx_block_dim_x() -> int:
+    """C free-function form of the ``block_dim_x`` device/host API."""
+    return current_thread().block_dim_x()
+
+
+def ompx_block_dim_y() -> int:
+    """C free-function form of the ``block_dim_y`` device/host API."""
+    return current_thread().block_dim_y()
+
+
+def ompx_block_dim_z() -> int:
+    """C free-function form of the ``block_dim_z`` device/host API."""
+    return current_thread().block_dim_z()
+
+
+def ompx_block_dim(dim: int = DIM_X) -> int:
+    """C free-function form of the ``block_dim`` device/host API."""
+    return current_thread().block_dim(dim)
+
+
+def ompx_grid_dim_x() -> int:
+    """C free-function form of the ``grid_dim_x`` device/host API."""
+    return current_thread().grid_dim_x()
+
+
+def ompx_grid_dim_y() -> int:
+    """C free-function form of the ``grid_dim_y`` device/host API."""
+    return current_thread().grid_dim_y()
+
+
+def ompx_grid_dim_z() -> int:
+    """C free-function form of the ``grid_dim_z`` device/host API."""
+    return current_thread().grid_dim_z()
+
+
+def ompx_grid_dim(dim: int = DIM_X) -> int:
+    """C free-function form of the ``grid_dim`` device/host API."""
+    return current_thread().grid_dim(dim)
+
+
+def ompx_global_thread_id_x() -> int:
+    """C free-function form of the ``global_thread_id_x`` device/host API."""
+    return current_thread().global_thread_id_x()
+
+
+def ompx_warp_size() -> int:
+    """C free-function form of the ``warp_size`` device/host API."""
+    return current_thread().warp_size()
+
+
+def ompx_lane_id() -> int:
+    """C free-function form of the ``lane_id`` device/host API."""
+    return current_thread().lane_id()
+
+
+def ompx_warp_id() -> int:
+    """C free-function form of the ``warp_id`` device/host API."""
+    return current_thread().warp_id()
+
+
+# --- synchronization (§3.3.2) ---------------------------------------------------
+
+def ompx_sync_thread_block() -> None:
+    """C free-function form of the ``sync_thread_block`` device/host API."""
+    current_thread().sync_thread_block()
+
+
+def ompx_sync_warp(mask: Optional[int] = None) -> None:
+    """C free-function form of the ``sync_warp`` device/host API."""
+    current_thread().sync_warp(mask)
+
+
+def ompx_shfl_sync(var, src_lane: int, mask: Optional[int] = None):
+    """C free-function form of the ``shfl_sync`` device/host API."""
+    return current_thread().shfl_sync(var, src_lane, mask)
+
+
+def ompx_shfl_up_sync(var, delta: int, mask: Optional[int] = None):
+    """C free-function form of the ``shfl_up_sync`` device/host API."""
+    return current_thread().shfl_up_sync(var, delta, mask)
+
+
+def ompx_shfl_down_sync(var, delta: int, mask: Optional[int] = None):
+    """C free-function form of the ``shfl_down_sync`` device/host API."""
+    return current_thread().shfl_down_sync(var, delta, mask)
+
+
+def ompx_shfl_xor_sync(var, lane_mask: int, mask: Optional[int] = None):
+    """C free-function form of the ``shfl_xor_sync`` device/host API."""
+    return current_thread().shfl_xor_sync(var, lane_mask, mask)
+
+
+def ompx_ballot_sync(predicate, mask: Optional[int] = None) -> int:
+    """C free-function form of the ``ballot_sync`` device/host API."""
+    return current_thread().ballot_sync(predicate, mask)
+
+
+def ompx_any_sync(predicate, mask: Optional[int] = None) -> bool:
+    """C free-function form of the ``any_sync`` device/host API."""
+    return current_thread().any_sync(predicate, mask)
+
+
+def ompx_all_sync(predicate, mask: Optional[int] = None) -> bool:
+    """C free-function form of the ``all_sync`` device/host API."""
+    return current_thread().all_sync(predicate, mask)
+
+
+def ompx_match_any_sync(value, mask: Optional[int] = None) -> int:
+    """C free-function form of the ``match_any_sync`` device/host API."""
+    return current_thread().match_any_sync(value, mask)
+
+
+def ompx_match_all_sync(value, mask: Optional[int] = None):
+    """C free-function form of the ``match_all_sync`` device/host API."""
+    return current_thread().match_all_sync(value, mask)
+
+
+# --- atomics ------------------------------------------------------------------------
+
+def ompx_atomic_add(array, index, value):
+    """C free-function form of the ``atomic_add`` device/host API."""
+    return current_thread().atomic_add(array, index, value)
+
+
+def ompx_atomic_sub(array, index, value):
+    """C free-function form of the ``atomic_sub`` device/host API."""
+    return current_thread().atomic_sub(array, index, value)
+
+
+def ompx_atomic_max(array, index, value):
+    """C free-function form of the ``atomic_max`` device/host API."""
+    return current_thread().atomic_max(array, index, value)
+
+
+def ompx_atomic_min(array, index, value):
+    """C free-function form of the ``atomic_min`` device/host API."""
+    return current_thread().atomic_min(array, index, value)
+
+
+def ompx_atomic_exchange(array, index, value):
+    """C free-function form of the ``atomic_exchange`` device/host API."""
+    return current_thread().atomic_exchange(array, index, value)
+
+
+def ompx_atomic_cas(array, index, compare, value):
+    """C free-function form of the ``atomic_cas`` device/host API."""
+    return current_thread().atomic_cas(array, index, compare, value)
+
+
+# --- memory ---------------------------------------------------------------------------
+
+def ompx_array(ptr, shape, dtype):
+    """C free-function form of the ``array`` device/host API."""
+    return current_thread().array(ptr, shape, dtype)
+
+
+def ompx_groupprivate(name: str, shape, dtype):
+    """C free-function form of the ``groupprivate`` device/host API."""
+    return current_thread().groupprivate(name, shape, dtype)

@@ -1,0 +1,60 @@
+"""ompx C++-style device API (§3.3): ``ompx::thread_id(ompx::DIM_X)``.
+
+The paper provides a C++ API set "encapsulated within the ompx namespace"
+alongside the C set.  The Python rendering is a small object exposed as
+``x.cxx`` on the bare-kernel façade: ``x.cxx.thread_id(DIM_X)`` is
+``ompx::thread_id(ompx::DIM_X)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .device import DIM_X, DIM_Y, DIM_Z, OmpxThread
+
+__all__ = ["CxxApi", "DIM_X", "DIM_Y", "DIM_Z"]
+
+
+class CxxApi:
+    """The dimension-parameterized C++ flavour of the device API."""
+
+    __slots__ = ("_t",)
+
+    def __init__(self, thread: OmpxThread) -> None:
+        self._t = thread
+
+    def thread_id(self, dim: int = DIM_X) -> int:
+        """Thread index in the given dimension (C++ ``ompx::thread_id``)."""
+        return self._t.thread_id(dim)
+
+    def block_id(self, dim: int = DIM_X) -> int:
+        """Team index in the given dimension (C++ ``ompx::block_id``)."""
+        return self._t.block_id(dim)
+
+    def block_dim(self, dim: int = DIM_X) -> int:
+        """Team extent in the given dimension (C++ ``ompx::block_dim``)."""
+        return self._t.block_dim(dim)
+
+    def grid_dim(self, dim: int = DIM_X) -> int:
+        """Grid extent in the given dimension (C++ ``ompx::grid_dim``)."""
+        return self._t.grid_dim(dim)
+
+    def sync_block(self) -> None:
+        """``ompx::sync_block()``."""
+        self._t.sync_thread_block()
+
+    def sync_warp(self, mask: Optional[int] = None) -> None:
+        """``ompx_sync_warp``: warp-level barrier (forward-progress group)."""
+        self._t.sync_warp(mask)
+
+    def shfl_down_sync(self, var, delta: int, mask: Optional[int] = None):
+        """``__shfl_down_sync``: read from the lane ``delta`` above."""
+        return self._t.shfl_down_sync(var, delta, mask)
+
+    def shfl_sync(self, var, src_lane: int, mask: Optional[int] = None):
+        """``__shfl_sync`` / ``ompx_shfl_sync``: read ``var`` from ``src_lane``."""
+        return self._t.shfl_sync(var, src_lane, mask)
+
+    def ballot_sync(self, predicate, mask: Optional[int] = None) -> int:
+        """``__ballot_sync``: bitmask of lanes whose predicate is true."""
+        return self._t.ballot_sync(predicate, mask)

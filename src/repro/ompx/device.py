@@ -1,0 +1,246 @@
+"""ompx device APIs (§3.3): the C-style ``ompx_*`` functions.
+
+The paper provides two API sets for device code; this module is the C set
+(``ompx_thread_id_x()``, ``ompx_sync_thread_block()``, ``ompx_shfl_sync``)
+and :mod:`repro.ompx.cxx` is the C++ set (``ompx::thread_id(ompx::DIM_X)``).
+
+In the Python DSL a bare kernel receives an :class:`OmpxThread` — again a
+thin renaming façade over the substrate's :class:`~repro.gpu.ThreadCtx`.
+Lay Figure 1's CUDA kernel next to its ompx port and the bodies differ
+only in spellings:
+
+========================  =================================
+CUDA (``t`` façade)        ompx (``x`` façade)
+========================  =================================
+``t.threadIdx.x``          ``x.thread_id_x()``
+``t.blockIdx.x``           ``x.block_id_x()``
+``t.blockDim.x``           ``x.block_dim_x()``
+``t.syncthreads()``        ``x.sync_thread_block()``
+``t.shfl_down_sync(m,v,d)``  ``x.shfl_down_sync(v, d, m)``
+``t.shared(...)``          ``x.groupprivate(...)``
+``t.atomicAdd(a, i, v)``   ``x.atomic_add(a, i, v)``
+========================  =================================
+
+That table *is* the porting rule set of :mod:`repro.port`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.context import ThreadCtx
+from ..gpu.memory import DevicePointer
+
+__all__ = ["OmpxThread", "DIM_X", "DIM_Y", "DIM_Z"]
+
+DIM_X = 0
+DIM_Y = 1
+DIM_Z = 2
+
+
+class OmpxThread:
+    """ompx-spelled façade over one simulated GPU thread (bare region)."""
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: ThreadCtx) -> None:
+        self._ctx = ctx
+
+    # --- thread indexing (§3.3.1) ------------------------------------------
+    def thread_id_x(self) -> int:
+        """``ompx_thread_id_x()`` — CUDA's ``threadIdx.x``."""
+        return self._ctx.thread_idx.x
+
+    def thread_id_y(self) -> int:
+        """``ompx_thread_id_y()`` — CUDA's ``threadIdx.y``."""
+        return self._ctx.thread_idx.y
+
+    def thread_id_z(self) -> int:
+        """``ompx_thread_id_z()`` — CUDA's ``threadIdx.z``."""
+        return self._ctx.thread_idx.z
+
+    def thread_id(self, dim: int = DIM_X) -> int:
+        """Thread index in the given dimension (C++ ``ompx::thread_id``)."""
+        return self._ctx.thread_idx[dim]
+
+    def block_id_x(self) -> int:
+        """``ompx_block_id_x()`` — CUDA's ``blockIdx.x``."""
+        return self._ctx.block_idx.x
+
+    def block_id_y(self) -> int:
+        """``ompx_block_id_y()`` — CUDA's ``blockIdx.y``."""
+        return self._ctx.block_idx.y
+
+    def block_id_z(self) -> int:
+        """``ompx_block_id_z()`` — CUDA's ``blockIdx.z``."""
+        return self._ctx.block_idx.z
+
+    def block_id(self, dim: int = DIM_X) -> int:
+        """Team index in the given dimension (C++ ``ompx::block_id``)."""
+        return self._ctx.block_idx[dim]
+
+    def block_dim_x(self) -> int:
+        """``ompx_block_dim_x()`` — CUDA's ``blockDim.x``."""
+        return self._ctx.block_dim.x
+
+    def block_dim_y(self) -> int:
+        """``ompx_block_dim_y()`` — CUDA's ``blockDim.y``."""
+        return self._ctx.block_dim.y
+
+    def block_dim_z(self) -> int:
+        """``ompx_block_dim_z()`` — CUDA's ``blockDim.z``."""
+        return self._ctx.block_dim.z
+
+    def block_dim(self, dim: int = DIM_X) -> int:
+        """Team extent in the given dimension (C++ ``ompx::block_dim``)."""
+        return self._ctx.block_dim[dim]
+
+    def grid_dim_x(self) -> int:
+        """``ompx_grid_dim_x()`` — CUDA's ``gridDim.x``."""
+        return self._ctx.grid_dim.x
+
+    def grid_dim_y(self) -> int:
+        """``ompx_grid_dim_y()`` — CUDA's ``gridDim.y``."""
+        return self._ctx.grid_dim.y
+
+    def grid_dim_z(self) -> int:
+        """``ompx_grid_dim_z()`` — CUDA's ``gridDim.z``."""
+        return self._ctx.grid_dim.z
+
+    def grid_dim(self, dim: int = DIM_X) -> int:
+        """Grid extent in the given dimension (C++ ``ompx::grid_dim``)."""
+        return self._ctx.grid_dim[dim]
+
+    def global_thread_id_x(self) -> int:
+        """``block_id_x() * block_dim_x() + thread_id_x()`` — the port of
+        CUDA's ubiquitous global index idiom."""
+        return self._ctx.global_id_x
+
+    def warp_size(self) -> int:
+        """Lanes per warp/wavefront on this device (32 or 64)."""
+        return self._ctx.warp_size
+
+    def lane_id(self) -> int:
+        """Lane index of this thread within its warp."""
+        return self._ctx.lane_id
+
+    def warp_id(self) -> int:
+        """Warp index of this thread within its block."""
+        return self._ctx.warp_id
+
+    # --- synchronization (§3.3.2) ----------------------------------------------
+    def sync_thread_block(self) -> None:
+        """``ompx_sync_thread_block()`` — CUDA's ``__syncthreads``."""
+        self._ctx.sync_threads()
+
+    def sync_warp(self, mask: Optional[int] = None) -> None:
+        """``ompx_sync_warp()`` — synchronize the forward-progress group."""
+        self._ctx.sync_warp(mask)
+
+    def shfl_sync(self, var, src_lane: int, mask: Optional[int] = None):
+        """``__shfl_sync`` / ``ompx_shfl_sync``: read ``var`` from ``src_lane``."""
+        return self._ctx.shfl_sync(var, src_lane, mask)
+
+    def shfl_up_sync(self, var, delta: int, mask: Optional[int] = None):
+        """``__shfl_up_sync``: read from the lane ``delta`` below."""
+        return self._ctx.shfl_up_sync(var, delta, mask)
+
+    def shfl_down_sync(self, var, delta: int, mask: Optional[int] = None):
+        """``__shfl_down_sync``: read from the lane ``delta`` above."""
+        return self._ctx.shfl_down_sync(var, delta, mask)
+
+    def shfl_xor_sync(self, var, lane_mask: int, mask: Optional[int] = None):
+        """``__shfl_xor_sync``: butterfly exchange with lane ``lane_id ^ lane_mask``."""
+        return self._ctx.shfl_xor_sync(var, lane_mask, mask)
+
+    def ballot_sync(self, predicate, mask: Optional[int] = None) -> int:
+        """``__ballot_sync``: bitmask of lanes whose predicate is true."""
+        return self._ctx.ballot_sync(bool(predicate), mask)
+
+    def any_sync(self, predicate, mask: Optional[int] = None) -> bool:
+        """``__any_sync``: true iff any participating lane's predicate is true."""
+        return self._ctx.any_sync(bool(predicate), mask)
+
+    def all_sync(self, predicate, mask: Optional[int] = None) -> bool:
+        """``__all_sync``: true iff every participating lane's predicate is true."""
+        return self._ctx.all_sync(bool(predicate), mask)
+
+    def match_any_sync(self, value, mask: Optional[int] = None) -> int:
+        """``__match_any_sync``: mask of lanes holding the same value."""
+        return self._ctx.match_any_sync(value, mask)
+
+    def match_all_sync(self, value, mask: Optional[int] = None):
+        """``__match_all_sync``: (mask, pred) — full mask iff all lanes agree."""
+        return self._ctx.match_all_sync(value, mask)
+
+    # --- memory ---------------------------------------------------------------------
+    def array(self, ptr: DevicePointer, shape, dtype) -> np.ndarray:
+        """Dereference a device pointer argument (ompx_malloc'd or mapped)."""
+        return self._ctx.deref(ptr, shape, dtype)
+
+    def groupprivate(self, name: str, shape, dtype) -> np.ndarray:
+        """``#pragma omp groupprivate(team: var)`` — team-shared storage.
+
+        The proposed directive from §2.5's footnote; the paper's Figure 4
+        uses it inside a bare region where CUDA would say ``__shared__``.
+        """
+        return self._ctx.shared_array(name, shape, dtype)
+
+    def dynamic_groupprivate(self, dtype) -> np.ndarray:
+        """Dynamic team-shared storage (CUDA's ``extern __shared__``)."""
+        return self._ctx.dynamic_shared(dtype)
+
+    def constant(self, name: str) -> np.ndarray:
+        """Constant-memory symbol access (``ompx_memcpy_to_symbol``'d)."""
+        return self._ctx.constant(name)
+
+    # --- atomics -------------------------------------------------------------------------
+    def atomic_add(self, array, index, value):
+        """``ompx_atomic_add``: fetch-and-add; returns the old value."""
+        return self._ctx.atomic.add(array, index, value)
+
+    def atomic_sub(self, array, index, value):
+        """``ompx_atomic_sub``: fetch-and-subtract; returns the old value."""
+        return self._ctx.atomic.sub(array, index, value)
+
+    def atomic_max(self, array, index, value):
+        """``ompx_atomic_max``: fetch-and-max; returns the old value."""
+        return self._ctx.atomic.max(array, index, value)
+
+    def atomic_min(self, array, index, value):
+        """``ompx_atomic_min``: fetch-and-min; returns the old value."""
+        return self._ctx.atomic.min(array, index, value)
+
+    def atomic_exchange(self, array, index, value):
+        """``ompx_atomic_exchange``: atomic swap; returns the old value."""
+        return self._ctx.atomic.exchange(array, index, value)
+
+    def atomic_cas(self, array, index, compare, value):
+        """``ompx_atomic_cas``: compare-and-swap; returns the old value."""
+        return self._ctx.atomic.cas(array, index, compare, value)
+
+    def atomic_and(self, array, index, value):
+        """``ompx_atomic_and``: atomic bitwise AND; returns the old value."""
+        return self._ctx.atomic.and_(array, index, value)
+
+    def atomic_or(self, array, index, value):
+        """``ompx_atomic_or``: atomic bitwise OR; returns the old value."""
+        return self._ctx.atomic.or_(array, index, value)
+
+    def atomic_xor(self, array, index, value):
+        """``ompx_atomic_xor``: atomic bitwise XOR; returns the old value."""
+        return self._ctx.atomic.xor(array, index, value)
+
+    # --- C++ API (§3.3: "C++ APIs encapsulated within the ompx namespace") ------
+    @property
+    def cxx(self) -> "CxxApi":
+        from .cxx import CxxApi
+
+        return CxxApi(self)
+
+    # --- escape hatch ------------------------------------------------------------
+    @property
+    def ctx(self) -> ThreadCtx:
+        return self._ctx

@@ -1,0 +1,125 @@
+"""ompx host APIs (§3.4): ``ompx_malloc`` & friends.
+
+The paper adapts the user-facing APIs of Doerfert et al. (PACT'22,
+"Breaking the Vendor Lock") so CUDA host calls port by renaming:
+``cudaMalloc -> ompx_malloc``, ``cudaMemcpy -> ompx_memcpy``,
+``cudaDeviceSynchronize -> ompx_device_synchronize``.
+
+One deliberate improvement over CUDA (and faithful to a target-agnostic
+runtime layer): the copy direction is *inferred* from the operand types —
+a :class:`DevicePointer` is device memory, a NumPy array is host memory —
+so there is no ``cudaMemcpyKind`` to get wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MappingError
+from ..gpu.device import Device, current_device
+from ..gpu.memory import DevicePointer
+from ..gpu.stream import Stream
+
+__all__ = [
+    "ompx_malloc",
+    "ompx_free",
+    "ompx_memcpy",
+    "ompx_memset",
+    "ompx_memcpy_to_symbol",
+    "ompx_memcpy_from_symbol",
+    "ompx_device_synchronize",
+    "ompx_stream_create",
+    "ompx_stream_synchronize",
+    "ompx_occupancy_max_active_blocks",
+]
+
+
+def ompx_malloc(size: int, device: Optional[Device] = None) -> DevicePointer:
+    """Allocate device global memory (``cudaMalloc`` equivalent)."""
+    return (device or current_device()).allocator.malloc(size)
+
+
+def ompx_free(ptr: DevicePointer, device: Optional[Device] = None) -> None:
+    """``ompx_free``: release device memory (``cudaFree`` equivalent)."""
+    (device or current_device()).allocator.free(ptr)
+
+
+def ompx_memcpy(dst, src, size: int, device: Optional[Device] = None) -> None:
+    """Copy ``size`` bytes; direction inferred from operand types."""
+    device = device or current_device()
+    alloc = device.allocator
+    device.default_stream.synchronize()
+    if isinstance(dst, DevicePointer) and isinstance(src, DevicePointer):
+        alloc.memcpy_d2d(dst, src, size)
+    elif isinstance(dst, DevicePointer):
+        host = np.ascontiguousarray(src).view(np.uint8).reshape(-1)[:size]
+        alloc.memcpy_h2d(dst, host)
+    elif isinstance(src, DevicePointer):
+        host = dst.view(np.uint8).reshape(-1)[:size]
+        alloc.memcpy_d2h(host, src)
+    else:
+        raise MappingError(
+            "ompx_memcpy needs at least one device pointer; for host-to-host "
+            "just assign the arrays"
+        )
+
+
+def ompx_memset(ptr: DevicePointer, value: int, size: int, device: Optional[Device] = None) -> None:
+    """``ompx_memset``: fill device memory with a byte value."""
+    device = device or current_device()
+    device.default_stream.synchronize()
+    device.allocator.memset(ptr, value, size)
+
+
+def ompx_memcpy_to_symbol(symbol: str, src, device: Optional[Device] = None) -> None:
+    """Upload a constant-memory symbol (``cudaMemcpyToSymbol`` equivalent)."""
+    device = device or current_device()
+    device.default_stream.synchronize()
+    device.write_constant(symbol, src)
+
+
+def ompx_memcpy_from_symbol(dst: np.ndarray, symbol: str, device: Optional[Device] = None) -> None:
+    """Read a constant-memory symbol back to the host."""
+    device = device or current_device()
+    device.default_stream.synchronize()
+    np.copyto(dst, device.read_constant(symbol).reshape(dst.shape))
+
+
+def ompx_device_synchronize(device: Optional[Device] = None) -> None:
+    """``cudaDeviceSynchronize`` equivalent."""
+    (device or current_device()).synchronize()
+
+
+def ompx_stream_create(device: Optional[Device] = None, name: str = "") -> Stream:
+    """``ompx_stream_create``: new asynchronous work queue."""
+    return Stream(device or current_device(), name=name)
+
+
+def ompx_stream_synchronize(stream: Stream) -> None:
+    """``ompx_stream_synchronize``: wait for a stream to drain."""
+    stream.synchronize()
+
+
+def ompx_occupancy_max_active_blocks(
+    kernel,
+    block_threads: int,
+    shared_bytes: int = 0,
+    device: Optional[Device] = None,
+) -> int:
+    """Resident blocks per SM for a kernel at a block size.
+
+    The ompx rendering of ``cudaOccupancyMaxActiveBlocksPerMultiprocessor``:
+    the kernel is "compiled" by the toolchain model and its register count
+    drives the standard occupancy calculation.  The Figure 8 harness uses
+    the same machinery internally, so numbers here match the model exactly.
+    """
+    from ..compiler.compile import compile_kernel
+    from ..perf.occupancy import compute_occupancy
+
+    spec = (device or current_device()).spec
+    compiled = compile_kernel(kernel, spec, shared_bytes=shared_bytes)
+    info = compute_occupancy(spec, block_threads, compiled.registers,
+                             compiled.effective_shared_bytes)
+    return info.blocks_per_sm

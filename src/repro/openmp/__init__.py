@@ -1,0 +1,124 @@
+"""Model of the LLVM OpenMP host runtime and target offloading.
+
+This is the paper's *baseline* programming model (its ``omp`` bars):
+directive-style target regions, the device data environment, tasking with
+``depend``, interop objects, and — crucially for the performance story — a
+model of LLVM's device code generation (generic-mode state machines,
+globalization, heap-to-shared) in :mod:`repro.openmp.codegen`.
+
+The kernel-language *extensions* the paper proposes live in
+:mod:`repro.ompx`, layered on top of this module.
+"""
+
+from .allocators import (
+    Allocator,
+    MemSpace,
+    omp_alloc,
+    omp_const_mem_alloc,
+    omp_default_mem_alloc,
+    omp_destroy_allocator,
+    omp_free,
+    omp_high_bw_mem_alloc,
+    omp_init_allocator,
+    omp_large_cap_mem_alloc,
+    omp_low_lat_mem_alloc,
+    omp_pteam_mem_alloc,
+    omp_thread_mem_alloc,
+)
+from .codegen import CodegenInfo, ExecMode, RegionTraits, lower_region
+from .data import (
+    DeviceDataEnvironment,
+    MapType,
+    TargetData,
+    data_environment,
+    omp_target_alloc,
+    omp_target_free,
+    omp_target_is_present,
+    omp_target_memcpy,
+)
+from .interop import (
+    InteropObj,
+    interop_destroy,
+    interop_init,
+    interop_use,
+    omp_get_interop_int,
+    omp_get_interop_ptr,
+    omp_get_interop_str,
+    omp_interop_none,
+)
+from .runtime import (
+    OmpThread,
+    omp_get_default_device,
+    omp_get_initial_device,
+    omp_get_num_devices,
+    omp_set_default_device,
+)
+from .target import (
+    TargetAccessor,
+    TargetRegionReport,
+    target,
+    target_teams_distribute_parallel_for,
+    target_teams_distribute_parallel_for_collapse,
+    target_teams_parallel,
+)
+from .task import (
+    DependType,
+    Task,
+    TaskRuntime,
+    default_task_runtime,
+    location_key,
+    register_depend_handler,
+)
+
+__all__ = [
+    "Allocator",
+    "MemSpace",
+    "omp_alloc",
+    "omp_const_mem_alloc",
+    "omp_default_mem_alloc",
+    "omp_destroy_allocator",
+    "omp_free",
+    "omp_high_bw_mem_alloc",
+    "omp_init_allocator",
+    "omp_large_cap_mem_alloc",
+    "omp_low_lat_mem_alloc",
+    "omp_pteam_mem_alloc",
+    "omp_thread_mem_alloc",
+    "CodegenInfo",
+    "ExecMode",
+    "RegionTraits",
+    "lower_region",
+    "DeviceDataEnvironment",
+    "MapType",
+    "TargetData",
+    "data_environment",
+    "omp_target_alloc",
+    "omp_target_free",
+    "omp_target_is_present",
+    "omp_target_memcpy",
+    "InteropObj",
+    "interop_destroy",
+    "interop_init",
+    "interop_use",
+    "omp_get_interop_int",
+    "omp_get_interop_ptr",
+    "omp_get_interop_str",
+    "omp_interop_none",
+    "OmpThread",
+    "omp_get_default_device",
+    "omp_get_initial_device",
+    "omp_get_num_devices",
+    "omp_set_default_device",
+    "TargetAccessor",
+    "TargetRegionReport",
+    "target",
+    "target_teams_distribute_parallel_for",
+    "target_teams_distribute_parallel_for_collapse",
+    "target_teams_parallel",
+    "DependType",
+    "Task",
+    "TaskRuntime",
+    "default_task_runtime",
+    "location_key",
+    "register_depend_handler",
+]

@@ -1,0 +1,208 @@
+"""OpenMP memory allocators (the §2.5 ``allocate`` machinery).
+
+§2.5 of the paper: CUDA names its memory spaces with keywords, while
+"in OpenMP, the allocate directive, combined with the appropriate
+allocator, serves a similar purpose".  This module implements that
+host-side machinery: the predefined allocators of the OpenMP spec,
+``omp_alloc``/``omp_free``, and ``omp_init_allocator`` with the trait
+set that matters on GPUs (alignment, fallback, pinning).
+
+Space mapping on a GPU target:
+
+* default / large-cap / high-bandwidth spaces -> device global memory;
+* constant space -> the device's constant bank is *host-initialized*
+  (``ompx_memcpy_to_symbol``); allocating from it at run time is
+  rejected, as real GPU targets do;
+* pteam / cgroup / thread spaces -> team-shared or thread-private storage
+  exists only inside a target region — the host-side allocator rejects
+  them and points at ``groupprivate`` (the paper's footnote syntax).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..errors import OpenMPError, OutOfMemoryError
+from ..gpu.device import Device, current_device
+from ..gpu.memory import DevicePointer
+
+__all__ = [
+    "MemSpace",
+    "Allocator",
+    "omp_default_mem_alloc",
+    "omp_large_cap_mem_alloc",
+    "omp_high_bw_mem_alloc",
+    "omp_const_mem_alloc",
+    "omp_low_lat_mem_alloc",
+    "omp_pteam_mem_alloc",
+    "omp_cgroup_mem_alloc",
+    "omp_thread_mem_alloc",
+    "omp_init_allocator",
+    "omp_destroy_allocator",
+    "omp_alloc",
+    "omp_free",
+]
+
+
+class MemSpace:
+    """The predefined OpenMP memory spaces."""
+
+    DEFAULT = "omp_default_mem_space"
+    LARGE_CAP = "omp_large_cap_mem_space"
+    CONST = "omp_const_mem_space"
+    HIGH_BW = "omp_high_bw_mem_space"
+    LOW_LAT = "omp_low_lat_mem_space"
+
+    #: Spaces that land in device global memory on a GPU target.
+    _GLOBAL = (DEFAULT, LARGE_CAP, HIGH_BW)
+
+
+#: Trait keys this model understands (a subset of the spec's table).
+_KNOWN_TRAITS = ("alignment", "fallback", "pinned", "pteam_scoped", "thread_scoped")
+_FALLBACKS = ("null_fb", "abort_fb", "default_mem_fb")
+
+
+@dataclass(frozen=True)
+class Allocator:
+    """An ``omp_allocator_handle_t``: a memory space plus traits."""
+
+    name: str
+    memspace: str
+    traits: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key in self.traits:
+            if key not in _KNOWN_TRAITS:
+                raise OpenMPError(
+                    f"unknown allocator trait {key!r}; supported: {_KNOWN_TRAITS}"
+                )
+        alignment = self.traits.get("alignment")
+        if alignment is not None:
+            if not isinstance(alignment, int) or alignment <= 0 or alignment & (alignment - 1):
+                raise OpenMPError(
+                    f"alignment trait must be a positive power of two, got {alignment!r}"
+                )
+        fallback = self.traits.get("fallback")
+        if fallback is not None and fallback not in _FALLBACKS:
+            raise OpenMPError(
+                f"fallback trait must be one of {_FALLBACKS}, got {fallback!r}"
+            )
+
+    @property
+    def alignment(self) -> int:
+        """Requested alignment in bytes (default 16, the spec minimum)."""
+        return int(self.traits.get("alignment", 16))
+
+
+# --- the predefined allocators -------------------------------------------------
+
+omp_default_mem_alloc = Allocator("omp_default_mem_alloc", MemSpace.DEFAULT)
+omp_large_cap_mem_alloc = Allocator("omp_large_cap_mem_alloc", MemSpace.LARGE_CAP)
+omp_high_bw_mem_alloc = Allocator("omp_high_bw_mem_alloc", MemSpace.HIGH_BW)
+omp_const_mem_alloc = Allocator("omp_const_mem_alloc", MemSpace.CONST)
+omp_low_lat_mem_alloc = Allocator("omp_low_lat_mem_alloc", MemSpace.LOW_LAT)
+omp_pteam_mem_alloc = Allocator(
+    "omp_pteam_mem_alloc", MemSpace.LOW_LAT, {"pteam_scoped": True}
+)
+omp_cgroup_mem_alloc = Allocator(
+    "omp_cgroup_mem_alloc", MemSpace.LOW_LAT, {"pteam_scoped": True}
+)
+omp_thread_mem_alloc = Allocator(
+    "omp_thread_mem_alloc", MemSpace.DEFAULT, {"thread_scoped": True}
+)
+
+_custom_allocators: Dict[int, Allocator] = {}
+_custom_lock = threading.Lock()
+_custom_counter = 0
+
+
+def omp_init_allocator(memspace: str, traits: Optional[Mapping[str, object]] = None) -> Allocator:
+    """``omp_init_allocator``: a custom allocator over a predefined space."""
+    if memspace not in (
+        MemSpace.DEFAULT, MemSpace.LARGE_CAP, MemSpace.CONST,
+        MemSpace.HIGH_BW, MemSpace.LOW_LAT,
+    ):
+        raise OpenMPError(f"unknown memory space {memspace!r}")
+    global _custom_counter
+    with _custom_lock:
+        _custom_counter += 1
+        allocator = Allocator(f"custom-{_custom_counter}", memspace, dict(traits or {}))
+        _custom_allocators[_custom_counter] = allocator
+    return allocator
+
+
+def omp_destroy_allocator(allocator: Allocator) -> None:
+    """``omp_destroy_allocator``: forget a custom allocator (predefined ones
+    are immortal, as in the spec)."""
+    with _custom_lock:
+        for key, value in list(_custom_allocators.items()):
+            if value is allocator:
+                del _custom_allocators[key]
+                return
+
+
+def omp_alloc(
+    size: int,
+    allocator: Allocator = omp_default_mem_alloc,
+    device: Optional[Device] = None,
+) -> DevicePointer:
+    """``omp_alloc``: allocate from the allocator's memory space.
+
+    On a GPU target the global-memory spaces map onto the device
+    allocator; team-, thread- and constant-scoped requests are host-side
+    errors (they only exist inside target regions / at program setup).
+    The ``fallback`` trait governs failure: ``null_fb`` returns the null
+    pointer instead of raising.
+    """
+    if size < 0:
+        raise OpenMPError(f"allocation size must be >= 0, got {size}")
+    device = device or current_device()
+    if allocator.traits.get("pteam_scoped"):
+        raise OpenMPError(
+            f"{allocator.name} allocates team-shared storage, which exists "
+            f"only inside a target region — use groupprivate there"
+        )
+    if allocator.traits.get("thread_scoped"):
+        raise OpenMPError(
+            f"{allocator.name} allocates thread-private storage, which exists "
+            f"only inside a target region"
+        )
+    if allocator.memspace == MemSpace.CONST:
+        raise OpenMPError(
+            "the constant space is host-initialized; upload symbols with "
+            "ompx_memcpy_to_symbol / cudaMemcpyToSymbol instead"
+        )
+    if allocator.memspace == MemSpace.LOW_LAT:
+        raise OpenMPError(
+            "the low-latency space maps to shared memory on GPU targets and "
+            "is only allocatable inside a target region"
+        )
+    try:
+        ptr = device.allocator.malloc(size)
+    except OutOfMemoryError:
+        fallback = allocator.traits.get("fallback", "default_mem_fb")
+        if fallback == "null_fb":
+            return DevicePointer(device.ordinal, 0)
+        raise
+    if ptr.address % allocator.alignment != 0:
+        # The device allocator aligns to 256 B, which satisfies every
+        # power-of-two alignment up to 256; larger requests are honoured by
+        # construction because the base address is itself 4 KiB-aligned.
+        raise OpenMPError(
+            f"allocator {allocator.name!r} could not satisfy alignment "
+            f"{allocator.alignment}"
+        )
+    return ptr
+
+
+def omp_free(
+    ptr: DevicePointer,
+    allocator: Allocator = omp_default_mem_alloc,
+    device: Optional[Device] = None,
+) -> None:
+    """``omp_free``: release an ``omp_alloc`` allocation (null is a no-op)."""
+    if ptr.is_null:
+        return
+    (device or current_device()).allocator.free(ptr)

@@ -1,0 +1,176 @@
+"""Model of LLVM OpenMP device code generation.
+
+The paper's performance story for the classic ``omp`` baseline rests on
+documented LLVM OpenMP code-generation behaviours (its refs [5] and [9] —
+Doerfert et al. IPDPS'22, Huber et al. CGO'22):
+
+* **Execution modes.**  A target region compiles to *SPMD* mode when the
+  compiler proves every thread executes the parallel region (``target
+  teams`` immediately followed by ``parallel``); otherwise it compiles to
+  *generic* mode, where one "main" thread runs serial team code and worker
+  threads sit in a **state machine** waiting for parallel regions.  When
+  the state machine cannot be rewritten/specialized, every parallel region
+  pays a broadcast + barrier round trip — this is why the paper's Stencil
+  ``omp`` version is ~100x slower (§4.2.6).
+* **Globalization.**  Locals that may be shared across threads are moved
+  ("globalized") from registers/stack to heap in global memory.  The
+  CGO'22 *heap-to-shared* optimization relocates small globalized
+  allocations into shared memory — which is why RSBench's ``omp`` version
+  beats CUDA on the A100 (2 KB of shared memory, §4.2.2).
+* **Runtime initialization.**  Generic/SPMD kernels start by initializing
+  the device runtime; ``ompx_bare`` kernels skip it entirely (§3.1).
+* **The Adam thread-limit bug.**  The paper reports (§4.2.5) an LLVM issue
+  that launches only 32 threads per block for Adam's ``omp`` version,
+  making it 8x slower.  Modelled as an explicit, opt-in defect flag.
+
+:class:`RegionTraits` captures the structural facts of a region (what a
+front end can see); :func:`lower_region` turns them into a
+:class:`CodegenInfo` (what the backend emitted).  The performance model
+consumes :class:`CodegenInfo`; nothing downstream hardcodes per-benchmark
+outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import CompileError
+
+__all__ = ["ExecMode", "RegionTraits", "CodegenInfo", "lower_region"]
+
+
+class ExecMode:
+    """Device execution modes LLVM OpenMP can emit (plus the paper's bare)."""
+
+    GENERIC = "generic"
+    SPMD = "spmd"
+    BARE = "bare"
+
+
+@dataclass(frozen=True)
+class RegionTraits:
+    """Structural facts about a target region, as a front end sees them."""
+
+    #: 'worksharing' = target teams distribute parallel for;
+    #: 'simt' = explicit nested parallel in SIMT style (paper Figure 3);
+    #: 'bare' = target teams ompx_bare (paper Figure 4).
+    style: str = "worksharing"
+    #: The compiler can prove all threads enter the parallel region with no
+    #: observable serial team code in between -> SPMD mode.
+    spmd_amenable: bool = True
+    #: Serial team-code between `teams` and `parallel` contains runtime
+    #: calls or side effects -> the generic state machine cannot be
+    #: specialized away.
+    state_machine_rewritable: bool = True
+    #: Bytes of local variables per team that must be globalized because the
+    #: compiler cannot prove they stay thread-private.
+    escaping_local_bytes: int = 0
+    #: Whether the kernel uses block-level synchronization.
+    uses_barrier: bool = False
+    #: Whether the region body calls device functions that resist inlining
+    #: cleanup (drives binary-size differences, §4.2.3).
+    device_fn_calls: int = 0
+    #: Known-constant thread count requested via thread_limit.
+    requested_thread_limit: Optional[int] = None
+    #: Opt-in model of the LLVM issue behind Adam's 8x slowdown: thread
+    #: limit inference fails and the launch defaults to one warp.
+    thread_limit_bug: bool = False
+
+    def __post_init__(self) -> None:
+        if self.style not in ("worksharing", "simt", "bare"):
+            raise CompileError(f"unknown region style {self.style!r}")
+        if self.escaping_local_bytes < 0:
+            raise CompileError("escaping_local_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class CodegenInfo:
+    """What the device backend emitted for one target region."""
+
+    mode: str
+    runtime_init: bool
+    state_machine: bool
+    #: Globalized bytes that stayed on the heap (global memory).
+    globalized_heap_bytes: int
+    #: Globalized bytes the heap-to-shared optimization moved to shared mem.
+    heap_to_shared_bytes: int
+    #: Threads per block the launch will actually use.
+    effective_thread_limit: Optional[int]
+    #: Extra registers the runtime presence costs each thread.
+    register_overhead: int
+    #: Extra bytes of device binary from runtime + unresolved device calls.
+    binary_overhead_bytes: int
+
+    @property
+    def is_bare(self) -> bool:
+        return self.mode == ExecMode.BARE
+
+
+# Shared-memory budget the heap-to-shared optimization may claim per team
+# (the CGO'22 implementation is similarly conservative).
+_HEAP_TO_SHARED_BUDGET = 4 * 1024
+# Device runtime footprint, in registers and binary bytes, for kernels that
+# keep the runtime (SPMD) vs. also keep worker state machines (generic).
+_RUNTIME_REGISTERS_SPMD = 6
+_RUNTIME_REGISTERS_GENERIC = 14
+_RUNTIME_BINARY_SPMD = 8 * 1024
+_RUNTIME_BINARY_GENERIC = 24 * 1024
+_UNRESOLVED_DEVICE_FN_BYTES = 4 * 1024
+
+
+def lower_region(traits: RegionTraits, *, optimize_heap_to_shared: bool = True) -> CodegenInfo:
+    """Lower a target region's traits to codegen facts.
+
+    ``optimize_heap_to_shared`` corresponds to the CGO'22 optimization
+    being enabled (it is, in the LLVM the paper builds on); tests flip it
+    off to measure its contribution (an ablation the paper implies in
+    §4.2.2).
+    """
+    if traits.style == "bare":
+        # §3.1: no runtime init, no state machine, no globalization — local
+        # variables keep their natural (private) storage.
+        return CodegenInfo(
+            mode=ExecMode.BARE,
+            runtime_init=False,
+            state_machine=False,
+            globalized_heap_bytes=0,
+            heap_to_shared_bytes=0,
+            effective_thread_limit=traits.requested_thread_limit,
+            register_overhead=0,
+            binary_overhead_bytes=traits.device_fn_calls * _UNRESOLVED_DEVICE_FN_BYTES,
+        )
+
+    spmd = traits.spmd_amenable and not traits.thread_limit_bug
+    mode = ExecMode.SPMD if spmd else ExecMode.GENERIC
+    state_machine = mode == ExecMode.GENERIC and not traits.state_machine_rewritable
+
+    to_shared = 0
+    heap = traits.escaping_local_bytes
+    if optimize_heap_to_shared and heap and heap <= _HEAP_TO_SHARED_BUDGET:
+        to_shared, heap = heap, 0
+
+    effective = traits.requested_thread_limit
+    if traits.thread_limit_bug:
+        # The LLVM issue the paper hit with Adam: the launch collapses to a
+        # single warp per block.
+        effective = 32 if effective is None else min(effective, 32)
+
+    if mode == ExecMode.SPMD:
+        reg_overhead = _RUNTIME_REGISTERS_SPMD
+        bin_overhead = _RUNTIME_BINARY_SPMD
+    else:
+        reg_overhead = _RUNTIME_REGISTERS_GENERIC
+        bin_overhead = _RUNTIME_BINARY_GENERIC
+
+    return CodegenInfo(
+        mode=mode,
+        runtime_init=True,
+        state_machine=state_machine,
+        globalized_heap_bytes=heap,
+        heap_to_shared_bytes=to_shared,
+        effective_thread_limit=effective,
+        register_overhead=reg_overhead,
+        binary_overhead_bytes=bin_overhead
+        + traits.device_fn_calls * _UNRESOLVED_DEVICE_FN_BYTES,
+    )

@@ -1,0 +1,110 @@
+"""OpenMP 5.1 interop: foreign-runtime objects carrying a stream.
+
+§3.5 of the paper: ``#pragma omp interop init(targetsync: obj)`` hands the
+user an object whose *targetsync* property is a native stream/queue of the
+offload runtime.  Here the foreign runtime is the virtual GPU, so the
+targetsync property is a :class:`repro.gpu.Stream`.
+
+The property-query API follows OpenMP 5.2 (``omp_get_interop_*``); the
+small enum subset covers what the paper's Figure 5 flow needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..errors import InteropError
+from ..gpu.device import Device, current_device
+from ..gpu.stream import Stream
+
+__all__ = [
+    "omp_interop_none",
+    "InteropObj",
+    "interop_init",
+    "interop_use",
+    "interop_destroy",
+    "omp_get_interop_int",
+    "omp_get_interop_ptr",
+    "omp_get_interop_str",
+]
+
+#: The uninitialized interop value (``omp_interop_none`` in the spec).
+omp_interop_none = None
+
+_interop_ids = itertools.count(1)
+
+
+class InteropObj:
+    """A live ``omp_interop_t`` created with ``init(targetsync: obj)``."""
+
+    def __init__(self, device: Device) -> None:
+        self._id = next(_interop_ids)
+        self.device = device
+        self._stream: Optional[Stream] = Stream(device, name=f"interop-{self._id}")
+
+    @property
+    def targetsync(self) -> Stream:
+        """The foreign synchronization object (the stream)."""
+        if self._stream is None:
+            raise InteropError("interop object used after omp_interop_destroy")
+        return self._stream
+
+    @property
+    def is_destroyed(self) -> bool:
+        return self._stream is None
+
+    def _destroy(self) -> None:
+        if self._stream is not None:
+            self._stream.synchronize()
+            self._stream.close()
+            self._stream = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "destroyed" if self.is_destroyed else "live"
+        return f"<omp_interop_t #{self._id} on {self.device.spec.name} ({state})>"
+
+
+def interop_init(*, targetsync: bool = True, device: Optional[Device] = None) -> InteropObj:
+    """``#pragma omp interop init(targetsync: obj) [device(...)]``."""
+    if not targetsync:
+        raise InteropError(
+            "only init(targetsync: ...) is supported; the paper's extension "
+            "is about streams, not contexts"
+        )
+    return InteropObj(device or current_device())
+
+
+def interop_use(obj: InteropObj) -> None:
+    """``#pragma omp interop use(obj)`` — synchronize with the foreign queue."""
+    obj.targetsync.synchronize()
+
+
+def interop_destroy(obj: InteropObj) -> None:
+    """``#pragma omp interop destroy(obj)``."""
+    obj._destroy()
+
+
+# --- property queries (OpenMP 5.2 API shapes) -------------------------------
+
+def omp_get_interop_int(obj: InteropObj, prop: str) -> int:
+    """Query an integer interop property (``device_num``)."""
+    if prop == "device_num":
+        return obj.device.ordinal
+    raise InteropError(f"unknown integer interop property {prop!r}")
+
+
+def omp_get_interop_ptr(obj: InteropObj, prop: str):
+    """Query a pointer interop property (``targetsync``)."""
+    if prop == "targetsync":
+        return obj.targetsync
+    raise InteropError(f"unknown pointer interop property {prop!r}")
+
+
+def omp_get_interop_str(obj: InteropObj, prop: str) -> str:
+    """Query a string interop property (``vendor``/``device``)."""
+    if prop == "vendor":
+        return obj.device.spec.vendor
+    if prop == "device":
+        return obj.device.spec.name
+    raise InteropError(f"unknown string interop property {prop!r}")

@@ -1,0 +1,100 @@
+"""OpenMP host runtime: ICVs and device-query API.
+
+The subset of the OpenMP 5.x API the paper's examples rely on, plus the
+device-side query functions (``omp_get_team_num`` & co.) as they appear
+inside target regions — those live on the :class:`OmpThread` façade since
+they are per-thread state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..gpu.context import ThreadCtx
+from ..gpu.device import Device, get_device, registered_devices
+
+__all__ = [
+    "omp_get_num_devices",
+    "omp_get_initial_device",
+    "omp_get_default_device",
+    "omp_set_default_device",
+    "OmpThread",
+]
+
+_state = threading.local()
+_INITIAL_DEVICE = -1  # the host, per OpenMP convention
+
+
+def omp_get_num_devices() -> int:
+    """Number of available non-host devices."""
+    return len(registered_devices())
+
+
+def omp_get_initial_device() -> int:
+    """The host device number (we use -1, a common implementation choice)."""
+    return _INITIAL_DEVICE
+
+
+def omp_get_default_device() -> int:
+    """The default-device ICV."""
+    return getattr(_state, "default_device", 0)
+
+
+def omp_set_default_device(ordinal: int) -> None:
+    """Set the default-device ICV (validates the ordinal)."""
+    get_device(ordinal)  # validate
+    _state.default_device = ordinal
+
+
+class OmpThread:
+    """OpenMP-spelled device-side façade over one simulated GPU thread.
+
+    This is what code inside a *classic* SIMT-style target region sees
+    (the paper's Figure 3): ``omp_get_thread_num``, ``omp_get_team_num``,
+    ``barrier`` — plus ``groupprivate`` for team-shared storage, using the
+    proposed syntax from the paper's §2.5 footnote.
+    """
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: ThreadCtx) -> None:
+        self._ctx = ctx
+
+    # --- OpenMP device API --------------------------------------------------
+    def omp_get_thread_num(self) -> int:
+        """Thread number within the team (flat, x fastest)."""
+        return self._ctx.flat_thread_id
+
+    def omp_get_num_threads(self) -> int:
+        """Threads in the current team (``omp_get_num_threads``)."""
+        return self._ctx.num_threads
+
+    def omp_get_team_num(self) -> int:
+        """This team's index (``omp_get_team_num``)."""
+        return self._ctx.flat_block_id
+
+    def omp_get_num_teams(self) -> int:
+        """Number of teams in the league (``omp_get_num_teams``)."""
+        return self._ctx.num_blocks
+
+    def omp_get_team_size(self) -> int:
+        """Alias of ``omp_get_num_threads`` at team scope (Figure 3 uses it)."""
+        return self._ctx.num_threads
+
+    def barrier(self) -> None:
+        """``#pragma omp barrier`` inside a parallel region on the device."""
+        self._ctx.sync_threads()
+
+    # --- memory ---------------------------------------------------------------
+    def groupprivate(self, name: str, shape, dtype):
+        """``#pragma omp groupprivate(team: var)`` — team-shared storage."""
+        return self._ctx.shared_array(name, shape, dtype)
+
+    def deref(self, ptr, shape, dtype):
+        """View global memory at a device pointer as an array."""
+        return self._ctx.deref(ptr, shape, dtype)
+
+    @property
+    def ctx(self) -> ThreadCtx:
+        return self._ctx

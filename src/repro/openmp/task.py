@@ -1,0 +1,286 @@
+"""OpenMP tasking: ``nowait`` target tasks, ``depend`` clauses, ``taskwait``.
+
+§2.4 of the paper: asynchrony in OpenMP comes from ``nowait`` + ``depend``
++ ``taskwait``, executed (in LLVM) by *hidden helper threads* (the paper's
+ref [26]).  This module implements that machinery:
+
+* a :class:`TaskRuntime` with a fixed pool of hidden helper threads,
+* ``in``/``out``/``inout`` dependence resolution over storage locations
+  (the OpenMP rule: only the *location* of the list item matters — the
+  exact limitation §3.5 calls out),
+* ``taskwait``, optionally restricted by a ``depend`` clause.
+
+The paper's §3.5 extension — ``depend(interopobj: obj)`` — is *not* here:
+it is the contribution, so it lives in :mod:`repro.ompx.depend`, which
+registers a handler through :func:`register_depend_handler`.  Stock
+OpenMP rejects that dependence type, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import DependenceError
+from ..gpu.memory import DevicePointer
+
+__all__ = [
+    "DependType",
+    "Task",
+    "TaskRuntime",
+    "default_task_runtime",
+    "register_depend_handler",
+    "location_key",
+]
+
+
+class DependType:
+    """Dependence types accepted by the ``depend`` clause."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+    #: The paper's §3.5 extension; only usable once repro.ompx.depend has
+    #: registered its handler.
+    INTEROPOBJ = "interopobj"
+
+    _STOCK = (IN, OUT, INOUT)
+
+
+def location_key(item) -> Tuple:
+    """The storage-location identity used for dependence matching.
+
+    Per the OpenMP spec (and §3.5's complaint), only the location is used —
+    not any semantics of the object.
+    """
+    if isinstance(item, np.ndarray):
+        return ("host", item.__array_interface__["data"][0], item.nbytes)
+    if isinstance(item, DevicePointer):
+        return ("device", item.device_ordinal, item.address)
+    return ("object", id(item))
+
+
+_task_ids = itertools.count(1)
+
+
+@dataclass(eq=False)
+class Task:
+    """One deferred task and its completion state (identity-hashed)."""
+
+    fn: Callable[[], None]
+    name: str
+    depends: Tuple[Tuple[str, object], ...]
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    done: threading.Event = field(default_factory=threading.Event)
+    error: Optional[BaseException] = None
+    _pending: int = 0
+    _dependents: List["Task"] = field(default_factory=list)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until released (all live threads arrived / task completed)."""
+        return self.done.wait(timeout)
+
+
+# Handlers for extension dependence types (type -> callable).  The ompx
+# layer registers "interopobj" here; see repro/ompx/depend.py.
+_depend_handlers: Dict[str, Callable] = {}
+
+
+def register_depend_handler(depend_type: str, handler: Callable) -> None:
+    """Register an extension dependence type (used by repro.ompx.depend)."""
+    _depend_handlers[depend_type] = handler
+
+
+class TaskRuntime:
+    """Hidden-helper-thread execution of deferred tasks.
+
+    LLVM OpenMP runs ``nowait`` target tasks on a dedicated team of hidden
+    helper threads; we model that with a fixed worker pool pulling tasks
+    whose predecessors have completed.
+    """
+
+    def __init__(self, num_helpers: int = 8) -> None:
+        if num_helpers < 1:
+            raise ValueError("need at least one hidden helper thread")
+        self.num_helpers = num_helpers
+        self._lock = threading.RLock()
+        self._ready: "queue.Queue[Optional[Task]]" = queue.Queue()
+        self._last_writer: Dict[Tuple, Task] = {}
+        self._readers_since_write: Dict[Tuple, List[Task]] = {}
+        self._outstanding: Set[Task] = set()
+        self._all_done = threading.Condition(self._lock)
+        self._workers = [
+            threading.Thread(target=self._work, name=f"hidden-helper-{i}", daemon=True)
+            for i in range(num_helpers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # --- worker loop ----------------------------------------------------------
+    def _work(self) -> None:
+        while True:
+            task = self._ready.get()
+            if task is None:
+                break
+            try:
+                task.fn()
+            except BaseException as exc:  # noqa: BLE001 - reported at wait
+                task.error = exc
+            finally:
+                self._complete(task)
+
+    def _complete(self, task: Task) -> None:
+        with self._lock:
+            task.done.set()
+            for dependent in task._dependents:
+                dependent._pending -= 1
+                if dependent._pending == 0:
+                    self._ready.put(dependent)
+            self._outstanding.discard(task)
+            if not self._outstanding:
+                self._all_done.notify_all()
+
+    # --- submission -----------------------------------------------------------
+    def _predecessors(self, depends: Sequence[Tuple[str, object]]) -> Set[Task]:
+        """OpenMP dependence matching against previously generated tasks."""
+        preds: Set[Task] = set()
+        for kind, item in depends:
+            key = location_key(item)
+            if kind == DependType.IN:
+                writer = self._last_writer.get(key)
+                if writer is not None:
+                    preds.add(writer)
+            elif kind in (DependType.OUT, DependType.INOUT):
+                writer = self._last_writer.get(key)
+                if writer is not None:
+                    preds.add(writer)
+                preds.update(self._readers_since_write.get(key, ()))
+            else:
+                raise DependenceError(
+                    f"dependence type {kind!r} is not a stock OpenMP type; "
+                    f"did you mean to use the ompx extension?"
+                )
+        return preds
+
+    def _record(self, task: Task, depends: Sequence[Tuple[str, object]]) -> None:
+        for kind, item in depends:
+            key = location_key(item)
+            if kind == DependType.IN:
+                self._readers_since_write.setdefault(key, []).append(task)
+            else:
+                self._last_writer[key] = task
+                self._readers_since_write[key] = []
+
+    def submit(
+        self,
+        fn: Callable[[], None],
+        depends: Sequence[Tuple[str, object]] = (),
+        name: str = "",
+    ) -> Task:
+        """Generate a deferred task (a ``nowait`` construct with ``depend``).
+
+        Extension dependence types (registered via
+        :func:`register_depend_handler`) take over scheduling for the whole
+        task — e.g. ``interopobj`` routes it into a stream.  Stock types go
+        through the graph + hidden helper pool.
+        """
+        depends = tuple(depends)
+        extension = [d for d in depends if d[0] in _depend_handlers]
+        stock = [d for d in depends if d[0] not in _depend_handlers]
+        for kind, _ in stock:
+            if kind not in DependType._STOCK:
+                raise DependenceError(
+                    f"unknown dependence type {kind!r}: stock OpenMP supports "
+                    f"{DependType._STOCK}; 'interopobj' needs the ompx extension "
+                    f"(import repro.ompx)"
+                )
+        task = Task(fn=fn, name=name or fn.__name__, depends=depends)
+
+        if extension:
+            if len(extension) > 1:
+                raise DependenceError(
+                    "at most one extension dependence (e.g. interopobj) per task"
+                )
+            kind, item = extension[0]
+            handler = _depend_handlers[kind]
+            with self._lock:
+                preds = self._predecessors(stock)
+                self._record(task, stock)
+                self._outstanding.add(task)
+            # The handler owns execution; it must call runtime._complete-like
+            # finalization through the provided callback.
+            handler(self, task, item, preds)
+            return task
+
+        with self._lock:
+            # A predecessor may already have completed (its entry lingers in
+            # the location tables); registering on it would leave _pending
+            # stuck, since completion notifications already went out.  The
+            # done-check is race-free: _complete() sets done under this lock.
+            preds = {p for p in self._predecessors(stock) if not p.done.is_set()}
+            task._pending = len(preds)
+            for pred in preds:
+                pred._dependents.append(task)
+            self._record(task, stock)
+            self._outstanding.add(task)
+            if task._pending == 0:
+                self._ready.put(task)
+        return task
+
+    # Used by extension handlers (ompx.depend) to finish a task they ran.
+    def finish_extension_task(self, task: Task, error: Optional[BaseException]) -> None:
+        """Complete a task an extension handler executed (handler hook)."""
+        task.error = error
+        self._complete(task)
+
+    # --- waiting -----------------------------------------------------------------
+    def taskwait(self, depends: Optional[Sequence[Tuple[str, object]]] = None) -> None:
+        """``#pragma omp taskwait`` — optionally with a ``depend`` clause.
+
+        Without ``depends``, waits for all outstanding tasks.  With it,
+        waits only for tasks that a new task with those dependences would
+        have to wait for (the OpenMP 5.x semantics).
+        """
+        if depends is None:
+            with self._lock:
+                pending = set(self._outstanding)
+        else:
+            extension = [d for d in depends if d[0] in _depend_handlers]
+            stock = [d for d in depends if d[0] not in _depend_handlers]
+            for kind, item in extension:
+                _depend_handlers[kind](self, None, item, set())  # None task = pure wait
+            with self._lock:
+                pending = self._predecessors(stock)
+        for task in pending:
+            task.wait()
+        errors = [t for t in pending if t.error is not None]
+        if errors:
+            first = min(errors, key=lambda t: t.task_id)
+            raise DependenceError(
+                f"task {first.name!r} failed: {first.error!r}"
+            ) from first.error
+
+    def shutdown(self) -> None:
+        """Stop the helper pool (test teardown)."""
+        for _ in self._workers:
+            self._ready.put(None)
+        for worker in self._workers:
+            worker.join(timeout=5)
+
+
+_default_runtime: Optional[TaskRuntime] = None
+_default_lock = threading.Lock()
+
+
+def default_task_runtime() -> TaskRuntime:
+    """The process-wide task runtime (lazily created)."""
+    global _default_runtime
+    with _default_lock:
+        if _default_runtime is None:
+            _default_runtime = TaskRuntime()
+        return _default_runtime

@@ -1,0 +1,54 @@
+"""Analytic GPU performance model.
+
+Absolute GPU timings cannot be reproduced without the paper's hardware,
+so the harness prices each (application, version, system) cell with a
+standard occupancy + roofline + overhead model whose inputs come from the
+compiler model (:mod:`repro.compiler`) and from each application's
+analytically derived workload footprint.  The paper's qualitative results
+— who wins, by roughly what factor, and why — fall out of the modelled
+mechanisms; see EXPERIMENTS.md for the paper-vs-model comparison.
+"""
+
+from .occupancy import OccupancyInfo, compute_occupancy
+from .overheads import (
+    globalization_extra_bytes,
+    launch_overhead_seconds,
+    throughput_scale,
+)
+from .roofline import SATURATION_OCCUPANCY, Footprint, roofline_seconds, saturation
+from .timing import (
+    AMD_SYSTEM,
+    NVIDIA_SYSTEM,
+    SystemConfig,
+    TimeBreakdown,
+    estimate_time,
+)
+from .transfer import (
+    INFINITY_FABRIC_HOST,
+    PCIE4_X16,
+    HostLink,
+    TransferPlan,
+    transfer_seconds,
+)
+
+__all__ = [
+    "OccupancyInfo",
+    "compute_occupancy",
+    "globalization_extra_bytes",
+    "launch_overhead_seconds",
+    "throughput_scale",
+    "SATURATION_OCCUPANCY",
+    "Footprint",
+    "roofline_seconds",
+    "saturation",
+    "AMD_SYSTEM",
+    "NVIDIA_SYSTEM",
+    "SystemConfig",
+    "TimeBreakdown",
+    "estimate_time",
+    "INFINITY_FABRIC_HOST",
+    "PCIE4_X16",
+    "HostLink",
+    "TransferPlan",
+    "transfer_seconds",
+]

@@ -1,0 +1,79 @@
+"""GPU occupancy: how many blocks fit on an SM/CU at once.
+
+Occupancy is the hinge between the compiler model and timing: the paper's
+SU3 analysis (§4.2.3) is exactly "two more registers -> fewer resident
+warps -> 9% slower on the A100".  The calculation below is the standard
+one hardware vendors document: resident blocks per SM are limited by the
+block slots, the thread slots, the register file and the shared-memory
+budget; occupancy is resident warps over the maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PerfModelError
+from ..gpu.device import DeviceSpec
+
+__all__ = ["OccupancyInfo", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyInfo:
+    """Resident-work numbers for one kernel configuration on one device."""
+
+    blocks_per_sm: int
+    active_threads_per_sm: int
+    occupancy: float  # resident warps / max warps, in (0, 1]
+    limiter: str      # which resource capped residency
+
+    @property
+    def is_register_limited(self) -> bool:
+        return self.limiter == "registers"
+
+
+def compute_occupancy(
+    spec: DeviceSpec,
+    block_threads: int,
+    registers_per_thread: int,
+    shared_bytes_per_block: int = 0,
+) -> OccupancyInfo:
+    """Resident blocks/warps for a (block size, registers, shared) triple."""
+    if block_threads <= 0:
+        raise PerfModelError(f"block_threads must be positive, got {block_threads}")
+    if block_threads > spec.max_threads_per_block:
+        raise PerfModelError(
+            f"block of {block_threads} threads exceeds the device limit "
+            f"{spec.max_threads_per_block}"
+        )
+    if registers_per_thread <= 0:
+        raise PerfModelError("registers_per_thread must be positive")
+    if shared_bytes_per_block < 0:
+        raise PerfModelError("shared_bytes_per_block must be >= 0")
+
+    limits = {
+        "blocks": spec.max_blocks_per_sm,
+        "threads": spec.max_threads_per_sm // block_threads,
+        "registers": spec.registers_per_sm // (registers_per_thread * block_threads),
+    }
+    if shared_bytes_per_block > 0:
+        limits["shared"] = spec.shared_mem_per_sm // shared_bytes_per_block
+
+    limiter, blocks = min(limits.items(), key=lambda item: item[1])
+    if blocks == 0:
+        raise PerfModelError(
+            f"kernel cannot be resident: one block needs "
+            f"{registers_per_thread * block_threads} registers / "
+            f"{shared_bytes_per_block} B shared, device offers "
+            f"{spec.registers_per_sm} / {spec.shared_mem_per_sm}"
+        )
+    active_threads = blocks * block_threads
+    max_warps = spec.max_threads_per_sm // spec.warp_size
+    resident_warps = active_threads // spec.warp_size
+    resident_warps = max(resident_warps, 1)
+    return OccupancyInfo(
+        blocks_per_sm=blocks,
+        active_threads_per_sm=active_threads,
+        occupancy=min(1.0, resident_warps / max_warps),
+        limiter=limiter,
+    )

@@ -1,0 +1,81 @@
+"""Per-launch overheads and structural throughput losses.
+
+These terms carry the ``omp``-vs-``ompx`` differences that the paper's
+§3.1 motivates and §4.2 measures:
+
+* every kernel pays the driver's **launch latency**;
+* classic OpenMP kernels additionally pay **device runtime
+  initialization** at kernel start — the cost ``ompx_bare`` deletes;
+* a **generic-mode state machine that could not be rewritten** parks the
+  worker warps: only the main warp makes progress through team code and
+  region dispatch, so throughput drops by roughly the warps-per-block
+  factor (Stencil's ~100x collapse, §4.2.6);
+* the **thread-limit bug** launches the grid computed for a full block
+  with one warp per block, losing parallelism by the requested/effective
+  ratio (Adam's 8x, §4.2.5);
+* **globalized locals** that stayed on the heap turn register traffic
+  into global-memory traffic.
+"""
+
+from __future__ import annotations
+
+from ..errors import PerfModelError
+from ..gpu.device import DeviceSpec
+from ..openmp.codegen import CodegenInfo
+
+__all__ = [
+    "launch_overhead_seconds",
+    "throughput_scale",
+    "globalization_extra_bytes",
+]
+
+#: Runtime-initialization costs at kernel start (seconds), from the
+#: near-zero-overhead analysis in Doerfert et al. (IPDPS'22): SPMD kernels
+#: keep a slim prologue, generic kernels set up the full state machine.
+_RUNTIME_INIT_SPMD_S = 1.5e-6
+_RUNTIME_INIT_GENERIC_S = 4.0e-6
+
+#: How often a globalized local is touched over a team's lifetime; heap
+#: locals are reloaded/stored around every parallel region boundary.
+_GLOBALIZED_REUSE = 4.0
+
+
+def launch_overhead_seconds(codegen: CodegenInfo, spec: DeviceSpec) -> float:
+    """Fixed cost of one kernel launch under this codegen."""
+    overhead = spec.kernel_launch_latency_us * 1e-6
+    if codegen.runtime_init:
+        overhead += (
+            _RUNTIME_INIT_GENERIC_S if codegen.mode == "generic" else _RUNTIME_INIT_SPMD_S
+        )
+    return overhead
+
+
+def throughput_scale(
+    codegen: CodegenInfo,
+    *,
+    requested_block_threads: int,
+    spec: DeviceSpec,
+) -> float:
+    """Structural parallelism retained, in (0, 1].
+
+    Composes the state-machine serialization and the thread-limit bug;
+    both are mechanisms, so a kernel suffering both multiplies the losses.
+    """
+    if requested_block_threads <= 0:
+        raise PerfModelError("requested_block_threads must be positive")
+    scale = 1.0
+    effective_block = requested_block_threads
+    if codegen.effective_thread_limit is not None:
+        effective_block = min(requested_block_threads, codegen.effective_thread_limit)
+        scale *= effective_block / requested_block_threads
+    if codegen.state_machine:
+        warps_per_block = max(1, effective_block // spec.warp_size)
+        scale /= warps_per_block
+    return max(scale, 1e-6)
+
+
+def globalization_extra_bytes(codegen: CodegenInfo, teams: int) -> float:
+    """Extra global-memory traffic from heap-globalized locals."""
+    if teams < 0:
+        raise PerfModelError("teams must be >= 0")
+    return codegen.globalized_heap_bytes * teams * _GLOBALIZED_REUSE

@@ -1,0 +1,136 @@
+"""Roofline timing: a kernel is bounded by memory or compute, whichever
+is slower at its achieved occupancy.
+
+:class:`Footprint` is the workload side of the model: how many bytes and
+flops one kernel launch moves/executes.  Each application derives its
+footprint analytically from its command-line parameters (the same
+arithmetic one does on paper when sanity-checking measured GPU numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import PerfModelError
+from ..gpu.device import DeviceSpec
+
+__all__ = ["Footprint", "saturation", "roofline_seconds"]
+
+#: Occupancy at which throughput saturates.  Memory latency on modern GPUs
+#: is hidden with roughly a third of maximum residency; beyond that, more
+#: warps add nothing (the standard "enough warps" rule of thumb).
+SATURATION_OCCUPANCY = 0.35
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Work moved/executed by ONE kernel launch."""
+
+    flops_fp64: float = 0.0
+    flops_fp32: float = 0.0
+    int_ops: float = 0.0
+    #: Special-function operations (pow/exp/sqrt/sin) — priced against the
+    #: device's SFU throughput, which differs sharply between vendors.
+    special_ops: float = 0.0
+    global_read_bytes: float = 0.0
+    global_write_bytes: float = 0.0
+    shared_bytes: float = 0.0
+    #: Latency-bound extra: dependent global round trips on the critical
+    #: path of a typical thread (e.g. pointer chasing in table lookups).
+    dependent_accesses: float = 0.0
+    #: Fraction of warp lanes doing useful work (control divergence).
+    #: Monte Carlo material lookups sit well below 1.0; wider wavefronts
+    #: diverge harder (the roofline derates AMD's 64-wide waves further).
+    warp_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.warp_efficiency <= 1:
+            raise PerfModelError(
+                f"Footprint.warp_efficiency must be in (0, 1], got {self.warp_efficiency}"
+            )
+        for name in (
+            "flops_fp64", "flops_fp32", "int_ops", "special_ops",
+            "global_read_bytes", "global_write_bytes", "shared_bytes",
+            "dependent_accesses",
+        ):
+            if getattr(self, name) < 0:
+                raise PerfModelError(f"Footprint.{name} must be >= 0")
+
+    @property
+    def global_bytes(self) -> float:
+        return self.global_read_bytes + self.global_write_bytes
+
+    def scaled(self, factor: float) -> "Footprint":
+        """Uniformly scale the workload (e.g. problem-size sweeps)."""
+        return replace(
+            self,
+            flops_fp64=self.flops_fp64 * factor,
+            flops_fp32=self.flops_fp32 * factor,
+            int_ops=self.int_ops * factor,
+            special_ops=self.special_ops * factor,
+            global_read_bytes=self.global_read_bytes * factor,
+            global_write_bytes=self.global_write_bytes * factor,
+            shared_bytes=self.shared_bytes * factor,
+            dependent_accesses=self.dependent_accesses * factor,
+        )
+
+    def with_extra_global_bytes(self, extra: float) -> "Footprint":
+        """Add traffic (e.g. globalization spill) split evenly read/write."""
+        return replace(
+            self,
+            global_read_bytes=self.global_read_bytes + extra / 2,
+            global_write_bytes=self.global_write_bytes + extra / 2,
+        )
+
+
+def saturation(occupancy: float, knee: float = SATURATION_OCCUPANCY) -> float:
+    """Fraction of peak throughput achieved at a given occupancy."""
+    if not 0 < occupancy <= 1:
+        raise PerfModelError(f"occupancy must be in (0, 1], got {occupancy}")
+    return min(1.0, occupancy / knee)
+
+
+#: DRAM latency per dependent access (seconds); ~500 cycles at ~1.4 GHz.
+_DRAM_LATENCY_S = 350e-9
+
+
+def roofline_seconds(
+    footprint: Footprint,
+    spec: DeviceSpec,
+    *,
+    occupancy: float,
+    efficiency: float = 1.0,
+    throughput_scale: float = 1.0,
+) -> float:
+    """Seconds for one launch of this footprint on this device.
+
+    ``efficiency`` is the toolchain's instruction-stream quality;
+    ``throughput_scale`` carries structural parallelism losses (state
+    machine serialization, thread-limit bugs) as a multiplier in (0, 1].
+    """
+    if efficiency <= 0:
+        raise PerfModelError(f"efficiency must be positive, got {efficiency}")
+    if not 0 < throughput_scale <= 1:
+        raise PerfModelError(f"throughput_scale must be in (0, 1], got {throughput_scale}")
+    # Divergence derating: lanes off the active path do no useful work, and
+    # a 64-wide wavefront keeps more lanes idle than a 32-wide warp for the
+    # same branchy code.
+    divergence = footprint.warp_efficiency * (32.0 / spec.warp_size) ** 0.25 \
+        if footprint.warp_efficiency < 1.0 else 1.0
+    sat = saturation(occupancy) * efficiency * throughput_scale * divergence
+
+    t_mem = footprint.global_bytes / (spec.peak_bandwidth_gbs * 1e9 * sat)
+    t_shared = footprint.shared_bytes / (spec.shared_bandwidth_gbs * 1e9 * sat)
+    t_fp64 = footprint.flops_fp64 / (spec.peak_fp64_gflops * 1e9 * sat)
+    t_fp32 = footprint.flops_fp32 / (spec.peak_fp32_gflops * 1e9 * sat)
+    t_int = footprint.int_ops / (spec.peak_int_gops * 1e9 * sat)
+    t_special = footprint.special_ops / (spec.peak_special_gops * 1e9 * sat)
+    t_compute = t_fp64 + t_fp32 + t_int + t_special
+
+    # Dependent accesses are latency-bound: warps in flight hide part of
+    # the chain, but the remainder serializes on DRAM latency.
+    t_latency = footprint.dependent_accesses * _DRAM_LATENCY_S / max(sat, 1e-9) / (
+        spec.num_sms * spec.max_threads_per_sm / spec.warp_size
+    )
+
+    return max(t_mem, t_compute, t_shared) + t_latency

@@ -1,0 +1,134 @@
+"""End-to-end kernel timing: compile artifact + footprint -> seconds.
+
+Combines occupancy (from the compiled kernel's resources), the roofline
+(from the workload footprint), and the structural overheads (from the
+OpenMP codegen facts).  The Figure 8 harness calls :func:`estimate_time`
+once per (application, version, system) cell.
+
+Also defines the two evaluation systems of the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compiler.compile import CompiledKernel
+from ..errors import PerfModelError
+from ..gpu.device import A100_SPEC, MI250_SPEC, DeviceSpec
+from .occupancy import OccupancyInfo, compute_occupancy
+from .overheads import (
+    globalization_extra_bytes,
+    launch_overhead_seconds,
+    throughput_scale,
+)
+from .roofline import Footprint, roofline_seconds
+from .transfer import INFINITY_FABRIC_HOST, PCIE4_X16, HostLink
+
+__all__ = ["SystemConfig", "NVIDIA_SYSTEM", "AMD_SYSTEM", "TimeBreakdown", "estimate_time"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One evaluation system from the paper's Figure 7."""
+
+    name: str
+    gpu: DeviceSpec
+    cpu: str
+    memory_gb: int
+    sdk: str
+    native_language: str       # 'cuda' on NVIDIA, 'hip' on AMD
+    vendor_compiler: str       # 'nvcc' / 'hipcc'
+    host_link: HostLink = PCIE4_X16
+
+
+NVIDIA_SYSTEM = SystemConfig(
+    name="NVIDIA",
+    gpu=A100_SPEC,
+    cpu="AMD EPYC 7532",
+    memory_gb=512,
+    sdk="CUDA 11.8",
+    native_language="cuda",
+    vendor_compiler="nvcc",
+    host_link=PCIE4_X16,
+)
+
+AMD_SYSTEM = SystemConfig(
+    name="AMD",
+    gpu=MI250_SPEC,
+    cpu="AMD EPYC 7532",
+    memory_gb=256,
+    sdk="ROCm 5.5",
+    native_language="hip",
+    vendor_compiler="hipcc",
+    host_link=INFINITY_FABRIC_HOST,
+)
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Where the estimated time went (all seconds, for the whole run)."""
+
+    total_s: float
+    kernel_s: float
+    overhead_s: float
+    launches: int
+    occupancy: OccupancyInfo
+    throughput_scale: float
+
+    @property
+    def per_launch_s(self) -> float:
+        return self.total_s / max(self.launches, 1)
+
+
+def estimate_time(
+    compiled: CompiledKernel,
+    footprint: Footprint,
+    *,
+    block_threads: int,
+    teams: int,
+    launches: int = 1,
+) -> TimeBreakdown:
+    """Estimate the measured-section time of a benchmark.
+
+    ``footprint`` describes ONE launch; ``launches`` is how many the
+    benchmark's timed section performs (e.g. Stencil-1D iterates 1000
+    times).  ``block_threads``/``teams`` are the *requested* geometry; the
+    codegen facts may shrink what actually runs (the Adam bug).
+    """
+    if launches < 1:
+        raise PerfModelError(f"launches must be >= 1, got {launches}")
+    if teams < 1:
+        raise PerfModelError(f"teams must be >= 1, got {teams}")
+
+    codegen = compiled.codegen
+    effective_block = block_threads
+    if codegen.effective_thread_limit is not None:
+        effective_block = min(block_threads, codegen.effective_thread_limit)
+
+    occ = compute_occupancy(
+        compiled.device,
+        effective_block,
+        compiled.registers,
+        compiled.effective_shared_bytes,
+    )
+    scale = throughput_scale(
+        codegen, requested_block_threads=block_threads, spec=compiled.device
+    )
+    fp = footprint.with_extra_global_bytes(globalization_extra_bytes(codegen, teams))
+    kernel_s = roofline_seconds(
+        fp,
+        compiled.device,
+        occupancy=occ.occupancy,
+        efficiency=compiled.efficiency,
+        throughput_scale=scale,
+    )
+    overhead_s = launch_overhead_seconds(codegen, compiled.device)
+    total = launches * (kernel_s + overhead_s)
+    return TimeBreakdown(
+        total_s=total,
+        kernel_s=launches * kernel_s,
+        overhead_s=launches * overhead_s,
+        launches=launches,
+        occupancy=occ,
+        throughput_scale=scale,
+    )

@@ -1,0 +1,66 @@
+"""Host-device transfer timing (the memcpys of the paper's Figure 1).
+
+The paper's benchmarks report device-side execution time, so Figure 8
+excludes the ``cudaMemcpy`` traffic around the kernels.  The model can
+price it anyway: a transfer costs a fixed submission latency plus bytes
+over the host link.  :func:`end_to_end_seconds` composes an application's
+measured section with its data movement — the number a user who *doesn't*
+exclude transfers would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PerfModelError
+
+__all__ = ["HostLink", "PCIE4_X16", "INFINITY_FABRIC_HOST", "transfer_seconds", "TransferPlan"]
+
+
+@dataclass(frozen=True)
+class HostLink:
+    """A host-device interconnect."""
+
+    name: str
+    bandwidth_gbs: float       # effective, not headline
+    latency_us: float = 10.0   # per-transfer submission + completion cost
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise PerfModelError("link bandwidth must be positive")
+        if self.latency_us < 0:
+            raise PerfModelError("link latency must be >= 0")
+
+
+#: The A100 system's link (PCIe 4.0 x16, effective ~25 GB/s).
+PCIE4_X16 = HostLink(name="PCIe 4.0 x16", bandwidth_gbs=25.0)
+#: The MI250 attaches over Infinity Fabric to the host (effective ~36 GB/s).
+INFINITY_FABRIC_HOST = HostLink(name="Infinity Fabric (host)", bandwidth_gbs=36.0)
+
+
+def transfer_seconds(nbytes: float, link: HostLink, *, transfers: int = 1) -> float:
+    """Seconds to move ``nbytes`` over ``link`` in ``transfers`` memcpys."""
+    if nbytes < 0:
+        raise PerfModelError("transfer size must be >= 0")
+    if transfers < 0:
+        raise PerfModelError("transfer count must be >= 0")
+    if nbytes == 0 and transfers == 0:
+        return 0.0
+    return transfers * link.latency_us * 1e-6 + nbytes / (link.bandwidth_gbs * 1e9)
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """An application's host<->device data movement."""
+
+    h2d_bytes: float
+    d2h_bytes: float
+    h2d_transfers: int = 1
+    d2h_transfers: int = 1
+
+    def seconds(self, link: HostLink) -> float:
+        """Total time for the plan's uploads plus downloads."""
+        return (
+            transfer_seconds(self.h2d_bytes, link, transfers=self.h2d_transfers)
+            + transfer_seconds(self.d2h_bytes, link, transfers=self.d2h_transfers)
+        )

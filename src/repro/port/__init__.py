@@ -1,0 +1,35 @@
+"""CUDA -> ompx porting tools.
+
+The paper claims porting "often reduces to text replacement" (§1) and
+names code-rewriting tooling as future work (§6).  This package makes the
+claim executable: :func:`port_kernel` mechanically rewrites a CUDA-DSL
+kernel into a runnable ompx bare kernel, and :func:`port_c_source`
+rewrites CUDA C/C++ source text into OpenMP-with-ompx source text.
+"""
+
+from .rules import (
+    C_FUNCTION_ARG_PERMUTATIONS,
+    C_FUNCTION_RENAMES,
+    C_HOST_RENAMES,
+    C_SIMPLE_TOKENS,
+    DSL_INDEX_ATTRS,
+    DSL_METHOD_ARG_PERMUTATIONS,
+    DSL_METHOD_RENAMES,
+)
+from .effort import PortEffort, measure_port_effort
+from .translate import port_c_source, port_kernel, port_kernel_source
+
+__all__ = [
+    "C_FUNCTION_ARG_PERMUTATIONS",
+    "C_FUNCTION_RENAMES",
+    "C_HOST_RENAMES",
+    "C_SIMPLE_TOKENS",
+    "DSL_INDEX_ATTRS",
+    "DSL_METHOD_ARG_PERMUTATIONS",
+    "DSL_METHOD_RENAMES",
+    "port_c_source",
+    "port_kernel",
+    "port_kernel_source",
+    "PortEffort",
+    "measure_port_effort",
+]

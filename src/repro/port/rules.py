@@ -1,0 +1,143 @@
+"""The CUDA -> ompx renaming tables.
+
+The paper's central usability claim is that its extensions reduce porting
+"to text replacement" (§1, §6).  These tables *are* that claim, written
+down: one row per CUDA construct, giving the ompx spelling and — where
+CUDA's argument order differs from the ompx APIs (mask-last instead of
+mask-first) — the argument permutation.
+
+Two table families:
+
+* ``DSL_*`` — for kernels written in this library's Python DSL
+  (``t.threadIdx.x`` style), consumed by the AST transformer.
+* ``C_*`` — for actual CUDA C/C++ source text, consumed by the regex
+  translator (the §6 future-work code-rewriting tool).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "DSL_INDEX_ATTRS",
+    "DSL_PROPERTY_RENAMES",
+    "DSL_METHOD_RENAMES",
+    "DSL_METHOD_ARG_PERMUTATIONS",
+    "C_SIMPLE_TOKENS",
+    "C_FUNCTION_RENAMES",
+    "C_FUNCTION_ARG_PERMUTATIONS",
+    "C_HOST_RENAMES",
+]
+
+# --- Python DSL rules --------------------------------------------------------
+
+#: ``t.<cuda_builtin>.<dim>``  ->  ``t.<ompx_method>_<dim>()``
+DSL_INDEX_ATTRS: Dict[str, str] = {
+    "threadIdx": "thread_id",
+    "blockIdx": "block_id",
+    "blockDim": "block_dim",
+    "gridDim": "grid_dim",
+}
+
+#: ``t.<cuda_method>(...)`` -> ``t.<ompx_method>(...)`` (same arg order).
+DSL_METHOD_RENAMES: Dict[str, str] = {
+    "syncthreads": "sync_thread_block",
+    "shared": "groupprivate",
+    "extern_shared": "dynamic_groupprivate",
+    "atomicAdd": "atomic_add",
+    "atomicSub": "atomic_sub",
+    "atomicMax": "atomic_max",
+    "atomicMin": "atomic_min",
+    "atomicExch": "atomic_exchange",
+    "atomicCAS": "atomic_cas",
+    "atomicAnd": "atomic_and",
+    "atomicOr": "atomic_or",
+    "atomicXor": "atomic_xor",
+    # identical spellings, listed so the translator knows they are legal:
+    "array": "array",
+}
+
+#: ``t.<cuda_property>`` -> ``t.<ompx_method>()`` (properties to calls).
+DSL_PROPERTY_RENAMES: Dict[str, str] = {
+    "warpSize": "warp_size",
+    "laneid": "lane_id",
+    "global_thread_id": "global_thread_id_x",
+}
+
+#: CUDA warp primitives take the mask FIRST; ompx takes it LAST (optional).
+#: Value = (ompx name, permutation of CUDA arg indices for the ompx call).
+DSL_METHOD_ARG_PERMUTATIONS: Dict[str, Tuple[str, Sequence[int]]] = {
+    "shfl_sync": ("shfl_sync", (1, 2, 0)),
+    "shfl_up_sync": ("shfl_up_sync", (1, 2, 0)),
+    "shfl_down_sync": ("shfl_down_sync", (1, 2, 0)),
+    "shfl_xor_sync": ("shfl_xor_sync", (1, 2, 0)),
+    "ballot_sync": ("ballot_sync", (1, 0)),
+    "any_sync": ("any_sync", (1, 0)),
+    "all_sync": ("all_sync", (1, 0)),
+    "match_any_sync": ("match_any_sync", (1, 0)),
+    "match_all_sync": ("match_all_sync", (1, 0)),
+    "syncwarp": ("sync_warp", (0,)),
+}
+
+# --- CUDA C source rules ---------------------------------------------------------
+
+#: Straight token replacements in device code.
+C_SIMPLE_TOKENS: Dict[str, str] = {
+    "threadIdx.x": "ompx_thread_id_x()",
+    "threadIdx.y": "ompx_thread_id_y()",
+    "threadIdx.z": "ompx_thread_id_z()",
+    "blockIdx.x": "ompx_block_id_x()",
+    "blockIdx.y": "ompx_block_id_y()",
+    "blockIdx.z": "ompx_block_id_z()",
+    "blockDim.x": "ompx_block_dim_x()",
+    "blockDim.y": "ompx_block_dim_y()",
+    "blockDim.z": "ompx_block_dim_z()",
+    "gridDim.x": "ompx_grid_dim_x()",
+    "gridDim.y": "ompx_grid_dim_y()",
+    "gridDim.z": "ompx_grid_dim_z()",
+    "__syncthreads()": "ompx_sync_thread_block()",
+    "warpSize": "ompx_warp_size()",
+    # Memcpy direction constants keep a portable spelling (the ompx host
+    # API can also infer direction, but rewritten code stays explicit).
+    "cudaMemcpyHostToDevice": "OMPX_MEMCPY_HOST_TO_DEVICE",
+    "cudaMemcpyDeviceToHost": "OMPX_MEMCPY_DEVICE_TO_HOST",
+    "cudaMemcpyDeviceToDevice": "OMPX_MEMCPY_DEVICE_TO_DEVICE",
+}
+
+#: Device function renames (same argument order).
+C_FUNCTION_RENAMES: Dict[str, str] = {
+    "atomicAdd": "ompx_atomic_add",
+    "atomicSub": "ompx_atomic_sub",
+    "atomicMax": "ompx_atomic_max",
+    "atomicMin": "ompx_atomic_min",
+    "atomicExch": "ompx_atomic_exchange",
+    "atomicCAS": "ompx_atomic_cas",
+}
+
+#: Warp primitives with the mask moved from first to last argument.
+C_FUNCTION_ARG_PERMUTATIONS: Dict[str, Tuple[str, Sequence[int]]] = {
+    "__shfl_sync": ("ompx_shfl_sync", (1, 2, 0)),
+    "__shfl_up_sync": ("ompx_shfl_up_sync", (1, 2, 0)),
+    "__shfl_down_sync": ("ompx_shfl_down_sync", (1, 2, 0)),
+    "__shfl_xor_sync": ("ompx_shfl_xor_sync", (1, 2, 0)),
+    "__ballot_sync": ("ompx_ballot_sync", (1, 0)),
+    "__any_sync": ("ompx_any_sync", (1, 0)),
+    "__all_sync": ("ompx_all_sync", (1, 0)),
+    "__match_any_sync": ("ompx_match_any_sync", (1, 0)),
+    "__match_all_sync": ("ompx_match_all_sync", (1, 0)),
+    "__syncwarp": ("ompx_sync_warp", (0,)),
+}
+
+#: Host API renames (§3.4): cudaX -> ompx_x.
+C_HOST_RENAMES: Dict[str, str] = {
+    "cudaMalloc": "ompx_malloc",
+    "cudaFree": "ompx_free",
+    "cudaMemcpy": "ompx_memcpy",
+    "cudaMemset": "ompx_memset",
+    "cudaMemcpyToSymbol": "ompx_memcpy_to_symbol",
+    "cudaMemcpyFromSymbol": "ompx_memcpy_from_symbol",
+    "cudaDeviceSynchronize": "ompx_device_synchronize",
+    "cudaStreamCreate": "ompx_stream_create",
+    "cudaStreamSynchronize": "ompx_stream_synchronize",
+    "cudaOccupancyMaxActiveBlocksPerMultiprocessor": "ompx_occupancy_max_active_blocks",
+}

@@ -1,0 +1,90 @@
+"""App-level extensions: AIDW's kNN mode and SU3's verification levels."""
+
+import numpy as np
+import pytest
+
+from repro.apps import AIDW, SU3, VersionLabel
+from repro.gpu import get_device
+from repro.openmp.data import data_environment
+
+
+@pytest.fixture(autouse=True)
+def clean_env():
+    yield
+    for ordinal in (0, 1):
+        data_environment(get_device(ordinal)).reset()
+
+
+class TestAidwKnnMode:
+    @pytest.mark.parametrize("variant", [
+        VersionLabel.OMPX, VersionLabel.OMP, VersionLabel.NATIVE_LLVM,
+    ])
+    def test_knn_variant_matches_reference(self, variant):
+        app = AIDW()
+        params = {**app.functional_params(), "mode": 1}
+        result = app.run_functional(variant, params, get_device(0))
+        assert app.verify(result, params), variant
+
+    def test_knn_differs_from_brute_force(self):
+        """Mode 1 genuinely changes the interpolation (k < dnum)."""
+        app = AIDW()
+        brute = app.reference(app.functional_params())
+        knn = app.reference({**app.functional_params(), "mode": 1})
+        assert not np.allclose(brute, knn)
+
+    def test_knn_with_k_equal_dnum_matches_brute_force(self):
+        """With k = dnum the kNN restriction vanishes."""
+        app = AIDW()
+        params = {**app.functional_params(), "mode": 1}
+        params["knn_k"] = params["dnum"]
+        knn = app.reference(params)
+        brute = app.reference({**params, "mode": 0})
+        assert np.allclose(knn, brute)
+
+    def test_paper_mode_is_brute_force(self):
+        assert AIDW.paper_params()["mode"] == 0
+
+    def test_knn_command_line(self):
+        params = AIDW.parse_args(["2", "1", "5"])
+        assert params["mode"] == 1
+        assert params["knn_k"] == 16
+
+    def test_knn_on_amd_device(self):
+        app = AIDW()
+        params = {**app.functional_params(), "mode": 1}
+        result = app.run_functional(VersionLabel.OMPX, params, get_device(1))
+        assert app.verify(result, params)
+
+
+class TestSu3VerifyLevels:
+    def _result(self, params):
+        app = SU3()
+        return app, app.run_functional(VersionLabel.OMPX, params, get_device(0))
+
+    def test_level_zero_skips_verification(self):
+        app, result = self._result({**SU3.functional_params(), "verify": 0})
+        # even a corrupted output "passes" at level 0 — the benchmark's
+        # own -v 0 semantics
+        result.output[:] = -1
+        assert app.verify(result, {**SU3.functional_params(), "verify": 0})
+
+    def test_level_one_checksum_only(self):
+        params = {**SU3.functional_params(), "verify": 1}
+        app, result = self._result(params)
+        assert app.verify(result, params)
+
+    def test_level_one_catches_checksum_drift(self):
+        params = {**SU3.functional_params(), "verify": 1}
+        app, result = self._result(params)
+        result.checksum += 1000.0
+        assert not app.verify(result, params)
+
+    def test_level_three_full_compare(self):
+        params = {**SU3.functional_params(), "verify": 3}
+        app, result = self._result(params)
+        assert app.verify(result, params)
+        result.output[0, 0, 0, 0] += 1.0
+        assert not app.verify(result, params)
+
+    def test_paper_runs_level_three(self):
+        assert SU3.paper_params()["verify"] == 3

@@ -1,0 +1,79 @@
+"""Functional integration: every app variant runs on the virtual GPU and
+matches the NumPy golden reference — on both device presets.
+
+This is the cross-layer heart of the test suite: the ompx port, the CUDA
+original, and the classic OpenMP version of each benchmark must compute
+identical answers (that is what "porting is text replacement" promises).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS, VersionLabel
+from repro.gpu import get_device
+from repro.openmp.data import data_environment
+
+
+@pytest.fixture(autouse=True)
+def clean_env():
+    yield
+    for ordinal in (0, 1):
+        data_environment(get_device(ordinal)).reset()
+
+
+@pytest.mark.parametrize("app_cls", ALL_APPS, ids=lambda c: c.name)
+@pytest.mark.parametrize("variant", [
+    VersionLabel.OMPX, VersionLabel.OMP, VersionLabel.NATIVE_LLVM,
+])
+@pytest.mark.parametrize("ordinal", [0, 1], ids=["a100", "mi250"])
+def test_variant_matches_reference(app_cls, variant, ordinal):
+    app = app_cls()
+    params = app.functional_params()
+    result = app.run_functional(variant, params, get_device(ordinal))
+    assert app.verify(result, params), (
+        f"{app.name} {variant} on device {ordinal} diverged from reference"
+    )
+
+
+@pytest.mark.parametrize("app_cls", ALL_APPS, ids=lambda c: c.name)
+def test_all_variants_agree_bitwise_on_checksum(app_cls):
+    """Not just 'close to reference': the variants agree with each other."""
+    app = app_cls()
+    params = app.functional_params()
+    device = get_device(0)
+    sums = {
+        variant: app.run_functional(variant, params, device).checksum
+        for variant in app.functional_variants
+    }
+    values = list(sums.values())
+    assert all(np.isclose(v, values[0], rtol=1e-9) for v in values), sums
+
+
+@pytest.mark.parametrize("app_cls", ALL_APPS, ids=lambda c: c.name)
+def test_reference_is_deterministic(app_cls):
+    app = app_cls()
+    params = app.functional_params()
+    a = app.reference(params)
+    b = app.reference(params)
+    assert np.array_equal(a, b)
+
+
+def test_stencil_multiple_iterations_functional():
+    """The iterated stencil (ping-pong buffers) stays correct."""
+    from repro.apps import Stencil1D
+
+    app = Stencil1D()
+    params = {"n": 300, "iterations": 3, "radius": 2, "block": 32}
+    for variant in app.functional_variants:
+        result = app.run_functional(variant, params, get_device(0))
+        assert app.verify(result, params), variant
+
+
+def test_adam_multiple_repeats_functional():
+    from repro.apps import Adam
+
+    app = Adam()
+    params = {"n": 100, "steps": 4, "repeat": 3, "block": 32}
+    for variant in app.functional_variants:
+        result = app.run_functional(variant, params, get_device(0))
+        assert app.verify(result, params), variant

@@ -1,0 +1,102 @@
+"""Numerical edge cases in the application kernels' device functions."""
+
+import numpy as np
+import pytest
+
+from repro.apps.rsbench import pole_contribution, sig_t_factor
+from repro.apps.stencil1d import apply_boundary
+from repro.apps.su3 import complex_mul_add, su3_matmul_site
+from repro.apps.xsbench import grid_search, interpolate_xs
+
+
+class TestGridSearch:
+    @pytest.fixture
+    def egrid(self):
+        return np.array([0.1, 0.2, 0.4, 0.8, 0.9])
+
+    def test_interior_hit(self, egrid):
+        assert grid_search(egrid, 0.3, len(egrid)) == 1  # [0.2, 0.4)
+
+    def test_exact_gridpoint_goes_right(self, egrid):
+        # e == egrid[k]: interval k (searchsorted side='right' semantics)
+        assert grid_search(egrid, 0.4, len(egrid)) == 2
+
+    def test_below_grid_clamps_to_first_interval(self, egrid):
+        assert grid_search(egrid, 0.01, len(egrid)) == 0
+
+    def test_above_grid_clamps_to_last_interval(self, egrid):
+        assert grid_search(egrid, 0.99, len(egrid)) == len(egrid) - 2
+
+    def test_matches_searchsorted_everywhere(self, egrid):
+        ngp = len(egrid)
+        for e in np.linspace(0.0, 1.0, 101):
+            manual = grid_search(egrid, e, ngp)
+            reference = int(np.clip(np.searchsorted(egrid, e, side="right") - 1, 0, ngp - 2))
+            assert manual == reference, e
+
+    def test_two_point_grid(self):
+        egrid = np.array([0.0, 1.0])
+        assert grid_search(egrid, 0.5, 2) == 0
+        assert grid_search(egrid, 2.0, 2) == 0
+
+
+class TestInterpolation:
+    def test_linear_endpoints(self):
+        egrid = np.array([0.0, 1.0])
+        xs = np.array([[10.0, 0.0], [20.0, 2.0]])
+        assert np.allclose(interpolate_xs(xs, egrid, 0, 0.0), [10.0, 0.0])
+        assert np.allclose(interpolate_xs(xs, egrid, 0, 1.0), [20.0, 2.0])
+        assert np.allclose(interpolate_xs(xs, egrid, 0, 0.5), [15.0, 1.0])
+
+    def test_extrapolation_below_is_linear(self):
+        """Clamped intervals extrapolate — the XSBench behaviour."""
+        egrid = np.array([1.0, 2.0])
+        xs = np.array([[10.0], [20.0]])
+        assert np.allclose(interpolate_xs(xs, egrid, 0, 0.0), [0.0])
+
+
+class TestRSBenchMath:
+    def test_sig_t_factor_is_unit_magnitude(self):
+        for k in (0.0, 0.5, 3.0):
+            factor = sig_t_factor(k, 0.7)
+            assert abs(abs(factor) - 1.0) < 1e-12
+
+    def test_pole_contribution_finite_off_axis(self):
+        """Poles live off the real axis, so 1/(EA - sqrt_e) stays finite."""
+        dt, da = pole_contribution(0.5 + 1.0j, 1 + 1j, 2 - 1j, 0.5, 1.0 + 0j)
+        assert np.isfinite(dt) and np.isfinite(da)
+
+    def test_pole_contribution_matches_numpy_complex(self):
+        ea, rt, ra = 0.3 + 0.8j, 1.5 - 0.5j, -0.7 + 0.2j
+        sqrt_e, factor = 0.6, sig_t_factor(1.1, 0.6)
+        dt, da = pole_contribution(ea, rt, ra, sqrt_e, factor)
+        psi = 1.0 / (ea - sqrt_e)
+        assert dt == pytest.approx((rt * psi * factor).real)
+        assert da == pytest.approx((ra * psi).real)
+
+
+class TestSU3Math:
+    def test_matmul_site_matches_numpy(self):
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((3, 3)) + 1j * rng.standard_normal((3, 3))
+        b = rng.standard_normal((3, 3)) + 1j * rng.standard_normal((3, 3))
+        c = np.zeros((3, 3), dtype=np.complex128)
+        su3_matmul_site(a, b, c)
+        assert np.allclose(c, a @ b)
+
+    def test_complex_mul_add(self):
+        assert complex_mul_add(1 + 1j, 2 + 0j, 3 + 1j) == (1 + 1j) + (2 + 0j) * (3 + 1j)
+
+    def test_identity_preserved(self):
+        eye = np.eye(3, dtype=np.complex128)
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal((3, 3)) + 1j * rng.standard_normal((3, 3))
+        c = np.zeros((3, 3), dtype=np.complex128)
+        su3_matmul_site(a, eye, c)
+        assert np.allclose(c, a)
+
+
+class TestStencilBoundary:
+    def test_apply_boundary(self):
+        assert apply_boundary(5.0, True) == 5.0
+        assert apply_boundary(5.0, False) == 0.0

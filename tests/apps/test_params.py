@@ -1,0 +1,106 @@
+"""Each app parses exactly the Figure 6 command line, and rejects junk."""
+
+import pytest
+
+from repro.apps import ALL_APPS, Adam, AIDW, RSBench, SU3, Stencil1D, XSBench
+from repro.errors import AppError
+
+
+class TestFigure6CommandLines:
+    @pytest.mark.parametrize("app_cls", ALL_APPS)
+    def test_paper_command_line_parses(self, app_cls):
+        params = app_cls.parse_args(app_cls.command_line.split())
+        assert params == app_cls.paper_params()
+
+    def test_xsbench_paper_scale(self):
+        params = XSBench.paper_params()
+        assert params["n_isotopes"] == 355
+        assert params["n_gridpoints"] == 11303
+        assert params["lookups"] == 17_000_000
+
+    def test_rsbench_paper_scale(self):
+        params = RSBench.paper_params()
+        assert params["n_windows"] == 100
+        assert params["poles_per_window"] == 10
+
+    def test_su3_flags(self):
+        params = SU3.parse_args("-i 1000 -l 32 -t 128 -v 3 -w 1".split())
+        assert params["iterations"] == 1000
+        assert params["sites"] == 32**4
+        assert params["block"] == 128
+        assert params["verify"] == 3
+        assert params["warmups"] == 1
+
+    def test_su3_flag_order_independent(self):
+        a = SU3.parse_args("-l 16 -i 5 -t 64 -v 1 -w 0".split())
+        b = SU3.parse_args("-i 5 -t 64 -l 16 -w 0 -v 1".split())
+        assert a == b
+
+    def test_aidw_args(self):
+        params = AIDW.parse_args(["100", "0", "100"])
+        assert params["dnum"] == params["inum"] == 100 * 256
+        assert params["repeat"] == 100
+
+    def test_adam_args(self):
+        params = Adam.parse_args(["10000", "200", "100"])
+        assert (params["n"], params["steps"], params["repeat"]) == (10000, 200, 100)
+
+    def test_stencil_args(self):
+        params = Stencil1D.parse_args(["134217728", "1000"])
+        assert params["n"] == 134217728
+        assert params["iterations"] == 1000
+
+
+class TestRejection:
+    def test_xsbench_requires_event_mode(self):
+        with pytest.raises(AppError):
+            XSBench.parse_args(["-m", "history"])
+
+    def test_rsbench_requires_event_mode(self):
+        with pytest.raises(AppError):
+            RSBench.parse_args(["-m", "history"])
+
+    def test_su3_unknown_flag(self):
+        with pytest.raises(AppError, match="unknown flag"):
+            SU3.parse_args(["-q", "1"])
+
+    def test_su3_missing_value(self):
+        with pytest.raises(AppError, match="needs a value"):
+            SU3.parse_args(["-i"])
+
+    def test_aidw_bad_mode(self):
+        with pytest.raises(AppError, match="mode"):
+            AIDW.parse_args(["100", "7", "100"])
+
+    def test_aidw_wrong_arity(self):
+        with pytest.raises(AppError):
+            AIDW.parse_args(["100"])
+
+    def test_adam_nonpositive(self):
+        with pytest.raises(AppError):
+            Adam.parse_args(["0", "200", "100"])
+
+    def test_stencil_nonpositive(self):
+        with pytest.raises(AppError):
+            Stencil1D.parse_args(["-5", "1000"])
+
+    def test_stencil_wrong_arity(self):
+        with pytest.raises(AppError):
+            Stencil1D.parse_args(["134217728"])
+
+
+class TestAppMetadata:
+    def test_figure6_order_and_names(self):
+        names = [cls.name for cls in ALL_APPS]
+        assert names == ["XSBench", "RSBench", "SU3", "AIDW", "Adam", "Stencil 1D"]
+
+    @pytest.mark.parametrize("app_cls", ALL_APPS)
+    def test_every_app_has_description(self, app_cls):
+        assert app_cls.description
+        assert app_cls.command_line
+
+    def test_stencil_reports_per_launch(self):
+        assert Stencil1D.reports == "per_launch"
+
+    def test_xsbench_marks_paper_exclusion(self):
+        assert XSBench.omp_excluded_in_paper

@@ -1,0 +1,152 @@
+"""Per-app performance-model shape: the §4.2 claims, app by app.
+
+These duplicate the harness's relation checks at a finer grain so a
+regression points at the responsible app immediately.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, Adam, AIDW, RSBench, SU3, Stencil1D, VersionLabel, XSBench
+from repro.perf import AMD_SYSTEM, NVIDIA_SYSTEM
+
+
+def times(app, system):
+    params = app.paper_params()
+    return {
+        label: app.reported_seconds(app.estimate(label, system, params))
+        for label in VersionLabel.ALL
+    }
+
+
+class TestXSBench:
+    @pytest.mark.parametrize("system", [NVIDIA_SYSTEM, AMD_SYSTEM], ids=lambda s: s.name)
+    def test_ompx_beats_both_natives(self, system):
+        t = times(XSBench(), system)
+        assert t[VersionLabel.OMPX] < t[VersionLabel.NATIVE_LLVM]
+        assert t[VersionLabel.OMPX] < t[VersionLabel.NATIVE_VENDOR]
+
+    def test_magnitude_is_sub_second_on_a100(self):
+        t = times(XSBench(), NVIDIA_SYSTEM)
+        assert 0.1 < t[VersionLabel.OMPX] < 2.0  # paper: ~0.4s
+
+
+class TestRSBench:
+    @pytest.mark.parametrize("system", [NVIDIA_SYSTEM, AMD_SYSTEM], ids=lambda s: s.name)
+    def test_ompx_beats_llvm_native(self, system):
+        t = times(RSBench(), system)
+        assert t[VersionLabel.OMPX] < t[VersionLabel.NATIVE_LLVM]
+
+    def test_omp_beats_cuda_on_a100_only(self):
+        """§4.2.2: heap-to-shared wins on the A100; no spill on the MI250."""
+        nv = times(RSBench(), NVIDIA_SYSTEM)
+        amd = times(RSBench(), AMD_SYSTEM)
+        assert nv[VersionLabel.OMP] < nv[VersionLabel.NATIVE_LLVM]
+        assert amd[VersionLabel.OMP] >= amd[VersionLabel.NATIVE_LLVM] * 0.85
+
+    def test_slower_than_xsbench(self):
+        """RSBench is the compute-heavy sibling (paper: ~2-3x XSBench)."""
+        rs = times(RSBench(), NVIDIA_SYSTEM)[VersionLabel.OMPX]
+        xs = times(XSBench(), NVIDIA_SYSTEM)[VersionLabel.OMPX]
+        assert rs > xs
+
+
+class TestSU3:
+    def test_ompx_lags_cuda_by_about_nine_percent(self):
+        t = times(SU3(), NVIDIA_SYSTEM)
+        ratio = t[VersionLabel.OMPX] / t[VersionLabel.NATIVE_LLVM]
+        assert 1.03 < ratio < 1.20  # paper: ~1.09
+
+    def test_ompx_beats_hip_by_about_28_percent(self):
+        t = times(SU3(), AMD_SYSTEM)
+        ratio = t[VersionLabel.NATIVE_LLVM] / t[VersionLabel.OMPX]
+        assert 1.15 < ratio < 1.40  # paper: ~1.28
+
+    @pytest.mark.parametrize("system", [NVIDIA_SYSTEM, AMD_SYSTEM], ids=lambda s: s.name)
+    def test_ompx_consistently_beats_omp(self, system):
+        t = times(SU3(), system)
+        assert t[VersionLabel.OMPX] < t[VersionLabel.OMP]
+
+    def test_binary_bloat_artifacts(self):
+        """The §4.2.3 profiling: bigger ompx binary, more registers."""
+        app = SU3()
+        params = app.paper_params()
+        ompx_ck = app.compiled_for(VersionLabel.OMPX, NVIDIA_SYSTEM, params)
+        cuda_ck = app.compiled_for(VersionLabel.NATIVE_LLVM, NVIDIA_SYSTEM, params)
+        assert ompx_ck.binary_bytes > 4 * cuda_ck.binary_bytes
+        assert ompx_ck.registers == cuda_ck.registers + 2
+
+
+class TestAIDW:
+    def test_clang_cuda_five_percent_ahead_on_a100(self):
+        t = times(AIDW(), NVIDIA_SYSTEM)
+        ratio = t[VersionLabel.OMPX] / t[VersionLabel.NATIVE_LLVM]
+        assert 1.02 < ratio < 1.10  # paper: ~1.05
+
+    def test_matches_nvcc_on_a100(self):
+        t = times(AIDW(), NVIDIA_SYSTEM)
+        assert t[VersionLabel.OMPX] == pytest.approx(t[VersionLabel.NATIVE_VENDOR], rel=0.02)
+
+    def test_parity_on_mi250(self):
+        t = times(AIDW(), AMD_SYSTEM)
+        assert t[VersionLabel.OMPX] == pytest.approx(t[VersionLabel.NATIVE_LLVM], rel=0.05)
+
+    def test_amd_slower_than_nvidia(self):
+        """The MI250's weaker special-function throughput dominates AIDW."""
+        nv = times(AIDW(), NVIDIA_SYSTEM)[VersionLabel.NATIVE_LLVM]
+        amd = times(AIDW(), AMD_SYSTEM)[VersionLabel.NATIVE_LLVM]
+        assert amd > 1.5 * nv
+
+
+class TestAdam:
+    @pytest.mark.parametrize("system", [NVIDIA_SYSTEM, AMD_SYSTEM], ids=lambda s: s.name)
+    def test_omp_roughly_8x_slower(self, system):
+        t = times(Adam(), system)
+        ratio = t[VersionLabel.OMP] / t[VersionLabel.NATIVE_LLVM]
+        assert 4.0 < ratio < 12.0  # paper: ~8x
+
+    def test_thread_limit_bug_is_the_cause(self):
+        app = Adam()
+        ck = app.compiled_for(VersionLabel.OMP, NVIDIA_SYSTEM, app.paper_params())
+        assert ck.codegen.effective_thread_limit == 32
+
+    @pytest.mark.parametrize("system", [NVIDIA_SYSTEM, AMD_SYSTEM], ids=lambda s: s.name)
+    def test_ompx_matches_native(self, system):
+        t = times(Adam(), system)
+        assert t[VersionLabel.OMPX] <= t[VersionLabel.NATIVE_LLVM] * 1.03
+
+
+class TestStencil1D:
+    @pytest.mark.parametrize("system", [NVIDIA_SYSTEM, AMD_SYSTEM], ids=lambda s: s.name)
+    def test_ompx_beats_native(self, system):
+        t = times(Stencil1D(), system)
+        assert t[VersionLabel.OMPX] < t[VersionLabel.NATIVE_LLVM]
+
+    @pytest.mark.parametrize("system", [NVIDIA_SYSTEM, AMD_SYSTEM], ids=lambda s: s.name)
+    def test_omp_collapses_by_an_order_of_magnitude(self, system):
+        t = times(Stencil1D(), system)
+        assert t[VersionLabel.OMP] > 10 * t[VersionLabel.NATIVE_LLVM]
+
+    def test_state_machine_is_the_cause(self):
+        app = Stencil1D()
+        ck = app.compiled_for(VersionLabel.OMP, NVIDIA_SYSTEM, app.paper_params())
+        assert ck.codegen.state_machine
+
+    def test_per_iteration_magnitude(self):
+        """Paper plots per-iteration ms: native ~1.4 ms on the A100."""
+        t = times(Stencil1D(), NVIDIA_SYSTEM)
+        assert 0.5e-3 < t[VersionLabel.NATIVE_LLVM] < 3e-3
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("app_cls", ALL_APPS, ids=lambda c: c.name)
+    def test_launch_geometry_covers_problem(self, app_cls):
+        app = app_cls()
+        params = app.paper_params()
+        teams, block = app.launch_geometry(params)
+        assert teams >= 1 and 1 <= block <= 1024
+
+    @pytest.mark.parametrize("app_cls", ALL_APPS, ids=lambda c: c.name)
+    def test_footprint_nonempty(self, app_cls):
+        app = app_cls()
+        fp = app.footprint(app.paper_params())
+        assert fp.global_bytes + fp.flops_fp64 + fp.flops_fp32 + fp.special_ops > 0

@@ -1,0 +1,122 @@
+"""Kernel trait analysis: barriers, shared, device calls, loop shape."""
+
+import numpy as np
+import pytest
+
+from repro import cuda, ompx
+from repro.compiler.analysis import KernelTraits, analyze_kernel
+from repro.errors import CompileError
+
+
+def helper_device_fn(a):
+    return a + 1
+
+
+@cuda.kernel
+def barrier_kernel(t, out, n):
+    shared = t.shared("s", 32, np.float64)
+    shared[t.threadIdx.x] = 0.0
+    t.syncthreads()
+    if t.threadIdx.x < n:
+        t.array(out, n, np.float64)[t.threadIdx.x] = shared[0]
+
+
+@cuda.kernel(sync_free=True)
+def call_heavy_kernel(t, out, n):
+    i = t.global_thread_id
+    v = helper_device_fn(i)
+    v = helper_device_fn(v)
+    v = helper_device_fn(v)
+    if i < n:
+        t.array(out, n, np.int64)[i] = v
+
+
+@cuda.kernel
+def warp_kernel(t, out):
+    v = t.shfl_down_sync(cuda.FULL_MASK, t.laneid, 1)
+    t.atomicAdd(t.array(out, 1, np.int64), 0, v)
+
+
+@ompx.bare_kernel
+def ompx_kernel(x, out, n):
+    tile = x.groupprivate("tile", 64, np.float64)
+    for j in range(4):
+        for k in range(4):
+            tile[j * 4 + k] = j * k
+    x.sync_thread_block()
+    if x.thread_id_x() == 0:
+        x.array(out, n, np.float64)[0] = tile[0]
+
+
+class TestTraitDetection:
+    def test_barrier_detected(self):
+        traits = analyze_kernel(barrier_kernel)
+        assert traits.uses_barrier
+        assert traits.uses_shared
+        assert not traits.uses_warp_collectives
+
+    def test_device_calls_counted(self):
+        traits = analyze_kernel(call_heavy_kernel)
+        assert traits.device_fn_calls == 3
+
+    def test_facade_intrinsics_not_counted_as_calls(self):
+        traits = analyze_kernel(ompx_kernel)
+        assert traits.device_fn_calls == 0
+        assert traits.uses_barrier and traits.uses_shared
+
+    def test_warp_and_atomic_detection(self):
+        traits = analyze_kernel(warp_kernel)
+        assert traits.uses_warp_collectives
+        assert traits.uses_atomics
+
+    def test_loop_depth(self):
+        traits = analyze_kernel(ompx_kernel)
+        assert traits.loop_depth == 2
+
+    def test_branches_counted(self):
+        traits = analyze_kernel(barrier_kernel)
+        assert traits.branches >= 1
+
+    def test_name_captured(self):
+        assert analyze_kernel(barrier_kernel).name == "barrier_kernel"
+
+    def test_register_demand_floor(self):
+        traits = KernelTraits(
+            name="tiny", body_ops=1, loop_depth=0, branches=0,
+            uses_barrier=False, uses_warp_collectives=False, uses_shared=False,
+            uses_atomics=False, device_fn_calls=0, local_vars=1,
+        )
+        assert traits.register_demand == 16
+
+    def test_register_demand_grows_with_locals(self):
+        small = KernelTraits("a", 10, 0, 0, False, False, False, False, 0, 4)
+        big = KernelTraits("b", 10, 0, 0, False, False, False, False, 0, 20)
+        assert big.register_demand > small.register_demand
+
+
+class TestBytecodeFallback:
+    def test_sourceless_function_analyzed(self):
+        # compile() from a string has no retrievable source
+        code = compile(
+            "def k(ctx, out):\n"
+            "    ctx.sync_threads()\n"
+            "    ctx.shared_array('s', 4, 'f8')\n",
+            "<string>", "exec",
+        )
+        ns = {}
+        exec(code, ns)
+        traits = analyze_kernel(ns["k"])
+        assert traits.uses_barrier
+        assert traits.uses_shared
+        assert traits.body_ops > 0
+
+    def test_object_without_code_rejected(self):
+        class NotAFunction:
+            pass
+
+        with pytest.raises(CompileError):
+            analyze_kernel(NotAFunction())
+
+    def test_wrapped_kernel_unwrapped(self):
+        # analyze_kernel reads through the KernelFunction wrapper
+        assert analyze_kernel(barrier_kernel).name == "barrier_kernel"

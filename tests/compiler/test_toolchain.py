@@ -1,0 +1,125 @@
+"""Toolchain models: registers, binary sizes, efficiency mechanisms."""
+
+import pytest
+
+from repro.compiler.analysis import KernelTraits
+from repro.compiler.toolchain import (
+    HIPCC,
+    LLVM_CLANG,
+    NVCC,
+    OMP_LLVM,
+    OMPX_PROTO,
+    toolchain_for,
+)
+from repro.errors import CompileError
+from repro.gpu.device import A100_SPEC, MI250_SPEC
+from repro.openmp.codegen import RegionTraits, lower_region
+
+
+def traits(**kwargs) -> KernelTraits:
+    base = dict(
+        name="k", body_ops=40, loop_depth=1, branches=2,
+        uses_barrier=False, uses_warp_collectives=False, uses_shared=False,
+        uses_atomics=False, device_fn_calls=0, local_vars=8,
+    )
+    base.update(kwargs)
+    return KernelTraits(**base)
+
+
+BARE = lower_region(RegionTraits(style="bare"))
+SPMD = lower_region(RegionTraits(style="worksharing", spmd_amenable=True))
+
+
+class TestRegisters:
+    def test_prototype_pays_call_penalty(self):
+        """SU3's 26-vs-24 registers (§4.2.3)."""
+        t = traits(device_fn_calls=4)
+        assert OMPX_PROTO.registers(t, BARE) == LLVM_CLANG.registers(t, BARE) + 2
+
+    def test_no_penalty_without_calls(self):
+        t = traits(device_fn_calls=0)
+        assert OMPX_PROTO.registers(t, BARE) == LLVM_CLANG.registers(t, BARE)
+
+    def test_runtime_register_overhead_added(self):
+        t = traits()
+        assert OMP_LLVM.registers(t, SPMD) > OMP_LLVM.registers(t, BARE)
+
+    def test_register_cap(self):
+        t = traits(local_vars=400)
+        assert OMPX_PROTO.registers(t, BARE) == 255
+
+
+class TestBinarySize:
+    def test_prototype_retains_inlined_functions(self):
+        """SU3's 29 KB vs 3.9 KB (§4.2.3)."""
+        t = traits(device_fn_calls=4)
+        proto = OMPX_PROTO.binary_bytes(t, BARE)
+        native = LLVM_CLANG.binary_bytes(t, BARE)
+        assert proto > 20 * 1024
+        assert native < 8 * 1024
+
+    def test_no_calls_no_bloat(self):
+        t = traits(device_fn_calls=0)
+        assert OMPX_PROTO.binary_bytes(t, BARE) == LLVM_CLANG.binary_bytes(t, BARE)
+
+    def test_runtime_binary_overhead(self):
+        t = traits()
+        assert OMP_LLVM.binary_bytes(t, SPMD) > OMP_LLVM.binary_bytes(t, BARE)
+
+
+class TestEfficiency:
+    def test_lto_bonus_needs_pipeline_hint_and_calls(self):
+        t = traits(device_fn_calls=3)
+        hint = {"lto_inlining": True}
+        assert OMPX_PROTO.instruction_efficiency(t, BARE, A100_SPEC, hint) > 1.0
+        # native pipeline has no cross-TU visibility
+        assert LLVM_CLANG.instruction_efficiency(t, BARE, A100_SPEC, hint) == 1.0
+        # no calls, nothing to inline
+        t0 = traits(device_fn_calls=0)
+        assert OMPX_PROTO.instruction_efficiency(t0, BARE, A100_SPEC, hint) == 1.0
+
+    def test_icache_penalty_on_big_binaries(self):
+        """The SU3-on-A100 mechanism: retained binary exceeds the i-cache."""
+        t = traits(device_fn_calls=4)
+        eff_a100 = OMPX_PROTO.instruction_efficiency(t, BARE, A100_SPEC, {})
+        eff_mi250 = OMPX_PROTO.instruction_efficiency(t, BARE, MI250_SPEC, {})
+        assert eff_a100 < 1.0           # 27+ KB > 16 KB i-cache
+        assert eff_mi250 == 1.0         # fits the 32 KB i-cache
+
+    def test_shared_demotion_is_nvidia_only(self):
+        t = traits(uses_shared=True)
+        hint = {"shared_demotable": True}
+        assert LLVM_CLANG.instruction_efficiency(t, BARE, A100_SPEC, hint) > 1.0
+        assert LLVM_CLANG.instruction_efficiency(t, BARE, MI250_SPEC, hint) == 1.0
+
+    def test_nvcc_does_not_demote(self):
+        """The paper's AIDW PTX finding: nvcc left shared variables alone."""
+        t = traits(uses_shared=True)
+        hint = {"shared_demotable": True}
+        assert NVCC.instruction_efficiency(t, BARE, A100_SPEC, hint) == 1.0
+
+    def test_prototype_does_not_demote(self):
+        t = traits(uses_shared=True)
+        hint = {"shared_demotable": True}
+        assert OMPX_PROTO.instruction_efficiency(t, BARE, A100_SPEC, hint) == 1.0
+
+    def test_amd_spill_penalty(self):
+        """The SU3-on-MI250 mechanism (§4.2.3's 28%)."""
+        t = traits()
+        hint = {"amd_scratch_spills": True}
+        assert LLVM_CLANG.instruction_efficiency(t, BARE, MI250_SPEC, hint) < 1.0
+        assert HIPCC.instruction_efficiency(t, BARE, MI250_SPEC, hint) < 1.0
+        # the prototype's pipeline avoids the spills
+        assert OMPX_PROTO.instruction_efficiency(t, BARE, MI250_SPEC, hint) == 1.0
+        # and the penalty is AMD-specific
+        assert LLVM_CLANG.instruction_efficiency(t, BARE, A100_SPEC, hint) == 1.0
+
+
+class TestLookup:
+    def test_toolchain_for(self):
+        assert toolchain_for("nvcc") is NVCC
+        assert toolchain_for("ompx-proto") is OMPX_PROTO
+
+    def test_unknown_name(self):
+        with pytest.raises(CompileError, match="unknown toolchain"):
+            toolchain_for("icc")

@@ -1,0 +1,74 @@
+"""Shared fixtures.
+
+Devices are process-wide singletons (like real GPUs); tests that mutate
+device state (allocations, data environments) get function-scoped helper
+fixtures that clean up after themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import get_device
+
+
+@pytest.fixture
+def nvidia():
+    """The A100 preset device."""
+    return get_device(0)
+
+
+@pytest.fixture
+def amd():
+    """The MI250 preset device."""
+    return get_device(1)
+
+
+@pytest.fixture(params=[0, 1], ids=["a100", "mi250"])
+def any_device(request):
+    """Parametrized over both device presets."""
+    return get_device(request.param)
+
+
+class DeviceArrays:
+    """Allocate-and-track helper so tests cannot leak device memory."""
+
+    def __init__(self, device):
+        self.device = device
+        self._ptrs = []
+
+    def upload(self, host: np.ndarray):
+        ptr = self.device.allocator.malloc(host.nbytes)
+        self.device.allocator.memcpy_h2d(ptr, np.ascontiguousarray(host))
+        self._ptrs.append(ptr)
+        return ptr
+
+    def alloc(self, nbytes: int):
+        ptr = self.device.allocator.malloc(nbytes)
+        self._ptrs.append(ptr)
+        return ptr
+
+    def download(self, ptr, shape, dtype) -> np.ndarray:
+        out = np.zeros(shape, dtype=dtype)
+        self.device.allocator.memcpy_d2h(out, ptr)
+        return out
+
+    def release(self):
+        for ptr in self._ptrs:
+            self.device.allocator.free(ptr)
+        self._ptrs.clear()
+
+
+@pytest.fixture
+def dev_arrays(any_device):
+    helper = DeviceArrays(any_device)
+    yield helper
+    helper.release()
+
+
+@pytest.fixture
+def nvidia_arrays(nvidia):
+    helper = DeviceArrays(nvidia)
+    yield helper
+    helper.release()

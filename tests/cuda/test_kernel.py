@@ -1,0 +1,195 @@
+"""CUDA kernel definition and chevron-equivalent launch."""
+
+import numpy as np
+import pytest
+
+from repro import cuda
+from repro.errors import LaunchError
+from repro.gpu import get_device
+
+
+@pytest.fixture
+def dev():
+    cuda.cudaSetDevice(0)
+    return get_device(0)
+
+
+def roundtrip(dev, ptr, n, dtype=np.int64):
+    out = np.zeros(n, dtype=dtype)
+    cuda.cudaDeviceSynchronize()
+    cuda.cudaMemcpy(out, ptr, out.nbytes, cuda.cudaMemcpyDeviceToHost)
+    return out
+
+
+class TestKernelDecorator:
+    def test_plain_decorator(self):
+        @cuda.kernel
+        def k(t):
+            pass
+
+        assert isinstance(k, cuda.KernelFunction)
+        assert k.language == "cuda"
+        assert not k.sync_free
+
+    def test_decorator_with_options(self):
+        @cuda.kernel(sync_free=True)
+        def k(t):
+            pass
+
+        assert k.sync_free
+
+    def test_direct_call_as_device_function(self):
+        """A __global__ kernel is also callable as a __device__ helper."""
+
+        @cuda.kernel
+        def helper(t, v):
+            return v * 2
+
+        class FakeThread:
+            pass
+
+        assert helper(FakeThread(), 21) == 42
+
+    def test_launch_rejects_undecorated_function(self, dev):
+        def not_a_kernel(t):
+            pass
+
+        with pytest.raises(LaunchError, match="@kernel"):
+            cuda.launch(not_a_kernel, 1, 1, (), device=dev)
+
+
+class TestLaunchSemantics:
+    def test_launch_is_asynchronous(self, dev):
+        """The launch returns before the kernel runs; sync observes it."""
+        import threading
+
+        gate = threading.Event()
+        d_out = cuda.cudaMalloc(8)
+
+        @cuda.kernel
+        def k(t, out):
+            gate.wait(timeout=5)
+            t.array(out, 1, np.int64)[0] = 1
+
+        cuda.launch(k, 1, 1, (d_out,), device=dev)
+        # kernel is blocked on the gate, but launch already returned
+        gate.set()
+        cuda.cudaDeviceSynchronize()
+        assert roundtrip(dev, d_out, 1)[0] == 1
+        cuda.cudaFree(d_out)
+
+    def test_memcpy_waits_for_default_stream(self, dev):
+        """cudaMemcpy is synchronous w.r.t. prior kernel launches."""
+        n = 128
+        d = cuda.cudaMalloc(n * 8)
+
+        @cuda.kernel(sync_free=True)
+        def k(t, out, n):
+            i = t.global_thread_id
+            if i < n:
+                t.array(out, n, np.int64)[i] = i * 3
+
+        cuda.launch(k, (n + 31) // 32, 32, (d, n), device=dev)
+        out = np.zeros(n, dtype=np.int64)
+        cuda.cudaMemcpy(out, d, n * 8, cuda.cudaMemcpyDeviceToHost)
+        assert np.array_equal(out, np.arange(n) * 3)
+        cuda.cudaFree(d)
+
+    def test_dynamic_shared_via_launch(self, dev):
+        d_out = cuda.cudaMalloc(8)
+
+        @cuda.kernel
+        def k(t, out):
+            dyn = t.extern_shared(np.float64)
+            if t.threadIdx.x == 0:
+                dyn[0] = 9.0
+            t.syncthreads()
+            if t.threadIdx.x == 1:
+                t.array(out, 1, np.float64)[0] = dyn[0]
+
+        cuda.launch(k, 1, 2, (d_out,), device=dev, shared_bytes=64)
+        cuda.cudaDeviceSynchronize()
+        out = np.zeros(1)
+        cuda.cudaMemcpy(out, d_out, 8, cuda.cudaMemcpyDeviceToHost)
+        assert out[0] == 9.0
+        cuda.cudaFree(d_out)
+
+
+class TestBuiltins:
+    def test_index_builtins_match_geometry(self, dev):
+        grid, block = (2, 2), (4, 2)
+        d_out = cuda.cudaMalloc(4 * 8)
+
+        @cuda.kernel(sync_free=True)
+        def k(t, out):
+            o = t.array(out, 4, np.int64)
+            if t.threadIdx.x == 0 and t.threadIdx.y == 0 and t.blockIdx.x == 0 and t.blockIdx.y == 0:
+                o[0] = t.blockDim.x
+                o[1] = t.blockDim.y
+                o[2] = t.gridDim.x
+                o[3] = t.gridDim.y
+
+        cuda.launch(k, grid, block, (d_out,), device=dev)
+        assert list(roundtrip(dev, d_out, 4)) == [4, 2, 2, 2]
+        cuda.cudaFree(d_out)
+
+    def test_warp_size_per_device(self):
+        for ordinal, expected in ((0, 32), (1, 64)):
+            cuda.cudaSetDevice(ordinal)
+            dev = get_device(ordinal)
+            d_out = cuda.cudaMalloc(8)
+
+            @cuda.kernel(sync_free=True)
+            def k(t, out):
+                if t.global_thread_id == 0:
+                    t.array(out, 1, np.int64)[0] = t.warpSize
+
+            cuda.launch(k, 1, 1, (d_out,), device=dev)
+            cuda.cudaDeviceSynchronize()
+            out = np.zeros(1, dtype=np.int64)
+            cuda.cudaMemcpy(out, d_out, 8, cuda.cudaMemcpyDeviceToHost)
+            assert out[0] == expected
+            cuda.cudaFree(d_out)
+        cuda.cudaSetDevice(0)
+
+    def test_atomics_via_facade(self, dev):
+        d_out = cuda.cudaMalloc(8)
+
+        @cuda.kernel(sync_free=True)
+        def k(t, out):
+            t.atomicAdd(t.array(out, 1, np.int64), 0, 2)
+
+        cuda.launch(k, 2, 16, (d_out,), device=dev)
+        assert roundtrip(dev, d_out, 1)[0] == 64
+        cuda.cudaFree(d_out)
+
+    def test_full_mask_shuffle(self, dev):
+        d_out = cuda.cudaMalloc(32 * 8)
+
+        @cuda.kernel
+        def k(t, out):
+            v = t.shfl_down_sync(cuda.FULL_MASK, t.laneid, 1)
+            t.array(out, 32, np.int64)[t.laneid] = v
+
+        cuda.launch(k, 1, 32, (d_out,), device=dev)
+        cuda.cudaDeviceSynchronize()
+        result = roundtrip(dev, d_out, 32)
+        expected = np.minimum(np.arange(32) + 1, 31)
+        assert np.array_equal(result, expected)
+        cuda.cudaFree(d_out)
+
+    def test_ballot_with_full_mask(self, dev):
+        d_out = cuda.cudaMalloc(8)
+
+        @cuda.kernel
+        def k(t, out):
+            bits = t.ballot_sync(cuda.FULL_MASK, t.laneid < 4)
+            if t.laneid == 0:
+                t.array(out, 1, np.uint64)[0] = bits
+
+        cuda.launch(k, 1, 32, (d_out,), device=dev)
+        cuda.cudaDeviceSynchronize()
+        out = np.zeros(1, dtype=np.uint64)
+        cuda.cudaMemcpy(out, d_out, 8, cuda.cudaMemcpyDeviceToHost)
+        assert out[0] == 0b1111
+        cuda.cudaFree(d_out)

@@ -1,0 +1,123 @@
+"""CUDA host runtime: memory, transfers, device selection, streams, events."""
+
+import numpy as np
+import pytest
+
+from repro import cuda
+from repro.errors import GpuError, InvalidPointerError
+
+
+@pytest.fixture(autouse=True)
+def on_device_zero():
+    cuda.cudaSetDevice(0)
+    yield
+    cuda.cudaSetDevice(0)
+
+
+class TestMemory:
+    def test_malloc_free(self):
+        ptr = cuda.cudaMalloc(256)
+        assert ptr
+        cuda.cudaFree(ptr)
+
+    def test_memcpy_roundtrip(self):
+        data = np.arange(64, dtype=np.float32)
+        ptr = cuda.cudaMalloc(data.nbytes)
+        cuda.cudaMemcpy(ptr, data, data.nbytes, cuda.cudaMemcpyHostToDevice)
+        out = np.zeros_like(data)
+        cuda.cudaMemcpy(out, ptr, data.nbytes, cuda.cudaMemcpyDeviceToHost)
+        assert np.array_equal(out, data)
+        cuda.cudaFree(ptr)
+
+    def test_memcpy_d2d(self):
+        data = np.arange(16, dtype=np.uint8)
+        a = cuda.cudaMalloc(16)
+        b = cuda.cudaMalloc(16)
+        cuda.cudaMemcpy(a, data, 16, cuda.cudaMemcpyHostToDevice)
+        cuda.cudaMemcpy(b, a, 16, cuda.cudaMemcpyDeviceToDevice)
+        out = np.zeros(16, dtype=np.uint8)
+        cuda.cudaMemcpy(out, b, 16, cuda.cudaMemcpyDeviceToHost)
+        assert np.array_equal(out, data)
+        cuda.cudaFree(a)
+        cuda.cudaFree(b)
+
+    def test_bad_kind_rejected(self):
+        ptr = cuda.cudaMalloc(8)
+        with pytest.raises(GpuError, match="kind"):
+            cuda.cudaMemcpy(ptr, np.zeros(1), 8, "sideways")
+        cuda.cudaFree(ptr)
+
+    def test_partial_memcpy_in_bytes(self):
+        data = np.arange(8, dtype=np.int32)
+        ptr = cuda.cudaMalloc(data.nbytes)
+        cuda.cudaMemcpy(ptr, data, 4 * 4, cuda.cudaMemcpyHostToDevice)  # first 4 ints
+        out = np.zeros(8, dtype=np.int32)
+        cuda.cudaMemcpy(out, ptr, 8 * 4, cuda.cudaMemcpyDeviceToHost)
+        assert np.array_equal(out[:4], data[:4])
+        assert not out[4:].any()
+        cuda.cudaFree(ptr)
+
+    def test_memset(self):
+        ptr = cuda.cudaMalloc(32)
+        cuda.cudaMemset(ptr, 0x11, 32)
+        out = np.zeros(32, dtype=np.uint8)
+        cuda.cudaMemcpy(out, ptr, 32, cuda.cudaMemcpyDeviceToHost)
+        assert (out == 0x11).all()
+        cuda.cudaFree(ptr)
+
+    def test_use_after_free(self):
+        ptr = cuda.cudaMalloc(8)
+        cuda.cudaFree(ptr)
+        with pytest.raises(InvalidPointerError):
+            cuda.cudaMemcpy(np.zeros(1), ptr, 8, cuda.cudaMemcpyDeviceToHost)
+
+
+class TestDeviceSelection:
+    def test_get_set_device(self):
+        assert cuda.cudaGetDevice() == 0
+        cuda.cudaSetDevice(1)
+        assert cuda.cudaGetDevice() == 1
+
+    def test_set_invalid_device(self):
+        with pytest.raises(GpuError):
+            cuda.cudaSetDevice(7)
+
+    def test_allocation_follows_current_device(self):
+        cuda.cudaSetDevice(1)
+        ptr = cuda.cudaMalloc(8)
+        assert ptr.device_ordinal == 1
+        cuda.cudaFree(ptr)
+
+
+class TestStreamsAndEvents:
+    def test_stream_create_destroy(self):
+        s = cuda.cudaStreamCreate("s1")
+        order = []
+        s.enqueue(lambda: order.append(1))
+        cuda.cudaStreamSynchronize(s)
+        assert order == [1]
+        cuda.cudaStreamDestroy(s)
+
+    def test_async_memcpy_on_stream(self):
+        data = np.arange(32, dtype=np.float64)
+        ptr = cuda.cudaMalloc(data.nbytes)
+        s = cuda.cudaStreamCreate("copy")
+        out = np.zeros_like(data)
+        cuda.cudaMemcpyAsync(ptr, data, data.nbytes, cuda.cudaMemcpyHostToDevice, s)
+        cuda.cudaMemcpyAsync(out, ptr, data.nbytes, cuda.cudaMemcpyDeviceToHost, s)
+        cuda.cudaStreamSynchronize(s)
+        assert np.array_equal(out, data)
+        cuda.cudaStreamDestroy(s)
+        cuda.cudaFree(ptr)
+
+    def test_event_record_synchronize(self):
+        ev = cuda.cudaEventCreate("done")
+        cuda.cudaEventRecord(ev)
+        cuda.cudaEventSynchronize(ev)
+        assert ev.is_complete
+
+    def test_device_synchronize_drains_default_stream(self):
+        log = []
+        cuda.current_cuda_device().default_stream.enqueue(lambda: log.append(1))
+        cuda.cudaDeviceSynchronize()
+        assert log == [1]

@@ -1,0 +1,125 @@
+"""Atomic operations: single-threaded semantics + multithreaded atomicity."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gpu.atomics import AtomicDomain
+
+
+@pytest.fixture
+def atomics():
+    return AtomicDomain()
+
+
+@pytest.fixture
+def arr():
+    return np.zeros(4, dtype=np.int64)
+
+
+class TestSemantics:
+    def test_add_returns_old(self, atomics, arr):
+        arr[0] = 10
+        assert atomics.add(arr, 0, 5) == 10
+        assert arr[0] == 15
+
+    def test_sub(self, atomics, arr):
+        arr[1] = 10
+        assert atomics.sub(arr, 1, 3) == 10
+        assert arr[1] == 7
+
+    def test_max_updates(self, atomics, arr):
+        arr[0] = 5
+        assert atomics.max(arr, 0, 9) == 5
+        assert arr[0] == 9
+
+    def test_max_keeps_larger(self, atomics, arr):
+        arr[0] = 9
+        atomics.max(arr, 0, 5)
+        assert arr[0] == 9
+
+    def test_min(self, atomics, arr):
+        arr[0] = 9
+        assert atomics.min(arr, 0, 5) == 9
+        assert arr[0] == 5
+
+    def test_exchange(self, atomics, arr):
+        arr[0] = 1
+        assert atomics.exchange(arr, 0, 2) == 1
+        assert arr[0] == 2
+
+    def test_cas_success(self, atomics, arr):
+        arr[0] = 7
+        assert atomics.cas(arr, 0, 7, 42) == 7
+        assert arr[0] == 42
+
+    def test_cas_failure_leaves_value(self, atomics, arr):
+        arr[0] = 7
+        assert atomics.cas(arr, 0, 8, 42) == 7
+        assert arr[0] == 7
+
+    def test_bitwise(self, atomics, arr):
+        arr[0] = 0b1100
+        atomics.and_(arr, 0, 0b1010)
+        assert arr[0] == 0b1000
+        atomics.or_(arr, 0, 0b0001)
+        assert arr[0] == 0b1001
+        atomics.xor(arr, 0, 0b1111)
+        assert arr[0] == 0b0110
+
+    def test_inc_wraps_at_limit(self, atomics, arr):
+        arr[0] = 0
+        for expected in (0, 1, 2):
+            assert atomics.inc(arr, 0, 2) == expected
+
+        # after hitting the limit the counter wrapped to 0
+        assert arr[0] == 0
+
+    def test_float_add(self, atomics):
+        farr = np.zeros(1)
+        atomics.add(farr, 0, 0.5)
+        atomics.add(farr, 0, 0.25)
+        assert farr[0] == 0.75
+
+    def test_multi_index(self, atomics):
+        grid = np.zeros((3, 3), dtype=np.int64)
+        atomics.add(grid, (1, 2), 4)
+        assert grid[1, 2] == 4
+
+
+class TestAtomicity:
+    def test_concurrent_adds_lose_nothing(self, atomics):
+        """The reason atomics exist: N racing increments sum exactly."""
+        target = np.zeros(1, dtype=np.int64)
+        n_threads, per_thread = 8, 500
+
+        def work():
+            for _ in range(per_thread):
+                atomics.add(target, 0, 1)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert target[0] == n_threads * per_thread
+
+    def test_concurrent_cas_single_winner(self, atomics):
+        target = np.zeros(1, dtype=np.int64)
+        winners = []
+        lock = threading.Lock()
+
+        def work(tid):
+            old = atomics.cas(target, 0, 0, tid)
+            if old == 0:
+                with lock:
+                    winners.append(tid)
+
+        threads = [threading.Thread(target=work, args=(i + 1,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(winners) == 1
+        assert target[0] == winners[0]

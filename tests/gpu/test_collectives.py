@@ -1,0 +1,153 @@
+"""Block/warp collective algorithms (reduce, scans)."""
+
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cuda, ompx
+from repro.gpu import LaunchConfig, get_device, launch_kernel
+from repro.gpu.collectives import (
+    block_inclusive_scan,
+    block_reduce,
+    warp_inclusive_scan,
+)
+
+
+def run(device, kernel, block, args=()):
+    launch_kernel(kernel, LaunchConfig.create(1, block), args, device)
+
+
+class TestWarpScan:
+    @pytest.mark.parametrize("ordinal", [0, 1], ids=["a100", "mi250"])
+    def test_inclusive_sum_scan(self, ordinal):
+        device = get_device(ordinal)
+        ws = device.spec.warp_size
+        d = device.allocator.malloc(ws * 8)
+
+        def kernel(ctx, out):
+            v = warp_inclusive_scan(ctx, float(ctx.lane_id + 1))
+            ctx.deref(out, ctx.warp_size, np.float64)[ctx.lane_id] = v
+
+        run(device, kernel, ws, (d,))
+        out = np.zeros(ws)
+        device.allocator.memcpy_d2h(out, d)
+        assert np.array_equal(out, np.cumsum(np.arange(1, ws + 1)))
+        device.allocator.free(d)
+
+    def test_max_scan(self, nvidia):
+        d = nvidia.allocator.malloc(32 * 8)
+        values = [(i * 13) % 32 for i in range(32)]
+
+        def kernel(ctx, out):
+            v = warp_inclusive_scan(ctx, values[ctx.lane_id], op=max)
+            ctx.deref(out, 32, np.int64)[ctx.lane_id] = v
+
+        run(nvidia, kernel, 32, (d,))
+        out = np.zeros(32, dtype=np.int64)
+        nvidia.allocator.memcpy_d2h(out, d)
+        assert np.array_equal(out, np.maximum.accumulate(values))
+        nvidia.allocator.free(d)
+
+
+class TestBlockReduce:
+    @pytest.mark.parametrize("block", [32, 48, 96, 256], ids=str)
+    def test_sum_all_threads_receive(self, nvidia, block):
+        d = nvidia.allocator.malloc(block * 8)
+
+        def kernel(ctx, out):
+            total = block_reduce(ctx, float(ctx.flat_thread_id))
+            ctx.deref(out, ctx.num_threads, np.float64)[ctx.flat_thread_id] = total
+
+        run(nvidia, kernel, block, (d,))
+        out = np.zeros(block)
+        nvidia.allocator.memcpy_d2h(out, d)
+        assert (out == block * (block - 1) / 2).all()
+        nvidia.allocator.free(d)
+
+    def test_works_through_facades(self, nvidia):
+        """The same helper runs from a CUDA and an ompx kernel."""
+        results = {}
+
+        @cuda.kernel
+        def k_cuda(t, tag):
+            total = block_reduce(t, 1.0)
+            if t.threadIdx.x == 0:
+                results[tag] = total
+
+        @ompx.bare_kernel
+        def k_ompx(x, tag):
+            total = block_reduce(x, 1.0)
+            if x.thread_id_x() == 0:
+                results[tag] = total
+
+        cuda.launch(k_cuda, 1, 64, ("cuda",), device=nvidia)
+        nvidia.synchronize()
+        ompx.target_teams_bare(nvidia, 1, 64, k_ompx, ("ompx",))
+        assert results["cuda"] == results["ompx"] == 64.0
+
+    def test_repeated_reductions_in_one_kernel(self, nvidia):
+        d = nvidia.allocator.malloc(2 * 8)
+
+        def kernel(ctx, out):
+            a = block_reduce(ctx, 1.0)
+            b = block_reduce(ctx, 2.0)
+            if ctx.flat_thread_id == 0:
+                o = ctx.deref(out, 2, np.float64)
+                o[0], o[1] = a, b
+
+        run(nvidia, kernel, 64, (d,))
+        out = np.zeros(2)
+        nvidia.allocator.memcpy_d2h(out, d)
+        assert list(out) == [64.0, 128.0]
+        nvidia.allocator.free(d)
+
+    def test_mi250_wavefront(self, amd):
+        d = amd.allocator.malloc(8)
+
+        def kernel(ctx, out):
+            total = block_reduce(ctx, 1.0)
+            if ctx.flat_thread_id == 0:
+                ctx.deref(out, 1, np.float64)[0] = total
+
+        run(amd, kernel, 192, (d,))
+        out = np.zeros(1)
+        amd.allocator.memcpy_d2h(out, d)
+        assert out[0] == 192.0
+        amd.allocator.free(d)
+
+
+class TestBlockScan:
+    @pytest.mark.parametrize("block", [32, 64, 96, 160], ids=str)
+    def test_inclusive_sum_scan(self, nvidia, block):
+        d = nvidia.allocator.malloc(block * 8)
+
+        def kernel(ctx, out):
+            v = block_inclusive_scan(ctx, float(ctx.flat_thread_id + 1))
+            ctx.deref(out, ctx.num_threads, np.float64)[ctx.flat_thread_id] = v
+
+        run(nvidia, kernel, block, (d,))
+        out = np.zeros(block)
+        nvidia.allocator.memcpy_d2h(out, d)
+        assert np.array_equal(out, np.cumsum(np.arange(1, block + 1)))
+        nvidia.allocator.free(d)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(-50, 50), min_size=32, max_size=32))
+    def test_scan_matches_numpy_cumsum(self, values):
+        device = get_device(0)
+        d = device.allocator.malloc(32 * 8)
+
+        def kernel(ctx, out):
+            v = block_inclusive_scan(
+                ctx, float(values[ctx.flat_thread_id])
+            )
+            ctx.deref(out, 32, np.float64)[ctx.flat_thread_id] = v
+
+        run(device, kernel, 32, (d,))
+        out = np.zeros(32)
+        device.allocator.memcpy_d2h(out, d)
+        assert np.array_equal(out, np.cumsum(values))
+        device.allocator.free(d)

@@ -1,0 +1,114 @@
+"""Collective algorithms: degenerate shapes and alternative operators."""
+
+import numpy as np
+import pytest
+
+from repro import hip
+from repro.gpu import LaunchConfig, launch_kernel
+from repro.gpu.collectives import (
+    block_inclusive_scan,
+    block_reduce,
+    warp_inclusive_scan,
+)
+
+
+class TestDegenerateShapes:
+    def test_single_thread_block(self, nvidia):
+        results = []
+
+        def kernel(ctx):
+            results.append((
+                block_reduce(ctx, 7.0),
+                block_inclusive_scan(ctx, 3.0),
+                warp_inclusive_scan(ctx, 5.0),
+            ))
+
+        launch_kernel(kernel, LaunchConfig.create(1, 1), (), nvidia)
+        assert results == [(7.0, 3.0, 5.0)]
+
+    def test_partial_warp_block(self, nvidia):
+        """A 20-thread block (one partial warp) still reduces correctly."""
+        d = nvidia.allocator.malloc(8)
+
+        def kernel(ctx, out):
+            total = block_reduce(ctx, 1.0)
+            if ctx.flat_thread_id == 0:
+                ctx.deref(out, 1, np.float64)[0] = total
+
+        launch_kernel(kernel, LaunchConfig.create(1, 20), (d,), nvidia)
+        out = np.zeros(1)
+        nvidia.allocator.memcpy_d2h(out, d)
+        assert out[0] == 20.0
+        nvidia.allocator.free(d)
+
+    def test_block_not_multiple_of_warp_scan(self, nvidia):
+        d = nvidia.allocator.malloc(50 * 8)
+
+        def kernel(ctx, out):
+            v = block_inclusive_scan(ctx, 1.0)
+            ctx.deref(out, ctx.num_threads, np.float64)[ctx.flat_thread_id] = v
+
+        launch_kernel(kernel, LaunchConfig.create(1, 50), (d,), nvidia)
+        out = np.zeros(50)
+        nvidia.allocator.memcpy_d2h(out, d)
+        assert np.array_equal(out, np.arange(1, 51))
+        nvidia.allocator.free(d)
+
+
+class TestAlternativeOperators:
+    def test_block_scan_with_max(self, nvidia):
+        values = [(i * 17) % 64 for i in range(64)]
+        d = nvidia.allocator.malloc(64 * 8)
+
+        def kernel(ctx, out):
+            v = block_inclusive_scan(ctx, float(values[ctx.flat_thread_id]), op=max)
+            ctx.deref(out, 64, np.float64)[ctx.flat_thread_id] = v
+
+        launch_kernel(kernel, LaunchConfig.create(1, 64), (d,), nvidia)
+        out = np.zeros(64)
+        nvidia.allocator.memcpy_d2h(out, d)
+        assert np.array_equal(out, np.maximum.accumulate(values))
+        nvidia.allocator.free(d)
+
+    def test_block_reduce_with_min(self, nvidia):
+        values = [(i * 13 + 5) % 97 for i in range(96)]
+        seen = []
+
+        def kernel(ctx):
+            m = block_reduce(ctx, values[ctx.flat_thread_id], op=min)
+            if ctx.flat_thread_id == 0:
+                seen.append(m)
+
+        launch_kernel(kernel, LaunchConfig.create(1, 96), (), nvidia)
+        assert seen == [min(values)]
+
+
+class TestHipFacadeCollectives:
+    def test_block_reduce_under_hip_wavefront64(self, amd):
+        d = hip.hipMalloc(8)
+
+        @hip.kernel
+        def k(t, out):
+            total = block_reduce(t, 2.0)
+            if t.threadIdx.x == 0:
+                t.array(out, 1, np.float64)[0] = total
+
+        hip.launch(k, 1, 128, (d,))
+        hip.hipDeviceSynchronize()
+        out = np.zeros(1)
+        hip.hipMemcpy(out, d, 8, hip.hipMemcpyDeviceToHost)
+        assert out[0] == 256.0
+        hip.hipFree(d)
+
+    def test_scan_spans_wavefronts(self, amd):
+        d = amd.allocator.malloc(160 * 8)
+
+        def kernel(ctx, out):
+            v = block_inclusive_scan(ctx, 1.0)
+            ctx.deref(out, ctx.num_threads, np.float64)[ctx.flat_thread_id] = v
+
+        launch_kernel(kernel, LaunchConfig.create(1, 160), (d,), amd)
+        out = np.zeros(160)
+        amd.allocator.memcpy_d2h(out, d)
+        assert np.array_equal(out, np.arange(1, 161))
+        amd.allocator.free(d)

@@ -1,0 +1,111 @@
+"""Constant memory: the fourth computational memory space of §2.5."""
+
+import numpy as np
+import pytest
+
+from repro import cuda, ompx
+from repro.errors import GpuError
+from repro.gpu.device import Device, DeviceSpec, Vendor, get_device
+
+
+@pytest.fixture
+def fresh_device():
+    """An isolated device so constant state does not leak across tests."""
+    spec = DeviceSpec(name="const-test", vendor=Vendor.NVIDIA, constant_mem_bytes=256)
+    return Device(spec, ordinal=2000)
+
+
+class TestDeviceConstantStore:
+    def test_write_read_roundtrip(self, fresh_device):
+        data = np.arange(8, dtype=np.float64)
+        fresh_device.write_constant("table", data)
+        out = fresh_device.read_constant("table")
+        assert np.array_equal(out, data)
+
+    def test_read_is_readonly(self, fresh_device):
+        fresh_device.write_constant("ro", np.zeros(4))
+        view = fresh_device.read_constant("ro")
+        with pytest.raises(ValueError):
+            view[0] = 1
+
+    def test_write_copies_host_data(self, fresh_device):
+        data = np.zeros(4)
+        fresh_device.write_constant("snap", data)
+        data[:] = 99  # later host mutation must not leak into the symbol
+        assert not fresh_device.read_constant("snap").any()
+
+    def test_unknown_symbol(self, fresh_device):
+        with pytest.raises(GpuError, match="no constant symbol"):
+            fresh_device.read_constant("nope")
+
+    def test_budget_enforced(self, fresh_device):
+        with pytest.raises(GpuError, match="overflow"):
+            fresh_device.write_constant("big", np.zeros(64))  # 512 B > 256 B
+
+    def test_rewrite_replaces_budget(self, fresh_device):
+        fresh_device.write_constant("sym", np.zeros(16))  # 128 B
+        fresh_device.write_constant("sym", np.zeros(24))  # replace with 192 B
+        assert fresh_device.constant_bytes_in_use == 192
+
+    def test_accumulates_across_symbols(self, fresh_device):
+        fresh_device.write_constant("a", np.zeros(16))
+        fresh_device.write_constant("b", np.zeros(16))
+        assert fresh_device.constant_bytes_in_use == 256
+        with pytest.raises(GpuError):
+            fresh_device.write_constant("c", np.zeros(1))
+
+
+class TestKernelAccess:
+    def test_cuda_symbol_flow(self, nvidia):
+        cuda.cudaSetDevice(0)
+        coeffs = np.array([0.25, 0.5, 0.25])
+        cuda.cudaMemcpyToSymbol("k_coeffs", coeffs)
+        d_out = cuda.cudaMalloc(3 * 8)
+
+        @cuda.kernel(sync_free=True)
+        def k(t, out):
+            c = t.constant("k_coeffs")
+            i = t.global_thread_id
+            if i < 3:
+                t.array(out, 3, np.float64)[i] = c[i] * 4
+
+        cuda.launch(k, 1, 4, (d_out,), device=nvidia)
+        cuda.cudaDeviceSynchronize()
+        out = np.zeros(3)
+        cuda.cudaMemcpy(out, d_out, 24, cuda.cudaMemcpyDeviceToHost)
+        assert np.array_equal(out, [1.0, 2.0, 1.0])
+        back = np.zeros(3)
+        cuda.cudaMemcpyFromSymbol(back, "k_coeffs")
+        assert np.array_equal(back, coeffs)
+        cuda.cudaFree(d_out)
+
+    def test_ompx_symbol_flow(self, nvidia):
+        weights = np.array([2.0, 3.0])
+        ompx.ompx_memcpy_to_symbol("weights", weights, nvidia)
+        seen = []
+
+        def region(x):
+            if x.thread_id_x() == 0:
+                seen.append(float(x.constant("weights")[1]))
+
+        ompx.target_teams_bare(nvidia, 1, 2, region)
+        assert seen == [3.0]
+        back = np.zeros(2)
+        ompx.ompx_memcpy_from_symbol(back, "weights", nvidia)
+        assert np.array_equal(back, weights)
+
+    def test_constants_are_per_device(self, nvidia, amd):
+        nvidia.write_constant("dev_local", np.array([1.0]))
+        with pytest.raises(GpuError):
+            amd.read_constant("dev_local")
+
+    def test_kernel_cannot_write_constant(self, nvidia):
+        nvidia.write_constant("immutable", np.zeros(2))
+
+        def region(x):
+            x.constant("immutable")[0] = 5  # must raise inside the kernel
+
+        from repro.errors import LaunchError
+
+        with pytest.raises(LaunchError):
+            ompx.target_teams_bare(nvidia, 1, 1, region)

@@ -1,0 +1,125 @@
+"""DeviceSpec validation, the registry, and launch-geometry checks."""
+
+import pytest
+
+from repro.errors import GpuError, LaunchError
+from repro.gpu.device import (
+    A100_SPEC,
+    MI250_SPEC,
+    DeviceSpec,
+    Vendor,
+    current_device,
+    get_device,
+    registered_devices,
+    set_current_device,
+)
+from repro.gpu.dim import Dim3
+
+
+class TestSpecs:
+    def test_a100_identity(self):
+        assert A100_SPEC.vendor == Vendor.NVIDIA
+        assert A100_SPEC.warp_size == 32
+        assert A100_SPEC.num_sms == 108
+        assert A100_SPEC.global_mem_bytes == 40 * 1024**3
+
+    def test_mi250_identity(self):
+        assert MI250_SPEC.vendor == Vendor.AMD
+        assert MI250_SPEC.warp_size == 64  # wavefront64
+
+    def test_warp_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", vendor=Vendor.NVIDIA, warp_size=48)
+
+    def test_warp_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", vendor=Vendor.NVIDIA, warp_size=0)
+
+    def test_num_sms_positive(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", vendor=Vendor.NVIDIA, num_sms=0)
+
+
+class TestValidateLaunch:
+    def test_valid_launch_passes(self):
+        A100_SPEC.validate_launch(Dim3(1024), Dim3(256))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(LaunchError, match="empty launch"):
+            A100_SPEC.validate_launch(Dim3(0), Dim3(256))
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(LaunchError, match="threads"):
+            A100_SPEC.validate_launch(Dim3(1), Dim3(2048))
+
+    def test_block_dim_z_limit(self):
+        # z is capped at 64 even when the volume is fine
+        with pytest.raises(LaunchError, match="block dim 2"):
+            A100_SPEC.validate_launch(Dim3(1), Dim3(1, 1, 128))
+
+    def test_grid_dim_y_limit(self):
+        with pytest.raises(LaunchError, match="grid dim 1"):
+            A100_SPEC.validate_launch(Dim3(1, 70000, 1), Dim3(32))
+
+    def test_shared_memory_limit(self):
+        with pytest.raises(LaunchError, match="shared memory"):
+            A100_SPEC.validate_launch(Dim3(1), Dim3(32), shared_bytes=48 * 1024 + 1)
+
+
+class TestClampDims:
+    def test_clamps_block_z(self):
+        clamped = A100_SPEC.clamp_dims(Dim3(4, 4, 128), kind="block")
+        assert clamped == Dim3(4, 4, 64)
+
+    def test_noop_within_limits(self):
+        assert A100_SPEC.clamp_dims(Dim3(8, 8, 2), kind="block") == Dim3(8, 8, 2)
+
+    def test_clamps_grid(self):
+        clamped = A100_SPEC.clamp_dims(Dim3(1, 100000, 1), kind="grid")
+        assert clamped.y == A100_SPEC.max_grid_dim.y
+
+
+class TestRegistry:
+    def test_default_devices(self):
+        devices = registered_devices()
+        assert devices[0].spec is A100_SPEC
+        assert devices[1].spec is MI250_SPEC
+        # the MI250's second GCD is its own device, as under ROCm/LLVM
+        assert devices[2].spec is MI250_SPEC
+        assert len(devices) == 3
+
+    def test_get_device_is_stable(self):
+        assert get_device(0) is get_device(0)
+
+    def test_unknown_ordinal(self):
+        with pytest.raises(GpuError):
+            get_device(99)
+
+    def test_set_current_device(self):
+        original = current_device().ordinal
+        try:
+            set_current_device(1)
+            assert current_device().ordinal == 1
+        finally:
+            set_current_device(original)
+
+    def test_set_current_validates(self):
+        with pytest.raises(GpuError):
+            set_current_device(42)
+
+
+class TestDeviceObject:
+    def test_allocator_is_lazy_singleton(self):
+        dev = get_device(0)
+        assert dev.allocator is dev.allocator
+
+    def test_default_stream_singleton(self):
+        dev = get_device(0)
+        assert dev.default_stream is dev.default_stream
+
+    def test_synchronize_idles_streams(self):
+        dev = get_device(0)
+        hits = []
+        dev.default_stream.enqueue(lambda: hits.append(1))
+        dev.synchronize()
+        assert hits == [1]

@@ -1,0 +1,107 @@
+"""Dim3 arithmetic: coercion, volumes, (de)linearization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LaunchError
+from repro.gpu.dim import Dim3, as_dim3, delinearize, linearize
+
+
+class TestDim3:
+    def test_defaults_are_ones(self):
+        assert Dim3().as_tuple() == (1, 1, 1)
+
+    def test_volume(self):
+        assert Dim3(4, 3, 2).volume == 24
+
+    def test_volume_with_zero_component(self):
+        assert Dim3(4, 0, 2).volume == 0
+
+    def test_ndim(self):
+        assert Dim3(5).ndim == 1
+        assert Dim3(5, 2).ndim == 2
+        assert Dim3(5, 1, 2).ndim == 3
+        assert Dim3(1, 1, 1).ndim == 1
+
+    def test_iteration_and_indexing(self):
+        d = Dim3(7, 8, 9)
+        assert list(d) == [7, 8, 9]
+        assert d[0] == 7 and d[1] == 8 and d[2] == 9
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            Dim3(-1)
+
+    def test_non_int_component_rejected(self):
+        with pytest.raises(TypeError):
+            Dim3(1.5)  # type: ignore[arg-type]
+
+    def test_bool_component_rejected(self):
+        with pytest.raises(TypeError):
+            Dim3(True)  # type: ignore[arg-type]
+
+
+class TestAsDim3:
+    def test_int(self):
+        assert as_dim3(5) == Dim3(5, 1, 1)
+
+    def test_tuple_padding(self):
+        assert as_dim3((3, 4)) == Dim3(3, 4, 1)
+
+    def test_full_triple(self):
+        assert as_dim3((128, 64, 32)) == Dim3(128, 64, 32)
+
+    def test_dim3_passthrough(self):
+        d = Dim3(2, 3, 4)
+        assert as_dim3(d) is d
+
+    def test_too_many_entries(self):
+        with pytest.raises(LaunchError):
+            as_dim3((1, 2, 3, 4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(LaunchError):
+            as_dim3(())
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_dim3(True)
+
+
+class TestLinearize:
+    def test_x_fastest(self):
+        extent = Dim3(4, 3, 2)
+        # consecutive x share a warp: flat ids of (0..3, 0, 0) are 0..3
+        assert [linearize(Dim3(x, 0, 0), extent) for x in range(4)] == [0, 1, 2, 3]
+        assert linearize(Dim3(0, 1, 0), extent) == 4
+        assert linearize(Dim3(0, 0, 1), extent) == 12
+
+    def test_out_of_extent(self):
+        with pytest.raises(IndexError):
+            linearize(Dim3(4, 0, 0), Dim3(4, 1, 1))
+
+    def test_delinearize_out_of_range(self):
+        with pytest.raises(IndexError):
+            delinearize(24, Dim3(4, 3, 2))
+        with pytest.raises(IndexError):
+            delinearize(-1, Dim3(4, 3, 2))
+
+    @given(
+        st.tuples(
+            st.integers(1, 16), st.integers(1, 16), st.integers(1, 16)
+        ),
+        st.data(),
+    )
+    def test_roundtrip_bijection(self, extent_tuple, data):
+        extent = Dim3(*extent_tuple)
+        flat = data.draw(st.integers(0, extent.volume - 1))
+        assert linearize(delinearize(flat, extent), extent) == flat
+
+    @given(
+        st.tuples(st.integers(1, 12), st.integers(1, 12), st.integers(1, 12))
+    )
+    def test_covers_whole_extent(self, extent_tuple):
+        extent = Dim3(*extent_tuple)
+        seen = {linearize(delinearize(i, extent), extent) for i in range(extent.volume)}
+        assert seen == set(range(extent.volume))

@@ -1,0 +1,87 @@
+"""LaunchConfig + launch_kernel: geometry coercion, stream routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu import Dim3, LaunchConfig, Stream, launch_kernel
+
+
+class TestLaunchConfig:
+    def test_create_coerces_ints(self):
+        cfg = LaunchConfig.create(4, 128)
+        assert cfg.grid == Dim3(4, 1, 1)
+        assert cfg.block == Dim3(128, 1, 1)
+
+    def test_create_coerces_tuples(self):
+        cfg = LaunchConfig.create((2, 3), (8, 8, 2))
+        assert cfg.grid == Dim3(2, 3, 1)
+        assert cfg.block == Dim3(8, 8, 2)
+
+    def test_total_threads(self):
+        assert LaunchConfig.create((2, 2), 64).total_threads == 256
+
+    def test_shared_bytes_stored(self):
+        assert LaunchConfig.create(1, 1, shared_bytes=1024).shared_bytes == 1024
+
+
+class TestLaunchKernel:
+    def test_invalid_geometry_rejected_before_run(self, nvidia):
+        ran = []
+
+        def kernel(ctx):
+            ran.append(1)
+
+        with pytest.raises(LaunchError):
+            launch_kernel(kernel, LaunchConfig.create(1, 4096), (), nvidia)
+        assert not ran
+
+    def test_synchronous_launch_returns_stats(self, nvidia):
+        def kernel(ctx):
+            pass
+
+        stats = launch_kernel(kernel, LaunchConfig.create(2, 4), (), nvidia)
+        assert stats is not None
+        assert stats.threads_run == 8
+
+    def test_async_launch_on_stream(self, nvidia):
+        stream = Stream(nvidia, name="launch-test")
+        try:
+            d_out = nvidia.allocator.malloc(8)
+
+            def kernel(ctx, out):
+                ctx.deref(out, 1, np.int64)[0] = 7
+
+            result = launch_kernel(
+                kernel,
+                LaunchConfig.create(1, 1, stream=stream),
+                (d_out,),
+                nvidia,
+                synchronous=False,
+            )
+            assert result is None  # async: no stats yet
+            stream.synchronize()
+            out = np.zeros(1, dtype=np.int64)
+            nvidia.allocator.memcpy_d2h(out, d_out)
+            assert out[0] == 7
+            nvidia.allocator.free(d_out)
+        finally:
+            stream.close()
+
+    def test_sync_launch_on_stream_respects_order(self, nvidia):
+        stream = Stream(nvidia, name="ordered")
+        try:
+            log = []
+            stream.enqueue(lambda: log.append("queued-first"))
+
+            def kernel(ctx):
+                if ctx.flat_thread_id == 0:
+                    log.append("kernel")
+
+            stats = launch_kernel(
+                kernel, LaunchConfig.create(1, 2, stream=stream), (), nvidia
+            )
+            assert stats is not None
+            assert log == ["queued-first", "kernel"]
+        finally:
+            stream.close()

@@ -1,0 +1,148 @@
+"""Warp match primitives (__match_any_sync / __match_all_sync)."""
+
+import numpy as np
+import pytest
+
+from repro import cuda, ompx
+from repro.gpu import LaunchConfig, launch_kernel
+
+
+class TestMatchAny:
+    def test_groups_by_value(self, nvidia):
+        results = {}
+
+        def kernel(ctx):
+            mask = ctx.match_any_sync(ctx.lane_id % 4)
+            results[ctx.lane_id] = mask
+
+        launch_kernel(kernel, LaunchConfig.create(1, 32), (), nvidia)
+        for lane, mask in results.items():
+            expected = sum(1 << i for i in range(32) if i % 4 == lane % 4)
+            assert mask == expected, lane
+
+    def test_all_distinct_values(self, nvidia):
+        results = {}
+
+        def kernel(ctx):
+            results[ctx.lane_id] = ctx.match_any_sync(ctx.lane_id)
+
+        launch_kernel(kernel, LaunchConfig.create(1, 32), (), nvidia)
+        for lane, mask in results.items():
+            assert mask == 1 << lane
+
+    def test_wavefront64(self, amd):
+        results = {}
+
+        def kernel(ctx):
+            results[ctx.lane_id] = ctx.match_any_sync(ctx.lane_id // 32)
+
+        launch_kernel(kernel, LaunchConfig.create(1, 64), (), amd)
+        low = sum(1 << i for i in range(32))
+        high = sum(1 << i for i in range(32, 64))
+        assert results[0] == low and results[63] == high
+
+
+class TestMatchAll:
+    def test_all_equal(self, nvidia):
+        results = {}
+
+        def kernel(ctx):
+            results[ctx.lane_id] = ctx.match_all_sync(42)
+
+        launch_kernel(kernel, LaunchConfig.create(1, 32), (), nvidia)
+        mask, pred = results[0]
+        assert pred and mask == 0xFFFFFFFF
+
+    def test_not_all_equal(self, nvidia):
+        results = {}
+
+        def kernel(ctx):
+            results[ctx.lane_id] = ctx.match_all_sync(ctx.lane_id == 0)
+
+        launch_kernel(kernel, LaunchConfig.create(1, 32), (), nvidia)
+        mask, pred = results[5]
+        assert not pred and mask == 0
+
+
+class TestFacades:
+    def test_cuda_spelling_mask_first(self, nvidia):
+        results = {}
+
+        @cuda.kernel
+        def k(t):
+            results[t.laneid] = t.match_any_sync(cuda.FULL_MASK, t.laneid % 2)
+
+        cuda.launch(k, 1, 32, (), device=nvidia)
+        nvidia.synchronize()
+        evens = sum(1 << i for i in range(0, 32, 2))
+        assert results[0] == evens
+
+    def test_ompx_spelling_mask_last(self, nvidia):
+        results = {}
+
+        @ompx.bare_kernel
+        def k(x):
+            results[x.lane_id()] = x.match_all_sync(1)
+
+        ompx.target_teams_bare(nvidia, 1, 32, k)
+        assert results[0] == (0xFFFFFFFF, True)
+
+    def test_capi_spelling(self, nvidia):
+        from repro.ompx import capi
+
+        results = {}
+
+        def region(x):
+            results[capi.ompx_lane_id()] = capi.ompx_match_any_sync(
+                capi.ompx_lane_id() < 16
+            )
+
+        ompx.target_teams_bare(nvidia, 1, 32, region)
+        low_half = sum(1 << i for i in range(16))
+        assert results[0] == low_half
+        assert results[31] == sum(1 << i for i in range(16, 32))
+
+    def test_port_rule_reorders_mask(self):
+        from repro.port import port_kernel_source
+
+        @cuda.kernel
+        def k(t):
+            t.match_any_sync(cuda.FULL_MASK, t.laneid)
+
+        src = port_kernel_source(k)
+        assert "t.match_any_sync(t.lane_id(), cuda.FULL_MASK)" in src
+
+
+class TestOccupancyQueries:
+    def test_cuda_query(self, nvidia):
+        @cuda.kernel
+        def small(t, out, n):
+            i = t.global_thread_id
+            if i < n:
+                t.array(out, n, np.float64)[i] = i
+
+        cuda.cudaSetDevice(0)
+        assert cuda.cudaOccupancyMaxActiveBlocksPerMultiprocessor(small, 256) == 8
+        assert cuda.cudaOccupancyMaxActiveBlocksPerMultiprocessor(small, 1024) == 2
+
+    def test_ompx_query_matches_cuda(self, nvidia):
+        @ompx.bare_kernel
+        def small(x, out, n):
+            i = x.global_thread_id_x()
+            if i < n:
+                x.array(out, n, np.float64)[i] = i
+
+        assert ompx.ompx_occupancy_max_active_blocks(small, 128, device=nvidia) == 16
+
+    def test_shared_memory_limits_occupancy(self, nvidia):
+        @ompx.bare_kernel
+        def shared_hog(x):
+            x.groupprivate("big", 1024, np.float64)  # 8 KB
+
+        unconstrained = ompx.ompx_occupancy_max_active_blocks(
+            shared_hog, 64, device=nvidia
+        )
+        constrained = ompx.ompx_occupancy_max_active_blocks(
+            shared_hog, 64, shared_bytes=40 * 1024, device=nvidia
+        )
+        assert constrained < unconstrained

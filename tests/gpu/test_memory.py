@@ -1,0 +1,179 @@
+"""Device global memory: allocator, pointers, transfers, error detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidPointerError, OutOfMemoryError
+from repro.gpu.device import DeviceSpec, Device, Vendor
+from repro.gpu.memory import DevicePointer, GlobalAllocator
+
+
+@pytest.fixture
+def small_device():
+    """A device with 1 MiB of global memory, for OOM tests."""
+    spec = DeviceSpec(name="tiny", vendor=Vendor.NVIDIA, global_mem_bytes=1 << 20)
+    return Device(spec, ordinal=1000)
+
+
+class TestAllocate:
+    def test_malloc_returns_nonnull(self, any_device):
+        ptr = any_device.allocator.malloc(64)
+        assert not ptr.is_null
+        any_device.allocator.free(ptr)
+
+    def test_zero_initialized(self, dev_arrays):
+        ptr = dev_arrays.alloc(128)
+        out = dev_arrays.download(ptr, 128, np.uint8)
+        assert not out.any()
+
+    def test_negative_size_rejected(self, any_device):
+        with pytest.raises(ValueError):
+            any_device.allocator.malloc(-1)
+
+    def test_oom(self, small_device):
+        with pytest.raises(OutOfMemoryError):
+            small_device.allocator.malloc(2 << 20)
+
+    def test_bytes_accounting(self, small_device):
+        alloc = small_device.allocator
+        a = alloc.malloc(1000)
+        assert alloc.bytes_in_use == 1000
+        assert alloc.live_allocations == 1
+        alloc.free(a)
+        assert alloc.bytes_in_use == 0
+        assert alloc.live_allocations == 0
+
+    def test_free_null_is_noop(self, any_device):
+        any_device.allocator.free(DevicePointer(any_device.ordinal, 0))
+
+    def test_double_free_detected(self, any_device):
+        ptr = any_device.allocator.malloc(8)
+        any_device.allocator.free(ptr)
+        with pytest.raises(InvalidPointerError):
+            any_device.allocator.free(ptr)
+
+    def test_free_of_interior_pointer_rejected(self, any_device):
+        ptr = any_device.allocator.malloc(64)
+        try:
+            with pytest.raises(InvalidPointerError):
+                any_device.allocator.free(ptr + 8)
+        finally:
+            any_device.allocator.free(ptr)
+
+    def test_addresses_never_reused(self, small_device):
+        alloc = small_device.allocator
+        a = alloc.malloc(64)
+        alloc.free(a)
+        b = alloc.malloc(64)
+        assert b.address != a.address
+        # stale pointer stays invalid forever
+        with pytest.raises(InvalidPointerError):
+            alloc.view(a, 1, np.uint8)
+        alloc.free(b)
+
+
+class TestPointerArithmetic:
+    def test_add_sub(self):
+        p = DevicePointer(0, 0x1000)
+        assert (p + 16).address == 0x1010
+        assert (p + 16 - 16) == p
+
+    def test_offset_elements(self):
+        p = DevicePointer(0, 0x1000)
+        assert p.offset_elements(3, np.float64).address == 0x1000 + 24
+
+    def test_bool_of_null(self):
+        assert not DevicePointer(0, 0)
+        assert DevicePointer(0, 0x1000)
+
+
+class TestViewsAndTransfers:
+    def test_h2d_d2h_roundtrip(self, dev_arrays):
+        data = np.arange(100, dtype=np.float64)
+        ptr = dev_arrays.upload(data)
+        out = dev_arrays.download(ptr, 100, np.float64)
+        assert np.array_equal(out, data)
+
+    def test_view_is_writable_in_place(self, dev_arrays):
+        ptr = dev_arrays.alloc(10 * 8)
+        view = dev_arrays.device.allocator.view(ptr, 10, np.float64)
+        view[:] = 7.0
+        out = dev_arrays.download(ptr, 10, np.float64)
+        assert (out == 7.0).all()
+
+    def test_view_at_offset(self, dev_arrays):
+        data = np.arange(16, dtype=np.int32)
+        ptr = dev_arrays.upload(data)
+        tail = dev_arrays.device.allocator.view(ptr + 8 * 4, 8, np.int32)
+        assert np.array_equal(tail, np.arange(8, 16))
+
+    def test_view_2d_shape(self, dev_arrays):
+        data = np.arange(12, dtype=np.int64).reshape(3, 4)
+        ptr = dev_arrays.upload(data)
+        view = dev_arrays.device.allocator.view(ptr, (3, 4), np.int64)
+        assert np.array_equal(view, data)
+
+    def test_overrun_detected(self, any_device):
+        ptr = any_device.allocator.malloc(64)
+        try:
+            with pytest.raises(InvalidPointerError, match="overruns"):
+                any_device.allocator.view(ptr, 65, np.uint8)
+        finally:
+            any_device.allocator.free(ptr)
+
+    def test_null_deref_detected(self, any_device):
+        with pytest.raises(InvalidPointerError, match="null"):
+            any_device.allocator.view(DevicePointer(any_device.ordinal, 0), 1, np.uint8)
+
+    def test_wrong_device_pointer(self, nvidia, amd):
+        ptr = nvidia.allocator.malloc(8)
+        try:
+            with pytest.raises(InvalidPointerError, match="device"):
+                amd.allocator.view(DevicePointer(nvidia.ordinal, ptr.address), 1, np.uint8)
+        finally:
+            nvidia.allocator.free(ptr)
+
+    def test_d2d_copy(self, dev_arrays):
+        src = dev_arrays.upload(np.arange(32, dtype=np.uint8))
+        dst = dev_arrays.alloc(32)
+        dev_arrays.device.allocator.memcpy_d2d(dst, src, 32)
+        assert np.array_equal(dev_arrays.download(dst, 32, np.uint8), np.arange(32, dtype=np.uint8))
+
+    def test_d2h_requires_contiguous(self, dev_arrays):
+        ptr = dev_arrays.upload(np.arange(16, dtype=np.int32))
+        host = np.zeros((4, 8), dtype=np.int32)[:, ::2]  # non-contiguous
+        with pytest.raises(ValueError, match="contiguous"):
+            dev_arrays.device.allocator.memcpy_d2h(host, ptr)
+
+    def test_memset(self, dev_arrays):
+        ptr = dev_arrays.alloc(16)
+        dev_arrays.device.allocator.memset(ptr, 0xAB, 16)
+        out = dev_arrays.download(ptr, 16, np.uint8)
+        assert (out == 0xAB).all()
+
+    def test_memset_partial(self, dev_arrays):
+        ptr = dev_arrays.alloc(16)
+        dev_arrays.device.allocator.memset(ptr, 0xFF, 8)
+        out = dev_arrays.download(ptr, 16, np.uint8)
+        assert (out[:8] == 0xFF).all() and not out[8:].any()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(-(10**9), 10**9), min_size=1, max_size=64),
+        st.sampled_from([np.int32, np.int64, np.float64]),
+    )
+    def test_roundtrip_property(self, values, dtype):
+        from repro.gpu.device import get_device
+
+        data = np.asarray(values, dtype=dtype)
+        alloc = get_device(0).allocator
+        ptr = alloc.malloc(data.nbytes)
+        try:
+            alloc.memcpy_h2d(ptr, data)
+            out = np.zeros_like(data)
+            alloc.memcpy_d2h(out, ptr)
+            assert np.array_equal(out, data)
+        finally:
+            alloc.free(ptr)

@@ -1,0 +1,86 @@
+"""Block-scoped shared memory semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu.shared import SharedMemory
+
+
+class TestSharedArrays:
+    def test_idempotent_per_name(self):
+        shm = SharedMemory(limit_bytes=48 * 1024)
+        a = shm.array("tile", 128, np.float64)
+        b = shm.array("tile", 128, np.float64)
+        assert a is b
+
+    def test_distinct_names_distinct_arrays(self):
+        shm = SharedMemory(limit_bytes=48 * 1024)
+        assert shm.array("a", 4, np.int32) is not shm.array("b", 4, np.int32)
+
+    def test_zero_initialized(self):
+        shm = SharedMemory(limit_bytes=1024)
+        assert not shm.array("z", 16, np.float64).any()
+
+    def test_writes_visible_to_other_getters(self):
+        shm = SharedMemory(limit_bytes=1024)
+        shm.array("x", 8, np.int32)[:] = 5
+        assert (shm.array("x", 8, np.int32) == 5).all()
+
+    def test_redeclaration_shape_conflict(self):
+        shm = SharedMemory(limit_bytes=1024)
+        shm.array("t", 8, np.int32)
+        with pytest.raises(LaunchError, match="redeclared"):
+            shm.array("t", 16, np.int32)
+
+    def test_redeclaration_dtype_conflict(self):
+        shm = SharedMemory(limit_bytes=1024)
+        shm.array("t", 8, np.int32)
+        with pytest.raises(LaunchError, match="redeclared"):
+            shm.array("t", 8, np.float64)
+
+    def test_2d_shape(self):
+        shm = SharedMemory(limit_bytes=4096)
+        tile = shm.array("tile", (16, 16), np.float32)
+        assert tile.shape == (16, 16)
+
+    def test_limit_enforced(self):
+        shm = SharedMemory(limit_bytes=64)
+        with pytest.raises(LaunchError, match="limit"):
+            shm.array("big", 128, np.float64)
+
+    def test_cumulative_limit(self):
+        shm = SharedMemory(limit_bytes=128)
+        shm.array("a", 8, np.float64)  # 64 B
+        shm.array("b", 8, np.float64)  # 128 B total
+        with pytest.raises(LaunchError):
+            shm.array("c", 1, np.float64)
+
+    def test_bytes_used(self):
+        shm = SharedMemory(limit_bytes=1024, dynamic_bytes=100)
+        shm.array("a", 10, np.float64)
+        assert shm.bytes_used == 80 + 100
+
+
+class TestDynamicShared:
+    def test_dynamic_region_size(self):
+        shm = SharedMemory(limit_bytes=1024, dynamic_bytes=64)
+        assert shm.dynamic(np.float64).shape == (8,)
+
+    def test_dynamic_truncates_to_whole_elements(self):
+        shm = SharedMemory(limit_bytes=1024, dynamic_bytes=60)
+        assert shm.dynamic(np.float64).shape == (7,)
+
+    def test_dynamic_counts_against_limit(self):
+        with pytest.raises(LaunchError, match="dynamic"):
+            SharedMemory(limit_bytes=32, dynamic_bytes=64)
+
+    def test_dynamic_plus_static_budget(self):
+        shm = SharedMemory(limit_bytes=128, dynamic_bytes=64)
+        shm.array("a", 8, np.float64)  # exactly fills the remaining 64
+        with pytest.raises(LaunchError):
+            shm.array("b", 1, np.uint8)
+
+    def test_dynamic_zero_default(self):
+        shm = SharedMemory(limit_bytes=64)
+        assert shm.dynamic(np.float64).shape == (0,)

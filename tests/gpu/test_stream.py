@@ -1,0 +1,129 @@
+"""Streams and events: ordering, overlap, sticky errors."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import GpuError
+from repro.gpu.stream import Event, Stream
+
+
+@pytest.fixture
+def stream(nvidia):
+    s = Stream(nvidia, name="test-stream")
+    yield s
+    s.close()
+
+
+class TestOrdering:
+    def test_fifo_order(self, stream):
+        order = []
+        for i in range(20):
+            stream.enqueue(lambda i=i: order.append(i))
+        stream.synchronize()
+        assert order == list(range(20))
+
+    def test_synchronize_waits_for_slow_work(self, stream):
+        done = []
+
+        def slow():
+            time.sleep(0.05)
+            done.append(1)
+
+        stream.enqueue(slow)
+        stream.synchronize()
+        assert done == [1]
+
+    def test_is_idle(self, stream):
+        gate = threading.Event()
+        stream.enqueue(gate.wait)
+        assert not stream.is_idle
+        gate.set()
+        stream.synchronize()
+        assert stream.is_idle
+
+    def test_two_streams_overlap(self, nvidia):
+        """Work on stream B completes while stream A is blocked."""
+        a = Stream(nvidia, name="a")
+        b = Stream(nvidia, name="b")
+        try:
+            gate = threading.Event()
+            b_done = threading.Event()
+            a.enqueue(gate.wait)          # A is stuck until we open the gate
+            b.enqueue(b_done.set)
+            assert b_done.wait(timeout=2), "stream B should not wait for stream A"
+            gate.set()
+            a.synchronize()
+            b.synchronize()
+        finally:
+            a.close()
+            b.close()
+
+
+class TestEvents:
+    def test_record_and_wait(self, stream):
+        ev = stream.record_event()
+        stream.synchronize()
+        assert ev.is_complete
+        assert ev.wait(timeout=1)
+
+    def test_event_not_set_until_reached(self, stream):
+        gate = threading.Event()
+        stream.enqueue(gate.wait)
+        ev = stream.record_event()
+        assert not ev.is_complete
+        gate.set()
+        stream.synchronize()
+        assert ev.is_complete
+
+    def test_cross_stream_wait_event(self, nvidia):
+        """Stream B's later work waits for an event recorded on stream A."""
+        a = Stream(nvidia, name="producer")
+        b = Stream(nvidia, name="consumer")
+        try:
+            log = []
+            gate = threading.Event()
+            a.enqueue(gate.wait)
+            a.enqueue(lambda: log.append("produced"))
+            ev = a.record_event()
+            b.wait_event(ev)
+            b.enqueue(lambda: log.append("consumed"))
+            gate.set()
+            b.synchronize()
+            assert log == ["produced", "consumed"]
+        finally:
+            a.close()
+            b.close()
+
+
+class TestErrors:
+    def test_error_is_sticky_until_synchronize(self, nvidia):
+        s = Stream(nvidia, name="err")
+        try:
+            s.enqueue(lambda: 1 / 0)
+            with pytest.raises(GpuError, match="queued work failed"):
+                s.synchronize()
+            # error is cleared after being reported
+            s.enqueue(lambda: None)
+            s.synchronize()
+        finally:
+            s.close()
+
+    def test_error_does_not_stop_later_work(self, nvidia):
+        s = Stream(nvidia, name="err2")
+        try:
+            log = []
+            s.enqueue(lambda: 1 / 0)
+            s.enqueue(lambda: log.append("after"))
+            with pytest.raises(GpuError):
+                s.synchronize()
+            assert log == ["after"]
+        finally:
+            s.close()
+
+    def test_enqueue_after_close_rejected(self, nvidia):
+        s = Stream(nvidia, name="closed")
+        s.close()
+        with pytest.raises(GpuError, match="closed"):
+            s.enqueue(lambda: None)

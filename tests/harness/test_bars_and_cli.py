@@ -1,0 +1,83 @@
+"""ASCII bar rendering and the apps CLI."""
+
+import pytest
+
+from repro.apps.__main__ import main as apps_main
+from repro.harness import render_figure8_bars
+from repro.harness.cli import main as figures_main
+from repro.harness.report import render_bars
+
+
+class TestRenderBars:
+    def test_bars_scale_to_largest(self):
+        text = render_bars({"a": 1.0, "b": 2.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_none_renders_excluded(self):
+        text = render_bars({"a": 1.0, "omp": None})
+        assert "excluded" in text
+
+    def test_off_scale_values_clipped_and_annotated(self):
+        """The paper's annotated off-scale omp bars (145.6ms etc.)."""
+        text = render_bars({"fast": 1e-3, "slow": 1.0}, width=10, clip_ratio=20)
+        slow_line = [l for l in text.splitlines() if "slow" in l][0]
+        assert "off scale" in slow_line
+        assert "1.000 s" in slow_line
+        fast_line = [l for l in text.splitlines() if "fast" in l][0]
+        assert fast_line.count("#") == 10  # scales to the unclipped max
+
+    def test_title(self):
+        assert render_bars({"a": 1.0}, title="T").splitlines()[0] == "T"
+
+    def test_all_none(self):
+        assert "(no data)" in render_bars({"a": None})
+
+    def test_figure8_bars_has_all_panels(self):
+        text = render_figure8_bars()
+        for letter in "abcdefghijkl":
+            assert f"Figure 8{letter}" in text
+        # the stencil omp bars are off scale, like the paper's annotation
+        assert "off scale" in text
+
+    def test_cli_bars_section(self, capsys):
+        assert figures_main(["bars"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8a" in out and "#" in out
+
+
+class TestAppsCli:
+    def test_estimate_mode_default(self, capsys):
+        assert apps_main(["su3", "-i", "1000", "-l", "32", "-t", "128", "-v", "3", "-w", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "NVIDIA" in out and "AMD" in out and "ompx=" in out
+
+    def test_estimate_with_default_params(self, capsys):
+        assert apps_main(["rsbench"]) == 0
+        assert "RSBench" in capsys.readouterr().out
+
+    def test_xsbench_omp_excluded_in_estimate(self, capsys):
+        assert apps_main(["xsbench", "-m", "event"]) == 0
+        assert "omp=excluded" in capsys.readouterr().out
+
+    def test_run_mode_verifies(self, capsys):
+        assert apps_main(["adam", "--run", "--variant", "ompx"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out and "checksum" in out
+
+    def test_run_mode_vendor_variant_aliases_native(self, capsys):
+        assert apps_main(["stencil1d", "--run", "--variant", "native-vendor"]) == 0
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_unknown_app(self, capsys):
+        assert apps_main(["fluidsim"]) == 2
+        assert "unknown app" in capsys.readouterr().err
+
+    def test_bad_app_args(self, capsys):
+        assert apps_main(["stencil1d", "only-one-arg"]) == 2
+        assert "bad arguments" in capsys.readouterr().err
+
+    def test_help(self, capsys):
+        assert apps_main([]) == 0
+        assert "apps:" in capsys.readouterr().out

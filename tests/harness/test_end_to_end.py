@@ -1,0 +1,26 @@
+"""The end-to-end (transfers included) harness section."""
+
+import pytest
+
+from repro.harness import render_end_to_end
+from repro.harness.cli import main as cli_main
+
+
+class TestEndToEndSection:
+    def test_table_covers_all_cells(self):
+        text = render_end_to_end()
+        for app in ("XSBench", "RSBench", "SU3", "AIDW", "Adam", "Stencil 1D"):
+            assert app in text
+        assert text.count("NVIDIA") == 6 and text.count("AMD") == 6
+
+    def test_transfer_share_column_present(self):
+        assert "transfer share" in render_end_to_end()
+
+    def test_cli_section(self, capsys):
+        assert cli_main(["e2e"]) == 0
+        out = capsys.readouterr().out
+        assert "End-to-end estimates" in out
+
+    def test_not_in_default_sections(self, capsys):
+        assert cli_main(["fig6"]) == 0
+        assert "End-to-end" not in capsys.readouterr().out

@@ -1,0 +1,40 @@
+"""figure8()'s app/system filtering and internal consistency."""
+
+import pytest
+
+from repro.apps import Adam, Stencil1D
+from repro.harness import figure8
+from repro.perf import AMD_SYSTEM, NVIDIA_SYSTEM
+
+
+class TestFiltering:
+    def test_single_app(self):
+        results = figure8(app=Adam())
+        assert set(results) == {("Adam", "NVIDIA"), ("Adam", "AMD")}
+
+    def test_single_system(self):
+        results = figure8(system=AMD_SYSTEM)
+        assert all(system == "AMD" for (_, system) in results)
+        assert len(results) == 6
+
+    def test_single_cell(self):
+        results = figure8(app=Stencil1D(), system=NVIDIA_SYSTEM)
+        assert list(results) == [("Stencil 1D", "NVIDIA")]
+
+    def test_filtered_matches_full(self):
+        """A filtered query returns the same numbers as the full table."""
+        full = figure8()
+        cell = figure8(app=Adam(), system=NVIDIA_SYSTEM)[("Adam", "NVIDIA")]
+        assert cell == full[("Adam", "NVIDIA")]
+
+
+class TestConsistencyWithAppEstimates:
+    def test_cells_equal_direct_estimates(self):
+        from repro.apps import VersionLabel
+
+        app = Adam()
+        cell = figure8(app=app, system=NVIDIA_SYSTEM)[("Adam", "NVIDIA")]
+        direct = app.reported_seconds(
+            app.estimate(VersionLabel.OMPX, NVIDIA_SYSTEM, app.paper_params())
+        )
+        assert cell["ompx"] == pytest.approx(direct)

@@ -1,0 +1,144 @@
+"""The figure harness: content of Figures 6 and 7, structure and claims
+of Figure 8, rendering, and the CLI."""
+
+import pytest
+
+from repro.harness import (
+    figure6,
+    figure7,
+    figure8,
+    figure8_relations,
+    format_seconds,
+    paper_relations,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_table,
+)
+from repro.harness.cli import main as cli_main
+
+
+class TestFigure6:
+    def test_six_rows_in_paper_order(self):
+        rows = figure6()
+        assert [r["Name"] for r in rows] == [
+            "XSBench", "RSBench", "SU3", "AIDW", "Adam", "Stencil 1D",
+        ]
+
+    def test_command_lines_match_paper(self):
+        by_name = {r["Name"]: r["Command Line"] for r in figure6()}
+        assert by_name["XSBench"] == "-m event"
+        assert by_name["SU3"] == "-i 1000 -l 32 -t 128 -v 3 -w 1"
+        assert by_name["AIDW"] == "100 0 100"
+        assert by_name["Adam"] == "10000 200 100"
+        assert by_name["Stencil 1D"] == "134217728 1000"
+
+    def test_render_contains_every_row(self):
+        text = render_figure6()
+        for row in figure6():
+            assert row["Name"] in text
+
+
+class TestFigure7:
+    def test_both_systems(self):
+        data = figure7()
+        assert set(data) == {"NVIDIA", "AMD"}
+
+    def test_paper_configuration(self):
+        data = figure7()
+        assert data["NVIDIA"]["GPU"] == "NVIDIA A100 (40 GB)"
+        assert data["NVIDIA"]["SDK"] == "CUDA 11.8"
+        assert data["AMD"]["SDK"] == "ROCm 5.5"
+        assert "MI250" in data["AMD"]["GPU"]
+        assert data["NVIDIA"]["CPU"] == data["AMD"]["CPU"] == "AMD EPYC 7532"
+
+    def test_render(self):
+        text = render_figure7()
+        assert "CUDA 11.8" in text and "ROCm 5.5" in text
+
+
+class TestFigure8:
+    def test_twelve_cells(self):
+        results = figure8()
+        assert len(results) == 12  # 6 apps x 2 systems
+
+    def test_four_bars_per_cell(self):
+        results = figure8()
+        for (app, system), cell in results.items():
+            assert len(cell) == 4, (app, system)
+
+    def test_bar_labels_match_paper(self):
+        results = figure8()
+        nvidia_cell = results[("SU3", "NVIDIA")]
+        assert set(nvidia_cell) == {"ompx", "omp", "cuda", "cuda-nvcc"}
+        amd_cell = results[("SU3", "AMD")]
+        assert set(amd_cell) == {"ompx", "omp", "hip", "hip-hipcc"}
+
+    def test_xsbench_omp_excluded(self):
+        results = figure8()
+        assert results[("XSBench", "NVIDIA")]["omp"] is None
+        assert results[("XSBench", "AMD")]["omp"] is None
+
+    def test_all_other_bars_positive(self):
+        for (app, system), cell in figure8().items():
+            for label, value in cell.items():
+                if value is not None:
+                    assert value > 0, (app, system, label)
+
+    def test_render_mentions_all_subplots(self):
+        text = render_figure8()
+        for letter in "abcdefghijkl":
+            assert f"Figure 8{letter}" in text
+        assert "excluded (invalid checksum)" in text
+
+
+class TestRelations:
+    def test_every_claim_holds(self):
+        """THE headline assertion: all §4.2 claims hold in the model."""
+        failures = [rel for rel, ok in figure8_relations() if not ok]
+        assert not failures, [f"{r.app}/{r.system}: {r.claim}" for r in failures]
+
+    def test_claim_coverage(self):
+        """All six apps and both systems are covered by claims."""
+        rels = paper_relations()
+        apps = {r.app for r in rels}
+        assert apps == {"XSBench", "RSBench", "SU3", "AIDW", "Adam", "Stencil 1D"}
+        assert {r.system for r in rels} == {"NVIDIA", "AMD"}
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line.rstrip()) <= len(lines[1]) + 2 for line in lines)
+
+    def test_render_table_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+    def test_format_seconds_units(self):
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(0.0015) == "1.500 ms"
+        assert format_seconds(2.5e-6) == "2.5 us"
+
+
+class TestCli:
+    def test_default_runs_everything(self, capsys):
+        assert cli_main([]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out and "Figure 7" in out and "Figure 8a" in out
+        assert "0 failure(s)" in out
+
+    def test_single_section(self, capsys):
+        assert cli_main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "Figure 8" not in out
+
+    def test_unknown_section(self, capsys):
+        assert cli_main(["fig9"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_help(self, capsys):
+        assert cli_main(["--help"]) == 0
+        assert "repro-figures" in capsys.readouterr().out

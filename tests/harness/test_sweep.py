@@ -1,0 +1,85 @@
+"""The parameter-sweep API."""
+
+import pytest
+
+from repro.apps import Adam, Stencil1D, XSBench, VersionLabel
+from repro.errors import ReproError
+from repro.harness import SweepResult, sweep
+from repro.perf import AMD_SYSTEM, NVIDIA_SYSTEM
+
+
+class TestSweep:
+    def test_series_shape(self):
+        result = sweep(Stencil1D(), NVIDIA_SYSTEM, "n", [1 << 20, 1 << 22])
+        assert result.values == [1 << 20, 1 << 22]
+        assert set(result.series) == {"ompx", "omp", "cuda", "cuda-nvcc"}
+        for series in result.series.values():
+            assert len(series) == 2
+
+    def test_times_grow_with_problem_size(self):
+        result = sweep(Stencil1D(), NVIDIA_SYSTEM, "n", [1 << 20, 1 << 24])
+        for series in result.series.values():
+            assert series[1] > series[0]
+
+    def test_amd_labels(self):
+        result = sweep(Stencil1D(), AMD_SYSTEM, "n", [1 << 20])
+        assert set(result.series) == {"ompx", "omp", "hip", "hip-hipcc"}
+
+    def test_excluded_app_yields_none_series(self):
+        result = sweep(XSBench(), NVIDIA_SYSTEM, "lookups", [1000, 2000])
+        assert result.series["omp"] == [None, None]
+        assert all(v is not None for v in result.series["ompx"])
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ReproError, match="no parameter"):
+            sweep(Adam(), NVIDIA_SYSTEM, "bogus", [1])
+
+    def test_label_subset(self):
+        result = sweep(
+            Adam(), NVIDIA_SYSTEM, "n", [1000],
+            labels=[VersionLabel.OMPX, VersionLabel.OMP],
+        )
+        assert set(result.series) == {"ompx", "omp"}
+
+    def test_base_params_override(self):
+        app = Stencil1D()
+        short = sweep(app, NVIDIA_SYSTEM, "n", [1 << 20],
+                      base_params={**app.paper_params(), "iterations": 1})
+        long = sweep(app, NVIDIA_SYSTEM, "n", [1 << 20])
+        # per-iteration report: same per-launch time regardless of count
+        assert short.series["cuda"][0] == pytest.approx(long.series["cuda"][0])
+
+
+class TestRatiosAndRender:
+    def test_ratio(self):
+        result = sweep(Stencil1D(), NVIDIA_SYSTEM, "n", [1 << 20, 1 << 24])
+        ratios = result.ratio("omp", "cuda")
+        assert all(r > 10 for r in ratios)
+
+    def test_ratio_with_excluded(self):
+        result = sweep(XSBench(), NVIDIA_SYSTEM, "lookups", [1000])
+        assert sweep(XSBench(), NVIDIA_SYSTEM, "lookups", [1000]).ratio("omp", "ompx") == [None]
+
+    def test_render(self):
+        result = sweep(Stencil1D(), NVIDIA_SYSTEM, "n", [1 << 20])
+        text = result.render()
+        assert "sweep over n" in text
+        assert "ompx" in text and str(1 << 20) in text
+
+    def test_render_with_excluded(self):
+        text = sweep(XSBench(), NVIDIA_SYSTEM, "lookups", [1000]).render()
+        assert "excluded" in text
+
+
+class TestInvariantsAcrossScale:
+    """The paper's relationships are not artifacts of one operating point."""
+
+    def test_xsbench_ompx_wins_across_lookup_counts(self):
+        result = sweep(XSBench(), NVIDIA_SYSTEM, "lookups",
+                       [100_000, 1_000_000, 17_000_000])
+        assert all(r > 1 for r in result.ratio("cuda", "ompx"))
+
+    def test_adam_bug_ratio_is_scale_free(self):
+        result = sweep(Adam(), NVIDIA_SYSTEM, "n", [1_000, 100_000])
+        ratios = result.ratio("omp", "cuda")
+        assert ratios[0] > 3 and ratios[1] > 3

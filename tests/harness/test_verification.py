@@ -1,0 +1,53 @@
+"""The functional verification matrix."""
+
+import pytest
+
+from repro.harness import verification_matrix, render_verification
+from repro.harness.cli import main as cli_main
+
+
+class TestMatrix:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return verification_matrix()
+
+    def test_all_cells_pass(self, cells):
+        failures = [c for c in cells if not c.passed]
+        assert not failures, failures
+
+    def test_full_coverage(self, cells):
+        # 6 apps x 3 variants x 2 devices
+        assert len(cells) == 36
+        assert {c.app for c in cells} == {
+            "XSBench", "RSBench", "SU3", "AIDW", "Adam", "Stencil 1D",
+        }
+        assert {c.device for c in cells} == {"A100", "MI250"}
+        assert {c.variant for c in cells} == {"ompx", "omp", "native-llvm"}
+
+    def test_checksums_agree_across_devices_and_variants(self, cells):
+        """The same app computes the same digest everywhere — the
+        cross-platform correctness the paper's portability story needs."""
+        by_app = {}
+        for cell in cells:
+            by_app.setdefault(cell.app, set()).add(round(cell.checksum, 6))
+        for app, sums in by_app.items():
+            assert len(sums) == 1, (app, sums)
+
+    def test_render(self):
+        text = render_verification()
+        assert "0 failure(s)" in text
+        assert "XSBench" in text and "MI250" in text
+
+
+class TestCli:
+    def test_verify_section(self, capsys):
+        assert cli_main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verification matrix" in out
+        assert "0 failure(s)" in out
+
+    def test_verify_not_in_default_sections(self, capsys):
+        # default run prices figures only; it must not spend ~20 s running
+        # the functional matrix unasked
+        assert cli_main(["fig6"]) == 0
+        assert "verification matrix" not in capsys.readouterr().out

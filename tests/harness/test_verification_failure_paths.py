@@ -1,0 +1,60 @@
+"""Failure injection for the verification matrix: a broken app must show up."""
+
+import numpy as np
+import pytest
+
+import repro.harness.verification as verification_mod
+from repro.apps import Stencil1D
+from repro.harness.verification import verification_matrix
+
+
+class _CorruptedStencil(Stencil1D):
+    """A stencil whose ompx variant silently computes the wrong answer."""
+
+    def run_functional(self, variant, params, device):
+        result = super().run_functional(variant, params, device)
+        if variant == "ompx":
+            result.output = result.output + 1.0  # inject a wrong answer
+        return result
+
+
+class _ExplodingStencil(Stencil1D):
+    """A stencil whose omp variant crashes outright."""
+
+    def run_functional(self, variant, params, device):
+        if variant == "omp":
+            raise RuntimeError("synthetic kernel crash")
+        return super().run_functional(variant, params, device)
+
+
+@pytest.fixture
+def only_stencil(monkeypatch):
+    def install(cls):
+        monkeypatch.setattr(verification_mod, "ALL_APPS", (cls,))
+
+    return install
+
+
+class TestFailureReporting:
+    def test_wrong_answer_is_flagged(self, only_stencil):
+        only_stencil(_CorruptedStencil)
+        cells = verification_matrix()
+        bad = [c for c in cells if not c.passed]
+        assert bad, "corruption went unnoticed"
+        assert all(c.variant == "ompx" for c in bad)
+        # the other variants still pass
+        assert all(c.passed for c in cells if c.variant != "ompx")
+
+    def test_crash_is_reported_not_raised(self, only_stencil):
+        only_stencil(_ExplodingStencil)
+        cells = verification_matrix()  # must not raise
+        crashed = [c for c in cells if c.error]
+        assert crashed
+        assert all("synthetic kernel crash" in c.error for c in crashed)
+        assert all(np.isnan(c.checksum) for c in crashed)
+
+    def test_render_marks_failures(self, only_stencil):
+        only_stencil(_CorruptedStencil)
+        text = verification_mod.render_verification()
+        assert "FAIL" in text
+        assert "0 failure(s)" not in text

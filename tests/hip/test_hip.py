@@ -1,0 +1,129 @@
+"""HIP layer: CUDA-mirrored API targeting the MI250 preset."""
+
+import numpy as np
+import pytest
+
+from repro import hip
+from repro.errors import GpuError
+from repro.gpu import get_device
+
+
+@pytest.fixture(autouse=True)
+def on_amd():
+    hip.hipSetDevice(1)
+    yield
+    hip.hipSetDevice(1)
+
+
+class TestDefaults:
+    def test_default_device_is_amd(self):
+        assert hip.hipGetDevice() == 1
+        assert hip.current_hip_device().spec.vendor == "amd"
+
+    def test_set_device_validated(self):
+        with pytest.raises(GpuError):
+            hip.hipSetDevice(13)
+
+    def test_facade_is_shared_with_cuda(self):
+        from repro.cuda import CudaThread
+
+        assert hip.HipThread is CudaThread
+
+
+class TestMemory:
+    def test_roundtrip(self):
+        data = np.arange(50, dtype=np.float64)
+        ptr = hip.hipMalloc(data.nbytes)
+        assert ptr.device_ordinal == 1
+        hip.hipMemcpy(ptr, data, data.nbytes, hip.hipMemcpyHostToDevice)
+        out = np.zeros_like(data)
+        hip.hipMemcpy(out, ptr, data.nbytes, hip.hipMemcpyDeviceToHost)
+        assert np.array_equal(out, data)
+        hip.hipFree(ptr)
+
+    def test_memset(self):
+        ptr = hip.hipMalloc(16)
+        hip.hipMemset(ptr, 0x7, 16)
+        out = np.zeros(16, dtype=np.uint8)
+        hip.hipMemcpy(out, ptr, 16, hip.hipMemcpyDeviceToHost)
+        assert (out == 7).all()
+        hip.hipFree(ptr)
+
+    def test_async_memcpy(self):
+        s = hip.hipStreamCreate("h")
+        data = np.arange(8, dtype=np.int32)
+        ptr = hip.hipMalloc(data.nbytes)
+        out = np.zeros_like(data)
+        hip.hipMemcpyAsync(ptr, data, data.nbytes, hip.hipMemcpyHostToDevice, s)
+        hip.hipMemcpyAsync(out, ptr, data.nbytes, hip.hipMemcpyDeviceToHost, s)
+        hip.hipStreamSynchronize(s)
+        assert np.array_equal(out, data)
+        hip.hipStreamDestroy(s)
+        hip.hipFree(ptr)
+
+
+class TestKernels:
+    def test_chevron_style_launch(self):
+        n = 256
+        d = hip.hipMalloc(n * 8)
+
+        @hip.kernel(sync_free=True)
+        def k(t, out, n):
+            i = t.blockIdx.x * t.blockDim.x + t.threadIdx.x
+            if i < n:
+                t.array(out, n, np.float64)[i] = i * 0.5
+
+        hip.launch(k, (n + 63) // 64, 64, (d, n))
+        hip.hipDeviceSynchronize()
+        out = np.zeros(n)
+        hip.hipMemcpy(out, d, n * 8, hip.hipMemcpyDeviceToHost)
+        assert np.array_equal(out, np.arange(n) * 0.5)
+        hip.hipFree(d)
+
+    def test_hip_launch_kernel_ggl(self):
+        """HIP's macro-style launch: geometry before arguments."""
+        n = 64
+        d = hip.hipMalloc(n * 8)
+
+        @hip.kernel(sync_free=True)
+        def k(t, out, n):
+            i = t.global_thread_id
+            if i < n:
+                t.array(out, n, np.int64)[i] = i + 1
+
+        hip.hipLaunchKernelGGL(k, 2, 32, 0, None, d, n)
+        hip.hipDeviceSynchronize()
+        out = np.zeros(n, dtype=np.int64)
+        hip.hipMemcpy(out, d, n * 8, hip.hipMemcpyDeviceToHost)
+        assert np.array_equal(out, np.arange(1, n + 1))
+        hip.hipFree(d)
+
+    def test_wavefront_is_64_wide(self):
+        """HIP kernels on the MI250 see 64-lane wavefronts."""
+        d = hip.hipMalloc(8)
+
+        @hip.kernel
+        def k(t, out):
+            total = t.ctx.warp_reduce(1, lambda a, b: a + b)
+            if t.laneid == 0:
+                t.array(out, 1, np.int64)[0] = total
+
+        hip.launch(k, 1, 64, (d,))
+        hip.hipDeviceSynchronize()
+        out = np.zeros(1, dtype=np.int64)
+        hip.hipMemcpy(out, d, 8, hip.hipMemcpyDeviceToHost)
+        assert out[0] == 64
+        hip.hipFree(d)
+
+    def test_events(self):
+        ev = hip.hipEventCreate("e")
+        hip.hipEventRecord(ev)
+        hip.hipEventSynchronize(ev)
+        assert ev.is_complete
+
+    def test_kernel_language_tag(self):
+        @hip.kernel
+        def k(t):
+            pass
+
+        assert k.language == "hip"

@@ -1,0 +1,143 @@
+"""Cross-cutting edge cases and failure-injection paths."""
+
+import numpy as np
+import pytest
+
+from repro import cuda, hip, ompx, openmp
+from repro.errors import AppError, LaunchError, OutOfMemoryError
+from repro.gpu import LaunchConfig, get_device, launch_kernel
+
+
+class TestGuardRails:
+    def test_cooperative_engine_refuses_paper_scale(self, nvidia):
+        with pytest.raises(LaunchError, match="guard rail"):
+            launch_kernel(lambda ctx: None, LaunchConfig.create(100_000, 256), (), nvidia)
+
+    def test_map_engine_refuses_paper_scale(self, nvidia):
+        kernel = lambda ctx: None  # noqa: E731
+        kernel.sync_free = True
+        with pytest.raises(LaunchError, match="guard rail"):
+            launch_kernel(
+                kernel, LaunchConfig.create(524_288, 256), (), nvidia
+            )
+
+    def test_apps_functional_params_stay_under_guard(self):
+        from repro.apps import ALL_APPS
+
+        for app_cls in ALL_APPS:
+            params = app_cls.functional_params()
+            app = app_cls()
+            teams, block = app.launch_geometry(params)
+            assert teams * block < 2_000_000, app_cls.name
+
+
+class TestErrorPropagationThroughLayers:
+    def test_kernel_oom_surfaces_from_cuda_launch(self, nvidia):
+        @cuda.kernel(sync_free=True)
+        def greedy(t):
+            t.ctx.device.allocator.malloc(1 << 50)
+
+        cuda.launch(greedy, 1, 1, (), device=nvidia)
+        with pytest.raises(Exception) as excinfo:
+            cuda.cudaDeviceSynchronize()
+        assert "OutOfMemory" in repr(excinfo.value) or "queued work failed" in str(excinfo.value)
+
+    def test_kernel_index_error_surfaces_from_bare_region(self, nvidia):
+        d = nvidia.allocator.malloc(8)
+
+        def bad(x):
+            x.array(d, 100, np.float64)  # overruns the 8-byte allocation
+
+        with pytest.raises(LaunchError, match="overruns"):
+            ompx.target_teams_bare(nvidia, 1, 1, bad)
+        nvidia.allocator.free(d)
+
+    def test_map_clause_error_leaves_environment_clean(self, nvidia):
+        env = openmp.data_environment(nvidia)
+        before = env.num_present
+        bad_maps = [(np.zeros(4), "sideways")]
+        with pytest.raises(Exception):
+            openmp.target_teams_distribute_parallel_for(
+                nvidia, 4, lambda i, acc: None, maps=bad_maps
+            )
+        assert env.num_present == before
+
+    def test_region_exception_still_unmaps(self, nvidia):
+        env = openmp.data_environment(nvidia)
+        data = np.zeros(4)
+
+        def explode(i, acc):
+            raise RuntimeError("body failure")
+
+        with pytest.raises(RuntimeError):
+            openmp.target_teams_distribute_parallel_for(
+                nvidia, 4, explode, maps=[(data, "tofrom")]
+            )
+        assert not env.is_present(data)
+
+
+class TestHipMatchParity:
+    def test_match_any_on_wavefront64(self, amd):
+        results = {}
+
+        @hip.kernel
+        def k(t):
+            results[t.laneid] = t.match_any_sync(hip.FULL_MASK, t.laneid % 2)
+
+        hip.launch(k, 1, 64, ())
+        hip.hipDeviceSynchronize()
+        evens = sum(1 << i for i in range(0, 64, 2))
+        assert results[0] == evens
+
+
+class TestMultiDimBlocksCooperative:
+    def test_barrier_across_2d_block(self, nvidia):
+        """Barriers must count every thread of a 2-D block."""
+        d = nvidia.allocator.malloc(8)
+
+        def kernel(ctx, out):
+            shared = ctx.shared_array("acc", 1, np.int64)
+            ctx.atomic.add(shared, 0, 1)
+            ctx.sync_threads()
+            if ctx.flat_thread_id == 0:
+                ctx.deref(out, 1, np.int64)[0] = shared[0]
+
+        launch_kernel(kernel, LaunchConfig.create(1, (8, 4)), (d,), nvidia)
+        out = np.zeros(1, dtype=np.int64)
+        nvidia.allocator.memcpy_d2h(out, d)
+        assert out[0] == 32
+        nvidia.allocator.free(d)
+
+    def test_warps_span_2d_blocks_in_flat_order(self, nvidia):
+        seen = {}
+
+        def kernel(ctx):
+            seen[(ctx.thread_idx.x, ctx.thread_idx.y)] = (ctx.warp_id, ctx.lane_id)
+
+        launch_kernel(kernel, LaunchConfig.create(1, (16, 4)), (), nvidia)
+        # flat id = y*16 + x; warp 0 covers y in {0,1}, warp 1 covers y in {2,3}
+        assert seen[(0, 0)] == (0, 0)
+        assert seen[(15, 1)] == (0, 31)
+        assert seen[(0, 2)] == (1, 0)
+
+
+class TestDefaultTaskRuntimeSingleton:
+    def test_same_instance(self):
+        a = openmp.default_task_runtime()
+        b = openmp.default_task_runtime()
+        assert a is b
+
+    def test_concurrent_access_is_single_instance(self):
+        import threading
+
+        results = []
+
+        def grab():
+            results.append(openmp.default_task_runtime())
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(map(id, results))) == 1

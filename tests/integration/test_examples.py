@@ -1,0 +1,21 @@
+"""Every example script runs to completion (their asserts are the checks)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_at_least_three():
+    assert len(EXAMPLES) >= 3, EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / f"{name}.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"

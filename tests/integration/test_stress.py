@@ -1,0 +1,169 @@
+"""Concurrency stress: streams, tasks and interop objects under load.
+
+These tests exercise the schedulers with enough simultaneous work to
+surface ordering races that single-shot tests miss.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import ompx, openmp
+from repro.gpu import Stream, get_device
+from repro.openmp.task import DependType, TaskRuntime
+
+
+class TestStreamStress:
+    def test_many_streams_many_ops(self, nvidia):
+        n_streams, ops = 8, 50
+        streams = [Stream(nvidia, name=f"stress-{i}") for i in range(n_streams)]
+        logs = [[] for _ in range(n_streams)]
+        try:
+            for i, stream in enumerate(streams):
+                for j in range(ops):
+                    stream.enqueue(lambda i=i, j=j: logs[i].append(j))
+            for stream in streams:
+                stream.synchronize()
+            for log in logs:
+                assert log == list(range(ops))  # per-stream FIFO preserved
+        finally:
+            for stream in streams:
+                stream.close()
+
+    def test_event_chain_across_streams(self, nvidia):
+        """A ring of cross-stream waits resolves in order."""
+        streams = [Stream(nvidia, name=f"ring-{i}") for i in range(4)]
+        order = []
+        lock = threading.Lock()
+        try:
+            prev_event = None
+            for i, stream in enumerate(streams):
+                if prev_event is not None:
+                    stream.wait_event(prev_event)
+                stream.enqueue(lambda i=i: (time.sleep(0.005), lock.acquire(),
+                                            order.append(i), lock.release()))
+                prev_event = stream.record_event()
+            for stream in streams:
+                stream.synchronize()
+            assert order == [0, 1, 2, 3]
+        finally:
+            for stream in streams:
+                stream.close()
+
+
+class TestTaskStress:
+    def test_long_dependency_chain(self):
+        runtime = TaskRuntime(num_helpers=4)
+        try:
+            loc = np.zeros(1)
+            log = []
+            for i in range(100):
+                runtime.submit(lambda i=i: log.append(i),
+                               depends=[(DependType.INOUT, loc)])
+            runtime.taskwait()
+            assert log == list(range(100))
+        finally:
+            runtime.shutdown()
+
+    def test_fan_out_fan_in(self):
+        runtime = TaskRuntime(num_helpers=8)
+        try:
+            src = np.zeros(1)
+            sinks = [np.zeros(1) for _ in range(16)]
+            total = np.zeros(1)
+            log = []
+            lock = threading.Lock()
+
+            runtime.submit(lambda: log.append("root"), depends=[(DependType.OUT, src)])
+            for sink in sinks:
+                runtime.submit(
+                    lambda s=sink: (time.sleep(0.001), lock.acquire(),
+                                    log.append("mid"), lock.release()),
+                    depends=[(DependType.IN, src), (DependType.OUT, sink)],
+                )
+            runtime.submit(
+                lambda: log.append("join"),
+                depends=[(DependType.IN, s) for s in sinks] + [(DependType.OUT, total)],
+            )
+            runtime.taskwait()
+            assert log[0] == "root" and log[-1] == "join"
+            assert log.count("mid") == 16
+        finally:
+            runtime.shutdown()
+
+    def test_interleaved_submissions_from_threads(self):
+        """Concurrent submitters against one location stay serialized."""
+        runtime = TaskRuntime(num_helpers=4)
+        try:
+            loc = np.zeros(1)
+            counter = {"value": 0, "max_in_flight": 0}
+            gate = threading.Lock()
+
+            def task():
+                with gate:
+                    counter["value"] += 1
+                    counter["max_in_flight"] = max(counter["max_in_flight"], 1)
+
+            def submitter():
+                for _ in range(25):
+                    runtime.submit(task, depends=[(DependType.INOUT, loc)])
+
+            threads = [threading.Thread(target=submitter) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            runtime.taskwait()
+            assert counter["value"] == 100
+        finally:
+            runtime.shutdown()
+
+
+class TestInteropStress:
+    def test_many_regions_through_one_interop(self, nvidia):
+        obj = openmp.interop_init(targetsync=True, device=nvidia)
+        runtime = TaskRuntime(num_helpers=4)
+        d = nvidia.allocator.malloc(8)
+        try:
+            for _ in range(40):
+                ompx.target_teams_bare(
+                    nvidia, 1, 4,
+                    lambda x: x.atomic_add(x.array(d, 1, np.int64), 0, 1)
+                    if x.thread_id_x() == 0 else None,
+                    nowait=True,
+                    depend=[(DependType.INTEROPOBJ, obj)],
+                    task_runtime=runtime,
+                )
+            runtime.taskwait([(DependType.INTEROPOBJ, obj)])
+            out = np.zeros(1, dtype=np.int64)
+            nvidia.allocator.memcpy_d2h(out, d)
+            assert out[0] == 40
+        finally:
+            nvidia.allocator.free(d)
+            openmp.interop_destroy(obj)
+            runtime.shutdown()
+
+    def test_two_interops_interleaved(self, nvidia):
+        a = openmp.interop_init(device=nvidia)
+        b = openmp.interop_init(device=nvidia)
+        runtime = TaskRuntime(num_helpers=4)
+        logs = {"a": [], "b": []}
+        try:
+            for i in range(10):
+                for tag, obj in (("a", a), ("b", b)):
+                    ompx.target_teams_bare(
+                        nvidia, 1, 1,
+                        lambda x, tag=tag, i=i: logs[tag].append(i),
+                        nowait=True,
+                        depend=[(DependType.INTEROPOBJ, obj)],
+                        task_runtime=runtime,
+                    )
+            runtime.taskwait()
+            assert logs["a"] == list(range(10))  # per-stream order
+            assert logs["b"] == list(range(10))
+        finally:
+            openmp.interop_destroy(a)
+            openmp.interop_destroy(b)
+            runtime.shutdown()

@@ -1,0 +1,146 @@
+"""The C free-function device API (repro.ompx.capi)."""
+
+import numpy as np
+import pytest
+
+from repro import ompx
+from repro.errors import OpenMPError
+from repro.ompx import capi
+
+
+class TestBinding:
+    def test_host_call_rejected(self):
+        with pytest.raises(OpenMPError, match="inside a kernel"):
+            capi.ompx_thread_id_x()
+
+    def test_current_thread_rejected_on_host(self):
+        with pytest.raises(OpenMPError):
+            capi.current_thread()
+
+    def test_binding_restored_after_kernel(self, nvidia):
+        ompx.target_teams_bare(nvidia, 1, 2, lambda x: capi.ompx_thread_id_x())
+        with pytest.raises(OpenMPError):
+            capi.ompx_thread_id_x()
+
+    def test_nested_binding_restores_outer(self, nvidia):
+        """A device function launched... rather: re-entrant bound() nesting."""
+        seen = []
+
+        def region(x):
+            with capi.bound(x):  # double binding, as a device fn would
+                seen.append(capi.ompx_thread_id_x())
+            # outer binding (from the adapter) still valid
+            seen.append(capi.ompx_thread_id_x())
+
+        ompx.target_teams_bare(nvidia, 1, 1, region)
+        assert seen == [0, 0]
+
+
+class TestEquivalence:
+    def test_index_functions_match_facade(self, nvidia):
+        mismatches = []
+
+        def region(x):
+            checks = [
+                (capi.ompx_thread_id_x(), x.thread_id_x()),
+                (capi.ompx_thread_id_y(), x.thread_id_y()),
+                (capi.ompx_thread_id_z(), x.thread_id_z()),
+                (capi.ompx_block_id_x(), x.block_id_x()),
+                (capi.ompx_block_id_y(), x.block_id_y()),
+                (capi.ompx_block_dim_x(), x.block_dim_x()),
+                (capi.ompx_block_dim_y(), x.block_dim_y()),
+                (capi.ompx_grid_dim_x(), x.grid_dim_x()),
+                (capi.ompx_global_thread_id_x(), x.global_thread_id_x()),
+                (capi.ompx_warp_size(), x.warp_size()),
+                (capi.ompx_lane_id(), x.lane_id()),
+                (capi.ompx_warp_id(), x.warp_id()),
+                (capi.ompx_thread_id(1), x.thread_id_y()),
+                (capi.ompx_block_id(0), x.block_id_x()),
+                (capi.ompx_block_dim(2), x.block_dim_z()),
+                (capi.ompx_grid_dim(1), x.grid_dim_y()),
+            ]
+            mismatches.extend([c for c in checks if c[0] != c[1]])
+
+        ompx.target_teams_bare(nvidia, (2, 2), (4, 2), region)
+        assert not mismatches
+
+    def test_sync_and_shared_functions(self, nvidia):
+        d_out = nvidia.allocator.malloc(16 * 8)
+
+        def region(x):
+            tile = capi.ompx_groupprivate("tile", 16, np.float64)
+            tid = capi.ompx_thread_id_x()
+            tile[tid] = tid * 2
+            capi.ompx_sync_thread_block()
+            capi.ompx_array(d_out, 16, np.float64)[tid] = tile[15 - tid]
+
+        ompx.target_teams_bare(nvidia, 1, 16, region)
+        out = np.zeros(16)
+        nvidia.allocator.memcpy_d2h(out, d_out)
+        assert np.array_equal(out, np.arange(15, -1, -1) * 2)
+        nvidia.allocator.free(d_out)
+
+    def test_warp_functions(self, nvidia):
+        results = {}
+
+        def region(x):
+            lane = capi.ompx_lane_id()
+            v = capi.ompx_shfl_down_sync(lane, 1)
+            b = capi.ompx_ballot_sync(lane < 2)
+            capi.ompx_sync_warp()
+            u = capi.ompx_shfl_up_sync(lane, 1)
+            w = capi.ompx_shfl_xor_sync(lane, 1)
+            s = capi.ompx_shfl_sync(lane, 5)
+            a = capi.ompx_any_sync(lane == 0)
+            al = capi.ompx_all_sync(lane >= 0)
+            results[lane] = (v, b, u, w, s, a, al)
+
+        ompx.target_teams_bare(nvidia, 1, 32, region)
+        assert results[0] == (1, 0b11, 0, 1, 5, True, True)
+        assert results[31] == (31, 0b11, 30, 30, 5, True, True)
+
+    def test_atomic_functions(self, nvidia):
+        d_out = nvidia.allocator.malloc(6 * 8)
+
+        def region(x):
+            o = capi.ompx_array(d_out, 6, np.int64)
+            capi.ompx_atomic_add(o, 0, 1)
+            capi.ompx_atomic_sub(o, 1, 1)
+            capi.ompx_atomic_max(o, 2, capi.ompx_thread_id_x())
+            capi.ompx_atomic_min(o, 3, -capi.ompx_thread_id_x())
+            if capi.ompx_thread_id_x() == 0:
+                capi.ompx_atomic_exchange(o, 4, 9)
+                capi.ompx_atomic_cas(o, 5, 0, 7)
+
+        ompx.target_teams_bare(nvidia, 1, 8, region, ())
+        out = np.zeros(6, dtype=np.int64)
+        nvidia.allocator.memcpy_d2h(out, d_out)
+        assert list(out) == [8, -8, 7, -7, 9, 7]
+        nvidia.allocator.free(d_out)
+
+    def test_c_port_output_is_executable_style(self, nvidia):
+        """The exact call shapes port_c_source emits all exist and work."""
+        n = 64
+        d_a = nvidia.allocator.malloc(n * 8)
+        d_b = nvidia.allocator.malloc(n * 8)
+        nvidia.allocator.memcpy_h2d(d_a, np.arange(n, dtype=np.float64))
+
+        # the body below is what port_c_source produces for Figure 1
+        def ported_body(x):
+            shared = capi.ompx_groupprivate("shared", 32, np.float64)
+            tid = capi.ompx_thread_id_x()
+            if tid == 0:
+                shared[:] = 1.0
+            capi.ompx_sync_thread_block()
+            idx = capi.ompx_block_id_x() * capi.ompx_block_dim_x() + tid
+            if idx < n:
+                a = capi.ompx_array(d_a, n, np.float64)
+                b = capi.ompx_array(d_b, n, np.float64)
+                b[idx] = a[idx] + shared[tid]
+
+        ompx.target_teams_bare(nvidia, 2, 32, ported_body)
+        out = np.zeros(n)
+        nvidia.allocator.memcpy_d2h(out, d_b)
+        assert np.array_equal(out, np.arange(n) + 1)
+        for p in (d_a, d_b):
+            nvidia.allocator.free(p)

@@ -1,0 +1,151 @@
+"""The extended depend clause (§3.5): interopobj dependences."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import ompx
+from repro.errors import DependenceError
+from repro.openmp import TaskRuntime, interop_destroy, interop_init
+from repro.openmp.task import DependType
+
+
+@pytest.fixture
+def runtime():
+    rt = TaskRuntime(num_helpers=4)
+    yield rt
+    rt.shutdown()
+
+
+@pytest.fixture
+def interop(nvidia):
+    obj = interop_init(targetsync=True, device=nvidia)
+    yield obj
+    interop_destroy(obj)
+
+
+class TestFigure5:
+    def test_target_dispatched_into_stream(self, nvidia, runtime, interop):
+        """The paper's Figure 5: nowait target into the interop's stream,
+        taskwait depend(interopobj) as the stream synchronization."""
+        log = []
+        gate = threading.Event()
+
+        interop.targetsync.enqueue(gate.wait)  # pre-existing stream work
+
+        task = ompx.target_teams_bare(
+            nvidia, 1, 4,
+            lambda x: log.append("kernel") if x.thread_id_x() == 0 else None,
+            nowait=True,
+            depend=[(DependType.INTEROPOBJ, interop)],
+            task_runtime=runtime,
+        )
+        # The region must wait behind the gated stream work.
+        time.sleep(0.02)
+        assert log == []
+        gate.set()
+        runtime.taskwait([(DependType.INTEROPOBJ, interop)])
+        assert log == ["kernel"]
+        assert task.done.is_set()
+
+    def test_stream_ordering_of_two_regions(self, nvidia, runtime, interop):
+        order = []
+
+        def mk(tag):
+            def region(x):
+                if x.thread_id_x() == 0:
+                    time.sleep(0.01 if tag == "first" else 0)
+                    order.append(tag)
+            return region
+
+        for tag in ("first", "second"):
+            ompx.target_teams_bare(
+                nvidia, 1, 2, mk(tag), nowait=True,
+                depend=[(DependType.INTEROPOBJ, interop)], task_runtime=runtime,
+            )
+        runtime.taskwait([(DependType.INTEROPOBJ, interop)])
+        assert order == ["first", "second"]
+
+    def test_taskwait_interop_helper(self, nvidia, interop):
+        log = []
+        interop.targetsync.enqueue(lambda: log.append(1))
+        ompx.taskwait_interop(interop)
+        assert log == [1]
+
+
+class TestMixedDependences:
+    def test_stock_predecessors_gate_stream_task(self, nvidia, runtime, interop):
+        """interopobj + in: the stream closure waits for the graph pred."""
+        loc = np.zeros(1)
+        log = []
+
+        runtime.submit(lambda: (time.sleep(0.03), log.append("producer")),
+                       depends=[(DependType.OUT, loc)])
+        ompx.target_teams_bare(
+            nvidia, 1, 1, lambda x: log.append("consumer"),
+            nowait=True,
+            depend=[(DependType.INTEROPOBJ, interop), (DependType.IN, loc)],
+            task_runtime=runtime,
+        )
+        runtime.taskwait()
+        assert log == ["producer", "consumer"]
+
+    def test_failed_predecessor_fails_stream_task(self, nvidia, runtime, interop):
+        loc = np.zeros(1)
+        runtime.submit(lambda: 1 / 0, depends=[(DependType.OUT, loc)], name="bad")
+        task = ompx.target_teams_bare(
+            nvidia, 1, 1, lambda x: None,
+            nowait=True,
+            depend=[(DependType.INTEROPOBJ, interop), (DependType.IN, loc)],
+            task_runtime=runtime,
+        )
+        task.wait(5)
+        assert task.error is not None
+
+    def test_downstream_stock_task_waits_for_stream_task(self, nvidia, runtime, interop):
+        loc = np.zeros(1)
+        log = []
+        ompx.target_teams_bare(
+            nvidia, 1, 1,
+            lambda x: (time.sleep(0.02), log.append("stream"))[-1],
+            nowait=True,
+            depend=[(DependType.INTEROPOBJ, interop), (DependType.OUT, loc)],
+            task_runtime=runtime,
+        )
+        runtime.submit(lambda: log.append("after"), depends=[(DependType.IN, loc)])
+        runtime.taskwait()
+        assert log == ["stream", "after"]
+
+
+class TestValidation:
+    def test_wrong_item_type_rejected(self, runtime):
+        with pytest.raises(DependenceError, match="omp_interop_t"):
+            runtime.submit(
+                lambda: None, depends=[(DependType.INTEROPOBJ, "not-an-interop")]
+            )
+
+    def test_two_extension_depends_rejected(self, nvidia, runtime):
+        a = interop_init(device=nvidia)
+        b = interop_init(device=nvidia)
+        try:
+            with pytest.raises(DependenceError, match="at most one"):
+                runtime.submit(
+                    lambda: None,
+                    depends=[(DependType.INTEROPOBJ, a), (DependType.INTEROPOBJ, b)],
+                )
+        finally:
+            interop_destroy(a)
+            interop_destroy(b)
+
+    def test_task_error_surfaces_at_taskwait(self, nvidia, runtime, interop):
+        def bad_region(x):
+            raise RuntimeError("kernel bug")
+
+        ompx.target_teams_bare(
+            nvidia, 1, 1, bad_region, nowait=True,
+            depend=[(DependType.INTEROPOBJ, interop)], task_runtime=runtime,
+        )
+        with pytest.raises(DependenceError):
+            runtime.taskwait()

@@ -1,0 +1,265 @@
+"""Device APIs (§3.3): C-style ompx_* and C++-style ompx:: equivalence.
+
+The litmus test throughout: the ompx spelling must return exactly what the
+CUDA spelling returns for the same thread — the APIs are equivalents, not
+approximations (§3.3.1's "equivalent to threadIdx.x").
+"""
+
+import numpy as np
+import pytest
+
+from repro import cuda, ompx
+from repro.ompx.cxx import DIM_X, DIM_Y, DIM_Z
+
+
+def run_pair(device, cuda_kernel, ompx_kernel, grid, block, out_len):
+    """Run the same logic via both layers; return both outputs."""
+    results = []
+    for kernel, is_ompx in ((cuda_kernel, False), (ompx_kernel, True)):
+        d_out = device.allocator.malloc(out_len * 8)
+        if is_ompx:
+            ompx.target_teams_bare(device, grid, block, kernel, (d_out, out_len))
+        else:
+            cuda.launch(kernel, grid, block, (d_out, out_len), device=device)
+            device.synchronize()
+        out = np.zeros(out_len, dtype=np.int64)
+        device.allocator.memcpy_d2h(out, d_out)
+        device.allocator.free(d_out)
+        results.append(out)
+    return results
+
+
+class TestThreadIndexing:
+    def test_indices_match_cuda(self, any_device):
+        """thread/block id and dim in all three dimensions."""
+
+        @cuda.kernel(sync_free=True)
+        def k_cuda(t, out, n):
+            flat = ((t.blockIdx.y * t.gridDim.x + t.blockIdx.x) * t.blockDim.y
+                    + t.threadIdx.y) * t.blockDim.x + t.threadIdx.x
+            if flat < n:
+                t.array(out, n, np.int64)[flat] = (
+                    t.threadIdx.x + 10 * t.threadIdx.y + 100 * t.blockIdx.x
+                    + 1000 * t.blockIdx.y + 10000 * t.blockDim.x + 100000 * t.gridDim.x
+                )
+
+        @ompx.bare_kernel(sync_free=True)
+        def k_ompx(x, out, n):
+            flat = ((x.block_id_y() * x.grid_dim_x() + x.block_id_x()) * x.block_dim_y()
+                    + x.thread_id_y()) * x.block_dim_x() + x.thread_id_x()
+            if flat < n:
+                x.array(out, n, np.int64)[flat] = (
+                    x.thread_id_x() + 10 * x.thread_id_y() + 100 * x.block_id_x()
+                    + 1000 * x.block_id_y() + 10000 * x.block_dim_x() + 100000 * x.grid_dim_x()
+                )
+
+        a, b = run_pair(any_device, k_cuda, k_ompx, (2, 2), (4, 4), 64)
+        assert np.array_equal(a, b)
+
+    def test_generic_dim_accessors(self, nvidia):
+        seen = []
+
+        def region(x):
+            if x.thread_id_x() == 0 and x.block_id_x() == 0:
+                seen.append((
+                    x.thread_id(0), x.thread_id(1), x.thread_id(2),
+                    x.block_dim(0), x.block_dim(1), x.block_dim(2),
+                    x.grid_dim(0), x.block_id(0),
+                ))
+
+        ompx.target_teams_bare(nvidia, 2, (8, 2), region)
+        assert seen[0] == (0, 0, 0, 8, 2, 1, 2, 0)
+
+    def test_global_thread_id_helper(self, nvidia):
+        ids = []
+
+        def region(x):
+            ids.append(x.global_thread_id_x())
+
+        ompx.target_teams_bare(nvidia, 2, 4, region)
+        assert sorted(ids) == list(range(8))
+
+    def test_warp_and_lane(self, any_device):
+        ws = any_device.spec.warp_size
+        seen = {}
+
+        def region(x):
+            seen[x.thread_id_x()] = (x.warp_id(), x.lane_id(), x.warp_size())
+
+        ompx.target_teams_bare(any_device, 1, ws + 2, region)
+        assert seen[0] == (0, 0, ws)
+        assert seen[ws] == (1, 0, ws)
+        assert seen[ws + 1] == (1, 1, ws)
+
+
+class TestSynchronization:
+    def test_sync_thread_block_matches_syncthreads(self, any_device):
+        @cuda.kernel
+        def k_cuda(t, out, n):
+            shared = t.shared("s", 1, np.int64)
+            if t.threadIdx.x == 0:
+                shared[0] = 7
+            t.syncthreads()
+            t.array(out, n, np.int64)[t.threadIdx.x] = shared[0]
+
+        @ompx.bare_kernel
+        def k_ompx(x, out, n):
+            shared = x.groupprivate("s", 1, np.int64)
+            if x.thread_id_x() == 0:
+                shared[0] = 7
+            x.sync_thread_block()
+            x.array(out, n, np.int64)[x.thread_id_x()] = shared[0]
+
+        a, b = run_pair(any_device, k_cuda, k_ompx, 1, 32, 32)
+        assert np.array_equal(a, b)
+        assert (a == 7).all()
+
+    def test_sync_warp(self, nvidia):
+        done = []
+
+        def region(x):
+            x.sync_warp()
+            done.append(1)
+
+        ompx.target_teams_bare(nvidia, 1, 32, region)
+        assert len(done) == 32
+
+    def test_shfl_apis_match_cuda(self, any_device):
+        ws = any_device.spec.warp_size
+
+        @cuda.kernel
+        def k_cuda(t, out, n):
+            lane = t.laneid
+            a = t.shfl_sync(cuda.FULL_MASK, lane, 2)
+            b = t.shfl_up_sync(cuda.FULL_MASK, lane, 1)
+            c = t.shfl_down_sync(cuda.FULL_MASK, lane, 1)
+            d = t.shfl_xor_sync(cuda.FULL_MASK, lane, 3)
+            t.array(out, n, np.int64)[lane] = a + 100 * b + 10000 * c + 1000000 * d
+
+        @ompx.bare_kernel
+        def k_ompx(x, out, n):
+            lane = x.lane_id()
+            a = x.shfl_sync(lane, 2)
+            b = x.shfl_up_sync(lane, 1)
+            c = x.shfl_down_sync(lane, 1)
+            d = x.shfl_xor_sync(lane, 3)
+            x.array(out, n, np.int64)[lane] = a + 100 * b + 10000 * c + 1000000 * d
+
+        a, b = run_pair(any_device, k_cuda, k_ompx, 1, ws, ws)
+        assert np.array_equal(a, b)
+
+    def test_vote_apis_match_cuda(self, nvidia):
+        @cuda.kernel
+        def k_cuda(t, out, n):
+            bal = t.ballot_sync(cuda.FULL_MASK, t.laneid % 3 == 0)
+            anyv = t.any_sync(cuda.FULL_MASK, t.laneid == 31)
+            allv = t.all_sync(cuda.FULL_MASK, t.laneid < 32)
+            if t.laneid == 0:
+                o = t.array(out, n, np.int64)
+                o[0], o[1], o[2] = bal & 0x7FFFFFFF, int(anyv), int(allv)
+
+        @ompx.bare_kernel
+        def k_ompx(x, out, n):
+            bal = x.ballot_sync(x.lane_id() % 3 == 0)
+            anyv = x.any_sync(x.lane_id() == 31)
+            allv = x.all_sync(x.lane_id() < 32)
+            if x.lane_id() == 0:
+                o = x.array(out, n, np.int64)
+                o[0], o[1], o[2] = bal & 0x7FFFFFFF, int(anyv), int(allv)
+
+        a, b = run_pair(nvidia, k_cuda, k_ompx, 1, 32, 3)
+        assert np.array_equal(a, b)
+
+
+class TestAtomics:
+    def test_atomic_zoo(self, nvidia):
+        d_out = nvidia.allocator.malloc(6 * 8)
+
+        @ompx.bare_kernel(sync_free=True)
+        def k(x, out):
+            o = x.array(out, 6, np.int64)
+            x.atomic_add(o, 0, 1)
+            x.atomic_sub(o, 1, 1)
+            x.atomic_max(o, 2, x.thread_id_x())
+            x.atomic_min(o, 3, -x.thread_id_x())
+            x.atomic_or(o, 4, 1 << (x.thread_id_x() % 8))
+            if x.thread_id_x() == 0:
+                x.atomic_exchange(o, 5, 42)
+                x.atomic_cas(o, 5, 42, 43)
+
+        ompx.target_teams_bare(nvidia, 1, 16, k, (d_out,))
+        out = np.zeros(6, dtype=np.int64)
+        nvidia.allocator.memcpy_d2h(out, d_out)
+        assert list(out) == [16, -16, 15, -15, 0xFF, 43]
+        nvidia.allocator.free(d_out)
+
+    def test_atomic_and_xor(self, nvidia):
+        d_out = nvidia.allocator.malloc(2 * 8)
+        nvidia.allocator.view(d_out, 2, np.int64)[:] = [0xFF, 0]
+
+        @ompx.bare_kernel(sync_free=True)
+        def k(x, out):
+            o = x.array(out, 2, np.int64)
+            if x.thread_id_x() == 0:
+                x.atomic_and(o, 0, 0x0F)
+            x.atomic_xor(o, 1, 1)
+
+        ompx.target_teams_bare(nvidia, 1, 2, k, (d_out,))
+        out = np.zeros(2, dtype=np.int64)
+        nvidia.allocator.memcpy_d2h(out, d_out)
+        assert out[0] == 0x0F and out[1] == 0  # two xors cancel
+        nvidia.allocator.free(d_out)
+
+
+class TestCxxApi:
+    def test_cxx_matches_c(self, nvidia):
+        """ompx::thread_id(ompx::DIM_X) == ompx_thread_id_x() etc."""
+        mismatches = []
+
+        def region(x):
+            c = x.cxx
+            if c.thread_id(DIM_X) != x.thread_id_x():
+                mismatches.append("tid")
+            if c.block_id(DIM_X) != x.block_id_x():
+                mismatches.append("bid")
+            if c.block_dim(DIM_Y) != x.block_dim_y():
+                mismatches.append("bdim")
+            if c.grid_dim(DIM_Z) != x.grid_dim_z():
+                mismatches.append("gdim")
+
+        ompx.target_teams_bare(nvidia, (2, 2), (4, 2), region)
+        assert not mismatches
+
+    def test_cxx_sync_and_shuffle(self, nvidia):
+        d_out = nvidia.allocator.malloc(32 * 8)
+
+        @ompx.bare_kernel
+        def k(x, out):
+            c = x.cxx
+            shared = x.groupprivate("s", 1, np.int64)
+            if c.thread_id() == 0:
+                shared[0] = 3
+            c.sync_block()
+            v = c.shfl_down_sync(c.thread_id(), 1) + shared[0]
+            x.array(out, 32, np.int64)[c.thread_id()] = v
+
+        ompx.target_teams_bare(nvidia, 1, 32, k, (d_out,))
+        out = np.zeros(32, dtype=np.int64)
+        nvidia.allocator.memcpy_d2h(out, d_out)
+        expected = np.minimum(np.arange(32) + 1, 31) + 3
+        assert np.array_equal(out, expected)
+        nvidia.allocator.free(d_out)
+
+    def test_cxx_ballot(self, nvidia):
+        seen = []
+
+        def region(x):
+            bits = x.cxx.ballot_sync(x.lane_id() == 0)
+            if x.lane_id() == 0:
+                seen.append(bits)
+
+        ompx.target_teams_bare(nvidia, 1, 32, region)
+        assert seen == [1]
+
+    def test_dim_constants(self):
+        assert (DIM_X, DIM_Y, DIM_Z) == (0, 1, 2)

@@ -1,0 +1,120 @@
+"""Host APIs (§3.4): ompx_malloc & friends with direction inference."""
+
+import numpy as np
+import pytest
+
+from repro import ompx
+from repro.errors import InvalidPointerError, MappingError
+
+
+class TestMallocFree:
+    def test_malloc_on_device(self, any_device):
+        ptr = ompx.ompx_malloc(64, any_device)
+        assert ptr.device_ordinal == any_device.ordinal
+        ompx.ompx_free(ptr, any_device)
+
+    def test_malloc_default_device(self):
+        from repro.gpu import current_device
+
+        ptr = ompx.ompx_malloc(16)
+        assert ptr.device_ordinal == current_device().ordinal
+        ompx.ompx_free(ptr)
+
+    def test_double_free_detected(self, nvidia):
+        ptr = ompx.ompx_malloc(8, nvidia)
+        ompx.ompx_free(ptr, nvidia)
+        with pytest.raises(InvalidPointerError):
+            ompx.ompx_free(ptr, nvidia)
+
+
+class TestMemcpyInference:
+    def test_h2d_inferred(self, any_device):
+        data = np.arange(32, dtype=np.float64)
+        ptr = ompx.ompx_malloc(data.nbytes, any_device)
+        ompx.ompx_memcpy(ptr, data, data.nbytes, any_device)
+        view = any_device.allocator.view(ptr, 32, np.float64)
+        assert np.array_equal(view, data)
+        ompx.ompx_free(ptr, any_device)
+
+    def test_d2h_inferred(self, any_device):
+        ptr = ompx.ompx_malloc(16 * 8, any_device)
+        any_device.allocator.view(ptr, 16, np.float64)[:] = 4.0
+        out = np.zeros(16)
+        ompx.ompx_memcpy(out, ptr, out.nbytes, any_device)
+        assert (out == 4.0).all()
+        ompx.ompx_free(ptr, any_device)
+
+    def test_d2d_inferred(self, nvidia):
+        a = ompx.ompx_malloc(16, nvidia)
+        b = ompx.ompx_malloc(16, nvidia)
+        nvidia.allocator.view(a, 16, np.uint8)[:] = 9
+        ompx.ompx_memcpy(b, a, 16, nvidia)
+        assert (nvidia.allocator.view(b, 16, np.uint8) == 9).all()
+        for p in (a, b):
+            ompx.ompx_free(p, nvidia)
+
+    def test_host_to_host_rejected(self, nvidia):
+        with pytest.raises(MappingError, match="device pointer"):
+            ompx.ompx_memcpy(np.zeros(4), np.zeros(4), 32, nvidia)
+
+    def test_partial_copy(self, nvidia):
+        data = np.arange(8, dtype=np.int32)
+        ptr = ompx.ompx_malloc(data.nbytes, nvidia)
+        ompx.ompx_memcpy(ptr, data, 4 * 4, nvidia)
+        out = np.zeros(8, dtype=np.int32)
+        ompx.ompx_memcpy(out, ptr, 8 * 4, nvidia)
+        assert np.array_equal(out[:4], data[:4]) and not out[4:].any()
+        ompx.ompx_free(ptr, nvidia)
+
+
+class TestMemsetAndSync:
+    def test_memset(self, nvidia):
+        ptr = ompx.ompx_malloc(32, nvidia)
+        ompx.ompx_memset(ptr, 0x5A, 32, nvidia)
+        assert (nvidia.allocator.view(ptr, 32, np.uint8) == 0x5A).all()
+        ompx.ompx_free(ptr, nvidia)
+
+    def test_device_synchronize(self, nvidia):
+        log = []
+        nvidia.default_stream.enqueue(lambda: log.append(1))
+        ompx.ompx_device_synchronize(nvidia)
+        assert log == [1]
+
+    def test_stream_create_and_sync(self, nvidia):
+        stream = ompx.ompx_stream_create(nvidia, name="ompx-s")
+        try:
+            log = []
+            stream.enqueue(lambda: log.append("x"))
+            ompx.ompx_stream_synchronize(stream)
+            assert log == ["x"]
+        finally:
+            stream.close()
+
+
+class TestFigure1PortShape:
+    def test_cuda_host_sequence_ports_one_to_one(self, nvidia):
+        """The Figure 1 host flow, each call renamed to its §3.4 API."""
+        n = 100
+        size = n * 4
+        h_a = np.arange(n, dtype=np.int32)
+        h_b = np.zeros(n, dtype=np.int32)
+
+        d_a = ompx.ompx_malloc(size, nvidia)           # cudaMalloc
+        d_b = ompx.ompx_malloc(size, nvidia)
+        ompx.ompx_memcpy(d_a, h_a, size, nvidia)       # cudaMemcpy H2D
+
+        @ompx.bare_kernel(sync_free=True)
+        def k(x, a, b, n):
+            i = x.global_thread_id_x()
+            if i < n:
+                x.array(b, n, np.int32)[i] = x.array(a, n, np.int32)[i] + 1
+
+        bsize = 32
+        gsize = (n + bsize - 1) // bsize
+        ompx.target_teams_bare(nvidia, gsize, bsize, k, (d_a, d_b, n))
+
+        ompx.ompx_memcpy(h_b, d_b, size, nvidia)       # cudaMemcpy D2H
+        ompx.ompx_device_synchronize(nvidia)           # cudaDeviceSynchronize
+        ompx.ompx_free(d_a, nvidia)                    # cudaFree
+        ompx.ompx_free(d_b, nvidia)
+        assert np.array_equal(h_b, h_a + 1)

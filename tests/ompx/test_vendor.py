@@ -1,0 +1,198 @@
+"""Vendor-library wrapper layer (§3.6): dispatch + BLAS correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ompx
+from repro.errors import ReproError
+from repro.gpu import get_device
+from repro.ompx.vendor import CublasSim, RocblasSim
+
+
+def upload_colmajor(device, matrix: np.ndarray):
+    ptr = device.allocator.malloc(matrix.nbytes)
+    device.allocator.memcpy_h2d(ptr, np.asfortranarray(matrix).ravel(order="K"))
+    return ptr
+
+
+def download_colmajor(device, ptr, rows, cols) -> np.ndarray:
+    out = np.zeros(rows * cols)
+    device.allocator.memcpy_d2h(out, ptr)
+    return out.reshape(cols, rows).T
+
+
+class TestDispatch:
+    def test_nvidia_gets_cublas(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        assert isinstance(handle.backend, CublasSim)
+        assert handle.backend_name == "cuBLAS-sim"
+
+    def test_amd_gets_rocblas(self, amd):
+        handle = ompx.ompxblas_create(amd)
+        assert isinstance(handle.backend, RocblasSim)
+        assert handle.backend_name == "rocBLAS-sim"
+
+    def test_call_counting(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        n = 8
+        x = ompx.ompx_malloc(n * 8, nvidia)
+        ompx.ompxblas_dscal(handle, n, 2.0, x, 1)
+        ompx.ompxblas_dscal(handle, n, 2.0, x, 1)
+        ompx.ompxblas_dnrm2(handle, n, x, 1)
+        assert handle.backend.calls == {"scal": 2, "nrm2": 1}
+        ompx.ompx_free(x, nvidia)
+
+
+class TestGemm:
+    @pytest.mark.parametrize("transa,transb", [("N", "N"), ("T", "N"), ("N", "T"), ("T", "T")])
+    def test_dgemm_all_transposes(self, any_device, transa, transb):
+        rng = np.random.default_rng(23)
+        m, n, k = 5, 4, 3
+        a_logical = rng.random((m, k))
+        b_logical = rng.random((k, n))
+        c0 = rng.random((m, n))
+
+        a_stored = a_logical if transa == "N" else a_logical.T
+        b_stored = b_logical if transb == "N" else b_logical.T
+        handle = ompx.ompxblas_create(any_device)
+        d_a = upload_colmajor(any_device, a_stored)
+        d_b = upload_colmajor(any_device, b_stored)
+        d_c = upload_colmajor(any_device, c0)
+        lda = a_stored.shape[0]
+        ldb = b_stored.shape[0]
+        ompx.ompxblas_dgemm(handle, transa, transb, m, n, k, 2.0, d_a, lda, d_b, ldb, 0.5, d_c, m)
+        result = download_colmajor(any_device, d_c, m, n)
+        expected = 2.0 * (a_logical @ b_logical) + 0.5 * c0
+        assert np.allclose(result, expected)
+        for p in (d_a, d_b, d_c):
+            any_device.allocator.free(p)
+
+    def test_sgemm_float32(self, nvidia):
+        rng = np.random.default_rng(5)
+        m = n = k = 4
+        a = rng.random((m, k)).astype(np.float32)
+        b = rng.random((k, n)).astype(np.float32)
+        handle = ompx.ompxblas_create(nvidia)
+        d_a = nvidia.allocator.malloc(a.nbytes)
+        d_b = nvidia.allocator.malloc(b.nbytes)
+        d_c = nvidia.allocator.malloc(m * n * 4)
+        nvidia.allocator.memcpy_h2d(d_a, np.asfortranarray(a).ravel(order="K"))
+        nvidia.allocator.memcpy_h2d(d_b, np.asfortranarray(b).ravel(order="K"))
+        ompx.ompxblas_sgemm(handle, "N", "N", m, n, k, 1.0, d_a, m, d_b, k, 0.0, d_c, m)
+        out = np.zeros(m * n, dtype=np.float32)
+        nvidia.allocator.memcpy_d2h(out, d_c)
+        assert np.allclose(out.reshape(n, m).T, a @ b, rtol=1e-5)
+        for p in (d_a, d_b, d_c):
+            nvidia.allocator.free(p)
+
+    def test_leading_dimension_padding(self, nvidia):
+        """lda > rows: the padded rows must be skipped, BLAS style."""
+        m, n, k, lda = 2, 2, 2, 4
+        a_padded = np.zeros((lda, k))
+        a_padded[:m] = [[1.0, 2.0], [3.0, 4.0]]
+        b = np.array([[1.0, 0.0], [0.0, 1.0]])
+        handle = ompx.ompxblas_create(nvidia)
+        d_a = upload_colmajor(nvidia, a_padded)
+        d_b = upload_colmajor(nvidia, b)
+        d_c = nvidia.allocator.malloc(m * n * 8)
+        ompx.ompxblas_dgemm(handle, "N", "N", m, n, k, 1.0, d_a, lda, d_b, k, 0.0, d_c, m)
+        out = download_colmajor(nvidia, d_c, m, n)
+        assert np.allclose(out, a_padded[:m])
+        for p in (d_a, d_b, d_c):
+            nvidia.allocator.free(p)
+
+    def test_bad_leading_dimension(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        d = ompx.ompx_malloc(64, nvidia)
+        with pytest.raises(ReproError, match="leading dimension"):
+            ompx.ompxblas_dgemm(handle, "N", "N", 4, 2, 2, 1.0, d, 2, d, 2, 0.0, d, 4)
+        ompx.ompx_free(d, nvidia)
+
+
+class TestLevel1:
+    def test_daxpy(self, any_device):
+        n = 16
+        x = np.arange(n, dtype=np.float64)
+        y = np.ones(n)
+        handle = ompx.ompxblas_create(any_device)
+        d_x = any_device.allocator.malloc(x.nbytes)
+        d_y = any_device.allocator.malloc(y.nbytes)
+        any_device.allocator.memcpy_h2d(d_x, x)
+        any_device.allocator.memcpy_h2d(d_y, y)
+        ompx.ompxblas_daxpy(handle, n, 3.0, d_x, 1, d_y, 1)
+        out = np.zeros(n)
+        any_device.allocator.memcpy_d2h(out, d_y)
+        assert np.allclose(out, 3.0 * x + 1)
+        for p in (d_x, d_y):
+            any_device.allocator.free(p)
+
+    def test_strided_axpy(self, nvidia):
+        n = 4
+        x = np.arange(8, dtype=np.float64)
+        y = np.zeros(8)
+        handle = ompx.ompxblas_create(nvidia)
+        d_x = nvidia.allocator.malloc(x.nbytes)
+        d_y = nvidia.allocator.malloc(y.nbytes)
+        nvidia.allocator.memcpy_h2d(d_x, x)
+        nvidia.allocator.memcpy_h2d(d_y, y)
+        ompx.ompxblas_daxpy(handle, n, 1.0, d_x, 2, d_y, 2)
+        out = np.zeros(8)
+        nvidia.allocator.memcpy_d2h(out, d_y)
+        assert np.allclose(out[::2], x[::2])
+        assert not out[1::2].any()
+        for p in (d_x, d_y):
+            nvidia.allocator.free(p)
+
+    def test_ddot_and_dnrm2(self, nvidia):
+        n = 32
+        rng = np.random.default_rng(6)
+        x = rng.random(n)
+        y = rng.random(n)
+        handle = ompx.ompxblas_create(nvidia)
+        d_x = nvidia.allocator.malloc(x.nbytes)
+        d_y = nvidia.allocator.malloc(y.nbytes)
+        nvidia.allocator.memcpy_h2d(d_x, x)
+        nvidia.allocator.memcpy_h2d(d_y, y)
+        assert np.isclose(ompx.ompxblas_ddot(handle, n, d_x, 1, d_y, 1), x @ y)
+        assert np.isclose(ompx.ompxblas_dnrm2(handle, n, d_x, 1), np.linalg.norm(x))
+        for p in (d_x, d_y):
+            nvidia.allocator.free(p)
+
+    def test_bad_increment(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        d = ompx.ompx_malloc(64, nvidia)
+        with pytest.raises(ReproError, match="increment"):
+            ompx.ompxblas_dscal(handle, 4, 1.0, d, 0)
+        ompx.ompx_free(d, nvidia)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=32),
+        st.floats(-10, 10, allow_nan=False),
+    )
+    def test_axpy_matches_numpy_property(self, values, alpha):
+        device = get_device(0)
+        x = np.asarray(values)
+        y = np.ones_like(x)
+        handle = ompx.ompxblas_create(device)
+        d_x = device.allocator.malloc(x.nbytes)
+        d_y = device.allocator.malloc(y.nbytes)
+        try:
+            device.allocator.memcpy_h2d(d_x, x)
+            device.allocator.memcpy_h2d(d_y, y)
+            ompx.ompxblas_daxpy(handle, len(x), alpha, d_x, 1, d_y, 1)
+            out = np.zeros_like(y)
+            device.allocator.memcpy_d2h(out, d_y)
+            assert np.allclose(out, alpha * x + 1)
+        finally:
+            device.allocator.free(d_x)
+            device.allocator.free(d_y)
+
+    def test_destroy_synchronizes(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        log = []
+        nvidia.default_stream.enqueue(lambda: log.append(1))
+        ompx.ompxblas_destroy(handle)
+        assert log == [1]

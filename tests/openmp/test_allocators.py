@@ -1,0 +1,115 @@
+"""OpenMP allocators: predefined handles, traits, space mapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OpenMPError, OutOfMemoryError
+from repro.gpu.device import Device, DeviceSpec, Vendor
+from repro.openmp.allocators import (
+    Allocator,
+    MemSpace,
+    omp_alloc,
+    omp_const_mem_alloc,
+    omp_default_mem_alloc,
+    omp_destroy_allocator,
+    omp_free,
+    omp_high_bw_mem_alloc,
+    omp_init_allocator,
+    omp_large_cap_mem_alloc,
+    omp_low_lat_mem_alloc,
+    omp_pteam_mem_alloc,
+    omp_thread_mem_alloc,
+)
+
+
+class TestPredefinedAllocators:
+    def test_default_allocates_device_global(self, nvidia):
+        ptr = omp_alloc(128, omp_default_mem_alloc, nvidia)
+        assert ptr and ptr.device_ordinal == nvidia.ordinal
+        view = nvidia.allocator.view(ptr, 128, np.uint8)
+        assert not view.any()
+        omp_free(ptr, omp_default_mem_alloc, nvidia)
+
+    @pytest.mark.parametrize("allocator", [
+        omp_large_cap_mem_alloc, omp_high_bw_mem_alloc,
+    ], ids=lambda a: a.name)
+    def test_global_spaces_work(self, nvidia, allocator):
+        ptr = omp_alloc(64, allocator, nvidia)
+        assert ptr
+        omp_free(ptr, allocator, nvidia)
+
+    def test_const_space_rejected_at_runtime(self, nvidia):
+        with pytest.raises(OpenMPError, match="host-initialized"):
+            omp_alloc(64, omp_const_mem_alloc, nvidia)
+
+    def test_low_lat_space_is_device_side_only(self, nvidia):
+        with pytest.raises(OpenMPError, match="shared memory"):
+            omp_alloc(64, omp_low_lat_mem_alloc, nvidia)
+
+    def test_pteam_rejected_on_host(self, nvidia):
+        with pytest.raises(OpenMPError, match="groupprivate"):
+            omp_alloc(64, omp_pteam_mem_alloc, nvidia)
+
+    def test_thread_scoped_rejected_on_host(self, nvidia):
+        with pytest.raises(OpenMPError, match="thread-private"):
+            omp_alloc(64, omp_thread_mem_alloc, nvidia)
+
+    def test_free_null_noop(self, nvidia):
+        from repro.gpu.memory import DevicePointer
+
+        omp_free(DevicePointer(nvidia.ordinal, 0), device=nvidia)
+
+    def test_negative_size(self, nvidia):
+        with pytest.raises(OpenMPError):
+            omp_alloc(-1, device=nvidia)
+
+
+class TestTraits:
+    def test_unknown_trait_rejected(self):
+        with pytest.raises(OpenMPError, match="unknown allocator trait"):
+            Allocator("bad", MemSpace.DEFAULT, {"colour": "blue"})
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(OpenMPError, match="power of two"):
+            Allocator("bad", MemSpace.DEFAULT, {"alignment": 48})
+
+    def test_bad_fallback_rejected(self):
+        with pytest.raises(OpenMPError, match="fallback"):
+            Allocator("bad", MemSpace.DEFAULT, {"fallback": "explode"})
+
+    def test_alignment_honoured(self, nvidia):
+        allocator = omp_init_allocator(MemSpace.DEFAULT, {"alignment": 256})
+        ptr = omp_alloc(64, allocator, nvidia)
+        assert ptr.address % 256 == 0
+        omp_free(ptr, allocator, nvidia)
+
+    def test_default_alignment(self):
+        assert omp_default_mem_alloc.alignment == 16
+
+
+class TestCustomAllocators:
+    def test_init_and_destroy(self):
+        allocator = omp_init_allocator(MemSpace.HIGH_BW, {"alignment": 64})
+        assert allocator.memspace == MemSpace.HIGH_BW
+        omp_destroy_allocator(allocator)
+
+    def test_unknown_space(self):
+        with pytest.raises(OpenMPError, match="memory space"):
+            omp_init_allocator("omp_texture_mem_space")
+
+    def test_null_fallback_on_oom(self):
+        tiny = Device(
+            DeviceSpec(name="tiny-alloc", vendor=Vendor.NVIDIA, global_mem_bytes=1024),
+            ordinal=3000,
+        )
+        allocator = omp_init_allocator(MemSpace.DEFAULT, {"fallback": "null_fb"})
+        ptr = omp_alloc(1 << 20, allocator, tiny)
+        assert ptr.is_null
+
+    def test_default_fallback_raises(self):
+        tiny = Device(
+            DeviceSpec(name="tiny-alloc2", vendor=Vendor.NVIDIA, global_mem_bytes=1024),
+            ordinal=3001,
+        )
+        with pytest.raises(OutOfMemoryError):
+            omp_alloc(1 << 20, omp_default_mem_alloc, tiny)

@@ -1,0 +1,118 @@
+"""The LLVM OpenMP codegen model: modes, globalization, documented defects."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.openmp.codegen import CodegenInfo, ExecMode, RegionTraits, lower_region
+
+
+class TestBareLowering:
+    def test_bare_has_no_runtime(self):
+        info = lower_region(RegionTraits(style="bare"))
+        assert info.mode == ExecMode.BARE
+        assert not info.runtime_init
+        assert not info.state_machine
+        assert info.globalized_heap_bytes == 0
+        assert info.heap_to_shared_bytes == 0
+        assert info.register_overhead == 0
+        assert info.is_bare
+
+    def test_bare_keeps_requested_thread_limit(self):
+        info = lower_region(RegionTraits(style="bare", requested_thread_limit=256))
+        assert info.effective_thread_limit == 256
+
+
+class TestSpmdLowering:
+    def test_spmd_amenable_region(self):
+        info = lower_region(RegionTraits(style="worksharing", spmd_amenable=True))
+        assert info.mode == ExecMode.SPMD
+        assert info.runtime_init
+        assert not info.state_machine
+        assert info.register_overhead > 0
+
+    def test_spmd_register_overhead_below_generic(self):
+        spmd = lower_region(RegionTraits(spmd_amenable=True))
+        generic = lower_region(RegionTraits(spmd_amenable=False))
+        assert spmd.register_overhead < generic.register_overhead
+        assert spmd.binary_overhead_bytes < generic.binary_overhead_bytes
+
+
+class TestGenericLowering:
+    def test_non_spmd_is_generic(self):
+        info = lower_region(RegionTraits(spmd_amenable=False))
+        assert info.mode == ExecMode.GENERIC
+
+    def test_rewritable_state_machine_removed(self):
+        info = lower_region(
+            RegionTraits(spmd_amenable=False, state_machine_rewritable=True)
+        )
+        assert not info.state_machine
+
+    def test_unrewritable_state_machine_survives(self):
+        """The Stencil 1D situation (§4.2.6)."""
+        info = lower_region(
+            RegionTraits(spmd_amenable=False, state_machine_rewritable=False)
+        )
+        assert info.state_machine
+
+
+class TestGlobalization:
+    def test_small_locals_move_to_shared(self):
+        """The RSBench heap-to-shared case (§4.2.2): 2 KB fits the budget."""
+        info = lower_region(RegionTraits(escaping_local_bytes=2048))
+        assert info.heap_to_shared_bytes == 2048
+        assert info.globalized_heap_bytes == 0
+
+    def test_large_locals_stay_on_heap(self):
+        info = lower_region(RegionTraits(escaping_local_bytes=64 * 1024))
+        assert info.heap_to_shared_bytes == 0
+        assert info.globalized_heap_bytes == 64 * 1024
+
+    def test_optimization_can_be_disabled(self):
+        """The ablation knob: CGO'22 heap-to-shared off."""
+        info = lower_region(
+            RegionTraits(escaping_local_bytes=2048), optimize_heap_to_shared=False
+        )
+        assert info.heap_to_shared_bytes == 0
+        assert info.globalized_heap_bytes == 2048
+
+    def test_bare_never_globalizes(self):
+        info = lower_region(RegionTraits(style="bare", escaping_local_bytes=2048))
+        assert info.globalized_heap_bytes == 0
+        assert info.heap_to_shared_bytes == 0
+
+
+class TestThreadLimitBug:
+    def test_bug_collapses_to_one_warp(self):
+        """The Adam defect (§4.2.5)."""
+        info = lower_region(
+            RegionTraits(requested_thread_limit=256, thread_limit_bug=True)
+        )
+        assert info.effective_thread_limit == 32
+
+    def test_bug_forces_generic_mode(self):
+        info = lower_region(RegionTraits(spmd_amenable=True, thread_limit_bug=True))
+        assert info.mode == ExecMode.GENERIC
+
+    def test_bug_without_request_defaults_to_warp(self):
+        info = lower_region(RegionTraits(thread_limit_bug=True))
+        assert info.effective_thread_limit == 32
+
+    def test_no_bug_keeps_request(self):
+        info = lower_region(RegionTraits(requested_thread_limit=256))
+        assert info.effective_thread_limit == 256
+
+
+class TestValidation:
+    def test_unknown_style_rejected(self):
+        with pytest.raises(CompileError):
+            RegionTraits(style="baroque")
+
+    def test_negative_locals_rejected(self):
+        with pytest.raises(CompileError):
+            RegionTraits(escaping_local_bytes=-1)
+
+    def test_device_fn_calls_inflate_binary(self):
+        plain = lower_region(RegionTraits())
+        with_calls = lower_region(RegionTraits(device_fn_calls=3))
+        assert with_calls.binary_overhead_bytes > plain.binary_overhead_bytes

@@ -1,0 +1,90 @@
+"""The collapse(n) worksharing construct."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OpenMPError
+from repro.openmp import target_teams_distribute_parallel_for_collapse
+from repro.openmp.data import data_environment
+
+
+@pytest.fixture(autouse=True)
+def clean_env(nvidia):
+    yield
+    data_environment(nvidia).reset()
+
+
+class TestCollapse:
+    def test_2d_vector_body_covers_nest(self, nvidia):
+        out = np.zeros((7, 9))
+
+        def vbody(i, j, acc):
+            acc.mapped(out)[i, j] = i * 100 + j
+
+        target_teams_distribute_parallel_for_collapse(
+            nvidia, (7, 9), vector_body=vbody, thread_limit=8,
+            maps=[(out, "from")],
+        )
+        expected = np.arange(7)[:, None] * 100 + np.arange(9)[None, :]
+        assert np.array_equal(out, expected)
+
+    def test_2d_scalar_body(self, nvidia):
+        out = np.zeros((4, 4))
+
+        def body(i, j, acc):
+            acc.mapped(out)[i, j] = i - j
+
+        target_teams_distribute_parallel_for_collapse(
+            nvidia, (4, 4), body, thread_limit=4, maps=[(out, "from")]
+        )
+        assert np.array_equal(out, np.arange(4)[:, None] - np.arange(4)[None, :])
+
+    def test_3d_nest(self, nvidia):
+        out = np.zeros((3, 4, 5))
+
+        def vbody(i, j, k, acc):
+            acc.mapped(out)[i, j, k] = i * 100 + j * 10 + k
+
+        target_teams_distribute_parallel_for_collapse(
+            nvidia, (3, 4, 5), vector_body=vbody, thread_limit=16,
+            maps=[(out, "from")],
+        )
+        i, j, k = np.meshgrid(np.arange(3), np.arange(4), np.arange(5), indexing="ij")
+        assert np.array_equal(out, i * 100 + j * 10 + k)
+
+    def test_every_iteration_exactly_once(self, nvidia):
+        counts = np.zeros((5, 6))
+
+        def vbody(i, j, acc):
+            view = acc.mapped(counts)
+            np.add.at(view, (i, j), 1)
+
+        target_teams_distribute_parallel_for_collapse(
+            nvidia, (5, 6), vector_body=vbody, num_teams=4, thread_limit=4,
+            maps=[(counts, "tofrom")],
+        )
+        assert (counts == 1).all()
+
+    def test_zero_extent_runs_nothing(self, nvidia):
+        hits = []
+        target_teams_distribute_parallel_for_collapse(
+            nvidia, (0, 5), lambda i, j, acc: hits.append((i, j))
+        )
+        assert hits == []
+
+    def test_validation(self, nvidia):
+        with pytest.raises(OpenMPError):
+            target_teams_distribute_parallel_for_collapse(nvidia, (), lambda acc: None)
+        with pytest.raises(OpenMPError):
+            target_teams_distribute_parallel_for_collapse(
+                nvidia, (2, -1), lambda i, j, acc: None
+            )
+        with pytest.raises(OpenMPError, match="exactly one"):
+            target_teams_distribute_parallel_for_collapse(nvidia, (2, 2))
+
+    def test_report_propagates(self, nvidia):
+        report = target_teams_distribute_parallel_for_collapse(
+            nvidia, (8, 8), vector_body=lambda i, j, acc: None, thread_limit=16
+        )
+        assert report.codegen.mode == "spmd"
+        assert report.grid >= 1

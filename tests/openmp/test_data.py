@@ -1,0 +1,243 @@
+"""Device data environment: map semantics, refcounting, target APIs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.gpu import get_device
+from repro.openmp.data import (
+    DeviceDataEnvironment,
+    MapType,
+    TargetData,
+    data_environment,
+    omp_target_alloc,
+    omp_target_free,
+    omp_target_is_present,
+    omp_target_memcpy,
+)
+
+
+@pytest.fixture
+def env(nvidia):
+    environment = data_environment(nvidia)
+    yield environment
+    environment.reset()
+
+
+class TestStructuredMapping:
+    def test_map_to_transfers_on_entry(self, env):
+        host = np.arange(10, dtype=np.float64)
+        maps = [(host, MapType.TO)]
+        env.begin(maps)
+        device_view = env.device.allocator.view(env.lookup(host), 10, np.float64)
+        assert np.array_equal(device_view, host)
+        env.end(maps)
+
+    def test_map_from_transfers_on_exit(self, env):
+        host = np.zeros(4)
+        maps = [(host, MapType.FROM)]
+        env.begin(maps)
+        env.device.allocator.view(env.lookup(host), 4, np.float64)[:] = 3.5
+        env.end(maps)
+        assert (host == 3.5).all()
+
+    def test_map_alloc_transfers_nothing(self, env):
+        host = np.full(4, 7.0)
+        maps = [(host, MapType.ALLOC)]
+        env.begin(maps)
+        device_view = env.device.allocator.view(env.lookup(host), 4, np.float64)
+        assert not device_view.any()  # fresh zeroed device memory
+        env.end(maps)
+        assert (host == 7.0).all()  # host untouched
+
+    def test_tofrom_roundtrip(self, env):
+        host = np.arange(6, dtype=np.float64)
+        maps = [(host, MapType.TOFROM)]
+        env.begin(maps)
+        env.device.allocator.view(env.lookup(host), 6, np.float64)[:] += 1
+        env.end(maps)
+        assert np.array_equal(host, np.arange(6) + 1)
+
+    def test_presence_refcounting(self, env):
+        """Inner map of a present variable transfers nothing (OpenMP rule)."""
+        host = np.arange(4, dtype=np.float64)
+        outer = [(host, MapType.TOFROM)]
+        env.begin(outer)
+        env.device.allocator.view(env.lookup(host), 4, np.float64)[:] = 99.0
+        # inner `map(to:)` must NOT overwrite the modified device copy
+        inner = [(host, MapType.TO)]
+        env.begin(inner)
+        assert env.refcount(host) == 2
+        device_view = env.device.allocator.view(env.lookup(host), 4, np.float64)
+        assert (device_view == 99.0).all()
+        env.end(inner)
+        assert env.refcount(host) == 1
+        assert not (host == 99.0).any()  # inner end: refcount 2->1, no copy back
+        env.end(outer)
+        assert (host == 99.0).all()  # outer end: 1->0, from-transfer happens
+
+    def test_unmatched_end_rejected(self, env):
+        host = np.zeros(2)
+        with pytest.raises(MappingError, match="unmatched"):
+            env.end([(host, MapType.TO)])
+
+    def test_noncontiguous_rejected(self, env):
+        host = np.zeros((4, 4))[:, ::2]
+        with pytest.raises(MappingError, match="contiguous"):
+            env.begin([(host, MapType.TO)])
+
+    def test_non_array_rejected(self, env):
+        with pytest.raises(MappingError, match="NumPy"):
+            env.begin([([1, 2, 3], MapType.TO)])
+
+    def test_bad_map_type(self, env):
+        with pytest.raises(MappingError, match="map type"):
+            env.begin([(np.zeros(1), "sideways")])
+
+    def test_lookup_unmapped(self, env):
+        with pytest.raises(MappingError, match="not mapped"):
+            env.lookup(np.zeros(3))
+
+
+class TestUnstructuredMapping:
+    def test_enter_exit_data(self, env):
+        host = np.arange(5, dtype=np.float64)
+        env.enter_data([(host, MapType.TO)])
+        assert env.is_present(host)
+        env.device.allocator.view(env.lookup(host), 5, np.float64)[:] = 1.0
+        env.exit_data([(host, MapType.FROM)])
+        assert (host == 1.0).all()
+        assert not env.is_present(host)
+
+    def test_enter_rejects_from(self, env):
+        with pytest.raises(MappingError):
+            env.enter_data([(np.zeros(1), MapType.FROM)])
+
+    def test_exit_release_no_transfer(self, env):
+        host = np.full(3, 5.0)
+        env.enter_data([(host, MapType.TO)])
+        env.device.allocator.view(env.lookup(host), 3, np.float64)[:] = -1
+        env.exit_data([(host, MapType.RELEASE)])
+        assert (host == 5.0).all()
+        assert not env.is_present(host)
+
+    def test_exit_delete_forces_removal(self, env):
+        host = np.zeros(2)
+        env.enter_data([(host, MapType.TO)])
+        env.enter_data([(host, MapType.TO)])  # refcount 2
+        env.exit_data([(host, MapType.DELETE)])
+        assert not env.is_present(host)
+
+    def test_exit_delete_of_absent_is_noop(self, env):
+        env.exit_data([(np.zeros(1), MapType.DELETE)])
+
+    def test_exit_of_absent_rejected(self, env):
+        with pytest.raises(MappingError, match="not present"):
+            env.exit_data([(np.zeros(1), MapType.FROM)])
+
+
+class TestTargetUpdate:
+    def test_update_to(self, env):
+        host = np.arange(4, dtype=np.float64)
+        env.begin([(host, MapType.TO)])
+        host[:] = 100.0
+        env.update_to(host)
+        device_view = env.device.allocator.view(env.lookup(host), 4, np.float64)
+        assert (device_view == 100.0).all()
+        env.end([(host, MapType.TO)])
+
+    def test_update_from(self, env):
+        host = np.zeros(4)
+        env.begin([(host, MapType.TO)])
+        env.device.allocator.view(env.lookup(host), 4, np.float64)[:] = 8.0
+        env.update_from(host)
+        assert (host == 8.0).all()
+        env.end([(host, MapType.TO)])
+
+
+class TestTargetDataContextManager:
+    def test_with_statement(self, nvidia):
+        a = np.arange(8, dtype=np.float64)
+        b = np.zeros(8)
+        with TargetData(nvidia, [(a, MapType.TO), (b, MapType.FROM)]) as region:
+            env = data_environment(nvidia)
+            av = nvidia.allocator.view(region.device_ptr(a), 8, np.float64)
+            bv = nvidia.allocator.view(region.device_ptr(b), 8, np.float64)
+            bv[:] = av * 2
+        assert np.array_equal(b, a * 2)
+        assert not data_environment(nvidia).is_present(a)
+
+
+class TestTargetApis:
+    def test_alloc_memcpy_free(self, nvidia):
+        host = np.arange(10, dtype=np.int32)
+        ptr = omp_target_alloc(host.nbytes, nvidia)
+        omp_target_memcpy(ptr, host, host.nbytes, dst_device=nvidia)
+        out = np.zeros_like(host)
+        omp_target_memcpy(out, ptr, host.nbytes, src_device=nvidia)
+        assert np.array_equal(out, host)
+        omp_target_free(ptr, nvidia)
+
+    def test_memcpy_with_offsets(self, nvidia):
+        host = np.arange(16, dtype=np.uint8)
+        ptr = omp_target_alloc(16, nvidia)
+        omp_target_memcpy(ptr, host, 8, dst_offset=8, src_offset=0, dst_device=nvidia)
+        out = np.zeros(16, dtype=np.uint8)
+        omp_target_memcpy(out, ptr, 16, src_device=nvidia)
+        assert np.array_equal(out[8:], host[:8])
+        assert not out[:8].any()
+        omp_target_free(ptr, nvidia)
+
+    def test_cross_device_memcpy(self, nvidia, amd):
+        host = np.arange(8, dtype=np.float64)
+        src = omp_target_alloc(host.nbytes, nvidia)
+        dst = omp_target_alloc(host.nbytes, amd)
+        omp_target_memcpy(src, host, host.nbytes, dst_device=nvidia)
+        omp_target_memcpy(dst, src, host.nbytes, dst_device=amd, src_device=nvidia)
+        out = np.zeros_like(host)
+        omp_target_memcpy(out, dst, host.nbytes, src_device=amd)
+        assert np.array_equal(out, host)
+        omp_target_free(src, nvidia)
+        omp_target_free(dst, amd)
+
+    def test_host_to_host(self):
+        src = np.arange(8, dtype=np.uint8)
+        dst = np.zeros(8, dtype=np.uint8)
+        omp_target_memcpy(dst, src, 8)
+        assert np.array_equal(dst, src)
+
+    def test_device_ptr_needs_device_arg(self, nvidia):
+        ptr = omp_target_alloc(8, nvidia)
+        with pytest.raises(MappingError, match="dst_device"):
+            omp_target_memcpy(ptr, np.zeros(1), 8)
+        omp_target_free(ptr, nvidia)
+
+    def test_is_present(self, nvidia):
+        env = data_environment(nvidia)
+        host = np.zeros(4)
+        assert not omp_target_is_present(host, nvidia)
+        env.begin([(host, MapType.TO)])
+        assert omp_target_is_present(host, nvidia)
+        env.end([(host, MapType.TO)])
+
+
+class TestRefcountProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["to", "from", "tofrom", "alloc"]), min_size=1, max_size=6))
+    def test_nested_begin_end_always_balances(self, kinds):
+        """Any properly nested sequence of data regions leaves the
+        environment empty and the allocator with no leaked entries."""
+        device = get_device(0)
+        env = DeviceDataEnvironment(device)
+        host = np.arange(4, dtype=np.float64)
+        stack = []
+        for kind in kinds:
+            maps = [(host, kind)]
+            env.begin(maps)
+            stack.append(maps)
+        assert env.refcount(host) == len(kinds)
+        while stack:
+            env.end(stack.pop())
+        assert env.num_present == 0

@@ -1,0 +1,97 @@
+"""Interop objects: init/use/destroy and the property-query API."""
+
+import pytest
+
+from repro.errors import InteropError
+from repro.gpu.stream import Stream
+from repro.openmp.interop import (
+    interop_destroy,
+    interop_init,
+    interop_use,
+    omp_get_interop_int,
+    omp_get_interop_ptr,
+    omp_get_interop_str,
+    omp_interop_none,
+)
+
+
+class TestLifecycle:
+    def test_none_sentinel(self):
+        assert omp_interop_none is None
+
+    def test_init_creates_stream(self, nvidia):
+        obj = interop_init(targetsync=True, device=nvidia)
+        try:
+            assert isinstance(obj.targetsync, Stream)
+            assert not obj.is_destroyed
+        finally:
+            interop_destroy(obj)
+
+    def test_init_requires_targetsync(self, nvidia):
+        with pytest.raises(InteropError, match="targetsync"):
+            interop_init(targetsync=False, device=nvidia)
+
+    def test_use_synchronizes(self, nvidia):
+        obj = interop_init(device=nvidia)
+        try:
+            log = []
+            obj.targetsync.enqueue(lambda: log.append(1))
+            interop_use(obj)
+            assert log == [1]
+        finally:
+            interop_destroy(obj)
+
+    def test_destroy_drains_then_closes(self, nvidia):
+        obj = interop_init(device=nvidia)
+        log = []
+        obj.targetsync.enqueue(lambda: log.append("work"))
+        interop_destroy(obj)
+        assert log == ["work"]
+        assert obj.is_destroyed
+
+    def test_use_after_destroy_rejected(self, nvidia):
+        obj = interop_init(device=nvidia)
+        interop_destroy(obj)
+        with pytest.raises(InteropError, match="destroy"):
+            obj.targetsync
+
+    def test_double_destroy_is_noop(self, nvidia):
+        obj = interop_init(device=nvidia)
+        interop_destroy(obj)
+        interop_destroy(obj)
+
+
+class TestPropertyQueries:
+    def test_device_num(self, amd):
+        obj = interop_init(device=amd)
+        try:
+            assert omp_get_interop_int(obj, "device_num") == amd.ordinal
+        finally:
+            interop_destroy(obj)
+
+    def test_targetsync_ptr(self, nvidia):
+        obj = interop_init(device=nvidia)
+        try:
+            assert omp_get_interop_ptr(obj, "targetsync") is obj.targetsync
+        finally:
+            interop_destroy(obj)
+
+    def test_vendor_string(self, nvidia, amd):
+        for device, vendor in ((nvidia, "nvidia"), (amd, "amd")):
+            obj = interop_init(device=device)
+            try:
+                assert omp_get_interop_str(obj, "vendor") == vendor
+            finally:
+                interop_destroy(obj)
+
+    def test_unknown_properties_rejected(self, nvidia):
+        obj = interop_init(device=nvidia)
+        try:
+            with pytest.raises(InteropError):
+                omp_get_interop_int(obj, "nope")
+            with pytest.raises(InteropError):
+                omp_get_interop_ptr(obj, "nope")
+            with pytest.raises(InteropError):
+                omp_get_interop_str(obj, "nope")
+        finally:
+            interop_destroy(obj)

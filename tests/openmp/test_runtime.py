@@ -1,0 +1,35 @@
+"""Host-side OpenMP runtime API (device queries, ICVs)."""
+
+import pytest
+
+from repro.errors import GpuError
+from repro.openmp.runtime import (
+    omp_get_default_device,
+    omp_get_initial_device,
+    omp_get_num_devices,
+    omp_set_default_device,
+)
+
+
+class TestDeviceQueries:
+    def test_three_devices_registered(self):
+        # A100 + the MI250's two GCDs (each GCD is an OpenMP device)
+        assert omp_get_num_devices() == 3
+
+    def test_initial_device_is_host(self):
+        assert omp_get_initial_device() == -1
+
+    def test_default_device(self):
+        assert omp_get_default_device() == 0
+
+    def test_set_default_device(self):
+        omp_set_default_device(1)
+        try:
+            assert omp_get_default_device() == 1
+        finally:
+            omp_set_default_device(0)
+
+    def test_set_invalid_device(self):
+        with pytest.raises(GpuError):
+            omp_set_default_device(5)
+        assert omp_get_default_device() == 0  # unchanged after failure

@@ -1,0 +1,101 @@
+"""Occupancy: limiters, bounds, monotonicity."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PerfModelError
+from repro.gpu.device import A100_SPEC, MI250_SPEC
+from repro.perf.occupancy import compute_occupancy
+
+
+class TestLimiters:
+    def test_thread_limited(self):
+        # 256-thread blocks, few registers: blocks = 2048/256 = 8
+        info = compute_occupancy(A100_SPEC, 256, 32)
+        assert info.limiter == "threads"
+        assert info.blocks_per_sm == 8
+        assert info.occupancy == 1.0
+
+    def test_register_limited(self):
+        # 128 registers/thread * 256 threads = 32768 per block -> 2 blocks
+        info = compute_occupancy(A100_SPEC, 256, 128)
+        assert info.limiter == "registers"
+        assert info.blocks_per_sm == 2
+        assert info.occupancy == pytest.approx(0.25)
+        assert info.is_register_limited
+
+    def test_shared_limited(self):
+        # 40 KB per block on a 164 KB SM -> 4 blocks of 128 threads
+        info = compute_occupancy(A100_SPEC, 128, 32, shared_bytes_per_block=40 * 1024)
+        assert info.limiter == "shared"
+        assert info.blocks_per_sm == 4
+
+    def test_block_slot_limited(self):
+        # tiny blocks: 2048/32 = 64 > 32 block slots
+        info = compute_occupancy(A100_SPEC, 32, 16)
+        assert info.limiter == "blocks"
+        assert info.blocks_per_sm == 32
+        assert info.occupancy == pytest.approx(0.5)
+
+    def test_mi250_bigger_register_file(self):
+        """The MI250's doubled register file tolerates fatter kernels."""
+        a100 = compute_occupancy(A100_SPEC, 256, 128)
+        mi250 = compute_occupancy(MI250_SPEC, 256, 128)
+        assert mi250.blocks_per_sm > a100.blocks_per_sm
+
+
+class TestValidation:
+    def test_zero_block(self):
+        with pytest.raises(PerfModelError):
+            compute_occupancy(A100_SPEC, 0, 32)
+
+    def test_block_exceeds_device(self):
+        with pytest.raises(PerfModelError):
+            compute_occupancy(A100_SPEC, 2048, 32)
+
+    def test_zero_registers(self):
+        with pytest.raises(PerfModelError):
+            compute_occupancy(A100_SPEC, 128, 0)
+
+    def test_negative_shared(self):
+        with pytest.raises(PerfModelError):
+            compute_occupancy(A100_SPEC, 128, 32, shared_bytes_per_block=-1)
+
+    def test_unresidentable_kernel(self):
+        with pytest.raises(PerfModelError, match="resident"):
+            compute_occupancy(A100_SPEC, 1024, 32, shared_bytes_per_block=200 * 1024)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        block=st.sampled_from([32, 64, 128, 256, 512, 1024]),
+        regs=st.integers(16, 200),
+    )
+    def test_occupancy_in_unit_interval(self, block, regs):
+        assume(block * regs <= A100_SPEC.registers_per_sm)
+        info = compute_occupancy(A100_SPEC, block, regs)
+        assert 0 < info.occupancy <= 1.0
+        assert info.blocks_per_sm >= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        block=st.sampled_from([64, 128, 256]),
+        regs=st.integers(16, 120),
+    )
+    def test_more_registers_never_raise_occupancy(self, block, regs):
+        assume(block * (regs + 40) <= A100_SPEC.registers_per_sm)
+        lo = compute_occupancy(A100_SPEC, block, regs)
+        hi = compute_occupancy(A100_SPEC, block, regs + 40)
+        assert hi.occupancy <= lo.occupancy
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        block=st.sampled_from([64, 128, 256]),
+        shared=st.integers(0, 32 * 1024),
+    )
+    def test_more_shared_never_raises_occupancy(self, block, shared):
+        lo = compute_occupancy(A100_SPEC, block, 32, shared)
+        hi = compute_occupancy(A100_SPEC, block, 32, shared + 8 * 1024)
+        assert hi.occupancy <= lo.occupancy

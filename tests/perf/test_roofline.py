@@ -1,0 +1,149 @@
+"""Roofline model: footprints, saturation, divergence, bound selection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PerfModelError
+from repro.gpu.device import A100_SPEC, MI250_SPEC
+from repro.perf.roofline import Footprint, roofline_seconds, saturation
+
+
+class TestFootprint:
+    def test_defaults_zero(self):
+        fp = Footprint()
+        assert fp.global_bytes == 0
+        assert fp.warp_efficiency == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(PerfModelError):
+            Footprint(flops_fp64=-1)
+
+    def test_bad_warp_efficiency(self):
+        with pytest.raises(PerfModelError):
+            Footprint(warp_efficiency=0.0)
+        with pytest.raises(PerfModelError):
+            Footprint(warp_efficiency=1.5)
+
+    def test_scaled(self):
+        fp = Footprint(flops_fp64=100, global_read_bytes=200, special_ops=10)
+        scaled = fp.scaled(2.0)
+        assert scaled.flops_fp64 == 200
+        assert scaled.global_read_bytes == 400
+        assert scaled.special_ops == 20
+
+    def test_with_extra_global_bytes_splits(self):
+        fp = Footprint(global_read_bytes=100, global_write_bytes=100)
+        extended = fp.with_extra_global_bytes(50)
+        assert extended.global_read_bytes == 125
+        assert extended.global_write_bytes == 125
+
+
+class TestSaturation:
+    def test_saturates_at_knee(self):
+        assert saturation(0.35) == pytest.approx(1.0)
+        assert saturation(0.9) == 1.0
+
+    def test_linear_below_knee(self):
+        assert saturation(0.175) == pytest.approx(0.5)
+
+    def test_invalid_occupancy(self):
+        with pytest.raises(PerfModelError):
+            saturation(0.0)
+        with pytest.raises(PerfModelError):
+            saturation(1.5)
+
+
+class TestRoofline:
+    def test_memory_bound_kernel(self):
+        """Pure streaming: time == bytes / bandwidth."""
+        fp = Footprint(global_read_bytes=A100_SPEC.peak_bandwidth_gbs * 1e9)
+        t = roofline_seconds(fp, A100_SPEC, occupancy=1.0)
+        assert t == pytest.approx(1.0, rel=1e-6)
+
+    def test_compute_bound_kernel(self):
+        fp = Footprint(flops_fp64=A100_SPEC.peak_fp64_gflops * 1e9)
+        t = roofline_seconds(fp, A100_SPEC, occupancy=1.0)
+        assert t == pytest.approx(1.0, rel=1e-6)
+
+    def test_max_of_bounds(self):
+        """A kernel is priced by its slower bound, not the sum."""
+        fp = Footprint(
+            global_read_bytes=A100_SPEC.peak_bandwidth_gbs * 1e9,  # 1 s of memory
+            flops_fp64=A100_SPEC.peak_fp64_gflops * 1e8,           # 0.1 s of compute
+        )
+        t = roofline_seconds(fp, A100_SPEC, occupancy=1.0)
+        assert t == pytest.approx(1.0, rel=1e-6)
+
+    def test_special_ops_priced_per_device(self):
+        """The AIDW AMD effect: specials are slower on the MI250."""
+        fp = Footprint(special_ops=1e12)
+        t_nv = roofline_seconds(fp, A100_SPEC, occupancy=1.0)
+        t_amd = roofline_seconds(fp, MI250_SPEC, occupancy=1.0)
+        assert t_amd > 2 * t_nv
+
+    def test_low_occupancy_slows_down(self):
+        fp = Footprint(global_read_bytes=1e9)
+        fast = roofline_seconds(fp, A100_SPEC, occupancy=1.0)
+        slow = roofline_seconds(fp, A100_SPEC, occupancy=0.05)
+        assert slow > fast
+
+    def test_efficiency_scales_time(self):
+        fp = Footprint(global_read_bytes=1e9)
+        base = roofline_seconds(fp, A100_SPEC, occupancy=1.0, efficiency=1.0)
+        better = roofline_seconds(fp, A100_SPEC, occupancy=1.0, efficiency=1.1)
+        assert better == pytest.approx(base / 1.1)
+
+    def test_throughput_scale(self):
+        fp = Footprint(global_read_bytes=1e9)
+        base = roofline_seconds(fp, A100_SPEC, occupancy=1.0)
+        eighth = roofline_seconds(fp, A100_SPEC, occupancy=1.0, throughput_scale=1 / 8)
+        assert eighth == pytest.approx(base * 8)
+
+    def test_divergence_derates_amd_harder(self):
+        """64-wide wavefronts lose more to the same divergence."""
+        fp = Footprint(global_read_bytes=1e9, warp_efficiency=0.3)
+        fp_full = Footprint(global_read_bytes=1e9)
+        ratio_nv = (roofline_seconds(fp, A100_SPEC, occupancy=1.0)
+                    / roofline_seconds(fp_full, A100_SPEC, occupancy=1.0))
+        ratio_amd = (roofline_seconds(fp, MI250_SPEC, occupancy=1.0)
+                     / roofline_seconds(fp_full, MI250_SPEC, occupancy=1.0))
+        assert ratio_amd > ratio_nv > 1.0
+
+    def test_dependent_accesses_add_latency(self):
+        fp_with = Footprint(global_read_bytes=1e6, dependent_accesses=1e9)
+        fp_without = Footprint(global_read_bytes=1e6)
+        assert (roofline_seconds(fp_with, A100_SPEC, occupancy=1.0)
+                > roofline_seconds(fp_without, A100_SPEC, occupancy=1.0))
+
+    def test_validation(self):
+        fp = Footprint(global_read_bytes=1e6)
+        with pytest.raises(PerfModelError):
+            roofline_seconds(fp, A100_SPEC, occupancy=1.0, efficiency=0)
+        with pytest.raises(PerfModelError):
+            roofline_seconds(fp, A100_SPEC, occupancy=1.0, throughput_scale=0)
+        with pytest.raises(PerfModelError):
+            roofline_seconds(fp, A100_SPEC, occupancy=1.0, throughput_scale=2.0)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bytes_=st.floats(1e3, 1e12),
+        flops=st.floats(0, 1e13),
+        occ=st.floats(0.05, 1.0),
+    )
+    def test_time_is_positive_and_monotone_in_work(self, bytes_, flops, occ):
+        fp = Footprint(global_read_bytes=bytes_, flops_fp64=flops)
+        t1 = roofline_seconds(fp, A100_SPEC, occupancy=occ)
+        t2 = roofline_seconds(fp.scaled(2.0), A100_SPEC, occupancy=occ)
+        assert t1 > 0
+        assert t2 >= t1
+
+    @settings(max_examples=30, deadline=None)
+    @given(occ_lo=st.floats(0.05, 0.5), occ_delta=st.floats(0.01, 0.5))
+    def test_time_monotone_in_occupancy(self, occ_lo, occ_delta):
+        fp = Footprint(global_read_bytes=1e9)
+        occ_hi = min(1.0, occ_lo + occ_delta)
+        assert (roofline_seconds(fp, A100_SPEC, occupancy=occ_hi)
+                <= roofline_seconds(fp, A100_SPEC, occupancy=occ_lo) + 1e-12)

@@ -1,0 +1,138 @@
+"""Overheads and end-to-end estimate_time composition."""
+
+import numpy as np
+import pytest
+
+from repro import cuda, ompx
+from repro.compiler.compile import compile_kernel
+from repro.errors import PerfModelError
+from repro.gpu.device import A100_SPEC, MI250_SPEC
+from repro.openmp.codegen import RegionTraits, lower_region
+from repro.perf.overheads import (
+    globalization_extra_bytes,
+    launch_overhead_seconds,
+    throughput_scale,
+)
+from repro.perf.roofline import Footprint
+from repro.perf.timing import AMD_SYSTEM, NVIDIA_SYSTEM, estimate_time
+
+
+@cuda.kernel(sync_free=True)
+def simple_kernel(t, out, n):
+    i = t.global_thread_id
+    if i < n:
+        t.array(out, n, np.float64)[i] = i * 2.0
+
+
+def omp_body(indices, acc):
+    pass
+
+
+BARE = lower_region(RegionTraits(style="bare"))
+SPMD = lower_region(RegionTraits(spmd_amenable=True))
+GENERIC_SM = lower_region(
+    RegionTraits(spmd_amenable=False, state_machine_rewritable=False)
+)
+BUGGED = lower_region(RegionTraits(requested_thread_limit=256, thread_limit_bug=True))
+
+
+class TestLaunchOverhead:
+    def test_bare_pays_only_driver_latency(self):
+        assert launch_overhead_seconds(BARE, A100_SPEC) == pytest.approx(
+            A100_SPEC.kernel_launch_latency_us * 1e-6
+        )
+
+    def test_runtime_init_adds_cost(self):
+        assert launch_overhead_seconds(SPMD, A100_SPEC) > launch_overhead_seconds(BARE, A100_SPEC)
+
+    def test_generic_init_costs_more_than_spmd(self):
+        assert launch_overhead_seconds(GENERIC_SM, A100_SPEC) > launch_overhead_seconds(SPMD, A100_SPEC)
+
+
+class TestThroughputScale:
+    def test_clean_kernel_keeps_full_throughput(self):
+        assert throughput_scale(SPMD, requested_block_threads=256, spec=A100_SPEC) == 1.0
+
+    def test_thread_limit_bug_loses_proportionally(self):
+        """Adam's 8x: 256 requested, 32 delivered."""
+        scale = throughput_scale(BUGGED, requested_block_threads=256, spec=A100_SPEC)
+        assert scale == pytest.approx(32 / 256)
+
+    def test_state_machine_parks_worker_warps(self):
+        scale = throughput_scale(GENERIC_SM, requested_block_threads=256, spec=A100_SPEC)
+        assert scale == pytest.approx(1 / 8)  # 8 warps per 256-thread block
+
+    def test_scales_compose(self):
+        bug_and_sm = lower_region(
+            RegionTraits(
+                spmd_amenable=False,
+                state_machine_rewritable=False,
+                requested_thread_limit=256,
+                thread_limit_bug=True,
+            )
+        )
+        scale = throughput_scale(bug_and_sm, requested_block_threads=256, spec=A100_SPEC)
+        assert scale == pytest.approx((32 / 256) * 1.0)  # one warp left: no workers to park
+
+    def test_validation(self):
+        with pytest.raises(PerfModelError):
+            throughput_scale(SPMD, requested_block_threads=0, spec=A100_SPEC)
+
+
+class TestGlobalizationTraffic:
+    def test_heap_locals_cost_traffic(self):
+        heavy = lower_region(RegionTraits(escaping_local_bytes=64 * 1024))
+        assert globalization_extra_bytes(heavy, teams=100) > 0
+
+    def test_shared_locals_cost_nothing(self):
+        light = lower_region(RegionTraits(escaping_local_bytes=1024))
+        assert globalization_extra_bytes(light, teams=100) == 0
+
+    def test_negative_teams_rejected(self):
+        with pytest.raises(PerfModelError):
+            globalization_extra_bytes(BARE, teams=-1)
+
+
+class TestEstimateTime:
+    def test_breakdown_is_consistent(self):
+        ck = compile_kernel(simple_kernel, A100_SPEC)
+        fp = Footprint(global_read_bytes=1e9, global_write_bytes=1e9)
+        tb = estimate_time(ck, fp, block_threads=256, teams=1000, launches=10)
+        assert tb.total_s == pytest.approx(tb.kernel_s + tb.overhead_s)
+        assert tb.per_launch_s == pytest.approx(tb.total_s / 10)
+        assert tb.launches == 10
+
+    def test_more_launches_cost_more(self):
+        ck = compile_kernel(simple_kernel, A100_SPEC)
+        fp = Footprint(global_read_bytes=1e8)
+        one = estimate_time(ck, fp, block_threads=256, teams=100, launches=1)
+        ten = estimate_time(ck, fp, block_threads=256, teams=100, launches=10)
+        assert ten.total_s == pytest.approx(10 * one.total_s)
+
+    def test_thread_bug_shrinks_effective_block(self):
+        ck = compile_kernel(
+            omp_body, A100_SPEC, language="omp",
+            region_traits=RegionTraits(requested_thread_limit=256, thread_limit_bug=True),
+        )
+        fp = Footprint(flops_fp64=1e9)
+        tb = estimate_time(ck, fp, block_threads=256, teams=100)
+        assert tb.throughput_scale == pytest.approx(32 / 256)
+
+    def test_validation(self):
+        ck = compile_kernel(simple_kernel, A100_SPEC)
+        fp = Footprint(global_read_bytes=1e6)
+        with pytest.raises(PerfModelError):
+            estimate_time(ck, fp, block_threads=256, teams=0)
+        with pytest.raises(PerfModelError):
+            estimate_time(ck, fp, block_threads=256, teams=1, launches=0)
+
+
+class TestSystemPresets:
+    def test_figure7_values(self):
+        assert NVIDIA_SYSTEM.gpu is A100_SPEC
+        assert NVIDIA_SYSTEM.sdk == "CUDA 11.8"
+        assert NVIDIA_SYSTEM.native_language == "cuda"
+        assert AMD_SYSTEM.gpu is MI250_SPEC
+        assert AMD_SYSTEM.sdk == "ROCm 5.5"
+        assert AMD_SYSTEM.vendor_compiler == "hipcc"
+        assert NVIDIA_SYSTEM.cpu == AMD_SYSTEM.cpu == "AMD EPYC 7532"

@@ -1,0 +1,95 @@
+"""Host-device transfer model and end-to-end estimates."""
+
+import pytest
+
+from repro.apps import ALL_APPS, Adam, Stencil1D, VersionLabel
+from repro.errors import PerfModelError
+from repro.perf import (
+    AMD_SYSTEM,
+    INFINITY_FABRIC_HOST,
+    NVIDIA_SYSTEM,
+    PCIE4_X16,
+    HostLink,
+    TransferPlan,
+    transfer_seconds,
+)
+
+
+class TestHostLink:
+    def test_presets(self):
+        assert PCIE4_X16.bandwidth_gbs == 25.0
+        assert INFINITY_FABRIC_HOST.bandwidth_gbs > PCIE4_X16.bandwidth_gbs
+
+    def test_systems_carry_links(self):
+        assert NVIDIA_SYSTEM.host_link is PCIE4_X16
+        assert AMD_SYSTEM.host_link is INFINITY_FABRIC_HOST
+
+    def test_validation(self):
+        with pytest.raises(PerfModelError):
+            HostLink(name="bad", bandwidth_gbs=0)
+        with pytest.raises(PerfModelError):
+            HostLink(name="bad", bandwidth_gbs=1, latency_us=-1)
+
+
+class TestTransferSeconds:
+    def test_bandwidth_term(self):
+        # 25 GB over a 25 GB/s link ~= 1 s (+ latency)
+        t = transfer_seconds(25e9, PCIE4_X16)
+        assert t == pytest.approx(1.0 + 10e-6)
+
+    def test_latency_per_transfer(self):
+        one = transfer_seconds(0, PCIE4_X16, transfers=1)
+        ten = transfer_seconds(0, PCIE4_X16, transfers=10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_zero_is_free(self):
+        assert transfer_seconds(0, PCIE4_X16, transfers=0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(PerfModelError):
+            transfer_seconds(-1, PCIE4_X16)
+        with pytest.raises(PerfModelError):
+            transfer_seconds(1, PCIE4_X16, transfers=-1)
+
+    def test_plan_sums_directions(self):
+        plan = TransferPlan(h2d_bytes=1e9, d2h_bytes=2e9)
+        expected = transfer_seconds(1e9, PCIE4_X16) + transfer_seconds(2e9, PCIE4_X16)
+        assert plan.seconds(PCIE4_X16) == pytest.approx(expected)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("app_cls", ALL_APPS, ids=lambda c: c.name)
+    def test_end_to_end_at_least_kernel_time(self, app_cls):
+        app = app_cls()
+        params = app.paper_params()
+        kernel_s = app.estimate(VersionLabel.OMPX, NVIDIA_SYSTEM, params).total_s
+        e2e = app.estimate_end_to_end(VersionLabel.OMPX, NVIDIA_SYSTEM, params)
+        assert e2e >= kernel_s
+
+    def test_transfer_plans_are_nonempty(self):
+        for app_cls in ALL_APPS:
+            app = app_cls()
+            plan = app.transfer_plan(app.paper_params())
+            assert plan.h2d_bytes > 0 and plan.d2h_bytes > 0, app.name
+
+    def test_stencil_amortizes_transfers_over_iterations(self):
+        """1000 iterations on-device, one upload/download pair: the
+        transfer share must be small for the iterated stencil."""
+        app = Stencil1D()
+        params = app.paper_params()
+        kernel_s = app.estimate(VersionLabel.OMPX, NVIDIA_SYSTEM, params).total_s
+        e2e = app.estimate_end_to_end(VersionLabel.OMPX, NVIDIA_SYSTEM, params)
+        assert (e2e - kernel_s) / e2e < 0.15
+
+    def test_adam_is_transfer_sensitive(self):
+        """A microsecond-scale kernel feels even tiny transfers."""
+        app = Adam()
+        params = app.paper_params()
+        kernel_s = app.estimate(VersionLabel.OMPX, NVIDIA_SYSTEM, params).total_s
+        e2e = app.estimate_end_to_end(VersionLabel.OMPX, NVIDIA_SYSTEM, params)
+        assert (e2e - kernel_s) / e2e > 0.05
+
+    def test_amd_link_is_faster(self):
+        """The same plan moves faster over Infinity Fabric."""
+        plan = TransferPlan(h2d_bytes=10e9, d2h_bytes=10e9)
+        assert plan.seconds(INFINITY_FABRIC_HOST) < plan.seconds(PCIE4_X16)

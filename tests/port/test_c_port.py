@@ -1,0 +1,142 @@
+"""The C-source rewriting tool: CUDA C text -> OpenMP + ompx text."""
+
+import pytest
+
+from repro.errors import PortError
+from repro.port import port_c_source
+
+
+class TestDeviceCode:
+    def test_thread_indexing_tokens(self):
+        out = port_c_source("int i = blockIdx.x * blockDim.x + threadIdx.x;")
+        assert out == "int i = ompx_block_id_x() * ompx_block_dim_x() + ompx_thread_id_x();"
+
+    def test_all_three_dimensions(self):
+        src = "threadIdx.y + threadIdx.z + blockIdx.y + gridDim.z"
+        out = port_c_source(src)
+        for token in ("ompx_thread_id_y()", "ompx_thread_id_z()",
+                      "ompx_block_id_y()", "ompx_grid_dim_z()"):
+            assert token in out
+
+    def test_syncthreads(self):
+        assert port_c_source("__syncthreads();") == "ompx_sync_thread_block();"
+
+    def test_shared_declaration_gets_groupprivate_pragma(self):
+        out = port_c_source("__shared__ float tile[128];")
+        assert "float tile[128];" in out
+        assert "#pragma omp groupprivate(team: tile)" in out
+
+    def test_shared_2d_array(self):
+        out = port_c_source("__shared__ double buf[16][16];")
+        assert "#pragma omp groupprivate(team: buf)" in out
+
+    def test_device_keyword_dropped(self):
+        out = port_c_source("__device__ int use(int a) { return a; }")
+        assert "__device__" not in out
+        assert "int use(int a)" in out
+
+    def test_global_kernel_becomes_plain_function(self):
+        out = port_c_source("__global__ void k(int *a) {}")
+        assert out == "void k(int *a) {}"
+
+    def test_warp_primitive_mask_reordered(self):
+        out = port_c_source("v = __shfl_down_sync(0xffffffff, value, 4);")
+        assert out == "v = ompx_shfl_down_sync(value, 4, 0xffffffff);"
+
+    def test_warp_primitive_with_nested_parens(self):
+        out = port_c_source("v = __shfl_sync(mask, f(a, b), lane(i));")
+        assert out == "v = ompx_shfl_sync(f(a, b), lane(i), mask);"
+
+    def test_ballot_and_votes(self):
+        out = port_c_source("b = __ballot_sync(m, p); a = __any_sync(m, q);")
+        assert "ompx_ballot_sync(p, m)" in out
+        assert "ompx_any_sync(q, m)" in out
+
+    def test_atomics_renamed(self):
+        out = port_c_source("atomicAdd(&x[0], 1); atomicCAS(&y, old, val);")
+        assert "ompx_atomic_add(&x[0], 1)" in out
+        assert "ompx_atomic_cas(&y, old, val)" in out
+
+    def test_warp_size_token(self):
+        assert "ompx_warp_size()" in port_c_source("int w = warpSize;")
+
+
+class TestLaunches:
+    def test_simple_chevron(self):
+        out = port_c_source("kernel<<<grid, block>>>(a, b, n);")
+        assert "#pragma omp target teams ompx_bare num_teams(grid) thread_limit(block)" in out
+        assert "kernel(a, b, n);" in out
+        assert "<<<" not in out
+
+    def test_chevron_with_expressions(self):
+        out = port_c_source("k<<<(n + 255) / 256, 256>>>(x);")
+        assert "num_teams((n + 255) / 256) thread_limit(256)" in out
+
+    def test_chevron_with_stream_becomes_interop_depend(self):
+        """A stream argument maps onto the §3.5 interopobj dependence."""
+        out = port_c_source("k<<<g, b, 0, stream>>>(x);")
+        assert "nowait depend(interopobj: stream)" in out
+
+    def test_chevron_without_stream_is_synchronous(self):
+        out = port_c_source("k<<<g, b>>>(x);")
+        assert "nowait" not in out
+
+
+class TestHostApi:
+    def test_host_calls_renamed(self):
+        src = (
+            "cudaMalloc(&d, n); cudaMemcpy(d, h, n, cudaMemcpyHostToDevice);\n"
+            "cudaDeviceSynchronize(); cudaFree(d);"
+        )
+        out = port_c_source(src)
+        assert "ompx_malloc(&d, n)" in out
+        assert "ompx_memcpy(d, h, n" in out
+        assert "ompx_device_synchronize()" in out
+        assert "ompx_free(d)" in out
+
+    def test_stream_api_renamed(self):
+        out = port_c_source("cudaStreamCreate(&s); cudaStreamSynchronize(s);")
+        assert "ompx_stream_create(&s)" in out
+        assert "ompx_stream_synchronize(s)" in out
+
+
+class TestWholeProgram:
+    def test_figure1_translates_cleanly(self):
+        """The paper's Figure 1, end to end: no CUDA tokens survive."""
+        figure1 = """
+        __device__ int use(int &a, int &b) { return a + b; }
+        __global__ void kernel(int *a, int *b, int n) {
+          __shared__ int shared[128];
+          int tid = threadIdx.x;
+          __syncthreads();
+          int idx = blockIdx.x * blockDim.x + tid;
+          if (idx < n) b[idx] = use(a[idx], shared[tid]);
+        }
+        int main() {
+          cudaMalloc(&d_a, size);
+          cudaMemcpy(d_a, h_a, size, cudaMemcpyHostToDevice);
+          kernel<<<gsize, bsize>>>(d_a, d_b, n);
+          cudaMemcpy(h_b, d_b, size, cudaMemcpyDeviceToHost);
+          cudaDeviceSynchronize();
+          cudaFree(d_a);
+        }
+        """
+        out = port_c_source(figure1)
+        for forbidden in ("__global__", "__device__", "__shared__",
+                          "__syncthreads", "threadIdx", "blockIdx", "blockDim",
+                          "cudaMalloc", "cudaMemcpy", "cudaFree", "<<<"):
+            assert forbidden not in out, forbidden
+        assert "#pragma omp target teams ompx_bare" in out
+        assert "#pragma omp groupprivate(team: shared)" in out
+
+    def test_unknown_constructs_pass_through(self):
+        src = "int x = someFunction(a, b); // arbitrary host code"
+        assert port_c_source(src) == src
+
+    def test_non_string_rejected(self):
+        with pytest.raises(PortError, match="source text"):
+            port_c_source(42)
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(PortError, match="unbalanced"):
+            port_c_source("__shfl_sync(a, b")

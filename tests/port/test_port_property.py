@@ -1,0 +1,122 @@
+"""Property-based test of the porting pipeline.
+
+Hypothesis generates small CUDA-DSL kernels from a grammar (index
+arithmetic, optional shared-memory staging with a barrier, optional warp
+shuffles, an array write), the rule-table port translates them, and both
+versions run on the virtual GPU.  The ported kernel must produce
+bit-identical output — the strongest form of the paper's claim that the
+translation is semantics-preserving renaming.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cuda, ompx
+from repro.gpu import get_device
+from repro.port import port_kernel
+
+BLOCK = 32
+GRID = 2
+N = BLOCK * GRID
+
+_INDEX_EXPRS = (
+    "t.threadIdx.x",
+    "t.blockIdx.x",
+    "t.blockDim.x",
+    "t.laneid",
+    "t.blockIdx.x * t.blockDim.x + t.threadIdx.x",
+)
+
+_SHUFFLES = (
+    "t.shfl_down_sync(cuda.FULL_MASK, v, 1)",
+    "t.shfl_up_sync(cuda.FULL_MASK, v, 2)",
+    "t.shfl_xor_sync(cuda.FULL_MASK, v, 3)",
+    "t.shfl_sync(cuda.FULL_MASK, v, 0)",
+)
+
+
+@st.composite
+def kernel_sources(draw) -> str:
+    """Generate the source of a small but structurally varied CUDA kernel."""
+    lines = ["def generated_kernel(t, d_out, n):"]
+    index = draw(st.sampled_from(_INDEX_EXPRS))
+    scale = draw(st.integers(1, 7))
+    offset = draw(st.integers(0, 9))
+    lines.append(f"    v = ({index}) * {scale} + {offset}")
+
+    use_shared = draw(st.booleans())
+    if use_shared:
+        lines.append("    tile = t.shared('tile', 32, np.int64)")
+        lines.append("    tile[t.threadIdx.x] = v")
+        lines.append("    t.syncthreads()")
+        rotate = draw(st.integers(1, 31))
+        lines.append(f"    v = tile[(t.threadIdx.x + {rotate}) % 32]")
+
+    use_shuffle = draw(st.booleans())
+    if use_shuffle:
+        shuffle = draw(st.sampled_from(_SHUFFLES))
+        lines.append(f"    v = v + {shuffle}")
+
+    use_branch = draw(st.booleans())
+    if use_branch:
+        threshold = draw(st.integers(1, 31))
+        lines.append(f"    if t.threadIdx.x < {threshold}:")
+        lines.append(f"        v = v * 2")
+
+    lines.append("    i = t.blockIdx.x * t.blockDim.x + t.threadIdx.x")
+    lines.append("    if i < n:")
+    lines.append("        t.array(d_out, n, np.int64)[i] = v")
+    return "\n".join(lines) + "\n"
+
+
+def _build_kernel(source: str):
+    namespace = {"np": np, "cuda": cuda}
+    # attach fake source so inspect.getsource works for the port tool
+    import linecache
+
+    filename = f"<generated-{abs(hash(source))}>"
+    linecache.cache[filename] = (len(source), None, source.splitlines(True), filename)
+    code = compile(source, filename, "exec")
+    exec(code, namespace)
+    return cuda.kernel(namespace["generated_kernel"])
+
+
+def _run(kernel_obj, is_ompx: bool) -> np.ndarray:
+    device = get_device(0)
+    d_out = device.allocator.malloc(N * 8)
+    try:
+        if is_ompx:
+            ompx.target_teams_bare(device, GRID, BLOCK, kernel_obj, (d_out, N))
+        else:
+            cuda.launch(kernel_obj, GRID, BLOCK, (d_out, N), device=device)
+            device.synchronize()
+        out = np.zeros(N, dtype=np.int64)
+        device.allocator.memcpy_d2h(out, d_out)
+        return out
+    finally:
+        device.allocator.free(d_out)
+
+
+@settings(max_examples=40, deadline=None)
+@given(kernel_sources())
+def test_ported_kernel_is_bit_identical(source):
+    kernel_obj = _build_kernel(source)
+    ported = port_kernel(kernel_obj)
+    original_out = _run(kernel_obj, is_ompx=False)
+    ported_out = _run(ported, is_ompx=True)
+    assert np.array_equal(original_out, ported_out), source
+
+
+@settings(max_examples=15, deadline=None)
+@given(kernel_sources())
+def test_ported_source_has_no_cuda_spellings(source):
+    from repro.port import port_kernel_source
+
+    kernel_obj = _build_kernel(source)
+    ported_src = port_kernel_source(kernel_obj)
+    for forbidden in ("threadIdx", "blockIdx", "blockDim", "syncthreads",
+                      "t.shared(", "laneid"):
+        assert forbidden not in ported_src, (forbidden, ported_src)
