@@ -1,0 +1,160 @@
+"""Engine throughput: the lane-batched WaveVectorEngine must beat the
+scalar engines by an order of magnitude at paper-relevant thread counts.
+
+These are wall-clock tests of the *simulator* (not the performance model),
+so they are marked ``slow`` and excluded from the tier-1 run.  The
+contract they pin down:
+
+* a 1M-thread sync-free kernel runs >= 10x faster under ``"vector"`` than
+  under ``"map"`` (same bits out);
+* the XSBench lookup kernel sustains >= 10x the MapEngine's throughput at
+  1M lookups;
+* the Stencil-1D kernel sustains >= 10x the cooperative BlockThreadEngine's
+  throughput at 1M threads under ``"wave"`` (MapEngine cannot legally run
+  a barrier kernel, so the SIMT reference engine is the scalar baseline).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.gpu.launch as launch_mod
+from repro.apps import Stencil1D, XSBench
+from repro.apps.common import VersionLabel
+from repro.gpu import LaunchConfig, get_device, launch_kernel
+
+pytestmark = pytest.mark.slow
+
+_ONE_MILLION = 1 << 20
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+class _ForcedEngine:
+    """Engine proxy pinning every launch in a block to one engine."""
+
+    def __init__(self, engine):
+        self._engine = engine
+
+    @property
+    def name(self):
+        return self._engine.name
+
+    def run(self, *args, **kwargs):
+        return self._engine.run(*args, **kwargs)
+
+
+def _run_forced(app, params, engine_name, device):
+    """Time the app's CUDA variant with every launch pinned to one engine."""
+    from repro.gpu.engine import _ENGINES_BY_NAME
+
+    proxy = _ForcedEngine(_ENGINES_BY_NAME[engine_name])
+    original = launch_mod.select_engine
+    launch_mod.select_engine = lambda *a, **k: proxy
+    try:
+        return _timed(
+            lambda: app.run_functional(VersionLabel.NATIVE_LLVM, params, device)
+        )
+    finally:
+        launch_mod.select_engine = original
+
+
+def test_vector_beats_map_10x_on_1m_element_kernel():
+    """The headline contract: 1M sync-free threads, >= 10x, same bits."""
+    device = get_device(0)
+    n, block = _ONE_MILLION, 256
+    grid = n // block
+
+    def saxpy(ctx, d_x, d_y, a, n):
+        xv = ctx.deref(d_x, n, np.float64)
+        yv = ctx.deref(d_y, n, np.float64)
+        i = ctx.global_flat_id
+        ctx.store(yv, i, a * ctx.load(xv, i) + ctx.load(yv, i))
+
+    saxpy.sync_free = True
+    rng = np.random.default_rng(11)
+    h_x, h_y = rng.random(n), rng.random(n)
+    alloc = device.allocator
+    d_x, d_y = alloc.malloc(n * 8), alloc.malloc(n * 8)
+    outputs, seconds = {}, {}
+    try:
+        for engine in ("map", "vector"):
+            alloc.memcpy_h2d(d_x, h_x)
+            alloc.memcpy_h2d(d_y, h_y)
+            config = LaunchConfig.create(grid, block, engine=engine)
+            stats, seconds[engine] = _timed(
+                lambda: launch_kernel(config, saxpy, (d_x, d_y, 2.5, n), device)
+            )
+            assert stats.engine == engine and stats.threads_run == n
+            out = np.zeros(n)
+            alloc.memcpy_d2h(out, d_y)
+            outputs[engine] = out
+    finally:
+        for ptr in (d_x, d_y):
+            alloc.free(ptr)
+
+    assert np.array_equal(outputs["vector"], outputs["map"])
+    assert np.array_equal(outputs["vector"], 2.5 * h_x + h_y)
+    speedup = seconds["map"] / seconds["vector"]
+    print(
+        f"\nsaxpy {n} threads: map {seconds['map']:.2f}s, "
+        f"vector {seconds['vector']:.3f}s -> {speedup:.0f}x"
+    )
+    assert speedup >= 10.0
+
+
+def test_xsbench_vector_10x_map_throughput_at_1m_lookups():
+    device = get_device(0)
+    app = XSBench()
+    # Reduced table (so the MapEngine baseline finishes), full 1M lookups.
+    mat_counts = (10, 3, 2, 2, 6, 5, 5, 5, 5, 5, 3, 3)
+    params_big = {
+        "n_isotopes": 64, "n_gridpoints": 512, "lookups": _ONE_MILLION,
+        "block": 256, "mat_counts": mat_counts,
+    }
+    params_small = dict(params_big, lookups=1 << 15)
+
+    big, t_vector = _run_forced(app, params_big, "vector", device)
+    small_map, t_map = _run_forced(app, params_small, "map", device)
+    small_vector, _ = _run_forced(app, params_small, "vector", device)
+
+    # bit-identical: vector == map where both can run, vector == reference
+    assert np.array_equal(small_vector.output, small_map.output)
+    assert np.array_equal(big.output, app.reference(params_big))
+
+    vector_rate = params_big["lookups"] / t_vector
+    map_rate = params_small["lookups"] / t_map
+    print(
+        f"\nxsbench: vector {vector_rate:,.0f} lookups/s (1M in {t_vector:.2f}s), "
+        f"map {map_rate:,.0f} lookups/s -> {vector_rate / map_rate:.0f}x"
+    )
+    assert vector_rate >= 10.0 * map_rate
+
+
+def test_stencil_wave_10x_cooperative_throughput_at_1m_threads():
+    device = get_device(0)
+    app = Stencil1D()
+    params_big = {"n": _ONE_MILLION, "iterations": 1, "radius": 4, "block": 256}
+    params_small = dict(params_big, n=1 << 12)
+
+    big, t_wave = _run_forced(app, params_big, "wave", device)
+    small_coop, t_coop = _run_forced(app, params_small, "block-thread", device)
+    small_wave, _ = _run_forced(app, params_small, "wave", device)
+
+    # bit-identity holds across engines (the reference sums its window
+    # with NumPy's pairwise order, so it is only approximately equal)
+    assert np.array_equal(small_wave.output, small_coop.output)
+    assert app.verify(big, params_big)
+
+    wave_rate = params_big["n"] / t_wave
+    coop_rate = params_small["n"] / t_coop
+    print(
+        f"\nstencil: wave {wave_rate:,.0f} threads/s (1M in {t_wave:.2f}s), "
+        f"block-thread {coop_rate:,.0f} threads/s -> {wave_rate / coop_rate:.0f}x"
+    )
+    assert wave_rate >= 10.0 * coop_rate

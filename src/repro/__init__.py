@@ -16,6 +16,35 @@ Layer map (bottom to top):
 * :mod:`repro.port`     — the CUDA -> ompx source rewriting tools.
 * :mod:`repro.harness`  — regenerates Figures 6, 7 and 8.
 
+Execution engines
+-----------------
+
+Every front end (CUDA chevron, HIP, ``target teams``, ``ompx_bare``)
+launches through :func:`repro.gpu.launch_kernel` with a config-first
+signature — ``launch_kernel(LaunchConfig.create(grid, block), kernel,
+args, dev)``.  Three engines execute kernels on the virtual GPU, chosen
+per launch by :func:`repro.gpu.engine.select_engine`:
+
+* ``"block-thread"`` — one cooperative OS thread per GPU thread; the
+  full-SIMT reference for barriers, warp collectives and atomics.
+* ``"map"`` — ``sync_free`` kernels as a sequential per-thread loop.
+* ``"vector"`` / ``"wave"`` — the lane-batched
+  :class:`~repro.gpu.engine.WaveVectorEngine`: straight-line kernels
+  written against the portable ``select``/``load``/``store``/``loop_max``
+  intrinsics run as whole NumPy arrays, either fused across blocks
+  (sync-free ``"vector"`` mode) or one block per lockstep batch with real
+  shared memory (barrier-only ``"wave"`` mode).  This is what makes
+  paper-scale launch sizes tractable.
+
+An explicit ``LaunchConfig(engine=...)`` hint overrides the analysis;
+``vectorize=False`` on a kernel pins the legacy engines.  All engines
+produce bit-identical outputs and identical
+:class:`~repro.gpu.engine.KernelStats` for any kernel they can run.
+
+The pre-1.0 kernel-first ``launch_kernel(kernel, config, ...)`` order
+still works behind a ``DeprecationWarning`` shim; it will be removed in
+release 1.2 (see the README's deprecation timeline).
+
 Quickstart::
 
     import numpy as np

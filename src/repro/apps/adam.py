@@ -12,7 +12,6 @@ the LLVM thread-limit bug launching 32-thread blocks.
 
 from __future__ import annotations
 
-import math
 from typing import Mapping, Sequence, Tuple
 
 import numpy as np
@@ -35,55 +34,63 @@ _EPS = 1e-8
 
 
 def adam_update(w, g, m, v, b1_t, b2_t):
-    """One Adam step for one parameter (the __device__ helper)."""
+    """One Adam step for one parameter (the __device__ helper).
+
+    ``np.sqrt`` (bit-identical to ``math.sqrt`` on scalars) keeps the
+    helper polymorphic over scalar threads and lane batches.
+    """
     m = _BETA1 * m + (1.0 - _BETA1) * g
     v = _BETA2 * v + (1.0 - _BETA2) * g * g
     m_hat = m / (1.0 - b1_t)
     v_hat = v / (1.0 - b2_t)
-    w = w - _LR * m_hat / (math.sqrt(v_hat) + _EPS)
+    w = w - _LR * m_hat / (np.sqrt(v_hat) + _EPS)
     return w, m, v
 
 
-@cuda.kernel(sync_free=True)
+@cuda.kernel(sync_free=True, vectorize=True)
 def adam_cuda_kernel(t, d_w, d_g, d_m, d_v, n, steps):
     i = t.blockIdx.x * t.blockDim.x + t.threadIdx.x
-    if i >= n:
-        return
+    active = i < n
     wv = t.array(d_w, n, np.float64)
     gv = t.array(d_g, n, np.float64)
     mv = t.array(d_m, n, np.float64)
     vv = t.array(d_v, n, np.float64)
-    w, g, m, v = wv[i], gv[i], mv[i], vv[i]
+    w = t.load(wv, i)
+    g = t.load(gv, i)
+    m = t.load(mv, i)
+    v = t.load(vv, i)
     b1_t = 1.0
     b2_t = 1.0
     for _ in range(steps):
         b1_t *= _BETA1
         b2_t *= _BETA2
         w, m, v = adam_update(w, g, m, v, b1_t, b2_t)
-    wv[i] = w
-    mv[i] = m
-    vv[i] = v
+    t.store(wv, i, w, mask=active)
+    t.store(mv, i, m, mask=active)
+    t.store(vv, i, v, mask=active)
 
 
-@ompx.bare_kernel(sync_free=True)
+@ompx.bare_kernel(sync_free=True, vectorize=True)
 def adam_ompx_kernel(x, d_w, d_g, d_m, d_v, n, steps):
     i = x.block_id_x() * x.block_dim_x() + x.thread_id_x()
-    if i >= n:
-        return
+    active = i < n
     wv = x.array(d_w, n, np.float64)
     gv = x.array(d_g, n, np.float64)
     mv = x.array(d_m, n, np.float64)
     vv = x.array(d_v, n, np.float64)
-    w, g, m, v = wv[i], gv[i], mv[i], vv[i]
+    w = x.load(wv, i)
+    g = x.load(gv, i)
+    m = x.load(mv, i)
+    v = x.load(vv, i)
     b1_t = 1.0
     b2_t = 1.0
     for _ in range(steps):
         b1_t *= _BETA1
         b2_t *= _BETA2
         w, m, v = adam_update(w, g, m, v, b1_t, b2_t)
-    wv[i] = w
-    mv[i] = m
-    vv[i] = v
+    x.store(wv, i, w, mask=active)
+    x.store(mv, i, m, mask=active)
+    x.store(vv, i, v, mask=active)
 
 
 def adam_omp_body(indices: np.ndarray, acc, h_w, h_g, h_m, h_v, steps: int):

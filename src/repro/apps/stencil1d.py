@@ -32,14 +32,15 @@ _BLOCK = 256
 _DTYPE = np.float64
 
 
-def apply_boundary(value, in_range: bool):
+def apply_boundary(value, in_range):
     """The stencil's zero boundary — kept as a device function so the
     toolchain models see a call in the hot loop (the tutorial code has an
-    equivalent helper)."""
-    return value if in_range else 0.0
+    equivalent helper).  ``np.where`` keeps it polymorphic over scalar
+    threads and lane batches."""
+    return np.where(in_range, value, 0.0)
 
 
-@cuda.kernel
+@cuda.kernel(vectorize=True)
 def stencil_cuda_kernel(t, d_in, d_out, n, r):
     """The CUDA tutorial kernel: tile + halo staging, sync, windowed sum."""
     bdim = t.blockDim.x
@@ -47,22 +48,21 @@ def stencil_cuda_kernel(t, d_in, d_out, n, r):
     gid = t.blockIdx.x * bdim + t.threadIdx.x
     lid = t.threadIdx.x + r
     vin = t.array(d_in, n, _DTYPE)
-    tile[lid] = apply_boundary(vin[gid] if gid < n else 0.0, gid < n)
-    if t.threadIdx.x < r:
-        left = gid - r
-        tile[lid - r] = apply_boundary(vin[left] if left >= 0 else 0.0, left >= 0)
-        right = gid + bdim
-        tile[lid + bdim] = apply_boundary(vin[right] if right < n else 0.0, right < n)
+    t.store(tile, lid, apply_boundary(t.load(vin, gid), gid < n))
+    halo = t.threadIdx.x < r
+    left = gid - r
+    t.store(tile, lid - r, apply_boundary(t.load(vin, left), left >= 0), mask=halo)
+    right = gid + bdim
+    t.store(tile, lid + bdim, apply_boundary(t.load(vin, right), right < n), mask=halo)
     t.syncthreads()
-    if gid < n:
-        result = 0.0
-        for offset in range(-r, r + 1):
-            result += tile[lid + offset]
-        vout = t.array(d_out, n, _DTYPE)
-        vout[gid] = result
+    result = 0.0
+    for offset in range(-r, r + 1):
+        result = result + t.load(tile, lid + offset)
+    vout = t.array(d_out, n, _DTYPE)
+    t.store(vout, gid, result, mask=gid < n)
 
 
-@ompx.bare_kernel
+@ompx.bare_kernel(vectorize=True)
 def stencil_ompx_kernel(x, d_in, d_out, n, r):
     """The ompx port: the CUDA body with spellings swapped (paper §3.1)."""
     bdim = x.block_dim_x()
@@ -70,19 +70,18 @@ def stencil_ompx_kernel(x, d_in, d_out, n, r):
     gid = x.block_id_x() * bdim + x.thread_id_x()
     lid = x.thread_id_x() + r
     vin = x.array(d_in, n, _DTYPE)
-    tile[lid] = apply_boundary(vin[gid] if gid < n else 0.0, gid < n)
-    if x.thread_id_x() < r:
-        left = gid - r
-        tile[lid - r] = apply_boundary(vin[left] if left >= 0 else 0.0, left >= 0)
-        right = gid + bdim
-        tile[lid + bdim] = apply_boundary(vin[right] if right < n else 0.0, right < n)
+    x.store(tile, lid, apply_boundary(x.load(vin, gid), gid < n))
+    halo = x.thread_id_x() < r
+    left = gid - r
+    x.store(tile, lid - r, apply_boundary(x.load(vin, left), left >= 0), mask=halo)
+    right = gid + bdim
+    x.store(tile, lid + bdim, apply_boundary(x.load(vin, right), right < n), mask=halo)
     x.sync_thread_block()
-    if gid < n:
-        result = 0.0
-        for offset in range(-r, r + 1):
-            result += tile[lid + offset]
-        vout = x.array(d_out, n, _DTYPE)
-        vout[gid] = result
+    result = 0.0
+    for offset in range(-r, r + 1):
+        result = result + x.load(tile, lid + offset)
+    vout = x.array(d_out, n, _DTYPE)
+    x.store(vout, gid, result, mask=gid < n)
 
 
 def stencil_omp_body(indices: np.ndarray, acc, h_in: np.ndarray, h_out: np.ndarray, r: int):

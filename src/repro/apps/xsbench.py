@@ -45,83 +45,107 @@ _MAT_PROBS = (
 )
 
 
-def grid_search(egrid_row: np.ndarray, energy: float, ngp: int) -> int:
-    """Binary search for the interval with egrid[k] <= e < egrid[k+1].
+def grid_search(egrid, nuc, energy, ngp: int):
+    """Binary search for the interval with egrid[nuc, k] <= e < egrid[nuc, k+1].
 
     A __device__ function in the CUDA source; clamped to a valid interval
     at both ends (matches ``searchsorted(side='right') - 1`` clipped).
+    ``nuc`` selects the isotope row(s) of the energy-grid table: a scalar
+    index per thread on the scalar engines, an index array per lane batch
+    on the vector engine — where the search runs with a freeze mask so
+    every lane reproduces its scalar iterate sequence exactly.
     """
-    lo = 0
-    hi = ngp - 1
-    while hi - lo > 1:
+    if np.ndim(energy) == 0:
+        row = egrid[nuc]
+        lo = 0
+        hi = ngp - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if energy >= row[mid]:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+    lo = np.zeros(energy.shape[0], dtype=np.int64)
+    hi = np.full(energy.shape[0], ngp - 1, dtype=np.int64)
+    while True:
+        act = hi - lo > 1
+        if not act.any():
+            return lo
         mid = (lo + hi) // 2
-        if energy >= egrid_row[mid]:
-            lo = mid
-        else:
-            hi = mid
-    return lo
+        ge = energy >= egrid[nuc, mid]
+        lo = np.where(act & ge, mid, lo)
+        hi = np.where(act & ~ge, mid, hi)
 
 
-def interpolate_xs(xs_row: np.ndarray, egrid_row: np.ndarray, k: int, energy: float):
-    """Linear interpolation of the 5 XS channels at grid interval k."""
-    e0 = egrid_row[k]
-    e1 = egrid_row[k + 1]
+def interpolate_xs(xs, egrid, nuc, k, energy):
+    """Linear interpolation of the 5 XS channels at grid interval k.
+
+    Like :func:`grid_search`, ``nuc`` (and ``k``) may be scalars or lane
+    index arrays; the gathers stay lane-sized either way.
+    """
+    e0 = egrid[nuc, k]
+    e1 = egrid[nuc, k + 1]
     f = (energy - e0) / (e1 - e0)
-    return xs_row[k] + f * (xs_row[k + 1] - xs_row[k])
+    if np.ndim(f):
+        f = f[:, None]
+    return xs[nuc, k] + f * (xs[nuc, k + 1] - xs[nuc, k])
 
 
-@cuda.kernel(sync_free=True)
+@cuda.kernel(sync_free=True, vectorize=True)
 def xsbench_cuda_kernel(
     t, d_egrid, d_xs, d_nucs, d_dens, d_offsets, d_counts,
     d_energies, d_mats, d_out, n_iso, ngp, n_lookups, total_nucs,
 ):
     i = t.blockIdx.x * t.blockDim.x + t.threadIdx.x
-    if i >= n_lookups:
-        return
+    active = i < n_lookups
     egrid = t.array(d_egrid, (n_iso, ngp), np.float64)
     xs = t.array(d_xs, (n_iso, ngp, _N_XS), np.float64)
     nucs = t.array(d_nucs, total_nucs, np.int32)
     dens = t.array(d_dens, total_nucs, np.float64)
     offsets = t.array(d_offsets, len(_MAT_COUNTS), np.int32)
     counts = t.array(d_counts, len(_MAT_COUNTS), np.int32)
-    energy = t.array(d_energies, n_lookups, np.float64)[i]
-    mat = t.array(d_mats, n_lookups, np.int32)[i]
+    energy = t.load(t.array(d_energies, n_lookups, np.float64), i)
+    mat = t.load(t.array(d_mats, n_lookups, np.int32), i)
 
     macro = 0.0
     base = offsets[mat]
-    for j in range(counts[mat]):
-        nuc = nucs[base + j]
-        k = grid_search(egrid[nuc], energy, ngp)
-        micro = interpolate_xs(xs[nuc], egrid[nuc], k, energy)
-        macro += dens[base + j] * micro.sum()
-    t.array(d_out, n_lookups, np.float64)[i] = macro
+    count = t.select(active, counts[mat], 0)
+    for j in range(t.loop_max(count)):
+        live = j < count
+        nuc = t.load(nucs, base + j)
+        k = grid_search(egrid, nuc, energy, ngp)
+        micro = interpolate_xs(xs, egrid, nuc, k, energy)
+        macro = macro + t.select(live, t.load(dens, base + j) * micro.sum(axis=-1), 0.0)
+    t.store(t.array(d_out, n_lookups, np.float64), i, macro, mask=active)
 
 
-@ompx.bare_kernel(sync_free=True)
+@ompx.bare_kernel(sync_free=True, vectorize=True)
 def xsbench_ompx_kernel(
     x, d_egrid, d_xs, d_nucs, d_dens, d_offsets, d_counts,
     d_energies, d_mats, d_out, n_iso, ngp, n_lookups, total_nucs,
 ):
     i = x.block_id_x() * x.block_dim_x() + x.thread_id_x()
-    if i >= n_lookups:
-        return
+    active = i < n_lookups
     egrid = x.array(d_egrid, (n_iso, ngp), np.float64)
     xs = x.array(d_xs, (n_iso, ngp, _N_XS), np.float64)
     nucs = x.array(d_nucs, total_nucs, np.int32)
     dens = x.array(d_dens, total_nucs, np.float64)
     offsets = x.array(d_offsets, len(_MAT_COUNTS), np.int32)
     counts = x.array(d_counts, len(_MAT_COUNTS), np.int32)
-    energy = x.array(d_energies, n_lookups, np.float64)[i]
-    mat = x.array(d_mats, n_lookups, np.int32)[i]
+    energy = x.load(x.array(d_energies, n_lookups, np.float64), i)
+    mat = x.load(x.array(d_mats, n_lookups, np.int32), i)
 
     macro = 0.0
     base = offsets[mat]
-    for j in range(counts[mat]):
-        nuc = nucs[base + j]
-        k = grid_search(egrid[nuc], energy, ngp)
-        micro = interpolate_xs(xs[nuc], egrid[nuc], k, energy)
-        macro += dens[base + j] * micro.sum()
-    x.array(d_out, n_lookups, np.float64)[i] = macro
+    count = x.select(active, counts[mat], 0)
+    for j in range(x.loop_max(count)):
+        live = j < count
+        nuc = x.load(nucs, base + j)
+        k = grid_search(egrid, nuc, energy, ngp)
+        micro = interpolate_xs(xs, egrid, nuc, k, energy)
+        macro = macro + x.select(live, x.load(dens, base + j) * micro.sum(axis=-1), 0.0)
+    x.store(x.array(d_out, n_lookups, np.float64), i, macro, mask=active)
 
 
 class XSBench(BenchmarkApp):
@@ -229,8 +253,8 @@ class XSBench(BenchmarkApp):
                     base = ov[mi]
                     for j in range(cv[mi]):
                         nuc = nv[base + j]
-                        k = grid_search(eg[nuc], ei, ngp)
-                        micro = interpolate_xs(xv[nuc], eg[nuc], k, ei)
+                        k = grid_search(eg, nuc, ei, ngp)
+                        micro = interpolate_xs(xv, eg, nuc, k, ei)
                         macro += dv[base + j] * micro.sum()
                     res[idx[pos]] = macro
 

@@ -26,9 +26,23 @@ from ..openmp.codegen import CodegenInfo, RegionTraits, lower_region
 from .analysis import KernelTraits, analyze_kernel
 from .toolchain import HIPCC, LLVM_CLANG, NVCC, OMP_LLVM, OMPX_PROTO, Toolchain
 
-__all__ = ["CompiledKernel", "compile_kernel", "default_toolchain"]
+__all__ = [
+    "CompiledKernel",
+    "compile_kernel",
+    "default_toolchain",
+    "clear_compile_cache",
+]
 
 _LANGUAGES = ("cuda", "hip", "ompx", "omp")
+
+#: Memoized build artifacts: compiles are pure functions of their inputs,
+#: and the launch path may compile the same kernel once per launch.
+_COMPILE_CACHE: dict = {}
+
+
+def clear_compile_cache() -> None:
+    """Drop every memoized compile artifact (tests and hot-reload hooks)."""
+    _COMPILE_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -95,8 +109,18 @@ def compile_kernel(
             f"a layer decorator"
         )
     toolchain = toolchain or default_toolchain(language)
-    traits = analyze_kernel(kernel)
     hints = dict(hints or {})
+    try:
+        cache_key = (
+            kernel, device, language, toolchain, int(shared_bytes),
+            region_traits, tuple(sorted(hints.items())),
+        )
+        cached = _COMPILE_CACHE.get(cache_key)
+    except TypeError:  # unhashable input somewhere — just compile
+        cache_key, cached = None, None
+    if cached is not None:
+        return cached
+    traits = analyze_kernel(kernel)
 
     if language in ("cuda", "hip", "ompx"):
         if language == "ompx" and toolchain is not OMPX_PROTO and toolchain.name != "ompx-proto":
@@ -118,7 +142,7 @@ def compile_kernel(
             )
         codegen = lower_region(region_traits)
 
-    return CompiledKernel(
+    compiled = CompiledKernel(
         name=traits.name,
         language=language,
         toolchain=toolchain,
@@ -131,3 +155,6 @@ def compile_kernel(
         efficiency=toolchain.instruction_efficiency(traits, codegen, device, hints),
         hints=hints,
     )
+    if cache_key is not None:
+        _COMPILE_CACHE[cache_key] = compiled
+    return compiled

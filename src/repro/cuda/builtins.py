@@ -173,6 +173,23 @@ class CudaThread:
         """``atomicInc``: wrap-around increment; returns the old value."""
         return self._ctx.atomic.inc(array, index, limit)
 
+    # --- portable vector intrinsics ---------------------------------------------
+    def select(self, cond, a, b):
+        """Branch-free conditional; vectorizes as ``np.where`` per lane."""
+        return self._ctx.select(cond, a, b)
+
+    def load(self, view, index, fill=0):
+        """Bounds-guarded gather: ``view[index]`` where in range, else ``fill``."""
+        return self._ctx.load(view, index, fill)
+
+    def store(self, view, index, value, mask=True):
+        """Bounds-guarded masked scatter: ``view[index] = value`` where allowed."""
+        return self._ctx.store(view, index, value, mask)
+
+    def loop_max(self, count):
+        """Upper trip-count bound for a lane-varying loop."""
+        return self._ctx.loop_max(count)
+
     # --- escape hatch ---------------------------------------------------------------
     @property
     def ctx(self) -> ThreadCtx:

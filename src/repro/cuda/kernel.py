@@ -31,16 +31,26 @@ class KernelFunction:
     Python function (for source analysis).
     """
 
-    def __init__(self, fn: Callable, *, sync_free: bool = False, language: str = "cuda") -> None:
+    def __init__(
+        self,
+        fn: Callable,
+        *,
+        sync_free: bool = False,
+        language: str = "cuda",
+        vectorize: Optional[bool] = None,
+    ) -> None:
         functools.update_wrapper(self, fn)
         self.fn = fn
         self.language = language
         self.sync_free = sync_free
+        self.vectorize = vectorize
 
         def adapter(ctx, *args):
             return fn(CudaThread(ctx), *args)
 
         adapter.sync_free = sync_free
+        adapter.vectorize = vectorize
+        adapter.fn = fn  # what engine selection / compile analysis reads
         self._adapter = adapter
 
     @property
@@ -56,16 +66,30 @@ class KernelFunction:
         return f"<{self.language} kernel {self.fn.__name__}>"
 
 
-def kernel(fn: Optional[Callable] = None, *, sync_free: bool = False, language: str = "cuda"):
+def kernel(
+    fn: Optional[Callable] = None,
+    *,
+    sync_free: bool = False,
+    language: str = "cuda",
+    vectorize: Optional[bool] = None,
+):
     """Decorator marking a ``__global__`` kernel.
 
     ``sync_free=True`` asserts the kernel never synchronizes within a
     block, unlocking the fast sequential engine.  Misuse is caught: any
     sync call under the fast engine raises ``SyncError``.
+
+    ``vectorize=True`` vouches that the body is written against the
+    portable lane-batched intrinsics (``select``/``load``/``store``/
+    ``loop_max``) so the :class:`~repro.gpu.engine.WaveVectorEngine` may
+    run it; ``vectorize=False`` pins the legacy scalar engines; ``None``
+    (default) lets static analysis decide.
     """
     if fn is None:
-        return lambda f: KernelFunction(f, sync_free=sync_free, language=language)
-    return KernelFunction(fn, sync_free=sync_free, language=language)
+        return lambda f: KernelFunction(
+            f, sync_free=sync_free, language=language, vectorize=vectorize
+        )
+    return KernelFunction(fn, sync_free=sync_free, language=language, vectorize=vectorize)
 
 
 def launch(
@@ -77,6 +101,7 @@ def launch(
     device: Optional[Device] = None,
     shared_bytes: int = 0,
     stream: Optional[Stream] = None,
+    engine: Optional[str] = None,
 ) -> None:
     """``kern<<<grid, block, shared_bytes, stream>>>(*args)``.
 
@@ -96,6 +121,8 @@ def launch(
 
         device = current_cuda_device()
     config = LaunchConfig.create(
-        grid, block, shared_bytes, stream if stream is not None else device.default_stream
+        grid, block, shared_bytes,
+        stream if stream is not None else device.default_stream,
+        engine,
     )
-    launch_kernel(kern.entry, config, tuple(args), device, synchronous=False)
+    launch_kernel(config, kern.entry, tuple(args), device, synchronous=False)

@@ -35,7 +35,27 @@ class GpuError(ReproError):
 
 
 class LaunchError(GpuError):
-    """A kernel launch configuration is invalid for the target device."""
+    """A kernel launch configuration is invalid for the target device.
+
+    Engine guard rails attach structured context so callers (and error
+    messages) can name the refusing engine, its cap, the requested size
+    and the suggested remediation path.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        engine: "str | None" = None,
+        cap: "int | None" = None,
+        requested: "int | None" = None,
+        hint: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.engine = engine
+        self.cap = cap
+        self.requested = requested
+        self.hint = hint
 
 
 class MemoryError_(GpuError):

@@ -25,11 +25,20 @@ from .device import (
     set_current_device,
 )
 from .dim import Dim3, as_dim3, delinearize, linearize
-from .engine import BlockThreadEngine, Engine, KernelStats, MapEngine, select_engine
+from .engine import (
+    BlockThreadEngine,
+    Engine,
+    KernelStats,
+    MapEngine,
+    WaveVectorEngine,
+    clear_engine_plans,
+    select_engine,
+)
 from .launch import LaunchConfig, launch_kernel
 from .memory import DevicePointer, GlobalAllocator, MemcpyKind
 from .shared import SharedMemory
 from .stream import Event, Stream
+from .vector import VecDim3, VectorThreadCtx
 from .warp import full_mask, mask_to_lanes
 
 __all__ = [
@@ -54,9 +63,13 @@ __all__ = [
     "Engine",
     "KernelStats",
     "MapEngine",
+    "WaveVectorEngine",
+    "clear_engine_plans",
     "select_engine",
     "LaunchConfig",
     "launch_kernel",
+    "VecDim3",
+    "VectorThreadCtx",
     "DevicePointer",
     "GlobalAllocator",
     "MemcpyKind",

@@ -265,3 +265,29 @@ class ThreadCtx:
     @property
     def atomic(self) -> AtomicDomain:
         return self._block.atomics
+
+    # --- portable vector intrinsics ---------------------------------------------
+    # Scalar counterparts of the VectorThreadCtx intrinsics: a kernel written
+    # against select/load/store/loop_max runs unchanged under every engine.
+    def select(self, cond, a, b):
+        """Branch-free conditional: ``a if cond else b``."""
+        return a if cond else b
+
+    def load(self, view, index, fill=0):
+        """Bounds-guarded read: ``view[index]`` if in range, else ``fill``."""
+        idx = int(index)
+        if 0 <= idx < view.shape[0]:
+            return view[idx]
+        return view.dtype.type(fill)
+
+    def store(self, view, index, value, mask=True) -> None:
+        """Bounds-guarded masked write: ``view[index] = value`` if allowed."""
+        if not mask:
+            return
+        idx = int(index)
+        if 0 <= idx < view.shape[0]:
+            view[idx] = value
+
+    def loop_max(self, count) -> int:
+        """Upper trip-count bound for a lane-varying loop (identity here)."""
+        return int(count)

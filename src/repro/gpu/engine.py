@@ -1,6 +1,6 @@
 """Kernel execution engines.
 
-Two functional engines execute kernels on the virtual GPU:
+Three functional engines execute kernels on the virtual GPU:
 
 * :class:`BlockThreadEngine` — one cooperative OS thread per GPU thread of
   a block, blocks run one after another.  Honours barriers, warp
@@ -9,6 +9,16 @@ Two functional engines execute kernels on the virtual GPU:
   independent, so they run as a plain sequential loop with no OS-thread
   overhead.  Calling any sync primitive under this engine raises
   :class:`~repro.errors.SyncError`.
+* :class:`WaveVectorEngine` — lane-batched execution for kernels the
+  static analysis (:mod:`repro.compiler.analysis`) proves vectorizable:
+  sync-free kernels run as fused NumPy index vectors spanning many blocks
+  (``"vector"`` mode); barrier-only kernels run one block per batch in
+  lockstep (``"wave"`` mode).  This is what makes paper-scale problem
+  sizes (§4's 134M-element stencil) tractable on the simulated substrate.
+
+:func:`select_engine` consults the kernel's declared flags
+(``sync_free``/``vectorize``) and static analysis to pick an engine, and
+memoizes the decision per ``(kernel, device, block shape, hint)``.
 
 Engines are deliberately *functional only*.  Timing comes from
 :mod:`repro.perf`, which consumes the launch geometry and the compiled
@@ -20,14 +30,25 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import LaunchError
 from .atomics import AtomicDomain
 from .context import BlockState, ThreadCtx
 from .dim import Dim3, delinearize
+from .vector import VectorThreadCtx
 
-__all__ = ["KernelStats", "Engine", "BlockThreadEngine", "MapEngine", "select_engine"]
+__all__ = [
+    "KernelStats",
+    "Engine",
+    "BlockThreadEngine",
+    "MapEngine",
+    "WaveVectorEngine",
+    "select_engine",
+    "clear_engine_plans",
+]
 
 # Guard rail: a full-SIMT simulation of a paper-scale launch (e.g. the
 # 134M-element stencil) is not meaningful to attempt thread-by-thread.
@@ -35,6 +56,12 @@ _MAX_COOPERATIVE_THREADS = 2_000_000
 #: The sequential map engine absorbs more threads, but still refuses a
 #: paper-scale launch clearly instead of hanging for hours.
 _MAX_MAP_THREADS = 20_000_000
+#: Lane-batched execution is array-at-a-time, so it can absorb paper-scale
+#: grids outright; the rail only catches pathological requests.
+_MAX_VECTOR_THREADS = 1 << 28
+#: Fused ("vector" mode) batches are chunked so gathers with a per-lane
+#: inner dimension stay within a bounded memory footprint.
+_VECTOR_CHUNK_THREADS = 1 << 16
 
 
 @dataclass
@@ -103,9 +130,14 @@ class BlockThreadEngine(Engine):
         if total > _MAX_COOPERATIVE_THREADS:
             raise LaunchError(
                 f"cooperative simulation of {total} threads exceeds the "
-                f"{_MAX_COOPERATIVE_THREADS}-thread guard rail; use a smaller "
-                f"functional problem size (paper-scale runs go through the "
-                f"vectorized references + perf model)"
+                f"{_MAX_COOPERATIVE_THREADS}-thread guard rail of the "
+                f"'{self.name}' engine; declare the kernel sync_free=True "
+                f"and/or vectorize=True so a lane-batched engine can take it, "
+                f"or use a smaller functional problem size",
+                engine=self.name,
+                cap=_MAX_COOPERATIVE_THREADS,
+                requested=total,
+                hint="declare sync_free=True and/or vectorize=True",
             )
         atomics = AtomicDomain()
         stats = KernelStats(grid=grid, block=block, shared_bytes=shared_bytes, engine=self.name)
@@ -186,9 +218,14 @@ class MapEngine(Engine):
         if total > _MAX_MAP_THREADS:
             raise LaunchError(
                 f"sequential simulation of {total} threads exceeds the "
-                f"{_MAX_MAP_THREADS}-thread guard rail; use a smaller "
-                f"functional problem size (paper-scale runs go through the "
-                f"vectorized references + perf model)"
+                f"{_MAX_MAP_THREADS}-thread guard rail of the '{self.name}' "
+                f"engine; declare the kernel vectorize=True (and write it "
+                f"against the select/load/store intrinsics) so the vector "
+                f"engine can take it, or use a smaller functional problem size",
+                engine=self.name,
+                cap=_MAX_MAP_THREADS,
+                requested=total,
+                hint="declare vectorize=True",
             )
         atomics = AtomicDomain()
         stats = KernelStats(grid=grid, block=block, shared_bytes=shared_bytes, engine=self.name)
@@ -211,17 +248,211 @@ class MapEngine(Engine):
         return stats
 
 
+class WaveVectorEngine(Engine):
+    """Lane-batched execution: whole blocks (or block ranges) per kernel call.
+
+    One class, two modes (see :mod:`repro.gpu.vector`):
+
+    * ``"vector"`` — sync-free kernels; lanes are fused across blocks into
+      contiguous chunks of global flat thread ids.
+    * ``"wave"`` — barrier-only cooperative kernels; one batch per block,
+      with real shared memory and a lockstep (counting no-op) barrier.
+    """
+
+    def __init__(self, mode: str) -> None:
+        if mode not in ("vector", "wave"):
+            raise ValueError(f"unknown WaveVectorEngine mode {mode!r}")
+        self._mode = mode
+        self.name = mode
+
+    def run(
+        self,
+        kernel: Callable,
+        grid: Dim3,
+        block: Dim3,
+        args: Sequence,
+        device,
+        shared_bytes: int = 0,
+    ) -> KernelStats:
+        """Execute ``kernel`` over the grid; returns the launch's KernelStats."""
+        total = grid.volume * block.volume
+        if total > _MAX_VECTOR_THREADS:
+            raise LaunchError(
+                f"lane-batched simulation of {total} threads exceeds the "
+                f"{_MAX_VECTOR_THREADS}-thread guard rail of the "
+                f"'{self.name}' engine; shard the launch or use a smaller "
+                f"problem size",
+                engine=self.name,
+                cap=_MAX_VECTOR_THREADS,
+                requested=total,
+                hint="shard the launch across multiple kernel invocations",
+            )
+        stats = KernelStats(grid=grid, block=block, shared_bytes=shared_bytes, engine=self.name)
+        if self._mode == "wave":
+            self._run_wave(kernel, grid, block, args, device, shared_bytes, stats)
+        else:
+            self._run_vector(kernel, grid, block, args, device, stats)
+        return stats
+
+    def _run_wave(
+        self,
+        kernel: Callable,
+        grid: Dim3,
+        block: Dim3,
+        args: Sequence,
+        device,
+        shared_bytes: int,
+        stats: KernelStats,
+    ) -> None:
+        for flat_block in range(grid.volume):
+            block_idx = delinearize(flat_block, grid)
+            ctx = VectorThreadCtx(
+                device, grid, block,
+                mode="wave", block_idx=block_idx, shared_bytes=shared_bytes,
+            )
+            try:
+                kernel(ctx, *args)
+            except BaseException as exc:  # noqa: BLE001 - same surface as scalar engines
+                raise LaunchError(
+                    f"kernel failed in block {block_idx} (wave batch of "
+                    f"{block.volume} lanes): {exc!r}"
+                ) from exc
+            finally:
+                stats.absorb(ctx)
+            stats.blocks_run += 1
+            stats.threads_run += block.volume
+
+    def _run_vector(
+        self,
+        kernel: Callable,
+        grid: Dim3,
+        block: Dim3,
+        args: Sequence,
+        device,
+        stats: KernelStats,
+    ) -> None:
+        total = grid.volume * block.volume
+        for start in range(0, total, _VECTOR_CHUNK_THREADS):
+            stop = min(start + _VECTOR_CHUNK_THREADS, total)
+            ctx = VectorThreadCtx(
+                device, grid, block,
+                mode="vector",
+                global_flat=np.arange(start, stop, dtype=np.int64),
+            )
+            try:
+                kernel(ctx, *args)
+            except BaseException as exc:  # noqa: BLE001 - same surface as scalar engines
+                raise LaunchError(
+                    f"kernel failed in vector lanes [{start}, {stop}): {exc!r}"
+                ) from exc
+            finally:
+                stats.absorb(ctx)
+            stats.threads_run += stop - start
+        stats.blocks_run = grid.volume
+
+
 _BLOCK_THREAD = BlockThreadEngine()
 _MAP = MapEngine()
+_VECTOR = WaveVectorEngine("vector")
+_WAVE = WaveVectorEngine("wave")
+
+_ENGINES_BY_NAME: Dict[str, Engine] = {
+    "block-thread": _BLOCK_THREAD,
+    "map": _MAP,
+    "vector": _VECTOR,
+    "wave": _WAVE,
+}
+
+#: Memoized engine decisions, keyed by (kernel, device name, block shape, hint).
+_PLAN_CACHE: Dict[Tuple, Engine] = {}
 
 
-def select_engine(kernel: Callable) -> Engine:
-    """Pick the engine for a kernel.
+def clear_engine_plans() -> None:
+    """Drop every memoized engine decision (tests and hot-reload hooks)."""
+    _PLAN_CACHE.clear()
 
-    Kernels opt into the fast path by carrying ``sync_free = True``
-    (set by the ``@kernel(sync_free=True)`` decorators of the language
-    layers).  Anything else gets full SIMT semantics.
-    """
+
+def _legacy_engine(kernel: Callable) -> Engine:
+    """The pre-vectorization rule: sync-free -> map, else full SIMT."""
     if getattr(kernel, "sync_free", False):
         return _MAP
     return _BLOCK_THREAD
+
+
+def _analyze_or_none(kernel: Callable):
+    """Static traits of ``kernel``, or ``None`` when analysis is impossible.
+
+    Lambdas and exotic callables defeat source retrieval; selection then
+    falls back to the declared-flags rule rather than failing the launch.
+    """
+    from ..compiler.analysis import analyze_kernel
+
+    try:
+        return analyze_kernel(kernel)
+    except Exception:
+        return None
+
+
+def _plan(kernel: Callable) -> Engine:
+    """Decide the engine for one kernel from its flags and static traits."""
+    sync_free = bool(getattr(kernel, "sync_free", False))
+    vectorize = getattr(kernel, "vectorize", None)
+    if vectorize is False:
+        return _legacy_engine(kernel)
+    traits = _analyze_or_none(kernel)
+    if vectorize:
+        # The author vouches for vectorizability; only pick the mode.
+        cooperative = traits is not None and (traits.uses_barrier or traits.uses_shared)
+        if sync_free and not cooperative:
+            return _VECTOR
+        return _WAVE
+    # Automatic path: only take kernels the analysis proves batchable.
+    if traits is None or traits.uses_warp_collectives or traits.uses_atomics:
+        return _legacy_engine(kernel)
+    if sync_free:
+        if traits.uses_barrier or traits.uses_shared or not traits.vectorizable:
+            return _MAP
+        return _VECTOR
+    if traits.uses_barrier and traits.vectorizable:
+        return _WAVE
+    return _BLOCK_THREAD
+
+
+def select_engine(
+    kernel: Callable,
+    device=None,
+    block: Optional[Dim3] = None,
+    *,
+    hint: Optional[str] = None,
+) -> Engine:
+    """Pick the engine for a kernel launch.
+
+    Precedence: an explicit ``hint`` (the :class:`LaunchConfig` engine
+    field) wins; a kernel declared ``vectorize=False`` keeps the legacy
+    sync-free/cooperative split; otherwise static analysis routes
+    provably-batchable kernels to the :class:`WaveVectorEngine` and
+    everything else to the scalar engines.  Decisions are memoized per
+    ``(kernel, device, block shape, hint)``.
+    """
+    if hint is not None:
+        try:
+            return _ENGINES_BY_NAME[hint]
+        except KeyError:
+            raise LaunchError(
+                f"unknown engine hint {hint!r}; choose one of "
+                f"{sorted(_ENGINES_BY_NAME)}",
+                hint=hint,
+            ) from None
+    device_name = getattr(getattr(device, "spec", None), "name", None)
+    block_shape = block.as_tuple() if isinstance(block, Dim3) else block
+    key: Optional[Tuple] = (kernel, device_name, block_shape, hint)
+    try:
+        cached = _PLAN_CACHE.get(key)
+    except TypeError:  # unhashable kernel object
+        key, cached = None, None
+    if cached is not None:
+        return cached
+    engine = _plan(kernel)
+    if key is not None:
+        _PLAN_CACHE[key] = engine
+    return engine

@@ -1,15 +1,27 @@
 """Kernel launch: geometry validation + engine dispatch + stream routing.
 
 This is the one choke point every language layer calls:  CUDA's chevron
-launch, HIP's ``hipLaunchKernelGGL`` and ompx's ``target teams ompx_bare``
-all build a :class:`LaunchConfig` and call :func:`launch_kernel`.
+launch, HIP's ``hipLaunchKernelGGL``, OpenMP's ``target teams`` lowering
+and ompx's ``target teams ompx_bare`` all build a :class:`LaunchConfig`
+and call :func:`launch_kernel`.
+
+The canonical signature is config-first::
+
+    launch_kernel(config, kernel, args, device=None, synchronous=True)
+
+The pre-redesign kernel-first order is still accepted as a thin shim that
+emits :class:`DeprecationWarning`; it will be removed two releases after
+the :class:`LaunchConfig` consolidation (see the README's deprecation
+timeline).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from ..errors import LaunchError
 from .dim import Dim3, DimLike, as_dim3
 from .engine import KernelStats, select_engine
 from .stream import Stream
@@ -19,16 +31,20 @@ __all__ = ["LaunchConfig", "launch_kernel"]
 
 @dataclass(frozen=True)
 class LaunchConfig:
-    """Grid/block geometry plus the optional dynamic-shared size and stream.
+    """Grid/block geometry plus dynamic-shared size, stream and engine hint.
 
     Mirrors CUDA's ``<<<grid, block, sharedBytes, stream>>>`` and the ompx
-    ``num_teams(...) thread_limit(...)`` clauses.
+    ``num_teams(...) thread_limit(...)`` clauses.  ``engine`` optionally
+    pins the execution engine by name (``"block-thread"``, ``"map"``,
+    ``"vector"``, ``"wave"``) instead of letting
+    :func:`~repro.gpu.engine.select_engine` decide.
     """
 
     grid: Dim3
     block: Dim3
     shared_bytes: int = 0
     stream: Optional[Stream] = None
+    engine: Optional[str] = None
 
     @classmethod
     def create(
@@ -37,36 +53,58 @@ class LaunchConfig:
         block: DimLike,
         shared_bytes: int = 0,
         stream: Optional[Stream] = None,
+        engine: Optional[str] = None,
     ) -> "LaunchConfig":
-        return cls(as_dim3(grid), as_dim3(block), int(shared_bytes), stream)
+        """Build a config, coercing int/tuple geometry into :class:`Dim3`."""
+        return cls(as_dim3(grid), as_dim3(block), int(shared_bytes), stream, engine)
 
     @property
     def total_threads(self) -> int:
+        """Threads launched: grid volume times block volume."""
         return self.grid.volume * self.block.volume
 
 
 def launch_kernel(
-    kernel: Callable,
-    config: LaunchConfig,
-    args: Sequence,
-    device,
+    config,
+    kernel,
+    args: Sequence = (),
+    device=None,
     *,
     synchronous: bool = True,
 ) -> Optional[KernelStats]:
-    """Validate and run a kernel.
+    """Validate and run a kernel described by a :class:`LaunchConfig`.
 
-    With a stream and ``synchronous=False`` the launch is enqueued and
-    ``None`` is returned (stats are unavailable until the stream drains) —
-    the CUDA behaviour.  Otherwise the kernel runs to completion and its
-    :class:`KernelStats` are returned — the default OpenMP ``target``
-    behaviour the paper contrasts in §2.3.
+    ``device=None`` resolves to the current device.  With a stream and
+    ``synchronous=False`` the launch is enqueued and ``None`` is returned
+    (stats are unavailable until the stream drains) — the CUDA behaviour.
+    Otherwise the kernel runs to completion and its :class:`KernelStats`
+    are returned — the default OpenMP ``target`` behaviour the paper
+    contrasts in §2.3.
     """
+    if not isinstance(config, LaunchConfig):
+        if isinstance(kernel, LaunchConfig) and callable(config):
+            warnings.warn(
+                "launch_kernel(kernel, config, ...) is deprecated; pass the "
+                "LaunchConfig first: launch_kernel(config, kernel, ...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config, kernel = kernel, config
+        else:
+            raise LaunchError(
+                f"launch_kernel expects a LaunchConfig first, got "
+                f"{type(config).__name__!s}"
+            )
+    if device is None:
+        from .device import current_device
+
+        device = current_device()
     device.spec.validate_launch(config.grid, config.block, config.shared_bytes)
-    engine = select_engine(kernel)
+    engine = select_engine(kernel, device, config.block, hint=config.engine)
 
     def run() -> KernelStats:
         return engine.run(
-            kernel, config.grid, config.block, args, device, config.shared_bytes
+            kernel, config.grid, config.block, tuple(args), device, config.shared_bytes
         )
 
     if config.stream is not None and not synchronous:

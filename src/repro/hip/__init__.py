@@ -80,11 +80,11 @@ def hipGetDevice() -> int:  # noqa: N802
     return getattr(_state, "ordinal", _DEFAULT_ORDINAL)
 
 
-def kernel(fn=None, *, sync_free: bool = False):
+def kernel(fn=None, *, sync_free: bool = False, vectorize: Optional[bool] = None):
     """``__global__`` for HIP; same semantics as :func:`repro.cuda.kernel`."""
     from ..cuda.kernel import kernel as cuda_kernel
 
-    return cuda_kernel(fn, sync_free=sync_free, language="hip")
+    return cuda_kernel(fn, sync_free=sync_free, language="hip", vectorize=vectorize)
 
 
 def launch(
@@ -96,15 +96,18 @@ def launch(
     device: Optional[Device] = None,
     shared_bytes: int = 0,
     stream: Optional[Stream] = None,
+    engine: Optional[str] = None,
 ) -> None:
     """Chevron-style launch targeting the current HIP device by default."""
     if not isinstance(kern, KernelFunction):
         raise LaunchError(f"launch() needs a @kernel-decorated function, got {kern!r}")
     device = device or current_hip_device()
     config = LaunchConfig.create(
-        grid, block, shared_bytes, stream if stream is not None else device.default_stream
+        grid, block, shared_bytes,
+        stream if stream is not None else device.default_stream,
+        engine,
     )
-    launch_kernel(kern.entry, config, tuple(args), device, synchronous=False)
+    launch_kernel(config, kern.entry, tuple(args), device, synchronous=False)
 
 
 def hipLaunchKernelGGL(  # noqa: N802

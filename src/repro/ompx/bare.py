@@ -43,11 +43,14 @@ __all__ = ["bare_kernel", "target_teams_bare", "BareKernel"]
 class BareKernel:
     """A function usable as the body of a ``target teams ompx_bare`` region."""
 
-    def __init__(self, fn: Callable, *, sync_free: bool = False) -> None:
+    def __init__(
+        self, fn: Callable, *, sync_free: bool = False, vectorize: Optional[bool] = None
+    ) -> None:
         functools.update_wrapper(self, fn)
         self.fn = fn
         self.language = "ompx"
         self.sync_free = sync_free
+        self.vectorize = vectorize
 
         def adapter(ctx, *args):
             facade = OmpxThread(ctx)
@@ -59,6 +62,8 @@ class BareKernel:
                 return fn(facade, *args)
 
         adapter.sync_free = sync_free
+        adapter.vectorize = vectorize
+        adapter.fn = fn  # what engine selection / compile analysis reads
         self._adapter = adapter
 
     @property
@@ -72,11 +77,21 @@ class BareKernel:
         return f"<ompx bare kernel {self.fn.__name__}>"
 
 
-def bare_kernel(fn: Optional[Callable] = None, *, sync_free: bool = False):
-    """Decorator marking an ompx bare-region body (``x`` façade first arg)."""
+def bare_kernel(
+    fn: Optional[Callable] = None,
+    *,
+    sync_free: bool = False,
+    vectorize: Optional[bool] = None,
+):
+    """Decorator marking an ompx bare-region body (``x`` façade first arg).
+
+    ``vectorize`` mirrors ``@cuda.kernel``: ``True`` opts the body into the
+    lane-batched WaveVectorEngine, ``False`` pins the scalar engines,
+    ``None`` lets static analysis decide.
+    """
     if fn is None:
-        return lambda f: BareKernel(f, sync_free=sync_free)
-    return BareKernel(fn, sync_free=sync_free)
+        return lambda f: BareKernel(f, sync_free=sync_free, vectorize=vectorize)
+    return BareKernel(fn, sync_free=sync_free, vectorize=vectorize)
 
 
 def target_teams_bare(
@@ -87,6 +102,7 @@ def target_teams_bare(
     args: Sequence = (),
     *,
     shared_bytes: int = 0,
+    engine: Optional[str] = None,
     maps: Sequence[Tuple[np.ndarray, str]] = (),
     nowait: bool = False,
     depend: Sequence[Tuple[str, object]] = (),
@@ -123,9 +139,9 @@ def target_teams_bare(
 
     def run():
         def body_fn(acc: TargetAccessor) -> TargetRegionReport:
-            config = LaunchConfig.create(grid, block, shared_bytes)
+            config = LaunchConfig.create(grid, block, shared_bytes, engine=engine)
             call_args = tuple(args) + ((acc,) if _region_wants_acc(region, args) else ())
-            stats = launch_kernel(entry, config, call_args, device)
+            stats = launch_kernel(config, entry, call_args, device)
             return TargetRegionReport(
                 codegen=codegen, grid=grid.volume, block=block.volume, stats=stats
             )

@@ -233,6 +233,23 @@ class OmpxThread:
         """``ompx_atomic_xor``: atomic bitwise XOR; returns the old value."""
         return self._ctx.atomic.xor(array, index, value)
 
+    # --- portable vector intrinsics ---------------------------------------------
+    def select(self, cond, a, b):
+        """Branch-free conditional; vectorizes as ``np.where`` per lane."""
+        return self._ctx.select(cond, a, b)
+
+    def load(self, view, index, fill=0):
+        """Bounds-guarded gather: ``view[index]`` where in range, else ``fill``."""
+        return self._ctx.load(view, index, fill)
+
+    def store(self, view, index, value, mask=True):
+        """Bounds-guarded masked scatter: ``view[index] = value`` where allowed."""
+        return self._ctx.store(view, index, value, mask)
+
+    def loop_max(self, count):
+        """Upper trip-count bound for a lane-varying loop."""
+        return self._ctx.loop_max(count)
+
     # --- C++ API (§3.3: "C++ APIs encapsulated within the ompx namespace") ------
     @property
     def cxx(self) -> "CxxApi":

@@ -9,6 +9,11 @@ One deliberate improvement over CUDA (and faithful to a target-agnostic
 runtime layer): the copy direction is *inferred* from the operand types —
 a :class:`DevicePointer` is device memory, a NumPy array is host memory —
 so there is no ``cudaMemcpyKind`` to get wrong.
+
+``ompx_malloc``/``ompx_memcpy``/``ompx_memset`` take an optional
+``stream=`` keyword (mirroring ``cudaMemcpyAsync``): with a stream the
+operation is *enqueued* and returns immediately; without one it keeps the
+synchronous default-stream semantics.
 """
 
 from __future__ import annotations
@@ -36,65 +41,116 @@ __all__ = [
 ]
 
 
-def ompx_malloc(size: int, device: Optional[Device] = None) -> DevicePointer:
-    """Allocate device global memory (``cudaMalloc`` equivalent)."""
-    return (device or current_device()).allocator.malloc(size)
+def _resolve_device(device: Optional[Device]) -> Device:
+    """The one place default-device resolution happens for every host API."""
+    return device if device is not None else current_device()
+
+
+def ompx_malloc(
+    size: int,
+    device: Optional[Device] = None,
+    *,
+    stream: Optional[Stream] = None,
+) -> DevicePointer:
+    """Allocate device global memory (``cudaMalloc`` equivalent).
+
+    Allocation itself is immediate (the pointer must be returned), but
+    passing ``stream=`` orders the allocation's visibility after the work
+    already queued on that stream, like ``cudaMallocAsync``.
+    """
+    ptr = _resolve_device(device).allocator.malloc(size)
+    if stream is not None:
+        stream.enqueue(lambda: None)  # fence: later stream work sees the allocation
+    return ptr
 
 
 def ompx_free(ptr: DevicePointer, device: Optional[Device] = None) -> None:
     """``ompx_free``: release device memory (``cudaFree`` equivalent)."""
-    (device or current_device()).allocator.free(ptr)
+    _resolve_device(device).allocator.free(ptr)
 
 
-def ompx_memcpy(dst, src, size: int, device: Optional[Device] = None) -> None:
-    """Copy ``size`` bytes; direction inferred from operand types."""
-    device = device or current_device()
-    alloc = device.allocator
-    device.default_stream.synchronize()
-    if isinstance(dst, DevicePointer) and isinstance(src, DevicePointer):
-        alloc.memcpy_d2d(dst, src, size)
-    elif isinstance(dst, DevicePointer):
-        host = np.ascontiguousarray(src).view(np.uint8).reshape(-1)[:size]
-        alloc.memcpy_h2d(dst, host)
-    elif isinstance(src, DevicePointer):
-        host = dst.view(np.uint8).reshape(-1)[:size]
-        alloc.memcpy_d2h(host, src)
-    else:
-        raise MappingError(
-            "ompx_memcpy needs at least one device pointer; for host-to-host "
-            "just assign the arrays"
-        )
+def ompx_memcpy(
+    dst,
+    src,
+    size: int,
+    device: Optional[Device] = None,
+    *,
+    stream: Optional[Stream] = None,
+) -> None:
+    """Copy ``size`` bytes; direction inferred from operand types.
+
+    With ``stream=`` the copy is enqueued on that stream and this call
+    returns immediately (``cudaMemcpyAsync``); synchronize the stream
+    before relying on the data.  Without a stream the copy is synchronous
+    with respect to the device's default stream.
+    """
+    dev = _resolve_device(device)
+    alloc = dev.allocator
+
+    def do_copy() -> None:
+        if isinstance(dst, DevicePointer) and isinstance(src, DevicePointer):
+            alloc.memcpy_d2d(dst, src, size)
+        elif isinstance(dst, DevicePointer):
+            host = np.ascontiguousarray(src).view(np.uint8).reshape(-1)[:size]
+            alloc.memcpy_h2d(dst, host)
+        elif isinstance(src, DevicePointer):
+            host = dst.view(np.uint8).reshape(-1)[:size]
+            alloc.memcpy_d2h(host, src)
+        else:
+            raise MappingError(
+                "ompx_memcpy needs at least one device pointer; for host-to-host "
+                "just assign the arrays"
+            )
+
+    if stream is not None:
+        stream.enqueue(do_copy)
+        return
+    dev.default_stream.synchronize()
+    do_copy()
 
 
-def ompx_memset(ptr: DevicePointer, value: int, size: int, device: Optional[Device] = None) -> None:
-    """``ompx_memset``: fill device memory with a byte value."""
-    device = device or current_device()
-    device.default_stream.synchronize()
-    device.allocator.memset(ptr, value, size)
+def ompx_memset(
+    ptr: DevicePointer,
+    value: int,
+    size: int,
+    device: Optional[Device] = None,
+    *,
+    stream: Optional[Stream] = None,
+) -> None:
+    """``ompx_memset``: fill device memory with a byte value.
+
+    ``stream=`` enqueues the fill asynchronously (``cudaMemsetAsync``).
+    """
+    dev = _resolve_device(device)
+    if stream is not None:
+        stream.enqueue(lambda: dev.allocator.memset(ptr, value, size))
+        return
+    dev.default_stream.synchronize()
+    dev.allocator.memset(ptr, value, size)
 
 
 def ompx_memcpy_to_symbol(symbol: str, src, device: Optional[Device] = None) -> None:
     """Upload a constant-memory symbol (``cudaMemcpyToSymbol`` equivalent)."""
-    device = device or current_device()
-    device.default_stream.synchronize()
-    device.write_constant(symbol, src)
+    dev = _resolve_device(device)
+    dev.default_stream.synchronize()
+    dev.write_constant(symbol, src)
 
 
 def ompx_memcpy_from_symbol(dst: np.ndarray, symbol: str, device: Optional[Device] = None) -> None:
     """Read a constant-memory symbol back to the host."""
-    device = device or current_device()
-    device.default_stream.synchronize()
-    np.copyto(dst, device.read_constant(symbol).reshape(dst.shape))
+    dev = _resolve_device(device)
+    dev.default_stream.synchronize()
+    np.copyto(dst, dev.read_constant(symbol).reshape(dst.shape))
 
 
 def ompx_device_synchronize(device: Optional[Device] = None) -> None:
     """``cudaDeviceSynchronize`` equivalent."""
-    (device or current_device()).synchronize()
+    _resolve_device(device).synchronize()
 
 
 def ompx_stream_create(device: Optional[Device] = None, name: str = "") -> Stream:
     """``ompx_stream_create``: new asynchronous work queue."""
-    return Stream(device or current_device(), name=name)
+    return Stream(_resolve_device(device), name=name)
 
 
 def ompx_stream_synchronize(stream: Stream) -> None:
@@ -118,7 +174,7 @@ def ompx_occupancy_max_active_blocks(
     from ..compiler.compile import compile_kernel
     from ..perf.occupancy import compute_occupancy
 
-    spec = (device or current_device()).spec
+    spec = _resolve_device(device).spec
     compiled = compile_kernel(kernel, spec, shared_bytes=shared_bytes)
     info = compute_occupancy(spec, block_threads, compiled.registers,
                              compiled.effective_shared_bytes)

@@ -284,10 +284,15 @@ def target_teams_parallel(
     def adapter(ctx, *kargs):
         return region(OmpThread(ctx), *kargs)
 
+    # What engine selection / compile analysis should look at is the
+    # user's region, not this closure.
+    adapter.fn = region
+    adapter.vectorize = getattr(region, "vectorize", None)
+
     def run():
         def body_fn(acc: TargetAccessor) -> TargetRegionReport:
             config = LaunchConfig.create(grid, block, shared_bytes)
-            stats = launch_kernel(adapter, config, (*args, acc) if _wants_acc(region, args) else tuple(args), device)
+            stats = launch_kernel(config, adapter, (*args, acc) if _wants_acc(region, args) else tuple(args), device)
             return TargetRegionReport(codegen=codegen, grid=grid.volume, block=block.volume, stats=stats)
 
         return _with_maps(device, maps, body_fn)

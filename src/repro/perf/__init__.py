@@ -22,6 +22,7 @@ from .timing import (
     SystemConfig,
     TimeBreakdown,
     estimate_time,
+    estimate_time_for_config,
 )
 from .transfer import (
     INFINITY_FABRIC_HOST,
@@ -46,6 +47,7 @@ __all__ = [
     "SystemConfig",
     "TimeBreakdown",
     "estimate_time",
+    "estimate_time_for_config",
     "INFINITY_FABRIC_HOST",
     "PCIE4_X16",
     "HostLink",

@@ -24,7 +24,14 @@ from .overheads import (
 from .roofline import Footprint, roofline_seconds
 from .transfer import INFINITY_FABRIC_HOST, PCIE4_X16, HostLink
 
-__all__ = ["SystemConfig", "NVIDIA_SYSTEM", "AMD_SYSTEM", "TimeBreakdown", "estimate_time"]
+__all__ = [
+    "SystemConfig",
+    "NVIDIA_SYSTEM",
+    "AMD_SYSTEM",
+    "TimeBreakdown",
+    "estimate_time",
+    "estimate_time_for_config",
+]
 
 
 @dataclass(frozen=True)
@@ -131,4 +138,26 @@ def estimate_time(
         launches=launches,
         occupancy=occ,
         throughput_scale=scale,
+    )
+
+
+def estimate_time_for_config(
+    compiled: CompiledKernel,
+    footprint: Footprint,
+    config,
+    *,
+    launches: int = 1,
+) -> TimeBreakdown:
+    """:func:`estimate_time` fed directly from a :class:`LaunchConfig`.
+
+    The geometry the perf model needs (threads per block, team count) is
+    exactly what a :class:`~repro.gpu.launch.LaunchConfig` carries; this
+    wrapper keeps benchmark harnesses from unpacking it by hand.
+    """
+    return estimate_time(
+        compiled,
+        footprint,
+        block_threads=config.block.volume,
+        teams=config.grid.volume,
+        launches=launches,
     )

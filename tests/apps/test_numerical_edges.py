@@ -12,47 +12,71 @@ from repro.apps.xsbench import grid_search, interpolate_xs
 class TestGridSearch:
     @pytest.fixture
     def egrid(self):
-        return np.array([0.1, 0.2, 0.4, 0.8, 0.9])
+        # A one-isotope table: helpers take (table, nuc) so lane-batched
+        # callers can pass index arrays without materializing rows.
+        return np.array([[0.1, 0.2, 0.4, 0.8, 0.9]])
 
     def test_interior_hit(self, egrid):
-        assert grid_search(egrid, 0.3, len(egrid)) == 1  # [0.2, 0.4)
+        assert grid_search(egrid, 0, 0.3, egrid.shape[1]) == 1  # [0.2, 0.4)
 
     def test_exact_gridpoint_goes_right(self, egrid):
         # e == egrid[k]: interval k (searchsorted side='right' semantics)
-        assert grid_search(egrid, 0.4, len(egrid)) == 2
+        assert grid_search(egrid, 0, 0.4, egrid.shape[1]) == 2
 
     def test_below_grid_clamps_to_first_interval(self, egrid):
-        assert grid_search(egrid, 0.01, len(egrid)) == 0
+        assert grid_search(egrid, 0, 0.01, egrid.shape[1]) == 0
 
     def test_above_grid_clamps_to_last_interval(self, egrid):
-        assert grid_search(egrid, 0.99, len(egrid)) == len(egrid) - 2
+        assert grid_search(egrid, 0, 0.99, egrid.shape[1]) == egrid.shape[1] - 2
 
     def test_matches_searchsorted_everywhere(self, egrid):
-        ngp = len(egrid)
+        ngp = egrid.shape[1]
         for e in np.linspace(0.0, 1.0, 101):
-            manual = grid_search(egrid, e, ngp)
-            reference = int(np.clip(np.searchsorted(egrid, e, side="right") - 1, 0, ngp - 2))
+            manual = grid_search(egrid, 0, e, ngp)
+            reference = int(np.clip(np.searchsorted(egrid[0], e, side="right") - 1, 0, ngp - 2))
             assert manual == reference, e
 
     def test_two_point_grid(self):
-        egrid = np.array([0.0, 1.0])
-        assert grid_search(egrid, 0.5, 2) == 0
-        assert grid_search(egrid, 2.0, 2) == 0
+        egrid = np.array([[0.0, 1.0]])
+        assert grid_search(egrid, 0, 0.5, 2) == 0
+        assert grid_search(egrid, 0, 2.0, 2) == 0
+
+    def test_vector_lanes_match_scalar(self, egrid):
+        """The freeze-mask lane search reproduces the scalar loop per lane."""
+        ngp = egrid.shape[1]
+        energies = np.linspace(0.0, 1.0, 101)
+        nucs = np.zeros(energies.shape[0], dtype=np.int64)
+        batched = grid_search(egrid, nucs, energies, ngp)
+        scalar = [grid_search(egrid, 0, float(e), ngp) for e in energies]
+        assert np.array_equal(batched, scalar)
 
 
 class TestInterpolation:
     def test_linear_endpoints(self):
-        egrid = np.array([0.0, 1.0])
-        xs = np.array([[10.0, 0.0], [20.0, 2.0]])
-        assert np.allclose(interpolate_xs(xs, egrid, 0, 0.0), [10.0, 0.0])
-        assert np.allclose(interpolate_xs(xs, egrid, 0, 1.0), [20.0, 2.0])
-        assert np.allclose(interpolate_xs(xs, egrid, 0, 0.5), [15.0, 1.0])
+        egrid = np.array([[0.0, 1.0]])
+        xs = np.array([[[10.0, 0.0], [20.0, 2.0]]])
+        assert np.allclose(interpolate_xs(xs, egrid, 0, 0, 0.0), [10.0, 0.0])
+        assert np.allclose(interpolate_xs(xs, egrid, 0, 0, 1.0), [20.0, 2.0])
+        assert np.allclose(interpolate_xs(xs, egrid, 0, 0, 0.5), [15.0, 1.0])
 
     def test_extrapolation_below_is_linear(self):
         """Clamped intervals extrapolate — the XSBench behaviour."""
-        egrid = np.array([1.0, 2.0])
-        xs = np.array([[10.0], [20.0]])
-        assert np.allclose(interpolate_xs(xs, egrid, 0, 0.0), [0.0])
+        egrid = np.array([[1.0, 2.0]])
+        xs = np.array([[[10.0], [20.0]]])
+        assert np.allclose(interpolate_xs(xs, egrid, 0, 0, 0.0), [0.0])
+
+    def test_vector_lanes_match_scalar(self):
+        """Lane-batched interpolation equals the per-lane scalar results."""
+        rng = np.random.default_rng(3)
+        egrid = np.sort(rng.random((4, 8)), axis=1)
+        xs = rng.random((4, 8, 5))
+        nucs = np.array([0, 3, 1, 2])
+        ks = np.array([0, 6, 3, 5])
+        energies = rng.random(4)
+        batched = interpolate_xs(xs, egrid, nucs, ks, energies)
+        for lane in range(4):
+            scalar = interpolate_xs(xs, egrid, int(nucs[lane]), int(ks[lane]), float(energies[lane]))
+            assert np.array_equal(batched[lane], scalar)
 
 
 class TestRSBenchMath:

@@ -17,7 +17,7 @@ from repro.gpu.collectives import (
 
 
 def run(device, kernel, block, args=()):
-    launch_kernel(kernel, LaunchConfig.create(1, block), args, device)
+    launch_kernel(LaunchConfig.create(1, block), kernel, args, device)
 
 
 class TestWarpScan:

@@ -23,7 +23,7 @@ class TestDegenerateShapes:
                 warp_inclusive_scan(ctx, 5.0),
             ))
 
-        launch_kernel(kernel, LaunchConfig.create(1, 1), (), nvidia)
+        launch_kernel(LaunchConfig.create(1, 1), kernel, (), nvidia)
         assert results == [(7.0, 3.0, 5.0)]
 
     def test_partial_warp_block(self, nvidia):
@@ -35,7 +35,7 @@ class TestDegenerateShapes:
             if ctx.flat_thread_id == 0:
                 ctx.deref(out, 1, np.float64)[0] = total
 
-        launch_kernel(kernel, LaunchConfig.create(1, 20), (d,), nvidia)
+        launch_kernel(LaunchConfig.create(1, 20), kernel, (d,), nvidia)
         out = np.zeros(1)
         nvidia.allocator.memcpy_d2h(out, d)
         assert out[0] == 20.0
@@ -48,7 +48,7 @@ class TestDegenerateShapes:
             v = block_inclusive_scan(ctx, 1.0)
             ctx.deref(out, ctx.num_threads, np.float64)[ctx.flat_thread_id] = v
 
-        launch_kernel(kernel, LaunchConfig.create(1, 50), (d,), nvidia)
+        launch_kernel(LaunchConfig.create(1, 50), kernel, (d,), nvidia)
         out = np.zeros(50)
         nvidia.allocator.memcpy_d2h(out, d)
         assert np.array_equal(out, np.arange(1, 51))
@@ -64,7 +64,7 @@ class TestAlternativeOperators:
             v = block_inclusive_scan(ctx, float(values[ctx.flat_thread_id]), op=max)
             ctx.deref(out, 64, np.float64)[ctx.flat_thread_id] = v
 
-        launch_kernel(kernel, LaunchConfig.create(1, 64), (d,), nvidia)
+        launch_kernel(LaunchConfig.create(1, 64), kernel, (d,), nvidia)
         out = np.zeros(64)
         nvidia.allocator.memcpy_d2h(out, d)
         assert np.array_equal(out, np.maximum.accumulate(values))
@@ -79,7 +79,7 @@ class TestAlternativeOperators:
             if ctx.flat_thread_id == 0:
                 seen.append(m)
 
-        launch_kernel(kernel, LaunchConfig.create(1, 96), (), nvidia)
+        launch_kernel(LaunchConfig.create(1, 96), kernel, (), nvidia)
         assert seen == [min(values)]
 
 
@@ -107,7 +107,7 @@ class TestHipFacadeCollectives:
             v = block_inclusive_scan(ctx, 1.0)
             ctx.deref(out, ctx.num_threads, np.float64)[ctx.flat_thread_id] = v
 
-        launch_kernel(kernel, LaunchConfig.create(1, 160), (d,), amd)
+        launch_kernel(LaunchConfig.create(1, 160), kernel, (d,), amd)
         out = np.zeros(160)
         amd.allocator.memcpy_d2h(out, d)
         assert np.array_equal(out, np.arange(1, 161))

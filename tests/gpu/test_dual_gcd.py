@@ -47,7 +47,7 @@ class TestSeparateDevices:
                 if ctx.flat_thread_id == 0:
                     ctx.deref(out, 1, np.int64)[0] = ctx.warp_size
 
-            launch_kernel(kernel, LaunchConfig.create(1, 64), (d,), device)
+            launch_kernel(LaunchConfig.create(1, 64), kernel, (d,), device)
             out = np.zeros(1, dtype=np.int64)
             device.allocator.memcpy_d2h(out, d)
             assert out[0] == 64  # both GCDs are wavefront64

@@ -6,7 +6,12 @@ import pytest
 from repro.errors import LaunchError, SyncError
 from repro.gpu import LaunchConfig, launch_kernel
 from repro.gpu.dim import Dim3
-from repro.gpu.engine import BlockThreadEngine, MapEngine, select_engine
+from repro.gpu.engine import (
+    BlockThreadEngine,
+    MapEngine,
+    WaveVectorEngine,
+    select_engine,
+)
 
 
 class TestEngineSelection:
@@ -16,11 +21,53 @@ class TestEngineSelection:
 
         assert isinstance(select_engine(kernel), BlockThreadEngine)
 
-    def test_sync_free_gets_map_engine(self):
+    def test_sync_free_straight_line_gets_vector_engine(self):
         def kernel(ctx):
             pass
 
         kernel.sync_free = True
+        engine = select_engine(kernel)
+        assert isinstance(engine, WaveVectorEngine)
+        assert engine.name == "vector"
+
+    def test_sync_free_divergent_gets_map_engine(self):
+        def kernel(ctx):
+            if ctx.flat_thread_id == 0:
+                return
+
+        kernel.sync_free = True
+        assert isinstance(select_engine(kernel), MapEngine)
+
+    def test_barrier_straight_line_gets_wave_engine(self):
+        def kernel(ctx):
+            ctx.sync_threads()
+
+        engine = select_engine(kernel)
+        assert isinstance(engine, WaveVectorEngine)
+        assert engine.name == "wave"
+
+    def test_hint_overrides_analysis(self):
+        def kernel(ctx):
+            pass
+
+        kernel.sync_free = True
+        assert select_engine(kernel, hint="map").name == "map"
+        assert select_engine(kernel, hint="block-thread").name == "block-thread"
+
+    def test_unknown_hint_raises_structured_error(self):
+        def kernel(ctx):
+            pass
+
+        with pytest.raises(LaunchError, match="unknown engine hint") as info:
+            select_engine(kernel, hint="warp-speed")
+        assert info.value.hint == "warp-speed"
+
+    def test_vectorize_false_keeps_legacy_split(self):
+        def kernel(ctx):
+            pass
+
+        kernel.sync_free = True
+        kernel.vectorize = False
         assert isinstance(select_engine(kernel), MapEngine)
 
 
@@ -33,7 +80,7 @@ class TestBlockThreadEngine:
         def kernel(ctx, out):
             ctx.atomic.add(ctx.deref(out, n, np.int64), ctx.global_flat_id, 1)
 
-        stats = launch_kernel(kernel, LaunchConfig.create(grid, block), (d_out,), any_device)
+        stats = launch_kernel(LaunchConfig.create(grid, block), kernel, (d_out,), any_device)
         out = np.zeros(n, dtype=np.int64)
         any_device.allocator.memcpy_d2h(out, d_out)
         assert (out == 1).all()
@@ -50,7 +97,7 @@ class TestBlockThreadEngine:
                 100 * ctx.thread_idx.z + 10 * ctx.thread_idx.y + ctx.thread_idx.x
             )
 
-        launch_kernel(kernel, LaunchConfig.create(1, (2, 3, 4)), (d_out,), nvidia)
+        launch_kernel(LaunchConfig.create(1, (2, 3, 4)), kernel, (d_out,), nvidia)
         out = np.zeros((4, 3, 2), dtype=np.int64)
         nvidia.allocator.memcpy_d2h(out, d_out)
         for z in range(4):
@@ -65,7 +112,7 @@ class TestBlockThreadEngine:
                 raise ValueError("boom from thread 3")
 
         with pytest.raises(LaunchError, match="thread 3"):
-            launch_kernel(kernel, LaunchConfig.create(1, 8), (), nvidia)
+            launch_kernel(LaunchConfig.create(1, 8), kernel, (), nvidia)
 
     def test_shared_memory_is_per_block(self, nvidia):
         """Each block's shared accumulator starts fresh."""
@@ -79,7 +126,7 @@ class TestBlockThreadEngine:
             if ctx.flat_thread_id == 0:
                 ctx.deref(out, 4, np.int64)[ctx.flat_block_id] = acc[0]
 
-        launch_kernel(kernel, LaunchConfig.create(grid, 8), (d_out,), nvidia)
+        launch_kernel(LaunchConfig.create(grid, 8), kernel, (d_out,), nvidia)
         out = np.zeros(grid, dtype=np.int64)
         nvidia.allocator.memcpy_d2h(out, d_out)
         assert (out == 8).all()
@@ -90,8 +137,7 @@ class TestBlockThreadEngine:
             pass
 
         with pytest.raises(LaunchError, match="guard rail"):
-            launch_kernel(
-                kernel, LaunchConfig.create(100_000, 1024), (), nvidia
+            launch_kernel(LaunchConfig.create(100_000, 1024), kernel, (), nvidia
             )
 
     def test_dynamic_shared_via_config(self, nvidia):
@@ -105,8 +151,7 @@ class TestBlockThreadEngine:
             if ctx.flat_thread_id == 1:
                 ctx.deref(out, 1, np.float64)[0] = dyn[0]
 
-        launch_kernel(
-            kernel, LaunchConfig.create(1, 2, shared_bytes=64), (d_out,), nvidia
+        launch_kernel(LaunchConfig.create(1, 2, shared_bytes=64), kernel, (d_out,), nvidia
         )
         out = np.zeros(1)
         nvidia.allocator.memcpy_d2h(out, d_out)
@@ -121,7 +166,7 @@ class TestMapEngine:
 
         kernel.sync_free = True
         d_out = any_device.allocator.malloc(64 * 8)
-        stats = launch_kernel(kernel, LaunchConfig.create(4, 16), (d_out,), any_device)
+        stats = launch_kernel(LaunchConfig.create(4, 16, engine="map"), kernel, (d_out,), any_device)
         assert stats.engine == "map"
         out = np.zeros(64, dtype=np.int64)
         any_device.allocator.memcpy_d2h(out, d_out)
@@ -134,7 +179,7 @@ class TestMapEngine:
 
         kernel.sync_free = True
         with pytest.raises(LaunchError, match="sync-free"):
-            launch_kernel(kernel, LaunchConfig.create(1, 4), (), nvidia)
+            launch_kernel(LaunchConfig.create(1, 4), kernel, (), nvidia)
 
     def test_warp_collective_under_map_engine_raises(self, nvidia):
         def kernel(ctx):
@@ -142,7 +187,7 @@ class TestMapEngine:
 
         kernel.sync_free = True
         with pytest.raises(LaunchError, match="sync-free"):
-            launch_kernel(kernel, LaunchConfig.create(1, 4), (), nvidia)
+            launch_kernel(LaunchConfig.create(1, 4), kernel, (), nvidia)
 
     def test_atomics_still_work(self, nvidia):
         def kernel(ctx, out):
@@ -150,7 +195,7 @@ class TestMapEngine:
 
         kernel.sync_free = True
         d_out = nvidia.allocator.malloc(8)
-        launch_kernel(kernel, LaunchConfig.create(2, 32), (d_out,), nvidia)
+        launch_kernel(LaunchConfig.create(2, 32), kernel, (d_out,), nvidia)
         out = np.zeros(1, dtype=np.int64)
         nvidia.allocator.memcpy_d2h(out, d_out)
         assert out[0] == 64
@@ -169,5 +214,5 @@ class TestThreadCtxIdentities:
             hits.append(1)
 
         kernel.sync_free = True
-        launch_kernel(kernel, LaunchConfig.create(2, 48), (), nvidia)
+        launch_kernel(LaunchConfig.create(2, 48), kernel, (), nvidia)
         assert len(hits) == 96

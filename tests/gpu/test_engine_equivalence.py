@@ -1,0 +1,112 @@
+"""Engine equivalence: every Fig. 6 app computes bit-identical results —
+and identical behavioural counters — on every engine that can run it.
+
+The matrix below pins each app kernel to each compatible engine in turn
+(cooperative block-thread, sequential map, lane-batched vector/wave) and
+requires byte-for-byte equal outputs plus equal KernelStats.  This is the
+load-bearing guarantee of the WaveVectorEngine: it is an execution
+strategy, not a numerical approximation.
+"""
+
+import numpy as np
+import pytest
+
+import repro.gpu.launch as launch_mod
+from repro.apps import ALL_APPS, VersionLabel
+from repro.gpu import get_device
+from repro.gpu.engine import _ENGINES_BY_NAME
+
+#: Engines each app kernel can legally execute on.  MapEngine and the
+#: vector mode refuse barriers, so the stencil pairs block-thread with
+#: wave; warp-/atomic-free sync-free kernels run on all three layouts.
+ENGINE_MATRIX = {
+    "XSBench": ("block-thread", "map", "vector"),
+    "RSBench": ("block-thread", "map"),
+    "SU3": ("block-thread", "map"),
+    # AIDW's interpolation kernels barrier over a divergent body (early
+    # exit on anchor hits), which only the cooperative engine supports.
+    "AIDW": ("block-thread",),
+    "Adam": ("block-thread", "map", "vector"),
+    "Stencil 1D": ("block-thread", "wave"),
+}
+
+_APPS_BY_NAME = {cls.name: cls for cls in ALL_APPS}
+
+_COUNTERS = (
+    "threads_run",
+    "blocks_run",
+    "barriers",
+    "warp_collectives",
+    "global_derefs",
+    "shared_declarations",
+)
+
+
+class _ForcedEngine:
+    """Engine proxy: pins every launch to one engine and records its stats."""
+
+    def __init__(self, engine, log):
+        self._engine = engine
+        self.log = log
+
+    @property
+    def name(self):
+        return self._engine.name
+
+    def run(self, *args, **kwargs):
+        stats = self._engine.run(*args, **kwargs)
+        self.log.append(stats)
+        return stats
+
+
+def _run_forced(app, params, engine_name, device):
+    """Run the app's CUDA variant with every launch pinned to one engine."""
+    log = []
+    proxy = _ForcedEngine(_ENGINES_BY_NAME[engine_name], log)
+    original = launch_mod.select_engine
+    launch_mod.select_engine = lambda *a, **k: proxy
+    try:
+        result = app.run_functional(VersionLabel.NATIVE_LLVM, params, device)
+    finally:
+        launch_mod.select_engine = original
+    return result, log
+
+
+def _counter_rows(log):
+    return [tuple(getattr(stats, c) for c in _COUNTERS) for stats in log]
+
+
+@pytest.mark.parametrize(
+    "app_name,engines", sorted(ENGINE_MATRIX.items()), ids=lambda v: str(v)
+)
+def test_engines_agree_bitwise_and_on_stats(app_name, engines):
+    app = _APPS_BY_NAME[app_name]()
+    params = app.functional_params()
+    device = get_device(0)
+
+    base_name = engines[0]
+    base_result, base_log = _run_forced(app, params, base_name, device)
+    assert base_log, f"{app_name} recorded no launches under {base_name}"
+    assert all(stats.engine == base_name for stats in base_log)
+    assert app.verify(base_result, params), f"{app_name} wrong under {base_name}"
+
+    for engine_name in engines[1:]:
+        result, log = _run_forced(app, params, engine_name, device)
+        assert all(stats.engine == engine_name for stats in log)
+        assert np.array_equal(result.output, base_result.output), (
+            f"{app_name}: {engine_name} output diverged from {base_name}"
+        )
+        assert result.checksum == base_result.checksum
+        assert _counter_rows(log) == _counter_rows(base_log), (
+            f"{app_name}: {engine_name} KernelStats diverged from {base_name}"
+        )
+
+
+def test_auto_selection_matches_forced_block_thread():
+    """The engine the planner picks agrees bitwise with the SIMT reference."""
+    app = _APPS_BY_NAME["XSBench"]()
+    params = app.functional_params()
+    device = get_device(0)
+    auto = app.run_functional(VersionLabel.NATIVE_LLVM, params, device)
+    forced, _ = _run_forced(app, params, "block-thread", device)
+    assert np.array_equal(auto.output, forced.output)

@@ -33,14 +33,14 @@ class TestLaunchKernel:
             ran.append(1)
 
         with pytest.raises(LaunchError):
-            launch_kernel(kernel, LaunchConfig.create(1, 4096), (), nvidia)
+            launch_kernel(LaunchConfig.create(1, 4096), kernel, (), nvidia)
         assert not ran
 
     def test_synchronous_launch_returns_stats(self, nvidia):
         def kernel(ctx):
             pass
 
-        stats = launch_kernel(kernel, LaunchConfig.create(2, 4), (), nvidia)
+        stats = launch_kernel(LaunchConfig.create(2, 4), kernel, (), nvidia)
         assert stats is not None
         assert stats.threads_run == 8
 
@@ -52,9 +52,7 @@ class TestLaunchKernel:
             def kernel(ctx, out):
                 ctx.deref(out, 1, np.int64)[0] = 7
 
-            result = launch_kernel(
-                kernel,
-                LaunchConfig.create(1, 1, stream=stream),
+            result = launch_kernel(LaunchConfig.create(1, 1, stream=stream), kernel,
                 (d_out,),
                 nvidia,
                 synchronous=False,
@@ -68,6 +66,32 @@ class TestLaunchKernel:
         finally:
             stream.close()
 
+    def test_legacy_kernel_first_order_warns_but_still_runs(self, nvidia):
+        """The pre-redesign launch_kernel(kernel, config, ...) shim."""
+        ran = []
+
+        def kernel(ctx):
+            ran.append(1)
+
+        with pytest.warns(DeprecationWarning, match="LaunchConfig first"):
+            stats = launch_kernel(kernel, LaunchConfig.create(1, 4), (), nvidia)
+        assert stats.threads_run == 4
+        assert len(ran) == 4
+
+    def test_config_first_order_does_not_warn(self, nvidia):
+        import warnings
+
+        def kernel(ctx):
+            pass
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            launch_kernel(LaunchConfig.create(1, 2), kernel, (), nvidia)
+
+    def test_no_config_at_all_raises_structured_error(self, nvidia):
+        with pytest.raises(LaunchError, match="LaunchConfig"):
+            launch_kernel(lambda ctx: None, lambda ctx: None, (), nvidia)
+
     def test_sync_launch_on_stream_respects_order(self, nvidia):
         stream = Stream(nvidia, name="ordered")
         try:
@@ -78,8 +102,7 @@ class TestLaunchKernel:
                 if ctx.flat_thread_id == 0:
                     log.append("kernel")
 
-            stats = launch_kernel(
-                kernel, LaunchConfig.create(1, 2, stream=stream), (), nvidia
+            stats = launch_kernel(LaunchConfig.create(1, 2, stream=stream), kernel, (), nvidia
             )
             assert stats is not None
             assert log == ["queued-first", "kernel"]

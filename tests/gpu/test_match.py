@@ -15,7 +15,7 @@ class TestMatchAny:
             mask = ctx.match_any_sync(ctx.lane_id % 4)
             results[ctx.lane_id] = mask
 
-        launch_kernel(kernel, LaunchConfig.create(1, 32), (), nvidia)
+        launch_kernel(LaunchConfig.create(1, 32), kernel, (), nvidia)
         for lane, mask in results.items():
             expected = sum(1 << i for i in range(32) if i % 4 == lane % 4)
             assert mask == expected, lane
@@ -26,7 +26,7 @@ class TestMatchAny:
         def kernel(ctx):
             results[ctx.lane_id] = ctx.match_any_sync(ctx.lane_id)
 
-        launch_kernel(kernel, LaunchConfig.create(1, 32), (), nvidia)
+        launch_kernel(LaunchConfig.create(1, 32), kernel, (), nvidia)
         for lane, mask in results.items():
             assert mask == 1 << lane
 
@@ -36,7 +36,7 @@ class TestMatchAny:
         def kernel(ctx):
             results[ctx.lane_id] = ctx.match_any_sync(ctx.lane_id // 32)
 
-        launch_kernel(kernel, LaunchConfig.create(1, 64), (), amd)
+        launch_kernel(LaunchConfig.create(1, 64), kernel, (), amd)
         low = sum(1 << i for i in range(32))
         high = sum(1 << i for i in range(32, 64))
         assert results[0] == low and results[63] == high
@@ -49,7 +49,7 @@ class TestMatchAll:
         def kernel(ctx):
             results[ctx.lane_id] = ctx.match_all_sync(42)
 
-        launch_kernel(kernel, LaunchConfig.create(1, 32), (), nvidia)
+        launch_kernel(LaunchConfig.create(1, 32), kernel, (), nvidia)
         mask, pred = results[0]
         assert pred and mask == 0xFFFFFFFF
 
@@ -59,7 +59,7 @@ class TestMatchAll:
         def kernel(ctx):
             results[ctx.lane_id] = ctx.match_all_sync(ctx.lane_id == 0)
 
-        launch_kernel(kernel, LaunchConfig.create(1, 32), (), nvidia)
+        launch_kernel(LaunchConfig.create(1, 32), kernel, (), nvidia)
         mask, pred = results[5]
         assert not pred and mask == 0
 

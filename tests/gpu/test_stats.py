@@ -13,7 +13,7 @@ class TestCounters:
             ctx.sync_threads()
             ctx.sync_threads()
 
-        stats = launch_kernel(kernel, LaunchConfig.create(2, 16), (), nvidia)
+        stats = launch_kernel(LaunchConfig.create(2, 16), kernel, (), nvidia)
         assert stats.barriers == 2 * 16 * 2  # 2 barriers x 32 threads
 
     def test_warp_collective_count(self, nvidia):
@@ -21,7 +21,7 @@ class TestCounters:
             ctx.shfl_down_sync(ctx.lane_id, 1)
             ctx.ballot_sync(True)
 
-        stats = launch_kernel(kernel, LaunchConfig.create(1, 32), (), nvidia)
+        stats = launch_kernel(LaunchConfig.create(1, 32), kernel, (), nvidia)
         assert stats.warp_collectives == 32 * 2
 
     def test_deref_count(self, nvidia):
@@ -32,7 +32,7 @@ class TestCounters:
             if ctx.flat_thread_id == 0:
                 ctx.deref(ptr, 64, np.float64)
 
-        stats = launch_kernel(kernel, LaunchConfig.create(1, 8), (d,), nvidia)
+        stats = launch_kernel(LaunchConfig.create(1, 8), kernel, (d,), nvidia)
         assert stats.global_derefs == 8 + 1
         nvidia.allocator.free(d)
 
@@ -40,7 +40,7 @@ class TestCounters:
         def kernel(ctx):
             ctx.shared_array("a", 4, np.float64)
 
-        stats = launch_kernel(kernel, LaunchConfig.create(3, 4), (), nvidia)
+        stats = launch_kernel(LaunchConfig.create(3, 4), kernel, (), nvidia)
         assert stats.shared_declarations == 12
 
     def test_map_engine_counts_too(self, nvidia):
@@ -50,13 +50,26 @@ class TestCounters:
             ctx.deref(ptr, 8, np.float64)
 
         kernel.sync_free = True
-        stats = launch_kernel(kernel, LaunchConfig.create(1, 8), (d,), nvidia)
+        stats = launch_kernel(LaunchConfig.create(1, 8, engine="map"), kernel, (d,), nvidia)
         assert stats.engine == "map"
         assert stats.global_derefs == 8
         nvidia.allocator.free(d)
 
+    def test_vector_engine_counts_identically(self, nvidia):
+        """The lane-batched engine reports the same per-thread counters."""
+        d = nvidia.allocator.malloc(8 * 8)
+
+        def kernel(ctx, ptr):
+            ctx.deref(ptr, 8, np.float64)
+
+        kernel.sync_free = True
+        stats = launch_kernel(LaunchConfig.create(1, 8), kernel, (d,), nvidia)
+        assert stats.engine == "vector"
+        assert stats.global_derefs == 8
+        nvidia.allocator.free(d)
+
     def test_counters_zero_for_trivial_kernel(self, nvidia):
-        stats = launch_kernel(lambda ctx: None, LaunchConfig.create(1, 4), (), nvidia)
+        stats = launch_kernel(LaunchConfig.create(1, 4), lambda ctx: None, (), nvidia)
         assert stats.barriers == stats.warp_collectives == 0
         assert stats.global_derefs == stats.shared_declarations == 0
 

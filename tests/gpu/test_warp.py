@@ -15,7 +15,7 @@ from repro.gpu.warp import full_mask, mask_to_lanes
 
 
 def run_kernel(device, kernel, grid, block, args):
-    return launch_kernel(kernel, LaunchConfig.create(grid, block), args, device)
+    return launch_kernel(LaunchConfig.create(grid, block), kernel, args, device)
 
 
 def download(device, ptr, n, dtype=np.int64):

@@ -11,14 +11,13 @@ from repro.gpu import LaunchConfig, get_device, launch_kernel
 class TestGuardRails:
     def test_cooperative_engine_refuses_paper_scale(self, nvidia):
         with pytest.raises(LaunchError, match="guard rail"):
-            launch_kernel(lambda ctx: None, LaunchConfig.create(100_000, 256), (), nvidia)
+            launch_kernel(LaunchConfig.create(100_000, 256), lambda ctx: None, (), nvidia)
 
     def test_map_engine_refuses_paper_scale(self, nvidia):
         kernel = lambda ctx: None  # noqa: E731
         kernel.sync_free = True
         with pytest.raises(LaunchError, match="guard rail"):
-            launch_kernel(
-                kernel, LaunchConfig.create(524_288, 256), (), nvidia
+            launch_kernel(LaunchConfig.create(524_288, 256), kernel, (), nvidia
             )
 
     def test_apps_functional_params_stay_under_guard(self):
@@ -102,7 +101,7 @@ class TestMultiDimBlocksCooperative:
             if ctx.flat_thread_id == 0:
                 ctx.deref(out, 1, np.int64)[0] = shared[0]
 
-        launch_kernel(kernel, LaunchConfig.create(1, (8, 4)), (d,), nvidia)
+        launch_kernel(LaunchConfig.create(1, (8, 4)), kernel, (d,), nvidia)
         out = np.zeros(1, dtype=np.int64)
         nvidia.allocator.memcpy_d2h(out, d)
         assert out[0] == 32
@@ -114,7 +113,7 @@ class TestMultiDimBlocksCooperative:
         def kernel(ctx):
             seen[(ctx.thread_idx.x, ctx.thread_idx.y)] = (ctx.warp_id, ctx.lane_id)
 
-        launch_kernel(kernel, LaunchConfig.create(1, (16, 4)), (), nvidia)
+        launch_kernel(LaunchConfig.create(1, (16, 4)), kernel, (), nvidia)
         # flat id = y*16 + x; warp 0 covers y in {0,1}, warp 1 covers y in {2,3}
         assert seen[(0, 0)] == (0, 0)
         assert seen[(15, 1)] == (0, 31)

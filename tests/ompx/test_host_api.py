@@ -91,6 +91,71 @@ class TestMemsetAndSync:
             stream.close()
 
 
+class TestAsyncStreamKwargs:
+    """``stream=`` turns the host APIs into their cudaXxxAsync forms."""
+
+    def test_memcpy_with_stream_is_enqueued_not_immediate(self, nvidia):
+        import threading
+
+        gate = threading.Event()
+        stream = ompx.ompx_stream_create(nvidia, name="async-copy")
+        try:
+            data = np.arange(8, dtype=np.float64)
+            ptr = ompx.ompx_malloc(data.nbytes, nvidia)
+            ompx.ompx_memset(ptr, 0, data.nbytes, nvidia)
+            stream.enqueue(gate.wait)  # hold the queue so the copy can't run yet
+            ompx.ompx_memcpy(ptr, data, data.nbytes, nvidia, stream=stream)
+            # the call returned while the stream is still gated: nothing copied
+            assert not nvidia.allocator.view(ptr, 8, np.float64).any()
+            gate.set()
+            ompx.ompx_stream_synchronize(stream)
+            assert np.array_equal(nvidia.allocator.view(ptr, 8, np.float64), data)
+            ompx.ompx_free(ptr, nvidia)
+        finally:
+            gate.set()
+            stream.close()
+
+    def test_memset_with_stream_is_enqueued_not_immediate(self, nvidia):
+        import threading
+
+        gate = threading.Event()
+        stream = ompx.ompx_stream_create(nvidia, name="async-set")
+        try:
+            ptr = ompx.ompx_malloc(16, nvidia)
+            ompx.ompx_memset(ptr, 0, 16, nvidia)
+            stream.enqueue(gate.wait)
+            ompx.ompx_memset(ptr, 0x7F, 16, nvidia, stream=stream)
+            assert not nvidia.allocator.view(ptr, 16, np.uint8).any()
+            gate.set()
+            ompx.ompx_stream_synchronize(stream)
+            assert (nvidia.allocator.view(ptr, 16, np.uint8) == 0x7F).all()
+            ompx.ompx_free(ptr, nvidia)
+        finally:
+            gate.set()
+            stream.close()
+
+    def test_malloc_with_stream_fences_allocation(self, nvidia):
+        stream = ompx.ompx_stream_create(nvidia, name="async-alloc")
+        try:
+            ptr = ompx.ompx_malloc(32, nvidia, stream=stream)
+            ompx.ompx_memset(ptr, 1, 32, nvidia, stream=stream)
+            ompx.ompx_stream_synchronize(stream)
+            assert (nvidia.allocator.view(ptr, 32, np.uint8) == 1).all()
+            ompx.ompx_free(ptr, nvidia)
+        finally:
+            stream.close()
+
+    def test_memcpy_resolves_default_device(self):
+        from repro.gpu import current_device
+
+        data = np.arange(4, dtype=np.int32)
+        ptr = ompx.ompx_malloc(data.nbytes)
+        ompx.ompx_memcpy(ptr, data, data.nbytes)
+        view = current_device().allocator.view(ptr, 4, np.int32)
+        assert np.array_equal(view, data)
+        ompx.ompx_free(ptr)
+
+
 class TestFigure1PortShape:
     def test_cuda_host_sequence_ports_one_to_one(self, nvidia):
         """The Figure 1 host flow, each call renamed to its §3.4 API."""
