@@ -15,6 +15,8 @@ Layer map (bottom to top):
 * :mod:`repro.apps`     — the six evaluated applications (Figure 6).
 * :mod:`repro.port`     — the CUDA -> ompx source rewriting tools.
 * :mod:`repro.harness`  — regenerates Figures 6, 7 and 8.
+* :mod:`repro.trace`    — nvprof/rocprof-style profiling & tracing of the
+  whole stack (Chrome/Perfetto export, text summaries).
 
 Execution engines
 -----------------
@@ -65,7 +67,7 @@ Quickstart::
     ompx.target_teams_bare(dev, (n + 255) // 256, 256, scale, (d_a, n))
 """
 
-from . import apps, compiler, cuda, gpu, harness, hip, openmp, ompx, perf, port
+from . import apps, compiler, cuda, gpu, harness, hip, openmp, ompx, perf, port, trace
 from .errors import ReproError
 
 __version__ = "1.0.0"
@@ -81,6 +83,7 @@ __all__ = [
     "ompx",
     "perf",
     "port",
+    "trace",
     "ReproError",
     "__version__",
 ]

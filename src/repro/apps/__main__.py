@@ -10,11 +10,17 @@ Figure 6 — with two modes:
   at the app's reduced functional scale, verify against the NumPy
   reference, and print the checksum.
 
+``--trace OUT.json`` profiles either mode through :mod:`repro.trace`:
+the run's spans (kernel launches, stream ops, ompx host calls, perf-model
+predictions) are written as a Chrome/Perfetto ``trace_event`` JSON and an
+``nvprof``-style summary table is printed.
+
 Examples::
 
     python -m repro.apps xsbench -m event
     python -m repro.apps su3 -i 1000 -l 32 -t 128 -v 3 -w 1 --estimate
     python -m repro.apps stencil1d 134217728 1000 --run --variant ompx
+    python -m repro.apps stencil1d --run --trace out.json
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .. import trace as trace_mod
 from ..errors import AppError
 from ..gpu import get_device
 from ..harness.report import format_seconds
@@ -73,6 +80,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--variant", default=VersionLabel.OMPX,
                         choices=list(VersionLabel.ALL))
     parser.add_argument("--device", type=int, default=0, choices=[0, 1, 2])
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="profile the run and write a Chrome/Perfetto "
+                             "trace_event JSON to this path")
     flags = parser.parse_args(flag_args)
 
     try:
@@ -81,6 +91,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"bad arguments: {exc}", file=sys.stderr)
         return 2
 
+    tracer = trace_mod.enable() if flags.trace else None
+    try:
+        return _dispatch(app, flags, params)
+    finally:
+        if tracer is not None:
+            trace_mod.disable()
+            tracer.export_chrome(flags.trace)
+            print()
+            print(tracer.summary())
+            print(f"trace written to {flags.trace} "
+                  f"(load it at https://ui.perfetto.dev)")
+
+
+def _dispatch(app, flags, params) -> int:
+    """Run one app in ``--run`` or ``--estimate`` mode; returns exit code."""
     if flags.run:
         run_params = app.functional_params()
         print(f"{app.name}: functional run of variant {flags.variant!r} on "

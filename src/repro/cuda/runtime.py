@@ -77,6 +77,15 @@ def cudaFree(ptr: DevicePointer) -> None:  # noqa: N802
     current_cuda_device().allocator.free(ptr)
 
 
+#: Short direction tags for trace spans (matches the ompx host API's).
+_TRACE_DIRECTION = {
+    MemcpyKind.HOST_TO_DEVICE: "h2d",
+    MemcpyKind.DEVICE_TO_HOST: "d2h",
+    MemcpyKind.DEVICE_TO_DEVICE: "d2d",
+    MemcpyKind.HOST_TO_HOST: "h2h",
+}
+
+
 def _do_memcpy(device: Device, dst, src, count: int, kind: str) -> None:
     alloc = device.allocator
     if kind == MemcpyKind.HOST_TO_DEVICE:
@@ -105,7 +114,13 @@ def cudaMemcpy(dst, src, count: int, kind: str) -> None:  # noqa: N802
 def cudaMemcpyAsync(dst, src, count: int, kind: str, stream: Stream) -> None:  # noqa: N802
     """Enqueue a memcpy on ``stream``; returns immediately."""
     device = current_cuda_device()
-    stream.enqueue(lambda: _do_memcpy(device, dst, src, count, kind))
+    stream.enqueue(
+        lambda: _do_memcpy(device, dst, src, count, kind),
+        label="cudaMemcpyAsync",
+        trace_cat="memcpy",
+        trace_args={"bytes": int(count),
+                    "direction": _TRACE_DIRECTION.get(kind, str(kind))},
+    )
 
 
 def cudaMemset(ptr: DevicePointer, value: int, count: int) -> None:  # noqa: N802
@@ -161,8 +176,12 @@ def cudaEventRecord(event: Event, stream: Optional[Stream] = None) -> None:  # n
 
 
 def cudaEventSynchronize(event: Event) -> None:  # noqa: N802
-    """``cudaEventSynchronize``: host-wait for an event."""
-    event.wait()
+    """``cudaEventSynchronize``: host-wait for an event.
+
+    A synchronization point: re-raises (and clears) a sticky error
+    captured by earlier work on the stream that recorded the event.
+    """
+    event.synchronize()
 
 
 def cudaOccupancyMaxActiveBlocksPerMultiprocessor(  # noqa: N802

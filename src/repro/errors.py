@@ -39,7 +39,10 @@ class LaunchError(GpuError):
 
     Engine guard rails attach structured context so callers (and error
     messages) can name the refusing engine, its cap, the requested size
-    and the suggested remediation path.
+    and the suggested remediation path.  The launch path additionally
+    attaches the selected engine and the engine-plan memoization key
+    (``key``) so error text agrees with what trace spans and the profile
+    summary report for the same launch.
     """
 
     def __init__(
@@ -50,12 +53,23 @@ class LaunchError(GpuError):
         cap: "int | None" = None,
         requested: "int | None" = None,
         hint: "str | None" = None,
+        key: "tuple | None" = None,
     ) -> None:
         super().__init__(message)
         self.engine = engine
         self.cap = cap
         self.requested = requested
         self.hint = hint
+        self.key = key
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        extra = []
+        if self.engine is not None:
+            extra.append(f"engine={self.engine}")
+        if self.key is not None:
+            extra.append(f"plan_key={self.key!r}")
+        return f"{base} [{', '.join(extra)}]" if extra else base
 
 
 class MemoryError_(GpuError):

@@ -48,6 +48,8 @@ __all__ = [
     "WaveVectorEngine",
     "select_engine",
     "clear_engine_plans",
+    "plan_key",
+    "describe_plan_key",
 ]
 
 # Guard rail: a full-SIMT simulation of a paper-scale launch (e.g. the
@@ -195,7 +197,8 @@ class BlockThreadEngine(Engine):
         if errors:
             flat_id, exc = min(errors, key=lambda e: e[0])
             raise LaunchError(
-                f"kernel failed in block {block_idx}, thread {flat_id}: {exc!r}"
+                f"kernel failed in block {block_idx}, thread {flat_id}: {exc!r}",
+                engine=self.name,
             ) from exc
 
 
@@ -238,7 +241,8 @@ class MapEngine(Engine):
                     kernel(ctx, *args)
                 except BaseException as exc:  # noqa: BLE001 - same surface as cooperative engine
                     raise LaunchError(
-                        f"kernel failed in block {block_idx}, thread {flat_id}: {exc!r}"
+                        f"kernel failed in block {block_idx}, thread {flat_id}: {exc!r}",
+                        engine=self.name,
                     ) from exc
                 finally:
                     state.live.mark_exited(flat_id)
@@ -315,7 +319,8 @@ class WaveVectorEngine(Engine):
             except BaseException as exc:  # noqa: BLE001 - same surface as scalar engines
                 raise LaunchError(
                     f"kernel failed in block {block_idx} (wave batch of "
-                    f"{block.volume} lanes): {exc!r}"
+                    f"{block.volume} lanes): {exc!r}",
+                    engine=self.name,
                 ) from exc
             finally:
                 stats.absorb(ctx)
@@ -343,7 +348,8 @@ class WaveVectorEngine(Engine):
                 kernel(ctx, *args)
             except BaseException as exc:  # noqa: BLE001 - same surface as scalar engines
                 raise LaunchError(
-                    f"kernel failed in vector lanes [{start}, {stop}): {exc!r}"
+                    f"kernel failed in vector lanes [{start}, {stop}): {exc!r}",
+                    engine=self.name,
                 ) from exc
             finally:
                 stats.absorb(ctx)
@@ -370,6 +376,46 @@ _PLAN_CACHE: Dict[Tuple, Engine] = {}
 def clear_engine_plans() -> None:
     """Drop every memoized engine decision (tests and hot-reload hooks)."""
     _PLAN_CACHE.clear()
+
+
+def plan_key(
+    kernel: Callable,
+    device=None,
+    block: Optional[Dim3] = None,
+    hint: Optional[str] = None,
+) -> Optional[Tuple]:
+    """The memoization key :func:`select_engine` caches decisions under.
+
+    ``None`` when the kernel is unhashable (such launches are planned
+    fresh every time and never cached).
+    """
+    device_name = getattr(getattr(device, "spec", None), "name", None)
+    block_shape = block.as_tuple() if isinstance(block, Dim3) else block
+    try:
+        hash(kernel)
+    except TypeError:
+        return None
+    return (kernel, device_name, block_shape, hint)
+
+
+def describe_plan_key(
+    kernel: Callable,
+    device=None,
+    block: Optional[Dim3] = None,
+    hint: Optional[str] = None,
+) -> Tuple:
+    """Human-readable rendering of :func:`plan_key` for error messages.
+
+    The cache key proper holds the kernel *object*; error text (and the
+    trace summary) wants its name, so the first element is replaced with
+    the kernel's ``__name__`` (falling back through the wrapped ``fn``
+    the front-end adapters attach).
+    """
+    fn = getattr(kernel, "fn", None) or kernel
+    name = getattr(fn, "__name__", None) or repr(kernel)
+    device_name = getattr(getattr(device, "spec", None), "name", None)
+    block_shape = block.as_tuple() if isinstance(block, Dim3) else block
+    return (name, device_name, block_shape, hint)
 
 
 def _legacy_engine(kernel: Callable) -> Engine:
@@ -443,13 +489,8 @@ def select_engine(
                 f"{sorted(_ENGINES_BY_NAME)}",
                 hint=hint,
             ) from None
-    device_name = getattr(getattr(device, "spec", None), "name", None)
-    block_shape = block.as_tuple() if isinstance(block, Dim3) else block
-    key: Optional[Tuple] = (kernel, device_name, block_shape, hint)
-    try:
-        cached = _PLAN_CACHE.get(key)
-    except TypeError:  # unhashable kernel object
-        key, cached = None, None
+    key = plan_key(kernel, device, block, hint)
+    cached = _PLAN_CACHE.get(key) if key is not None else None
     if cached is not None:
         return cached
     engine = _plan(kernel)

@@ -22,8 +22,9 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..errors import LaunchError
+from ..trace import get_tracer
 from .dim import Dim3, DimLike, as_dim3
-from .engine import KernelStats, select_engine
+from .engine import KernelStats, describe_plan_key, select_engine
 from .stream import Stream
 
 __all__ = ["LaunchConfig", "launch_kernel"]
@@ -101,19 +102,60 @@ def launch_kernel(
         device = current_device()
     device.spec.validate_launch(config.grid, config.block, config.shared_bytes)
     engine = select_engine(kernel, device, config.block, hint=config.engine)
+    kernel_name = getattr(
+        getattr(kernel, "fn", None) or kernel, "__name__", "kernel"
+    )
 
     def run() -> KernelStats:
-        return engine.run(
-            kernel, config.grid, config.block, tuple(args), device, config.shared_bytes
-        )
+        tracer = get_tracer()
+        try:
+            if tracer is None:
+                return engine.run(
+                    kernel, config.grid, config.block, tuple(args), device,
+                    config.shared_bytes,
+                )
+            with tracer.span(
+                f"kernel:{kernel_name}",
+                cat="kernel",
+                engine=engine.name,
+                grid=list(config.grid.as_tuple()),
+                block=list(config.block.as_tuple()),
+                shared_bytes=config.shared_bytes,
+            ) as sp:
+                stats = engine.run(
+                    kernel, config.grid, config.block, tuple(args), device,
+                    config.shared_bytes,
+                )
+                # Harvest the launch's observed-behaviour counters into
+                # the span so trace consumers see what KernelStats saw.
+                sp.args.update(
+                    threads_run=stats.threads_run,
+                    blocks_run=stats.blocks_run,
+                    barriers=stats.barriers,
+                    warp_collectives=stats.warp_collectives,
+                    global_derefs=stats.global_derefs,
+                    shared_declarations=stats.shared_declarations,
+                )
+                tracer.counter("launches")
+                return stats
+        except LaunchError as exc:
+            if exc.engine is None:
+                exc.engine = engine.name
+            if exc.key is None:
+                exc.key = describe_plan_key(
+                    kernel, device, config.block, config.engine
+                )
+            raise
 
     if config.stream is not None and not synchronous:
-        config.stream.enqueue(run)
+        config.stream.enqueue(run, label=f"launch:{kernel_name}")
         return None
     if config.stream is not None:
         # Synchronous launch on a stream still respects stream ordering.
         result: list = []
-        config.stream.enqueue(lambda: result.append(run()))
+        config.stream.enqueue(
+            lambda: result.append(run()), label=f"launch:{kernel_name}"
+        )
         config.stream.synchronize()
         return result[0]
     return run()

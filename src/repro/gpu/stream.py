@@ -8,8 +8,20 @@ regions onto one of these.
 Each :class:`Stream` owns a worker thread draining a FIFO of closures.
 ``synchronize`` blocks until the queue is empty *and* the worker is idle —
 the same contract as ``cudaStreamSynchronize``.  Exceptions raised by
-queued work are captured and re-raised on the next synchronization point,
-mirroring CUDA's sticky-error behaviour.
+queued work are captured and re-raised at the next synchronization point,
+mirroring CUDA's sticky-error behaviour: that means
+``Stream.synchronize``, ``Event.synchronize`` on an event recorded on the
+stream, *and* any subsequent ``enqueue`` — like CUDA, once a stream is in
+error every later API call on it reports the error.  Synchronization
+clears the sticky state; a refused ``enqueue`` leaves it set so the error
+is still reported at the eventual sync.
+
+Tracing: when :func:`repro.trace.get_tracer` returns a tracer, every
+enqueued operation records a ``queued:<op>`` span (time spent waiting in
+the FIFO) followed by an ``exec:<op>`` span (the execution itself) on the
+stream's own track — which is what makes cross-stream overlap visible in
+a Chrome trace.  With tracing disabled the only cost is one global read
+per enqueue.
 """
 
 from __future__ import annotations
@@ -17,9 +29,10 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import GpuError
+from ..trace import get_tracer
 
 __all__ = ["Stream", "Event"]
 
@@ -32,6 +45,7 @@ class Event:
     def __init__(self, name: str = "") -> None:
         self.name = name or f"event-{next(_stream_ids)}"
         self._flag = threading.Event()
+        self._stream: Optional["Stream"] = None
 
     def _record(self) -> None:
         self._flag.set()
@@ -41,8 +55,25 @@ class Event:
         return self._flag.is_set()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
-        """Host-side wait (``cudaEventSynchronize``)."""
+        """Host-side wait (``cudaEventSynchronize`` without error reporting)."""
         return self._flag.wait(timeout)
+
+    def synchronize(self, timeout: Optional[float] = None) -> bool:
+        """Wait for the event, then re-raise the recording stream's sticky error.
+
+        The full ``cudaEventSynchronize`` contract: it is a
+        synchronization point, so an exception captured by earlier work
+        on the stream that recorded this event is re-raised here (and the
+        sticky state is cleared, as at ``Stream.synchronize``).
+        """
+        reached = self._flag.wait(timeout)
+        if self._stream is not None:
+            self._stream._raise_sticky(clear=True)
+        return reached
+
+
+def _label_for(fn: Callable[[], None]) -> str:
+    return getattr(fn, "__qualname__", None) or getattr(fn, "__name__", "op")
 
 
 class Stream:
@@ -82,11 +113,58 @@ class Stream:
                     if self._pending == 0:
                         self._idle.set()
 
-    def enqueue(self, fn: Callable[[], None]) -> None:
-        """Append an operation; it runs after everything already queued."""
+    def _traced(
+        self,
+        tracer,
+        fn: Callable[[], None],
+        label: Optional[str],
+        trace_cat: str,
+        trace_args: Optional[Dict[str, Any]],
+    ) -> Callable[[], None]:
+        """Wrap ``fn`` so its queue wait and execution record as spans."""
+        op = label or _label_for(fn)
+        track = f"stream:{self.name}"
+        enqueued_us = tracer.now_us()
+        args = dict(trace_args or {})
+        args["stream"] = self.name
+
+        def wrapped() -> None:
+            start_us = tracer.now_us()
+            tracer.add_span(f"queued:{op}", "queue", track, enqueued_us,
+                            start_us - enqueued_us, args)
+            with tracer.on_track(track):
+                with tracer.span(f"exec:{op}", cat=trace_cat, track=track, **args):
+                    fn()
+
+        return wrapped
+
+    def enqueue(
+        self,
+        fn: Callable[[], None],
+        *,
+        label: Optional[str] = None,
+        trace_cat: str = "stream",
+        trace_args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Append an operation; it runs after everything already queued.
+
+        If the stream is in the sticky-error state the enqueue is refused
+        by re-raising the captured error (without clearing it — only a
+        synchronization point clears).  ``label``/``trace_cat``/
+        ``trace_args`` name and annotate the operation's trace spans and
+        are ignored when tracing is disabled.
+        """
+        tracer = get_tracer()
+        if tracer is not None:
+            fn = self._traced(tracer, fn, label, trace_cat, trace_args)
         with self._lock:
             if self._closed:
                 raise GpuError(f"stream {self.name!r} is closed")
+            if self._errors:
+                raise GpuError(
+                    f"stream {self.name!r}: queued work failed (sticky error; "
+                    f"synchronize the stream to clear it)"
+                ) from self._errors[0]
             self._pending += 1
             self._idle.clear()
         self._queue.put(fn)
@@ -94,21 +172,28 @@ class Stream:
     def record_event(self, event: Optional[Event] = None) -> Event:
         """Enqueue an event record (``cudaEventRecord``)."""
         event = event or Event()
-        self.enqueue(event._record)
+        event._stream = self
+        self.enqueue(event._record, label=f"event-record:{event.name}")
         return event
 
     def wait_event(self, event: Event) -> None:
         """Make later work in this stream wait for ``event`` (``cudaStreamWaitEvent``)."""
-        self.enqueue(lambda: event._flag.wait())
+        self.enqueue(lambda: event._flag.wait(), label=f"wait-event:{event.name}")
+
+    def _raise_sticky(self, *, clear: bool) -> None:
+        """Re-raise the first captured error, optionally clearing the state."""
+        with self._lock:
+            if not self._errors:
+                return
+            first = self._errors[0]
+            if clear:
+                self._errors.clear()
+        raise GpuError(f"stream {self.name!r}: queued work failed") from first
 
     def synchronize(self) -> None:
         """Block until all queued work has run; re-raise any captured error."""
         self._idle.wait()
-        with self._lock:
-            if self._errors:
-                first = self._errors[0]
-                self._errors.clear()
-                raise GpuError(f"stream {self.name!r}: queued work failed") from first
+        self._raise_sticky(clear=True)
 
     @property
     def is_idle(self) -> bool:

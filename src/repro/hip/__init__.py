@@ -19,7 +19,7 @@ import numpy as np
 
 from ..cuda.builtins import FULL_MASK, CudaThread
 from ..cuda.kernel import KernelFunction
-from ..cuda.runtime import _do_memcpy
+from ..cuda.runtime import _TRACE_DIRECTION, _do_memcpy
 from ..errors import LaunchError
 from ..gpu.device import Device, get_device
 from ..gpu.dim import DimLike
@@ -142,7 +142,13 @@ def hipMemcpy(dst, src, count: int, kind: str) -> None:  # noqa: N802
 def hipMemcpyAsync(dst, src, count: int, kind: str, stream: Stream) -> None:  # noqa: N802
     """``hipMemcpyAsync``: enqueue a copy on a stream."""
     device = current_hip_device()
-    stream.enqueue(lambda: _do_memcpy(device, dst, src, count, kind))
+    stream.enqueue(
+        lambda: _do_memcpy(device, dst, src, count, kind),
+        label="hipMemcpyAsync",
+        trace_cat="memcpy",
+        trace_args={"bytes": int(count),
+                    "direction": _TRACE_DIRECTION.get(kind, str(kind))},
+    )
 
 
 def hipMemset(ptr: DevicePointer, value: int, count: int) -> None:  # noqa: N802
@@ -184,5 +190,9 @@ def hipEventRecord(event: Event, stream: Optional[Stream] = None) -> None:  # no
 
 
 def hipEventSynchronize(event: Event) -> None:  # noqa: N802
-    """``hipEventSynchronize``: host-wait for an event."""
-    event.wait()
+    """``hipEventSynchronize``: host-wait for an event.
+
+    A synchronization point: re-raises (and clears) a sticky error
+    captured by earlier work on the stream that recorded the event.
+    """
+    event.synchronize()

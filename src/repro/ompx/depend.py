@@ -23,6 +23,7 @@ from typing import Optional, Set
 from ..errors import DependenceError
 from ..openmp.interop import InteropObj
 from ..openmp.task import DependType, Task, TaskRuntime, register_depend_handler
+from ..trace import get_tracer
 
 __all__ = ["install", "taskwait_interop"]
 
@@ -41,7 +42,7 @@ def _interopobj_handler(
     stream = item.targetsync
     if task is None:
         # A taskwait with depend(interopobj: obj): stream synchronization.
-        stream.synchronize()
+        _synchronize_traced(stream)
         return
 
     def run_in_stream() -> None:
@@ -58,7 +59,11 @@ def _interopobj_handler(
             error = exc
         runtime.finish_extension_task(task, error)
 
-    stream.enqueue(run_in_stream)
+    stream.enqueue(
+        run_in_stream,
+        label=f"interop:{task.name}",
+        trace_args={"task": task.name, "predecessors": len(preds)},
+    )
 
 
 def install() -> None:
@@ -66,9 +71,20 @@ def install() -> None:
     register_depend_handler(DependType.INTEROPOBJ, _interopobj_handler)
 
 
+def _synchronize_traced(stream) -> None:
+    """Stream synchronization, recorded as a ``taskwait`` span when tracing."""
+    tracer = get_tracer()
+    if tracer is None:
+        stream.synchronize()
+        return
+    with tracer.span(f"taskwait:interopobj:{stream.name}", cat="sync",
+                     stream=stream.name):
+        stream.synchronize()
+
+
 def taskwait_interop(obj: InteropObj) -> None:
     """``#pragma omp taskwait depend(interopobj: obj)`` as a direct call."""
-    obj.targetsync.synchronize()
+    _synchronize_traced(obj.targetsync)
 
 
 # Importing repro.ompx activates the extension, mirroring "compile with the

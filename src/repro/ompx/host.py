@@ -26,6 +26,7 @@ from ..errors import MappingError
 from ..gpu.device import Device, current_device
 from ..gpu.memory import DevicePointer
 from ..gpu.stream import Stream
+from ..trace import get_tracer
 
 __all__ = [
     "ompx_malloc",
@@ -46,6 +47,17 @@ def _resolve_device(device: Optional[Device]) -> Device:
     return device if device is not None else current_device()
 
 
+def _memcpy_direction(dst, src) -> str:
+    """Inferred copy direction, also the trace span's ``direction`` arg."""
+    if isinstance(dst, DevicePointer) and isinstance(src, DevicePointer):
+        return "d2d"
+    if isinstance(dst, DevicePointer):
+        return "h2d"
+    if isinstance(src, DevicePointer):
+        return "d2h"
+    return "h2h"
+
+
 def ompx_malloc(
     size: int,
     device: Optional[Device] = None,
@@ -58,9 +70,15 @@ def ompx_malloc(
     passing ``stream=`` orders the allocation's visibility after the work
     already queued on that stream, like ``cudaMallocAsync``.
     """
-    ptr = _resolve_device(device).allocator.malloc(size)
+    tracer = get_tracer()
+    if tracer is None:
+        ptr = _resolve_device(device).allocator.malloc(size)
+    else:
+        with tracer.span("ompx_malloc", cat="host-api", bytes=int(size)):
+            ptr = _resolve_device(device).allocator.malloc(size)
     if stream is not None:
-        stream.enqueue(lambda: None)  # fence: later stream work sees the allocation
+        # fence: later stream work sees the allocation
+        stream.enqueue(lambda: None, label="ompx_malloc-fence")
     return ptr
 
 
@@ -102,11 +120,24 @@ def ompx_memcpy(
                 "just assign the arrays"
             )
 
+    direction = _memcpy_direction(dst, src)
     if stream is not None:
-        stream.enqueue(do_copy)
+        stream.enqueue(
+            do_copy,
+            label="ompx_memcpy",
+            trace_cat="memcpy",
+            trace_args={"bytes": int(size), "direction": direction},
+        )
         return
-    dev.default_stream.synchronize()
-    do_copy()
+    tracer = get_tracer()
+    if tracer is None:
+        dev.default_stream.synchronize()
+        do_copy()
+        return
+    with tracer.span("ompx_memcpy", cat="memcpy",
+                     bytes=int(size), direction=direction):
+        dev.default_stream.synchronize()
+        do_copy()
 
 
 def ompx_memset(
@@ -123,10 +154,21 @@ def ompx_memset(
     """
     dev = _resolve_device(device)
     if stream is not None:
-        stream.enqueue(lambda: dev.allocator.memset(ptr, value, size))
+        stream.enqueue(
+            lambda: dev.allocator.memset(ptr, value, size),
+            label="ompx_memset",
+            trace_cat="host-api",
+            trace_args={"bytes": int(size)},
+        )
         return
-    dev.default_stream.synchronize()
-    dev.allocator.memset(ptr, value, size)
+    tracer = get_tracer()
+    if tracer is None:
+        dev.default_stream.synchronize()
+        dev.allocator.memset(ptr, value, size)
+        return
+    with tracer.span("ompx_memset", cat="host-api", bytes=int(size)):
+        dev.default_stream.synchronize()
+        dev.allocator.memset(ptr, value, size)
 
 
 def ompx_memcpy_to_symbol(symbol: str, src, device: Optional[Device] = None) -> None:
@@ -145,7 +187,14 @@ def ompx_memcpy_from_symbol(dst: np.ndarray, symbol: str, device: Optional[Devic
 
 def ompx_device_synchronize(device: Optional[Device] = None) -> None:
     """``cudaDeviceSynchronize`` equivalent."""
-    _resolve_device(device).synchronize()
+    dev = _resolve_device(device)
+    tracer = get_tracer()
+    if tracer is None:
+        dev.synchronize()
+        return
+    with tracer.span("ompx_device_synchronize", cat="sync",
+                     device=dev.spec.name):
+        dev.synchronize()
 
 
 def ompx_stream_create(device: Optional[Device] = None, name: str = "") -> Stream:

@@ -32,6 +32,7 @@ from ..gpu.device import Device
 from ..gpu.dim import DimLike, as_dim3
 from ..gpu.engine import KernelStats
 from ..gpu.launch import LaunchConfig, launch_kernel
+from ..trace import get_tracer
 from .codegen import CodegenInfo, RegionTraits, lower_region
 from .data import DeviceDataEnvironment, data_environment
 from .runtime import OmpThread
@@ -166,7 +167,9 @@ def target_teams_distribute_parallel_for(
 
     def run():
         def body_fn(acc: TargetAccessor) -> TargetRegionReport:
-            if trip_count:
+            def execute() -> None:
+                if not trip_count:
+                    return
                 # Block-cyclic distribution over teams, like LLVM's
                 # distribute schedule; functionally a permutation of the
                 # iteration space, executed team by team.
@@ -181,6 +184,15 @@ def target_teams_distribute_parallel_for(
                     else:
                         for i in range(lb, ub):
                             body(i, acc)
+
+            tracer = get_tracer()
+            if tracer is None:
+                execute()
+            else:
+                with tracer.span("region:target_teams_loop", cat="region",
+                                 teams=teams, block=block,
+                                 trip_count=trip_count):
+                    execute()
             return TargetRegionReport(codegen=codegen, grid=teams, block=block)
 
         return _with_maps(device, maps, body_fn)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from ..compiler.compile import CompiledKernel
 from ..errors import PerfModelError
 from ..gpu.device import A100_SPEC, MI250_SPEC, DeviceSpec
+from ..trace import get_tracer
 from .occupancy import OccupancyInfo, compute_occupancy
 from .overheads import (
     globalization_extra_bytes,
@@ -131,6 +132,21 @@ def estimate_time(
     )
     overhead_s = launch_overhead_seconds(codegen, compiled.device)
     total = launches * (kernel_s + overhead_s)
+    tracer = get_tracer()
+    if tracer is not None:
+        # Record the prediction under the kernel's name so exporters can
+        # join it onto the matching observed kernel spans
+        # (predicted-vs-observed, per Figure 8 cell).
+        tracer.prediction(
+            compiled.name,
+            device=compiled.device.name,
+            language=compiled.language,
+            total_s=total,
+            kernel_s=launches * kernel_s,
+            overhead_s=launches * overhead_s,
+            launches=launches,
+            per_launch_s=kernel_s + overhead_s,
+        )
     return TimeBreakdown(
         total_s=total,
         kernel_s=launches * kernel_s,

@@ -1,0 +1,184 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, records, text summary.
+
+Three consumers, three shapes:
+
+* :func:`export_chrome` — a JSON array of Chrome ``trace_event`` objects
+  that loads directly in ``chrome://tracing`` and https://ui.perfetto.dev
+  (``ph: "X"`` complete events on named tracks, plus ``"M"`` metadata
+  events naming the tracks and ``"C"`` counter events).
+* :func:`to_records` — plain dicts for programmatic use; the harness
+  report embeds these (:func:`repro.harness.report.render_trace_summary`).
+* :func:`summary` — the ``nvprof``-style per-kernel table with a memcpy
+  rollup and, when the perf model ran under tracing, a
+  predicted-vs-observed comparison.
+
+Perf-model predictions are *joined* onto observed spans here: a
+``kernel:<name>`` span whose name matches a recorded prediction gains a
+``predicted_per_launch_s`` arg, so a Perfetto click (or a records
+consumer) sees model and measurement side by side.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .tracer import Tracer
+
+__all__ = [
+    "to_records",
+    "export_chrome",
+    "summary",
+    "validate_trace_events",
+    "validate_chrome_trace",
+]
+
+#: The one process id the simulated stack reports (there is one process).
+_PID = 1
+
+#: Event phases the exporter emits (and the validator accepts).
+_PHASES = {"X", "M", "C"}
+
+
+def to_records(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Flatten a tracer into structured record dicts.
+
+    Every record has ``name``, ``cat``, ``track``, ``ts_us``, ``dur_us``
+    and ``args``; span records additionally carry ``id``/``parent_id``.
+    Prediction records use ``cat="prediction"`` on the ``perf-model``
+    track with ``dur_us`` equal to the predicted total seconds, so even a
+    pure ``--estimate`` run produces a renderable trace.
+    """
+    predictions = tracer.predictions
+    by_kernel = {p["name"]: p for p in predictions}
+    records: List[Dict[str, Any]] = []
+    for sp in tracer.spans:
+        args = dict(sp.args)
+        if sp.cat == "kernel":
+            pred = by_kernel.get(sp.name[len("kernel:"):])
+            if pred is not None and "per_launch_s" in pred:
+                args["predicted_per_launch_s"] = pred["per_launch_s"]
+        records.append({
+            "name": sp.name,
+            "cat": sp.cat,
+            "track": sp.track,
+            "ts_us": sp.ts_us,
+            "dur_us": sp.dur_us,
+            "args": args,
+            "id": sp.id,
+            "parent_id": sp.parent_id,
+        })
+    for pred in predictions:
+        args = {k: v for k, v in pred.items() if k not in ("name", "ts_us")}
+        records.append({
+            "name": f"predict:{pred['name']}",
+            "cat": "prediction",
+            "track": "perf-model",
+            "ts_us": pred["ts_us"],
+            "dur_us": float(pred.get("total_s", 0.0)) * 1e6,
+            "args": args,
+        })
+    records.sort(key=lambda r: r["ts_us"])
+    return records
+
+
+def _chrome_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    tids: Dict[str, int] = {}
+    meta: List[Dict[str, Any]] = []
+
+    def tid_for(track: str) -> int:
+        if track not in tids:
+            tids[track] = len(tids) + 1
+            meta.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tids[track],
+                "ts": 0,
+                "args": {"name": track},
+            })
+        return tids[track]
+
+    events: List[Dict[str, Any]] = []
+    for rec in to_records(tracer):
+        events.append({
+            "name": rec["name"],
+            "cat": rec["cat"],
+            "ph": "X",
+            "ts": rec["ts_us"],
+            "dur": rec["dur_us"],
+            "pid": _PID,
+            "tid": tid_for(rec["track"]),
+            "args": rec["args"],
+        })
+    for name, value in sorted(tracer.counters.items()):
+        events.append({
+            "name": name,
+            "cat": "counter",
+            "ph": "C",
+            "ts": tracer.now_us(),
+            "pid": _PID,
+            "tid": tid_for("counters"),
+            "args": {"value": value},
+        })
+    return meta + events
+
+
+def export_chrome(tracer: Tracer, path: str) -> str:
+    """Write the tracer's contents as a Chrome ``trace_event`` JSON array."""
+    events = _chrome_events(tracer)
+    validate_trace_events(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(events, fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+def validate_trace_events(events: Any) -> None:
+    """Check ``events`` is a well-formed ``trace_event`` array; raise ``ValueError``.
+
+    What "well-formed" means here (and what the CI smoke test asserts):
+    a JSON array of objects, each with a known ``ph``, integer ``pid`` and
+    ``tid``, numeric non-negative ``ts``; complete (``"X"``) events must
+    additionally carry ``name``, ``cat``, numeric non-negative ``dur`` and
+    a dict ``args``.
+    """
+    if not isinstance(events, list):
+        raise ValueError(f"trace must be a JSON array, got {type(events).__name__}")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i}: not an object")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            raise ValueError(f"event {i}: unknown phase {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                raise ValueError(f"event {i}: {key} must be an integer")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event {i}: ts must be a non-negative number")
+        if ph == "X":
+            if not isinstance(ev.get("name"), str) or not ev["name"]:
+                raise ValueError(f"event {i}: X event needs a name")
+            if not isinstance(ev.get("cat"), str):
+                raise ValueError(f"event {i}: X event needs a cat")
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i}: dur must be a non-negative number")
+            if not isinstance(ev.get("args"), dict):
+                raise ValueError(f"event {i}: X event needs dict args")
+
+
+def validate_chrome_trace(path: str) -> List[Dict[str, Any]]:
+    """Load ``path`` and validate it; returns the event list."""
+    with open(path, "r", encoding="utf-8") as fh:
+        events = json.load(fh)
+    validate_trace_events(events)
+    return events
+
+
+def summary(tracer: Tracer) -> str:
+    """nvprof-style summary of the tracer, rendered by the harness report."""
+    from ..harness.report import render_trace_summary
+
+    return render_trace_summary(to_records(tracer))

@@ -1,0 +1,213 @@
+"""The :class:`Tracer` — thread-safe span/counter recording.
+
+A tracer is a monotonic-clock event recorder in the mould of CUPTI /
+rocprof's activity APIs: instrumented call sites open *spans* (named,
+categorised intervals on a *track*), bump *counters*, and attach
+arbitrary ``args`` to each span.  Spans nest — a ``kernel:`` span opened
+inside a stream ``exec:`` span records the latter as its parent — and
+recording is safe from any thread (stream workers, block threads, the
+host thread) because the finished-span list is guarded by a lock.
+
+Tracks
+------
+Every span lives on a track, the unit Perfetto renders as one horizontal
+row.  By default the track is ``host:<thread name>``; the stream layer
+overrides it (via :meth:`Tracer.on_track`) so everything a stream worker
+executes lands on that stream's ``stream:<name>`` row, which is what
+makes cross-stream overlap visible.
+
+Zero cost when disabled
+-----------------------
+The tracer itself never decides whether tracing is on.  Instrumented
+call sites ask :func:`repro.trace.get_tracer` and skip *all* of this
+module when it returns ``None`` — the disabled path is a single global
+read and an ``is None`` test.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One recorded interval: what ran, where, for how long.
+
+    ``ts_us``/``dur_us`` are microseconds relative to the tracer's epoch
+    (the monotonic clock at construction), matching the Chrome
+    ``trace_event`` convention.  ``args`` carries the span's structured
+    payload (engine name, byte counts, harvested KernelStats, ...).
+    """
+
+    name: str
+    cat: str
+    track: str
+    ts_us: float
+    dur_us: float = 0.0
+    args: Dict[str, Any] = field(default_factory=dict)
+    id: int = 0
+    parent_id: Optional[int] = None
+
+
+class Tracer:
+    """Thread-safe recorder of spans, counters and perf-model predictions.
+
+    Use :meth:`span` as a context manager around the work to be timed;
+    the yielded :class:`Span` is mutable, so instrumentation can attach
+    results that only exist afterwards (e.g. a launch's
+    :class:`~repro.gpu.engine.KernelStats` counters)::
+
+        with tracer.span("kernel:saxpy", cat="kernel", engine="vector") as sp:
+            stats = engine.run(...)
+            sp.args["threads_run"] = stats.threads_run
+
+    Exporters live in :mod:`repro.trace.export`; :meth:`to_records`,
+    :meth:`export_chrome` and :meth:`summary` are thin forwards so the
+    tracer object is the whole user-facing surface.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._predictions: List[Dict[str, Any]] = []
+        self._counters: Dict[str, float] = {}
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # --- clock / tracks ---------------------------------------------------
+    def now_us(self) -> float:
+        """Microseconds since this tracer's epoch (monotonic)."""
+        return (self._clock() - self._epoch) * 1e6
+
+    def _current_track(self) -> str:
+        override = getattr(self._local, "track", None)
+        if override is not None:
+            return override
+        return f"host:{threading.current_thread().name}"
+
+    @contextmanager
+    def on_track(self, track: str) -> Iterator[None]:
+        """Route this thread's spans onto ``track`` for the duration.
+
+        The stream worker uses this so nested spans (kernel runs, copies)
+        land on the stream's row rather than the worker thread's.
+        """
+        prev = getattr(self._local, "track", None)
+        self._local.track = track
+        try:
+            yield
+        finally:
+            self._local.track = prev
+
+    # --- recording --------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, cat: str = "host", track: Optional[str] = None,
+             **args: Any) -> Iterator[Span]:
+        """Record the enclosed interval as a span; yields the mutable span."""
+        sp = Span(
+            name=name,
+            cat=cat,
+            track=track or self._current_track(),
+            ts_us=self.now_us(),
+            args=dict(args),
+            id=next(self._ids),
+        )
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        if stack:
+            sp.parent_id = stack[-1].id
+        stack.append(sp)
+        try:
+            yield sp
+        finally:
+            stack.pop()
+            sp.dur_us = max(self.now_us() - sp.ts_us, 0.0)
+            with self._lock:
+                self._spans.append(sp)
+
+    def add_span(self, name: str, cat: str, track: str, ts_us: float,
+                 dur_us: float, args: Optional[Dict[str, Any]] = None) -> Span:
+        """Record a span retroactively from explicit timestamps.
+
+        The stream layer uses this for ``queued:`` spans — the interval
+        between enqueue and execution start is only known once execution
+        begins, after the interval has already elapsed.
+        """
+        sp = Span(name=name, cat=cat, track=track, ts_us=ts_us,
+                  dur_us=max(dur_us, 0.0), args=dict(args or {}),
+                  id=next(self._ids))
+        with self._lock:
+            self._spans.append(sp)
+        return sp
+
+    def counter(self, name: str, delta: float = 1.0) -> None:
+        """Bump a named monotonic counter (e.g. ``launches``)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + delta
+
+    def prediction(self, name: str, **fields: Any) -> None:
+        """Record the perf model's predicted seconds for a kernel.
+
+        ``name`` must be the compiled kernel's name so exporters can join
+        the prediction onto the matching observed ``kernel:`` spans
+        (predicted-vs-observed, per Figure 8 cell).
+        """
+        rec = {"name": name, "ts_us": self.now_us()}
+        rec.update(fields)
+        with self._lock:
+            self._predictions.append(rec)
+
+    # --- snapshots --------------------------------------------------------
+    @property
+    def spans(self) -> List[Span]:
+        """Snapshot of every finished span (copy; safe to iterate)."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def predictions(self) -> List[Dict[str, Any]]:
+        """Snapshot of recorded perf-model predictions."""
+        with self._lock:
+            return [dict(p) for p in self._predictions]
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of the counter table."""
+        with self._lock:
+            return dict(self._counters)
+
+    def clear(self) -> None:
+        """Drop everything recorded so far (tests, long-lived sessions)."""
+        with self._lock:
+            self._spans.clear()
+            self._predictions.clear()
+            self._counters.clear()
+
+    # --- export forwards --------------------------------------------------
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Structured record list (see :func:`repro.trace.export.to_records`)."""
+        from .export import to_records
+
+        return to_records(self)
+
+    def export_chrome(self, path: str) -> str:
+        """Write a Chrome/Perfetto ``trace_event`` JSON file; returns ``path``."""
+        from .export import export_chrome
+
+        return export_chrome(self, path)
+
+    def summary(self) -> str:
+        """nvprof-style text summary (per-kernel table + memcpy rollup)."""
+        from .export import summary
+
+        return summary(self)

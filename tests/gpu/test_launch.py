@@ -92,6 +92,43 @@ class TestLaunchKernel:
         with pytest.raises(LaunchError, match="LaunchConfig"):
             launch_kernel(lambda ctx: None, lambda ctx: None, (), nvidia)
 
+    def test_error_text_names_engine_and_plan_key(self, nvidia):
+        """str(LaunchError) carries the selected engine and the engine-plan
+        memoization key, so a failure can be matched to trace output."""
+
+        def exploding(ctx):
+            raise ValueError("boom")
+
+        exploding.sync_free = True
+        exploding.vectorize = False  # pin the legacy map engine
+
+        with pytest.raises(LaunchError) as excinfo:
+            launch_kernel(LaunchConfig.create(1, 4), exploding, (), nvidia)
+        text = str(excinfo.value)
+        assert "engine=map" in text
+        assert "plan_key=" in text
+        assert "exploding" in text  # the key names the kernel, not the object
+        assert nvidia.spec.name in text
+        assert excinfo.value.engine == "map"
+
+    def test_guard_rail_error_names_engine(self, nvidia):
+        """An engine refusing a launch (too many cooperative threads)
+        identifies itself in the rendered message."""
+
+        def barriered(ctx):  # not sync_free -> block-thread engine
+            ctx.barrier()
+
+        barriered.vectorize = False  # keep the wave engine from taking it
+
+        with pytest.raises(LaunchError) as excinfo:
+            launch_kernel(
+                LaunchConfig.create(100_000, 64), barriered, (), nvidia
+            )
+        text = str(excinfo.value)
+        assert "guard rail" in text
+        assert "engine=block-thread" in text
+        assert "plan_key=" in text
+
     def test_sync_launch_on_stream_respects_order(self, nvidia):
         stream = Stream(nvidia, name="ordered")
         try:

@@ -97,6 +97,17 @@ class TestEvents:
             b.close()
 
 
+def _wait_for_failure(stream, timeout: float = 2.0) -> None:
+    """Let the worker capture a queued failure without synchronizing."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with stream._lock:
+            if stream._errors:
+                return
+        time.sleep(0.001)
+    raise AssertionError("queued failure was never captured")
+
+
 class TestErrors:
     def test_error_is_sticky_until_synchronize(self, nvidia):
         s = Stream(nvidia, name="err")
@@ -114,13 +125,60 @@ class TestErrors:
         s = Stream(nvidia, name="err2")
         try:
             log = []
+            gate = threading.Event()
+            # Hold the worker so all enqueues happen before the failure
+            # is captured (enqueue itself re-raises sticky errors).
+            s.enqueue(gate.wait)
             s.enqueue(lambda: 1 / 0)
             s.enqueue(lambda: log.append("after"))
+            gate.set()
             with pytest.raises(GpuError):
                 s.synchronize()
             assert log == ["after"]
         finally:
             s.close()
+
+    def test_enqueue_reraises_sticky_error(self, nvidia):
+        """Regression: a captured error is re-raised by later enqueues, not
+        only by Stream.synchronize (CUDA sticky-error behaviour)."""
+        s = Stream(nvidia, name="err3")
+        try:
+            s.enqueue(lambda: 1 / 0)
+            _wait_for_failure(s)
+            with pytest.raises(GpuError, match="queued work failed"):
+                s.enqueue(lambda: None)
+            # The refused enqueue did NOT clear the sticky state ...
+            with pytest.raises(GpuError, match="queued work failed"):
+                s.synchronize()
+            # ... but synchronizing did.
+            s.enqueue(lambda: None)
+            s.synchronize()
+        finally:
+            s.close()
+
+    def test_event_synchronize_reraises_sticky_error(self, nvidia):
+        """Regression: Event.synchronize is a synchronization point and
+        re-raises (then clears) the recording stream's captured error."""
+        s = Stream(nvidia, name="err4")
+        try:
+            gate = threading.Event()
+            s.enqueue(gate.wait)
+            s.enqueue(lambda: 1 / 0)
+            ev = s.record_event()
+            gate.set()
+            assert ev.wait(timeout=2)
+            with pytest.raises(GpuError, match="queued work failed"):
+                ev.synchronize()
+            # cleared: the stream is usable again
+            s.enqueue(lambda: None)
+            s.synchronize()
+        finally:
+            s.close()
+
+    def test_event_synchronize_without_stream_just_waits(self):
+        ev = Event()
+        ev._record()
+        assert ev.synchronize(timeout=1)
 
     def test_enqueue_after_close_rejected(self, nvidia):
         s = Stream(nvidia, name="closed")

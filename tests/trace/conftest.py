@@ -1,0 +1,13 @@
+"""Trace-test fixtures: never leak an enabled tracer into other tests."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.trace as trace
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_tracer():
+    yield
+    trace.disable()

@@ -1,0 +1,58 @@
+"""Smoke test: ``python -m repro.apps stencil1d --trace out.json``.
+
+Satellite of the trace subsystem: the CLI flag must produce a file that
+validates against the Chrome ``trace_event`` schema, in both estimate
+(default) and functional-run modes.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro.trace as trace
+from repro.apps.__main__ import main
+from repro.trace import validate_chrome_trace
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSubprocess:
+    def test_estimate_mode_writes_valid_trace(self, tmp_path):
+        out = tmp_path / "t.json"
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.apps", "stencil1d",
+             "--trace", str(out)],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        events = validate_chrome_trace(str(out))
+        assert events, "trace file is empty"
+        # estimate mode emits perf-model prediction events
+        predictions = [e for e in events if e.get("cat") == "prediction"]
+        assert predictions, "no perf-model predictions in estimate-mode trace"
+        assert "repro.trace profile summary" in proc.stdout
+        assert str(out) in proc.stdout
+
+
+class TestInProcess:
+    def test_run_mode_traces_kernel_launches(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        rc = main(["stencil1d", "--run", "--trace", str(out)])
+        captured = capsys.readouterr()
+        assert rc == 0, captured.err
+        assert trace.get_tracer() is None  # CLI cleaned up after itself
+        events = validate_chrome_trace(str(out))
+        kernels = [e for e in events if e.get("cat") == "kernel"]
+        assert kernels, "functional run produced no kernel events"
+        for ev in kernels:
+            assert ev["args"]["engine"]
+            assert "threads_run" in ev["args"]
+        assert "verification PASSED" in captured.out
+
+    def test_trace_file_is_json_array(self, tmp_path):
+        out = tmp_path / "arr.json"
+        assert main(["stencil1d", "--run", "--trace", str(out)]) == 0
+        assert isinstance(json.loads(out.read_text()), list)

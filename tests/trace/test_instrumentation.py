@@ -1,0 +1,153 @@
+"""Trace instrumentation of streams, ompx host APIs and interop enqueues."""
+
+import numpy as np
+import pytest
+
+import repro.trace as trace
+from repro import ompx
+from repro.gpu.stream import Stream
+from repro.openmp import interop_destroy, interop_init
+
+
+@pytest.fixture
+def tracer():
+    return trace.enable()
+
+
+def spans_named(tracer, prefix):
+    return [s for s in tracer.spans if s.name.startswith(prefix)]
+
+
+class TestStreamSpans:
+    def test_enqueue_records_queued_and_exec_pair(self, tracer, nvidia):
+        s = Stream(nvidia, name="traced")
+        try:
+            s.enqueue(lambda: None, label="op1")
+            s.synchronize()
+        finally:
+            s.close()
+        (queued,) = spans_named(tracer, "queued:op1")
+        (execd,) = spans_named(tracer, "exec:op1")
+        assert queued.cat == "queue"
+        assert execd.cat == "stream"
+        assert queued.track == execd.track == "stream:traced"
+        assert queued.args["stream"] == "traced"
+        # the queue wait ends where execution begins
+        assert queued.ts_us + queued.dur_us <= execd.ts_us + 1e-3
+
+    def test_nested_work_lands_on_stream_track(self, tracer, nvidia):
+        """Spans opened *inside* queued work inherit the stream's track."""
+        s = Stream(nvidia, name="nested")
+
+        def work():
+            with tracer.span("inner"):
+                pass
+
+        try:
+            s.enqueue(work, label="outer")
+            s.synchronize()
+        finally:
+            s.close()
+        (inner,) = spans_named(tracer, "inner")
+        assert inner.track == "stream:nested"
+
+    def test_event_record_is_labelled(self, tracer, nvidia):
+        s = Stream(nvidia, name="ev")
+        try:
+            ev = s.record_event()
+            s.synchronize()
+        finally:
+            s.close()
+        assert spans_named(tracer, f"exec:event-record:{ev.name}")
+
+
+class TestHostApiSpans:
+    def test_malloc_memset_memcpy_sync_spans(self, tracer, nvidia):
+        data = np.arange(64, dtype=np.float64)
+        ptr = ompx.ompx_malloc(data.nbytes, nvidia)
+        try:
+            ompx.ompx_memset(ptr, 0, data.nbytes, nvidia)
+            ompx.ompx_memcpy(ptr, data, data.nbytes, nvidia)
+            out = np.zeros_like(data)
+            ompx.ompx_memcpy(out, ptr, data.nbytes, nvidia)
+            ompx.ompx_device_synchronize(nvidia)
+        finally:
+            ompx.ompx_free(ptr, nvidia)
+        assert np.array_equal(out, data)
+
+        (malloc,) = spans_named(tracer, "ompx_malloc")
+        assert malloc.cat == "host-api" and malloc.args["bytes"] == data.nbytes
+        (memset,) = spans_named(tracer, "ompx_memset")
+        assert memset.cat == "host-api" and memset.args["bytes"] == data.nbytes
+        h2d, d2h = spans_named(tracer, "ompx_memcpy")
+        assert h2d.cat == d2h.cat == "memcpy"
+        assert h2d.args == {"bytes": data.nbytes, "direction": "h2d"}
+        assert d2h.args == {"bytes": data.nbytes, "direction": "d2h"}
+        (sync,) = spans_named(tracer, "ompx_device_synchronize")
+        assert sync.cat == "sync" and sync.args["device"] == nvidia.spec.name
+
+    def test_async_memcpy_spans_carry_direction(self, tracer, nvidia):
+        s = ompx.ompx_stream_create(nvidia, name="copies")
+        data = np.arange(16, dtype=np.int32)
+        ptr = ompx.ompx_malloc(data.nbytes, nvidia)
+        try:
+            ompx.ompx_memcpy(ptr, data, data.nbytes, nvidia, stream=s)
+            out = np.zeros_like(data)
+            ompx.ompx_memcpy(out, ptr, data.nbytes, nvidia, stream=s)
+            ompx.ompx_stream_synchronize(s)
+        finally:
+            s.close()
+            ompx.ompx_free(ptr, nvidia)
+        assert np.array_equal(out, data)
+        copies = [s_ for s_ in spans_named(tracer, "exec:ompx_memcpy")]
+        assert [c.args["direction"] for c in copies] == ["h2d", "d2h"]
+        assert all(c.cat == "memcpy" for c in copies)
+        assert all(c.track == "stream:copies" for c in copies)
+        # the matching queue-wait spans exist too
+        assert len(spans_named(tracer, "queued:ompx_memcpy")) == 2
+
+
+class TestInteropSpans:
+    def test_depend_interopobj_enqueue_and_taskwait(self, tracer, nvidia):
+        from repro.openmp import TaskRuntime
+        from repro.openmp.task import DependType
+
+        rt = TaskRuntime(num_helpers=2)
+        interop = interop_init(targetsync=True, device=nvidia)
+        stream_name = interop.targetsync.name
+        try:
+            ompx.target_teams_bare(
+                nvidia, 1, 4, lambda x: None, nowait=True,
+                depend=[(DependType.INTEROPOBJ, interop)], task_runtime=rt,
+            )
+            rt.taskwait([(DependType.INTEROPOBJ, interop)])
+        finally:
+            interop_destroy(interop)
+            rt.shutdown()
+
+        interop_execs = spans_named(tracer, "exec:interop:")
+        assert len(interop_execs) == 1
+        assert interop_execs[0].track == f"stream:{stream_name}"
+        assert "task" in interop_execs[0].args
+        taskwaits = spans_named(tracer, "taskwait:interopobj:")
+        assert len(taskwaits) == 1
+        assert taskwaits[0].cat == "sync"
+        # the dispatched kernel itself traced on the interop stream
+        kernels = [s for s in tracer.spans if s.cat == "kernel"]
+        assert len(kernels) == 1
+        assert kernels[0].track == f"stream:{stream_name}"
+
+
+class TestSummaryConsistency:
+    def test_summary_counts_match_spans(self, tracer, nvidia):
+        @ompx.bare_kernel(sync_free=True)
+        def tick(x):
+            pass
+
+        for _ in range(3):
+            ompx.target_teams_bare(nvidia, 1, 8, tick)
+        kernels = [s for s in tracer.spans if s.cat == "kernel"]
+        assert len(kernels) == 3
+        assert tracer.counters["launches"] == 3
+        text = tracer.summary()
+        assert "tick" in text
