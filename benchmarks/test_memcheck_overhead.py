@@ -1,0 +1,68 @@
+"""Disabled fault hooks and memcheck must not slow down launches.
+
+The robustness subsystems make the same zero-cost-when-disabled claim as
+tracing: with no fault plan injected and no sanitizer active, every hook
+is a single module-global read plus an ``is None`` test.  Same
+methodology as ``test_trace_overhead.py``: launch a tiny kernel many
+times with the instrumentation disabled and enabled, and assert the
+disabled path stays within noise of (never above) the enabled path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.gpu import LaunchConfig, get_device, launch_kernel
+
+LAUNCHES = 200
+WARMUP = 20
+
+
+def _noop(ctx):
+    pass
+
+
+# Pin the cheap map engine so the measurement is launch overhead, not
+# engine execution.
+_noop.sync_free = True
+_noop.vectorize = False
+
+
+def _time_launches(nvidia, n: int) -> float:
+    cfg = LaunchConfig.create(1, 32)
+    start = time.perf_counter()
+    for _ in range(n):
+        launch_kernel(cfg, _noop, (), nvidia)
+    return time.perf_counter() - start
+
+
+@pytest.mark.slow
+@pytest.mark.faults
+def test_disabled_fault_hooks_add_no_launch_overhead():
+    nvidia = get_device(0)
+    _time_launches(nvidia, WARMUP)  # warm caches/plan memo before timing
+
+    assert faults.active_plan() is None
+    assert faults.get_memcheck() is None
+    disabled_s = _time_launches(nvidia, LAUNCHES)
+
+    # Enabled: a live (never-firing) plan plus the sanitizer, so every
+    # launch pays rule matching and every load/store pays bounds checks.
+    with faults.inject("launch:kernel_fault,kernel=never-matches"):
+        with faults.memcheck():
+            enabled_s = _time_launches(nvidia, LAUNCHES)
+
+    # The disabled path does strictly less work than the enabled path, so
+    # it must be no slower (modulo scheduler noise; 1.5x + 2ms of slack
+    # keeps this stable on loaded CI machines).
+    assert disabled_s <= enabled_s * 1.5 + 2e-3, (
+        f"disabled fault hooks cost {disabled_s:.4f}s for {LAUNCHES} "
+        f"launches vs {enabled_s:.4f}s enabled — the disabled path is not "
+        f"zero-cost"
+    )
+    per_launch_us = disabled_s / LAUNCHES * 1e6
+    print(f"\ndisabled: {per_launch_us:.1f} us/launch, "
+          f"enabled: {enabled_s / LAUNCHES * 1e6:.1f} us/launch")

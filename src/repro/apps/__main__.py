@@ -15,12 +15,19 @@ the run's spans (kernel launches, stream ops, ompx host calls, perf-model
 predictions) are written as a Chrome/Perfetto ``trace_event`` JSON and an
 ``nvprof``-style summary table is printed.
 
+``--faults SPEC`` runs the app under a seeded :mod:`repro.faults`
+injection plan (e.g. ``"malloc:oom@3;seed=7"``) and prints the injected
+fault log afterwards; ``--memcheck`` runs it under the memory sanitizer
+and prints the leak/OOB report.
+
 Examples::
 
     python -m repro.apps xsbench -m event
     python -m repro.apps su3 -i 1000 -l 32 -t 128 -v 3 -w 1 --estimate
     python -m repro.apps stencil1d 134217728 1000 --run --variant ompx
     python -m repro.apps stencil1d --run --trace out.json
+    python -m repro.apps stencil1d --run --faults "memcpy:truncate@1,bytes=64;seed=1"
+    python -m repro.apps adam --run --memcheck
 """
 
 from __future__ import annotations
@@ -29,8 +36,9 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .. import faults as faults_mod
 from .. import trace as trace_mod
-from ..errors import AppError
+from ..errors import AppError, FaultSpecError, ReproError
 from ..gpu import get_device
 from ..harness.report import format_seconds
 from ..perf.timing import AMD_SYSTEM, NVIDIA_SYSTEM
@@ -83,6 +91,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--trace", metavar="OUT.json", default=None,
                         help="profile the run and write a Chrome/Perfetto "
                              "trace_event JSON to this path")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="run under a seeded fault-injection plan, e.g. "
+                             "'malloc:oom@3;seed=7' (see repro.faults)")
+    parser.add_argument("--memcheck", action="store_true",
+                        help="run under the memory sanitizer and print its "
+                             "report")
     flags = parser.parse_args(flag_args)
 
     try:
@@ -91,9 +105,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"bad arguments: {exc}", file=sys.stderr)
         return 2
 
+    try:
+        plan = faults_mod.FaultPlan.parse(flags.faults) if flags.faults else None
+    except FaultSpecError as exc:
+        print(f"bad --faults spec: {exc}", file=sys.stderr)
+        return 2
+
     tracer = trace_mod.enable() if flags.trace else None
     try:
-        return _dispatch(app, flags, params)
+        return _run_instrumented(app, flags, params, plan)
     finally:
         if tracer is not None:
             trace_mod.disable()
@@ -102,6 +122,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(tracer.summary())
             print(f"trace written to {flags.trace} "
                   f"(load it at https://ui.perfetto.dev)")
+
+
+def _run_instrumented(app, flags, params, plan) -> int:
+    """Dispatch one app run under the requested fault/sanitizer scopes.
+
+    With a fault plan active a library error is the *expected* outcome:
+    it is reported cleanly with the injected-fault log (exit code 1)
+    instead of a traceback.
+    """
+    if plan is None and not flags.memcheck:
+        return _dispatch(app, flags, params)
+    checker = None
+    try:
+        if plan is not None and flags.memcheck:
+            with faults_mod.inject(plan), faults_mod.memcheck() as checker:
+                code = _dispatch(app, flags, params)
+        elif plan is not None:
+            with faults_mod.inject(plan):
+                code = _dispatch(app, flags, params)
+        else:
+            with faults_mod.memcheck() as checker:
+                code = _dispatch(app, flags, params)
+    except ReproError as exc:
+        print(f"\n{type(exc).__name__}: {exc}", file=sys.stderr)
+        code = 1
+    finally:
+        if plan is not None:
+            print()
+            print(plan.summary())
+    if checker is not None:
+        print()
+        print(checker.report.summary())
+        if not checker.report.clean:
+            code = code or 1
+    return code
 
 
 def _dispatch(app, flags, params) -> int:

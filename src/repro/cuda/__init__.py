@@ -9,6 +9,7 @@ and events.  Kernels see CUDA spellings through :class:`CudaThread`.
 from .builtins import FULL_MASK, CudaThread
 from .kernel import KernelFunction, kernel, launch
 from .runtime import (
+    cudaDeviceReset,
     cudaDeviceSynchronize,
     cudaEventCreate,
     cudaEventRecord,
@@ -38,6 +39,7 @@ __all__ = [
     "KernelFunction",
     "kernel",
     "launch",
+    "cudaDeviceReset",
     "cudaDeviceSynchronize",
     "cudaEventCreate",
     "cudaEventRecord",

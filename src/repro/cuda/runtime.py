@@ -27,6 +27,7 @@ __all__ = [
     "cudaMemcpyToSymbol",
     "cudaMemcpyFromSymbol",
     "cudaDeviceSynchronize",
+    "cudaDeviceReset",
     "cudaSetDevice",
     "cudaGetDevice",
     "cudaStreamCreate",
@@ -133,6 +134,16 @@ def cudaMemset(ptr: DevicePointer, value: int, count: int) -> None:  # noqa: N80
 def cudaDeviceSynchronize() -> None:  # noqa: N802
     """Block until all streams of the current device are idle."""
     current_cuda_device().synchronize()
+
+
+def cudaDeviceReset() -> None:  # noqa: N802
+    """``cudaDeviceReset``: destroy the current device's context.
+
+    Streams, allocations and constant symbols are torn down and the
+    sticky error (if the context was poisoned by a kernel fault) is
+    cleared; the next API call re-initializes a fresh context.
+    """
+    current_cuda_device().reset()
 
 
 def cudaMemcpyToSymbol(symbol: str, src) -> None:  # noqa: N802

@@ -11,11 +11,15 @@ __all__ = [
     "ReproError",
     "GpuError",
     "LaunchError",
+    "KernelFault",
+    "MemcheckError",
+    "StickyContextError",
     "MemoryError_",
     "InvalidPointerError",
     "OutOfMemoryError",
     "SyncError",
     "CompileError",
+    "FaultSpecError",
     "OpenMPError",
     "MappingError",
     "DependenceError",
@@ -69,7 +73,146 @@ class LaunchError(GpuError):
             extra.append(f"engine={self.engine}")
         if self.key is not None:
             extra.append(f"plan_key={self.key!r}")
+        if extra:
+            base = f"{base} [{', '.join(extra)}]"
+        if self.hint is not None:
+            base = f"{base} (hint: {self.hint})"
+        return base
+
+    # Structured context must survive pickling (stream workers hand errors
+    # across threads; test harnesses hand them across processes).  The
+    # default BaseException reduction re-calls ``cls(*args)``, which would
+    # drop every keyword-only field, so reduce to (message, state) instead.
+    def _state(self) -> dict:
+        return {
+            "engine": self.engine,
+            "cap": self.cap,
+            "requested": self.requested,
+            "hint": self.hint,
+            "key": self.key,
+        }
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "",), self._state())
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.args == other.args and self._state() == other._state()
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.args))
+
+
+class KernelFault(GpuError):
+    """A device-side fault raised while a kernel was executing.
+
+    The analogue of the CUDA/HIP "illegal address in kernel" family
+    (``cudaErrorIllegalAddress``, ``hipErrorIllegalAddress``): unlike a
+    launch-configuration error, a kernel fault *poisons* the owning device
+    context — every subsequent launch/memcpy/sync on the device re-reports
+    it until ``device_reset()`` (see :meth:`repro.gpu.device.Device.reset`).
+
+    ``injected=True`` marks faults raised by the :mod:`repro.faults`
+    injection framework, so retry/fallback policies can tell a scripted
+    failure from an organic one.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        kernel: "str | None" = None,
+        block: "object | None" = None,
+        address: "int | None" = None,
+        injected: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.kernel = kernel
+        self.block = block
+        self.address = address
+        self.injected = injected
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        extra = []
+        if self.kernel is not None:
+            extra.append(f"kernel={self.kernel}")
+        if self.block is not None:
+            extra.append(f"block={self.block}")
+        if self.address is not None:
+            extra.append(f"address=0x{self.address:x}")
+        if self.injected:
+            extra.append("injected")
         return f"{base} [{', '.join(extra)}]" if extra else base
+
+    def _state(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "block": self.block,
+            "address": self.address,
+            "injected": self.injected,
+        }
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "",), self._state())
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.args == other.args and self._state() == other._state()
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.args))
+
+
+class MemcheckError(KernelFault):
+    """A memory-safety violation caught by the memcheck sanitizer.
+
+    Subclasses :class:`KernelFault` because an out-of-bounds device access
+    is exactly the fault class that poisons a real GPU context — running
+    under the sanitizer makes it *observable*, not less severe.
+    """
+
+
+class StickyContextError(GpuError):
+    """The device context was poisoned by an earlier unhandled kernel fault.
+
+    Mirrors CUDA's sticky-error contract: after an illegal access, every
+    API call on the context returns the original error until the context
+    is torn down.  ``original`` is the captured fault (also chained as
+    ``__cause__``); recover with ``ompx_device_reset``/``cudaDeviceReset``/
+    ``hipDeviceReset`` or :meth:`repro.gpu.device.Device.reset`.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        device: "int | None" = None,
+        original: "BaseException | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.device = device
+        self.original = original
+
+
+class FaultSpecError(ReproError):
+    """A ``--faults`` specification string could not be parsed."""
 
 
 class MemoryError_(GpuError):

@@ -1,0 +1,43 @@
+"""Deterministic fault injection and sanitizers for the simulated GPU.
+
+Three tools for exercising the failure paths the rest of the library
+implements (CUDA-sticky contexts, OOM, invalid pointers, stream aborts):
+
+* :func:`inject` — activate a seeded :class:`FaultPlan` ("fail the 3rd
+  malloc with OOM", "raise a kernel fault in block 2 after 1 barrier").
+  Same spec + seed ⇒ byte-identical fault sequence.
+* :func:`memcheck` — compute-sanitizer-style validation of device
+  loads/stores against live allocation bounds, with leak/double-free
+  reporting at scope exit.
+* The ``--faults=SPEC`` / ``--memcheck`` flags on ``python -m repro.apps``
+  wire both into the benchmark harness.
+
+See README "Fault injection and sanitizers" for the CLI walkthrough and
+the mapping from our exception types to CUDA/HIP error codes.
+"""
+
+from __future__ import annotations
+
+from ..errors import FaultSpecError, KernelFault, MemcheckError, StickyContextError
+from .inject import active_plan, current_kernel, fire, inject, kernel_scope
+from .memcheck import Memcheck, MemcheckReport, get_memcheck, memcheck
+from .plan import SITES, FaultPlan, FaultRule
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "SITES",
+    "inject",
+    "active_plan",
+    "fire",
+    "kernel_scope",
+    "current_kernel",
+    "memcheck",
+    "get_memcheck",
+    "Memcheck",
+    "MemcheckReport",
+    "FaultSpecError",
+    "KernelFault",
+    "MemcheckError",
+    "StickyContextError",
+]

@@ -1,0 +1,102 @@
+"""Activation of fault plans: one process-wide plan, context-managed.
+
+Mirrors the :mod:`repro.trace` enable/disable design so the runtime pays
+the same disabled cost: every instrumented call site does one module
+global read (:func:`active_plan`) and an ``is None`` test.  Plans are
+process-wide rather than thread-local because faults must be observable
+across threads — an injected kernel fault fires on engine worker
+threads, a delayed enqueue on the stream worker — while activation
+happens on the host thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Union
+
+from .plan import FaultPlan
+
+__all__ = ["inject", "active_plan", "fire", "kernel_scope", "current_kernel"]
+
+_active: Optional[FaultPlan] = None
+_lock = threading.Lock()
+_local = threading.local()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently injected :class:`FaultPlan`, or ``None``.
+
+    This is the fast path — instrumentation points call it on every
+    malloc/launch/enqueue, so it must stay a bare global read.
+    """
+    return _active
+
+
+@contextmanager
+def inject(plan: Union[FaultPlan, str], *, seed: Optional[int] = None) -> Iterator[FaultPlan]:
+    """Activate ``plan`` (a :class:`FaultPlan` or a spec string) within a scope.
+
+    ::
+
+        with faults.inject("malloc:oom@3;seed=7") as plan:
+            run_workload()
+        print(plan.summary())
+
+    Plans do not nest: activating a second plan while one is live raises,
+    because two plans racing for the same call sites would make the
+    injected sequence depend on scheduling — the opposite of the
+    deterministic-replay contract.
+    """
+    global _active
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    if seed is not None:
+        plan = FaultPlan(plan.rules, seed=seed)
+    with _lock:
+        if _active is not None:
+            from ..errors import FaultSpecError
+
+            raise FaultSpecError(
+                "a fault plan is already active; faults.inject() does not nest"
+            )
+        _active = plan
+    try:
+        yield plan
+    finally:
+        with _lock:
+            _active = None
+
+
+def fire(site: str, **context: Any) -> Dict[str, Any]:
+    """Fire the active plan at ``site`` (no-op empty dict when inactive).
+
+    Convenience for call sites that want one call instead of the
+    read-then-fire pair; hot paths inline the ``active_plan()`` check.
+    """
+    plan = _active
+    if plan is None:
+        return {}
+    return plan.fire(site, **context)
+
+
+@contextmanager
+def kernel_scope(name: str) -> Iterator[None]:
+    """Tag the current thread as executing kernel ``name``.
+
+    Lets rules with ``kernel=`` selectors match sites that do not receive
+    the kernel name directly (e.g. a memcpy issued from host code between
+    launches is *not* tagged; one issued inside an instrumented launch
+    wrapper is).
+    """
+    prev = getattr(_local, "kernel", None)
+    _local.kernel = name
+    try:
+        yield
+    finally:
+        _local.kernel = prev
+
+
+def current_kernel() -> Optional[str]:
+    """Kernel name tagged on this thread by :func:`kernel_scope`, if any."""
+    return getattr(_local, "kernel", None)

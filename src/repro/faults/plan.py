@@ -1,0 +1,374 @@
+"""Deterministic, seedable fault-injection plans.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule` objects plus an
+explicit RNG seed.  Each rule names an instrumentation *site* (the same
+choke points :mod:`repro.trace` instruments), an *action* to take there,
+and a trigger (the Nth matching call, every k-th call, or a seeded
+probability).  Plans are pure data + counters: given the same workload
+and the same ``(spec, seed)``, the injected-fault sequence — recorded in
+:attr:`FaultPlan.log` — replays byte-identically.
+
+Sites and actions
+-----------------
+======== ===========================================================
+site     actions
+======== ===========================================================
+malloc   ``oom`` (raise OutOfMemoryError), ``error``
+free     ``invalid_pointer`` (raise InvalidPointerError), ``error``
+memcpy   ``truncate`` (copy only ``bytes=`` bytes), ``error``
+memset   ``error``
+launch   ``kernel_fault`` (raise KernelFault — optionally only in
+         block ``block=`` and only after ``after_barriers=`` barriers),
+         ``error``
+enqueue  ``delay`` (sleep ``delay=`` seconds before the op runs),
+         ``abort`` (refuse the enqueue)
+======== ===========================================================
+
+Spec strings
+------------
+The CLI flag ``--faults=SPEC`` and :meth:`FaultPlan.parse` accept a
+semicolon-separated rule list::
+
+    seed=42;malloc:oom@3;memcpy:truncate@2,bytes=16
+    launch:kernel_fault,kernel=stencil,block=2,after_barriers=1
+    enqueue:delay,stream=copyq,delay=0.01,every=2;enqueue:abort,p=0.1
+
+``site:action`` is mandatory; ``@N`` fires on the Nth matching call;
+``every=K`` fires on every K-th; ``p=X`` fires with probability X drawn
+from the plan's seeded RNG; ``kernel=``/``stream=``/``device=`` restrict
+matching; remaining ``key=value`` pairs are the action payload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import (
+    FaultSpecError,
+    GpuError,
+    InvalidPointerError,
+    KernelFault,
+    OutOfMemoryError,
+)
+
+__all__ = ["FaultRule", "FaultPlan", "SITES"]
+
+#: Instrumentation points a rule may attach to, mirroring repro.trace.
+SITES = ("malloc", "free", "memcpy", "memset", "launch", "enqueue")
+
+_ACTIONS: Dict[str, Tuple[str, ...]] = {
+    "malloc": ("oom", "error"),
+    "free": ("invalid_pointer", "error"),
+    "memcpy": ("truncate", "error"),
+    "memset": ("error",),
+    "launch": ("kernel_fault", "error"),
+    "enqueue": ("delay", "abort", "error"),
+}
+
+#: Rule keys that select *which* calls match, compared as strings against
+#: the context the instrumentation point passes to :meth:`FaultPlan.fire`.
+_MATCH_KEYS = ("kernel", "stream", "device", "direction", "op")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: where to fire, when, and what to do."""
+
+    site: str
+    action: str
+    nth: Optional[int] = None
+    every: Optional[int] = None
+    probability: Optional[float] = None
+    max_fires: Optional[int] = None
+    match: Tuple[Tuple[str, str], ...] = ()
+    payload: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise FaultSpecError(
+                f"unknown fault site {self.site!r}; choose one of {SITES}"
+            )
+        if self.action not in _ACTIONS[self.site]:
+            raise FaultSpecError(
+                f"site {self.site!r} does not support action {self.action!r}; "
+                f"choose one of {_ACTIONS[self.site]}"
+            )
+        if self.nth is not None and self.nth < 1:
+            raise FaultSpecError(f"@N trigger must be >= 1, got {self.nth}")
+        if self.every is not None and self.every < 1:
+            raise FaultSpecError(f"every= trigger must be >= 1, got {self.every}")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise FaultSpecError(
+                f"p= trigger must be in [0, 1], got {self.probability}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Compact spec-like rendering, used in logs and trace spans."""
+        parts = [f"{self.site}:{self.action}"]
+        if self.nth is not None:
+            parts[0] += f"@{self.nth}"
+        if self.every is not None:
+            parts.append(f"every={self.every}")
+        if self.probability is not None:
+            parts.append(f"p={self.probability}")
+        parts.extend(f"{k}={v}" for k, v in self.match)
+        parts.extend(f"{k}={v}" for k, v in self.payload)
+        return ",".join(parts)
+
+    def payload_dict(self) -> Dict[str, str]:
+        """The action's ``key=value`` payload options as a plain dict."""
+        return dict(self.payload)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultRule":
+        """Parse one ``site:action[@N][,k=v...]`` rule fragment."""
+        head, _, tail = text.partition(",")
+        site, sep, action = head.partition(":")
+        if not sep or not action:
+            raise FaultSpecError(
+                f"rule {text!r} must start with 'site:action', e.g. 'malloc:oom'"
+            )
+        nth: Optional[int] = None
+        action, at, nth_text = action.partition("@")
+        if at:
+            try:
+                nth = int(nth_text)
+            except ValueError:
+                raise FaultSpecError(
+                    f"rule {text!r}: '@' must be followed by an integer"
+                ) from None
+        every: Optional[int] = None
+        probability: Optional[float] = None
+        max_fires: Optional[int] = None
+        match: List[Tuple[str, str]] = []
+        payload: List[Tuple[str, str]] = []
+        if tail:
+            for item in tail.split(","):
+                k, sep, v = item.partition("=")
+                k, v = k.strip(), v.strip()
+                if not sep or not k or not v:
+                    raise FaultSpecError(
+                        f"rule {text!r}: options must be 'key=value', got {item!r}"
+                    )
+                try:
+                    if k == "every":
+                        every = int(v)
+                    elif k == "p":
+                        probability = float(v)
+                    elif k == "max":
+                        max_fires = int(v)
+                    elif k in _MATCH_KEYS:
+                        match.append((k, v))
+                    else:
+                        payload.append((k, v))
+                except ValueError:
+                    raise FaultSpecError(
+                        f"rule {text!r}: bad value for {k!r}: {v!r}"
+                    ) from None
+        return cls(
+            site=site.strip(),
+            action=action.strip(),
+            nth=nth,
+            every=every,
+            probability=probability,
+            max_fires=max_fires,
+            match=tuple(match),
+            payload=tuple(payload),
+        )
+
+
+class FaultPlan:
+    """A seeded set of fault rules with deterministic replay.
+
+    Firing decisions depend only on per-rule match counters and the
+    plan's seeded RNG, so two plans built from the same ``(rules, seed)``
+    inject the same fault sequence for the same workload.  Every fired
+    fault is appended to :attr:`log` as a plain tuple
+    ``(sequence, site, rule_key, action, detail)``.
+    """
+
+    def __init__(self, rules, seed: int = 0) -> None:
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.seed = int(seed)
+        self._rng = Random(self.seed)
+        self._matches: List[int] = [0] * len(self.rules)
+        self._fires: List[int] = [0] * len(self.rules)
+        self.log: List[Tuple[int, str, str, str, str]] = []
+
+    # --- construction -----------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a ``--faults`` spec string (see module docs)."""
+        seed = 0
+        rules: List[FaultRule] = []
+        for fragment in spec.split(";"):
+            fragment = fragment.strip()
+            if not fragment:
+                continue
+            if fragment.startswith("seed="):
+                try:
+                    seed = int(fragment[len("seed="):])
+                except ValueError:
+                    raise FaultSpecError(
+                        f"bad seed in {fragment!r}; expected seed=<int>"
+                    ) from None
+                continue
+            rules.append(FaultRule.parse(fragment))
+        if not rules:
+            raise FaultSpecError(
+                f"fault spec {spec!r} contains no rules; expected "
+                f"'site:action' fragments separated by ';'"
+            )
+        return cls(rules, seed=seed)
+
+    def reset(self) -> None:
+        """Re-arm counters, RNG and log for a fresh, identical replay."""
+        self._rng = Random(self.seed)
+        self._matches = [0] * len(self.rules)
+        self._fires = [0] * len(self.rules)
+        self.log.clear()
+
+    # --- firing -----------------------------------------------------------
+    def fire(self, site: str, **context: Any) -> Dict[str, Any]:
+        """Evaluate every rule for ``site`` against one instrumented call.
+
+        Raise-type actions raise the injected error here (tagged with
+        ``injected=True``); effect-type actions return a dict the call
+        site applies (``truncate_bytes``, ``delay_s``, ``kernel_fault``).
+        """
+        effects: Dict[str, Any] = {}
+        for index, rule in enumerate(self.rules):
+            if rule.site != site or not self._rule_matches(rule, context):
+                continue
+            self._matches[index] += 1
+            if not self._should_fire(rule, index):
+                continue
+            self._fires[index] += 1
+            self._apply(rule, index, context, effects)
+        return effects
+
+    def _rule_matches(self, rule: FaultRule, context: Dict[str, Any]) -> bool:
+        for key, want in rule.match:
+            have = context.get(key)
+            if have is None or str(have) != want:
+                return False
+        return True
+
+    def _should_fire(self, rule: FaultRule, index: int) -> bool:
+        if rule.max_fires is not None and self._fires[index] >= rule.max_fires:
+            return False
+        count = self._matches[index]
+        if rule.nth is not None:
+            return count == rule.nth
+        if rule.every is not None:
+            return count % rule.every == 0
+        if rule.probability is not None:
+            # The RNG is consumed only here, in deterministic call order.
+            return self._rng.random() < rule.probability
+        return True
+
+    def _record(self, rule: FaultRule, index: int, detail: str) -> None:
+        entry = (len(self.log), rule.site, rule.key, rule.action, detail)
+        self.log.append(entry)
+        tracer = _get_tracer()
+        if tracer is not None:
+            tracer.add_span(
+                f"fault:{rule.site}:{rule.action}", "fault", "faults",
+                tracer.now_us(), 0.0,
+                {"rule": rule.key, "detail": detail, "seq": entry[0]},
+            )
+            tracer.counter("faults_injected")
+
+    def _apply(
+        self,
+        rule: FaultRule,
+        index: int,
+        context: Dict[str, Any],
+        effects: Dict[str, Any],
+    ) -> None:
+        payload = rule.payload_dict()
+        n = self._matches[index]
+        message = payload.get(
+            "message", f"[injected] {rule.action} at {rule.site} call #{n}"
+        )
+        if rule.action == "oom":
+            self._record(rule, index, f"call #{n} size={context.get('size')}")
+            raise _tag(OutOfMemoryError(message))
+        if rule.action == "invalid_pointer":
+            self._record(rule, index, f"call #{n} ptr={context.get('ptr')}")
+            raise _tag(InvalidPointerError(message))
+        if rule.action == "abort":
+            self._record(rule, index, f"call #{n} op={context.get('op')}")
+            raise _tag(GpuError(message))
+        if rule.action == "error":
+            self._record(rule, index, f"call #{n}")
+            raise _tag(GpuError(message))
+        if rule.action == "truncate":
+            size = int(context.get("size", 0))
+            keep = int(payload.get("bytes", max(size // 2, 0)))
+            keep = max(0, min(keep, size))
+            self._record(rule, index, f"call #{n} {size}B->{keep}B")
+            effects["truncate_bytes"] = keep
+            return
+        if rule.action == "delay":
+            delay_s = float(payload.get("delay", 0.001))
+            self._record(rule, index, f"call #{n} delay={delay_s}s")
+            effects["delay_s"] = effects.get("delay_s", 0.0) + delay_s
+            return
+        if rule.action == "kernel_fault":
+            # Always delivered as an effect, never raised here: the fault
+            # must fire *inside* the kernel, on the engine's threads, so
+            # it takes the same wrap-and-poison path an organic device
+            # fault does.
+            block = payload.get("block")
+            after = payload.get("after_barriers")
+            detail = f"call #{n} kernel={context.get('kernel')}"
+            self._record(rule, index, f"{detail} block={block} after={after}")
+            effects["kernel_fault"] = {
+                "block": None if block is None else int(block),
+                "after_barriers": 0 if after is None else int(after),
+                "message": message,
+            }
+            return
+        raise FaultSpecError(f"unhandled action {rule.action!r}")  # pragma: no cover
+
+    # --- introspection ----------------------------------------------------
+    @property
+    def fired(self) -> int:
+        """Total faults injected so far."""
+        return len(self.log)
+
+    def summary(self) -> str:
+        """Human-readable rendering of the injected-fault log."""
+        if not self.log:
+            return "no faults injected"
+        lines = [f"{self.fired} fault(s) injected (seed={self.seed}):"]
+        for seq, site, key, action, detail in self.log:
+            lines.append(f"  #{seq}: {site}:{action} [{key}] {detail}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan(rules={len(self.rules)}, seed={self.seed}, fired={self.fired})"
+
+
+def _tag(exc: BaseException) -> BaseException:
+    """Mark an exception as injected so policies can tell it from organic."""
+    exc.injected = True  # type: ignore[attr-defined]
+    return exc
+
+
+def _get_tracer():
+    # Local import: repro.trace is dependency-free, but keeping it lazy
+    # makes the plan module importable from anywhere without cycles.
+    from ..trace import get_tracer
+
+    return get_tracer()
+
+
+# ``time`` is imported for call sites applying delay effects; re-exported
+# here so stream instrumentation does not need its own import dance.
+sleep = time.sleep

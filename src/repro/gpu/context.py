@@ -16,6 +16,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..errors import SyncError
+from ..faults.memcheck import get_memcheck as _get_memcheck
 from .atomics import AtomicDomain
 from .dim import Dim3, linearize
 from .memory import DevicePointer
@@ -275,13 +276,24 @@ class ThreadCtx:
 
     def load(self, view, index, fill=0):
         """Bounds-guarded read: ``view[index]`` if in range, else ``fill``."""
+        checker = _get_memcheck()
+        if checker is not None:
+            checker.check_load(view, index)
         idx = int(index)
         if 0 <= idx < view.shape[0]:
             return view[idx]
         return view.dtype.type(fill)
 
     def store(self, view, index, value, mask=True) -> None:
-        """Bounds-guarded masked write: ``view[index] = value`` if allowed."""
+        """Bounds-guarded masked write: ``view[index] = value`` if allowed.
+
+        Without the sanitizer an out-of-bounds masked-in store is silently
+        dropped (real hardware would silently corrupt); under
+        :func:`repro.faults.memcheck` it raises :class:`MemcheckError`.
+        """
+        checker = _get_memcheck()
+        if checker is not None:
+            checker.check_store(view, index, mask)
         if not mask:
             return
         idx = int(index)

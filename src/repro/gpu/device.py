@@ -93,27 +93,44 @@ class DeviceSpec:
         reaches this check.
         """
         if grid.volume == 0 or block.volume == 0:
-            raise LaunchError(f"empty launch: grid={grid} block={block}")
+            raise LaunchError(
+                f"empty launch: grid={grid} block={block}",
+                cap=1,
+                requested=0,
+                hint="every launch needs at least one team with one thread",
+            )
         if block.volume > self.max_threads_per_block:
             raise LaunchError(
                 f"block {block} has {block.volume} threads; device "
-                f"{self.name!r} allows {self.max_threads_per_block}"
+                f"{self.name!r} allows {self.max_threads_per_block}",
+                cap=self.max_threads_per_block,
+                requested=block.volume,
+                hint="shrink thread_limit/blockDim or split work across teams",
             )
         for axis in range(3):
             if block[axis] > self.max_block_dim[axis]:
                 raise LaunchError(
                     f"block dim {axis} = {block[axis]} exceeds device limit "
-                    f"{self.max_block_dim[axis]}"
+                    f"{self.max_block_dim[axis]}",
+                    cap=self.max_block_dim[axis],
+                    requested=block[axis],
+                    hint=f"reshape the block along axis {axis}",
                 )
             if grid[axis] > self.max_grid_dim[axis]:
                 raise LaunchError(
                     f"grid dim {axis} = {grid[axis]} exceeds device limit "
-                    f"{self.max_grid_dim[axis]}"
+                    f"{self.max_grid_dim[axis]}",
+                    cap=self.max_grid_dim[axis],
+                    requested=grid[axis],
+                    hint=f"reshape the grid along axis {axis}",
                 )
         if shared_bytes > self.shared_mem_per_block:
             raise LaunchError(
                 f"requested {shared_bytes} B of shared memory; device "
-                f"{self.name!r} allows {self.shared_mem_per_block} B per block"
+                f"{self.name!r} allows {self.shared_mem_per_block} B per block",
+                cap=self.shared_mem_per_block,
+                requested=shared_bytes,
+                hint="shrink the dynamic shared allocation",
             )
 
     def clamp_dims(self, dims: Dim3, *, kind: str) -> Dim3:
@@ -196,6 +213,76 @@ class Device:
         # __constant__ memory: named, host-written, device-read-only.
         self._constants: Dict[str, "object"] = {}
         self._constant_bytes = 0
+        # Sticky context poison (CUDA semantics): the first unhandled
+        # kernel fault is captured here and re-reported by every later
+        # API call on this device until reset().
+        self._sticky: Optional[BaseException] = None
+
+    # --- sticky context (CUDA cudaErrorIllegalAddress semantics) ------------
+    def poison(self, error: BaseException) -> None:
+        """Record an unhandled kernel fault as this context's sticky error.
+
+        First fault wins, as on real hardware: subsequent faults on an
+        already-poisoned context do not replace the original diagnosis.
+        """
+        with self._lock:
+            if self._sticky is None:
+                self._sticky = error
+
+    @property
+    def is_poisoned(self) -> bool:
+        with self._lock:
+            return self._sticky is not None
+
+    @property
+    def sticky_error(self) -> Optional[BaseException]:
+        """The captured fault poisoning this context, if any."""
+        with self._lock:
+            return self._sticky
+
+    def check_poison(self) -> None:
+        """Raise the sticky error if this context is poisoned.
+
+        Every device API entry point (launch, malloc, free, memcpy,
+        memset, synchronize, target regions) calls this, mirroring how a
+        poisoned CUDA context returns the same error from every call.
+        """
+        with self._lock:
+            sticky = self._sticky
+        if sticky is not None:
+            from ..errors import StickyContextError
+
+            raise StickyContextError(
+                f"device {self.ordinal} ({self.spec.name}) context is "
+                f"poisoned by an earlier kernel fault: {sticky}; call "
+                f"ompx_device_reset()/cudaDeviceReset() to recover",
+                device=self.ordinal,
+                original=sticky,
+            ) from sticky
+
+    def reset(self) -> None:
+        """Tear down and re-arm this context (``cudaDeviceReset`` analogue).
+
+        Closes every stream (shutting down worker threads), drops all
+        allocations and constant symbols, and clears the sticky error.
+        Outstanding DevicePointers become invalid, exactly as after a real
+        device reset.
+        """
+        with self._lock:
+            streams = list(self._streams)
+            default = self._default_stream
+            self._streams = []
+            self._default_stream = None
+            self._allocator = None
+            self._constants = {}
+            self._constant_bytes = 0
+            self._sticky = None
+        # Stream teardown joins worker threads — do it outside the lock so
+        # in-flight work that touches the device cannot deadlock against us.
+        for stream in streams:
+            stream.close()
+        if default is not None:
+            default.close()
 
     # --- constant memory (§2.5's fourth memory space) -----------------------
     def write_constant(self, name: str, data) -> None:
@@ -261,7 +348,13 @@ class Device:
             self._streams.append(stream)
 
     def synchronize(self) -> None:
-        """Block until all work queued on every stream of this device is done."""
+        """Block until all work queued on every stream of this device is done.
+
+        Like ``cudaDeviceSynchronize``, this is where a poisoned context
+        reports its sticky error, and where any stream's sticky error
+        surfaces at device scope.
+        """
+        self.check_poison()
         with self._lock:
             streams = list(self._streams)
             default = self._default_stream

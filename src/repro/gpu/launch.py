@@ -17,17 +17,110 @@ timeline).
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
-from ..errors import LaunchError
+import numpy as np
+
+from ..errors import KernelFault, LaunchError
+from ..faults.inject import active_plan as _fault_plan
 from ..trace import get_tracer
 from .dim import Dim3, DimLike, as_dim3
-from .engine import KernelStats, describe_plan_key, select_engine
+from .engine import (
+    _ENGINES_BY_NAME,
+    KernelStats,
+    describe_plan_key,
+    select_engine,
+)
 from .stream import Stream
 
 __all__ = ["LaunchConfig", "launch_kernel"]
+
+#: ``REPRO_ENGINE_FALLBACK=strict`` (or ``0``/``off``) turns the graceful
+#: vector->block-thread degradation into a hard failure, for CI runs that
+#: want to know their kernels stopped vectorizing.
+_FALLBACK_ENV = "REPRO_ENGINE_FALLBACK"
+
+
+def _fallback_allowed() -> bool:
+    return os.environ.get(_FALLBACK_ENV, "").strip().lower() not in (
+        "strict", "0", "off", "false",
+    )
+
+
+def _with_injected_fault(kernel: Callable, kernel_name: str, spec: dict) -> Callable:
+    """Wrap ``kernel`` so the planned :class:`KernelFault` fires in-flight.
+
+    ``spec`` comes from a ``launch:kernel_fault`` rule: ``block`` restricts
+    the fault to one flat block id (every thread of that block raises, so
+    cooperative barriers cannot deadlock on divergence), ``after_barriers``
+    delays it until that many barriers completed.
+    """
+    block_sel = spec.get("block")
+    after = int(spec.get("after_barriers") or 0)
+    message = spec.get("message", "injected kernel fault")
+
+    def fault(ctx) -> None:
+        block = block_sel if block_sel is not None else ctx.block_idx
+        raise KernelFault(message, kernel=kernel_name, block=block, injected=True)
+
+    def wrapped(ctx, *args):
+        flat_block = ctx.flat_block_id
+        if block_sel is not None and not np.any(np.asarray(flat_block) == block_sel):
+            return kernel(ctx, *args)
+        if after <= 0:
+            fault(ctx)
+        return kernel(_BarrierFaultCtx(ctx, after, fault), *args)
+
+    wrapped.__name__ = kernel_name
+    return wrapped
+
+
+class _BarrierFaultCtx:
+    """Proxy around a thread context that faults after N completed barriers.
+
+    The wrapped barrier finishes first (all threads of the block cross it
+    together), *then* every thread raises — so the injected fault never
+    manufactures barrier divergence on top of itself.
+    """
+
+    def __init__(self, ctx, after: int, fault) -> None:
+        self._ctx = ctx
+        self._after = after
+        self._fault = fault
+        self._count = 0
+
+    def __getattr__(self, name):
+        return getattr(self._ctx, name)
+
+    def sync_threads(self) -> None:
+        self._ctx.sync_threads()
+        self._count += 1
+        if self._count == self._after:
+            self._fault(self._ctx)
+
+
+def _should_fall_back(engine, config, exc: LaunchError) -> bool:
+    """Graceful degradation policy for lane-batched engine failures.
+
+    Retry on the cooperative engine only when (a) the engine was *chosen*,
+    not pinned by the config hint — a pinned engine failing is an answer,
+    not an accident; (b) the failure came from inside the kernel body
+    (guard-rail refusals carry no ``__cause__`` and would just re-fail);
+    (c) the cause is not a (possibly injected) device fault, which must
+    poison the context rather than be papered over; and (d) the
+    environment has not requested strict mode.
+    """
+    if config.engine is not None or engine.name not in ("vector", "wave"):
+        return False
+    cause = exc.__cause__
+    if cause is None or isinstance(cause, KernelFault):
+        return False
+    if getattr(cause, "injected", False):
+        return False
+    return _fallback_allowed()
 
 
 @dataclass(frozen=True)
@@ -100,30 +193,44 @@ def launch_kernel(
         from .device import current_device
 
         device = current_device()
+    device.check_poison()
     device.spec.validate_launch(config.grid, config.block, config.shared_bytes)
     engine = select_engine(kernel, device, config.block, hint=config.engine)
     kernel_name = getattr(
         getattr(kernel, "fn", None) or kernel, "__name__", "kernel"
     )
 
-    def run() -> KernelStats:
+    run_kernel = kernel
+    plan = _fault_plan()
+    if plan is not None:
+        effects = plan.fire(
+            "launch",
+            kernel=kernel_name,
+            device=device.ordinal,
+            stream=config.stream.name if config.stream is not None else None,
+        )
+        fault_spec = effects.get("kernel_fault")
+        if fault_spec is not None:
+            run_kernel = _with_injected_fault(kernel, kernel_name, fault_spec)
+
+    def run_once(eng) -> KernelStats:
         tracer = get_tracer()
         try:
             if tracer is None:
-                return engine.run(
-                    kernel, config.grid, config.block, tuple(args), device,
+                return eng.run(
+                    run_kernel, config.grid, config.block, tuple(args), device,
                     config.shared_bytes,
                 )
             with tracer.span(
                 f"kernel:{kernel_name}",
                 cat="kernel",
-                engine=engine.name,
+                engine=eng.name,
                 grid=list(config.grid.as_tuple()),
                 block=list(config.block.as_tuple()),
                 shared_bytes=config.shared_bytes,
             ) as sp:
-                stats = engine.run(
-                    kernel, config.grid, config.block, tuple(args), device,
+                stats = eng.run(
+                    run_kernel, config.grid, config.block, tuple(args), device,
                     config.shared_bytes,
                 )
                 # Harvest the launch's observed-behaviour counters into
@@ -140,12 +247,38 @@ def launch_kernel(
                 return stats
         except LaunchError as exc:
             if exc.engine is None:
-                exc.engine = engine.name
+                exc.engine = eng.name
             if exc.key is None:
                 exc.key = describe_plan_key(
                     kernel, device, config.block, config.engine
                 )
+            cause = exc.__cause__
+            if isinstance(cause, KernelFault):
+                # CUDA sticky semantics: an in-flight kernel fault poisons
+                # the whole device context, not just this launch.
+                if cause.kernel is None:
+                    cause.kernel = kernel_name
+                device.poison(cause)
             raise
+
+    def run() -> KernelStats:
+        try:
+            return run_once(engine)
+        except LaunchError as exc:
+            if not _should_fall_back(engine, config, exc):
+                raise
+            warnings.warn(
+                f"kernel {kernel_name!r} failed on the lane-batched "
+                f"{engine.name!r} engine ({exc.__cause__!r}); retrying once "
+                f"on the cooperative block-thread engine. Set "
+                f"{_FALLBACK_ENV}=strict to fail instead.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            tracer = get_tracer()
+            if tracer is not None:
+                tracer.counter("engine_fallbacks")
+            return run_once(_ENGINES_BY_NAME["block-thread"])
 
     if config.stream is not None and not synchronous:
         config.stream.enqueue(run, label=f"launch:{kernel_name}")

@@ -8,6 +8,8 @@ paper's CUDA example (Figure 1) and through ``ompx_malloc`` (§3.4).
 
 from __future__ import annotations
 
+import os
+import sys
 import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -15,6 +17,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..errors import InvalidPointerError, OutOfMemoryError
+from ..faults.inject import active_plan as _fault_plan
+from ..faults.memcheck import get_memcheck as _get_memcheck
 
 __all__ = [
     "MemcpyKind",
@@ -34,6 +38,31 @@ class MemcpyKind:
 
 
 _ALIGNMENT = 256  # bytes; matches CUDA's minimum allocation alignment
+
+_REPRO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_GPU_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _call_site() -> str:
+    """``file:line`` of the frame that caused an allocator call.
+
+    Prefers the first frame outside the repro library (the user's code);
+    falls back to the first frame outside the gpu package (the language
+    layer, e.g. ``host.py:75``) for library-internal allocations.  Used
+    to attribute double-frees and leaks to their original malloc.
+    """
+    frame = sys._getframe(1)
+    outside_gpu: Optional[str] = None
+    for _ in range(32):
+        if frame is None:
+            break
+        filename = frame.f_code.co_filename
+        if not filename.startswith(_REPRO_ROOT):
+            return f"{os.path.basename(filename)}:{frame.f_lineno}"
+        if outside_gpu is None and not filename.startswith(_GPU_DIR):
+            outside_gpu = f"{os.path.basename(filename)}:{frame.f_lineno}"
+        frame = frame.f_back
+    return outside_gpu or "<repro internal>"
 
 
 @dataclass(frozen=True)
@@ -106,6 +135,11 @@ class GlobalAllocator:
         self._next = self._BASE
         self._allocations: Dict[int, Allocation] = {}
         self._bytes_in_use = 0
+        # Diagnostics: where each live allocation was made (base -> site),
+        # and every freed range (base -> (size, alloc site, free site)) so
+        # double-frees and use-after-free name the original allocation.
+        self._alloc_sites: Dict[int, str] = {}
+        self._freed: Dict[int, Tuple[int, str, str]] = {}
 
     # --- allocation --------------------------------------------------------
     def malloc(self, size: int) -> DevicePointer:
@@ -113,6 +147,11 @@ class GlobalAllocator:
         if size < 0:
             raise ValueError(f"allocation size must be >= 0, got {size}")
         size = max(int(size), 1)
+        self._device.check_poison()
+        plan = _fault_plan()
+        if plan is not None:
+            plan.fire("malloc", device=self._device.ordinal, size=size)
+        site = _call_site()
         with self._lock:
             if self._bytes_in_use + size > self._device.spec.global_mem_bytes:
                 raise OutOfMemoryError(
@@ -123,20 +162,77 @@ class GlobalAllocator:
             aligned = (size + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
             self._next = base + aligned
             self._allocations[base] = Allocation(base, np.zeros(size, dtype=np.uint8))
+            self._alloc_sites[base] = site
             self._bytes_in_use += size
         return DevicePointer(self._device.ordinal, base)
 
     def free(self, ptr: DevicePointer) -> None:
-        """Release an allocation.  Freeing the null pointer is a no-op."""
+        """Release an allocation.  Freeing the null pointer is a no-op.
+
+        Double-frees, frees of pointers into the *middle* of a live
+        allocation, and frees of never-allocated addresses are three
+        distinct bugs; each gets its own diagnosis (naming the original
+        allocation site where one exists) instead of one generic error.
+        """
         if ptr.is_null:
             return
+        self._device.check_poison()
+        plan = _fault_plan()
+        if plan is not None:
+            plan.fire("free", device=self._device.ordinal,
+                      ptr=f"0x{ptr.address:x}")
         with self._lock:
             alloc = self._allocations.pop(ptr.address, None)
             if alloc is None:
-                raise InvalidPointerError(
-                    f"free of {ptr!r}: not the base of a live allocation"
-                )
+                raise self._bad_free(ptr)
             self._bytes_in_use -= alloc.size
+            self._freed[ptr.address] = (
+                alloc.size,
+                self._alloc_sites.pop(ptr.address, "<unknown>"),
+                _call_site(),
+            )
+
+    def _bad_free(self, ptr: DevicePointer) -> InvalidPointerError:
+        """Diagnose a free() that did not hit a live allocation base.
+
+        Caller holds ``self._lock``.
+        """
+        checker = _get_memcheck()
+        freed = self._freed.get(ptr.address)
+        if freed is not None:
+            size, alloc_site, free_site = freed
+            message = (
+                f"double free of {ptr!r}: {size} B allocation (allocated at "
+                f"{alloc_site}) was already freed at {free_site}"
+            )
+            if checker is not None:
+                checker.note_double_free(message)
+            return InvalidPointerError(message)
+        for base, alloc in self._allocations.items():
+            if alloc.base < ptr.address < alloc.end:
+                message = (
+                    f"free of {ptr!r}: points {ptr.address - alloc.base} B "
+                    f"into a live {alloc.size} B allocation at "
+                    f"0x{alloc.base:x} (allocated at "
+                    f"{self._alloc_sites.get(base, '<unknown>')}); free the "
+                    f"base pointer instead"
+                )
+                if checker is not None:
+                    checker.note_bad_free(message)
+                return InvalidPointerError(message)
+        for base, (size, alloc_site, free_site) in self._freed.items():
+            if base < ptr.address < base + size:
+                message = (
+                    f"free of {ptr!r}: points into a {size} B allocation "
+                    f"(allocated at {alloc_site}) already freed at {free_site}"
+                )
+                if checker is not None:
+                    checker.note_double_free(message)
+                return InvalidPointerError(message)
+        message = f"free of {ptr!r}: not the base of a live allocation"
+        if checker is not None:
+            checker.note_bad_free(message)
+        return InvalidPointerError(message)
 
     @property
     def bytes_in_use(self) -> int:
@@ -169,6 +265,13 @@ class GlobalAllocator:
                         alloc = candidate
                         break
             if alloc is None:
+                for base, (size, alloc_site, free_site) in self._freed.items():
+                    if base <= ptr.address < base + size:
+                        raise InvalidPointerError(
+                            f"use after free: {ptr!r} points into a {size} B "
+                            f"allocation (allocated at {alloc_site}) freed at "
+                            f"{free_site}"
+                        )
                 raise InvalidPointerError(f"{ptr!r} does not point into a live allocation")
             offset = ptr.address - alloc.base
             if offset + nbytes > alloc.size:
@@ -193,12 +296,47 @@ class GlobalAllocator:
         flat = alloc.data[offset : offset + nbytes]
         return flat.view(dtype).reshape(shape)
 
+    def locate_buffer(self, start: int, nbytes: int) -> Optional[Tuple[Allocation, int]]:
+        """Find the live allocation whose NumPy buffer contains ``start``.
+
+        ``start`` is a host memory address (``__array_interface__``'s
+        ``data`` pointer of some view).  Returns ``(allocation, byte
+        offset)`` or ``None``.  The memcheck sanitizer uses this to map a
+        view a kernel is accessing back to its device allocation.
+        """
+        with self._lock:
+            for alloc in self._allocations.values():
+                base = alloc.data.__array_interface__["data"][0]
+                if base <= start and start + nbytes <= base + alloc.size:
+                    return alloc, start - base
+        return None
+
     # --- transfers ----------------------------------------------------------
+    def _transfer_bytes(self, direction: str, nbytes: int) -> int:
+        """Poison/fault hooks for one memcpy; returns the bytes to move.
+
+        An injected ``memcpy:truncate`` rule shortens the transfer (the
+        classic "partial DMA" failure); otherwise the full ``nbytes``
+        move, byte-identically to the un-instrumented path.
+        """
+        self._device.check_poison()
+        plan = _fault_plan()
+        if plan is None:
+            return nbytes
+        effects = plan.fire(
+            "memcpy", device=self._device.ordinal, size=nbytes,
+            direction=direction,
+        )
+        keep = effects.get("truncate_bytes")
+        return nbytes if keep is None else min(int(keep), nbytes)
+
     def memcpy_h2d(self, dst: DevicePointer, src: np.ndarray) -> None:
         """Copy a host array into device memory at ``dst``."""
         src = np.ascontiguousarray(src)
-        dest = self.view(dst, src.size, src.dtype).reshape(src.shape)
-        np.copyto(dest, src)
+        keep = self._transfer_bytes("h2d", src.nbytes)
+        alloc, offset = self._resolve(dst, src.nbytes)
+        src_bytes = src.reshape(-1).view(np.uint8)
+        alloc.data[offset : offset + keep] = src_bytes[:keep]
 
     def memcpy_d2h(self, dst: np.ndarray, src: DevicePointer) -> None:
         """Copy device memory at ``src`` into a writable host array."""
@@ -206,19 +344,25 @@ class GlobalAllocator:
             raise ValueError("destination host array is not writeable")
         if not dst.flags.c_contiguous:
             raise ValueError("destination host array must be C-contiguous")
-        view = self.view(src, dst.size, dst.dtype).reshape(dst.shape)
-        np.copyto(dst, view)
+        keep = self._transfer_bytes("d2h", dst.nbytes)
+        alloc, offset = self._resolve(src, dst.nbytes)
+        dst.reshape(-1).view(np.uint8)[:keep] = alloc.data[offset : offset + keep]
 
     def memcpy_d2d(self, dst: DevicePointer, src: DevicePointer, nbytes: int) -> None:
         """Copy ``nbytes`` between two device allocations."""
+        keep = self._transfer_bytes("d2d", nbytes)
         dst_alloc, dst_off = self._resolve(dst, nbytes)
         src_alloc, src_off = self._resolve(src, nbytes)
         # np.copyto handles overlapping views incorrectly only for the same
         # buffer; use an explicit copy of the source bytes to be safe.
-        data = src_alloc.data[src_off : src_off + nbytes].copy()
-        dst_alloc.data[dst_off : dst_off + nbytes] = data
+        data = src_alloc.data[src_off : src_off + keep].copy()
+        dst_alloc.data[dst_off : dst_off + keep] = data
 
     def memset(self, ptr: DevicePointer, value: int, nbytes: int) -> None:
         """Fill ``nbytes`` of device memory with a byte value."""
+        self._device.check_poison()
+        plan = _fault_plan()
+        if plan is not None:
+            plan.fire("memset", device=self._device.ordinal, size=nbytes)
         alloc, offset = self._resolve(ptr, nbytes)
         alloc.data[offset : offset + nbytes] = np.uint8(value & 0xFF)

@@ -29,9 +29,11 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import GpuError
+from ..faults.inject import active_plan as _fault_plan
 from ..trace import get_tracer
 
 __all__ = ["Stream", "Event"]
@@ -154,6 +156,25 @@ class Stream:
         ``trace_args`` name and annotate the operation's trace spans and
         are ignored when tracing is disabled.
         """
+        plan = _fault_plan()
+        if plan is not None:
+            # Raise-type rules (enqueue:abort) refuse the enqueue here on
+            # the host thread; delay effects run on the worker so they
+            # occupy the stream like a real slow transfer would.
+            effects = plan.fire(
+                "enqueue",
+                stream=self.name,
+                device=self.device.ordinal,
+                op=label or _label_for(fn),
+            )
+            delay_s = effects.get("delay_s")
+            if delay_s:
+                inner = fn
+
+                def fn() -> None:  # noqa: F811 - deliberate shadow
+                    time.sleep(delay_s)
+                    inner()
+
         tracer = get_tracer()
         if tracer is not None:
             fn = self._traced(tracer, fn, label, trace_cat, trace_args)

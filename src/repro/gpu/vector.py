@@ -31,6 +31,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import SyncError
+from ..faults.memcheck import get_memcheck as _get_memcheck
 from .dim import Dim3, linearize
 from .memory import DevicePointer
 from .shared import SharedMemory
@@ -326,6 +327,9 @@ class VectorThreadCtx:
 
     def load(self, view, index, fill=0):
         """Bounds-guarded gather: ``view[index]`` where in range, else ``fill``."""
+        checker = _get_memcheck()
+        if checker is not None:
+            checker.check_load(view, index)
         idx = np.asarray(index)
         n = view.shape[0]
         ok = (idx >= 0) & (idx < n)
@@ -337,7 +341,15 @@ class VectorThreadCtx:
         return np.where(okb, out, view.dtype.type(fill))
 
     def store(self, view, index, value, mask=True):
-        """Bounds-guarded masked scatter: ``view[index] = value`` where allowed."""
+        """Bounds-guarded masked scatter: ``view[index] = value`` where allowed.
+
+        Under :func:`repro.faults.memcheck`, a masked-in lane whose index
+        is out of range raises :class:`MemcheckError` instead of being
+        silently dropped.
+        """
+        checker = _get_memcheck()
+        if checker is not None:
+            checker.check_store(view, index, mask)
         idx = np.asarray(index)
         n = view.shape[0]
         ok = (idx >= 0) & (idx < n) & np.asarray(mask, dtype=bool)

@@ -39,6 +39,7 @@ __all__ = [
     "hipMemcpyAsync",
     "hipMemset",
     "hipDeviceSynchronize",
+    "hipDeviceReset",
     "hipSetDevice",
     "hipGetDevice",
     "hipStreamCreate",
@@ -161,6 +162,11 @@ def hipMemset(ptr: DevicePointer, value: int, count: int) -> None:  # noqa: N802
 def hipDeviceSynchronize() -> None:  # noqa: N802
     """``hipDeviceSynchronize``: drain all streams of the device."""
     current_hip_device().synchronize()
+
+
+def hipDeviceReset() -> None:  # noqa: N802
+    """``hipDeviceReset``: destroy and re-arm the current device's context."""
+    current_hip_device().reset()
 
 
 def hipStreamCreate(name: str = "") -> Stream:  # noqa: N802

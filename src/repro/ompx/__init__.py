@@ -24,6 +24,7 @@ from .device import DIM_X, DIM_Y, DIM_Z, OmpxThread
 from . import capi
 from ..gpu.collectives import block_inclusive_scan, block_reduce, warp_inclusive_scan
 from .host import (
+    ompx_device_reset,
     ompx_device_synchronize,
     ompx_free,
     ompx_malloc,
@@ -61,6 +62,7 @@ __all__ = [
     "DIM_Y",
     "DIM_Z",
     "OmpxThread",
+    "ompx_device_reset",
     "ompx_device_synchronize",
     "ompx_free",
     "ompx_malloc",

@@ -128,11 +128,10 @@ def target_teams_bare(
     # dimensions disregarded rather than rejected.
     grid = device.spec.clamp_dims(as_dim3(num_teams), kind="grid")
     block = device.spec.clamp_dims(as_dim3(thread_limit), kind="block")
-    if block.volume > device.spec.max_threads_per_block:
-        raise LaunchError(
-            f"thread_limit {block} requests {block.volume} threads per team; "
-            f"{device.spec.name!r} supports {device.spec.max_threads_per_block}"
-        )
+    # Per-axis excess is clamped (disregarded) above; an over-volume block
+    # is *invalid* and is rejected by DeviceSpec.validate_launch inside
+    # launch_kernel, with the same structured LaunchError every front end
+    # reports.
 
     traits = RegionTraits(style="bare", requested_thread_limit=block.volume)
     codegen = lower_region(traits)

@@ -36,6 +36,7 @@ __all__ = [
     "ompx_memcpy_to_symbol",
     "ompx_memcpy_from_symbol",
     "ompx_device_synchronize",
+    "ompx_device_reset",
     "ompx_stream_create",
     "ompx_stream_synchronize",
     "ompx_occupancy_max_active_blocks",
@@ -195,6 +196,24 @@ def ompx_device_synchronize(device: Optional[Device] = None) -> None:
     with tracer.span("ompx_device_synchronize", cat="sync",
                      device=dev.spec.name):
         dev.synchronize()
+
+
+def ompx_device_reset(device: Optional[Device] = None) -> None:
+    """``cudaDeviceReset`` equivalent: tear down and re-arm the context.
+
+    Destroys every stream, frees every allocation and constant symbol,
+    and clears the sticky error a kernel fault left behind — the only
+    way to recover a poisoned device context (see
+    :class:`~repro.errors.StickyContextError`).  All outstanding
+    :class:`DevicePointer` handles for the device become invalid.
+    """
+    dev = _resolve_device(device)
+    tracer = get_tracer()
+    if tracer is None:
+        dev.reset()
+        return
+    with tracer.span("ompx_device_reset", cat="host-api", device=dev.spec.name):
+        dev.reset()
 
 
 def ompx_stream_create(device: Optional[Device] = None, name: str = "") -> Stream:

@@ -81,6 +81,9 @@ class TargetRegionReport:
 
 
 def _with_maps(device: Device, maps, run: Callable[[TargetAccessor], TargetRegionReport]):
+    # Every target construct (worksharing, SIMT, bare) funnels through
+    # here, so this is where a poisoned device context refuses new work.
+    device.check_poison()
     env = data_environment(device)
     maps = list(maps)
     env.begin(maps)
@@ -164,6 +167,11 @@ def target_teams_distribute_parallel_for(
         teams = num_teams
     else:
         teams = max(1, (trip_count + block - 1) // block)
+    # The worksharing path executes as a host-side loop rather than going
+    # through launch_kernel, but its geometry obeys the same device limits
+    # (and reports the same structured LaunchError) as every other front
+    # end.
+    device.spec.validate_launch(as_dim3(teams), as_dim3(block))
 
     def run():
         def body_fn(acc: TargetAccessor) -> TargetRegionReport:

@@ -1,0 +1,22 @@
+"""Fixtures for the fault-injection / sanitizer tests.
+
+Devices are process-wide singletons, and several tests here deliberately
+poison a context or tear its allocator down.  Every test in this package
+therefore runs against a device that is reset before *and* after, so no
+sticky error or half-freed allocation leaks into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import get_device
+
+
+@pytest.fixture
+def clean_device():
+    """Device 0 (the A100), reset on entry and exit."""
+    device = get_device(0)
+    device.reset()
+    yield device
+    device.reset()

@@ -1,0 +1,117 @@
+"""faults.inject(): activation scoping and real call-site integration."""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.trace as trace
+from repro import faults
+from repro.errors import FaultSpecError, GpuError, OutOfMemoryError
+from repro.gpu.stream import Stream
+
+pytestmark = pytest.mark.faults
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert faults.active_plan() is None
+        assert faults.fire("malloc", size=1) == {}
+
+    def test_spec_string_is_parsed(self):
+        with faults.inject("malloc:oom@1") as plan:
+            assert faults.active_plan() is plan
+            assert plan.rules[0].site == "malloc"
+        assert faults.active_plan() is None
+
+    def test_seed_override(self):
+        plan = faults.FaultPlan.parse("seed=1;malloc:oom,p=0.5")
+        with faults.inject(plan, seed=99) as active:
+            assert active.seed == 99
+
+    def test_no_nesting(self):
+        with faults.inject("malloc:oom@1"):
+            with pytest.raises(FaultSpecError, match="does not nest"):
+                with faults.inject("malloc:oom@1"):
+                    pass  # pragma: no cover
+        assert faults.active_plan() is None
+
+    def test_deactivated_even_after_error(self):
+        with pytest.raises(ValueError):
+            with faults.inject("malloc:oom@1"):
+                raise ValueError("body blew up")
+        assert faults.active_plan() is None
+
+
+class TestAllocatorIntegration:
+    def test_oom_on_nth_malloc(self, clean_device):
+        with faults.inject("malloc:oom@2") as plan:
+            first = clean_device.allocator.malloc(64)      # survives
+            with pytest.raises(OutOfMemoryError) as ei:
+                clean_device.allocator.malloc(64)
+        assert getattr(ei.value, "injected", False)
+        assert plan.fired == 1
+        assert plan.log[0][1] == "malloc"
+        clean_device.allocator.free(first)
+
+    def test_memcpy_truncation(self, clean_device):
+        src = np.full(16, 0xAB, dtype=np.uint8)
+        ptr = clean_device.allocator.malloc(src.nbytes)
+        with faults.inject("memcpy:truncate@1,bytes=8,direction=h2d"):
+            clean_device.allocator.memcpy_h2d(ptr, src)
+        out = np.zeros_like(src)
+        clean_device.allocator.memcpy_d2h(out, ptr)
+        assert (out[:8] == 0xAB).all()
+        assert (out[8:] == 0).all()        # truncated tail never arrived
+        clean_device.allocator.free(ptr)
+
+    def test_direction_match_key_spares_other_directions(self, clean_device):
+        src = np.ones(16, dtype=np.uint8)
+        ptr = clean_device.allocator.malloc(src.nbytes)
+        with faults.inject("memcpy:truncate,bytes=0,direction=d2h") as plan:
+            clean_device.allocator.memcpy_h2d(ptr, src)    # unaffected
+            out = np.zeros_like(src)
+            clean_device.allocator.memcpy_d2h(out, ptr)    # fully truncated
+        assert (out == 0).all()
+        assert plan.fired == 1
+        clean_device.allocator.free(ptr)
+
+
+class TestStreamIntegration:
+    def test_enqueue_delay_occupies_the_stream(self, clean_device):
+        stream = Stream(clean_device, name="delayed")
+        try:
+            with faults.inject("enqueue:delay,delay=0.05"):
+                start = time.perf_counter()
+                stream.enqueue(lambda: None)
+                stream.synchronize()
+                elapsed = time.perf_counter() - start
+            assert elapsed >= 0.04
+        finally:
+            stream.close()
+
+    def test_enqueue_abort_refuses_on_the_host_thread(self, clean_device):
+        stream = Stream(clean_device, name="aborted")
+        try:
+            with faults.inject("enqueue:abort,stream=aborted"):
+                with pytest.raises(GpuError) as ei:
+                    stream.enqueue(lambda: None)
+            assert getattr(ei.value, "injected", False)
+            stream.synchronize()   # nothing was queued; stream stays healthy
+        finally:
+            stream.close()
+
+
+class TestTraceIntegration:
+    def test_fired_faults_emit_trace_spans(self, clean_device):
+        tracer = trace.enable()
+        try:
+            with faults.inject("malloc:oom@1"):
+                with pytest.raises(OutOfMemoryError):
+                    clean_device.allocator.malloc(32)
+        finally:
+            trace.disable()
+        fault_spans = [s for s in tracer.spans if s.cat == "fault"]
+        assert len(fault_spans) == 1
+        assert fault_spans[0].name == "fault:malloc:oom"
+        assert tracer.counters["faults_injected"] == 1

@@ -1,0 +1,145 @@
+"""The memcheck sanitizer: OOB detection, leaks, and free diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.errors import (
+    FaultSpecError,
+    InvalidPointerError,
+    LaunchError,
+    MemcheckError,
+)
+from repro.gpu import LaunchConfig, launch_kernel
+
+pytestmark = pytest.mark.faults
+
+
+def _oob_store_kernel(ctx, out_ptr):
+    view = ctx.deref(out_ptr, 4, np.float64)
+    # Index 64 is far past the 4-element view: silently dropped without
+    # the sanitizer, a MemcheckError under it.
+    ctx.store(view, 64, 1.0)
+
+
+_oob_store_kernel.sync_free = True
+_oob_store_kernel.vectorize = False
+
+
+class TestOobStore:
+    def test_oob_store_names_address_allocation_and_kernel(self, clean_device):
+        ptr = clean_device.allocator.malloc(4 * 8)
+        with faults.memcheck() as mc:
+            with pytest.raises(LaunchError) as ei:
+                launch_kernel(
+                    LaunchConfig.create(1, 1), _oob_store_kernel, (ptr,),
+                    clean_device,
+                )
+        cause = ei.value.__cause__
+        assert isinstance(cause, MemcheckError)
+        # Acceptance criterion: offending address + allocation + kernel name.
+        assert cause.kernel == "_oob_store_kernel"
+        assert cause.address == ptr.address + 64 * 8
+        text = str(cause)
+        assert f"0x{cause.address:x}" in text
+        assert "allocated at" in text
+        assert "32 B" in text
+        assert mc.report.oob_stores == 1
+        # An OOB access is a kernel fault: the context is poisoned exactly
+        # as it would be on hardware (clean_device resets it afterwards).
+        assert clean_device.is_poisoned
+
+    def test_oob_store_is_silently_dropped_without_sanitizer(self, clean_device):
+        ptr = clean_device.allocator.malloc(4 * 8)
+        stats = launch_kernel(
+            LaunchConfig.create(1, 1), _oob_store_kernel, (ptr,), clean_device
+        )
+        assert stats is not None
+        assert not clean_device.is_poisoned
+        clean_device.allocator.free(ptr)
+
+    def test_masked_out_oob_store_is_not_flagged(self):
+        checker = faults.Memcheck()
+        view = np.zeros(4)
+        checker.check_store(view, 99, mask=False)       # inactive lane
+        checker.check_store(view, np.array([1, 99]),
+                            np.array([True, False]))    # lane 99 masked out
+        assert checker.report.clean
+
+    def test_vector_lane_oob_reports_first_bad_lane(self):
+        checker = faults.Memcheck()
+        view = np.zeros(8)
+        with pytest.raises(MemcheckError, match="index 12"):
+            checker.check_store(view, np.array([1, 12, 30]), True)
+        assert checker.report.oob_stores == 1
+
+
+class TestLoads:
+    def test_oob_load_allowed_by_default(self):
+        # load(view, i, fill=) is *specified* to return fill out of range;
+        # vector tail lanes rely on it, so the default sanitizer allows it.
+        checker = faults.Memcheck()
+        checker.check_load(np.zeros(4), 99)
+        assert checker.report.clean
+
+    def test_check_loads_flags_oob_reads(self):
+        checker = faults.Memcheck(check_loads=True)
+        with pytest.raises(MemcheckError, match="out-of-bounds load"):
+            checker.check_load(np.zeros(4), 99)
+        assert checker.report.oob_loads == 1
+
+
+class TestTeardownReport:
+    def test_leaked_allocation_reported_with_site(self, clean_device):
+        with faults.memcheck() as mc:
+            kept = clean_device.allocator.malloc(128)
+            freed = clean_device.allocator.malloc(64)
+            clean_device.allocator.free(freed)
+        assert len(mc.report.leaks) == 1
+        ordinal, base, size, site = mc.report.leaks[0]
+        assert (ordinal, base, size) == (0, kept.address, 128)
+        assert "test_memcheck.py" in site
+        assert "leak: 128 B" in mc.report.summary()
+        clean_device.allocator.free(kept)
+
+    def test_preexisting_allocations_are_not_leaks(self, clean_device):
+        before = clean_device.allocator.malloc(256)
+        with faults.memcheck() as mc:
+            pass
+        assert mc.report.leaks == []
+        assert mc.report.clean
+        assert mc.report.summary() == "memcheck: no errors"
+        clean_device.allocator.free(before)
+
+    def test_double_free_noted_in_report(self, clean_device):
+        ptr = clean_device.allocator.malloc(32)
+        with faults.memcheck() as mc:
+            clean_device.allocator.free(ptr)
+            with pytest.raises(InvalidPointerError):
+                clean_device.allocator.free(ptr)
+        assert len(mc.report.double_frees) == 1
+        assert "double free" in mc.report.double_frees[0]
+        assert not mc.report.clean
+
+    def test_bad_free_noted_in_report(self, clean_device):
+        ptr = clean_device.allocator.malloc(32)
+        with faults.memcheck() as mc:
+            with pytest.raises(InvalidPointerError):
+                clean_device.allocator.free(ptr + 8)
+        assert len(mc.report.bad_frees) == 1
+        assert not mc.report.clean
+        clean_device.allocator.free(ptr)
+
+
+class TestScoping:
+    def test_memcheck_does_not_nest(self):
+        with faults.memcheck():
+            with pytest.raises(FaultSpecError, match="does not nest"):
+                with faults.memcheck():
+                    pass  # pragma: no cover
+        assert faults.get_memcheck() is None
+
+    def test_host_backed_array_violation_still_reports(self):
+        checker = faults.Memcheck()
+        with pytest.raises(MemcheckError, match="host-backed"):
+            checker.check_store(np.zeros(4), 10, True)

@@ -1,0 +1,197 @@
+"""FaultPlan / FaultRule: spec parsing, triggers, deterministic replay."""
+
+import pytest
+
+from repro.errors import (
+    FaultSpecError,
+    GpuError,
+    InvalidPointerError,
+    OutOfMemoryError,
+)
+from repro.faults import SITES, FaultPlan, FaultRule
+
+pytestmark = pytest.mark.faults
+
+
+class TestRuleParsing:
+    def test_minimal_rule(self):
+        rule = FaultRule.parse("malloc:oom")
+        assert rule.site == "malloc"
+        assert rule.action == "oom"
+        assert rule.nth is None and rule.every is None
+
+    def test_nth_trigger(self):
+        assert FaultRule.parse("malloc:oom@3").nth == 3
+
+    def test_every_and_max(self):
+        rule = FaultRule.parse("enqueue:delay,every=2,max=5,delay=0.01")
+        assert rule.every == 2
+        assert rule.max_fires == 5
+        assert rule.payload_dict() == {"delay": "0.01"}
+
+    def test_probability(self):
+        assert FaultRule.parse("malloc:oom,p=0.25").probability == 0.25
+
+    def test_match_keys_separated_from_payload(self):
+        rule = FaultRule.parse(
+            "launch:kernel_fault,kernel=stencil,block=2,after_barriers=1"
+        )
+        assert dict(rule.match) == {"kernel": "stencil"}
+        assert rule.payload_dict() == {"block": "2", "after_barriers": "1"}
+
+    def test_key_round_trips_the_shape(self):
+        rule = FaultRule.parse("memcpy:truncate@2,bytes=16")
+        assert rule.key == "memcpy:truncate@2,bytes=16"
+
+    @pytest.mark.parametrize("bad", [
+        "malloc",                      # no action
+        "malloc:",                     # empty action
+        "frobnicate:oom",              # unknown site
+        "malloc:truncate",             # action not valid for site
+        "malloc:oom@x",                # non-integer nth
+        "malloc:oom@0",                # nth < 1
+        "malloc:oom,every=0",          # every < 1
+        "malloc:oom,p=1.5",            # probability out of range
+        "malloc:oom,p=abc",            # non-float probability
+        "malloc:oom,keynovalue",       # option without '='
+    ])
+    def test_bad_rules_raise_fault_spec_error(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultRule.parse(bad)
+
+
+class TestPlanParsing:
+    def test_seed_and_multiple_rules(self):
+        plan = FaultPlan.parse("seed=42;malloc:oom@3;memcpy:truncate@2,bytes=16")
+        assert plan.seed == 42
+        assert len(plan.rules) == 2
+        assert plan.rules[0].site == "malloc"
+        assert plan.rules[1].site == "memcpy"
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(FaultSpecError, match="no rules"):
+            FaultPlan.parse("seed=7")
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(FaultSpecError, match="seed"):
+            FaultPlan.parse("seed=banana;malloc:oom")
+
+    def test_all_documented_sites_parse(self):
+        for site in SITES:
+            spec = {
+                "malloc": "malloc:oom",
+                "free": "free:invalid_pointer",
+                "memcpy": "memcpy:truncate",
+                "memset": "memset:error",
+                "launch": "launch:kernel_fault",
+                "enqueue": "enqueue:abort",
+            }[site]
+            assert FaultPlan.parse(spec).rules[0].site == site
+
+
+class TestFiring:
+    def test_nth_fires_exactly_once(self):
+        plan = FaultPlan.parse("malloc:oom@3")
+        for i in (1, 2):
+            assert plan.fire("malloc", size=i) == {}
+        with pytest.raises(OutOfMemoryError) as ei:
+            plan.fire("malloc", size=3)
+        assert getattr(ei.value, "injected", False)
+        # Subsequent matches do not re-fire an @N rule.
+        assert plan.fire("malloc", size=4) == {}
+        assert plan.fired == 1
+
+    def test_every_k_with_max(self):
+        plan = FaultPlan.parse("memcpy:truncate,every=2,max=2,bytes=4")
+        effects = [plan.fire("memcpy", size=100) for _ in range(8)]
+        truncated = [e for e in effects if "truncate_bytes" in e]
+        assert len(truncated) == 2          # max=2 caps an every-2 rule
+        assert truncated[0]["truncate_bytes"] == 4
+
+    def test_truncate_defaults_to_half(self):
+        plan = FaultPlan.parse("memcpy:truncate@1")
+        assert plan.fire("memcpy", size=100)["truncate_bytes"] == 50
+
+    def test_match_keys_filter_context(self):
+        plan = FaultPlan.parse("launch:kernel_fault,kernel=boom")
+        assert plan.fire("launch", kernel="fine") == {}
+        effects = plan.fire("launch", kernel="boom")
+        assert effects["kernel_fault"]["message"]
+
+    def test_kernel_fault_is_an_effect_not_a_raise(self):
+        # The fault must fire inside the kernel on engine threads; firing
+        # at the instrumentation point would bypass the poison path.
+        plan = FaultPlan.parse("launch:kernel_fault,block=2,after_barriers=1")
+        effects = plan.fire("launch", kernel="k")
+        assert effects["kernel_fault"] == {
+            "block": 2, "after_barriers": 1,
+            "message": "[injected] kernel_fault at launch call #1",
+        }
+
+    def test_delay_effects_accumulate(self):
+        plan = FaultPlan.parse("enqueue:delay,delay=0.01;enqueue:delay,delay=0.02")
+        assert plan.fire("enqueue", op="x")["delay_s"] == pytest.approx(0.03)
+
+    def test_abort_raises_gpu_error(self):
+        plan = FaultPlan.parse("enqueue:abort")
+        with pytest.raises(GpuError) as ei:
+            plan.fire("enqueue", op="memcpy")
+        assert getattr(ei.value, "injected", False)
+
+    def test_invalid_pointer_action(self):
+        plan = FaultPlan.parse("free:invalid_pointer@1")
+        with pytest.raises(InvalidPointerError):
+            plan.fire("free", ptr="0x1000")
+
+    def test_custom_message_payload(self):
+        plan = FaultPlan.parse("malloc:oom@1,message=synthetic ENOMEM")
+        with pytest.raises(OutOfMemoryError, match="synthetic ENOMEM"):
+            plan.fire("malloc", size=1)
+
+
+def _drive(plan, calls=300):
+    """Replay a fixed synthetic workload against a plan; record everything."""
+    events = []
+    for i in range(calls):
+        try:
+            effects = plan.fire("malloc", device=0, size=i)
+            events.append(("ok", tuple(sorted(effects.items()))))
+        except OutOfMemoryError as exc:
+            events.append(("oom", str(exc)))
+        try:
+            effects = plan.fire("memcpy", device=0, size=64, direction="h2d")
+            events.append(("copy", tuple(sorted(effects.items()))))
+        except GpuError as exc:
+            events.append(("copy-err", str(exc)))
+    return events
+
+
+class TestDeterministicReplay:
+    SPEC = "seed=123;malloc:oom,p=0.2;memcpy:truncate,p=0.1;memcpy:error,p=0.05"
+
+    def test_same_spec_same_seed_replays_byte_identically(self):
+        a, b = FaultPlan.parse(self.SPEC), FaultPlan.parse(self.SPEC)
+        assert _drive(a) == _drive(b)
+        assert a.log == b.log
+        assert repr(a.log).encode() == repr(b.log).encode()
+        assert a.summary() == b.summary()
+        assert a.fired > 0  # the probabilistic rules really did fire
+
+    def test_reset_rearms_an_identical_replay(self):
+        plan = FaultPlan.parse(self.SPEC)
+        first_events, first_log = _drive(plan), list(plan.log)
+        plan.reset()
+        assert plan.log == []
+        assert _drive(plan) == first_events
+        assert plan.log == first_log
+
+    def test_different_seed_diverges(self):
+        a = FaultPlan.parse("seed=1;malloc:oom,p=0.3")
+        b = FaultPlan.parse("seed=2;malloc:oom,p=0.3")
+        assert _drive(a) != _drive(b)
+
+    def test_summary_names_every_fired_fault(self):
+        plan = FaultPlan.parse("malloc:oom@2")
+        _drive(plan, calls=3)
+        assert "1 fault(s) injected (seed=0)" in plan.summary()
+        assert "malloc:oom" in plan.summary()

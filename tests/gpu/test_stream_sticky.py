@@ -1,0 +1,129 @@
+"""Stream-local vs device-level error scoping (CUDA sticky semantics).
+
+An ordinary failure in stream A stays local: stream B keeps working and
+the device context is not poisoned — but the error *must* surface at the
+device-level synchronize, which drains every stream.  A kernel *fault*
+on a stream, by contrast, poisons the whole device context from the
+stream's worker thread.
+"""
+
+import pytest
+
+from repro import faults
+from repro.errors import GpuError, KernelFault, StickyContextError
+from repro.gpu import LaunchConfig, get_device, launch_kernel
+from repro.gpu.stream import Stream
+from repro.ompx import ompx_device_synchronize
+
+
+@pytest.fixture
+def device():
+    dev = get_device(0)
+    dev.reset()
+    yield dev
+    dev.reset()
+
+
+def _fail():
+    raise GpuError("transient op failure")
+
+
+class TestStreamLocalErrors:
+    def test_failure_in_stream_a_spares_stream_b(self, device):
+        a = Stream(device, name="a")
+        b = Stream(device, name="b")
+        try:
+            a.enqueue(_fail)
+            ran = []
+            b.enqueue(lambda: ran.append(1))
+            b.synchronize()
+            assert ran == [1]                      # B unaffected
+            assert not device.is_poisoned          # not a kernel fault
+            with pytest.raises(GpuError):
+                a.synchronize()                    # A reports, then clears
+            a.enqueue(lambda: ran.append(2))       # A usable again
+            a.synchronize()
+            assert ran == [1, 2]
+        finally:
+            a.close()
+            b.close()
+
+    def test_stream_error_surfaces_at_device_synchronize(self, device):
+        a = Stream(device, name="a")
+        try:
+            a.enqueue(_fail)
+            a._idle.wait()
+            with pytest.raises(GpuError) as ei:
+                ompx_device_synchronize(device)
+            assert isinstance(ei.value.__cause__, GpuError)
+            assert "queued work failed" in str(ei.value)
+        finally:
+            a.close()
+
+    def test_sticky_stream_refuses_enqueue_without_clearing(self, device):
+        a = Stream(device, name="a")
+        try:
+            a.enqueue(_fail)
+            a._idle.wait()
+            with pytest.raises(GpuError):
+                a.enqueue(lambda: None)            # refused, error kept
+            with pytest.raises(GpuError):
+                a.synchronize()                    # still reported here
+            a.synchronize()                        # now clear
+        finally:
+            a.close()
+
+
+class TestKernelFaultOnStream:
+    def test_fault_on_stream_a_poisons_device_for_stream_b(self, device):
+        a = Stream(device, name="a")
+        b = Stream(device, name="b")
+        try:
+            def k(ctx):
+                pass
+
+            k.vectorize = False
+            with faults.inject("launch:kernel_fault,kernel=k"):
+                launch_kernel(
+                    LaunchConfig.create(1, 4, stream=a), k, (), device,
+                    synchronous=False,
+                )
+                a._idle.wait()                     # fault fires on A's worker
+            assert device.is_poisoned
+            assert isinstance(device.sticky_error, KernelFault)
+            # Stream B's next *launch* hits the poisoned context on the
+            # host thread, before anything is enqueued.
+            with pytest.raises(StickyContextError):
+                launch_kernel(
+                    LaunchConfig.create(1, 4, stream=b), k, (), device,
+                    synchronous=False,
+                )
+            # Device-level synchronize reports the poison too.
+            with pytest.raises(StickyContextError):
+                ompx_device_synchronize(device)
+            # And the original fault is still queued as A's sticky error.
+            with pytest.raises(GpuError) as ei:
+                a.synchronize()
+            assert ei.value.__cause__ is not None
+        finally:
+            a.close()
+            b.close()
+
+    def test_reset_recovers_streams_and_context(self, device):
+        a = Stream(device, name="a")
+
+        def k(ctx):
+            pass
+
+        k.vectorize = False
+        with faults.inject("launch:kernel_fault,kernel=k"):
+            launch_kernel(
+                LaunchConfig.create(1, 4, stream=a), k, (), device,
+                synchronous=False,
+            )
+            a._idle.wait()
+        assert device.is_poisoned
+        device.reset()                             # also closes stream a
+        assert not device.is_poisoned
+        stats = launch_kernel(LaunchConfig.create(1, 4), k, (), device)
+        assert stats.threads_run == 4

@@ -1,0 +1,71 @@
+"""Error-hygiene lint: library raises must use the errors.py hierarchy.
+
+Walks every module under ``src/repro`` with ``ast`` and asserts no
+``raise`` statement constructs a generic ``Exception`` / ``RuntimeError``
+/ ``BaseException``: callers catch :class:`repro.errors.ReproError` to
+separate library failures from their own bugs, and a generic raise
+punches a hole in that contract.  Precise builtin exceptions for
+programming errors at the API boundary (``ValueError``, ``TypeError``,
+``NotImplementedError``, ...) remain legitimate.
+"""
+
+import ast
+from pathlib import Path
+
+import repro
+from repro import errors
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+#: Generic exception types library code must never raise directly.
+FORBIDDEN = {"Exception", "RuntimeError", "BaseException"}
+
+
+def _raised_name(node: ast.Raise):
+    """The exception class name a raise statement constructs, if resolvable."""
+    exc = node.exc
+    if exc is None:               # bare re-raise
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None                   # dynamic (raise self._bad_free(...), etc.)
+
+
+def _violations():
+    found = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if name in FORBIDDEN:
+                    rel = path.relative_to(SRC_ROOT.parent)
+                    found.append(f"{rel}:{node.lineno} raises {name}")
+    return found
+
+
+def test_no_generic_exceptions_raised_in_library_code():
+    violations = _violations()
+    assert not violations, (
+        "library code must raise repro.errors classes (or precise builtins), "
+        "never generic Exception/RuntimeError:\n  " + "\n  ".join(violations)
+    )
+
+
+def test_every_public_error_is_rooted_at_repro_error():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError), name
+
+
+def test_fault_and_sticky_errors_are_gpu_errors():
+    # The fault framework's error classes slot into the existing hierarchy
+    # so `except GpuError` call sites keep catching them.
+    assert issubclass(errors.KernelFault, errors.GpuError)
+    assert issubclass(errors.MemcheckError, errors.KernelFault)
+    assert issubclass(errors.StickyContextError, errors.GpuError)
+    assert issubclass(errors.FaultSpecError, errors.ReproError)
