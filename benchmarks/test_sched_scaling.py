@@ -1,0 +1,108 @@
+"""Modeled multi-device scaling curves (the acceptance plot for repro.sched).
+
+Two claims, one per acceptance criterion:
+
+* the *modeled* multi-device time beats single-device for XSBench (an
+  embarrassingly parallel lookup sweep) and for Stencil-1D (halo traffic
+  included) on both systems;
+* a *functional* sharded run under the tracer produces one trace track
+  per pool device, and the Perfetto export names those tracks.
+"""
+
+import json
+
+import pytest
+
+from repro import trace
+from repro.apps import ALL_APPS, VersionLabel
+from repro.apps.xsbench import XSBench
+from repro.gpu.device import A100_SPEC, MI250_SPEC
+from repro.harness.report import format_seconds
+from repro.perf.timing import AMD_SYSTEM, NVIDIA_SYSTEM
+from repro.sched import DevicePool, estimate_scaling
+
+pytestmark = [pytest.mark.slow, pytest.mark.sched]
+
+DEVICE_COUNTS = (1, 2, 4, 8)
+
+
+def _scaling_curve(app, system, spec, *, peer_bytes=0, peer_transfers=0):
+    params = app.paper_params()
+    tb = app.estimate(VersionLabel.OMPX, system, params)
+    single = app.reported_seconds(tb)
+    curve = {}
+    for n in DEVICE_COUNTS:
+        est = estimate_scaling(
+            single, n, spec,
+            peer_bytes=peer_bytes, peer_transfers=peer_transfers,
+        )
+        curve[n] = est
+    return single, curve
+
+
+@pytest.mark.parametrize(
+    "system,spec",
+    [(NVIDIA_SYSTEM, A100_SPEC), (AMD_SYSTEM, MI250_SPEC)],
+    ids=["nvidia", "amd"],
+)
+def test_xsbench_modeled_scaling_beats_single_device(system, spec):
+    app = XSBench()
+    single, curve = _scaling_curve(app, system, spec)
+    print(f"\nXSBench ompx scaling on {system.name}:")
+    for n, est in curve.items():
+        print(f"  {n} device(s): {format_seconds(est.multi_seconds)}  "
+              f"(speedup {est.speedup:.2f}x, efficiency {est.efficiency:.0%})")
+    for n in DEVICE_COUNTS[1:]:
+        assert curve[n].multi_seconds < single
+        assert curve[n].speedup > 1.0
+    # No communication: scaling is ideal and monotone.
+    assert curve[4].multi_seconds < curve[2].multi_seconds
+
+
+@pytest.mark.parametrize(
+    "system,spec",
+    [(NVIDIA_SYSTEM, A100_SPEC), (AMD_SYSTEM, MI250_SPEC)],
+    ids=["nvidia", "amd"],
+)
+def test_stencil_modeled_scaling_beats_single_device(system, spec):
+    app = ALL_APPS[5]()
+    params = app.paper_params()
+    peer_bytes = 2 * params["radius"] * 8
+    peer_transfers = 2 if app.reports == "per_launch" \
+        else 2 * params["iterations"]
+    single, curve = _scaling_curve(
+        app, system, spec,
+        peer_bytes=peer_bytes, peer_transfers=peer_transfers,
+    )
+    print(f"\nStencil-1D ompx scaling on {system.name} "
+          f"(halo {peer_bytes} B x {peer_transfers}):")
+    for n, est in curve.items():
+        print(f"  {n} device(s): {format_seconds(est.multi_seconds)}  "
+              f"(speedup {est.speedup:.2f}x, comm "
+              f"{format_seconds(est.comm_seconds)})")
+    for n in DEVICE_COUNTS[1:]:
+        assert curve[n].multi_seconds < single, (
+            f"{n}-device stencil must beat single-device even with halo traffic"
+        )
+        assert curve[n].comm_seconds > 0  # the halo term is being charged
+
+
+def test_functional_sharded_run_traces_one_track_per_device(tmp_path):
+    app = ALL_APPS[5]()
+    params = app.functional_params()
+    out = tmp_path / "sched_trace.json"
+    with DevicePool(3) as pool:
+        expected_tracks = {f"device:{d.ordinal}" for d in pool.devices}
+        with trace.tracing() as tracer:
+            result = app.run_functional_sharded(VersionLabel.OMPX, params, pool)
+        assert app.verify(result, params)
+        tracer.export_chrome(out)
+    device_tracks = {s.track for s in tracer.spans
+                     if s.track.startswith("device:")}
+    assert expected_tracks <= device_tracks
+    # The Perfetto export names each device track via thread_name metadata.
+    exported = json.loads(out.read_text())
+    events = exported["traceEvents"] if isinstance(exported, dict) else exported
+    named = {e["args"]["name"] for e in events
+             if e.get("ph") == "M" and e.get("name") == "thread_name"}
+    assert expected_tracks <= named

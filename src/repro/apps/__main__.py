@@ -88,6 +88,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--variant", default=VersionLabel.OMPX,
                         choices=list(VersionLabel.ALL))
     parser.add_argument("--device", type=int, default=0, choices=[0, 1, 2])
+    parser.add_argument("--devices", type=int, default=1, metavar="N",
+                        help="run data-parallel across a DevicePool of N "
+                             "devices (--run mode; N=1 is the single-device "
+                             "path). In --estimate mode, also print the "
+                             "modeled multi-device scaling.")
     parser.add_argument("--trace", metavar="OUT.json", default=None,
                         help="profile the run and write a Chrome/Perfetto "
                              "trace_event JSON to this path")
@@ -161,14 +166,26 @@ def _run_instrumented(app, flags, params, plan) -> int:
 
 def _dispatch(app, flags, params) -> int:
     """Run one app in ``--run`` or ``--estimate`` mode; returns exit code."""
+    if flags.devices < 1:
+        print(f"--devices must be >= 1, got {flags.devices}", file=sys.stderr)
+        return 2
     if flags.run:
         run_params = app.functional_params()
-        print(f"{app.name}: functional run of variant {flags.variant!r} on "
-              f"device {flags.device} (reduced scale: {dict(run_params)})")
         variant = flags.variant
         if variant == VersionLabel.NATIVE_VENDOR:
             variant = VersionLabel.NATIVE_LLVM  # same sources
-        result = app.run_functional(variant, run_params, get_device(flags.device))
+        if flags.devices > 1:
+            from ..sched import DevicePool
+
+            print(f"{app.name}: functional run of variant {flags.variant!r} "
+                  f"sharded across {flags.devices} pool devices "
+                  f"(reduced scale: {dict(run_params)})")
+            with DevicePool(flags.devices) as pool:
+                result = app.run_functional_sharded(variant, run_params, pool)
+        else:
+            print(f"{app.name}: functional run of variant {flags.variant!r} on "
+                  f"device {flags.device} (reduced scale: {dict(run_params)})")
+            result = app.run_functional(variant, run_params, get_device(flags.device))
         ok = app.verify(result, run_params)
         print(f"checksum = {result.checksum:.6f}  "
               f"verification {'PASSED' if ok else 'FAILED'}")
@@ -185,7 +202,36 @@ def _dispatch(app, flags, params) -> int:
             tb = app.estimate(label, system, params)
             parts.append(f"{display}={format_seconds(app.reported_seconds(tb))}")
         print(f"  {system.name:7s} " + "  ".join(parts))
+    if flags.devices > 1:
+        _print_scaling(app, flags, params)
     return 0
+
+
+def _print_scaling(app, flags, params) -> None:
+    """Modeled multi-device scaling of the ompx version (see EXPERIMENTS.md)."""
+    from ..gpu.device import A100_SPEC, MI250_SPEC
+    from ..sched import estimate_scaling
+
+    print(f"  modeled {flags.devices}-device scaling (ompx, data-parallel):")
+    for system, spec in ((NVIDIA_SYSTEM, A100_SPEC), (AMD_SYSTEM, MI250_SPEC)):
+        tb = app.estimate(VersionLabel.OMPX, system, params)
+        single = app.reported_seconds(tb)
+        # Per-step halo traffic for the stencil (two edges per device per
+        # iteration, matched to the reported unit — per launch or total);
+        # the other apps shard without any cross-device traffic.
+        peer_bytes = peer_transfers = 0
+        if "radius" in params and "iterations" in params:
+            peer_bytes = 2 * params["radius"] * 8
+            peer_transfers = 2 if app.reports == "per_launch" \
+                else 2 * params["iterations"]
+        est = estimate_scaling(
+            single, flags.devices, spec,
+            peer_bytes=peer_bytes, peer_transfers=peer_transfers,
+        )
+        print(f"    {system.name:7s} {format_seconds(est.single_seconds)} -> "
+              f"{format_seconds(est.multi_seconds)}  "
+              f"(speedup {est.speedup:.2f}x, efficiency {est.efficiency:.0%}, "
+              f"comm {format_seconds(est.comm_seconds)})")
 
 
 if __name__ == "__main__":  # pragma: no cover

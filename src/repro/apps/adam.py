@@ -141,6 +141,9 @@ class Adam(BenchmarkApp):
 
     # --- golden reference -----------------------------------------------------
     def _inputs(self, params):
+        pre = params.get("_prebuilt")
+        if pre is not None:
+            return pre
         rng = np.random.default_rng(7)
         n = params["n"]
         return (
@@ -164,6 +167,21 @@ class Adam(BenchmarkApp):
                 v_hat = v / (1.0 - b2_t)
                 w = w - _LR * m_hat / (np.sqrt(v_hat) + _EPS)
         return w
+
+    def shard_functional_params(self, params, n):
+        """Shard the parameter vector; each element's walk is independent."""
+        from ..sched import shard
+
+        h_w, h_g, h_m, h_v = self._inputs(params)
+        subs = []
+        for w, g, m, v in zip(
+            shard(h_w, n), shard(h_g, n), shard(h_m, n), shard(h_v, n)
+        ):
+            sub = dict(params)
+            sub["n"] = int(w.shape[0])
+            sub["_prebuilt"] = (w, g, m, v)
+            subs.append(sub)
+        return subs
 
     # --- functional execution ------------------------------------------------------
     def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:

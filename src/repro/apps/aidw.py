@@ -287,6 +287,9 @@ class AIDW(BenchmarkApp):
 
     # --- golden reference -------------------------------------------------------
     def _inputs(self, params):
+        pre = params.get("_prebuilt")
+        if pre is not None:
+            return pre
         rng = np.random.default_rng(11)
         dnum, inum = params["dnum"], params["inum"]
         return (
@@ -311,6 +314,19 @@ class AIDW(BenchmarkApp):
             return (w * zk).sum(axis=1) / w.sum(axis=1)
         w = dist ** (-_ALPHA)
         return (w @ dz) / w.sum(axis=1)
+
+    def shard_functional_params(self, params, n):
+        """Shard the interpolation points; the data points are broadcast."""
+        from ..sched import shard
+
+        dx, dy, dz, ix, iy = self._inputs(params)
+        subs = []
+        for x_i, y_i in zip(shard(ix, n), shard(iy, n)):
+            sub = dict(params)
+            sub["inum"] = int(x_i.shape[0])
+            sub["_prebuilt"] = (dx, dy, dz, x_i, y_i)
+            subs.append(sub)
+        return subs
 
     # --- functional execution --------------------------------------------------------
     def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:

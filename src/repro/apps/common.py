@@ -19,6 +19,7 @@ toolchain; :meth:`BenchmarkApp.compiled_for` resolves them.
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
@@ -126,6 +127,65 @@ class BenchmarkApp(abc.ABC):
         VersionLabel.OMP,
         VersionLabel.NATIVE_LLVM,
     )
+
+    # --- multi-device execution ---------------------------------------------------
+    def shard_functional_params(
+        self, params: Mapping[str, object], n: int
+    ) -> Sequence[Mapping[str, object]]:
+        """Split one functional problem into per-device parameter dicts.
+
+        Each returned mapping must be runnable by :meth:`run_functional`
+        on its own device, and concatenating the per-shard outputs in
+        submission order must reproduce the single-device output exactly.
+        Apps implement this by building the full problem once (so the RNG
+        stream is identical to a single-device run), slicing the problem
+        axis with :func:`repro.sched.shard`, and passing the slices back
+        through the ``_prebuilt`` parameter their builders honour.
+        """
+        raise AppError(f"{self.name} does not support sharded execution")
+
+    def result_checksum(self, output: np.ndarray) -> float:
+        """Checksum of a gathered output (su3 overrides for complex data)."""
+        return checksum(output)
+
+    def run_functional_sharded(
+        self, variant: str, params: Mapping[str, object], pool
+    ) -> FunctionalResult:
+        """Run one variant data-parallel across a :class:`~repro.sched.DevicePool`.
+
+        The default strategy shards the problem axis with
+        :meth:`shard_functional_params`, runs each shard's
+        :meth:`run_functional` on its own pool worker, gathers the
+        futures, and concatenates the outputs — bit-identical to the
+        single-device run because the per-element computation never
+        crosses shard boundaries.  Stencil-1D overrides this with a true
+        halo-exchange decomposition (its windows *do* cross boundaries).
+        """
+        from ..sched import gather
+
+        if variant == VersionLabel.OMP:
+            raise AppError(
+                "the classic-OpenMP variant offloads through host mapping "
+                "tables and cannot be sharded across a DevicePool; use the "
+                "ompx or native variant"
+            )
+        shards = self.shard_functional_params(params, len(pool))
+        futures = [
+            pool.submit_call(
+                functools.partial(self.run_functional, variant, sub),
+                device=i,
+                label=f"{self.name}:shard{i}",
+            )
+            for i, sub in enumerate(shards)
+        ]
+        results = gather(futures)
+        output = np.concatenate([r.output for r in results])
+        return FunctionalResult(
+            variant=variant,
+            output=output,
+            checksum=self.result_checksum(output),
+            valid=False,
+        )
 
     # --- performance-model inputs ---------------------------------------------------
     @abc.abstractmethod

@@ -175,6 +175,9 @@ class RSBench(BenchmarkApp):
 
     # --- problem construction ----------------------------------------------------
     def _build(self, params):
+        pre = params.get("_prebuilt")
+        if pre is not None:
+            return pre
         rng = np.random.default_rng(4321)
         n_iso = params["n_isotopes"]
         n_win = params["n_windows"]
@@ -227,6 +230,23 @@ class RSBench(BenchmarkApp):
                 macro += dens[base + j] * sig
             out[sel] = macro
         return out
+
+    def shard_functional_params(self, params, n):
+        """Shard the lookup events; the pole/window tables are broadcast."""
+        from ..sched import shard
+
+        ea, rt, ra, lval, pseudo, nucs, dens, offsets, counts, energies, mats = (
+            self._build(params)
+        )
+        subs = []
+        for e, m in zip(shard(energies, n), shard(mats, n)):
+            sub = dict(params)
+            sub["lookups"] = int(e.shape[0])
+            sub["_prebuilt"] = (
+                ea, rt, ra, lval, pseudo, nucs, dens, offsets, counts, e, m,
+            )
+            subs.append(sub)
+        return subs
 
     # --- functional execution --------------------------------------------------------
     def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:

@@ -184,6 +184,150 @@ class Stencil1D(BenchmarkApp):
 
         return FunctionalResult(variant=variant, output=result, checksum=checksum(result), valid=False)
 
+    # --- multi-device execution ---------------------------------------------------
+    def run_functional_sharded(self, variant: str, params, pool) -> FunctionalResult:
+        """True domain decomposition: per-iteration halo exchange over peers.
+
+        Unlike the embarrassingly parallel apps, a stencil window crosses
+        shard boundaries, so each device owns a contiguous chunk padded by
+        ``radius`` halo cells per side.  Every iteration the devices trade
+        freshly computed edge cells over the peer interconnect
+        (``ompx_memcpy_peer`` enqueued on the destination device's default
+        stream), gated on the neighbours' kernel events — the cross-device
+        :meth:`~repro.gpu.stream.Stream.wait_event` idiom.  All ordering
+        lives in streams and events; the host never synchronizes inside
+        the iteration loop.
+        """
+        from ..gpu.launch import LaunchConfig, launch_kernel
+        from ..ompx.host import ompx_memcpy_peer
+        from ..sched import gather, shard
+
+        if variant == VersionLabel.OMP:
+            raise AppError(
+                "the classic-OpenMP stencil offloads through host mapping "
+                "tables and cannot be sharded across a DevicePool; use the "
+                "ompx or native variant"
+            )
+        kernel = stencil_ompx_kernel if variant == VersionLabel.OMPX else stencil_cuda_kernel
+        entry = getattr(kernel, "entry", kernel)
+        n, r, block = params["n"], params["radius"], params["block"]
+        iterations = params["iterations"]
+        full = self._input(params)
+        chunks = shard(full, len(pool))
+        sizes = [int(c.shape[0]) for c in chunks]
+        if min(sizes) < r:
+            raise AppError(
+                f"stencil shards must hold at least radius={r} cells "
+                f"(smallest shard has {min(sizes)}); use fewer devices"
+            )
+        ndev = len(chunks)
+        devices = pool.devices[:ndev]
+        starts = [0]
+        for size in sizes[:-1]:
+            starts.append(starts[-1] + size)
+
+        # Direct links between neighbours: the copies would still succeed
+        # staged through host memory, but the modeled cost (and the trace's
+        # path= annotation) should ride the peer interconnect.
+        for left, right in zip(devices, devices[1:]):
+            left.enable_peer_access(right)
+            right.enable_peer_access(left)
+
+        # Per-device padded double buffers, uploaded with their true halos
+        # so the first kernel launch needs no exchange.
+        def make_setup(d):
+            def setup(device):
+                start, size = starts[d], sizes[d]
+                padded = np.zeros(size + 2 * r, dtype=_DTYPE)
+                lo, hi = max(start - r, 0), min(start + size + r, n)
+                padded[lo - start + r : hi - start + r] = full[lo:hi]
+                alloc = device.allocator
+                front, back = alloc.malloc(padded.nbytes), alloc.malloc(padded.nbytes)
+                alloc.memcpy_h2d(front, padded)
+                return [front, back]
+            return setup
+
+        bufs = gather([
+            pool.submit_call(make_setup(d), device=d, label=f"stencil-setup{d}")
+            for d in range(ndev)
+        ])
+
+        streams = [dev.default_stream for dev in devices]
+        kern_ev = [None] * ndev
+        halo_ev = [None] * ndev
+        for it in range(iterations):
+            prev_halo = list(halo_ev)
+            for d in range(ndev):
+                s = streams[d]
+                # The neighbours' previous halo copies read this device's
+                # buffers; wait for them before the kernel overwrites one.
+                for nb in (d - 1, d + 1):
+                    if 0 <= nb < ndev and prev_halo[nb] is not None:
+                        s.wait_event(prev_halo[nb])
+                npad = sizes[d] + 2 * r
+                config = LaunchConfig.create(
+                    (npad + block - 1) // block, block, stream=s
+                )
+                launch_kernel(
+                    config, entry, (bufs[d][0], bufs[d][1], npad, r),
+                    devices[d], synchronous=False,
+                )
+                kern_ev[d] = s.record_event()
+            if it + 1 == iterations:
+                break
+            for d in range(ndev):
+                s, dev = streams[d], devices[d]
+                out = bufs[d][1]
+                for nb in (d - 1, d + 1):
+                    if 0 <= nb < ndev:
+                        s.wait_event(kern_ev[nb])
+                if d > 0:
+                    # Left halo <- left neighbour's last r interior cells.
+                    src = bufs[d - 1][1] + sizes[d - 1] * 8
+                    ompx_memcpy_peer(out, dev, src, devices[d - 1], r * 8, stream=s)
+                else:
+                    s.enqueue(
+                        lambda dev=dev, ptr=out: dev.allocator.memset(ptr, 0, r * 8),
+                        label="halo-zero:left",
+                    )
+                if d + 1 < ndev:
+                    # Right halo <- right neighbour's first r interior cells.
+                    src = bufs[d + 1][1] + r * 8
+                    ompx_memcpy_peer(
+                        out + (r + sizes[d]) * 8, dev, src, devices[d + 1],
+                        r * 8, stream=s,
+                    )
+                else:
+                    s.enqueue(
+                        lambda dev=dev, ptr=out + (r + sizes[d]) * 8:
+                            dev.allocator.memset(ptr, 0, r * 8),
+                        label="halo-zero:right",
+                    )
+                halo_ev[d] = s.record_event()
+            for d in range(ndev):
+                bufs[d].reverse()
+        for s in streams:
+            s.synchronize()
+
+        def make_download(d):
+            def download(device):
+                out = np.zeros(sizes[d], dtype=_DTYPE)
+                alloc = device.allocator
+                alloc.memcpy_d2h(out, bufs[d][1] + r * 8)
+                for ptr in bufs[d]:
+                    alloc.free(ptr)
+                return out
+            return download
+
+        parts = gather([
+            pool.submit_call(make_download(d), device=d, label=f"stencil-gather{d}")
+            for d in range(ndev)
+        ])
+        result = np.concatenate(parts)
+        return FunctionalResult(
+            variant=variant, output=result, checksum=checksum(result), valid=False
+        )
+
     # --- performance model -----------------------------------------------------------
     def footprint(self, params, label: str = VersionLabel.OMPX) -> Footprint:
         n, r = params["n"], params["radius"]

@@ -137,6 +137,9 @@ class SU3(BenchmarkApp):
 
     # --- golden reference ---------------------------------------------------------
     def _inputs(self, params):
+        pre = params.get("_prebuilt")
+        if pre is not None:
+            return pre
         rng = np.random.default_rng(99)
         sites = params["sites"]
         a = (rng.standard_normal((sites, _DIRS, 3, 3))
@@ -168,6 +171,22 @@ class SU3(BenchmarkApp):
             ok = np.allclose(result.output, expected, rtol=1e-10, atol=1e-12)
         result.valid = bool(ok)
         return result.valid
+
+    def shard_functional_params(self, params, n):
+        """Shard the lattice sites; the link matrices ``b`` are broadcast."""
+        from ..sched import shard
+
+        a, b = self._inputs(params)
+        subs = []
+        for a_i in shard(a, n):
+            sub = dict(params)
+            sub["sites"] = int(a_i.shape[0])
+            sub["_prebuilt"] = (a_i, b)
+            subs.append(sub)
+        return subs
+
+    def result_checksum(self, output) -> float:
+        return checksum(output.real, output.imag)
 
     # --- functional execution ----------------------------------------------------------
     def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:

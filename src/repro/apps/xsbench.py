@@ -188,6 +188,9 @@ class XSBench(BenchmarkApp):
 
     # --- problem construction ----------------------------------------------------
     def _build(self, params):
+        pre = params.get("_prebuilt")
+        if pre is not None:
+            return pre
         rng = np.random.default_rng(1234)
         n_iso, ngp = params["n_isotopes"], params["n_gridpoints"]
         counts = np.asarray(params["mat_counts"], dtype=np.int32)
@@ -228,6 +231,19 @@ class XSBench(BenchmarkApp):
                 macro += dens[base + j] * micro.sum(axis=1)
             out[sel] = macro
         return out
+
+    def shard_functional_params(self, params, n):
+        """Shard the lookup events; the nuclide tables are broadcast."""
+        from ..sched import shard
+
+        egrid, xs, nucs, dens, offsets, counts, energies, mats = self._build(params)
+        subs = []
+        for e, m in zip(shard(energies, n), shard(mats, n)):
+            sub = dict(params)
+            sub["lookups"] = int(e.shape[0])
+            sub["_prebuilt"] = (egrid, xs, nucs, dens, offsets, counts, e, m)
+            subs.append(sub)
+        return subs
 
     # --- functional execution --------------------------------------------------------
     def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:

@@ -13,7 +13,7 @@ import functools
 from typing import Callable, Optional, Sequence
 
 from ..errors import LaunchError
-from ..gpu.device import Device
+from ..gpu.device import Device, Placement
 from ..gpu.dim import DimLike
 from ..gpu.launch import LaunchConfig, launch_kernel
 from ..gpu.stream import Stream
@@ -98,7 +98,7 @@ def launch(
     block: DimLike,
     args: Sequence = (),
     *,
-    device: Optional[Device] = None,
+    device: Placement = None,
     shared_bytes: int = 0,
     stream: Optional[Stream] = None,
     engine: Optional[str] = None,
@@ -116,13 +116,13 @@ def launch(
             f"launch() needs a @kernel-decorated function, got {kern!r}; "
             f"plain Python functions cannot be __global__ entry points"
         )
-    if device is None:
-        from .runtime import current_cuda_device
+    from ..gpu.device import resolve_placement
+    from .runtime import current_cuda_device
 
-        device = current_cuda_device()
+    device = resolve_placement(device, default=current_cuda_device)
     config = LaunchConfig.create(
         grid, block, shared_bytes,
-        stream if stream is not None else device.default_stream,
-        engine,
+        stream=stream if stream is not None else device.default_stream,
+        engine=engine,
     )
     launch_kernel(config, kern.entry, tuple(args), device, synchronous=False)

@@ -14,8 +14,8 @@ from typing import Optional
 import numpy as np
 
 from ..errors import GpuError
-from ..gpu.device import Device, get_device
-from ..gpu.memory import DevicePointer, MemcpyKind
+from ..gpu.device import Device, Placement, get_device, resolve_placement
+from ..gpu.memory import DevicePointer, MemcpyKind, memcpy_peer, peer_copy
 from ..gpu.stream import Event, Stream
 
 __all__ = [
@@ -23,6 +23,11 @@ __all__ = [
     "cudaFree",
     "cudaMemcpy",
     "cudaMemcpyAsync",
+    "cudaMemcpyPeer",
+    "cudaMemcpyPeerAsync",
+    "cudaDeviceCanAccessPeer",
+    "cudaDeviceEnablePeerAccess",
+    "cudaDeviceDisablePeerAccess",
     "cudaMemset",
     "cudaMemcpyToSymbol",
     "cudaMemcpyFromSymbol",
@@ -57,10 +62,16 @@ def current_cuda_device() -> Device:
     return get_device(ordinal)
 
 
-def cudaSetDevice(ordinal: int) -> None:  # noqa: N802 - CUDA spelling
-    """``cudaSetDevice``: select this thread's current device."""
-    get_device(ordinal)  # validate
-    _state.ordinal = ordinal
+def cudaSetDevice(device: Placement) -> None:  # noqa: N802 - CUDA spelling
+    """``cudaSetDevice``: select this thread's current device.
+
+    Accepts an ordinal, a :class:`Device`, or ``None`` (reset to the
+    default CUDA ordinal) — the library-wide placement contract.
+    """
+    if device is None:
+        _state.ordinal = _DEFAULT_ORDINAL
+        return
+    _state.ordinal = resolve_placement(device).ordinal
 
 
 def cudaGetDevice() -> int:  # noqa: N802
@@ -96,7 +107,14 @@ def _do_memcpy(device: Device, dst, src, count: int, kind: str) -> None:
         host = dst.view(np.uint8).reshape(-1)[:count]
         alloc.memcpy_d2h(host, src)
     elif kind == MemcpyKind.DEVICE_TO_DEVICE:
-        alloc.memcpy_d2d(dst, src, count)
+        # cudaMemcpyDefault-style inference on the pointers themselves:
+        # a cross-device pair routes through the peer path rather than
+        # faulting on the current device's allocator.
+        if (isinstance(dst, DevicePointer) and isinstance(src, DevicePointer)
+                and dst.device_ordinal != src.device_ordinal):
+            memcpy_peer(dst, src, count)
+        else:
+            alloc.memcpy_d2d(dst, src, count)
     else:
         raise GpuError(f"unsupported memcpy kind {kind!r}")
 
@@ -122,6 +140,76 @@ def cudaMemcpyAsync(dst, src, count: int, kind: str, stream: Stream) -> None:  #
         trace_args={"bytes": int(count),
                     "direction": _TRACE_DIRECTION.get(kind, str(kind))},
     )
+
+
+def _validate_peer_args(api: str, dst: DevicePointer, dst_device: Placement,
+                        src: DevicePointer, src_device: Placement) -> None:
+    """Catch the classic peer-copy porting bug: wrong device ordinals."""
+    dst_ord = resolve_placement(dst_device).ordinal
+    src_ord = resolve_placement(src_device).ordinal
+    if dst_ord != dst.device_ordinal:
+        raise GpuError(
+            f"{api}: dst pointer belongs to device {dst.device_ordinal}, "
+            f"not device {dst_ord}"
+        )
+    if src_ord != src.device_ordinal:
+        raise GpuError(
+            f"{api}: src pointer belongs to device {src.device_ordinal}, "
+            f"not device {src_ord}"
+        )
+
+
+def cudaMemcpyPeer(  # noqa: N802
+    dst: DevicePointer,
+    dst_device: Placement,
+    src: DevicePointer,
+    src_device: Placement,
+    count: int,
+) -> None:
+    """``cudaMemcpyPeer``: copy ``count`` bytes between two devices.
+
+    Works whether or not peer access is enabled (as on real CUDA); the
+    modeled cost is a direct-link DMA when it is, a staged-through-host
+    round trip when it is not.
+    """
+    _validate_peer_args("cudaMemcpyPeer", dst, dst_device, src, src_device)
+    peer_copy(dst, src, count, api="cudaMemcpyPeer")
+
+
+def cudaMemcpyPeerAsync(  # noqa: N802
+    dst: DevicePointer,
+    dst_device: Placement,
+    src: DevicePointer,
+    src_device: Placement,
+    count: int,
+    stream: Stream,
+) -> None:
+    """``cudaMemcpyPeerAsync``: enqueue a peer copy on ``stream``."""
+    _validate_peer_args("cudaMemcpyPeerAsync", dst, dst_device, src, src_device)
+    stream.enqueue(
+        lambda: peer_copy(dst, src, count, api="cudaMemcpyPeerAsync"),
+        label="cudaMemcpyPeerAsync",
+        trace_cat="memcpy",
+        trace_args={"bytes": int(count), "direction": "p2p",
+                    "src_device": src.device_ordinal,
+                    "dst_device": dst.device_ordinal},
+    )
+
+
+def cudaDeviceCanAccessPeer(device: Placement, peer: Placement) -> bool:  # noqa: N802
+    """``cudaDeviceCanAccessPeer``: does a direct interconnect exist?"""
+    return resolve_placement(device).can_access_peer(peer)
+
+
+def cudaDeviceEnablePeerAccess(peer: Placement) -> None:  # noqa: N802
+    """``cudaDeviceEnablePeerAccess``: map ``peer``'s memory into the
+    current device's address space (directional, like real CUDA)."""
+    current_cuda_device().enable_peer_access(peer)
+
+
+def cudaDeviceDisablePeerAccess(peer: Placement) -> None:  # noqa: N802
+    """``cudaDeviceDisablePeerAccess``: unmap ``peer``'s memory."""
+    current_cuda_device().disable_peer_access(peer)
 
 
 def cudaMemset(ptr: DevicePointer, value: int, count: int) -> None:  # noqa: N802

@@ -26,6 +26,7 @@ __all__ = [
     "InteropError",
     "PortError",
     "PerfModelError",
+    "SchedulerError",
     "AppError",
 ]
 
@@ -265,6 +266,16 @@ class PortError(ReproError):
 
 class PerfModelError(ReproError):
     """The performance model received inconsistent inputs."""
+
+
+class SchedulerError(ReproError):
+    """The multi-device scheduler was misused or a pool operation failed.
+
+    Raised for bad pool configuration, submissions to a closed pool,
+    unknown placement policies, and future timeouts.  Kernel failures
+    *inside* a pool worker are not wrapped: the worker stores the
+    original :class:`GpuError`/:class:`KernelFault` on the future so
+    callers see exactly what a single-device run would have seen."""
 
 
 class AppError(ReproError):

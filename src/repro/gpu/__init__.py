@@ -17,11 +17,15 @@ from .device import (
     MI250_SPEC,
     Device,
     DeviceSpec,
+    Placement,
     Vendor,
+    add_device,
     current_device,
     get_device,
     registered_devices,
+    remove_device,
     reset_devices,
+    resolve_placement,
     set_current_device,
 )
 from .dim import Dim3, as_dim3, delinearize, linearize
@@ -35,7 +39,7 @@ from .engine import (
     select_engine,
 )
 from .launch import LaunchConfig, launch_kernel
-from .memory import DevicePointer, GlobalAllocator, MemcpyKind
+from .memory import DevicePointer, GlobalAllocator, MemcpyKind, memcpy_peer, peer_copy
 from .shared import SharedMemory
 from .stream import Event, Stream
 from .vector import VecDim3, VectorThreadCtx
@@ -49,11 +53,15 @@ __all__ = [
     "MI250_SPEC",
     "Device",
     "DeviceSpec",
+    "Placement",
     "Vendor",
+    "add_device",
     "current_device",
     "get_device",
     "registered_devices",
+    "remove_device",
     "reset_devices",
+    "resolve_placement",
     "set_current_device",
     "Dim3",
     "as_dim3",
@@ -73,6 +81,8 @@ __all__ = [
     "DevicePointer",
     "GlobalAllocator",
     "MemcpyKind",
+    "memcpy_peer",
+    "peer_copy",
     "SharedMemory",
     "Event",
     "Stream",

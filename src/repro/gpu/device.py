@@ -8,9 +8,10 @@ and the performance model (peaks, latencies, register files).
 
 from __future__ import annotations
 
+import operator
 import threading
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..errors import GpuError, LaunchError
 from .dim import Dim3, as_dim3
@@ -21,7 +22,11 @@ __all__ = [
     "A100_SPEC",
     "MI250_SPEC",
     "Device",
+    "Placement",
+    "resolve_placement",
     "get_device",
+    "add_device",
+    "remove_device",
     "set_current_device",
     "current_device",
     "reset_devices",
@@ -217,6 +222,12 @@ class Device:
         # kernel fault is captured here and re-reported by every later
         # API call on this device until reset().
         self._sticky: Optional[BaseException] = None
+        # Peer access state: ordinals of devices whose memory this context
+        # may reach over a direct interconnect link.  Directional, like
+        # cudaDeviceEnablePeerAccess (enabling 0->1 says nothing about
+        # 1->0).  Copies work either way; enablement changes the *modeled
+        # cost* from staged-through-host to the direct peer link.
+        self._peer_enabled: set = set()
 
     # --- sticky context (CUDA cudaErrorIllegalAddress semantics) ------------
     def poison(self, error: BaseException) -> None:
@@ -277,12 +288,62 @@ class Device:
             self._constants = {}
             self._constant_bytes = 0
             self._sticky = None
+            self._peer_enabled = set()
         # Stream teardown joins worker threads — do it outside the lock so
         # in-flight work that touches the device cannot deadlock against us.
         for stream in streams:
             stream.close()
         if default is not None:
             default.close()
+
+    # --- peer access (cudaDeviceEnablePeerAccess semantics) -----------------
+    def can_access_peer(self, peer: "Placement") -> bool:
+        """Whether a direct interconnect to ``peer`` exists (never to self).
+
+        The simulated topology is fully connected — every distinct device
+        pair can enable peer access — which matches a single-node system
+        like the paper's A100 or MI250 hosts.
+        """
+        return resolve_placement(peer).ordinal != self.ordinal
+
+    def enable_peer_access(self, peer: "Placement") -> None:
+        """Allow direct access to ``peer``'s memory from this context.
+
+        Directional, like ``cudaDeviceEnablePeerAccess``: enabling here
+        does not enable the reverse direction.  Enabling twice or enabling
+        access to self is an error, as on real hardware.
+        """
+        self.check_poison()
+        target = resolve_placement(peer)
+        if target.ordinal == self.ordinal:
+            raise GpuError(
+                f"device {self.ordinal} cannot enable peer access to itself"
+            )
+        with self._lock:
+            if target.ordinal in self._peer_enabled:
+                raise GpuError(
+                    f"peer access {self.ordinal}->{target.ordinal} is "
+                    f"already enabled"
+                )
+            self._peer_enabled.add(target.ordinal)
+
+    def disable_peer_access(self, peer: "Placement") -> None:
+        """Revoke direct access to ``peer``'s memory."""
+        self.check_poison()
+        target = resolve_placement(peer)
+        with self._lock:
+            if target.ordinal not in self._peer_enabled:
+                raise GpuError(
+                    f"peer access {self.ordinal}->{target.ordinal} is not "
+                    f"enabled"
+                )
+            self._peer_enabled.discard(target.ordinal)
+
+    def has_peer_access(self, peer: "Placement") -> bool:
+        """Whether peer access from this device to ``peer`` is enabled."""
+        ordinal = resolve_placement(peer).ordinal
+        with self._lock:
+            return ordinal in self._peer_enabled
 
     # --- constant memory (§2.5's fourth memory space) -----------------------
     def write_constant(self, name: str, data) -> None:
@@ -339,7 +400,12 @@ class Device:
             if self._default_stream is None:
                 from .stream import Stream
 
-                self._default_stream = Stream(self, name="default")
+                # Device-qualified name so each device's NULL stream gets
+                # its own trace track (multi-device runs would otherwise
+                # merge every default stream into one Perfetto row).
+                self._default_stream = Stream(
+                    self, name=f"default@dev{self.ordinal}", register=False
+                )
             return self._default_stream
 
     def register_stream(self, stream) -> None:
@@ -401,6 +467,72 @@ def get_device(ordinal: int) -> Device:
             raise GpuError(f"no device with ordinal {ordinal}") from None
 
 
+#: What every ``device=`` parameter in the library accepts: a registry
+#: ordinal, a live :class:`Device`, or ``None`` for the thread's current
+#: device.  :func:`resolve_placement` is the single resolution path.
+Placement = Union[int, Device, None]
+
+
+def resolve_placement(placement: Placement, *, default=None) -> Device:
+    """Resolve a ``device=`` argument to a live :class:`Device`.
+
+    The one placement-resolution path for the whole library (every host
+    API, every front end, the launcher and the scheduler):
+
+    - ``None`` resolves to the thread's current device, or to ``default``
+      (a Device or zero-argument callable) when one is supplied;
+    - a :class:`Device` resolves to itself;
+    - anything indexable as an integer (``int``, ``numpy.int64``, ...)
+      resolves through the registry like ``cudaSetDevice`` ordinals do.
+    """
+    if placement is None:
+        if default is None:
+            return current_device()
+        return default() if callable(default) else default
+    if isinstance(placement, Device):
+        return placement
+    try:
+        ordinal = operator.index(placement)
+    except TypeError:
+        raise GpuError(
+            f"device= must be an int ordinal, a Device, or None; got "
+            f"{type(placement).__name__}"
+        ) from None
+    return get_device(ordinal)
+
+
+def add_device(spec: DeviceSpec) -> Device:
+    """Register a new device after the defaults (used by DevicePool).
+
+    The three Figure-7 defaults keep ordinals 0-2; new devices take the
+    next free ordinal so existing pointers and fault selectors stay valid.
+    """
+    _ensure_defaults()
+    with _registry_lock:
+        ordinal = max(_devices) + 1
+        device = Device(spec, ordinal)
+        _devices[ordinal] = device
+        return device
+
+
+def remove_device(ordinal: int) -> None:
+    """Unregister and reset a device added by :func:`add_device`.
+
+    The default devices (ordinals 0-2) cannot be removed — the library's
+    front ends assume they exist.
+    """
+    if ordinal < len(_DEFAULT_SPECS):
+        raise GpuError(f"cannot remove default device {ordinal}")
+    with _registry_lock:
+        device = _devices.pop(ordinal, None)
+        global _current
+        if _current == ordinal:
+            _current = 0
+    if device is None:
+        raise GpuError(f"no device with ordinal {ordinal}")
+    device.reset()
+
+
 def registered_devices() -> Dict[int, Device]:
     """A snapshot of the registry (ordinal -> Device)."""
     _ensure_defaults()
@@ -408,12 +540,15 @@ def registered_devices() -> Dict[int, Device]:
         return dict(_devices)
 
 
-def set_current_device(ordinal: int) -> Device:
-    """Select the calling context's current device (like ``cudaSetDevice``)."""
-    device = get_device(ordinal)
+def set_current_device(ordinal: "Placement") -> Device:
+    """Select the calling context's current device (like ``cudaSetDevice``).
+
+    Accepts anything :func:`resolve_placement` does (ordinal or Device).
+    """
+    device = resolve_placement(ordinal)
     global _current
     with _registry_lock:
-        _current = ordinal
+        _current = device.ordinal
     return device
 
 

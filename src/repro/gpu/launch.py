@@ -146,10 +146,34 @@ class LaunchConfig:
         grid: DimLike,
         block: DimLike,
         shared_bytes: int = 0,
+        *legacy,
         stream: Optional[Stream] = None,
         engine: Optional[str] = None,
     ) -> "LaunchConfig":
-        """Build a config, coercing int/tuple geometry into :class:`Dim3`."""
+        """Build a config, coercing int/tuple geometry into :class:`Dim3`.
+
+        ``stream``/``engine`` are keyword-only.  The positional form left
+        over from the PR-1 launch unification
+        (``create(grid, block, shared, stream, engine)``) still works but
+        emits :class:`DeprecationWarning`; see the README deprecation
+        timeline for its removal.
+        """
+        if legacy:
+            if len(legacy) > 2 or stream is not None or engine is not None:
+                raise LaunchError(
+                    "LaunchConfig.create takes at most (grid, block, "
+                    "shared_bytes) positionally; pass stream=/engine= by "
+                    "keyword"
+                )
+            warnings.warn(
+                "passing stream/engine positionally to LaunchConfig.create "
+                "is deprecated; use stream=/engine= keywords",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            stream = legacy[0]
+            if len(legacy) == 2:
+                engine = legacy[1]
         return cls(as_dim3(grid), as_dim3(block), int(shared_bytes), stream, engine)
 
     @property
@@ -168,7 +192,9 @@ def launch_kernel(
 ) -> Optional[KernelStats]:
     """Validate and run a kernel described by a :class:`LaunchConfig`.
 
-    ``device=None`` resolves to the current device.  With a stream and
+    ``device=`` accepts anything :func:`repro.gpu.device.resolve_placement`
+    does — an ``int`` ordinal, a :class:`Device`, or ``None`` for the
+    thread-current device.  With a stream and
     ``synchronous=False`` the launch is enqueued and ``None`` is returned
     (stats are unavailable until the stream drains) — the CUDA behaviour.
     Otherwise the kernel runs to completion and its :class:`KernelStats`
@@ -189,10 +215,9 @@ def launch_kernel(
                 f"launch_kernel expects a LaunchConfig first, got "
                 f"{type(config).__name__!s}"
             )
-    if device is None:
-        from .device import current_device
+    from .device import resolve_placement
 
-        device = current_device()
+    device = resolve_placement(device)
     device.check_poison()
     device.spec.validate_launch(config.grid, config.block, config.shared_bytes)
     engine = select_engine(kernel, device, config.block, hint=config.engine)

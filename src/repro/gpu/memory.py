@@ -25,6 +25,8 @@ __all__ = [
     "DevicePointer",
     "Allocation",
     "GlobalAllocator",
+    "memcpy_peer",
+    "peer_copy",
 ]
 
 
@@ -366,3 +368,79 @@ class GlobalAllocator:
             plan.fire("memset", device=self._device.ordinal, size=nbytes)
         alloc, offset = self._resolve(ptr, nbytes)
         alloc.data[offset : offset + nbytes] = np.uint8(value & 0xFF)
+
+
+def memcpy_peer(dst: DevicePointer, src: DevicePointer, nbytes: int) -> None:
+    """Copy ``nbytes`` between allocations owned by (possibly) different devices.
+
+    The substrate behind ``cudaMemcpyPeer``/``hipMemcpyPeer``/
+    ``ompx_memcpy_peer``.  Each pointer is resolved against its *own*
+    device's allocator, so cross-device copies work without violating the
+    per-device address spaces.  Both contexts must be healthy; fault rules
+    for the ``memcpy`` site fire with ``direction=p2p`` against the
+    destination device (the one issuing the DMA, as in CUDA).  Whether the
+    copy is *modeled* as a direct peer-link transfer or staged through
+    host memory is the perf model's concern (:mod:`repro.perf.transfer`)
+    — functionally the bytes always arrive.
+    """
+    from .device import get_device
+
+    dst_dev = get_device(dst.device_ordinal)
+    src_dev = get_device(src.device_ordinal)
+    src_dev.check_poison()
+    keep = dst_dev.allocator._transfer_bytes("p2p", nbytes)
+    src_alloc, src_off = src_dev.allocator._resolve(src, nbytes)
+    dst_alloc, dst_off = dst_dev.allocator._resolve(dst, nbytes)
+    data = src_alloc.data[src_off : src_off + keep].copy()
+    dst_alloc.data[dst_off : dst_off + keep] = data
+
+
+def peer_copy(dst: DevicePointer, src: DevicePointer, nbytes: int,
+              *, api: str = "memcpy_peer") -> None:
+    """Peer copy with tracing and modeled interconnect cost.
+
+    The shared implementation behind ``cudaMemcpyPeer``,
+    ``hipMemcpyPeer`` and ``ompx_memcpy_peer`` (``api`` names the span).
+    Same-device pairs degenerate to an ordinary d2d copy.  Cross-device
+    pairs record whether the transfer rode a direct peer link (``path=
+    "direct"``, peer access enabled in either direction) or was staged
+    through host memory, plus the :mod:`repro.perf.transfer` modeled
+    microseconds for that path.
+    """
+    from ..trace import get_tracer
+
+    tracer = get_tracer()
+    if dst.device_ordinal == src.device_ordinal:
+        from .device import get_device
+
+        allocator = get_device(dst.device_ordinal).allocator
+        if tracer is None:
+            allocator.memcpy_d2d(dst, src, nbytes)
+            return
+        with tracer.span(api, cat="memcpy", bytes=int(nbytes),
+                         direction="d2d",
+                         src_device=src.device_ordinal,
+                         dst_device=dst.device_ordinal):
+            allocator.memcpy_d2d(dst, src, nbytes)
+        return
+    if tracer is None:
+        memcpy_peer(dst, src, nbytes)
+        return
+    from .device import get_device
+    from ..perf.transfer import peer_link_for, peer_transfer_seconds
+
+    src_dev = get_device(src.device_ordinal)
+    dst_dev = get_device(dst.device_ordinal)
+    enabled = (
+        dst_dev.has_peer_access(src_dev) or src_dev.has_peer_access(dst_dev)
+    )
+    link = peer_link_for(src_dev.spec, dst_dev.spec, enabled=enabled)
+    modeled_s = peer_transfer_seconds(
+        nbytes, src_dev.spec, dst_dev.spec, enabled=enabled
+    )
+    with tracer.span(api, cat="memcpy", bytes=int(nbytes), direction="p2p",
+                     src_device=src_dev.ordinal, dst_device=dst_dev.ordinal,
+                     path="direct" if enabled else "staged",
+                     link=link.name if link is not None else "host-staged",
+                     modeled_us=modeled_s * 1e6):
+        memcpy_peer(dst, src, nbytes)

@@ -73,6 +73,23 @@ class Event:
             self._stream._raise_sticky(clear=True)
         return reached
 
+    # Context-manager form: ``with Event() as done:`` synchronizes on exit,
+    # so the block cannot leak un-awaited device work.
+    def __enter__(self) -> "Event":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # An event never recorded on a stream completes trivially, like
+        # cudaEventSynchronize on a fresh event.  If the body is already
+        # unwinding with an exception, wait without raising so the sticky
+        # stream error cannot mask the in-flight one.
+        if self._stream is not None:
+            if exc_type is None:
+                self.synchronize()
+            else:
+                self._flag.wait()
+        return False
+
 
 def _label_for(fn: Callable[[], None]) -> str:
     return getattr(fn, "__qualname__", None) or getattr(fn, "__name__", "op")
@@ -81,7 +98,7 @@ def _label_for(fn: Callable[[], None]) -> str:
 class Stream:
     """An ordered asynchronous queue of device operations."""
 
-    def __init__(self, device, name: str = "") -> None:
+    def __init__(self, device, name: str = "", *, register: bool = True) -> None:
         self.device = device
         self.name = name or f"stream-{next(_stream_ids)}"
         self._queue: "queue.Queue[Optional[Callable[[], None]]]" = queue.Queue()
@@ -95,7 +112,9 @@ class Stream:
             target=self._drain, name=f"{self.name}-worker", daemon=True
         )
         self._worker.start()
-        if name != "default":
+        # The default (NULL) stream is torn down by Device.reset directly
+        # and passes register=False to stay out of the registered list.
+        if register:
             device.register_stream(self)
 
     # --- queue management -------------------------------------------------
@@ -219,6 +238,21 @@ class Stream:
     @property
     def is_idle(self) -> bool:
         return self._idle.is_set()
+
+    # Context-manager form: ``with Stream(device) as s:`` synchronizes on
+    # exit, mirroring the CUDA idiom of a stream that is drained before
+    # the enclosing scope returns.  The stream stays usable afterwards.
+    def __enter__(self) -> "Stream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.synchronize()
+        else:
+            # The body is unwinding: drain quietly so a sticky stream
+            # error cannot mask the exception already in flight.
+            self._idle.wait()
+        return False
 
     def close(self) -> None:
         """Stop the worker (used by tests; streams are normally immortal)."""

@@ -19,12 +19,12 @@ import numpy as np
 
 from ..cuda.builtins import FULL_MASK, CudaThread
 from ..cuda.kernel import KernelFunction
-from ..cuda.runtime import _TRACE_DIRECTION, _do_memcpy
+from ..cuda.runtime import _TRACE_DIRECTION, _do_memcpy, _validate_peer_args
 from ..errors import LaunchError
-from ..gpu.device import Device, get_device
+from ..gpu.device import Device, Placement, get_device, resolve_placement
 from ..gpu.dim import DimLike
 from ..gpu.launch import LaunchConfig, launch_kernel
-from ..gpu.memory import DevicePointer, MemcpyKind
+from ..gpu.memory import DevicePointer, MemcpyKind, peer_copy
 from ..gpu.stream import Event, Stream
 
 __all__ = [
@@ -37,6 +37,11 @@ __all__ = [
     "hipFree",
     "hipMemcpy",
     "hipMemcpyAsync",
+    "hipMemcpyPeer",
+    "hipMemcpyPeerAsync",
+    "hipDeviceCanAccessPeer",
+    "hipDeviceEnablePeerAccess",
+    "hipDeviceDisablePeerAccess",
     "hipMemset",
     "hipDeviceSynchronize",
     "hipDeviceReset",
@@ -70,10 +75,16 @@ def current_hip_device() -> Device:
     return get_device(getattr(_state, "ordinal", _DEFAULT_ORDINAL))
 
 
-def hipSetDevice(ordinal: int) -> None:  # noqa: N802 - HIP spelling
-    """``hipSetDevice``: select this thread's current HIP device."""
-    get_device(ordinal)
-    _state.ordinal = ordinal
+def hipSetDevice(device: Placement) -> None:  # noqa: N802 - HIP spelling
+    """``hipSetDevice``: select this thread's current HIP device.
+
+    Accepts an ordinal, a :class:`Device`, or ``None`` (reset to the
+    default HIP ordinal) — the library-wide placement contract.
+    """
+    if device is None:
+        _state.ordinal = _DEFAULT_ORDINAL
+        return
+    _state.ordinal = resolve_placement(device).ordinal
 
 
 def hipGetDevice() -> int:  # noqa: N802
@@ -94,7 +105,7 @@ def launch(
     block: DimLike,
     args: Sequence = (),
     *,
-    device: Optional[Device] = None,
+    device: Placement = None,
     shared_bytes: int = 0,
     stream: Optional[Stream] = None,
     engine: Optional[str] = None,
@@ -102,11 +113,11 @@ def launch(
     """Chevron-style launch targeting the current HIP device by default."""
     if not isinstance(kern, KernelFunction):
         raise LaunchError(f"launch() needs a @kernel-decorated function, got {kern!r}")
-    device = device or current_hip_device()
+    device = resolve_placement(device, default=current_hip_device)
     config = LaunchConfig.create(
         grid, block, shared_bytes,
-        stream if stream is not None else device.default_stream,
-        engine,
+        stream=stream if stream is not None else device.default_stream,
+        engine=engine,
     )
     launch_kernel(config, kern.entry, tuple(args), device, synchronous=False)
 
@@ -150,6 +161,54 @@ def hipMemcpyAsync(dst, src, count: int, kind: str, stream: Stream) -> None:  # 
         trace_args={"bytes": int(count),
                     "direction": _TRACE_DIRECTION.get(kind, str(kind))},
     )
+
+
+def hipMemcpyPeer(  # noqa: N802
+    dst: DevicePointer,
+    dst_device: Placement,
+    src: DevicePointer,
+    src_device: Placement,
+    count: int,
+) -> None:
+    """``hipMemcpyPeer``: copy ``count`` bytes between two devices."""
+    _validate_peer_args("hipMemcpyPeer", dst, dst_device, src, src_device)
+    peer_copy(dst, src, count, api="hipMemcpyPeer")
+
+
+def hipMemcpyPeerAsync(  # noqa: N802
+    dst: DevicePointer,
+    dst_device: Placement,
+    src: DevicePointer,
+    src_device: Placement,
+    count: int,
+    stream: Stream,
+) -> None:
+    """``hipMemcpyPeerAsync``: enqueue a peer copy on ``stream``."""
+    _validate_peer_args("hipMemcpyPeerAsync", dst, dst_device, src, src_device)
+    stream.enqueue(
+        lambda: peer_copy(dst, src, count, api="hipMemcpyPeerAsync"),
+        label="hipMemcpyPeerAsync",
+        trace_cat="memcpy",
+        trace_args={"bytes": int(count), "direction": "p2p",
+                    "src_device": src.device_ordinal,
+                    "dst_device": dst.device_ordinal},
+    )
+
+
+def hipDeviceCanAccessPeer(device: Placement, peer: Placement) -> bool:  # noqa: N802
+    """``hipDeviceCanAccessPeer``: does a direct interconnect exist?"""
+    return resolve_placement(device).can_access_peer(peer)
+
+
+def hipDeviceEnablePeerAccess(peer: Placement) -> None:  # noqa: N802
+    """``hipDeviceEnablePeerAccess``: map ``peer``'s memory into the
+    current HIP device's address space (directional, like ROCm)."""
+    current_hip_device().enable_peer_access(peer)
+
+
+def hipDeviceDisablePeerAccess(peer: Placement) -> None:  # noqa: N802
+    """``hipDeviceDisablePeerAccess``: unmap ``peer``'s memory."""
+    current_hip_device().disable_peer_access(peer)
 
 
 def hipMemset(ptr: DevicePointer, value: int, count: int) -> None:  # noqa: N802

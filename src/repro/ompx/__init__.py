@@ -24,12 +24,16 @@ from .device import DIM_X, DIM_Y, DIM_Z, OmpxThread
 from . import capi
 from ..gpu.collectives import block_inclusive_scan, block_reduce, warp_inclusive_scan
 from .host import (
+    ompx_device_can_access_peer,
+    ompx_device_disable_peer_access,
+    ompx_device_enable_peer_access,
     ompx_device_reset,
     ompx_device_synchronize,
     ompx_free,
     ompx_malloc,
     ompx_memcpy,
     ompx_memcpy_from_symbol,
+    ompx_memcpy_peer,
     ompx_memcpy_to_symbol,
     ompx_memset,
     ompx_occupancy_max_active_blocks,
@@ -62,12 +66,16 @@ __all__ = [
     "DIM_Y",
     "DIM_Z",
     "OmpxThread",
+    "ompx_device_can_access_peer",
+    "ompx_device_disable_peer_access",
+    "ompx_device_enable_peer_access",
     "ompx_device_reset",
     "ompx_device_synchronize",
     "ompx_free",
     "ompx_malloc",
     "ompx_memcpy",
     "ompx_memcpy_from_symbol",
+    "ompx_memcpy_peer",
     "ompx_memcpy_to_symbol",
     "ompx_memset",
     "ompx_stream_create",

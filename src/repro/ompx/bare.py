@@ -29,7 +29,7 @@ from typing import Callable, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import LaunchError
-from ..gpu.device import Device
+from ..gpu.device import Device, Placement, resolve_placement
 from ..gpu.dim import DimLike, as_dim3
 from ..gpu.launch import LaunchConfig, launch_kernel
 from ..openmp.codegen import RegionTraits, lower_region
@@ -95,7 +95,7 @@ def bare_kernel(
 
 
 def target_teams_bare(
-    device: Device,
+    device: Placement,
     num_teams: DimLike,
     thread_limit: DimLike,
     region: Callable,
@@ -115,6 +115,7 @@ def target_teams_bare(
     (synchronous) or the deferred :class:`~repro.openmp.task.Task`
     (``nowait=True``).
     """
+    device = resolve_placement(device)
     if isinstance(region, BareKernel):
         entry = region.entry
         name = region.fn.__name__

@@ -23,8 +23,8 @@ from typing import Optional
 import numpy as np
 
 from ..errors import MappingError
-from ..gpu.device import Device, current_device
-from ..gpu.memory import DevicePointer
+from ..gpu.device import Device, Placement, resolve_placement
+from ..gpu.memory import DevicePointer, memcpy_peer, peer_copy
 from ..gpu.stream import Stream
 from ..trace import get_tracer
 
@@ -32,26 +32,36 @@ __all__ = [
     "ompx_malloc",
     "ompx_free",
     "ompx_memcpy",
+    "ompx_memcpy_peer",
     "ompx_memset",
     "ompx_memcpy_to_symbol",
     "ompx_memcpy_from_symbol",
     "ompx_device_synchronize",
     "ompx_device_reset",
+    "ompx_device_enable_peer_access",
+    "ompx_device_disable_peer_access",
+    "ompx_device_can_access_peer",
     "ompx_stream_create",
     "ompx_stream_synchronize",
     "ompx_occupancy_max_active_blocks",
 ]
 
 
-def _resolve_device(device: Optional[Device]) -> Device:
-    """The one place default-device resolution happens for every host API."""
-    return device if device is not None else current_device()
+def _resolve_device(device: Placement) -> Device:
+    """The one place default-device resolution happens for every host API.
+
+    Since the placement redesign this is just
+    :func:`repro.gpu.device.resolve_placement`: every ``device=`` below
+    takes an ``int`` ordinal, a :class:`Device`, or ``None`` for the
+    thread-current device.
+    """
+    return resolve_placement(device)
 
 
 def _memcpy_direction(dst, src) -> str:
     """Inferred copy direction, also the trace span's ``direction`` arg."""
     if isinstance(dst, DevicePointer) and isinstance(src, DevicePointer):
-        return "d2d"
+        return "d2d" if dst.device_ordinal == src.device_ordinal else "p2p"
     if isinstance(dst, DevicePointer):
         return "h2d"
     if isinstance(src, DevicePointer):
@@ -61,7 +71,7 @@ def _memcpy_direction(dst, src) -> str:
 
 def ompx_malloc(
     size: int,
-    device: Optional[Device] = None,
+    device: Placement = None,
     *,
     stream: Optional[Stream] = None,
 ) -> DevicePointer:
@@ -83,7 +93,7 @@ def ompx_malloc(
     return ptr
 
 
-def ompx_free(ptr: DevicePointer, device: Optional[Device] = None) -> None:
+def ompx_free(ptr: DevicePointer, device: Placement = None) -> None:
     """``ompx_free``: release device memory (``cudaFree`` equivalent)."""
     _resolve_device(device).allocator.free(ptr)
 
@@ -92,7 +102,7 @@ def ompx_memcpy(
     dst,
     src,
     size: int,
-    device: Optional[Device] = None,
+    device: Placement = None,
     *,
     stream: Optional[Stream] = None,
 ) -> None:
@@ -108,7 +118,17 @@ def ompx_memcpy(
 
     def do_copy() -> None:
         if isinstance(dst, DevicePointer) and isinstance(src, DevicePointer):
-            alloc.memcpy_d2d(dst, src, size)
+            # cudaMemcpyDefault semantics: direction (and the owning
+            # context) come from the pointers, not from the caller's
+            # current device.  Same-device pairs are an ordinary d2d on
+            # the owning allocator; cross-device pairs route through the
+            # peer path instead of raising InvalidPointerError.
+            if dst.device_ordinal == src.device_ordinal:
+                _resolve_device(dst.device_ordinal).allocator.memcpy_d2d(
+                    dst, src, size
+                )
+            else:
+                memcpy_peer(dst, src, size)
         elif isinstance(dst, DevicePointer):
             host = np.ascontiguousarray(src).view(np.uint8).reshape(-1)[:size]
             alloc.memcpy_h2d(dst, host)
@@ -145,7 +165,7 @@ def ompx_memset(
     ptr: DevicePointer,
     value: int,
     size: int,
-    device: Optional[Device] = None,
+    device: Placement = None,
     *,
     stream: Optional[Stream] = None,
 ) -> None:
@@ -172,21 +192,21 @@ def ompx_memset(
         dev.allocator.memset(ptr, value, size)
 
 
-def ompx_memcpy_to_symbol(symbol: str, src, device: Optional[Device] = None) -> None:
+def ompx_memcpy_to_symbol(symbol: str, src, device: Placement = None) -> None:
     """Upload a constant-memory symbol (``cudaMemcpyToSymbol`` equivalent)."""
     dev = _resolve_device(device)
     dev.default_stream.synchronize()
     dev.write_constant(symbol, src)
 
 
-def ompx_memcpy_from_symbol(dst: np.ndarray, symbol: str, device: Optional[Device] = None) -> None:
+def ompx_memcpy_from_symbol(dst: np.ndarray, symbol: str, device: Placement = None) -> None:
     """Read a constant-memory symbol back to the host."""
     dev = _resolve_device(device)
     dev.default_stream.synchronize()
     np.copyto(dst, dev.read_constant(symbol).reshape(dst.shape))
 
 
-def ompx_device_synchronize(device: Optional[Device] = None) -> None:
+def ompx_device_synchronize(device: Placement = None) -> None:
     """``cudaDeviceSynchronize`` equivalent."""
     dev = _resolve_device(device)
     tracer = get_tracer()
@@ -198,7 +218,7 @@ def ompx_device_synchronize(device: Optional[Device] = None) -> None:
         dev.synchronize()
 
 
-def ompx_device_reset(device: Optional[Device] = None) -> None:
+def ompx_device_reset(device: Placement = None) -> None:
     """``cudaDeviceReset`` equivalent: tear down and re-arm the context.
 
     Destroys every stream, frees every allocation and constant symbol,
@@ -216,7 +236,70 @@ def ompx_device_reset(device: Optional[Device] = None) -> None:
         dev.reset()
 
 
-def ompx_stream_create(device: Optional[Device] = None, name: str = "") -> Stream:
+def ompx_memcpy_peer(
+    dst: DevicePointer,
+    dst_device: Placement,
+    src: DevicePointer,
+    src_device: Placement,
+    size: int,
+    *,
+    stream: Optional[Stream] = None,
+) -> None:
+    """Copy ``size`` bytes between two devices (``cudaMemcpyPeer`` shape).
+
+    The device arguments are validated against the pointers' owners —
+    passing the wrong ordinal is the classic peer-copy porting bug, and
+    the simulator's job is to catch it loudly.  ``stream=`` enqueues the
+    copy (``cudaMemcpyPeerAsync``); the modeled cost depends on whether
+    peer access is enabled between the two contexts (see
+    :func:`repro.perf.transfer.peer_transfer_seconds`).
+    """
+    dst_dev = _resolve_device(dst_device)
+    src_dev = _resolve_device(src_device)
+    if dst_dev.ordinal != dst.device_ordinal:
+        raise MappingError(
+            f"ompx_memcpy_peer: dst pointer belongs to device "
+            f"{dst.device_ordinal}, not device {dst_dev.ordinal}"
+        )
+    if src_dev.ordinal != src.device_ordinal:
+        raise MappingError(
+            f"ompx_memcpy_peer: src pointer belongs to device "
+            f"{src.device_ordinal}, not device {src_dev.ordinal}"
+        )
+    if stream is not None:
+        stream.enqueue(
+            lambda: peer_copy(dst, src, size, api="ompx_memcpy_peer"),
+            label="ompx_memcpy_peer",
+            trace_cat="memcpy",
+            trace_args={"bytes": int(size), "direction": "p2p",
+                        "src_device": src_dev.ordinal,
+                        "dst_device": dst_dev.ordinal},
+        )
+        return
+    peer_copy(dst, src, size, api="ompx_memcpy_peer")
+
+
+def ompx_device_enable_peer_access(peer: Placement, device: Placement = None) -> None:
+    """Enable direct access to ``peer`` from ``device``.
+
+    ``cudaDeviceEnablePeerAccess`` equivalent (directional: enable both
+    ways for symmetric traffic).  Enablement changes the *modeled* cost
+    of peer copies from staged-through-host to the direct link.
+    """
+    _resolve_device(device).enable_peer_access(_resolve_device(peer))
+
+
+def ompx_device_disable_peer_access(peer: Placement, device: Placement = None) -> None:
+    """Revoke direct access to ``peer`` from ``device``."""
+    _resolve_device(device).disable_peer_access(_resolve_device(peer))
+
+
+def ompx_device_can_access_peer(device: Placement, peer: Placement) -> bool:
+    """Whether a direct interconnect exists (``cudaDeviceCanAccessPeer``)."""
+    return _resolve_device(device).can_access_peer(_resolve_device(peer))
+
+
+def ompx_stream_create(device: Placement = None, name: str = "") -> Stream:
     """``ompx_stream_create``: new asynchronous work queue."""
     return Stream(_resolve_device(device), name=name)
 
@@ -230,7 +313,7 @@ def ompx_occupancy_max_active_blocks(
     kernel,
     block_threads: int,
     shared_bytes: int = 0,
-    device: Optional[Device] = None,
+    device: Placement = None,
 ) -> int:
     """Resident blocks per SM for a kernel at a block size.
 

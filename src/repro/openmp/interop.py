@@ -15,7 +15,7 @@ import itertools
 from typing import Optional
 
 from ..errors import InteropError
-from ..gpu.device import Device, current_device
+from ..gpu.device import Device, Placement, resolve_placement
 from ..gpu.stream import Stream
 
 __all__ = [
@@ -65,14 +65,19 @@ class InteropObj:
         return f"<omp_interop_t #{self._id} on {self.device.spec.name} ({state})>"
 
 
-def interop_init(*, targetsync: bool = True, device: Optional[Device] = None) -> InteropObj:
-    """``#pragma omp interop init(targetsync: obj) [device(...)]``."""
+def interop_init(*, targetsync: bool = True, device: Placement = None) -> InteropObj:
+    """``#pragma omp interop init(targetsync: obj) [device(...)]``.
+
+    ``device`` follows the library-wide placement contract: an ``int``
+    ordinal (the spec's ``device(n)`` clause literally takes one), a
+    :class:`Device`, or ``None`` for the current default device.
+    """
     if not targetsync:
         raise InteropError(
             "only init(targetsync: ...) is supported; the paper's extension "
             "is about streams, not contexts"
         )
-    return InteropObj(device or current_device())
+    return InteropObj(resolve_placement(device))
 
 
 def interop_use(obj: InteropObj) -> None:

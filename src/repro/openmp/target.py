@@ -28,7 +28,7 @@ from typing import Callable, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import OpenMPError
-from ..gpu.device import Device
+from ..gpu.device import Device, Placement, resolve_placement
 from ..gpu.dim import DimLike, as_dim3
 from ..gpu.engine import KernelStats
 from ..gpu.launch import LaunchConfig, launch_kernel
@@ -104,7 +104,7 @@ def _maybe_defer(nowait: bool, depend, runtime: Optional[TaskRuntime], run: Call
 
 
 def target(
-    device: Device,
+    device: Placement,
     region: Callable[[TargetAccessor], None],
     *,
     maps: Sequence[Tuple[np.ndarray, str]] = (),
@@ -112,7 +112,12 @@ def target(
     depend: Sequence[Tuple[str, object]] = (),
     task_runtime: Optional[TaskRuntime] = None,
 ):
-    """``#pragma omp target map(...)`` — a serial region on the device."""
+    """``#pragma omp target map(...)`` — a serial region on the device.
+
+    ``device`` takes an ``int`` ordinal (the spec's ``device(n)`` clause
+    form), a :class:`Device`, or ``None`` for the current default.
+    """
+    device = resolve_placement(device)
     traits = RegionTraits(style="worksharing", spmd_amenable=False,
                           state_machine_rewritable=True, requested_thread_limit=1)
     codegen = lower_region(traits)
@@ -128,7 +133,7 @@ def target(
 
 
 def target_teams_distribute_parallel_for(
-    device: Device,
+    device: Placement,
     trip_count: int,
     body: Optional[Callable] = None,
     *,
@@ -157,6 +162,7 @@ def target_teams_distribute_parallel_for(
         raise OpenMPError("provide exactly one of body= or vector_body=")
     if trip_count < 0:
         raise OpenMPError(f"negative trip count {trip_count}")
+    device = resolve_placement(device)
 
     traits = traits or RegionTraits(
         style="worksharing", requested_thread_limit=thread_limit

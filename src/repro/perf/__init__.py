@@ -26,9 +26,16 @@ from .timing import (
 )
 from .transfer import (
     INFINITY_FABRIC_HOST,
+    INFINITY_FABRIC_PEER,
+    NVLINK3,
     PCIE4_X16,
+    PCIE_P2P,
     HostLink,
+    PeerLink,
     TransferPlan,
+    host_link_for,
+    peer_link_for,
+    peer_transfer_seconds,
     transfer_seconds,
 )
 
@@ -49,8 +56,15 @@ __all__ = [
     "estimate_time",
     "estimate_time_for_config",
     "INFINITY_FABRIC_HOST",
+    "INFINITY_FABRIC_PEER",
+    "NVLINK3",
     "PCIE4_X16",
+    "PCIE_P2P",
     "HostLink",
+    "PeerLink",
     "TransferPlan",
+    "host_link_for",
+    "peer_link_for",
+    "peer_transfer_seconds",
     "transfer_seconds",
 ]

@@ -14,7 +14,20 @@ from dataclasses import dataclass
 
 from ..errors import PerfModelError
 
-__all__ = ["HostLink", "PCIE4_X16", "INFINITY_FABRIC_HOST", "transfer_seconds", "TransferPlan"]
+__all__ = [
+    "HostLink",
+    "PeerLink",
+    "PCIE4_X16",
+    "INFINITY_FABRIC_HOST",
+    "NVLINK3",
+    "INFINITY_FABRIC_PEER",
+    "PCIE_P2P",
+    "transfer_seconds",
+    "host_link_for",
+    "peer_link_for",
+    "peer_transfer_seconds",
+    "TransferPlan",
+]
 
 
 @dataclass(frozen=True)
@@ -36,6 +49,83 @@ class HostLink:
 PCIE4_X16 = HostLink(name="PCIe 4.0 x16", bandwidth_gbs=25.0)
 #: The MI250 attaches over Infinity Fabric to the host (effective ~36 GB/s).
 INFINITY_FABRIC_HOST = HostLink(name="Infinity Fabric (host)", bandwidth_gbs=36.0)
+
+
+@dataclass(frozen=True)
+class PeerLink:
+    """A direct device-to-device interconnect (NVLink / xGMI).
+
+    Structurally a :class:`HostLink` twin so :func:`transfer_seconds`
+    prices both; kept a separate type because a peer link is only usable
+    once peer access is enabled, which the cost model must respect.
+    """
+
+    name: str
+    bandwidth_gbs: float       # effective, not headline
+    latency_us: float = 5.0    # peer DMA submission is cheaper than host
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise PerfModelError("link bandwidth must be positive")
+        if self.latency_us < 0:
+            raise PerfModelError("link latency must be >= 0")
+
+
+#: NVLink 3.0 between two A100s (12 links, effective ~240 GB/s).
+NVLINK3 = PeerLink(name="NVLink 3.0", bandwidth_gbs=240.0, latency_us=5.0)
+#: Infinity Fabric / xGMI between MI250 GCDs (effective ~150 GB/s).
+INFINITY_FABRIC_PEER = PeerLink(name="Infinity Fabric (peer)", bandwidth_gbs=150.0, latency_us=6.0)
+#: Cross-vendor (or NVLink-less) P2P falls back to PCIe DMA.
+PCIE_P2P = PeerLink(name="PCIe 4.0 P2P", bandwidth_gbs=22.0, latency_us=12.0)
+
+
+def host_link_for(spec) -> HostLink:
+    """The host link a device spec attaches over (by vendor)."""
+    return PCIE4_X16 if getattr(spec, "vendor", None) == "nvidia" else INFINITY_FABRIC_HOST
+
+
+def peer_link_for(src_spec, dst_spec, *, enabled: bool = True):
+    """The direct interconnect between two device specs, or ``None``.
+
+    With peer access disabled there is no direct path (``None``): the
+    copy is staged through host memory, priced by
+    :func:`peer_transfer_seconds`.  Same-vendor pairs ride the vendor
+    fabric (NVLink / Infinity Fabric); mixed pairs fall back to PCIe P2P.
+    """
+    if not enabled:
+        return None
+    src_vendor = getattr(src_spec, "vendor", None)
+    dst_vendor = getattr(dst_spec, "vendor", None)
+    if src_vendor == dst_vendor == "nvidia":
+        return NVLINK3
+    if src_vendor == dst_vendor == "amd":
+        return INFINITY_FABRIC_PEER
+    return PCIE_P2P
+
+
+def peer_transfer_seconds(
+    nbytes: float,
+    src_spec,
+    dst_spec,
+    *,
+    enabled: bool = True,
+    transfers: int = 1,
+) -> float:
+    """Seconds to move ``nbytes`` from ``src_spec``'s to ``dst_spec``'s memory.
+
+    Peer access enabled: one DMA over the direct link.  Disabled: the
+    copy is staged through host memory — a device-to-host hop on the
+    source's host link plus a host-to-device hop on the destination's,
+    which is why enabling peer access matters even though the functional
+    simulator always delivers the bytes.
+    """
+    link = peer_link_for(src_spec, dst_spec, enabled=enabled)
+    if link is not None:
+        return transfer_seconds(nbytes, link, transfers=transfers)
+    return (
+        transfer_seconds(nbytes, host_link_for(src_spec), transfers=transfers)
+        + transfer_seconds(nbytes, host_link_for(dst_spec), transfers=transfers)
+    )
 
 
 def transfer_seconds(nbytes: float, link: HostLink, *, transfers: int = 1) -> float:

@@ -1,0 +1,29 @@
+"""``repro.sched`` — multi-device scheduling over the simulated GPU stack.
+
+The ROADMAP's "sharding, batching, async, multi-backend" north star,
+built on the primitives the rest of the library already provides:
+registry devices, the unified :func:`~repro.gpu.launch.launch_kernel`
+choke point, streams/events for cross-device ordering, peer memcpys for
+halo exchange, and the fault/trace subsystems (which see pool workers as
+first-class devices).
+
+- :class:`DevicePool` / :class:`KernelFuture` — N devices, one worker
+  thread each, futures-based submission with pluggable placement.
+- :func:`shard` / :func:`gather` — data-parallel decomposition helpers;
+  ``python -m repro.apps xsbench --devices 4`` is built from them.
+- :func:`estimate_scaling` — the modeled single- vs multi-device wall
+  clock (compute/Amdahl/interconnect), for the scaling benchmarks.
+"""
+
+from .model import ScalingEstimate, estimate_scaling
+from .pool import DevicePool, KernelFuture
+from .shard import gather, shard
+
+__all__ = [
+    "DevicePool",
+    "KernelFuture",
+    "ScalingEstimate",
+    "estimate_scaling",
+    "gather",
+    "shard",
+]

@@ -1,0 +1,83 @@
+"""Modeled multi-device scaling: does sharding actually pay?
+
+The functional pool executes in simulated-Python time, so the scaling
+*claim* — N devices beat one — is priced with the same analytic machinery
+as everything else in :mod:`repro.perf`: per-device compute is the
+single-device estimate divided by the shard count, communication is the
+halo/merge traffic over the modeled interconnect
+(:func:`repro.perf.transfer.peer_transfer_seconds`), and whatever cannot
+be sharded stays serial (Amdahl's term).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchedulerError
+from ..gpu.device import DeviceSpec
+from ..perf.transfer import peer_transfer_seconds
+
+__all__ = ["ScalingEstimate", "estimate_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingEstimate:
+    """Modeled single- vs multi-device wall clock for one app config."""
+
+    devices: int
+    single_seconds: float
+    multi_seconds: float
+    comm_seconds: float
+    serial_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.single_seconds / self.multi_seconds
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per device (1.0 = perfect linear scaling)."""
+        return self.speedup / self.devices
+
+
+def estimate_scaling(
+    single_seconds: float,
+    devices: int,
+    spec: DeviceSpec,
+    *,
+    peer_spec: DeviceSpec = None,
+    peer_bytes: float = 0.0,
+    peer_transfers: int = 0,
+    peer_enabled: bool = True,
+    serial_seconds: float = 0.0,
+) -> ScalingEstimate:
+    """Price a data-parallel run of a ``single_seconds`` workload.
+
+    ``peer_bytes``/``peer_transfers`` is the per-step halo or merge
+    traffic *per device* (e.g. Stencil-1D sends ``2 * radius * 8`` bytes
+    to each neighbour per iteration); ``peer_enabled=False`` prices the
+    staged-through-host path instead of the direct link.
+    ``serial_seconds`` is the unshardable remainder (setup, merge on one
+    device), the Amdahl term that keeps the curve honest.
+    """
+    if devices <= 0:
+        raise SchedulerError(f"devices must be >= 1, got {devices}")
+    if single_seconds < 0 or serial_seconds < 0:
+        raise SchedulerError("times must be >= 0")
+    comm = 0.0
+    if devices > 1 and (peer_bytes or peer_transfers):
+        comm = peer_transfer_seconds(
+            peer_bytes,
+            spec,
+            peer_spec or spec,
+            enabled=peer_enabled,
+            transfers=peer_transfers,
+        )
+    multi = single_seconds / devices + serial_seconds + comm
+    return ScalingEstimate(
+        devices=devices,
+        single_seconds=single_seconds + serial_seconds,
+        multi_seconds=multi,
+        comm_seconds=comm,
+        serial_seconds=serial_seconds,
+    )

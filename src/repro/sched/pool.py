@@ -1,0 +1,342 @@
+"""The multi-device execution service: :class:`DevicePool` + futures.
+
+A pool owns N fresh :class:`~repro.gpu.device.Device` instances (mixed
+A100/MI250 presets allowed) registered in the global device registry, so
+everything that keys off ordinals — :class:`DevicePointer` ownership,
+``faults.inject(device=...)`` selectors, trace spans — works inside pool
+workers exactly as it does on the default devices.  One worker thread per
+device drains a FIFO of jobs; ``submit`` returns a :class:`KernelFuture`
+the caller can block on, interrogate for the failure, or hand to
+:func:`repro.sched.gather`.
+
+Placement is pluggable: ``round_robin`` (default), ``least_loaded``
+(fewest queued-or-running jobs), a callable ``pool -> Device``, or an
+explicit ``device=`` per submission (a pool-relative index or one of the
+pool's devices).
+
+Tracing: each worker runs its jobs under a ``device:<ordinal>`` track, so
+the Perfetto export of a multi-device run shows one row per device with
+the kernels (and their queued/exec stream spans) nested under it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..errors import SchedulerError
+from ..gpu.device import (
+    A100_SPEC,
+    Device,
+    DeviceSpec,
+    add_device,
+    remove_device,
+)
+from ..gpu.launch import LaunchConfig, launch_kernel
+from ..trace import get_tracer
+
+__all__ = ["KernelFuture", "DevicePool"]
+
+_future_ids = itertools.count(1)
+
+#: What ``DevicePool(placement=...)`` accepts.
+PlacementPolicy = Union[str, Callable[["DevicePool"], Device]]
+
+
+class KernelFuture:
+    """The result handle for one pool submission.
+
+    Resolves to the job's return value (for kernel submissions, the
+    :class:`~repro.gpu.engine.KernelStats`) or to its exception — which is
+    the *original* error, not a wrapper, so a sticky-context failure on
+    one pool device looks exactly like it would on a single-device run.
+    ``device`` and ``track`` record where the job ran (``track`` is the
+    trace track pool workers span under, for joining futures against a
+    Perfetto export).
+    """
+
+    def __init__(self, label: str, device: Device) -> None:
+        self.label = label
+        self.device = device
+        self.track = f"device:{device.ordinal}"
+        self._id = next(_future_ids)
+        self._done = threading.Event()
+        self._result = None
+        self._exception: Optional[BaseException] = None
+
+    # --- worker side --------------------------------------------------------
+    def _set_result(self, value) -> None:
+        self._result = value
+        self._done.set()
+
+    def _set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._done.set()
+
+    # --- caller side --------------------------------------------------------
+    def done(self) -> bool:
+        """Whether the job has finished (successfully or not)."""
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; ``False`` on timeout."""
+        return self._done.wait(timeout)
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The job's exception (or ``None``), waiting for completion first."""
+        if not self._done.wait(timeout):
+            raise SchedulerError(
+                f"future {self.label!r} on device {self.device.ordinal} did "
+                f"not complete within {timeout}s"
+            )
+        return self._exception
+
+    def result(self, timeout: Optional[float] = None):
+        """The job's return value; re-raises the job's exception."""
+        exc = self.exception(timeout)
+        if exc is not None:
+            raise exc
+        return self._result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "pending" if not self._done.is_set()
+            else "failed" if self._exception is not None
+            else "done"
+        )
+        return f"<KernelFuture #{self._id} {self.label!r} on dev{self.device.ordinal} ({state})>"
+
+
+class DevicePool:
+    """N simulated devices, one worker thread each, futures-based submit.
+
+    ``DevicePool(4)`` builds four A100s; ``DevicePool(specs=[A100_SPEC,
+    MI250_SPEC])`` builds a mixed pool.  The pool's devices are fresh
+    registry entries (ordinals above the Figure-7 defaults), torn down
+    again by :meth:`close` — use the pool as a context manager.
+    """
+
+    def __init__(
+        self,
+        devices: int = 0,
+        *,
+        specs: Optional[Sequence[DeviceSpec]] = None,
+        placement: PlacementPolicy = "round_robin",
+    ) -> None:
+        if specs is None:
+            if devices <= 0:
+                raise SchedulerError(
+                    "DevicePool needs devices >= 1 (or an explicit specs= list)"
+                )
+            specs = [A100_SPEC] * devices
+        elif devices and devices != len(specs):
+            raise SchedulerError(
+                f"devices={devices} disagrees with len(specs)={len(specs)}"
+            )
+        if not specs:
+            raise SchedulerError("DevicePool needs at least one device spec")
+        if isinstance(placement, str) and placement not in ("round_robin", "least_loaded"):
+            raise SchedulerError(
+                f"unknown placement policy {placement!r}; use 'round_robin', "
+                f"'least_loaded', or a callable"
+            )
+        self._placement = placement
+        self._lock = threading.Lock()
+        self._closed = False
+        self._rr = 0
+        self.devices: List[Device] = [add_device(spec) for spec in specs]
+        self._pending = {d.ordinal: 0 for d in self.devices}
+        self._queues = {
+            d.ordinal: queue.Queue() for d in self.devices
+        }
+        self._workers = []
+        for device in self.devices:
+            worker = threading.Thread(
+                target=self._run_worker,
+                args=(device, self._queues[device.ordinal]),
+                name=f"pool-dev{device.ordinal}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    # --- worker loop --------------------------------------------------------
+    def _run_worker(self, device: Device, jobs: "queue.Queue") -> None:
+        while True:
+            item = jobs.get()
+            if item is None:
+                break
+            future, fn = item
+            tracer = get_tracer()
+            try:
+                if tracer is None:
+                    result = fn(device)
+                else:
+                    # Everything the job does (launches, memcpys, stream
+                    # spans via on_track inheritance) lands on this
+                    # device's own track.
+                    track = f"device:{device.ordinal}"
+                    with tracer.on_track(track):
+                        with tracer.span(
+                            f"pool:{future.label}", cat="sched", track=track,
+                            device=device.ordinal,
+                        ):
+                            result = fn(device)
+            except BaseException as exc:  # noqa: BLE001 - handed to the future
+                future._set_exception(exc)
+            else:
+                future._set_result(result)
+            finally:
+                with self._lock:
+                    self._pending[device.ordinal] -= 1
+
+    # --- placement ----------------------------------------------------------
+    def _resolve_pool_device(self, device) -> Device:
+        """An explicit ``device=``: a pool index or one of our devices."""
+        if isinstance(device, Device):
+            if device not in self.devices:
+                raise SchedulerError(
+                    f"device {device.ordinal} does not belong to this pool"
+                )
+            return device
+        try:
+            index = int(device)
+        except (TypeError, ValueError):
+            raise SchedulerError(
+                f"submit(device=...) takes a pool index or a pool Device, "
+                f"got {device!r}"
+            ) from None
+        if not 0 <= index < len(self.devices):
+            raise SchedulerError(
+                f"pool index {index} out of range (pool has "
+                f"{len(self.devices)} devices)"
+            )
+        return self.devices[index]
+
+    def _place(self, device) -> Device:
+        if device is not None:
+            return self._resolve_pool_device(device)
+        if callable(self._placement):
+            chosen = self._placement(self)
+            if chosen not in self.devices:
+                raise SchedulerError(
+                    "placement callable must return one of the pool's devices"
+                )
+            return chosen
+        with self._lock:
+            if self._placement == "round_robin":
+                chosen = self.devices[self._rr % len(self.devices)]
+                self._rr += 1
+                return chosen
+            # least_loaded: fewest queued-or-running jobs; ties go to the
+            # lowest ordinal so placement is deterministic.
+            return min(self.devices, key=lambda d: (self._pending[d.ordinal], d.ordinal))
+
+    def load(self, device: Device) -> int:
+        """Queued-or-running job count for one pool device."""
+        with self._lock:
+            return self._pending[device.ordinal]
+
+    # --- submission ---------------------------------------------------------
+    def _submit(self, fn: Callable[[Device], object], device, label: str) -> KernelFuture:
+        with self._lock:
+            if self._closed:
+                raise SchedulerError("submit on a closed DevicePool")
+        target = self._place(device)
+        future = KernelFuture(label, target)
+        with self._lock:
+            if self._closed:
+                raise SchedulerError("submit on a closed DevicePool")
+            self._pending[target.ordinal] += 1
+        self._queues[target.ordinal].put((future, fn))
+        return future
+
+    def submit(
+        self,
+        kernel,
+        config: LaunchConfig,
+        *args,
+        device=None,
+        label: Optional[str] = None,
+    ) -> KernelFuture:
+        """Launch ``kernel`` with ``config`` on a pool device; return a future.
+
+        ``kernel`` is anything :func:`~repro.gpu.launch.launch_kernel`
+        accepts (a raw engine callable or a front-end ``KernelFunction``
+        with an ``.entry``).  The future resolves to the launch's
+        :class:`~repro.gpu.engine.KernelStats`.
+        """
+        entry = getattr(kernel, "entry", kernel)
+        name = label or getattr(
+            getattr(kernel, "fn", None) or kernel, "__name__", "kernel"
+        )
+        return self._submit(
+            lambda dev: launch_kernel(config, entry, tuple(args), dev),
+            device,
+            name,
+        )
+
+    def submit_call(
+        self,
+        fn: Callable[[Device], object],
+        *,
+        device=None,
+        label: Optional[str] = None,
+    ) -> KernelFuture:
+        """Run ``fn(device)`` on a pool worker; return a future.
+
+        The host-side escape hatch the app sharding layer uses: the
+        callable gets the placed :class:`Device` and may malloc, memcpy,
+        launch and synchronize against it — all on the worker thread, so
+        per-device fault selectors and trace tracks see the right device.
+        """
+        name = label or getattr(fn, "__name__", "call")
+        return self._submit(fn, device, name)
+
+    # --- lifecycle ----------------------------------------------------------
+    def synchronize(self) -> None:
+        """Block until every queued job has finished on every device.
+
+        Implemented as a fence job per worker: FIFO order guarantees the
+        fence runs only after everything submitted before it.
+        """
+        fences = [
+            self.submit_call(lambda dev: None, device=i, label="pool-fence")
+            for i in range(len(self.devices))
+        ]
+        for fence in fences:
+            fence.wait()
+
+    def close(self) -> None:
+        """Stop the workers and unregister the pool's devices.
+
+        Outstanding futures finish first (close is a drain, not an
+        abort).  Pool :class:`DevicePointer` handles become invalid, as
+        after ``cudaDeviceReset``.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for device in self.devices:
+            self._queues[device.ordinal].put(None)
+        for worker in self._workers:
+            worker.join(timeout=10)
+        for device in self.devices:
+            remove_device(device.ordinal)
+
+    def __enter__(self) -> "DevicePool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(f"dev{d.ordinal}" for d in self.devices)
+        return f"<DevicePool [{names}] placement={self._placement!r}>"

@@ -7,10 +7,58 @@ fixtures that clean up after themselves.
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import numpy as np
 import pytest
 
 from repro.gpu.device import get_device
+
+try:  # the real plugin wins when it is installed
+    import pytest_timeout as _pytest_timeout  # noqa: F401
+
+    _HAVE_TIMEOUT_PLUGIN = True
+except ImportError:
+    _HAVE_TIMEOUT_PLUGIN = False
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM fallback for ``@pytest.mark.timeout(N)`` markers.
+
+    The scheduler tests guard against pool/stream deadlocks with timeout
+    markers so a hung worker fails fast instead of wedging the whole run.
+    When pytest-timeout is unavailable (this environment does not ship
+    it), enforce the marker with a plain alarm; threads stuck in a
+    deadlock keep the process alive, but the alarm interrupts the main
+    thread and fails the test.  No-op off the main thread or where
+    SIGALRM does not exist (Windows).
+    """
+    marker = item.get_closest_marker("timeout")
+    usable = (
+        marker is not None
+        and not _HAVE_TIMEOUT_PLUGIN
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else 60
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {seconds}s timeout marker (SIGALRM fallback)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

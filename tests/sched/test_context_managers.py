@@ -1,0 +1,99 @@
+"""Stream / Event context managers and the positional-``stream=`` deprecation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GpuError, LaunchError
+from repro.gpu import LaunchConfig, get_device
+from repro.gpu.stream import Event, Stream
+
+pytestmark = [pytest.mark.sched, pytest.mark.timeout(60)]
+
+
+class TestStreamContextManager:
+    def test_exit_synchronizes(self, nvidia):
+        ran = []
+        with Stream(nvidia, name="cm-test") as s:
+            s.enqueue(lambda: ran.append(1), label="probe")
+        # The CM drained the queue: the op completed before exit returned.
+        assert ran == [1]
+        assert s.is_idle
+
+    def test_exit_reraises_sticky_error(self, nvidia):
+        def boom():
+            raise GpuError("async failure")
+
+        with pytest.raises(GpuError, match="queued work failed") as excinfo:
+            with Stream(nvidia, name="cm-sticky") as s:
+                s.enqueue(boom, label="boom")
+        assert isinstance(excinfo.value.__cause__, GpuError)
+        assert "async failure" in str(excinfo.value.__cause__)
+        # Synchronizing at exit cleared the sticky slot; the stream is
+        # reusable, like cudaStreamSynchronize after reporting.
+        s.synchronize()
+
+    def test_body_exception_is_not_masked(self, nvidia):
+        def boom():
+            raise GpuError("async failure")
+
+        with pytest.raises(ValueError, match="host bug"):
+            with Stream(nvidia, name="cm-mask") as s:
+                s.enqueue(boom, label="boom")
+                raise ValueError("host bug")
+        # The sticky error is still there for the next sync point.
+        with pytest.raises(GpuError, match="queued work failed"):
+            s.synchronize()
+
+
+class TestEventContextManager:
+    def test_exit_waits_for_recorded_event(self, nvidia):
+        ran = []
+        s = Stream(nvidia, name="ev-cm")
+        with Event("done") as done:
+            s.enqueue(lambda: ran.append(1), label="probe")
+            s.record_event(done)
+        assert done.is_complete and ran == [1]
+
+    def test_unrecorded_event_completes_trivially(self):
+        with Event("fresh") as ev:
+            pass
+        assert not ev.is_complete  # never recorded; exit was a no-op
+
+    def test_exit_reraises_recording_streams_sticky_error(self, nvidia):
+        def boom():
+            raise GpuError("event stream failure")
+
+        s = Stream(nvidia, name="ev-sticky")
+        with pytest.raises(GpuError, match="queued work failed"):
+            with Event("after-boom") as ev:
+                s.enqueue(boom, label="boom")
+                s.record_event(ev)
+
+
+class TestPositionalStreamDeprecation:
+    def test_positional_stream_warns_but_works(self, nvidia):
+        s = nvidia.default_stream
+        with pytest.warns(DeprecationWarning, match="stream=/engine= keywords"):
+            config = LaunchConfig.create(1, 32, 0, s)
+        assert config.stream is s
+
+    def test_positional_stream_and_engine(self, nvidia):
+        with pytest.warns(DeprecationWarning):
+            config = LaunchConfig.create(1, 32, 0, nvidia.default_stream, "scalar")
+        assert config.engine == "scalar"
+
+    def test_keyword_form_is_silent(self, nvidia, recwarn):
+        config = LaunchConfig.create(1, 32, stream=nvidia.default_stream)
+        assert config.stream is nvidia.default_stream
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_mixing_legacy_and_keyword_raises(self, nvidia):
+        with pytest.raises(LaunchError, match="keyword"):
+            LaunchConfig.create(1, 32, 0, nvidia.default_stream,
+                                engine="scalar")
+
+    def test_too_many_positionals_raise(self, nvidia):
+        with pytest.raises(LaunchError, match="at most"):
+            LaunchConfig.create(1, 32, 0, nvidia.default_stream, "scalar",
+                                "extra")

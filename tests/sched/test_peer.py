@@ -1,0 +1,235 @@
+"""Peer-to-peer transfers across the cuda / hip / ompx surfaces.
+
+Covers the device-level peer-access state machine, the three
+``*MemcpyPeer`` entry points, the ``cudaMemcpyDefault``-style direction
+inference fix in ``ompx_memcpy``, and the interconnect cost model in
+:mod:`repro.perf.transfer`.
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.errors import GpuError, MappingError
+from repro.gpu.device import A100_SPEC, MI250_SPEC
+from repro.perf.transfer import (
+    INFINITY_FABRIC_PEER,
+    NVLINK3,
+    PCIE_P2P,
+    peer_link_for,
+    peer_transfer_seconds,
+)
+from repro.sched import DevicePool
+
+pytestmark = [pytest.mark.sched, pytest.mark.timeout(60)]
+
+
+@pytest.fixture
+def pair():
+    """Two pool devices (one NVIDIA, one AMD) with upload/download helpers."""
+    with DevicePool(specs=[A100_SPEC, MI250_SPEC]) as pool:
+        yield pool.devices[0], pool.devices[1]
+
+
+def _upload(device, host):
+    ptr = device.allocator.malloc(host.nbytes)
+    device.allocator.memcpy_h2d(ptr, np.ascontiguousarray(host))
+    return ptr
+
+
+def _download(device, ptr, n):
+    out = np.zeros(n, dtype=np.float64)
+    device.allocator.memcpy_d2h(out, ptr)
+    return out
+
+
+class TestPeerAccessState:
+    def test_enable_disable_round_trip(self, pair):
+        a, b = pair
+        assert a.can_access_peer(b) and b.can_access_peer(a)
+        assert not a.has_peer_access(b)
+        a.enable_peer_access(b)
+        assert a.has_peer_access(b)
+        assert not b.has_peer_access(a)       # directional, like CUDA
+        a.disable_peer_access(b)
+        assert not a.has_peer_access(b)
+
+    def test_self_peer_access_is_rejected(self, pair):
+        a, _ = pair
+        assert not a.can_access_peer(a)
+        with pytest.raises(GpuError, match="itself"):
+            a.enable_peer_access(a)
+
+    def test_double_enable_raises(self, pair):
+        a, b = pair
+        a.enable_peer_access(b)
+        with pytest.raises(GpuError, match="already"):
+            a.enable_peer_access(b)
+        a.disable_peer_access(b)
+
+    def test_disable_without_enable_raises(self, pair):
+        a, b = pair
+        with pytest.raises(GpuError, match="not"):
+            a.disable_peer_access(b)
+
+
+class TestMemcpyPeerApis:
+    def test_cuda_memcpy_peer_moves_bytes(self, pair):
+        from repro.cuda.runtime import cudaMemcpyPeer
+
+        a, b = pair
+        host = np.arange(16, dtype=np.float64)
+        src = _upload(a, host)
+        dst = b.allocator.malloc(host.nbytes)
+        cudaMemcpyPeer(dst, b, src, a, host.nbytes)
+        np.testing.assert_array_equal(_download(b, dst, 16), host)
+        a.allocator.free(src)
+        b.allocator.free(dst)
+
+    def test_cuda_memcpy_peer_validates_ordinals(self, pair):
+        from repro.cuda.runtime import cudaMemcpyPeer
+
+        a, b = pair
+        src = _upload(a, np.zeros(4))
+        dst = b.allocator.malloc(32)
+        # The classic porting bug: device arguments swapped.
+        with pytest.raises(GpuError):
+            cudaMemcpyPeer(dst, a, src, b, 32)
+        a.allocator.free(src)
+        b.allocator.free(dst)
+
+    def test_hip_memcpy_peer_and_async(self, pair):
+        from repro.hip import hipMemcpyPeer, hipMemcpyPeerAsync
+
+        a, b = pair
+        host = np.linspace(0.0, 1.0, 8)
+        src = _upload(a, host)
+        dst_sync = b.allocator.malloc(host.nbytes)
+        dst_async = b.allocator.malloc(host.nbytes)
+        hipMemcpyPeer(dst_sync, b, src, a, host.nbytes)
+        stream = b.default_stream
+        hipMemcpyPeerAsync(dst_async, b, src, a, host.nbytes, stream)
+        stream.synchronize()
+        np.testing.assert_array_equal(_download(b, dst_sync, 8), host)
+        np.testing.assert_array_equal(_download(b, dst_async, 8), host)
+        a.allocator.free(src)
+        b.allocator.free(dst_sync)
+        b.allocator.free(dst_async)
+
+    def test_ompx_memcpy_peer_sync_and_stream(self, pair):
+        from repro.ompx import ompx_memcpy_peer
+
+        a, b = pair
+        host = np.arange(8, dtype=np.float64) * 3.0
+        src = _upload(a, host)
+        dst = b.allocator.malloc(host.nbytes)
+        ompx_memcpy_peer(dst, b, src, a, host.nbytes)
+        np.testing.assert_array_equal(_download(b, dst, 8), host)
+        # Stream form: completes after stream synchronize.
+        dst2 = b.allocator.malloc(host.nbytes)
+        stream = b.default_stream
+        ompx_memcpy_peer(dst2, b, src, a, host.nbytes, stream=stream)
+        stream.synchronize()
+        np.testing.assert_array_equal(_download(b, dst2, 8), host)
+        a.allocator.free(src)
+        b.allocator.free(dst)
+        b.allocator.free(dst2)
+
+    def test_ompx_memcpy_peer_rejects_wrong_owner(self, pair):
+        from repro.ompx import ompx_memcpy_peer
+
+        a, b = pair
+        src = _upload(a, np.zeros(4))
+        dst = b.allocator.malloc(32)
+        with pytest.raises(MappingError, match="belongs to device"):
+            ompx_memcpy_peer(dst, a, src, b, 32)
+        a.allocator.free(src)
+        b.allocator.free(dst)
+
+
+class TestOmpxMemcpyDirectionInference:
+    """`ompx_memcpy` infers direction like ``cudaMemcpyDefault``."""
+
+    def test_cross_device_pair_routes_through_peer_path(self, pair):
+        from repro.ompx import ompx_memcpy
+        from repro import trace
+
+        a, b = pair
+        host = np.arange(8, dtype=np.float64)
+        src = _upload(a, host)
+        dst = b.allocator.malloc(host.nbytes)
+        with trace.tracing() as tracer:
+            ompx_memcpy(dst, src, host.nbytes)
+        np.testing.assert_array_equal(_download(b, dst, 8), host)
+        p2p = [s for s in tracer.spans
+               if s.args.get("direction") == "p2p"]
+        assert p2p, "cross-device ompx_memcpy must ride the peer path"
+        a.allocator.free(src)
+        b.allocator.free(dst)
+
+    def test_same_device_pair_stays_d2d(self, pair):
+        from repro.ompx import ompx_memcpy
+
+        a, _ = pair
+        host = np.arange(8, dtype=np.float64)
+        src = _upload(a, host)
+        dst = a.allocator.malloc(host.nbytes)
+        ompx_memcpy(dst, src, host.nbytes)
+        np.testing.assert_array_equal(_download(a, dst, 8), host)
+        a.allocator.free(src)
+        a.allocator.free(dst)
+
+
+class TestTransferModel:
+    def test_link_selection_by_vendor(self):
+        assert peer_link_for(A100_SPEC, A100_SPEC) is NVLINK3
+        assert peer_link_for(MI250_SPEC, MI250_SPEC) is INFINITY_FABRIC_PEER
+        assert peer_link_for(A100_SPEC, MI250_SPEC) is PCIE_P2P
+        assert peer_link_for(A100_SPEC, A100_SPEC, enabled=False) is None
+
+    def test_staged_copy_costs_more_than_direct(self):
+        nbytes = 64 * 1024 * 1024
+        direct = peer_transfer_seconds(nbytes, A100_SPEC, A100_SPEC, enabled=True)
+        staged = peer_transfer_seconds(nbytes, A100_SPEC, A100_SPEC, enabled=False)
+        assert staged > direct > 0
+
+    def test_enabling_peer_access_changes_modeled_cost(self, pair):
+        from repro import trace
+        from repro.ompx import ompx_memcpy_peer
+
+        a, b = pair
+        src = _upload(a, np.zeros(1024))
+        dst = b.allocator.malloc(8192)
+
+        def modeled():
+            with trace.tracing() as tracer:
+                ompx_memcpy_peer(dst, b, src, a, 8192)
+            (span,) = [s for s in tracer.spans if s.name == "ompx_memcpy_peer"]
+            return span.args["path"], span.args["modeled_us"]
+
+        staged_path, staged_s = modeled()
+        b.enable_peer_access(a)
+        direct_path, direct_s = modeled()
+        b.disable_peer_access(a)
+        assert staged_path == "staged" and direct_path == "direct"
+        assert staged_s > direct_s
+        a.allocator.free(src)
+        b.allocator.free(dst)
+
+
+class TestPeerFaults:
+    def test_truncated_peer_copy(self, pair):
+        from repro.ompx import ompx_memcpy_peer
+
+        a, b = pair
+        host = np.arange(8, dtype=np.float64) + 1.0
+        src = _upload(a, host)
+        dst = b.allocator.malloc(host.nbytes)
+        b.allocator.memset(dst, 0, host.nbytes)
+        with faults.inject("memcpy:truncate@1,bytes=16,direction=p2p"):
+            ompx_memcpy_peer(dst, b, src, a, host.nbytes)
+        out = _download(b, dst, 8)
+        np.testing.assert_array_equal(out[:2], host[:2])
+        assert (out[2:] == 0).all()
+        a.allocator.free(src)
+        b.allocator.free(dst)

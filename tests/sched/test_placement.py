@@ -1,0 +1,113 @@
+"""`resolve_placement`: the one device-resolution path for every ``device=``.
+
+Every host API — ompx, cuda, hip, the launcher, the scheduler — now
+funnels its ``device=`` argument through
+:func:`repro.gpu.device.resolve_placement`, so ``int`` ordinals,
+:class:`Device` objects, and ``None`` behave identically everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro import hip
+from repro.cuda.runtime import cudaGetDevice, cudaSetDevice
+from repro.errors import GpuError
+from repro.gpu import LaunchConfig, get_device, launch_kernel
+from repro.gpu.device import current_device, resolve_placement, set_current_device
+
+pytestmark = [pytest.mark.sched]
+
+
+@pytest.fixture(autouse=True)
+def _restore_thread_device():
+    yield
+    set_current_device(0)
+    cudaSetDevice(None)
+    hip.hipSetDevice(None)
+
+
+class TestResolvePlacement:
+    def test_none_resolves_to_current_device(self):
+        set_current_device(1)
+        assert resolve_placement(None) is get_device(1)
+
+    def test_int_resolves_through_registry(self):
+        assert resolve_placement(2) is get_device(2)
+        assert resolve_placement(np.int64(1)) is get_device(1)
+
+    def test_device_resolves_to_itself(self):
+        device = get_device(0)
+        assert resolve_placement(device) is device
+
+    def test_garbage_is_a_gpu_error(self):
+        with pytest.raises(GpuError, match="device="):
+            resolve_placement("a100")
+        with pytest.raises(GpuError, match="device="):
+            resolve_placement(2.5)
+
+    def test_default_callable_wins_over_current(self):
+        set_current_device(0)
+        assert resolve_placement(None, default=lambda: get_device(2)) is get_device(2)
+        assert resolve_placement(None, default=get_device(1)) is get_device(1)
+
+
+class TestFrontEndsShareThePath:
+    def test_ompx_malloc_accepts_ordinal_and_device(self):
+        from repro.ompx import ompx_free, ompx_malloc
+
+        for placement in (1, get_device(1)):
+            ptr = ompx_malloc(64, placement)
+            assert ptr.device_ordinal == 1
+            ompx_free(ptr, 1)
+
+    def test_cuda_set_device_accepts_device_and_none(self):
+        cudaSetDevice(get_device(2))
+        assert cudaGetDevice() == 2
+        cudaSetDevice(None)        # reset to the CUDA default (A100)
+        assert cudaGetDevice() == 0
+
+    def test_hip_set_device_accepts_device_and_none(self):
+        hip.hipSetDevice(get_device(0))
+        assert hip.hipGetDevice() == 0
+        hip.hipSetDevice(None)     # reset to the HIP default (MI250)
+        assert hip.hipGetDevice() == 1
+
+    def test_hip_launch_honours_device_zero(self):
+        """``device=0`` must target ordinal 0, not fall back to the default.
+
+        The falsy ordinal is the regression trap: a ``device or default``
+        resolution would silently send this launch to the MI250.
+        """
+        n = 8
+        a100 = get_device(0)
+        ptr = a100.allocator.malloc(n * 8)
+
+        @hip.kernel(sync_free=True)
+        def k(t, out, n):
+            i = t.global_thread_id
+            if i < n:
+                t.array(out, n, np.float64)[i] = 7.0
+
+        hip.launch(k, 1, n, (ptr, n), device=0)
+        a100.synchronize()
+        out = np.zeros(n)
+        a100.allocator.memcpy_d2h(out, ptr)
+        assert (out == 7.0).all()
+        a100.allocator.free(ptr)
+
+    def test_launch_kernel_accepts_int_placement(self):
+        n = 4
+        device = get_device(1)
+        ptr = device.allocator.malloc(n * 8)
+
+        def raw(ctx, out, n):
+            i = ctx.flat_thread_id
+            if i < n:
+                ctx.deref(out, n, np.float64)[i] = i * 2.0
+
+        launch_kernel(LaunchConfig.create(1, n), raw, (ptr, n), 1,
+                      synchronous=True)
+        out = np.zeros(n)
+        device.allocator.memcpy_d2h(out, ptr)
+        np.testing.assert_array_equal(out, [0.0, 2.0, 4.0, 6.0])
+        device.allocator.free(ptr)

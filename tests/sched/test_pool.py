@@ -1,0 +1,235 @@
+"""DevicePool / KernelFuture / shard / gather: the execution service."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import GpuError, LaunchError, SchedulerError
+from repro.gpu import LaunchConfig, get_device
+from repro.gpu.device import A100_SPEC, MI250_SPEC, registered_devices
+from repro.sched import DevicePool, KernelFuture, gather, shard
+
+pytestmark = [pytest.mark.sched, pytest.mark.timeout(60)]
+
+
+def fill_kernel(ctx, out, value, n):
+    i = ctx.flat_thread_id
+    view = ctx.deref(out, n, np.float64)
+    if i < n:
+        view[i] = value * (i + 1)
+
+
+class TestConstruction:
+    def test_pool_registers_fresh_ordinals(self):
+        before = set(registered_devices())
+        with DevicePool(2) as pool:
+            assert len(pool) == 2
+            fresh = {d.ordinal for d in pool.devices}
+            assert fresh.isdisjoint(before)
+            for device in pool.devices:
+                assert get_device(device.ordinal) is device
+        assert set(registered_devices()) == before
+
+    def test_mixed_specs(self):
+        with DevicePool(specs=[A100_SPEC, MI250_SPEC]) as pool:
+            assert pool.devices[0].spec.vendor == "nvidia"
+            assert pool.devices[1].spec.vendor == "amd"
+
+    def test_devices_count_must_match_specs(self):
+        with pytest.raises(SchedulerError, match="disagrees"):
+            DevicePool(3, specs=[A100_SPEC])
+
+    def test_needs_at_least_one_device(self):
+        with pytest.raises(SchedulerError):
+            DevicePool(0)
+        with pytest.raises(SchedulerError):
+            DevicePool(specs=[])
+
+    def test_unknown_placement_policy(self):
+        with pytest.raises(SchedulerError, match="placement"):
+            DevicePool(1, placement="fastest")
+
+    def test_close_is_idempotent(self):
+        pool = DevicePool(1)
+        pool.close()
+        pool.close()
+
+    def test_submit_after_close_raises(self):
+        pool = DevicePool(1)
+        pool.close()
+        with pytest.raises(SchedulerError, match="closed"):
+            pool.submit_call(lambda dev: None)
+
+
+class TestFutures:
+    def test_submit_kernel_resolves_to_stats(self):
+        with DevicePool(1) as pool:
+            device = pool.devices[0]
+            ptr = pool.submit_call(lambda dev: dev.allocator.malloc(4 * 8)).result()
+            future = pool.submit(fill_kernel, LaunchConfig.create(1, 4), ptr, 2.0, 4)
+            stats = future.result()
+            assert stats.threads_run == 4
+            assert future.done() and future.exception() is None
+            assert future.device is device
+            assert future.track == f"device:{device.ordinal}"
+            out = np.zeros(4)
+            device.allocator.memcpy_d2h(out, ptr)
+            np.testing.assert_allclose(out, [2.0, 4.0, 6.0, 8.0])
+            pool.submit_call(lambda dev: dev.allocator.free(ptr)).result()
+
+    def test_failure_preserves_original_exception(self):
+        with DevicePool(1) as pool:
+            future = pool.submit(
+                fill_kernel, LaunchConfig.create(1, 8192), None, 0.0, 1
+            )
+            exc = future.exception()
+            assert isinstance(exc, LaunchError)
+            with pytest.raises(LaunchError):
+                future.result()
+
+    def test_result_timeout_raises_scheduler_error(self):
+        with DevicePool(1) as pool:
+            future = pool.submit_call(lambda dev: time.sleep(0.4))
+            with pytest.raises(SchedulerError, match="did not complete"):
+                future.exception(timeout=0.01)
+            assert future.result(timeout=5) is None
+
+    def test_wait_returns_false_on_timeout(self):
+        with DevicePool(1) as pool:
+            future = pool.submit_call(lambda dev: time.sleep(0.3))
+            assert future.wait(timeout=0.01) is False
+            assert future.wait(timeout=5) is True
+
+
+class TestPlacement:
+    def test_round_robin_cycles(self):
+        with DevicePool(3) as pool:
+            futures = [pool.submit_call(lambda dev: dev.ordinal) for _ in range(6)]
+            placed = [f.device.ordinal for f in futures]
+            expected = [d.ordinal for d in pool.devices] * 2
+            assert placed == expected
+            # The worker really ran on the placed device.
+            assert [f.result() for f in futures] == placed
+
+    def test_explicit_pool_index_and_device(self):
+        with DevicePool(2) as pool:
+            f0 = pool.submit_call(lambda dev: dev.ordinal, device=1)
+            f1 = pool.submit_call(lambda dev: dev.ordinal, device=pool.devices[0])
+            assert f0.result() == pool.devices[1].ordinal
+            assert f1.result() == pool.devices[0].ordinal
+
+    def test_explicit_index_out_of_range(self):
+        with DevicePool(2) as pool:
+            with pytest.raises(SchedulerError, match="out of range"):
+                pool.submit_call(lambda dev: None, device=2)
+
+    def test_foreign_device_rejected(self):
+        with DevicePool(1) as pool:
+            with pytest.raises(SchedulerError, match="does not belong"):
+                pool.submit_call(lambda dev: None, device=get_device(0))
+
+    def test_least_loaded_prefers_idle_device(self):
+        with DevicePool(2, placement="least_loaded") as pool:
+            # Occupy device 0 with a slow job; the next submission must
+            # land on the idle device 1.
+            slow = pool.submit_call(lambda dev: time.sleep(0.3), device=0)
+            placed = pool.submit_call(lambda dev: None)
+            assert placed.device is pool.devices[1]
+            slow.wait()
+
+    def test_callable_policy(self):
+        with DevicePool(2, placement=lambda pool: pool.devices[1]) as pool:
+            assert pool.submit_call(lambda dev: None).device is pool.devices[1]
+
+    def test_callable_policy_must_return_pool_device(self):
+        with DevicePool(1, placement=lambda pool: get_device(0)) as pool:
+            with pytest.raises(SchedulerError, match="one of the pool's devices"):
+                pool.submit_call(lambda dev: None)
+
+    def test_synchronize_drains_every_queue(self):
+        with DevicePool(2) as pool:
+            seen = []
+            for i in range(4):
+                pool.submit_call(
+                    lambda dev, i=i: (time.sleep(0.02), seen.append(i))
+                )
+            pool.synchronize()
+            assert sorted(seen) == [0, 1, 2, 3]
+
+
+class TestShardGather:
+    def test_shard_round_trips(self):
+        data = np.arange(11, dtype=np.float64)
+        chunks = shard(data, 3)
+        assert [len(c) for c in chunks] == [4, 4, 3]
+        np.testing.assert_array_equal(np.concatenate(chunks), data)
+
+    def test_shard_drops_empty_chunks(self):
+        assert len(shard(np.arange(3), 5)) == 3
+
+    def test_shard_rejects_bad_count(self):
+        with pytest.raises(SchedulerError):
+            shard(np.arange(4), 0)
+
+    def test_gather_returns_in_submission_order(self):
+        with DevicePool(2) as pool:
+            futures = [
+                pool.submit_call(lambda dev, i=i: (time.sleep(0.05 * (2 - i)), i)[1])
+                for i in range(3)
+            ]
+            assert gather(futures) == [0, 1, 2]
+
+    def test_gather_raises_first_failure_in_submission_order(self):
+        with DevicePool(2) as pool:
+            def boom(dev):
+                raise GpuError("first failure")
+
+            def boom2(dev):
+                raise LaunchError("second failure")
+
+            futures = [
+                pool.submit_call(boom),
+                pool.submit_call(boom2),
+                pool.submit_call(lambda dev: 42),
+            ]
+            with pytest.raises(GpuError, match="first failure"):
+                gather(futures)
+            # Every future still completed (gather waits before raising).
+            assert all(f.done() for f in futures)
+
+
+class TestPoolIsFirstClass:
+    def test_pool_pointers_resolve_per_device(self):
+        """Allocations on different pool devices never bleed across."""
+        with DevicePool(2) as pool:
+            ptrs = gather([
+                pool.submit_call(lambda dev: dev.allocator.malloc(8), device=i)
+                for i in range(2)
+            ])
+            assert ptrs[0].device_ordinal != ptrs[1].device_ordinal
+            for i, ptr in enumerate(ptrs):
+                assert ptr.device_ordinal == pool.devices[i].ordinal
+                pool.submit_call(
+                    lambda dev, p=ptr: dev.allocator.free(p), device=i
+                ).result()
+
+    def test_closed_pool_invalidates_its_devices(self):
+        pool = DevicePool(1)
+        ordinal = pool.devices[0].ordinal
+        pool.close()
+        with pytest.raises(GpuError):
+            get_device(ordinal)
+
+    def test_default_device_ordinals_are_protected(self):
+        from repro.gpu.device import remove_device
+
+        with pytest.raises(GpuError):
+            remove_device(0)
+
+    def test_repr_and_future_repr(self):
+        with DevicePool(1) as pool:
+            assert "DevicePool" in repr(pool)
+            future = pool.submit_call(lambda dev: None, label="probe")
+            assert isinstance(future, KernelFuture)
+            future.wait()

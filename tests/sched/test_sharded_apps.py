@@ -1,0 +1,54 @@
+"""Data-parallel app execution: sharded results match single-device exactly.
+
+The acceptance bar for the scheduler: for every one of the six paper
+apps, ``run_functional_sharded`` over an N-device pool produces the
+*same checksum* as the single-device ``run_functional`` — bit-identical
+output, because sharding only partitions the problem axis and never
+changes per-element arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS, VersionLabel
+from repro.errors import AppError
+from repro.gpu import get_device
+from repro.sched import DevicePool
+
+pytestmark = [pytest.mark.sched, pytest.mark.timeout(300)]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with DevicePool(3) as p:
+        yield p
+
+
+@pytest.mark.parametrize("app_cls", ALL_APPS, ids=lambda c: c.__name__.lower())
+def test_sharded_checksum_matches_single_device(app_cls, pool):
+    app = app_cls()
+    params = app.functional_params()
+    single = app.run_functional(VersionLabel.OMPX, params, get_device(0))
+    sharded = app.run_functional_sharded(VersionLabel.OMPX, params, pool)
+    assert sharded.checksum == single.checksum  # exact, not approx
+    np.testing.assert_array_equal(sharded.output, single.output)
+    assert app.verify(sharded, params)
+
+
+def test_classic_omp_variant_cannot_be_sharded(pool):
+    app = ALL_APPS[0]()
+    with pytest.raises(AppError, match="cannot be sharded"):
+        app.run_functional_sharded(
+            VersionLabel.OMP, app.functional_params(), pool
+        )
+
+
+def test_stencil_rejects_shards_thinner_than_the_radius():
+    app = ALL_APPS[5]()
+    params = dict(app.functional_params())
+    params["n"] = 8               # 8 points over 4 devices: 2 < radius
+    params["radius"] = 3
+    params["iterations"] = 2
+    with DevicePool(4) as pool:
+        with pytest.raises(AppError, match="radius"):
+            app.run_functional_sharded(VersionLabel.OMPX, params, pool)

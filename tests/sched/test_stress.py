@@ -1,0 +1,193 @@
+"""Concurrency stress: many host threads against one DevicePool.
+
+The pool's contract under pressure: per-device allocators never bleed
+into each other, results are deterministic regardless of interleaving,
+and a fault targeted at one device (``device=`` selector) fires only on
+that device's worker and poisons only that device.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.errors import (
+    KernelFault,
+    LaunchError,
+    OutOfMemoryError,
+    StickyContextError,
+)
+from repro.gpu import LaunchConfig
+from repro.ompx import ompx_memcpy_peer
+from repro.sched import DevicePool, gather
+
+pytestmark = [pytest.mark.sched, pytest.mark.timeout(120)]
+
+HOST_THREADS = 8
+N = 64
+
+
+def fill_kernel(ctx, out, value, n):
+    i = ctx.flat_thread_id
+    view = ctx.deref(out, n, np.float64)
+    if i < n:
+        view[i] = value * (i + 1)
+
+
+def _expected(value):
+    return value * np.arange(1, N + 1, dtype=np.float64)
+
+
+class TestHostThreadStress:
+    def test_eight_threads_four_devices_deterministic(self):
+        """8 host threads × 4 devices: exact results, no allocator bleed."""
+        with DevicePool(4) as pool:
+            baseline = [d.allocator.bytes_in_use for d in pool.devices]
+            results = {}
+            errors = []
+
+            def worker(tid):
+                try:
+                    checks = []
+                    for rep in range(3):
+                        for di in range(len(pool)):
+                            value = float(tid * 100 + rep * 10 + di + 1)
+                            ptr = pool.submit_call(
+                                lambda dev: dev.allocator.malloc(N * 8),
+                                device=di,
+                            ).result()
+                            assert ptr.device_ordinal == pool.devices[di].ordinal
+                            pool.submit(
+                                fill_kernel, LaunchConfig.create(1, N),
+                                ptr, value, N, device=di,
+                                label=f"t{tid}r{rep}d{di}",
+                            ).result()
+                            out = np.zeros(N)
+                            pool.devices[di].allocator.memcpy_d2h(out, ptr)
+                            np.testing.assert_array_equal(out, _expected(value))
+                            checks.append(float(out.sum()))
+                            pool.submit_call(
+                                lambda dev, p=ptr: dev.allocator.free(p),
+                                device=di,
+                            ).result()
+                    results[tid] = checks
+                except Exception as exc:  # surfaced below, not swallowed
+                    errors.append((tid, exc))
+
+            threads = [threading.Thread(target=worker, args=(t,))
+                       for t in range(HOST_THREADS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert not errors, errors
+            pool.synchronize()
+            # Deterministic: each thread's checksums depend only on (tid,
+            # rep, device-index), never on scheduling order.
+            for tid, checks in results.items():
+                expected = [
+                    float(_expected(tid * 100 + rep * 10 + di + 1).sum())
+                    for rep in range(3) for di in range(len(pool))
+                ]
+                assert checks == expected
+            # No allocator bleed: every device is back at its baseline.
+            after = [d.allocator.bytes_in_use for d in pool.devices]
+            assert after == baseline
+
+    def test_concurrent_peer_copies(self):
+        """Threads shuttling buffers between pool devices stay coherent."""
+        with DevicePool(4) as pool:
+            errors = []
+
+            def worker(tid):
+                try:
+                    src_dev = pool.devices[tid % 4]
+                    dst_dev = pool.devices[(tid + 1) % 4]
+                    host = np.full(N, float(tid + 1))
+                    src = src_dev.allocator.malloc(N * 8)
+                    dst = dst_dev.allocator.malloc(N * 8)
+                    src_dev.allocator.memcpy_h2d(src, host)
+                    ompx_memcpy_peer(dst, dst_dev, src, src_dev, N * 8)
+                    out = np.zeros(N)
+                    dst_dev.allocator.memcpy_d2h(out, dst)
+                    np.testing.assert_array_equal(out, host)
+                    src_dev.allocator.free(src)
+                    dst_dev.allocator.free(dst)
+                except Exception as exc:
+                    errors.append((tid, exc))
+
+            threads = [threading.Thread(target=worker, args=(t,))
+                       for t in range(HOST_THREADS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+
+
+class TestTargetedFaults:
+    def test_oom_selector_hits_only_the_targeted_device(self):
+        with DevicePool(4) as pool:
+            victim = pool.devices[2]
+            with faults.inject(f"malloc:oom,device={victim.ordinal}"):
+                futures = [
+                    pool.submit_call(
+                        lambda dev: dev.allocator.malloc(256), device=i
+                    )
+                    for i in range(4)
+                ]
+                outcomes = [f.exception() for f in futures]
+            assert isinstance(outcomes[2], OutOfMemoryError)
+            for i in (0, 1, 3):
+                assert outcomes[i] is None
+                pool.submit_call(
+                    lambda dev, p=futures[i].result(): dev.allocator.free(p),
+                    device=i,
+                ).result()
+
+    def test_kernel_fault_poisons_only_the_targeted_worker(self):
+        with DevicePool(3) as pool:
+            victim = pool.devices[1]
+            ptrs = gather([
+                pool.submit_call(lambda dev: dev.allocator.malloc(N * 8),
+                                 device=i)
+                for i in range(3)
+            ])
+            spec = f"launch:kernel_fault@1,device={victim.ordinal}"
+            with faults.inject(spec):
+                futures = [
+                    pool.submit(fill_kernel, LaunchConfig.create(1, N),
+                                ptrs[i], 1.0, N, device=i)
+                    for i in range(3)
+                ]
+                outcomes = [f.exception() for f in futures]
+            # Only the targeted future failed, with the injected fault as
+            # its cause; the device context is now poisoned.
+            assert isinstance(outcomes[1], LaunchError)
+            assert isinstance(outcomes[1].__cause__, KernelFault)
+            assert outcomes[0] is None and outcomes[2] is None
+            assert victim.is_poisoned
+            # The poison is sticky on the victim only: its next submission
+            # fails, the other devices keep working.
+            sticky = pool.submit(fill_kernel, LaunchConfig.create(1, N),
+                                 ptrs[1], 2.0, N, device=1)
+            assert isinstance(sticky.exception(), StickyContextError)
+            ok = pool.submit(fill_kernel, LaunchConfig.create(1, N),
+                             ptrs[0], 3.0, N, device=0)
+            assert ok.exception() is None
+            # Reset recovers the victim (allocations are torn down by the
+            # reset, like cudaDeviceReset, so re-allocate afterwards).
+            victim.reset()
+            fresh = pool.submit_call(
+                lambda dev: dev.allocator.malloc(N * 8), device=1
+            ).result()
+            done = pool.submit(fill_kernel, LaunchConfig.create(1, N),
+                               fresh, 4.0, N, device=1)
+            assert done.exception() is None
+            pool.submit_call(lambda dev, p=fresh: dev.allocator.free(p),
+                             device=1).result()
+            for i in (0, 2):
+                pool.submit_call(lambda dev, p=ptrs[i]: dev.allocator.free(p),
+                                 device=i).result()

@@ -62,6 +62,19 @@ def test_every_public_error_is_rooted_at_repro_error():
         assert issubclass(cls, errors.ReproError), name
 
 
+def test_lint_covers_the_scheduler_package():
+    # The rglob walk must see repro/sched (a later package could silently
+    # fall outside a hand-maintained file list; the walk is the guarantee).
+    sched_files = {p.name for p in sorted(SRC_ROOT.rglob("*.py"))
+                   if p.parent.name == "sched"}
+    assert {"__init__.py", "pool.py", "shard.py", "model.py"} <= sched_files
+
+
+def test_scheduler_error_is_a_repro_error():
+    assert issubclass(errors.SchedulerError, errors.ReproError)
+    assert "SchedulerError" in errors.__all__
+
+
 def test_fault_and_sticky_errors_are_gpu_errors():
     # The fault framework's error classes slot into the existing hierarchy
     # so `except GpuError` call sites keep catching them.
