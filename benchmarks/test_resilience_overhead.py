@@ -1,0 +1,60 @@
+"""A fault-free resilient run must cost almost nothing over a plain pool.
+
+The resilience layer's cheap-when-idle claim: with zero faults injected,
+wrapping a DevicePool in a ResilientPool adds only per-submission
+bookkeeping (round-robin over the health tracker, one watchdog table
+entry, lazy resolution) — no retries, no healing, no resets.  Same
+methodology as the trace/memcheck overhead benchmarks: run the same
+sharded workload both ways and assert the resilient path stays within a
+few percent of the plain path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.apps import Adam, VersionLabel
+from repro.resilience import ResilientPool
+from repro.sched import DevicePool
+
+ROUNDS = 6
+WARMUP = 2
+
+
+def _time_sharded(app, params, pool, rounds: int) -> float:
+    start = time.perf_counter()
+    for _ in range(rounds):
+        app.run_functional_sharded(VersionLabel.OMPX, params, pool)
+    return time.perf_counter() - start
+
+
+@pytest.mark.slow
+@pytest.mark.resilience
+def test_zero_fault_resilience_overhead_is_small():
+    app = Adam()
+    params = app.functional_params()
+
+    with DevicePool(3) as pool:
+        _time_sharded(app, params, pool, WARMUP)
+        plain_s = _time_sharded(app, params, pool, ROUNDS)
+
+        with ResilientPool(pool) as rpool:
+            _time_sharded(app, params, rpool, WARMUP)
+            resilient_s = _time_sharded(app, params, rpool, ROUNDS)
+            assert rpool.report.total == 0  # nothing fired, nothing healed
+
+    # The target is <5% overhead; the assertion leaves headroom (1.25x +
+    # 5ms absolute) so scheduler noise on loaded CI machines cannot flake
+    # it, while still catching accidental per-submission heavy lifting
+    # (an eager shadow run, a canary per submit, a sleeping code path).
+    assert resilient_s <= plain_s * 1.25 + 5e-3, (
+        f"resilient sharded run cost {resilient_s:.4f}s vs {plain_s:.4f}s "
+        f"plain over {ROUNDS} rounds — zero-fault overhead is too high"
+    )
+    print(
+        f"\nplain: {plain_s / ROUNDS * 1e3:.1f} ms/run, "
+        f"resilient: {resilient_s / ROUNDS * 1e3:.1f} ms/run "
+        f"({(resilient_s / plain_s - 1) * 100:+.1f}%)"
+    )

@@ -20,6 +20,16 @@ injection plan (e.g. ``"malloc:oom@3;seed=7"``) and prints the injected
 fault log afterwards; ``--memcheck`` runs it under the memory sanitizer
 and prints the leak/OOB report.
 
+``--resilient`` wraps the run's DevicePool in :mod:`repro.resilience`:
+failed shards are retried with deterministic backoff, poisoned devices
+are quarantined, reset and canary-probed, and the whole decomposition is
+re-executed over the survivors when a fault escapes mid-run — so a
+seeded fault plan that kills a plain ``--devices 4`` run completes with
+the same checksum as a fault-free run, followed by the recovery report.
+``--verify 2`` additionally runs every shard on two devices and
+cross-checks the results.  ``device=`` selectors in ``--faults`` refer
+to pool indices (0..N-1) whenever a pool is in play.
+
 Examples::
 
     python -m repro.apps xsbench -m event
@@ -28,6 +38,7 @@ Examples::
     python -m repro.apps stencil1d --run --trace out.json
     python -m repro.apps stencil1d --run --faults "memcpy:truncate@1,bytes=64;seed=1"
     python -m repro.apps adam --run --memcheck
+    python -m repro.apps stencil1d --run --devices 4 --resilient --faults 'kernel_fault@3 device=1'
 """
 
 from __future__ import annotations
@@ -102,6 +113,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--memcheck", action="store_true",
                         help="run under the memory sanitizer and print its "
                              "report")
+    parser.add_argument("--resilient", action="store_true",
+                        help="run the pool under repro.resilience: retry "
+                             "failed shards, quarantine/reset/probe faulty "
+                             "devices, re-execute the run over survivors, "
+                             "and print the recovery report")
+    parser.add_argument("--verify", type=int, default=1, choices=[1, 2],
+                        help="with --resilient, 2 runs every shard on two "
+                             "devices and cross-checks the results")
     flags = parser.parse_args(flag_args)
 
     try:
@@ -174,14 +193,27 @@ def _dispatch(app, flags, params) -> int:
         variant = flags.variant
         if variant == VersionLabel.NATIVE_VENDOR:
             variant = VersionLabel.NATIVE_LLVM  # same sources
-        if flags.devices > 1:
+        if flags.devices > 1 or flags.resilient:
             from ..sched import DevicePool
 
+            mode = "resilient, " if flags.resilient else ""
             print(f"{app.name}: functional run of variant {flags.variant!r} "
-                  f"sharded across {flags.devices} pool devices "
-                  f"(reduced scale: {dict(run_params)})")
+                  f"sharded across {flags.devices} pool devices ({mode}"
+                  f"reduced scale: {dict(run_params)})")
             with DevicePool(flags.devices) as pool:
-                result = app.run_functional_sharded(variant, run_params, pool)
+                # --faults device= selectors mean pool indices on pooled
+                # runs (resilient or not), so the same spec kills a plain
+                # run and is survived by a --resilient one.
+                plan = faults_mod.active_plan()
+                if plan is not None:
+                    plan.bind_devices(
+                        {i: d.ordinal for i, d in enumerate(pool.devices)}
+                    )
+                if flags.resilient:
+                    result = _run_resilient(app, flags, variant, run_params,
+                                            pool, plan)
+                else:
+                    result = app.run_functional_sharded(variant, run_params, pool)
         else:
             print(f"{app.name}: functional run of variant {flags.variant!r} on "
                   f"device {flags.device} (reduced scale: {dict(run_params)})")
@@ -205,6 +237,24 @@ def _dispatch(app, flags, params) -> int:
     if flags.devices > 1:
         _print_scaling(app, flags, params)
     return 0
+
+
+def _run_resilient(app, flags, variant, run_params, pool, plan):
+    """Run one app through a ResilientPool, printing the recovery report.
+
+    The report prints even when recovery ultimately fails (retry budget
+    exhausted, every device retired): what was attempted is exactly what
+    the operator needs to see next to the final error.
+    """
+    from ..resilience import ResilientPool
+
+    seed = plan.seed if plan is not None else 0
+    with ResilientPool(pool, verify=flags.verify, seed=seed) as rpool:
+        try:
+            return app.run_functional_resilient(variant, run_params, rpool)
+        finally:
+            print()
+            print(rpool.report.summary())
 
 
 def _print_scaling(app, flags, params) -> None:

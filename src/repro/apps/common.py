@@ -170,11 +170,17 @@ class BenchmarkApp(abc.ABC):
                 "ompx or native variant"
             )
         shards = self.shard_functional_params(params, len(pool))
+        # Shards are self-contained (each run_functional call allocates,
+        # computes and downloads on whatever device it is handed), so
+        # they are submitted *unpinned*: round-robin placement spreads
+        # them one per device exactly as pinning did, but a resilient
+        # pool is free to re-place a retried shard on a surviving device.
+        resilient = hasattr(pool, "health")
         futures = [
             pool.submit_call(
                 functools.partial(self.run_functional, variant, sub),
-                device=i,
                 label=f"{self.name}:shard{i}",
+                **({"shard": True} if resilient else {}),
             )
             for i, sub in enumerate(shards)
         ]
@@ -185,6 +191,26 @@ class BenchmarkApp(abc.ABC):
             output=output,
             checksum=self.result_checksum(output),
             valid=False,
+        )
+
+    def run_functional_resilient(
+        self, variant: str, params: Mapping[str, object], rpool
+    ) -> FunctionalResult:
+        """Run sharded with fault tolerance over a ResilientPool.
+
+        Two layers of recovery compose here.  Individual shard futures
+        retry themselves (heal the device, re-place, re-execute) inside
+        :meth:`run_functional_sharded`; failures that escape the future
+        layer — a stencil halo loop hitting a poisoned device mid-
+        iteration, or a shard pinned to a device that had to be retired —
+        bubble into :meth:`~repro.resilience.ResilientPool.run_to_completion`,
+        which heals every device and re-executes the whole decomposition
+        over the survivors.  Either way the returned output is the same
+        bit-identical concatenation a fault-free run produces.
+        """
+        return rpool.run_to_completion(
+            lambda rp: self.run_functional_sharded(variant, params, rp),
+            label=f"{self.name}:{variant}",
         )
 
     # --- performance-model inputs ---------------------------------------------------

@@ -124,7 +124,11 @@ class Stencil1D(BenchmarkApp):
 
     @classmethod
     def functional_params(cls) -> Mapping[str, object]:
-        return {"n": 1000, "iterations": 1, "radius": 3, "block": 64}
+        # Three iterations, not one: the reduced problem still exercises
+        # the ping-pong buffers and (sharded) the per-iteration halo
+        # exchange, and gives mid-run fault plans ('kernel_fault@3')
+        # later launches to fire on.
+        return {"n": 1000, "iterations": 3, "radius": 3, "block": 64}
 
     # --- golden reference ------------------------------------------------------
     def _input(self, params) -> np.ndarray:

@@ -27,6 +27,8 @@ __all__ = [
     "PortError",
     "PerfModelError",
     "SchedulerError",
+    "CancelledError",
+    "WatchdogTimeout",
     "AppError",
 ]
 
@@ -276,6 +278,57 @@ class SchedulerError(ReproError):
     *inside* a pool worker are not wrapped: the worker stores the
     original :class:`GpuError`/:class:`KernelFault` on the future so
     callers see exactly what a single-device run would have seen."""
+
+
+class CancelledError(SchedulerError):
+    """A pool job was cancelled before it started executing.
+
+    Raised from :meth:`KernelFuture.result` when the future was cancelled
+    explicitly (:meth:`KernelFuture.cancel`), when its pool was closed
+    with ``drain=False``, or when its device was reset while the job was
+    still queued.  ``retryable`` marks cancellations the resilience layer
+    may transparently re-execute (a device reset during recovery); an
+    explicit user cancel is never retried.
+    """
+
+    def __init__(self, message: str = "", *, retryable: bool = False) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+
+
+class WatchdogTimeout(GpuError):
+    """A pool job exceeded its execution deadline and was timed out.
+
+    The structured failure the :mod:`repro.resilience` watchdog converts a
+    hung kernel into: it names the offending kernel label, the device it
+    hung on, and the deadline that expired.  The job's worker thread may
+    still be running (threads cannot be killed); the device is pulled
+    from placement until it drains and passes a canary probe.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        kernel: "str | None" = None,
+        device: "int | None" = None,
+        deadline_s: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.kernel = kernel
+        self.device = device
+        self.deadline_s = deadline_s
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        extra = []
+        if self.kernel is not None:
+            extra.append(f"kernel={self.kernel}")
+        if self.device is not None:
+            extra.append(f"device={self.device}")
+        if self.deadline_s is not None:
+            extra.append(f"deadline={self.deadline_s}s")
+        return f"{base} [{', '.join(extra)}]" if extra else base
 
 
 class AppError(ReproError):

@@ -19,6 +19,7 @@ memcpy   ``truncate`` (copy only ``bytes=`` bytes), ``error``
 memset   ``error``
 launch   ``kernel_fault`` (raise KernelFault — optionally only in
          block ``block=`` and only after ``after_barriers=`` barriers),
+         ``delay`` (sleep ``delay=`` seconds before the kernel runs),
          ``error``
 enqueue  ``delay`` (sleep ``delay=`` seconds before the op runs),
          ``abort`` (refuse the enqueue)
@@ -33,10 +34,25 @@ semicolon-separated rule list::
     launch:kernel_fault,kernel=stencil,block=2,after_barriers=1
     enqueue:delay,stream=copyq,delay=0.01,every=2;enqueue:abort,p=0.1
 
-``site:action`` is mandatory; ``@N`` fires on the Nth matching call;
-``every=K`` fires on every K-th; ``p=X`` fires with probability X drawn
-from the plan's seeded RNG; ``kernel=``/``stream=``/``device=`` restrict
-matching; remaining ``key=value`` pairs are the action payload.
+``@N`` fires on the Nth matching call; ``every=K`` fires on every K-th;
+``p=X`` fires with probability X drawn from the plan's seeded RNG;
+``kernel=``/``stream=``/``device=`` restrict matching; remaining
+``key=value`` pairs are the action payload.
+
+Two leniencies keep hand-typed specs short.  Options may be separated by
+whitespace as well as commas (``'kernel_fault@3 device=1'``), and the
+``site:`` prefix may be dropped when the action names it uniquely —
+``oom`` means ``malloc:oom``, ``invalid_pointer`` → ``free:``,
+``truncate`` → ``memcpy:``, ``kernel_fault`` → ``launch:``, ``delay``
+and ``abort`` → ``enqueue:``.  ``error`` is valid at several sites and
+always needs the explicit prefix.
+
+``device=`` selectors compare against global registry ordinals.  A
+harness running on a :class:`~repro.sched.DevicePool` (whose devices get
+fresh ordinals above the defaults) can call
+:meth:`FaultPlan.bind_devices` to re-map spec-level selectors — e.g. the
+pool-relative indices the CLI exposes — onto the ordinals actually in
+play, without rewriting the rules.
 """
 
 from __future__ import annotations
@@ -64,8 +80,21 @@ _ACTIONS: Dict[str, Tuple[str, ...]] = {
     "free": ("invalid_pointer", "error"),
     "memcpy": ("truncate", "error"),
     "memset": ("error",),
-    "launch": ("kernel_fault", "error"),
+    "launch": ("kernel_fault", "delay", "error"),
     "enqueue": ("delay", "abort", "error"),
+}
+
+#: Bare-action shorthand: actions that name their site uniquely, so the
+#: ``site:`` prefix may be omitted in spec fragments.  ``error`` is
+#: deliberately absent (valid at several sites), and the two stream-ish
+#: actions resolve to ``enqueue``, their original home.
+_SITE_FOR_ACTION: Dict[str, str] = {
+    "oom": "malloc",
+    "invalid_pointer": "free",
+    "truncate": "memcpy",
+    "kernel_fault": "launch",
+    "delay": "enqueue",
+    "abort": "enqueue",
 }
 
 #: Rule keys that select *which* calls match, compared as strings against
@@ -123,12 +152,44 @@ class FaultRule:
         """The action's ``key=value`` payload options as a plain dict."""
         return dict(self.payload)
 
+    @staticmethod
+    def _tokenize(text: str) -> List[str]:
+        """Split a fragment into head + option tokens.
+
+        Commas always separate options; whitespace separates them only
+        when the next token is itself a ``key=value`` pair, so payload
+        values containing spaces (``message=synthetic ENOMEM``) keep
+        working under the lenient whitespace syntax.
+        """
+        pieces: List[str] = []
+        for chunk in text.split(","):
+            start = len(pieces)
+            for token in chunk.split():
+                if len(pieces) == start or "=" in token:
+                    pieces.append(token)
+                else:
+                    pieces[-1] += f" {token}"
+        return pieces
+
     @classmethod
     def parse(cls, text: str) -> "FaultRule":
-        """Parse one ``site:action[@N][,k=v...]`` rule fragment."""
-        head, _, tail = text.partition(",")
+        """Parse one ``[site:]action[@N][,k=v...]`` rule fragment."""
+        pieces = cls._tokenize(text)
+        if not pieces:
+            raise FaultSpecError(f"rule {text!r} is empty")
+        head, tail = pieces[0], pieces[1:]
         site, sep, action = head.partition(":")
-        if not sep or not action:
+        if not sep:
+            # Bare action: infer the site when the action names it uniquely.
+            action = site
+            site = _SITE_FOR_ACTION.get(action.partition("@")[0].strip())
+            if site is None:
+                raise FaultSpecError(
+                    f"rule {text!r} must start with 'site:action' (e.g. "
+                    f"'malloc:oom'); only "
+                    f"{tuple(sorted(_SITE_FOR_ACTION))} may omit the site"
+                )
+        elif not action:
             raise FaultSpecError(
                 f"rule {text!r} must start with 'site:action', e.g. 'malloc:oom'"
             )
@@ -146,29 +207,28 @@ class FaultRule:
         max_fires: Optional[int] = None
         match: List[Tuple[str, str]] = []
         payload: List[Tuple[str, str]] = []
-        if tail:
-            for item in tail.split(","):
-                k, sep, v = item.partition("=")
-                k, v = k.strip(), v.strip()
-                if not sep or not k or not v:
-                    raise FaultSpecError(
-                        f"rule {text!r}: options must be 'key=value', got {item!r}"
-                    )
-                try:
-                    if k == "every":
-                        every = int(v)
-                    elif k == "p":
-                        probability = float(v)
-                    elif k == "max":
-                        max_fires = int(v)
-                    elif k in _MATCH_KEYS:
-                        match.append((k, v))
-                    else:
-                        payload.append((k, v))
-                except ValueError:
-                    raise FaultSpecError(
-                        f"rule {text!r}: bad value for {k!r}: {v!r}"
-                    ) from None
+        for item in tail:
+            k, sep, v = item.partition("=")
+            k, v = k.strip(), v.strip()
+            if not sep or not k or not v:
+                raise FaultSpecError(
+                    f"rule {text!r}: options must be 'key=value', got {item!r}"
+                )
+            try:
+                if k == "every":
+                    every = int(v)
+                elif k == "p":
+                    probability = float(v)
+                elif k == "max":
+                    max_fires = int(v)
+                elif k in _MATCH_KEYS:
+                    match.append((k, v))
+                else:
+                    payload.append((k, v))
+            except ValueError:
+                raise FaultSpecError(
+                    f"rule {text!r}: bad value for {k!r}: {v!r}"
+                ) from None
         return cls(
             site=site.strip(),
             action=action.strip(),
@@ -197,6 +257,7 @@ class FaultPlan:
         self._rng = Random(self.seed)
         self._matches: List[int] = [0] * len(self.rules)
         self._fires: List[int] = [0] * len(self.rules)
+        self._device_alias: Dict[str, str] = {}
         self.log: List[Tuple[int, str, str, str, str]] = []
 
     # --- construction -----------------------------------------------------
@@ -226,11 +287,26 @@ class FaultPlan:
         return cls(rules, seed=seed)
 
     def reset(self) -> None:
-        """Re-arm counters, RNG and log for a fresh, identical replay."""
+        """Re-arm counters, RNG and log for a fresh, identical replay.
+
+        Device bindings (:meth:`bind_devices`) survive a reset: they
+        describe the topology the plan runs against, not replay state.
+        """
         self._rng = Random(self.seed)
         self._matches = [0] * len(self.rules)
         self._fires = [0] * len(self.rules)
         self.log.clear()
+
+    def bind_devices(self, mapping: Dict[Any, Any]) -> None:
+        """Re-map ``device=`` selectors onto live registry ordinals.
+
+        ``mapping`` takes spec-level selector values (e.g. pool-relative
+        indices ``0..N-1``) to the registry ordinals the workload actually
+        uses; both sides are compared as strings.  Selectors absent from
+        the mapping keep matching raw ordinals, so registry-level specs
+        still work on a bound plan.
+        """
+        self._device_alias = {str(k): str(v) for k, v in mapping.items()}
 
     # --- firing -----------------------------------------------------------
     def fire(self, site: str, **context: Any) -> Dict[str, Any]:
@@ -253,6 +329,8 @@ class FaultPlan:
 
     def _rule_matches(self, rule: FaultRule, context: Dict[str, Any]) -> bool:
         for key, want in rule.match:
+            if key == "device":
+                want = self._device_alias.get(want, want)
             have = context.get(key)
             if have is None or str(have) != want:
                 return False

@@ -228,6 +228,11 @@ class Device:
         # 1->0).  Copies work either way; enablement changes the *modeled
         # cost* from staged-through-host to the direct peer link.
         self._peer_enabled: set = set()
+        # Pre-teardown reset hooks.  A DevicePool registers one so that
+        # resetting a pooled device first drains its worker queue
+        # (cancelling queued jobs deterministically) instead of racing the
+        # worker thread against the allocator teardown.
+        self._reset_hooks: list = []
 
     # --- sticky context (CUDA cudaErrorIllegalAddress semantics) ------------
     def poison(self, error: BaseException) -> None:
@@ -271,14 +276,43 @@ class Device:
                 original=sticky,
             ) from sticky
 
+    def add_reset_hook(self, hook) -> None:
+        """Register a callable run at the *start* of :meth:`reset`.
+
+        Hooks run before any state is torn down, outside the device lock,
+        in registration order.  The :class:`~repro.sched.DevicePool` uses
+        one to quiesce its worker: queued-but-unstarted jobs fail with
+        :class:`~repro.errors.CancelledError` and the in-flight job (if
+        any) is allowed to finish, so the teardown below never races
+        live work.
+        """
+        with self._lock:
+            self._reset_hooks.append(hook)
+
+    def remove_reset_hook(self, hook) -> None:
+        """Unregister a hook added by :meth:`add_reset_hook` (idempotent)."""
+        with self._lock:
+            if hook in self._reset_hooks:
+                self._reset_hooks.remove(hook)
+
     def reset(self) -> None:
         """Tear down and re-arm this context (``cudaDeviceReset`` analogue).
 
         Closes every stream (shutting down worker threads), drops all
         allocations and constant symbols, and clears the sticky error.
         Outstanding DevicePointers become invalid, exactly as after a real
-        device reset.
+        device reset.  If the device belongs to a :class:`DevicePool`,
+        the pool's reset hook runs first: queued jobs are failed with
+        :class:`~repro.errors.CancelledError` and the worker is drained,
+        so pooled resets are deterministic rather than racing the worker.
         """
+        with self._lock:
+            hooks = list(self._reset_hooks)
+        # Hooks quiesce concurrent users (pool workers) and must run
+        # before teardown, outside the lock — they join/wait on threads
+        # that themselves touch this device.
+        for hook in hooks:
+            hook(self)
         with self._lock:
             streams = list(self._streams)
             default = self._default_stream

@@ -18,6 +18,7 @@ timeline).
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
@@ -237,6 +238,12 @@ def launch_kernel(
         fault_spec = effects.get("kernel_fault")
         if fault_spec is not None:
             run_kernel = _with_injected_fault(kernel, kernel_name, fault_spec)
+        delay_s = effects.get("delay_s")
+        if delay_s:
+            # A hung kernel: the sleep happens on whichever thread runs
+            # the launch (a stream worker or a pool worker), where the
+            # resilience watchdog can observe the stall.
+            time.sleep(delay_s)
 
     def run_once(eng) -> KernelStats:
         tracer = get_tracer()

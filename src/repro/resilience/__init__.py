@@ -1,0 +1,54 @@
+"""``repro.resilience`` — fault-tolerant execution over the DevicePool.
+
+PR 3 made failure injectable (:mod:`repro.faults`) and PR 4 made
+execution multi-device (:mod:`repro.sched`); this package makes the
+combination *survivable*.  It wraps a :class:`~repro.sched.DevicePool`
+with the recovery plumbing a production GPU runtime carries:
+
+- :class:`RetryPolicy` — which exception classes are worth retrying
+  (sticky kernel faults after a reset: yes; memcheck violations: never),
+  how many attempts, and a seeded deterministic exponential backoff.
+- :class:`Watchdog` — converts hung jobs (``delay``/``abort`` fault
+  actions, or anything past its deadline) into structured
+  :class:`~repro.errors.WatchdogTimeout` failures naming the kernel
+  label and device.
+- :class:`HealthTracker` — the per-device ``HEALTHY → SUSPECT →
+  QUARANTINED`` state machine; quarantined devices are pulled from
+  placement, auto-reset via ``ompx_device_reset``, probed with a canary
+  kernel, and either readmitted or permanently ``RETIRED``.
+- :class:`ResilientPool` / :class:`ResilientFuture` — the
+  ``submit``/``submit_call`` wrapper applying all of the above, plus
+  self-healing whole-run re-execution (:meth:`ResilientPool.run_to_completion`)
+  for workloads that drive devices directly (Stencil-1D's halo loop).
+- :class:`RecoveryReport` — every retry, quarantine, watchdog fire and
+  re-executed shard, counted and logged, mirrored into trace counters.
+
+Everything is deterministic: backoff jitter comes from the policy's
+seeded RNG, and the recovery path for a given seeded
+:class:`~repro.faults.FaultPlan` replays identically.
+"""
+
+from .health import (
+    HEALTHY,
+    QUARANTINED,
+    RETIRED,
+    SUSPECT,
+    HealthTracker,
+)
+from .policy import RetryPolicy
+from .pool import ResilientFuture, ResilientPool
+from .report import RecoveryReport
+from .watchdog import Watchdog
+
+__all__ = [
+    "HEALTHY",
+    "SUSPECT",
+    "QUARANTINED",
+    "RETIRED",
+    "HealthTracker",
+    "RetryPolicy",
+    "ResilientFuture",
+    "ResilientPool",
+    "RecoveryReport",
+    "Watchdog",
+]

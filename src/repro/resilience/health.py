@@ -1,0 +1,122 @@
+"""The per-device health state machine.
+
+``HEALTHY → SUSPECT → QUARANTINED → (HEALTHY | RETIRED)``: a device that
+fails a job turns SUSPECT; a device whose context is actually poisoned
+(or that hung past the watchdog deadline) is QUARANTINED — pulled from
+placement until it is reset and probed.  A passing canary readmits it to
+HEALTHY; a failing one retires it permanently.  RETIRED is terminal: the
+scheduler never places work there again, and its shards move to the
+survivors.
+
+The tracker is pure bookkeeping — resetting and probing devices is the
+:class:`~repro.resilience.pool.ResilientPool`'s job — so the transitions
+can be tested without any device machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+from ..errors import SchedulerError
+from .report import RecoveryReport
+
+__all__ = ["HEALTHY", "SUSPECT", "QUARANTINED", "RETIRED", "HealthTracker"]
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+QUARANTINED = "quarantined"
+RETIRED = "retired"
+
+#: Allowed transitions.  SUSPECT may recover straight to HEALTHY (the
+#: failure was transient, e.g. a one-shot injected OOM) or escalate to
+#: QUARANTINED; QUARANTINED resolves to HEALTHY (canary passed) or
+#: RETIRED (canary failed).  HEALTHY may jump directly to QUARANTINED
+#: when the evidence is unambiguous (poisoned context, watchdog fire).
+_TRANSITIONS = {
+    HEALTHY: (SUSPECT, QUARANTINED),
+    SUSPECT: (HEALTHY, QUARANTINED),
+    QUARANTINED: (HEALTHY, RETIRED),
+    RETIRED: (),
+}
+
+
+class HealthTracker:
+    """Health states for a pool's devices, keyed by pool index."""
+
+    def __init__(self, count: int, *, report: RecoveryReport) -> None:
+        if count < 1:
+            raise SchedulerError("HealthTracker needs at least one device")
+        self._lock = threading.Lock()
+        self._states: Dict[int, str] = {i: HEALTHY for i in range(count)}
+        self._report = report
+
+    def state(self, index: int) -> str:
+        """Current health state of one pool device."""
+        with self._lock:
+            return self._states[index]
+
+    def active_indices(self) -> List[int]:
+        """Pool indices eligible for placement (HEALTHY or SUSPECT).
+
+        SUSPECT devices keep taking work: one failed job is evidence, not
+        a verdict, and pulling a device on every transient would leave a
+        chaos run with no pool at all.  Only QUARANTINED (being healed)
+        and RETIRED (gone) are excluded.
+        """
+        with self._lock:
+            return [
+                i for i, s in sorted(self._states.items())
+                if s in (HEALTHY, SUSPECT)
+            ]
+
+    def _transition(self, index: int, new_state: str) -> bool:
+        """Move one device to ``new_state``; ``False`` if already there.
+
+        Illegal transitions (anything out of RETIRED, or skipping the
+        machine entirely) raise — a recovery layer that corrupts its own
+        bookkeeping must fail loudly, not heal the wrong device.
+        """
+        with self._lock:
+            current = self._states[index]
+            if current == new_state:
+                return False
+            if new_state not in _TRANSITIONS[current]:
+                raise SchedulerError(
+                    f"illegal health transition for pool device {index}: "
+                    f"{current} -> {new_state}"
+                )
+            self._states[index] = new_state
+            return True
+
+    # Named transitions, so call sites read as intent and the report
+    # records the right counter for each.
+    def mark_suspect(self, index: int, detail: str = "") -> bool:
+        """One failure observed: HEALTHY -> SUSPECT (stays placeable)."""
+        return self._transition(index, SUSPECT)
+
+    def mark_healthy(self, index: int, detail: str = "") -> bool:
+        """Recover to HEALTHY; records a readmission when ``detail`` set."""
+        changed = self._transition(index, HEALTHY)
+        if changed and detail:
+            self._report.record("readmissions", detail)
+        return changed
+
+    def quarantine(self, index: int, detail: str = "") -> bool:
+        """Pull a device from placement for healing (counts a quarantine)."""
+        changed = self._transition(index, QUARANTINED)
+        if changed:
+            self._report.record("quarantines", detail)
+        return changed
+
+    def retire(self, index: int, detail: str = "") -> bool:
+        """Permanently remove a device that failed its canary probe."""
+        changed = self._transition(index, RETIRED)
+        if changed:
+            self._report.record("retirements", detail)
+        return changed
+
+    def snapshot(self) -> Dict[int, str]:
+        """Copy of the full state map (for reports and tests)."""
+        with self._lock:
+            return dict(self._states)

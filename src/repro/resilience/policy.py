@@ -1,0 +1,115 @@
+"""Retry classification and deterministic backoff.
+
+The policy answers two questions the recovery loop asks on every
+failure: *is this worth retrying?* and *how long do we wait first?*
+Both answers are deterministic — classification depends only on the
+exception's cause chain, and backoff jitter is drawn from a seeded RNG
+owned by the caller — so a seeded fault plan produces a byte-identical
+recovery sequence on replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Iterator, Tuple, Type
+
+from ..errors import (
+    CancelledError,
+    GpuError,
+    KernelFault,
+    LaunchError,
+    MemcheckError,
+    StickyContextError,
+    WatchdogTimeout,
+)
+
+__all__ = ["RetryPolicy", "exception_chain"]
+
+
+def exception_chain(exc: BaseException) -> Iterator[BaseException]:
+    """Walk an exception and its causes (``__cause__`` over ``__context__``).
+
+    Failure context in this library nests: a pool worker stores the
+    stream's ``GpuError("queued work failed")`` whose cause is the
+    ``LaunchError`` whose cause is the injected :class:`KernelFault`.
+    Classification must see the innermost frames, and sticky-context
+    errors additionally carry the original fault in ``.original``.
+    """
+    seen = set()
+    stack = [exc]
+    while stack:
+        current = stack.pop()
+        if current is None or id(current) in seen:
+            continue
+        seen.add(id(current))
+        yield current
+        stack.append(current.__cause__ or current.__context__)
+        original = getattr(current, "original", None)
+        if isinstance(original, BaseException):
+            stack.append(original)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) failed submissions are re-executed.
+
+    ``max_attempts`` counts total tries, so ``3`` means one initial run
+    plus up to two retries.  Backoff for retry *k* (1-based) is
+    ``base_backoff_s * multiplier**(k-1)`` capped at ``max_backoff_s``,
+    plus a jitter drawn uniformly from ``[0, jitter * backoff]`` using
+    the caller-supplied seeded RNG — deterministic for a fixed seed,
+    decorrelated across devices retrying at once.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.001
+    multiplier: float = 2.0
+    max_backoff_s: float = 0.05
+    jitter: float = 0.5
+    #: Exception classes never worth retrying, wherever they appear in
+    #: the cause chain.  Memcheck violations are deterministic bugs in
+    #: the kernel under test: re-running one just trips the sanitizer
+    #: again, so surfacing it immediately is the only honest outcome.
+    deny: Tuple[Type[BaseException], ...] = (MemcheckError,)
+
+    def backoff_s(self, retry_number: int, rng: Random) -> float:
+        """Seconds to sleep before retry ``retry_number`` (1-based)."""
+        base = min(
+            self.base_backoff_s * self.multiplier ** max(retry_number - 1, 0),
+            self.max_backoff_s,
+        )
+        return base + rng.uniform(0.0, self.jitter * base)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether a failure is worth re-executing (after healing).
+
+        The decision walks the full cause chain:
+
+        - any denied class (default: :class:`MemcheckError`) — never;
+        - :class:`CancelledError` — only when the scheduler marked the
+          cancellation ``retryable`` (a device reset draining its queue);
+          an explicit user cancel stays cancelled;
+        - :class:`WatchdogTimeout`, :class:`KernelFault`,
+          :class:`StickyContextError` — yes; these are exactly the
+          faults a device reset clears;
+        - a :class:`LaunchError` *without* a kernel fault beneath it is a
+          deterministic configuration error — retrying cannot help;
+        - any other :class:`GpuError` (injected OOM, aborted enqueue,
+          truncated memcpy detected by verification) — yes;
+        - anything else (host-side bugs) — no.
+        """
+        chain = list(exception_chain(exc))
+        if any(isinstance(e, self.deny) for e in chain):
+            return False
+        for e in chain:
+            if isinstance(e, CancelledError):
+                return e.retryable
+        if any(
+            isinstance(e, (WatchdogTimeout, KernelFault, StickyContextError))
+            for e in chain
+        ):
+            return True
+        if any(isinstance(e, LaunchError) for e in chain):
+            return False
+        return any(isinstance(e, GpuError) for e in chain)

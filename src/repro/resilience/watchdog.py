@@ -1,0 +1,148 @@
+"""The per-device watchdog: hung jobs become structured timeouts.
+
+A single daemon thread polls the set of watched futures.  When a job
+outlives its deadline the watchdog completes its future with a
+:class:`~repro.errors.WatchdogTimeout` naming the kernel label, the
+device and the deadline — first-writer-wins on the future, so a worker
+that eventually finishes the job is recorded as a *stale completion*
+rather than overwriting the timeout.  Worker threads cannot be killed
+(this is Python, and real CUDA cannot abort a running kernel either);
+what the watchdog guarantees is that *callers* get a prompt, structured
+failure they can retry on another device, and that the hung device is
+reported to the health machinery via ``on_timeout``.
+
+Deadlines are measured from submission, not execution start: a job stuck
+*behind* a hung kernel is just as undeliverable as the hung kernel
+itself, and timing it out lets the retry layer move it to a healthy
+device instead of waiting forever in line.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import WatchdogTimeout
+from ..sched import KernelFuture
+from .report import RecoveryReport
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Deadline enforcement for pool futures.
+
+    ``on_timeout(future)`` runs on the watchdog thread after the future
+    has been failed; the resilient pool uses it to quarantine the device
+    the job hung on.  ``poll_s`` bounds detection latency — with the
+    simulated stack's millisecond kernels the default 5 ms keeps chaos
+    tests fast while staying far above scheduler noise.
+    """
+
+    def __init__(
+        self,
+        *,
+        report: RecoveryReport,
+        on_timeout: Optional[Callable[[KernelFuture], None]] = None,
+        poll_s: float = 0.005,
+    ) -> None:
+        self._report = report
+        self._on_timeout = on_timeout
+        self._poll_s = poll_s
+        self._lock = threading.Lock()
+        self._watched: Dict[int, Tuple[KernelFuture, float, float]] = {}
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # --- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Start the scan thread (idempotent; ``watch`` calls it too)."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._thread = threading.Thread(
+                target=self._run, name="resilience-watchdog", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self) -> None:
+        """Stop and join the scan thread; watched futures are left alone."""
+        self._stop.set()
+        self._wake.set()
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "Watchdog":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # --- watching -----------------------------------------------------------
+    def watch(self, future: KernelFuture, deadline_s: float) -> None:
+        """Enforce ``deadline_s`` (from now) on ``future``."""
+        if deadline_s <= 0:
+            raise ValueError(f"watchdog deadline must be > 0, got {deadline_s}")
+        with self._lock:
+            self._watched[id(future)] = (
+                future, time.monotonic() + deadline_s, deadline_s,
+            )
+        self._wake.set()
+        self.start()
+
+    def unwatch(self, future: KernelFuture) -> None:
+        """Stop enforcing a deadline on ``future`` (idempotent)."""
+        with self._lock:
+            self._watched.pop(id(future), None)
+
+    def watched(self) -> int:
+        """How many futures currently have live deadlines."""
+        with self._lock:
+            return len(self._watched)
+
+    # --- the scan loop ------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wake.clear()
+            now = time.monotonic()
+            with self._lock:
+                entries = list(self._watched.items())
+            for key, (future, deadline_ts, deadline_s) in entries:
+                if future.done():
+                    with self._lock:
+                        self._watched.pop(key, None)
+                    continue
+                if now < deadline_ts:
+                    continue
+                timed_out = future._set_exception(
+                    WatchdogTimeout(
+                        f"job exceeded its {deadline_s}s watchdog deadline",
+                        kernel=future.label,
+                        device=future.device.ordinal,
+                        deadline_s=deadline_s,
+                    )
+                )
+                with self._lock:
+                    self._watched.pop(key, None)
+                if not timed_out:
+                    continue  # lost the race to a real completion
+                self._report.record(
+                    "watchdog_timeouts",
+                    f"{future.label} on device {future.device.ordinal} "
+                    f"(deadline {deadline_s}s)",
+                )
+                if self._on_timeout is not None:
+                    self._on_timeout(future)
+            with self._lock:
+                idle = not self._watched
+            if idle:
+                # Sleep until the next watch() instead of spinning.
+                self._wake.wait(timeout=1.0)
+            else:
+                self._stop.wait(timeout=self._poll_s)

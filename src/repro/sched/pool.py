@@ -14,6 +14,13 @@ Placement is pluggable: ``round_robin`` (default), ``least_loaded``
 explicit ``device=`` per submission (a pool-relative index or one of the
 pool's devices).
 
+Futures are single-assignment: the first writer (worker result, worker
+exception, :meth:`KernelFuture.cancel`, or a watchdog timeout from
+:mod:`repro.resilience`) wins and later completions are dropped as
+stale.  Queued-but-unstarted jobs can be cancelled — explicitly, by
+``close(drain=False)``, or by a device reset, which drains that device's
+queue deterministically instead of racing the worker thread.
+
 Tracing: each worker runs its jobs under a ``device:<ordinal>`` track, so
 the Perfetto export of a multi-device run shows one row per device with
 the kernels (and their queued/exec stream spans) nested under it.
@@ -24,9 +31,10 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import warnings
 from typing import Callable, List, Optional, Sequence, Union
 
-from ..errors import SchedulerError
+from ..errors import CancelledError, SchedulerError
 from ..gpu.device import (
     A100_SPEC,
     Device,
@@ -44,6 +52,9 @@ _future_ids = itertools.count(1)
 #: What ``DevicePool(placement=...)`` accepts.
 PlacementPolicy = Union[str, Callable[["DevicePool"], Device]]
 
+#: Future lifecycle states (internal).
+_PENDING, _RUNNING, _DONE = "pending", "running", "done"
+
 
 class KernelFuture:
     """The result handle for one pool submission.
@@ -55,6 +66,11 @@ class KernelFuture:
     ``device`` and ``track`` record where the job ran (``track`` is the
     trace track pool workers span under, for joining futures against a
     Perfetto export).
+
+    Completion is first-writer-wins: once the future is done its result
+    never changes, so a worker finishing a job the watchdog already timed
+    out (or a caller already cancelled) is recorded as a stale completion
+    rather than a second answer.
     """
 
     def __init__(self, label: str, device: Device) -> None:
@@ -65,17 +81,74 @@ class KernelFuture:
         self._done = threading.Event()
         self._result = None
         self._exception: Optional[BaseException] = None
+        self._state = _PENDING
+        self._state_lock = threading.Lock()
+        #: Invoked (no args) when a completion arrives after the future
+        #: is already done — e.g. the worker finishing a job the watchdog
+        #: timed out.  The resilience layer counts these.
+        self.stale_callback: Optional[Callable[[], None]] = None
 
     # --- worker side --------------------------------------------------------
-    def _set_result(self, value) -> None:
-        self._result = value
-        self._done.set()
+    def _start(self) -> bool:
+        """Transition pending -> running; ``False`` if already cancelled."""
+        with self._state_lock:
+            if self._state != _PENDING:
+                return False
+            self._state = _RUNNING
+            return True
 
-    def _set_exception(self, exc: BaseException) -> None:
-        self._exception = exc
+    def _set_result(self, value) -> bool:
+        """Record success; ``False`` (stale, dropped) if already done."""
+        with self._state_lock:
+            if self._state == _DONE:
+                self._notify_stale()
+                return False
+            self._state = _DONE
+            self._result = value
         self._done.set()
+        return True
+
+    def _set_exception(self, exc: BaseException) -> bool:
+        """Record failure; ``False`` (stale, dropped) if already done."""
+        with self._state_lock:
+            if self._state == _DONE:
+                self._notify_stale()
+                return False
+            self._state = _DONE
+            self._exception = exc
+        self._done.set()
+        return True
+
+    def _notify_stale(self) -> None:
+        callback = self.stale_callback
+        if callback is not None:
+            callback()
 
     # --- caller side --------------------------------------------------------
+    def cancel(self, reason: str = "cancelled", *, retryable: bool = False) -> bool:
+        """Cancel the job if it has not started executing yet.
+
+        Returns ``True`` when the future now resolves to
+        :class:`~repro.errors.CancelledError`; ``False`` when the job is
+        already running or finished (a running job cannot be interrupted —
+        that is the watchdog's department).  The owning worker skips
+        cancelled jobs when it dequeues them.
+        """
+        with self._state_lock:
+            if self._state != _PENDING:
+                return False
+            self._state = _DONE
+            self._exception = CancelledError(
+                f"job {self.label!r} on device {self.device.ordinal}: {reason}",
+                retryable=retryable,
+            )
+        self._done.set()
+        return True
+
+    def cancelled(self) -> bool:
+        """Whether the future resolved to a :class:`CancelledError`."""
+        return self._done.is_set() and isinstance(self._exception, CancelledError)
+
     def done(self) -> bool:
         """Whether the job has finished (successfully or not)."""
         return self._done.is_set()
@@ -103,6 +176,7 @@ class KernelFuture:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = (
             "pending" if not self._done.is_set()
+            else "cancelled" if self.cancelled()
             else "failed" if self._exception is not None
             else "done"
         )
@@ -144,14 +218,22 @@ class DevicePool:
             )
         self._placement = placement
         self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
         self._closed = False
         self._rr = 0
         self.devices: List[Device] = [add_device(spec) for spec in specs]
         self._pending = {d.ordinal: 0 for d in self.devices}
+        # Epoch per device: a device reset bumps it, and the worker
+        # cancels any dequeued job carrying a stale epoch — that is how
+        # "reset drains the queue" is implemented without two threads
+        # racing for the same queue items.
+        self._epochs = {d.ordinal: 0 for d in self.devices}
+        self._running_label = {d.ordinal: None for d in self.devices}
         self._queues = {
             d.ordinal: queue.Queue() for d in self.devices
         }
         self._workers = []
+        self._worker_by_ordinal = {}
         for device in self.devices:
             worker = threading.Thread(
                 target=self._run_worker,
@@ -161,6 +243,8 @@ class DevicePool:
             )
             worker.start()
             self._workers.append(worker)
+            self._worker_by_ordinal[device.ordinal] = worker
+            device.add_reset_hook(self._on_device_reset)
 
     # --- worker loop --------------------------------------------------------
     def _run_worker(self, device: Device, jobs: "queue.Queue") -> None:
@@ -168,29 +252,80 @@ class DevicePool:
             item = jobs.get()
             if item is None:
                 break
-            future, fn = item
-            tracer = get_tracer()
+            future, fn, epoch = item
             try:
-                if tracer is None:
-                    result = fn(device)
+                with self._lock:
+                    stale = epoch != self._epochs[device.ordinal]
+                if stale:
+                    future.cancel(
+                        "device reset while the job was queued", retryable=True
+                    )
+                    continue
+                if not future._start():
+                    continue  # cancelled while queued
+                with self._lock:
+                    self._running_label[device.ordinal] = future.label
+                tracer = get_tracer()
+                try:
+                    if tracer is None:
+                        result = fn(device)
+                    else:
+                        # Everything the job does (launches, memcpys, stream
+                        # spans via on_track inheritance) lands on this
+                        # device's own track.
+                        track = f"device:{device.ordinal}"
+                        with tracer.on_track(track):
+                            with tracer.span(
+                                f"pool:{future.label}", cat="sched", track=track,
+                                device=device.ordinal,
+                            ):
+                                result = fn(device)
+                except BaseException as exc:  # noqa: BLE001 - handed to the future
+                    future._set_exception(exc)
                 else:
-                    # Everything the job does (launches, memcpys, stream
-                    # spans via on_track inheritance) lands on this
-                    # device's own track.
-                    track = f"device:{device.ordinal}"
-                    with tracer.on_track(track):
-                        with tracer.span(
-                            f"pool:{future.label}", cat="sched", track=track,
-                            device=device.ordinal,
-                        ):
-                            result = fn(device)
-            except BaseException as exc:  # noqa: BLE001 - handed to the future
-                future._set_exception(exc)
-            else:
-                future._set_result(result)
+                    future._set_result(result)
             finally:
                 with self._lock:
                     self._pending[device.ordinal] -= 1
+                    self._running_label[device.ordinal] = None
+                    if self._pending[device.ordinal] == 0:
+                        self._idle.notify_all()
+
+    # --- device reset coordination -----------------------------------------
+    def _on_device_reset(self, device: Device) -> None:
+        """Quiesce one pool worker ahead of a device reset.
+
+        Bumps the device's epoch so every job queued before the reset is
+        cancelled (:class:`CancelledError`, ``retryable=True``) instead of
+        running against the torn-down context, then waits for the worker
+        to drain — including the in-flight job, which is allowed to
+        finish so the teardown never pulls the allocator out from under
+        it.  No-op when the reset comes from the worker itself (a job
+        calling ``ompx_device_reset`` on its own device) or when the pool
+        is already closed.
+        """
+        with self._lock:
+            if self._closed or device.ordinal not in self._epochs:
+                return
+            self._epochs[device.ordinal] += 1
+        if threading.current_thread() is self._worker_by_ordinal.get(device.ordinal):
+            return  # the worker is resetting its own device; don't self-join
+        if not self.wait_idle(device, timeout=30.0):
+            warnings.warn(
+                f"device {device.ordinal} reset proceeding while its pool "
+                f"worker is still running "
+                f"{self._running_label.get(device.ordinal)!r}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def wait_idle(self, device, timeout: Optional[float] = None) -> bool:
+        """Block until a pool device has no queued or running jobs."""
+        target = self._resolve_pool_device(device)
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._pending[target.ordinal] == 0, timeout
+            )
 
     # --- placement ----------------------------------------------------------
     def _resolve_pool_device(self, device) -> Device:
@@ -250,7 +385,8 @@ class DevicePool:
             if self._closed:
                 raise SchedulerError("submit on a closed DevicePool")
             self._pending[target.ordinal] += 1
-        self._queues[target.ordinal].put((future, fn))
+            epoch = self._epochs[target.ordinal]
+        self._queues[target.ordinal].put((future, fn, epoch))
         return future
 
     def submit(
@@ -309,22 +445,49 @@ class DevicePool:
         for fence in fences:
             fence.wait()
 
-    def close(self) -> None:
+    def close(self, *, drain: bool = True, timeout: float = 10.0) -> None:
         """Stop the workers and unregister the pool's devices.
 
-        Outstanding futures finish first (close is a drain, not an
-        abort).  Pool :class:`DevicePointer` handles become invalid, as
-        after ``cudaDeviceReset``.
+        With ``drain=True`` (the default) outstanding futures finish
+        first; with ``drain=False`` every queued-but-unstarted job is
+        cancelled (its future resolves to
+        :class:`~repro.errors.CancelledError`) and only the jobs already
+        executing run to completion.  A worker that fails to join within
+        ``timeout`` seconds is reported with the label of the job it is
+        stuck on (:class:`RuntimeWarning`) instead of being silently
+        abandoned.  Pool :class:`DevicePointer` handles become invalid,
+        as after ``cudaDeviceReset``.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            if not drain:
+                # Stale-epoch jobs are cancelled by the worker as it
+                # drains to the shutdown sentinel.
+                for ordinal in self._epochs:
+                    self._epochs[ordinal] += 1
         for device in self.devices:
             self._queues[device.ordinal].put(None)
-        for worker in self._workers:
-            worker.join(timeout=10)
+        stuck = []
+        for device, worker in zip(self.devices, self._workers):
+            worker.join(timeout=timeout)
+            if worker.is_alive():
+                with self._lock:
+                    label = self._running_label.get(device.ordinal)
+                stuck.append((device.ordinal, label))
+        if stuck:
+            detail = ", ".join(
+                f"device {ordinal} (stuck on {label!r})" for ordinal, label in stuck
+            )
+            warnings.warn(
+                f"DevicePool.close: {len(stuck)} worker(s) failed to join "
+                f"within {timeout}s: {detail}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         for device in self.devices:
+            device.remove_reset_hook(self._on_device_reset)
             remove_device(device.ordinal)
 
     def __enter__(self) -> "DevicePool":

@@ -36,8 +36,17 @@ def pytest_runtest_call(item):
     SIGALRM does not exist (Windows).
     """
     marker = item.get_closest_marker("timeout")
+    # Resilience tests exercise watchdogs, healing and retries — the one
+    # part of the library whose *bugs* look like hangs.  They get a
+    # generous default deadline even without an explicit timeout marker.
+    if marker is None and item.get_closest_marker("resilience") is not None:
+        seconds = 120
+    elif marker is not None:
+        seconds = int(marker.args[0]) if marker.args else 60
+    else:
+        seconds = None
     usable = (
-        marker is not None
+        seconds is not None
         and not _HAVE_TIMEOUT_PLUGIN
         and hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
@@ -45,7 +54,6 @@ def pytest_runtest_call(item):
     if not usable:
         yield
         return
-    seconds = int(marker.args[0]) if marker.args else 60
 
     def on_alarm(signum, frame):
         raise TimeoutError(

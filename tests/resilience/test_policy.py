@@ -1,0 +1,141 @@
+"""RetryPolicy: failure classification and deterministic backoff."""
+
+from random import Random
+
+import pytest
+
+from repro.errors import (
+    CancelledError,
+    GpuError,
+    KernelFault,
+    LaunchError,
+    MemcheckError,
+    OutOfMemoryError,
+    StickyContextError,
+    WatchdogTimeout,
+)
+from repro.resilience import RetryPolicy
+from repro.resilience.policy import exception_chain
+
+pytestmark = [pytest.mark.resilience]
+
+
+class TestExceptionChain:
+    def test_walks_cause_links(self):
+        fault = KernelFault("illegal access")
+        launch = LaunchError("launch failed")
+        launch.__cause__ = fault
+        outer = GpuError("queued work failed")
+        outer.__cause__ = launch
+        chain = list(exception_chain(outer))
+        assert outer in chain and launch in chain and fault in chain
+
+    def test_walks_context_links(self):
+        inner = OutOfMemoryError("oom")
+        outer = GpuError("cleanup failed")
+        outer.__context__ = inner  # implicit chaining (no `from`)
+        assert inner in list(exception_chain(outer))
+
+    def test_walks_sticky_original(self):
+        fault = KernelFault("the original fault")
+        sticky = StickyContextError("context poisoned", original=fault)
+        sticky.__cause__ = None
+        assert fault in list(exception_chain(sticky))
+
+    def test_cycles_terminate(self):
+        a = GpuError("a")
+        b = GpuError("b")
+        a.__cause__ = b
+        b.__cause__ = a
+        chain = list(exception_chain(a))
+        assert chain.count(a) == 1 and chain.count(b) == 1
+
+
+class TestClassification:
+    policy = RetryPolicy()
+
+    def _wrapped(self, inner):
+        outer = GpuError("stream 'default@dev4': queued work failed")
+        outer.__cause__ = inner
+        return outer
+
+    def test_kernel_fault_is_retryable(self):
+        assert self.policy.is_retryable(KernelFault("boom"))
+        launch = LaunchError("wrapped")
+        launch.__cause__ = KernelFault("boom")
+        assert self.policy.is_retryable(self._wrapped(launch))
+
+    def test_sticky_context_is_retryable(self):
+        assert self.policy.is_retryable(StickyContextError("poisoned"))
+
+    def test_watchdog_timeout_is_retryable(self):
+        assert self.policy.is_retryable(
+            WatchdogTimeout("hung", kernel="k", device=3, deadline_s=5.0)
+        )
+
+    def test_memcheck_is_never_retryable(self):
+        # Even though MemcheckError subclasses KernelFault, the deny list
+        # wins: a sanitizer violation is a deterministic kernel bug.
+        assert not self.policy.is_retryable(MemcheckError("oob store"))
+        assert not self.policy.is_retryable(self._wrapped(MemcheckError("oob")))
+
+    def test_cancellation_respects_the_retryable_flag(self):
+        assert self.policy.is_retryable(
+            CancelledError("reset drained the queue", retryable=True)
+        )
+        assert not self.policy.is_retryable(
+            CancelledError("user cancelled", retryable=False)
+        )
+
+    def test_bare_launch_error_is_a_config_bug(self):
+        # A LaunchError with no kernel fault beneath it means the launch
+        # itself was malformed; retrying replays the same mistake.
+        assert not self.policy.is_retryable(LaunchError("bad grid dims"))
+
+    def test_other_gpu_errors_are_retryable(self):
+        assert self.policy.is_retryable(OutOfMemoryError("synthetic ENOMEM"))
+        assert self.policy.is_retryable(GpuError("aborted enqueue"))
+
+    def test_host_side_bugs_are_not_retryable(self):
+        assert not self.policy.is_retryable(ValueError("host bug"))
+        assert not self.policy.is_retryable(KeyError("host bug"))
+
+    def test_custom_deny_list(self):
+        policy = RetryPolicy(deny=(OutOfMemoryError,))
+        assert not policy.is_retryable(OutOfMemoryError("oom"))
+        assert policy.is_retryable(MemcheckError("oob"))  # default deny replaced
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.001, multiplier=2.0, max_backoff_s=0.004, jitter=0.0
+        )
+        rng = Random(0)
+        delays = [policy.backoff_s(k, rng) for k in range(1, 6)]
+        assert delays == [0.001, 0.002, 0.004, 0.004, 0.004]
+
+    def test_jitter_is_seed_deterministic(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff_s(k, Random(7)) for k in range(1, 5)]
+        b = [policy.backoff_s(k, Random(7)) for k in range(1, 5)]
+        assert a == b
+
+    def test_jitter_is_bounded(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.01, multiplier=1.0, max_backoff_s=0.01, jitter=0.5
+        )
+        rng = Random(3)
+        for k in range(1, 50):
+            delay = policy.backoff_s(k, rng)
+            assert 0.01 <= delay <= 0.015
+
+
+def test_watchdog_timeout_str_names_kernel_device_deadline():
+    exc = WatchdogTimeout(
+        "job exceeded its deadline", kernel="adam:shard1", device=4, deadline_s=5.0
+    )
+    text = str(exc)
+    assert "adam:shard1" in text
+    assert "4" in text
+    assert "5.0" in text

@@ -1,0 +1,100 @@
+"""Watchdog: hung jobs become structured WatchdogTimeout failures."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import WatchdogTimeout
+from repro.gpu import get_device
+from repro.resilience import Watchdog
+from repro.resilience.report import RecoveryReport
+from repro.sched import KernelFuture
+
+pytestmark = [pytest.mark.resilience]
+
+
+@pytest.fixture
+def report():
+    return RecoveryReport()
+
+
+def _future(label="job"):
+    return KernelFuture(label, get_device(0))
+
+
+def test_expired_deadline_fails_the_future(report):
+    fired = []
+    with Watchdog(report=report, on_timeout=fired.append, poll_s=0.002) as dog:
+        future = _future("hung-kernel")
+        dog.watch(future, 0.03)
+        assert future.wait(timeout=5)
+    exc = future.exception()
+    assert isinstance(exc, WatchdogTimeout)
+    assert exc.kernel == "hung-kernel"
+    assert exc.device == future.device.ordinal
+    assert exc.deadline_s == 0.03
+    assert report["watchdog_timeouts"] == 1
+    assert fired == [future]
+
+
+def test_completed_future_is_left_alone(report):
+    with Watchdog(report=report, poll_s=0.002) as dog:
+        future = _future("quick")
+        dog.watch(future, 0.05)
+        future._set_result("done")
+        time.sleep(0.15)  # well past the deadline
+        assert future.result() == "done"
+    assert report["watchdog_timeouts"] == 0
+    assert dog.watched() == 0  # reaped from the watch table
+
+
+def test_late_completion_is_stale_not_overwriting(report):
+    stale = threading.Event()
+    with Watchdog(report=report, poll_s=0.002) as dog:
+        future = _future("slow")
+        future.stale_callback = stale.set
+        dog.watch(future, 0.02)
+        assert future.wait(timeout=5)
+        # The worker finally "finishes": first-writer-wins keeps the
+        # timeout, and the completion is flagged stale.
+        assert future._set_result("too late") is False
+    assert isinstance(future.exception(), WatchdogTimeout)
+    assert stale.is_set()
+
+
+def test_unwatch_disarms_the_deadline(report):
+    with Watchdog(report=report, poll_s=0.002) as dog:
+        future = _future("pardoned")
+        dog.watch(future, 0.05)
+        dog.unwatch(future)
+        time.sleep(0.15)
+        assert not future.done()
+    assert report["watchdog_timeouts"] == 0
+
+
+def test_deadline_must_be_positive(report):
+    dog = Watchdog(report=report)
+    with pytest.raises(ValueError):
+        dog.watch(_future(), 0.0)
+    with pytest.raises(ValueError):
+        dog.watch(_future(), -1.0)
+    dog.stop()
+
+
+def test_stop_is_idempotent(report):
+    dog = Watchdog(report=report, poll_s=0.002)
+    dog.start()
+    dog.stop()
+    dog.stop()
+
+
+def test_many_futures_one_thread(report):
+    with Watchdog(report=report, poll_s=0.002) as dog:
+        futures = [_future(f"f{i}") for i in range(8)]
+        for future in futures:
+            dog.watch(future, 0.03)
+        for future in futures:
+            assert future.wait(timeout=5)
+    assert report["watchdog_timeouts"] == 8
+    assert all(isinstance(f.exception(), WatchdogTimeout) for f in futures)

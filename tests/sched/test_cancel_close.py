@@ -1,0 +1,149 @@
+"""KernelFuture.cancel and non-draining close: queued work can be abandoned.
+
+The cancellation contract: only *queued* jobs are cancellable (a running
+job cannot be interrupted — that is the watchdog's department), the
+worker skips cancelled jobs instead of executing them, and
+``close(drain=False)`` cancels everything still in the queues while the
+in-flight jobs run to completion.  A worker that fails to join is
+reported with the label of the job it is stuck on, never silently
+abandoned.
+"""
+
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.errors import CancelledError
+from repro.sched import DevicePool
+
+pytestmark = [pytest.mark.sched, pytest.mark.timeout(60)]
+
+
+def _blocker(gate: threading.Event):
+    """A job that parks its worker until the test releases the gate."""
+
+    def job(device):
+        gate.wait(timeout=30)
+        return "unblocked"
+
+    return job
+
+
+class TestCancel:
+    def test_cancel_pending_job_skips_execution(self):
+        gate = threading.Event()
+        ran = []
+        with DevicePool(1) as pool:
+            head = pool.submit_call(_blocker(gate), label="head")
+            queued = pool.submit_call(
+                lambda dev: ran.append(dev.ordinal), label="victim"
+            )
+            assert queued.cancel("not needed anymore") is True
+            assert queued.cancelled()
+            gate.set()
+            assert head.result(timeout=10) == "unblocked"
+            pool.synchronize()
+        exc = queued.exception()
+        assert isinstance(exc, CancelledError)
+        assert "victim" in str(exc)
+        assert "not needed anymore" in str(exc)
+        assert ran == []  # the worker dequeued it and skipped it
+
+    def test_cancel_is_not_retryable_by_default(self):
+        gate = threading.Event()
+        with DevicePool(1) as pool:
+            head = pool.submit_call(_blocker(gate), label="head")
+            queued = pool.submit_call(lambda dev: None, label="victim")
+            assert queued.cancel()
+            gate.set()
+            head.wait(10)
+        assert queued.exception().retryable is False
+
+    def test_cancel_retryable_flag_is_preserved(self):
+        gate = threading.Event()
+        with DevicePool(1) as pool:
+            head = pool.submit_call(_blocker(gate), label="head")
+            queued = pool.submit_call(lambda dev: None, label="victim")
+            assert queued.cancel("rebalancing", retryable=True)
+            gate.set()
+            head.wait(10)
+        assert queued.exception().retryable is True
+
+    def test_cancel_running_job_returns_false(self):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def job(device):
+            started.set()
+            gate.wait(timeout=30)
+            return 42
+
+        with DevicePool(1) as pool:
+            future = pool.submit_call(job, label="running")
+            assert started.wait(10)
+            assert future.cancel() is False
+            gate.set()
+            assert future.result(timeout=10) == 42
+            assert not future.cancelled()
+
+    def test_cancel_done_job_returns_false(self):
+        with DevicePool(1) as pool:
+            future = pool.submit_call(lambda dev: "done", label="quick")
+            assert future.result(timeout=10) == "done"
+            assert future.cancel() is False
+            assert future.result() == "done"  # outcome unchanged
+
+
+class TestCloseDrainFalse:
+    def test_queued_jobs_are_cancelled_not_executed(self):
+        gate = threading.Event()
+        ran = []
+        pool = DevicePool(1)
+        head = pool.submit_call(_blocker(gate), label="head")
+        queued = [
+            pool.submit_call(
+                lambda dev, i=i: ran.append(i), label=f"queued{i}"
+            )
+            for i in range(3)
+        ]
+
+        closer = threading.Thread(target=pool.close, kwargs={"drain": False})
+        closer.start()
+        time.sleep(0.1)  # let close() mark the epochs before unblocking
+        gate.set()
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+
+        assert head.result(timeout=10) == "unblocked"  # in-flight completes
+        for future in queued:
+            exc = future.exception(timeout=10)
+            assert isinstance(exc, CancelledError)
+            assert exc.retryable is True
+        assert ran == []
+
+    def test_drain_true_still_runs_everything(self):
+        ran = []
+        with DevicePool(1) as pool:
+            for i in range(4):
+                pool.submit_call(lambda dev, i=i: ran.append(i), label=f"j{i}")
+        assert ran == [0, 1, 2, 3]
+
+
+class TestCloseStuckWorker:
+    def test_close_warns_with_the_stuck_job_label(self):
+        gate = threading.Event()
+        pool = DevicePool(1)
+        pool.submit_call(_blocker(gate), label="wedged-kernel")
+        time.sleep(0.05)  # ensure the worker has dequeued and started it
+        with pytest.warns(RuntimeWarning, match="wedged-kernel"):
+            pool.close(timeout=0.2)
+        gate.set()  # let the daemon worker unwind
+
+    def test_clean_close_does_not_warn(self):
+        pool = DevicePool(2)
+        pool.submit_call(lambda dev: None, label="quick").wait(10)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            pool.close()

@@ -70,6 +70,28 @@ def test_lint_covers_the_scheduler_package():
     assert {"__init__.py", "pool.py", "shard.py", "model.py"} <= sched_files
 
 
+def test_lint_covers_the_resilience_package():
+    # Same guarantee for repro.resilience: the walk must see every module
+    # of the recovery layer, whose raises are exactly the ones callers
+    # classify with ``except ReproError``.
+    resilience_files = {p.name for p in sorted(SRC_ROOT.rglob("*.py"))
+                        if p.parent.name == "resilience"}
+    assert {
+        "__init__.py", "policy.py", "health.py", "watchdog.py",
+        "pool.py", "report.py",
+    } <= resilience_files
+
+
+def test_resilience_errors_slot_into_the_hierarchy():
+    # WatchdogTimeout must be catchable as a GpuError (it stands in for a
+    # device-side failure) and CancelledError as a SchedulerError (it is
+    # the scheduler, not the device, that refused the job).
+    assert issubclass(errors.WatchdogTimeout, errors.GpuError)
+    assert issubclass(errors.CancelledError, errors.SchedulerError)
+    assert "WatchdogTimeout" in errors.__all__
+    assert "CancelledError" in errors.__all__
+
+
 def test_scheduler_error_is_a_repro_error():
     assert issubclass(errors.SchedulerError, errors.ReproError)
     assert "SchedulerError" in errors.__all__
