@@ -58,7 +58,7 @@ def _run_forced(app, params, engine_name, device):
     launch_mod.select_engine = lambda *a, **k: proxy
     try:
         return _timed(
-            lambda: app.run_functional(VersionLabel.NATIVE_LLVM, params, device)
+            lambda: app.run_single(VersionLabel.NATIVE_LLVM, params, device)
         )
     finally:
         launch_mod.select_engine = original

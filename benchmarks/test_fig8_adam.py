@@ -42,5 +42,5 @@ def test_fig8_adam_functional_kernel(benchmark):
     app = Adam()
     params = app.functional_params()
     device = get_device(0)
-    result = benchmark(lambda: app.run_functional(VersionLabel.OMPX, params, device))
+    result = benchmark(lambda: app.run_single(VersionLabel.OMPX, params, device))
     assert app.verify(result, params)

@@ -30,7 +30,7 @@ def test_fig8_xsbench_functional_kernel(benchmark):
     device = get_device(0)
 
     def run():
-        return app.run_functional(VersionLabel.OMPX, params, device)
+        return app.run_single(VersionLabel.OMPX, params, device)
 
     result = benchmark(run)
     assert app.verify(result, params)

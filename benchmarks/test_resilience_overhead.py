@@ -26,7 +26,7 @@ WARMUP = 2
 def _time_sharded(app, params, pool, rounds: int) -> float:
     start = time.perf_counter()
     for _ in range(rounds):
-        app.run_functional_sharded(VersionLabel.OMPX, params, pool)
+        app.run_sharded(VersionLabel.OMPX, params, pool)
     return time.perf_counter() - start
 
 

@@ -94,7 +94,7 @@ def test_functional_sharded_run_traces_one_track_per_device(tmp_path):
     with DevicePool(3) as pool:
         expected_tracks = {f"device:{d.ordinal}" for d in pool.devices}
         with trace.tracing() as tracer:
-            result = app.run_functional_sharded(VersionLabel.OMPX, params, pool)
+            result = app.run_sharded(VersionLabel.OMPX, params, pool)
         assert app.verify(result, params)
         tracer.export_chrome(out)
     device_tracks = {s.track for s in tracer.spans

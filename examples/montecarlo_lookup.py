@@ -24,7 +24,7 @@ def main() -> None:
     for device_ordinal, device_name in ((0, "A100"), (1, "MI250")):
         device = get_device(device_ordinal)
         for variant in app.functional_variants:
-            result = app.run_functional(variant, params, device)
+            result = app.run_single(variant, params, device)
             ok = app.verify(result, params)
             status = "ok" if ok else "MISMATCH"
             print(f"  [{device_name}] {variant:<12} checksum={result.checksum:14.4f}  {status}")

@@ -8,7 +8,14 @@ footprints the Figure 8 harness prices.
 
 from .adam import Adam
 from .aidw import AIDW
-from .common import BenchmarkApp, FunctionalResult, VersionLabel, checksum
+from .common import (
+    BenchmarkApp,
+    ExecutionConfig,
+    FunctionalResult,
+    VersionLabel,
+    checksum,
+    run,
+)
 from .rsbench import RSBench
 from .stencil1d import Stencil1D
 from .su3 import SU3
@@ -21,9 +28,11 @@ __all__ = [
     "Adam",
     "AIDW",
     "BenchmarkApp",
+    "ExecutionConfig",
     "FunctionalResult",
     "VersionLabel",
     "checksum",
+    "run",
     "RSBench",
     "Stencil1D",
     "SU3",

@@ -30,6 +30,13 @@ the same checksum as a fault-free run, followed by the recovery report.
 cross-checks the results.  ``device=`` selectors in ``--faults`` refer
 to pool indices (0..N-1) whenever a pool is in play.
 
+``--serve --tenants N`` runs the app through :mod:`repro.serve`: N
+concurrent tenant sessions submit the same functional run to a
+:class:`~repro.serve.KernelService` over the device pool, identical
+submissions coalesce onto one execution (MPS-style), every tenant's
+future receives the verified result, and the per-tenant service stats
+are printed.  Combine with ``--resilient`` for a self-healing backend.
+
 Examples::
 
     python -m repro.apps xsbench -m event
@@ -39,6 +46,7 @@ Examples::
     python -m repro.apps stencil1d --run --faults "memcpy:truncate@1,bytes=64;seed=1"
     python -m repro.apps adam --run --memcheck
     python -m repro.apps stencil1d --run --devices 4 --resilient --faults 'kernel_fault@3 device=1'
+    python -m repro.apps xsbench --serve --tenants 4
 """
 
 from __future__ import annotations
@@ -50,10 +58,10 @@ from typing import List, Optional, Sequence
 from .. import faults as faults_mod
 from .. import trace as trace_mod
 from ..errors import AppError, FaultSpecError, ReproError
-from ..gpu import get_device
 from ..harness.report import format_seconds
 from ..perf.timing import AMD_SYSTEM, NVIDIA_SYSTEM
-from . import ALL_APPS, VersionLabel
+from . import ALL_APPS, ExecutionConfig, VersionLabel
+from . import run as run_app
 
 _BY_KEY = {
     "xsbench": 0,
@@ -121,7 +129,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--verify", type=int, default=1, choices=[1, 2],
                         help="with --resilient, 2 runs every shard on two "
                              "devices and cross-checks the results")
+    parser.add_argument("--serve", action="store_true",
+                        help="run the app through the repro.serve multi-"
+                             "tenant kernel service: N tenant sessions "
+                             "submit the same functional run concurrently "
+                             "(identical submissions coalesce to one "
+                             "execution) and the service stats are printed")
+    parser.add_argument("--tenants", type=int, default=2, metavar="N",
+                        help="number of tenant sessions for --serve "
+                             "(default 2)")
     flags = parser.parse_args(flag_args)
+    if flags.serve:
+        flags.run = True  # --serve is a functional-run mode
 
     try:
         params = app.parse_args(app_args) if app_args else app.paper_params()
@@ -190,34 +209,26 @@ def _dispatch(app, flags, params) -> int:
         return 2
     if flags.run:
         run_params = app.functional_params()
-        variant = flags.variant
-        if variant == VersionLabel.NATIVE_VENDOR:
-            variant = VersionLabel.NATIVE_LLVM  # same sources
+        if flags.serve:
+            return _run_serve(app, flags, run_params)
+        config = ExecutionConfig(
+            variant=flags.variant,
+            params=run_params,
+            device=flags.device,
+            devices=flags.devices,
+            resilient=flags.resilient,
+            verify=flags.verify,
+        )
         if flags.devices > 1 or flags.resilient:
-            from ..sched import DevicePool
-
             mode = "resilient, " if flags.resilient else ""
             print(f"{app.name}: functional run of variant {flags.variant!r} "
                   f"sharded across {flags.devices} pool devices ({mode}"
                   f"reduced scale: {dict(run_params)})")
-            with DevicePool(flags.devices) as pool:
-                # --faults device= selectors mean pool indices on pooled
-                # runs (resilient or not), so the same spec kills a plain
-                # run and is survived by a --resilient one.
-                plan = faults_mod.active_plan()
-                if plan is not None:
-                    plan.bind_devices(
-                        {i: d.ordinal for i, d in enumerate(pool.devices)}
-                    )
-                if flags.resilient:
-                    result = _run_resilient(app, flags, variant, run_params,
-                                            pool, plan)
-                else:
-                    result = app.run_functional_sharded(variant, run_params, pool)
+            result = _run_pooled(app, config)
         else:
             print(f"{app.name}: functional run of variant {flags.variant!r} on "
                   f"device {flags.device} (reduced scale: {dict(run_params)})")
-            result = app.run_functional(variant, run_params, get_device(flags.device))
+            result = run_app(app, config)
         ok = app.verify(result, run_params)
         print(f"checksum = {result.checksum:.6f}  "
               f"verification {'PASSED' if ok else 'FAILED'}")
@@ -239,22 +250,76 @@ def _dispatch(app, flags, params) -> int:
     return 0
 
 
-def _run_resilient(app, flags, variant, run_params, pool, plan):
-    """Run one app through a ResilientPool, printing the recovery report.
+def _run_pooled(app, config: ExecutionConfig):
+    """Run one app through the unified entry point on a pool.
 
-    The report prints even when recovery ultimately fails (retry budget
-    exhausted, every device retired): what was attempted is exactly what
-    the operator needs to see next to the final error.
+    With ``resilient=True`` the recovery report prints even when recovery
+    ultimately fails (retry budget exhausted, every device retired): what
+    was attempted is exactly what the operator needs to see next to the
+    final error.  Fault-plan ``device=`` selectors are bound to pool
+    indices by :func:`repro.apps.run` itself.
     """
-    from ..resilience import ResilientPool
+    if not config.resilient:
+        return run_app(app, config)
+    from ..resilience import RecoveryReport
 
-    seed = plan.seed if plan is not None else 0
-    with ResilientPool(pool, verify=flags.verify, seed=seed) as rpool:
-        try:
-            return app.run_functional_resilient(variant, run_params, rpool)
-        finally:
-            print()
-            print(rpool.report.summary())
+    report = RecoveryReport()
+    try:
+        return run_app(app, config, report=report)
+    finally:
+        print()
+        print(report.summary())
+
+
+def _run_serve(app, flags, run_params) -> int:
+    """Serve one app's functional run to N concurrent tenant sessions.
+
+    Every tenant submits the *same* (variant, params) job, so the serving
+    tier's request coalescing collapses them onto one execution and fans
+    the result out — the MPS-daemon behaviour, visible in the printed
+    service stats.
+    """
+    from ..serve import KernelService
+
+    variant = flags.variant
+    if variant == VersionLabel.NATIVE_VENDOR:
+        variant = VersionLabel.NATIVE_LLVM  # same sources
+    plan = faults_mod.active_plan()
+    print(f"{app.name}: serving variant {variant!r} to {flags.tenants} "
+          f"tenant(s) over {flags.devices} pool device(s) "
+          f"(reduced scale: {dict(run_params)})")
+    failures = 0
+    with KernelService(
+        devices=flags.devices,
+        resilient=flags.resilient,
+        verify=flags.verify,
+        seed=plan.seed if plan is not None else 0,
+    ) as service:
+        if plan is not None:
+            plan.bind_devices(
+                {i: d.ordinal for i, d in enumerate(service.devices)}
+            )
+        sessions = [
+            service.session(f"tenant{i}") for i in range(flags.tenants)
+        ]
+        futures = [
+            session.submit_app(app, variant=variant, params=run_params)
+            for session in sessions
+        ]
+        for session, future in zip(sessions, futures):
+            try:
+                result = future.result()
+            except ReproError as exc:
+                failures += 1
+                print(f"  {session.tenant}: FAILED ({type(exc).__name__}: {exc})")
+                continue
+            ok = app.verify(result, run_params)
+            failures += 0 if ok else 1
+            print(f"  {session.tenant}: checksum = {result.checksum:.6f}  "
+                  f"verification {'PASSED' if ok else 'FAILED'}")
+        print()
+        print(service.summary())
+    return 1 if failures else 0
 
 
 def _print_scaling(app, flags, params) -> None:

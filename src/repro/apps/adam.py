@@ -184,7 +184,7 @@ class Adam(BenchmarkApp):
         return subs
 
     # --- functional execution ------------------------------------------------------
-    def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:
+    def run_single(self, variant: str, params, device: Device) -> FunctionalResult:
         n, steps, repeat, block = params["n"], params["steps"], params["repeat"], params["block"]
         h_w, h_g, h_m, h_v = (a.copy() for a in self._inputs(params))
         teams = (n + block - 1) // block

@@ -329,7 +329,7 @@ class AIDW(BenchmarkApp):
         return subs
 
     # --- functional execution --------------------------------------------------------
-    def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:
+    def run_single(self, variant: str, params, device: Device) -> FunctionalResult:
         dnum, inum, block = params["dnum"], params["inum"], params["block"]
         dx, dy, dz, ix, iy = self._inputs(params)
         out = np.zeros(inum)

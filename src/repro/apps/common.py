@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import abc
 import functools
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -34,7 +35,14 @@ from ..perf.roofline import Footprint
 from ..perf.timing import SystemConfig, TimeBreakdown, estimate_time
 from ..perf.transfer import TransferPlan
 
-__all__ = ["VersionLabel", "FunctionalResult", "BenchmarkApp", "checksum"]
+__all__ = [
+    "VersionLabel",
+    "FunctionalResult",
+    "BenchmarkApp",
+    "ExecutionConfig",
+    "run",
+    "checksum",
+]
 
 
 class VersionLabel:
@@ -76,6 +84,140 @@ class FunctionalResult:
     valid: bool
 
 
+@dataclass
+class ExecutionConfig:
+    """Everything :func:`run` needs to know about *how* to execute an app.
+
+    One submission surface replaces the old
+    ``run_functional``/``run_functional_sharded``/
+    ``run_functional_resilient`` trio: pick a variant and a scale, and
+    :func:`run` builds (or reuses) the right execution substrate.
+
+    * ``variant``/``params`` — what to run; ``params=None`` means the
+      app's reduced :meth:`BenchmarkApp.functional_params`.
+    * ``device`` — single-device target (an ordinal or a
+      :class:`~repro.gpu.device.Device`; ``None`` is the thread-current
+      device), used when ``devices == 1`` and no pool is given.
+    * ``devices``/``placement`` — size and placement policy of the
+      :class:`~repro.sched.DevicePool` :func:`run` creates for sharded
+      execution.
+    * ``pool`` — an externally owned backend satisfying
+      :class:`~repro.sched.PoolProtocol`; :func:`run` will not close it.
+      A :class:`~repro.resilience.ResilientPool` routes through
+      :meth:`~repro.resilience.ResilientPool.run_to_completion`
+      automatically.
+    * ``resilient``/``verify``/``seed``/``report`` — wrap the pool in
+      :class:`~repro.resilience.ResilientPool` (``verify=2`` adds the
+      dual-device cross-check); ``seed=None`` inherits the active fault
+      plan's seed so chaos replays stay deterministic.  Pass a
+      :class:`~repro.resilience.RecoveryReport` to observe recovery
+      actions even when the run ultimately fails.
+    * ``trace`` — install a process tracer for the duration when none is
+      active; the tracer is attached to the result as ``result.tracer``.
+    """
+
+    variant: str = VersionLabel.OMPX
+    params: Optional[Mapping[str, object]] = None
+    device: object = None
+    devices: int = 1
+    placement: object = "round_robin"
+    pool: Optional[object] = None
+    resilient: bool = False
+    verify: int = 1
+    seed: Optional[int] = None
+    report: Optional[object] = None
+    trace: bool = False
+
+
+def run(app: "BenchmarkApp", config: Optional[ExecutionConfig] = None,
+        **overrides) -> FunctionalResult:
+    """Run one app functionally — the unified submission entry point.
+
+    ``run(app)`` executes the ompx variant on the current device at the
+    app's functional scale.  Keyword overrides are applied on top of
+    ``config`` (``run(app, devices=4, resilient=True)`` works without
+    building an :class:`ExecutionConfig` by hand).  The CLI
+    (``python -m repro.apps``), the serving tier (:mod:`repro.serve`)
+    and the deprecated ``run_functional*`` shims all route through here.
+    """
+    config = config or ExecutionConfig()
+    if overrides:
+        config = replace(config, **overrides)
+    params = config.params if config.params is not None else app.functional_params()
+    variant = config.variant
+    if variant == VersionLabel.NATIVE_VENDOR:
+        variant = VersionLabel.NATIVE_LLVM  # same sources, different toolchain
+
+    tracer = None
+    if config.trace:
+        from .. import trace as trace_mod
+
+        if trace_mod.get_tracer() is None:
+            tracer = trace_mod.enable()
+    try:
+        result = _run_with_config(app, variant, params, config)
+    finally:
+        if tracer is not None:
+            from .. import trace as trace_mod
+
+            trace_mod.disable()
+    result.tracer = tracer
+    return result
+
+
+def _run_with_config(app, variant, params, config: ExecutionConfig) -> FunctionalResult:
+    if config.pool is not None:
+        return _run_on_pool(app, variant, params, config.pool)
+    if config.devices > 1 or config.resilient:
+        from ..sched import DevicePool
+
+        with DevicePool(config.devices, placement=config.placement) as pool:
+            _bind_fault_plan(pool)
+            if not config.resilient:
+                return app.run_sharded(variant, params, pool)
+            from ..resilience import ResilientPool
+
+            seed = config.seed if config.seed is not None else _active_plan_seed()
+            with ResilientPool(
+                pool, verify=config.verify, seed=seed, report=config.report
+            ) as rpool:
+                return _run_on_pool(app, variant, params, rpool)
+    from ..gpu.device import resolve_placement
+
+    return app.run_single(variant, params, resolve_placement(config.device))
+
+
+def _run_on_pool(app, variant, params, pool) -> FunctionalResult:
+    """Dispatch onto an already-built backend (plain or resilient)."""
+    if hasattr(pool, "run_to_completion"):
+        return pool.run_to_completion(
+            lambda rp: app.run_sharded(variant, params, rp),
+            label=f"{app.name}:{variant}",
+        )
+    return app.run_sharded(variant, params, pool)
+
+
+def _bind_fault_plan(pool) -> None:
+    """Re-map ``device=`` fault selectors onto the pool's live ordinals.
+
+    Spec-level selectors mean *pool indices* whenever a pool is in play
+    (the CLI contract since PR 5), so the same spec kills a plain pooled
+    run and is survived by a resilient one.
+    """
+    from ..faults import active_plan
+
+    plan = active_plan()
+    if plan is not None:
+        plan.bind_devices({i: d.ordinal for i, d in enumerate(pool.devices)})
+
+
+def _active_plan_seed() -> int:
+    from ..faults import active_plan
+
+    plan = active_plan()
+    return plan.seed if plan is not None else 0
+
+
 class BenchmarkApp(abc.ABC):
     """One of the six HeCBench applications."""
 
@@ -115,10 +257,15 @@ class BenchmarkApp(abc.ABC):
 
     # --- functional execution ----------------------------------------------------
     @abc.abstractmethod
-    def run_functional(
+    def run_single(
         self, variant: str, params: Mapping[str, object], device: Device
     ) -> FunctionalResult:
-        """Run one variant on the virtual GPU and verify it."""
+        """Run one variant on one virtual GPU — the per-app primitive.
+
+        This is the hook each application implements; callers go through
+        :func:`run` (or the serving tier), which handles device
+        resolution, sharding and resilience around it.
+        """
 
     #: Variants the app implements functionally; NATIVE_VENDOR shares the
     #: NATIVE_LLVM sources (only the toolchain differs).
@@ -134,7 +281,7 @@ class BenchmarkApp(abc.ABC):
     ) -> Sequence[Mapping[str, object]]:
         """Split one functional problem into per-device parameter dicts.
 
-        Each returned mapping must be runnable by :meth:`run_functional`
+        Each returned mapping must be runnable by :meth:`run_single`
         on its own device, and concatenating the per-shard outputs in
         submission order must reproduce the single-device output exactly.
         Apps implement this by building the full problem once (so the RNG
@@ -148,14 +295,14 @@ class BenchmarkApp(abc.ABC):
         """Checksum of a gathered output (su3 overrides for complex data)."""
         return checksum(output)
 
-    def run_functional_sharded(
+    def run_sharded(
         self, variant: str, params: Mapping[str, object], pool
     ) -> FunctionalResult:
         """Run one variant data-parallel across a :class:`~repro.sched.DevicePool`.
 
         The default strategy shards the problem axis with
         :meth:`shard_functional_params`, runs each shard's
-        :meth:`run_functional` on its own pool worker, gathers the
+        :meth:`run_single` on its own pool worker, gathers the
         futures, and concatenates the outputs — bit-identical to the
         single-device run because the per-element computation never
         crosses shard boundaries.  Stencil-1D overrides this with a true
@@ -170,17 +317,19 @@ class BenchmarkApp(abc.ABC):
                 "ompx or native variant"
             )
         shards = self.shard_functional_params(params, len(pool))
-        # Shards are self-contained (each run_functional call allocates,
+        # Shards are self-contained (each run_single call allocates,
         # computes and downloads on whatever device it is handed), so
         # they are submitted *unpinned*: round-robin placement spreads
         # them one per device exactly as pinning did, but a resilient
         # pool is free to re-place a retried shard on a surviving device.
-        resilient = hasattr(pool, "health")
+        # ``shard=True`` is part of the PoolProtocol signature: resilient
+        # pools count retries of these jobs as re-executed shards, plain
+        # pools accept and ignore it.
         futures = [
             pool.submit_call(
-                functools.partial(self.run_functional, variant, sub),
+                functools.partial(self.run_single, variant, sub),
                 label=f"{self.name}:shard{i}",
-                **({"shard": True} if resilient else {}),
+                shard=True,
             )
             for i, sub in enumerate(shards)
         ]
@@ -193,23 +342,39 @@ class BenchmarkApp(abc.ABC):
             valid=False,
         )
 
+    # --- deprecated pre-redesign entry points --------------------------------------
+    def _deprecated(self, old: str, new: str) -> None:
+        warnings.warn(
+            f"BenchmarkApp.{old} is deprecated; use {new} (see the README "
+            f"migration note for the unified run() API)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def run_functional(
+        self, variant: str, params: Mapping[str, object], device: Device
+    ) -> FunctionalResult:
+        """Deprecated: use :func:`run` (or :meth:`run_single` as the hook)."""
+        self._deprecated("run_functional", "repro.apps.run(app, ...)")
+        return run(self, ExecutionConfig(variant=variant, params=params,
+                                         device=device))
+
+    def run_functional_sharded(
+        self, variant: str, params: Mapping[str, object], pool
+    ) -> FunctionalResult:
+        """Deprecated: use :func:`run` with ``pool=``/``devices=``."""
+        self._deprecated("run_functional_sharded", "repro.apps.run(app, pool=...)")
+        return self.run_sharded(variant, params, pool)
+
     def run_functional_resilient(
         self, variant: str, params: Mapping[str, object], rpool
     ) -> FunctionalResult:
-        """Run sharded with fault tolerance over a ResilientPool.
-
-        Two layers of recovery compose here.  Individual shard futures
-        retry themselves (heal the device, re-place, re-execute) inside
-        :meth:`run_functional_sharded`; failures that escape the future
-        layer — a stencil halo loop hitting a poisoned device mid-
-        iteration, or a shard pinned to a device that had to be retired —
-        bubble into :meth:`~repro.resilience.ResilientPool.run_to_completion`,
-        which heals every device and re-executes the whole decomposition
-        over the survivors.  Either way the returned output is the same
-        bit-identical concatenation a fault-free run produces.
-        """
+        """Deprecated: use :func:`run` with ``resilient=True`` or ``pool=``."""
+        self._deprecated(
+            "run_functional_resilient", "repro.apps.run(app, resilient=True)"
+        )
         return rpool.run_to_completion(
-            lambda rp: self.run_functional_sharded(variant, params, rp),
+            lambda rp: self.run_sharded(variant, params, rp),
             label=f"{self.name}:{variant}",
         )
 

@@ -249,7 +249,7 @@ class RSBench(BenchmarkApp):
         return subs
 
     # --- functional execution --------------------------------------------------------
-    def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:
+    def run_single(self, variant: str, params, device: Device) -> FunctionalResult:
         data = self._build(params)
         ea, rt, ra, lval, pseudo, nucs, dens, offsets, counts, energies, mats = data
         n_iso = params["n_isotopes"]

@@ -147,7 +147,7 @@ class Stencil1D(BenchmarkApp):
         return out
 
     # --- functional execution ------------------------------------------------------
-    def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:
+    def run_single(self, variant: str, params, device: Device) -> FunctionalResult:
         n, r, block = params["n"], params["radius"], params["block"]
         iterations = params["iterations"]
         h_in = self._input(params)
@@ -189,7 +189,7 @@ class Stencil1D(BenchmarkApp):
         return FunctionalResult(variant=variant, output=result, checksum=checksum(result), valid=False)
 
     # --- multi-device execution ---------------------------------------------------
-    def run_functional_sharded(self, variant: str, params, pool) -> FunctionalResult:
+    def run_sharded(self, variant: str, params, pool) -> FunctionalResult:
         """True domain decomposition: per-iteration halo exchange over peers.
 
         Unlike the embarrassingly parallel apps, a stencil window crosses

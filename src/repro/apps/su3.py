@@ -189,7 +189,7 @@ class SU3(BenchmarkApp):
         return checksum(output.real, output.imag)
 
     # --- functional execution ----------------------------------------------------------
-    def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:
+    def run_single(self, variant: str, params, device: Device) -> FunctionalResult:
         sites, block = params["sites"], params["block"]
         h_a, h_b = self._inputs(params)
         h_c = np.zeros_like(h_a)

@@ -246,7 +246,7 @@ class XSBench(BenchmarkApp):
         return subs
 
     # --- functional execution --------------------------------------------------------
-    def run_functional(self, variant: str, params, device: Device) -> FunctionalResult:
+    def run_single(self, variant: str, params, device: Device) -> FunctionalResult:
         egrid, xs, nucs, dens, offsets, counts, energies, mats = self._build(params)
         n_iso, ngp = params["n_isotopes"], params["n_gridpoints"]
         lookups, block = params["lookups"], params["block"]

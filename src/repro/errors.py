@@ -29,6 +29,9 @@ __all__ = [
     "SchedulerError",
     "CancelledError",
     "WatchdogTimeout",
+    "ServeError",
+    "QueueFull",
+    "SessionClosed",
     "AppError",
 ]
 
@@ -329,6 +332,52 @@ class WatchdogTimeout(GpuError):
         if self.deadline_s is not None:
             extra.append(f"deadline={self.deadline_s}s")
         return f"{base} [{', '.join(extra)}]" if extra else base
+
+
+class ServeError(ReproError):
+    """The kernel-serving tier was misused or a service operation failed.
+
+    Raised for bad service configuration, submissions to a closed
+    service, and dispatch failures the service cannot attribute to the
+    submitting tenant's own job.  Failures *inside* a tenant's job are
+    not wrapped: the dispatcher stores the original
+    :class:`GpuError`/:class:`KernelFault` on the tenant's future so a
+    served run fails exactly like a direct one would."""
+
+
+class QueueFull(ServeError):
+    """A submission was refused by admission control (backpressure).
+
+    Carries the structured context a client needs to retry sensibly:
+    which ``tenant`` was refused, which limit (``scope`` is ``"tenant"``
+    or ``"global"``), and ``retry_after_s`` — the service's estimate of
+    when capacity frees up, derived from its observed service times.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        tenant: "str | None" = None,
+        scope: str = "tenant",
+        retry_after_s: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.scope = scope
+        self.retry_after_s = retry_after_s
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        extra = [f"scope={self.scope}"]
+        if self.tenant is not None:
+            extra.append(f"tenant={self.tenant}")
+        extra.append(f"retry_after={self.retry_after_s:.3f}s")
+        return f"{base} [{', '.join(extra)}]"
+
+
+class SessionClosed(ServeError):
+    """A submission arrived on a closed :class:`repro.serve.Session`."""
 
 
 class AppError(ReproError):

@@ -155,26 +155,19 @@ class LaunchConfig:
 
         ``stream``/``engine`` are keyword-only.  The positional form left
         over from the PR-1 launch unification
-        (``create(grid, block, shared, stream, engine)``) still works but
-        emits :class:`DeprecationWarning`; see the README deprecation
-        timeline for its removal.
+        (``create(grid, block, shared, stream, engine)``) completed its
+        documented deprecation timeline: it now raises
+        :class:`~repro.errors.LaunchError` pointing at the keyword
+        spelling instead of emitting :class:`DeprecationWarning`.
         """
         if legacy:
-            if len(legacy) > 2 or stream is not None or engine is not None:
-                raise LaunchError(
-                    "LaunchConfig.create takes at most (grid, block, "
-                    "shared_bytes) positionally; pass stream=/engine= by "
-                    "keyword"
-                )
-            warnings.warn(
-                "passing stream/engine positionally to LaunchConfig.create "
-                "is deprecated; use stream=/engine= keywords",
-                DeprecationWarning,
-                stacklevel=2,
+            raise LaunchError(
+                "LaunchConfig.create takes at most (grid, block, "
+                "shared_bytes) positionally; the deprecated positional "
+                "stream/engine form was removed — write "
+                "LaunchConfig.create(grid, block, shared_bytes, "
+                "stream=..., engine=...) with keywords"
             )
-            stream = legacy[0]
-            if len(legacy) == 2:
-                engine = legacy[1]
         return cls(as_dim3(grid), as_dim3(block), int(shared_bytes), stream, engine)
 
     @property

@@ -42,7 +42,7 @@ def verification_matrix() -> List[VerificationCell]:
             device = get_device(ordinal)
             for variant in app.functional_variants:
                 try:
-                    result = app.run_functional(variant, params, device)
+                    result = app.run_single(variant, params, device)
                     passed = app.verify(result, params)
                     cells.append(VerificationCell(
                         app=app.name, variant=variant, device=device_name,

@@ -397,8 +397,20 @@ class ResilientPool:
         """Drain every queued job on the wrapped pool (fence per device)."""
         self.pool.synchronize()
 
-    def close(self) -> None:
-        """Stop the watchdog (the wrapped pool is closed by its owner)."""
+    def close(self, *, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop the watchdog; optionally drain the wrapped pool first.
+
+        Signature-compatible with :meth:`DevicePool.close` (the
+        :class:`~repro.sched.PoolProtocol` contract), so backends are
+        interchangeable to layers like ``repro.serve``.  The wrapped
+        pool's lifecycle still belongs to its owner: ``drain=True`` waits
+        (bounded by ``timeout`` per device) for in-flight work before the
+        watchdog stops, but the pool's workers and devices are torn down
+        by :meth:`DevicePool.close`, not here.
+        """
+        if drain:
+            for index in range(len(self.pool.devices)):
+                self.pool.wait_idle(index, timeout=timeout)
         self.watchdog.stop()
 
     def __enter__(self) -> "ResilientPool":

@@ -420,6 +420,7 @@ class DevicePool:
         *,
         device=None,
         label: Optional[str] = None,
+        shard: bool = False,
     ) -> KernelFuture:
         """Run ``fn(device)`` on a pool worker; return a future.
 
@@ -427,7 +428,13 @@ class DevicePool:
         callable gets the placed :class:`Device` and may malloc, memcpy,
         launch and synchronize against it — all on the worker thread, so
         per-device fault selectors and trace tracks see the right device.
+
+        ``shard`` exists for signature compatibility with
+        :meth:`repro.resilience.ResilientPool.submit_call` (where it
+        marks the job for re-executed-shard accounting); a plain pool has
+        no recovery report, so here it is accepted and ignored.
         """
+        del shard  # accounting flag; meaningful only on a ResilientPool
         name = label or getattr(fn, "__name__", "call")
         return self._submit(fn, device, name)
 

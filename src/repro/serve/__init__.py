@@ -1,0 +1,58 @@
+"""repro.serve — multi-tenant kernel serving over the simulated stack.
+
+The paper's extensions make one program performance-portable; this
+package makes the *stack* shareable: a :class:`KernelService` is the
+MPS-daemon analogue for the simulated GPUs, accepting concurrent client
+:class:`Session`\\ s that submit raw kernel launches, host calls and
+whole functional app runs through one unified surface, executed over a
+shared backend — a plain :class:`~repro.sched.DevicePool` or a
+self-healing :class:`~repro.resilience.ResilientPool`, interchangeable
+via :class:`~repro.sched.PoolProtocol`.
+
+Quickstart
+----------
+::
+
+    from repro.serve import KernelService
+    from repro.apps import XSBench
+
+    with KernelService(devices=2, resilient=True) as service:
+        alice = service.session("alice")
+        bob = service.session("bob")
+        fa = alice.submit_app(XSBench(), variant="ompx")
+        fb = bob.submit_app(XSBench(), variant="ompx")   # coalesces
+        assert fb.result().checksum == fa.result().checksum
+        print(service.summary())
+
+or from the command line::
+
+    python -m repro.apps xsbench --serve --tenants 4
+
+What the tier guarantees
+------------------------
+* **Backpressure, not unbounded queues** — per-tenant and global
+  admission bounds; refusals raise :class:`~repro.errors.QueueFull`
+  with ``retry_after_s`` guidance.
+* **Weighted fair share** — stride scheduling gives contending tenants
+  dispatch bandwidth proportional to their
+  :class:`TenantQuota.weight`.
+* **Request coalescing** — identical in-flight submissions share one
+  execution and fan the result to every waiter; failures never fan out
+  (followers re-execute privately).
+* **Tenant isolation** — one tenant's kernel fault surfaces on that
+  tenant's :class:`ServeFuture` only; inherited sticky contexts and
+  reset-drained queues are healed and redispatched transparently, and
+  per-tenant recovery reports stay segregated.
+"""
+
+from .future import ServeFuture
+from .quota import TenantQuota
+from .service import KernelService
+from .session import Session
+
+__all__ = [
+    "KernelService",
+    "Session",
+    "ServeFuture",
+    "TenantQuota",
+]

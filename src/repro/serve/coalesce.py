@@ -1,0 +1,120 @@
+"""Request coalescing keys: deciding when two submissions are one job.
+
+The serving tier collapses identical concurrent submissions onto a
+single execution and fans the result out to every waiter — the
+MPS-daemon behaviour that makes N tenants requesting the same kernel
+cost one launch.  Two submissions are *identical* when their coalesce
+keys match: a structural digest of the kernel identity, the launch
+geometry, and the argument **values** (not object identities, so two
+tenants building equal arrays coalesce).
+
+Safety rule: anything whose value cannot be digested — device pointers,
+open streams, arbitrary host objects, a submission bound to an explicit
+stream — yields **no** key (``None``) and is never coalesced.
+Correctness first, deduplication second: an opaque argument might be
+mutated by the launch, and sharing that execution would leak one
+tenant's state into another's result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Mapping, Sequence
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["digest", "kernel_key", "app_key"]
+
+
+def digest(value) -> Optional[Tuple]:
+    """A hashable structural fingerprint of ``value``, or ``None`` if opaque.
+
+    Digestable: ``None``, booleans, numbers, strings, bytes, NumPy
+    arrays (shape + dtype + content hash), and tuples/lists/mappings of
+    digestable values.  Anything else — device pointers, handles,
+    callables, app objects — returns ``None``, which poisons the whole
+    containing key: the submission is executed privately.
+    """
+    if value is None:
+        return ("none",)
+    if isinstance(value, np.ndarray):
+        body = hashlib.sha256()
+        body.update(np.ascontiguousarray(value).tobytes())
+        return ("ndarray", value.shape, str(value.dtype), body.hexdigest())
+    if isinstance(value, (bool, int, float, complex, str, bytes)):
+        return ("scalar", type(value).__name__, value)
+    if isinstance(value, np.generic):
+        return ("scalar", str(value.dtype), value.item())
+    if isinstance(value, Mapping):
+        items = []
+        for key in sorted(value, key=repr):
+            sub = digest(value[key])
+            if sub is None:
+                return None
+            items.append((repr(key), sub))
+        return ("mapping", tuple(items))
+    if isinstance(value, Sequence):
+        items = []
+        for element in value:
+            sub = digest(element)
+            if sub is None:
+                return None
+            items.append(sub)
+        return ("seq", tuple(items))
+    return None
+
+
+def _kernel_identity(kernel) -> Tuple[str, str]:
+    """A stable name for the kernel function itself (not its wrapper)."""
+    entry = getattr(kernel, "entry", kernel)
+    fn = getattr(entry, "fn", None) or entry
+    return (
+        getattr(fn, "__module__", ""),
+        getattr(fn, "__qualname__", repr(fn)),
+    )
+
+
+def kernel_key(kernel, config, args) -> Optional[Tuple]:
+    """Coalesce key for a raw kernel launch, or ``None`` (never coalesce).
+
+    Keyed on (kernel identity, grid, block, shared bytes, engine,
+    argument digest).  A submission bound to an explicit stream is never
+    coalesced — stream order is per-tenant state the service must not
+    share.
+    """
+    if getattr(config, "stream", None) is not None:
+        return None
+    arg_digest = digest(tuple(args))
+    if arg_digest is None:
+        return None
+    engine = getattr(config, "engine", None)
+    return (
+        "kernel",
+        _kernel_identity(kernel),
+        getattr(config, "grid", None),
+        getattr(config, "block", None),
+        getattr(config, "shared_bytes", 0),
+        None if engine is None else repr(engine),
+        arg_digest,
+    )
+
+
+def app_key(app, variant: str, params) -> Optional[Tuple]:
+    """Coalesce key for a functional app run, or ``None``.
+
+    Keyed on the app *class* (two instances of the same benchmark are
+    the same program), the variant, and the parameter digest — which
+    covers prebuilt problem arrays, so two tenants asking for the same
+    reduced-scale run coalesce while different problem sizes do not.
+    """
+    params_digest = digest(params)
+    if params_digest is None:
+        return None
+    return (
+        "app",
+        type(app).__module__,
+        type(app).__qualname__,
+        variant,
+        params_digest,
+    )

@@ -1,0 +1,114 @@
+"""Per-tenant quotas and runtime state for the serving tier.
+
+A :class:`TenantQuota` is the contract a tenant admission-controls
+against — how much it may queue, how much it may run, and how big its
+share of the backend is when tenants contend.  :class:`TenantState` is
+the live bookkeeping behind one tenant: its queue, its stride-scheduler
+position, its counters, and its own :class:`~repro.resilience.RecoveryReport`
+— segregated per tenant so recovery caused by *your* job never shows up
+in someone else's report (the serving tier's isolation contract).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict
+
+from ..errors import ServeError
+from ..resilience import RecoveryReport
+
+__all__ = ["TenantQuota", "TenantState", "STAT_KEYS"]
+
+#: Per-tenant counters, in the order the service summary prints them.
+STAT_KEYS = (
+    "submitted",
+    "admitted",
+    "rejected",
+    "coalesced",
+    "completed",
+    "failed",
+    "redispatched",
+)
+
+#: Stride-scheduling numerator: a tenant of weight ``w`` advances its
+#: pass value by ``_STRIDE1 / w`` per dispatch, so dispatch frequency is
+#: proportional to weight when tenants contend (Waldspurger & Weihl '95).
+_STRIDE1 = float(1 << 16)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits and fair-share weight for one tenant.
+
+    * ``max_queued`` — submissions the tenant may have waiting; the
+      next one is refused with :class:`~repro.errors.QueueFull`
+      (``scope="tenant"``) until the queue drains.
+    * ``max_inflight`` — submissions the tenant may have executing on
+      the backend at once; excess admitted work waits in the queue even
+      when dispatchers are idle, so one tenant cannot monopolize every
+      device.
+    * ``weight`` — relative share of dispatch bandwidth under
+      contention (weight 3 is dispatched ~3x as often as weight 1).
+    """
+
+    max_queued: int = 32
+    max_inflight: int = 4
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_queued < 1:
+            raise ServeError(
+                f"TenantQuota.max_queued must be >= 1, got {self.max_queued}"
+            )
+        if self.max_inflight < 1:
+            raise ServeError(
+                f"TenantQuota.max_inflight must be >= 1, "
+                f"got {self.max_inflight}"
+            )
+        if not self.weight > 0:
+            raise ServeError(
+                f"TenantQuota.weight must be > 0, got {self.weight}"
+            )
+
+
+class TenantState:
+    """Live serving state for one tenant (guarded by the controller lock).
+
+    Not constructed directly — :meth:`KernelService.session` registers
+    tenants and hands out :class:`~repro.serve.Session` handles bound to
+    this state.
+    """
+
+    def __init__(self, name: str, quota: TenantQuota) -> None:
+        self.name = name
+        self.quota = quota
+        #: Recovery actions attributable to THIS tenant's own jobs
+        #: (retries of its submissions, resets its faults forced).
+        #: Cross-tenant artifacts the dispatcher absorbs transparently
+        #: are recorded on the service-level report instead.
+        self.report = RecoveryReport()
+        self.queue: Deque = deque()
+        self.inflight = 0
+        #: Stride-scheduler virtual time; the ready tenant with the
+        #: smallest pass value is dispatched next.
+        self.pass_value = 0.0
+        self.stride = _STRIDE1 / quota.weight
+        self.stats: Dict[str, int] = {key: 0 for key in STAT_KEYS}
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the tenant's counters plus live queue/inflight depth.
+
+        Callers outside the controller lock get a point-in-time copy,
+        never the live dicts.
+        """
+        snap = dict(self.stats)
+        snap["queued"] = len(self.queue)
+        snap["inflight"] = self.inflight
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TenantState {self.name!r} queued={len(self.queue)} "
+            f"inflight={self.inflight} weight={self.quota.weight}>"
+        )

@@ -1,0 +1,523 @@
+"""KernelService: the multi-tenant serving tier over a device pool.
+
+The service is the stack's MPS daemon: many client sessions submit
+kernel launches, host calls and whole functional app runs through one
+unified surface, and a fixed set of dispatcher threads executes them
+over a shared backend — any :class:`~repro.sched.PoolProtocol`
+implementation, so a plain :class:`~repro.sched.DevicePool` and a
+self-healing :class:`~repro.resilience.ResilientPool` are
+interchangeable.
+
+What the service adds over the pool:
+
+* **Admission control** — bounded per-tenant and global queues; an
+  over-limit submission is refused with
+  :class:`~repro.errors.QueueFull` carrying ``retry_after_s`` guidance
+  instead of queueing unboundedly.
+* **Weighted fair share** — under contention, dispatch bandwidth is
+  proportional to tenant weight (stride scheduling), so a heavy tenant
+  cannot starve a light one.
+* **Request coalescing** — identical in-flight submissions (same
+  kernel, geometry and argument values; same app, variant and
+  parameters) share one execution and every waiter receives the
+  result, like identical inference requests folded by a serving stack.
+* **Tenant isolation** — a fault in one tenant's kernel surfaces on
+  *that tenant's* future only.  The poisoned device is healed before
+  other tenants' work lands on it, and cross-tenant artifacts (a sticky
+  context inherited from someone else's fault, a queue drained by a
+  device reset) are absorbed and redispatched transparently, never
+  delivered.  Per-tenant :class:`~repro.resilience.RecoveryReport`\\ s
+  record only recovery attributable to that tenant's own jobs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+from typing import Dict, List, Optional
+
+from ..errors import (
+    CancelledError,
+    KernelFault,
+    ReproError,
+    ServeError,
+    StickyContextError,
+)
+from ..gpu.device import DeviceSpec
+from ..resilience import RecoveryReport
+from ..resilience.policy import exception_chain
+from ..sched import DevicePool, PoolProtocol
+from ..trace import get_tracer
+from .admission import AdmissionController, Request, trace_count
+from .coalesce import app_key, kernel_key
+from .future import ServeFuture
+from .quota import STAT_KEYS, TenantQuota
+from .session import Session
+
+__all__ = ["KernelService"]
+
+
+class KernelService:
+    """Multi-tenant kernel serving over a (resilient) device pool.
+
+    ``KernelService(devices=4)`` owns a fresh
+    :class:`~repro.sched.DevicePool`; ``resilient=True`` wraps it in a
+    :class:`~repro.resilience.ResilientPool` (with ``verify``/``seed``
+    forwarded) so backend faults are healed before tenants ever see
+    them.  Alternatively pass ``backend=`` — anything satisfying
+    :class:`~repro.sched.PoolProtocol` — and the service will serve over
+    it without taking ownership of its lifecycle.
+
+    The service is a context manager; :meth:`close` drains queued work
+    (``drain=False`` cancels it), stops the dispatchers, and tears down
+    an owned backend.
+    """
+
+    def __init__(
+        self,
+        devices: int = 2,
+        *,
+        backend: Optional[PoolProtocol] = None,
+        specs: Optional[List[DeviceSpec]] = None,
+        placement: object = "round_robin",
+        resilient: bool = False,
+        verify: int = 1,
+        seed: int = 0,
+        default_quota: Optional[TenantQuota] = None,
+        global_max_queued: int = 256,
+        dispatchers: Optional[int] = None,
+        request_timeout_s: float = 120.0,
+        max_redispatch: int = 8,
+    ) -> None:
+        #: Service-level recovery report: backend healing (when the
+        #: service owns a resilient backend) plus cross-tenant artifacts
+        #: the dispatchers absorbed.  Per-tenant reports live on the
+        #: tenants; see :meth:`session`.
+        self.report = RecoveryReport()
+        self._owned = backend is None
+        self._pool: Optional[DevicePool] = None
+        if backend is None:
+            self._pool = DevicePool(devices, specs=specs, placement=placement)
+            if resilient:
+                from ..resilience import ResilientPool
+
+                backend = ResilientPool(
+                    self._pool, verify=verify, seed=seed, report=self.report
+                )
+            else:
+                backend = self._pool
+        elif not isinstance(backend, PoolProtocol):
+            raise ServeError(
+                f"backend must satisfy repro.sched.PoolProtocol "
+                f"(submit/submit_call/devices/close), got "
+                f"{type(backend).__name__}"
+            )
+        self.backend = backend
+        self._resilient = hasattr(backend, "health")
+        if max_redispatch < 1:
+            raise ServeError(
+                f"max_redispatch must be >= 1, got {max_redispatch}"
+            )
+        self._max_redispatch = max_redispatch
+        self._request_timeout_s = request_timeout_s
+        count = dispatchers if dispatchers is not None \
+            else max(1, len(self.backend.devices))
+        if count < 1:
+            raise ServeError(f"dispatchers must be >= 1, got {count}")
+        self._admission = AdmissionController(
+            global_max_queued=global_max_queued,
+            dispatchers=count,
+            default_quota=default_quota,
+        )
+        self._sessions: List[Session] = []
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._executions = 0
+        self._workers = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                name=f"serve-dispatch{i}",
+                daemon=True,
+            )
+            for i in range(count)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # --- client surface -----------------------------------------------------
+    @property
+    def devices(self):
+        """The backend's (currently eligible) devices."""
+        return list(self.backend.devices)
+
+    def session(self, tenant: str, *,
+                quota: Optional[TenantQuota] = None) -> Session:
+        """Open a submission session for ``tenant``.
+
+        First use of a tenant name registers it (with ``quota``, or the
+        service default); later sessions for the same name share its
+        quota, queue, counters and recovery report.
+        """
+        if self._closed:
+            raise ServeError(
+                f"cannot open a session for {tenant!r}: service is closed"
+            )
+        state = self._admission.register(tenant, quota)
+        session = Session(self, state)
+        self._sessions.append(session)
+        return session
+
+    # --- submission plumbing (called by Session) ----------------------------
+    def _submit_kernel(self, state, kernel, config, args, *,
+                       label: Optional[str], coalesce: bool) -> ServeFuture:
+        name = label or getattr(
+            getattr(kernel, "fn", None) or kernel, "__name__", "kernel"
+        )
+        key = kernel_key(kernel, config, args) if coalesce else None
+        return self._submit(
+            state, "kernel", name, key,
+            {"kernel": kernel, "config": config, "args": tuple(args)},
+        )
+
+    def _submit_call(self, state, fn, *,
+                     label: Optional[str]) -> ServeFuture:
+        name = label or getattr(fn, "__name__", "call")
+        return self._submit(state, "call", name, None, {"fn": fn})
+
+    def _submit_app(self, state, app, *, variant: str, params,
+                    coalesce: bool) -> ServeFuture:
+        name = f"{app.name}:{variant}"
+        key = app_key(app, variant, params) if coalesce else None
+        return self._submit(
+            state, "app", name, key,
+            {"app": app, "variant": variant, "params": params},
+        )
+
+    def _submit(self, state, kind: str, label: str, key,
+                payload: dict) -> ServeFuture:
+        future = ServeFuture(state.name, label)
+        request = Request(
+            kind=kind, label=label, key=key, tenant_name=state.name,
+            future=future, payload=payload,
+        )
+        trace_count("serve_submitted")
+        trace_count(f"serve_submitted[{state.name}]")
+        try:
+            outcome = self._admission.submit(state, request)
+        except ServeError:
+            # QueueFull (backpressure) or closed-service refusal: the
+            # caller gets the structured error, not a dead future.
+            trace_count("serve_rejected")
+            trace_count(f"serve_rejected[{state.name}]")
+            raise
+        if outcome == "coalesced":
+            trace_count("serve_coalesced")
+            trace_count(f"serve_coalesced[{state.name}]")
+        else:
+            trace_count("serve_admitted")
+        return future
+
+    # --- dispatcher ---------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            request = self._admission.next_ready()
+            if request is None:
+                return
+            self._handle(request)
+
+    def _handle(self, request: Request) -> None:
+        start = time.monotonic()
+        if all(future.done() for future in request.futures):
+            # Every waiter cancelled while the request was queued; skip
+            # the execution entirely (the pool-future cancel semantics).
+            self._admission.finish(request, elapsed_s=0.0, failed=False)
+            return
+        value = None
+        exc: Optional[BaseException] = None
+        tracer = get_tracer()
+        try:
+            if tracer is None:
+                value = self._run_guarded(request)
+            else:
+                with tracer.on_track("serve"):
+                    with tracer.span(
+                        f"serve:{request.label}", cat="serve", track="serve",
+                        tenant=request.tenant_name, kind=request.kind,
+                        waiters=len(request.futures),
+                    ):
+                        value = self._run_guarded(request)
+        except BaseException as caught:  # noqa: BLE001 - handed to the futures
+            exc = caught
+        failed = exc is not None
+        deliver, resubmit = self._admission.finish(
+            request, elapsed_s=time.monotonic() - start, failed=failed
+        )
+        for future in deliver:
+            written = future._set_exception(exc) if failed \
+                else future._set_result(value)
+            if written:
+                self._record_outcome(future.tenant, failed)
+        for future in resubmit:
+            self._resubmit(future, request)
+
+    def _resubmit(self, future: ServeFuture, request: Request) -> None:
+        """Re-enqueue a follower privately after its shared execution failed.
+
+        The leader's failure belongs to the leader alone; each follower
+        re-runs uncoalesced (``key=None``) so its own future reflects
+        its own outcome.
+        """
+        tenant = self._admission.tenants[future.tenant]
+        retry = Request(
+            kind=request.kind, label=request.label, key=None,
+            tenant_name=tenant.name, future=future, payload=request.payload,
+        )
+        self._admission.bump(tenant.name, "redispatched")
+        trace_count("serve_redispatches")
+        try:
+            self._admission.submit(tenant, retry, count_submitted=False)
+        except ReproError as refused:
+            if future._set_exception(refused):
+                self._record_outcome(future.tenant, True)
+
+    def _record_outcome(self, tenant_name: str, failed: bool) -> None:
+        key = "failed" if failed else "completed"
+        self._admission.bump(tenant_name, key)
+        trace_count(f"serve_{key}")
+        trace_count(f"serve_{key}[{tenant_name}]")
+
+    # --- execution with the isolation guard ---------------------------------
+    def _run_guarded(self, request: Request):
+        """Execute one request, absorbing cross-tenant artifacts.
+
+        The isolation contract, mechanically:
+
+        * A :class:`KernelFault` raised by the tenant's own execution is
+          the tenant's own failure — surface it, but first heal the
+          device it poisoned so no other tenant inherits the sticky
+          context (the resets land in the *faulting* tenant's report).
+        * A :class:`StickyContextError` whose chain shows no fault of
+          our own is inherited poison from another tenant's job that
+          landed on the device first — heal and redispatch
+          transparently; this tenant never observes it.
+        * A retryable :class:`CancelledError` is a scheduler artifact
+          (the queue drained by a device reset during someone else's
+          heal) — redispatch transparently.
+        * Everything else is the tenant's own outcome and surfaces
+          unchanged, exactly as a direct pool submission would fail.
+        """
+        with self._stats_lock:
+            self._executions += 1
+        trace_count("serve_executions")
+        trace_count(f"serve_executions[{request.tenant_name}]")
+        while True:
+            try:
+                return self._execute_once(request)
+            except ReproError as exc:
+                action = self._classify(exc)
+                if action == "own-fault":
+                    self._heal_backend(self._tenant_report(request))
+                    raise
+                if action == "fatal":
+                    raise
+                if request.redispatches >= self._max_redispatch:
+                    raise ServeError(
+                        f"serve job {request.label!r} (tenant "
+                        f"{request.tenant_name}) was redispatched "
+                        f"{request.redispatches} times without completing; "
+                        f"giving up"
+                    ) from exc
+                request.redispatches += 1
+                self._admission.bump(request.tenant_name, "redispatched")
+                trace_count("serve_redispatches")
+                if action == "inherited-poison":
+                    self._heal_backend(self.report)
+                # Cross-tenant artifact: recorded on the service report,
+                # NOT the tenant's (its jobs caused none of this).
+                self.report.record(
+                    "retries",
+                    f"{request.label}: transparent redispatch after "
+                    f"cross-tenant {type(exc).__name__}",
+                )
+
+    def _execute_once(self, request: Request):
+        payload = request.payload
+        if request.kind == "app":
+            # The unified app entry point over our backend: sharded
+            # decomposition, and run_to_completion when it is resilient.
+            from ..apps.common import ExecutionConfig
+            from ..apps.common import run as run_app
+
+            return run_app(
+                payload["app"],
+                ExecutionConfig(
+                    variant=payload["variant"],
+                    params=payload["params"],
+                    pool=self.backend,
+                ),
+            )
+        if request.kind == "kernel":
+            inner = self.backend.submit(
+                payload["kernel"], payload["config"], *payload["args"],
+                label=request.label,
+            )
+        else:
+            inner = self.backend.submit_call(
+                payload["fn"], label=request.label
+            )
+        value = inner.result(timeout=self._request_timeout_s)
+        # A resilient backend may have retried the submission behind the
+        # future; attribute those retries to the submitting tenant.
+        attempts = getattr(inner, "attempts", 1)
+        if attempts > 1:
+            self._tenant_report(request).record(
+                "retries",
+                f"{request.label}: backend retried "
+                f"{attempts - 1} time(s)",
+                count=attempts - 1,
+            )
+        return value
+
+    def _classify(self, exc: BaseException) -> str:
+        # StickyContextError outranks the KernelFault in its chain: a
+        # sticky-context refusal is always *secondhand* (the context was
+        # poisoned before this job touched the device — the original
+        # fault already surfaced on its own tenant's launch), while a
+        # firsthand fault raises bare, without the sticky wrapper.
+        chain = list(exception_chain(exc))
+        if any(isinstance(e, StickyContextError) for e in chain):
+            return "inherited-poison"
+        if any(isinstance(e, KernelFault) for e in chain):
+            return "own-fault"
+        if any(
+            isinstance(e, CancelledError) and getattr(e, "retryable", False)
+            for e in chain
+        ):
+            return "requeued"
+        return "fatal"
+
+    def _tenant_report(self, request: Request) -> RecoveryReport:
+        return self._admission.tenants[request.tenant_name].report
+
+    def _heal_backend(self, report: RecoveryReport) -> None:
+        """Reset any poisoned backend device (non-resilient backends).
+
+        A resilient backend owns its device recovery (quarantine, reset,
+        canary probe); over a plain pool the service itself must clear
+        sticky contexts so one tenant's fault cannot poison the next
+        tenant's placement.
+        """
+        if self._resilient:
+            return
+        from ..ompx.host import ompx_device_reset
+
+        for device in self.backend.devices:
+            if device.is_poisoned:
+                ompx_device_reset(device=device.ordinal)
+                report.record(
+                    "resets",
+                    f"device {device.ordinal}: serve heal after a fault",
+                )
+
+    # --- introspection ------------------------------------------------------
+    def stats(self) -> Dict[str, dict]:
+        """Structured counters: per-tenant snapshots plus service totals."""
+        tenants = self._admission.snapshot()
+        totals = {key: sum(t[key] for t in tenants.values())
+                  for key in STAT_KEYS}
+        with self._stats_lock:
+            executions = self._executions
+        return {
+            "service": {
+                "tenants": len(tenants),
+                "devices": len(self.backend.devices),
+                "dispatchers": len(self._workers),
+                "resilient": self._resilient,
+                "queued": self._admission.depth(),
+                "executions": executions,
+                **totals,
+            },
+            "tenants": tenants,
+        }
+
+    def summary(self) -> str:
+        """Human-readable service report, printed by the CLI."""
+        stats = self.stats()
+        service = stats["service"]
+        mode = "resilient backend" if service["resilient"] else "plain pool"
+        lines = [
+            f"kernel service: {service['tenants']} tenant(s) over "
+            f"{service['devices']} device(s), {service['dispatchers']} "
+            f"dispatcher(s), {mode}",
+        ]
+        for name in sorted(stats["tenants"]):
+            tenant = stats["tenants"][name]
+            fields = " ".join(f"{key}={tenant[key]}" for key in STAT_KEYS)
+            lines.append(f"  {name}: {fields}")
+        saved = service["coalesced"]
+        lines.append(
+            f"  totals: {service['submitted']} submitted, "
+            f"{service['executions']} executed "
+            f"({saved} coalesced away), {service['failed']} failed, "
+            f"{service['rejected']} rejected"
+        )
+        return "\n".join(lines)
+
+    # --- lifecycle ----------------------------------------------------------
+    def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop serving; tear down an owned backend.
+
+        ``drain=True`` lets queued submissions execute first;
+        ``drain=False`` fails every undispatched future with
+        :class:`~repro.errors.CancelledError`.  In-flight executions
+        always run to completion (pool workers cannot be interrupted).
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for session in self._sessions:
+            session.close()
+        self._admission.close()
+        if not drain:
+            for request in self._admission.flush():
+                refused = CancelledError(
+                    f"serve job {request.label!r} cancelled: service "
+                    f"closed before dispatch"
+                )
+                for future in request.futures:
+                    if future._set_exception(refused):
+                        self._record_outcome(future.tenant, True)
+        stuck = []
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+            if worker.is_alive():
+                stuck.append(worker.name)
+        if stuck:
+            warnings.warn(
+                f"KernelService.close: {len(stuck)} dispatcher(s) failed "
+                f"to join within {timeout}s: {', '.join(stuck)}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if self._owned:
+            if self.backend is not self._pool:
+                self.backend.close()
+            if self._pool is not None:
+                self._pool.close()
+
+    def __enter__(self) -> "KernelService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"<KernelService {len(self._admission.tenants)} tenant(s) "
+            f"over {self.backend!r} ({state})>"
+        )

@@ -1,0 +1,133 @@
+"""Session: one tenant's submission handle onto a KernelService.
+
+A session is cheap client state — the service holds the tenant's queue,
+quota and report; the session just stamps submissions with the tenant
+identity and refuses use after :meth:`Session.close`.  Multiple sessions
+may be opened for the same tenant name (they share the tenant's quota,
+queue and counters), and sessions are safe to use from multiple threads.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..errors import SessionClosed
+from .future import ServeFuture
+from .quota import TenantQuota
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One tenant's view of the service: submit work, get futures.
+
+    Created by :meth:`repro.serve.KernelService.session`, never
+    directly.  All submission paths are asynchronous —
+    they return a :class:`ServeFuture` immediately (or raise
+    :class:`~repro.errors.QueueFull` when admission refuses) — with
+    :meth:`run` and :meth:`run_app` as the blocking conveniences.
+    """
+
+    def __init__(self, service, state) -> None:
+        self._service = service
+        self._state = state
+        self._closed = False
+
+    # --- identity -----------------------------------------------------------
+    @property
+    def tenant(self) -> str:
+        """The tenant name this session submits as."""
+        return self._state.name
+
+    @property
+    def quota(self) -> TenantQuota:
+        """The tenant's admission quota."""
+        return self._state.quota
+
+    @property
+    def report(self):
+        """The tenant's own :class:`~repro.resilience.RecoveryReport`.
+
+        Records only recovery attributable to this tenant's jobs;
+        another tenant's faults never appear here (isolation contract).
+        """
+        return self._state.report
+
+    @property
+    def stats(self) -> Mapping[str, int]:
+        """Point-in-time copy of the tenant's serving counters."""
+        return self._state.snapshot()
+
+    # --- submission ---------------------------------------------------------
+    def submit(self, kernel, config, *args, label: Optional[str] = None,
+               coalesce: bool = True) -> ServeFuture:
+        """Submit one kernel launch; returns its :class:`ServeFuture`.
+
+        Mirrors :meth:`repro.sched.DevicePool.submit` (same kernel /
+        config / args shape) so code written against a pool ports to the
+        service by swapping the handle.  ``coalesce=False`` opts this
+        submission out of request coalescing even when its arguments are
+        digestable.
+        """
+        self._check_open()
+        return self._service._submit_kernel(
+            self._state, kernel, config, args, label=label, coalesce=coalesce
+        )
+
+    def submit_call(self, fn, *, label: Optional[str] = None) -> ServeFuture:
+        """Submit an opaque host callable ``fn(device)``; never coalesced."""
+        self._check_open()
+        return self._service._submit_call(self._state, fn, label=label)
+
+    def submit_app(self, app, *, variant: str = "ompx",
+                   params: Optional[Mapping[str, object]] = None,
+                   coalesce: bool = True) -> ServeFuture:
+        """Submit one functional app run (the unified :func:`repro.apps.run`
+        path over the service's backend); resolves to the
+        :class:`~repro.apps.FunctionalResult`."""
+        self._check_open()
+        return self._service._submit_app(
+            self._state, app, variant=variant, params=params,
+            coalesce=coalesce,
+        )
+
+    # --- blocking conveniences ----------------------------------------------
+    def run(self, kernel, config, *args, label: Optional[str] = None,
+            timeout: Optional[float] = None):
+        """Submit a kernel launch and block for its result."""
+        return self.submit(kernel, config, *args, label=label).result(timeout)
+
+    def run_app(self, app, *, variant: str = "ompx",
+                params: Optional[Mapping[str, object]] = None,
+                timeout: Optional[float] = None):
+        """Submit an app run and block for its FunctionalResult."""
+        return self.submit_app(
+            app, variant=variant, params=params
+        ).result(timeout)
+
+    # --- lifecycle ----------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosed(
+                f"session for tenant {self.tenant!r} is closed"
+            )
+
+    def close(self) -> None:
+        """Refuse further submissions on this handle.
+
+        Does not cancel work already submitted — futures in flight
+        resolve normally — and does not unregister the tenant: a new
+        session for the same name reuses its quota and counters.
+        """
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return f"<Session tenant={self.tenant!r} ({state})>"

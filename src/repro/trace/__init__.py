@@ -15,7 +15,7 @@ Quickstart
     import repro.trace as trace
 
     with trace.tracing() as tracer:          # or trace.enable()/disable()
-        app.run_functional("ompx", params, device)
+        app.run_single("ompx", params, device)
     tracer.export_chrome("out.json")         # load in ui.perfetto.dev
     print(tracer.summary())                  # nvprof-style table
     records = tracer.to_records()            # structured, for reports

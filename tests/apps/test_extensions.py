@@ -22,7 +22,7 @@ class TestAidwKnnMode:
     def test_knn_variant_matches_reference(self, variant):
         app = AIDW()
         params = {**app.functional_params(), "mode": 1}
-        result = app.run_functional(variant, params, get_device(0))
+        result = app.run_single(variant, params, get_device(0))
         assert app.verify(result, params), variant
 
     def test_knn_differs_from_brute_force(self):
@@ -52,14 +52,14 @@ class TestAidwKnnMode:
     def test_knn_on_amd_device(self):
         app = AIDW()
         params = {**app.functional_params(), "mode": 1}
-        result = app.run_functional(VersionLabel.OMPX, params, get_device(1))
+        result = app.run_single(VersionLabel.OMPX, params, get_device(1))
         assert app.verify(result, params)
 
 
 class TestSu3VerifyLevels:
     def _result(self, params):
         app = SU3()
-        return app, app.run_functional(VersionLabel.OMPX, params, get_device(0))
+        return app, app.run_single(VersionLabel.OMPX, params, get_device(0))
 
     def test_level_zero_skips_verification(self):
         app, result = self._result({**SU3.functional_params(), "verify": 0})

@@ -29,7 +29,7 @@ def clean_env():
 def test_variant_matches_reference(app_cls, variant, ordinal):
     app = app_cls()
     params = app.functional_params()
-    result = app.run_functional(variant, params, get_device(ordinal))
+    result = app.run_single(variant, params, get_device(ordinal))
     assert app.verify(result, params), (
         f"{app.name} {variant} on device {ordinal} diverged from reference"
     )
@@ -42,7 +42,7 @@ def test_all_variants_agree_bitwise_on_checksum(app_cls):
     params = app.functional_params()
     device = get_device(0)
     sums = {
-        variant: app.run_functional(variant, params, device).checksum
+        variant: app.run_single(variant, params, device).checksum
         for variant in app.functional_variants
     }
     values = list(sums.values())
@@ -65,7 +65,7 @@ def test_stencil_multiple_iterations_functional():
     app = Stencil1D()
     params = {"n": 300, "iterations": 3, "radius": 2, "block": 32}
     for variant in app.functional_variants:
-        result = app.run_functional(variant, params, get_device(0))
+        result = app.run_single(variant, params, get_device(0))
         assert app.verify(result, params), variant
 
 
@@ -75,5 +75,5 @@ def test_adam_multiple_repeats_functional():
     app = Adam()
     params = {"n": 100, "steps": 4, "repeat": 3, "block": 32}
     for variant in app.functional_variants:
-        result = app.run_functional(variant, params, get_device(0))
+        result = app.run_single(variant, params, get_device(0))
         assert app.verify(result, params), variant

@@ -1,0 +1,121 @@
+"""The unified run() entry point and the deprecated run_functional* shims.
+
+One surface replaces the old trio: ``run(app, config)`` (or keyword
+overrides) resolves single-device, sharded, resilient and
+externally-pooled execution — all bit-identical for the data-parallel
+apps — while the old method names keep working behind
+DeprecationWarning.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.apps import Adam, ExecutionConfig, VersionLabel, XSBench, run
+from repro.gpu import get_device
+from repro.resilience import RecoveryReport, ResilientPool
+from repro.sched import DevicePool
+
+pytestmark = [pytest.mark.sched]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Fault-free single-device reference for the equivalence checks."""
+    app = XSBench()
+    params = app.functional_params()
+    return app, params, app.run_single(VersionLabel.OMPX, params, get_device(0))
+
+
+class TestUnifiedRun:
+    def test_default_is_single_device_ompx(self, baseline):
+        app, params, clean = baseline
+        result = run(app, params=params)
+        assert result.checksum == clean.checksum
+        np.testing.assert_array_equal(result.output, clean.output)
+
+    def test_config_object_and_overrides_compose(self, baseline):
+        app, params, clean = baseline
+        config = ExecutionConfig(variant=VersionLabel.OMPX, params=params)
+        result = run(app, config, devices=2)
+        assert result.checksum == clean.checksum
+
+    def test_sharded_run_matches_single_device(self, baseline):
+        app, params, clean = baseline
+        result = run(app, params=params, devices=3)
+        assert result.checksum == clean.checksum
+        np.testing.assert_array_equal(result.output, clean.output)
+
+    def test_resilient_run_matches_and_reports(self, baseline):
+        app, params, clean = baseline
+        report = RecoveryReport()
+        result = run(app, params=params, devices=2, resilient=True,
+                     report=report)
+        assert result.checksum == clean.checksum
+        assert report.total == 0  # clean run: resilience is a no-op
+
+    def test_external_pool_is_used_not_closed(self, baseline):
+        app, params, clean = baseline
+        with DevicePool(2) as pool:
+            result = run(app, params=params, pool=pool)
+            assert result.checksum == clean.checksum
+            fence = pool.submit_call(lambda device: "alive")
+            assert fence.result(timeout=30) == "alive"
+
+    def test_external_resilient_pool_routes_run_to_completion(
+        self, baseline
+    ):
+        app, params, clean = baseline
+        with DevicePool(2) as pool:
+            with ResilientPool(pool) as rpool:
+                result = run(app, params=params, pool=rpool)
+        assert result.checksum == clean.checksum
+
+    def test_trace_true_attaches_a_tracer(self):
+        app = Adam()
+        result = run(app, trace=True)
+        assert result.tracer is not None
+        assert result.tracer.counters.get("launches", 0) >= 1
+
+    def test_trace_false_leaves_tracer_none(self):
+        result = run(Adam())
+        assert result.tracer is None
+
+
+class TestDeprecatedShims:
+    def test_run_functional_warns_but_works(self, baseline):
+        app, params, clean = baseline
+        with pytest.warns(DeprecationWarning, match="run_functional"):
+            result = app.run_functional(
+                VersionLabel.OMPX, params, get_device(0)
+            )
+        assert result.checksum == clean.checksum
+
+    def test_run_functional_sharded_warns_but_works(self, baseline):
+        app, params, clean = baseline
+        with DevicePool(2) as pool:
+            with pytest.warns(DeprecationWarning,
+                              match="run_functional_sharded"):
+                result = app.run_functional_sharded(
+                    VersionLabel.OMPX, params, pool
+                )
+        assert result.checksum == clean.checksum
+
+    def test_run_functional_resilient_warns_but_works(self, baseline):
+        app, params, clean = baseline
+        with DevicePool(2) as pool:
+            with ResilientPool(pool) as rpool:
+                with pytest.warns(DeprecationWarning,
+                                  match="run_functional_resilient"):
+                    result = app.run_functional_resilient(
+                        VersionLabel.OMPX, params, rpool
+                    )
+        assert result.checksum == clean.checksum
+
+    def test_new_surface_does_not_warn(self, baseline):
+        app, params, _ = baseline
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run(app, params=params)
+            app.run_single(VersionLabel.OMPX, params, get_device(0))

@@ -39,7 +39,12 @@ def pytest_runtest_call(item):
     # Resilience tests exercise watchdogs, healing and retries — the one
     # part of the library whose *bugs* look like hangs.  They get a
     # generous default deadline even without an explicit timeout marker.
+    # Serving-tier tests (dispatcher threads blocking on admission
+    # queues) hang the same way when wakeups are lost, so they get one
+    # too.
     if marker is None and item.get_closest_marker("resilience") is not None:
+        seconds = 120
+    elif marker is None and item.get_closest_marker("serve") is not None:
         seconds = 120
     elif marker is not None:
         seconds = int(marker.args[0]) if marker.args else 60

@@ -66,7 +66,7 @@ def _run_forced(app, params, engine_name, device):
     original = launch_mod.select_engine
     launch_mod.select_engine = lambda *a, **k: proxy
     try:
-        result = app.run_functional(VersionLabel.NATIVE_LLVM, params, device)
+        result = app.run_single(VersionLabel.NATIVE_LLVM, params, device)
     finally:
         launch_mod.select_engine = original
     return result, log
@@ -107,6 +107,6 @@ def test_auto_selection_matches_forced_block_thread():
     app = _APPS_BY_NAME["XSBench"]()
     params = app.functional_params()
     device = get_device(0)
-    auto = app.run_functional(VersionLabel.NATIVE_LLVM, params, device)
+    auto = app.run_single(VersionLabel.NATIVE_LLVM, params, device)
     forced, _ = _run_forced(app, params, "block-thread", device)
     assert np.array_equal(auto.output, forced.output)

@@ -105,7 +105,7 @@ class TestObservedVsStatic:
         # run through the bare path to get a report with stats
         from repro.apps.common import VersionLabel
 
-        result = app.run_functional(VersionLabel.OMPX, params, nvidia)
+        result = app.run_single(VersionLabel.OMPX, params, nvidia)
         assert result.valid or app.verify(result, params)
         # the kernel is sync-free by declaration; its traits agree
         from repro.apps.xsbench import xsbench_ompx_kernel

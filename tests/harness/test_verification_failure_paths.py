@@ -11,8 +11,8 @@ from repro.harness.verification import verification_matrix
 class _CorruptedStencil(Stencil1D):
     """A stencil whose ompx variant silently computes the wrong answer."""
 
-    def run_functional(self, variant, params, device):
-        result = super().run_functional(variant, params, device)
+    def run_single(self, variant, params, device):
+        result = super().run_single(variant, params, device)
         if variant == "ompx":
             result.output = result.output + 1.0  # inject a wrong answer
         return result
@@ -21,10 +21,10 @@ class _CorruptedStencil(Stencil1D):
 class _ExplodingStencil(Stencil1D):
     """A stencil whose omp variant crashes outright."""
 
-    def run_functional(self, variant, params, device):
+    def run_single(self, variant, params, device):
         if variant == "omp":
             raise RuntimeError("synthetic kernel crash")
-        return super().run_functional(variant, params, device)
+        return super().run_single(variant, params, device)
 
 
 @pytest.fixture

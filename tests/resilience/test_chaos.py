@@ -14,6 +14,7 @@ import pytest
 
 from repro import faults
 from repro.apps import AIDW, Adam, RSBench, SU3, Stencil1D, VersionLabel, XSBench
+from repro.apps import run as apps_run
 from repro.errors import GpuError
 from repro.gpu import get_device
 from repro.resilience import ResilientPool
@@ -28,13 +29,14 @@ GENERIC_APPS = (XSBench, RSBench, SU3, AIDW, Adam)
 
 def _clean_checksum(app, params):
     """The fault-free single-device baseline the chaos run must match."""
-    return app.run_functional(VersionLabel.OMPX, params, get_device(0))
+    return app.run_single(VersionLabel.OMPX, params, get_device(0))
 
 
 def _resilient_run(app, params, pool, plan, **rpool_kwargs):
     plan.bind_devices({i: d.ordinal for i, d in enumerate(pool.devices)})
     with ResilientPool(pool, seed=plan.seed, **rpool_kwargs) as rpool:
-        result = app.run_functional_resilient(VersionLabel.OMPX, params, rpool)
+        result = apps_run(app, variant=VersionLabel.OMPX, params=params,
+                          pool=rpool)
     return result, rpool.report
 
 
@@ -95,7 +97,7 @@ def test_stencil_without_resilience_fails():
                 {i: d.ordinal for i, d in enumerate(pool.devices)}
             )
             with pytest.raises(GpuError, match="queued work failed"):
-                app.run_functional_sharded(VersionLabel.OMPX, params, pool)
+                app.run_sharded(VersionLabel.OMPX, params, pool)
 
 
 # The abandoned first run's in-flight stream work may reference buffers
@@ -175,8 +177,8 @@ def test_clean_resilient_run_reports_nothing():
     clean = _clean_checksum(app, params)
     with DevicePool(3) as pool:
         with ResilientPool(pool) as rpool:
-            result = app.run_functional_resilient(
-                VersionLabel.OMPX, params, rpool
+            result = apps_run(
+                app, variant=VersionLabel.OMPX, params=params, pool=rpool
             )
             report = rpool.report
     assert result.checksum == clean.checksum

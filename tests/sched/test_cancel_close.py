@@ -21,10 +21,17 @@ from repro.sched import DevicePool
 pytestmark = [pytest.mark.sched, pytest.mark.timeout(60)]
 
 
-def _blocker(gate: threading.Event):
-    """A job that parks its worker until the test releases the gate."""
+def _blocker(gate: threading.Event, started: threading.Event = None):
+    """A job that parks its worker until the test releases the gate.
+
+    ``started`` (when given) is set the moment the worker picks the job
+    up, so tests can wait for it to be genuinely in flight before racing
+    a ``close()``/``cancel()`` against it.
+    """
 
     def job(device):
+        if started is not None:
+            started.set()
         gate.wait(timeout=30)
         return "unblocked"
 
@@ -99,9 +106,13 @@ class TestCancel:
 class TestCloseDrainFalse:
     def test_queued_jobs_are_cancelled_not_executed(self):
         gate = threading.Event()
+        started = threading.Event()
         ran = []
         pool = DevicePool(1)
-        head = pool.submit_call(_blocker(gate), label="head")
+        head = pool.submit_call(_blocker(gate, started), label="head")
+        # Wait until the worker has actually dequeued the blocker —
+        # otherwise close(drain=False) can flush it along with the rest.
+        assert started.wait(timeout=10)
         queued = [
             pool.submit_call(
                 lambda dev, i=i: ran.append(i), label=f"queued{i}"

@@ -70,17 +70,22 @@ class TestEventContextManager:
                 s.record_event(ev)
 
 
-class TestPositionalStreamDeprecation:
-    def test_positional_stream_warns_but_works(self, nvidia):
-        s = nvidia.default_stream
-        with pytest.warns(DeprecationWarning, match="stream=/engine= keywords"):
-            config = LaunchConfig.create(1, 32, 0, s)
-        assert config.stream is s
+class TestPositionalStreamRemoval:
+    # The PR-4 DeprecationWarning shim completed its deprecation cycle:
+    # positional stream/engine now raise LaunchError pointing at the
+    # keyword form (see the README deprecation timeline).
 
-    def test_positional_stream_and_engine(self, nvidia):
-        with pytest.warns(DeprecationWarning):
-            config = LaunchConfig.create(1, 32, 0, nvidia.default_stream, "scalar")
-        assert config.engine == "scalar"
+    def test_positional_stream_raises(self, nvidia):
+        with pytest.raises(LaunchError, match="keyword"):
+            LaunchConfig.create(1, 32, 0, nvidia.default_stream)
+
+    def test_positional_stream_and_engine_raise(self, nvidia):
+        with pytest.raises(LaunchError, match="removed"):
+            LaunchConfig.create(1, 32, 0, nvidia.default_stream, "scalar")
+
+    def test_error_names_the_keyword_form(self, nvidia):
+        with pytest.raises(LaunchError, match=r"stream=.*engine="):
+            LaunchConfig.create(1, 32, 0, nvidia.default_stream)
 
     def test_keyword_form_is_silent(self, nvidia, recwarn):
         config = LaunchConfig.create(1, 32, stream=nvidia.default_stream)
@@ -89,7 +94,7 @@ class TestPositionalStreamDeprecation:
                     if issubclass(w.category, DeprecationWarning)]
 
     def test_mixing_legacy_and_keyword_raises(self, nvidia):
-        with pytest.raises(LaunchError, match="keyword"):
+        with pytest.raises(LaunchError):
             LaunchConfig.create(1, 32, 0, nvidia.default_stream,
                                 engine="scalar")
 

@@ -1,0 +1,103 @@
+"""PoolProtocol: the structural contract both pool backends satisfy.
+
+``isinstance(..., PoolProtocol)`` only proves the attributes exist
+(runtime_checkable semantics); these tests pin the *signature-level*
+agreement — same parameter names, kinds and defaults — so code written
+against the protocol (``repro.apps.run``, the ``repro.serve``
+dispatchers) can swap backends without keyword errors.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.gpu import LaunchConfig
+from repro.resilience import ResilientPool
+from repro.sched import DevicePool, PoolProtocol
+
+pytestmark = [pytest.mark.sched]
+
+
+def fill_kernel(ctx, out, n):
+    i = ctx.global_id_x
+    view = ctx.deref(out, n, np.float64)
+    if i < n:
+        view[i] = float(i) + 1.0
+
+
+class TestStructuralConformance:
+    def test_device_pool_satisfies_the_protocol(self):
+        with DevicePool(1) as pool:
+            assert isinstance(pool, PoolProtocol)
+
+    def test_resilient_pool_satisfies_the_protocol(self):
+        with DevicePool(1) as pool:
+            with ResilientPool(pool) as rpool:
+                assert isinstance(rpool, PoolProtocol)
+
+    def test_arbitrary_objects_do_not(self):
+        assert not isinstance(object(), PoolProtocol)
+
+
+def _params(cls, name):
+    return inspect.signature(getattr(cls, name)).parameters
+
+
+class TestSignatureCompatibility:
+    @pytest.mark.parametrize("method", ["submit", "submit_call", "close"])
+    def test_parameter_names_and_kinds_agree(self, method):
+        plain = _params(DevicePool, method)
+        resilient = _params(ResilientPool, method)
+        assert list(plain) == list(resilient), (
+            f"{method}: DevicePool{tuple(plain)} vs "
+            f"ResilientPool{tuple(resilient)}"
+        )
+        for name in plain:
+            assert plain[name].kind == resilient[name].kind, (
+                f"{method}({name}): parameter kind differs"
+            )
+
+    def test_submit_call_has_the_shard_flag_on_both(self):
+        for cls in (DevicePool, ResilientPool):
+            params = _params(cls, "submit_call")
+            assert "shard" in params
+            assert params["shard"].default is False
+
+    def test_close_keywords_agree(self):
+        for cls in (DevicePool, ResilientPool):
+            params = _params(cls, "close")
+            assert "drain" in params and params["drain"].default is True
+            assert "timeout" in params
+
+
+class TestInterchangeability:
+    def _run_on(self, backend):
+        n = 16
+        device = backend.devices[0]
+        out = np.zeros(n, dtype=np.float64)
+        ptr = device.allocator.malloc(out.nbytes)
+        try:
+            future = backend.submit(
+                fill_kernel, LaunchConfig.create(1, 32), ptr, n,
+                label="fill",
+            )
+            future.result(timeout=30)
+            fence = backend.submit_call(
+                lambda dev: dev.allocator.memcpy_d2h(out, ptr),
+                device=0, label="readback", shard=False,
+            )
+            fence.result(timeout=30)
+        finally:
+            device.allocator.free(ptr)
+        return out
+
+    def test_same_driver_code_runs_on_both_backends(self):
+        expected = np.arange(16, dtype=np.float64) + 1.0
+        with DevicePool(1) as pool:
+            np.testing.assert_array_equal(self._run_on(pool), expected)
+        with DevicePool(1) as pool:
+            with ResilientPool(pool) as rpool:
+                np.testing.assert_array_equal(
+                    self._run_on(rpool), expected
+                )

@@ -1,8 +1,8 @@
 """Data-parallel app execution: sharded results match single-device exactly.
 
 The acceptance bar for the scheduler: for every one of the six paper
-apps, ``run_functional_sharded`` over an N-device pool produces the
-*same checksum* as the single-device ``run_functional`` — bit-identical
+apps, ``run_sharded`` over an N-device pool produces the
+*same checksum* as the single-device ``run_single`` — bit-identical
 output, because sharding only partitions the problem axis and never
 changes per-element arithmetic.
 """
@@ -28,8 +28,8 @@ def pool():
 def test_sharded_checksum_matches_single_device(app_cls, pool):
     app = app_cls()
     params = app.functional_params()
-    single = app.run_functional(VersionLabel.OMPX, params, get_device(0))
-    sharded = app.run_functional_sharded(VersionLabel.OMPX, params, pool)
+    single = app.run_single(VersionLabel.OMPX, params, get_device(0))
+    sharded = app.run_sharded(VersionLabel.OMPX, params, pool)
     assert sharded.checksum == single.checksum  # exact, not approx
     np.testing.assert_array_equal(sharded.output, single.output)
     assert app.verify(sharded, params)
@@ -38,7 +38,7 @@ def test_sharded_checksum_matches_single_device(app_cls, pool):
 def test_classic_omp_variant_cannot_be_sharded(pool):
     app = ALL_APPS[0]()
     with pytest.raises(AppError, match="cannot be sharded"):
-        app.run_functional_sharded(
+        app.run_sharded(
             VersionLabel.OMP, app.functional_params(), pool
         )
 
@@ -51,4 +51,4 @@ def test_stencil_rejects_shards_thinner_than_the_radius():
     params["iterations"] = 2
     with DevicePool(4) as pool:
         with pytest.raises(AppError, match="radius"):
-            app.run_functional_sharded(VersionLabel.OMPX, params, pool)
+            app.run_sharded(VersionLabel.OMPX, params, pool)

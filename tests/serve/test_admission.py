@@ -1,0 +1,182 @@
+"""Admission control: quotas, backpressure refusals, retry-after guidance."""
+
+import threading
+
+import pytest
+
+from repro.errors import QueueFull, ServeError
+from repro.serve import KernelService, TenantQuota
+from repro.serve.admission import AdmissionController, Request
+from repro.serve.quota import STAT_KEYS, TenantState
+
+pytestmark = [pytest.mark.serve, pytest.mark.sched]
+
+
+def _request(label="job", key=None, tenant="t0"):
+    from repro.serve.future import ServeFuture
+
+    return Request(
+        kind="call", label=label, key=key, tenant_name=tenant,
+        future=ServeFuture(tenant, label), payload={},
+    )
+
+
+class TestQuotaValidation:
+    def test_defaults_are_sane(self):
+        quota = TenantQuota()
+        assert quota.max_queued >= 1
+        assert quota.max_inflight >= 1
+        assert quota.weight > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queued": 0},
+            {"max_inflight": 0},
+            {"weight": 0.0},
+            {"weight": -1.0},
+        ],
+    )
+    def test_invalid_quota_is_refused(self, kwargs):
+        with pytest.raises(ServeError):
+            TenantQuota(**kwargs)
+
+    def test_stat_keys_match_tenant_state(self):
+        state = TenantState("t0", TenantQuota())
+        snapshot = state.snapshot()
+        for key in STAT_KEYS:
+            assert snapshot[key] == 0
+        assert snapshot["queued"] == 0
+        assert snapshot["inflight"] == 0
+
+
+class TestControllerUnit:
+    def test_tenant_bound_refusal_carries_scope_and_estimate(self):
+        controller = AdmissionController()
+        tenant = controller.register("t0", TenantQuota(max_queued=2))
+        assert controller.submit(tenant, _request("a")) == "queued"
+        assert controller.submit(tenant, _request("b")) == "queued"
+        with pytest.raises(QueueFull) as info:
+            controller.submit(tenant, _request("c"))
+        assert info.value.scope == "tenant"
+        assert info.value.tenant == "t0"
+        assert info.value.retry_after_s > 0
+        assert tenant.stats["rejected"] == 1
+        assert tenant.stats["submitted"] == 3
+
+    def test_global_bound_refusal(self):
+        controller = AdmissionController(global_max_queued=3)
+        alice = controller.register("alice", TenantQuota(max_queued=8))
+        bob = controller.register("bob", TenantQuota(max_queued=8))
+        controller.submit(alice, _request("a1", tenant="alice"))
+        controller.submit(alice, _request("a2", tenant="alice"))
+        controller.submit(bob, _request("b1", tenant="bob"))
+        with pytest.raises(QueueFull) as info:
+            controller.submit(bob, _request("b2", tenant="bob"))
+        assert info.value.scope == "global"
+        assert info.value.retry_after_s > 0
+
+    def test_dispatch_frees_queue_capacity(self):
+        controller = AdmissionController()
+        tenant = controller.register("t0", TenantQuota(max_queued=1))
+        controller.submit(tenant, _request("a"))
+        with pytest.raises(QueueFull):
+            controller.submit(tenant, _request("b"))
+        dispatched = controller.next_ready()
+        assert dispatched.label == "a"
+        assert controller.submit(tenant, _request("b")) == "queued"
+
+    def test_max_inflight_gates_dispatch(self):
+        controller = AdmissionController()
+        tenant = controller.register("t0", TenantQuota(max_inflight=1))
+        controller.submit(tenant, _request("a"))
+        controller.submit(tenant, _request("b"))
+        first = controller.next_ready()
+        # With the tenant at its inflight cap, the second request must
+        # wait even though it is queued; finishing the first releases it.
+        done = threading.Event()
+        picked = []
+
+        def drain():
+            picked.append(controller.next_ready())
+            done.set()
+
+        thread = threading.Thread(target=drain, daemon=True)
+        thread.start()
+        assert not done.wait(0.3)
+        controller.finish(first, elapsed_s=0.001, failed=False)
+        assert done.wait(10)
+        assert picked[0].label == "b"
+
+    def test_ewma_tracks_observed_service_time(self):
+        controller = AdmissionController()
+        tenant = controller.register("t0")
+        before = controller._service_s
+        request = _request("a")
+        controller.submit(tenant, request)
+        controller.next_ready()
+        controller.finish(request, elapsed_s=1.0, failed=True)
+        assert controller._service_s > before
+
+    def test_closed_controller_refuses_submissions(self):
+        controller = AdmissionController()
+        tenant = controller.register("t0")
+        controller.close()
+        with pytest.raises(ServeError, match="closed"):
+            controller.submit(tenant, _request("late"))
+        assert controller.next_ready() is None
+
+    def test_register_is_idempotent_and_quota_checked(self):
+        controller = AdmissionController()
+        first = controller.register("t0", TenantQuota(max_queued=4))
+        again = controller.register("t0")
+        assert again is first
+        same = controller.register("t0", TenantQuota(max_queued=4))
+        assert same is first
+        with pytest.raises(ServeError, match="already registered"):
+            controller.register("t0", TenantQuota(max_queued=8))
+
+
+class TestServiceBackpressure:
+    def test_queue_full_surfaces_to_the_client(self):
+        release = threading.Event()
+        started = threading.Event()
+        quota = TenantQuota(max_queued=2, max_inflight=1)
+        with KernelService(devices=1, dispatchers=1) as service:
+            session = service.session("t0", quota=quota)
+            try:
+                session.submit_call(
+                    lambda device: (started.set(), release.wait(30))[1],
+                    label="hog",
+                )
+                assert started.wait(30)
+                session.submit_call(lambda device: 1, label="q1")
+                session.submit_call(lambda device: 2, label="q2")
+                with pytest.raises(QueueFull) as info:
+                    session.submit_call(lambda device: 3, label="overflow")
+                assert info.value.tenant == "t0"
+                assert info.value.retry_after_s > 0
+                assert "retry_after=" in str(info.value)
+            finally:
+                release.set()
+        assert session.stats["rejected"] == 1
+
+    def test_retry_after_queue_drains_succeeds(self):
+        quota = TenantQuota(max_queued=1, max_inflight=1)
+        release = threading.Event()
+        started = threading.Event()
+        with KernelService(devices=1, dispatchers=1) as service:
+            session = service.session("t0", quota=quota)
+            session.submit_call(
+                lambda device: (started.set(), release.wait(30))[1],
+                label="hog",
+            )
+            assert started.wait(30)
+            queued = session.submit_call(lambda device: "queued", label="q")
+            with pytest.raises(QueueFull):
+                session.submit_call(lambda device: "extra", label="extra")
+            release.set()
+            assert queued.result(timeout=30) == "queued"
+            # Capacity freed: the retry is admitted now.
+            retry = session.submit_call(lambda device: "retry", label="r")
+            assert retry.result(timeout=30) == "retry"

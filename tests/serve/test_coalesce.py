@@ -1,0 +1,208 @@
+"""Request coalescing: key structure, and shared executions end to end.
+
+The acceptance bar: N identical concurrent submissions collapse onto
+exactly one backend execution (observed through the serving-tier trace
+counters) and every waiter receives the shared result; anything opaque
+or failure-tainted de-coalesces.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.apps import XSBench
+from repro.errors import ReproError
+from repro.gpu.launch import LaunchConfig
+from repro.serve import KernelService, TenantQuota
+from repro.serve.coalesce import app_key, digest, kernel_key
+from repro.trace import tracing
+
+pytestmark = [pytest.mark.serve, pytest.mark.sched]
+
+
+@pytest.fixture
+def tracer():
+    """Install a fresh tracer for counter assertions, restore after."""
+    with tracing() as fresh:
+        yield fresh
+
+
+def _kernel(ctx, n):
+    pass
+
+
+class TestDigest:
+    def test_equal_arrays_digest_equal(self):
+        a = np.arange(16, dtype=np.float64)
+        b = np.arange(16, dtype=np.float64)
+        assert a is not b
+        assert digest(a) == digest(b)
+
+    def test_different_content_digests_differ(self):
+        a = np.arange(16, dtype=np.float64)
+        b = a.copy()
+        b[3] += 1.0
+        assert digest(a) != digest(b)
+
+    def test_dtype_and_shape_matter(self):
+        a = np.zeros(8, dtype=np.float32)
+        b = np.zeros(8, dtype=np.float64)
+        assert digest(a) != digest(b)
+        assert digest(a.reshape(2, 4)) != digest(a)
+
+    def test_scalars_strings_and_none(self):
+        assert digest(3) == digest(3)
+        assert digest(3) != digest(3.0)  # type-tagged, not just value
+        assert digest("x") == digest("x")
+        assert digest(None) == ("none",)
+        assert digest(np.float64(2.5)) == digest(np.float64(2.5))
+
+    def test_nested_containers_recurse(self):
+        a = {"n": 4, "xs": [1.0, 2.0], "w": np.ones(3)}
+        b = {"n": 4, "xs": [1.0, 2.0], "w": np.ones(3)}
+        assert digest(a) == digest(b)
+        b["xs"][1] = 9.0
+        assert digest(a) != digest(b)
+
+    def test_opaque_values_poison_the_digest(self):
+        assert digest(object()) is None
+        assert digest(lambda: None) is None
+        assert digest([1, object()]) is None
+        assert digest({"ok": 1, "bad": object()}) is None
+
+
+class TestKeys:
+    def test_identical_launches_share_a_key(self):
+        config = LaunchConfig.create(4, 64)
+        args = (np.arange(8.0), 8)
+        first = kernel_key(_kernel, config, args)
+        second = kernel_key(_kernel, LaunchConfig.create(4, 64),
+                            (np.arange(8.0), 8))
+        assert first is not None
+        assert first == second
+
+    def test_geometry_differences_split_keys(self):
+        args = (8,)
+        base = kernel_key(_kernel, LaunchConfig.create(4, 64), args)
+        assert kernel_key(_kernel, LaunchConfig.create(8, 64), args) != base
+        assert kernel_key(_kernel, LaunchConfig.create(4, 32), args) != base
+
+    def test_stream_bound_launches_never_coalesce(self):
+        from repro.gpu import get_device
+        from repro.gpu.stream import Stream
+
+        stream = Stream(get_device(0))
+        config = LaunchConfig.create(4, 64, stream=stream)
+        assert kernel_key(_kernel, config, (8,)) is None
+
+    def test_opaque_arguments_never_coalesce(self):
+        config = LaunchConfig.create(4, 64)
+        assert kernel_key(_kernel, config, (object(),)) is None
+
+    def test_app_keys_track_class_variant_and_params(self):
+        app = XSBench()
+        params = app.functional_params()
+        same = app_key(XSBench(), "ompx", app.functional_params())
+        assert app_key(app, "ompx", params) == same
+        assert app_key(app, "serial", params) != same
+
+    def test_app_key_none_params_still_coalesces(self):
+        assert app_key(XSBench(), "ompx", None) is not None
+
+
+class TestCoalescedExecution:
+    def test_identical_submissions_share_one_execution(self, tracer):
+        # The acceptance test: N identical in-flight app submissions
+        # collapse onto exactly ONE backend execution; every waiter
+        # receives the shared result.
+        fanout = 6
+        app = XSBench()
+        params = app.functional_params()
+        with KernelService(devices=1, dispatchers=1) as service:
+            sessions = [
+                service.session(f"tenant{i}",
+                                quota=TenantQuota(max_queued=16))
+                for i in range(fanout)
+            ]
+            futures = [
+                s.submit_app(app, variant="ompx", params=params)
+                for s in sessions
+            ]
+            results = [f.result(timeout=120) for f in futures]
+        counters = tracer.counters
+        assert counters["serve_submitted"] == fanout
+        assert counters["serve_executions"] == 1
+        assert counters["serve_coalesced"] == fanout - 1
+        # Followers share the leader's result object outright.
+        assert all(r is results[0] for r in results)
+        assert sum(1 for f in futures if f.coalesced) == fanout - 1
+        stats = service.stats()["service"]
+        assert stats["executions"] == 1
+        assert stats["completed"] == fanout
+
+    def test_distinct_params_do_not_coalesce(self, tracer):
+        app = XSBench()
+        base = dict(app.functional_params())
+        smaller = dict(base, lookups=base["lookups"] // 2)
+        with KernelService(devices=1, dispatchers=1) as service:
+            a = service.session("a")
+            b = service.session("b")
+            fa = a.submit_app(app, variant="ompx", params=base)
+            fb = b.submit_app(app, variant="ompx", params=smaller)
+            fa.result(timeout=120)
+            fb.result(timeout=120)
+        assert tracer.counters["serve_executions"] == 2
+        assert tracer.counters.get("serve_coalesced", 0) == 0
+
+    def test_coalesce_false_opts_out(self, tracer):
+        app = XSBench()
+        params = app.functional_params()
+        with KernelService(devices=1, dispatchers=1) as service:
+            session = service.session("t0")
+            first = session.submit_app(app, variant="ompx", params=params)
+            second = session.submit_app(app, variant="ompx", params=params,
+                                        coalesce=False)
+            first.result(timeout=120)
+            second.result(timeout=120)
+        assert tracer.counters["serve_executions"] == 2
+
+    def test_failed_leader_does_not_poison_followers(self, tracer):
+        # The leader's execution fails; the follower must NOT inherit
+        # that failure — it is resubmitted privately and succeeds.
+        state = {"raised": False}
+        state_lock = threading.Lock()
+        gate = threading.Event()
+
+        def flaky(ctx, n):
+            with state_lock:
+                if not state["raised"]:
+                    state["raised"] = True
+                    raise ValueError(
+                        "transient host bug in the leader's run"
+                    )
+
+        config = LaunchConfig.create(1, 8)
+        with KernelService(devices=1, dispatchers=1) as service:
+            alice = service.session("alice")
+            bob = service.session("bob")
+            # Hold the dispatcher so both submissions are in flight
+            # together and the second coalesces onto the first.
+            blocker = alice.submit_call(
+                lambda device: gate.wait(30), label="gate"
+            )
+            leader = alice.submit(flaky, config, 8)
+            follower = bob.submit(flaky, config, 8)
+            assert follower.coalesced
+            gate.set()
+            blocker.result(timeout=30)
+            with pytest.raises(ReproError):
+                leader.result(timeout=60)
+            stats = follower.result(timeout=60)
+            assert stats.blocks_run >= 1
+        # 3 executions total: the gate call, the shared (failed) leader
+        # run, and the follower's private re-run.
+        assert tracer.counters["serve_executions"] == 3
+        assert tracer.counters["serve_failed[alice]"] == 1
+        assert tracer.counters["serve_completed[bob]"] == 1
+        assert tracer.counters["serve_redispatches"] == 1

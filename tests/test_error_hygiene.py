@@ -82,6 +82,38 @@ def test_lint_covers_the_resilience_package():
     } <= resilience_files
 
 
+def test_lint_covers_the_serve_package():
+    # And for repro.serve: the serving tier's refusals (QueueFull,
+    # SessionClosed) are part of the client-facing error contract, so
+    # its modules must stay inside the walk.
+    serve_files = {p.name for p in sorted(SRC_ROOT.rglob("*.py"))
+                   if p.parent.name == "serve"}
+    assert {
+        "__init__.py", "admission.py", "coalesce.py", "future.py",
+        "quota.py", "service.py", "session.py",
+    } <= serve_files
+
+
+def test_serve_errors_slot_into_the_hierarchy():
+    # Clients classify backpressure with `except QueueFull` and broad
+    # service failures with `except ServeError`; both must stay rooted
+    # at ReproError so `except ReproError` call sites keep working.
+    assert issubclass(errors.ServeError, errors.ReproError)
+    assert issubclass(errors.QueueFull, errors.ServeError)
+    assert issubclass(errors.SessionClosed, errors.ServeError)
+    for name in ("ServeError", "QueueFull", "SessionClosed"):
+        assert name in errors.__all__
+
+
+def test_queue_full_carries_retry_guidance():
+    exc = errors.QueueFull("over limit", tenant="alice", scope="tenant",
+                           retry_after_s=0.25)
+    assert exc.tenant == "alice"
+    assert exc.scope == "tenant"
+    assert exc.retry_after_s == 0.25
+    assert "retry_after=0.250s" in str(exc)
+
+
 def test_resilience_errors_slot_into_the_hierarchy():
     # WatchdogTimeout must be catchable as a GpuError (it stands in for a
     # device-side failure) and CancelledError as a SchedulerError (it is
