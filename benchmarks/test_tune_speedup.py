@@ -1,0 +1,168 @@
+"""Autotuning economics: cold-search cost, warm dispatch overhead, speedup.
+
+The acceptance benchmark for ``repro.tune``, in three claims:
+
+1. **Cold search is a bounded one-off.**  The first tuned run pays for
+   its measurement probes; that cost is reported (and snapshotted via
+   ``--bench-json``) so the trajectory is visible across PRs.
+2. **Warm dispatch is cheap.**  With every plan cached, the per-launch
+   dispatch overhead the session profiles must stay under 5% of the
+   untuned per-launch wall time — consulting a dict must not cost what
+   planning from scratch does.
+3. **Tuning pays on engine-bound kernels.**  A deliberately mis-pinned
+   engine is the counterfactual: the tuned run (free to pick the fast
+   engine) must beat the slowest legal engine and match the untuned
+   checksum bit-for-bit on xsbench + stencil1d.
+
+Wall-clock numbers on a simulated GPU say nothing about hardware; the
+assertions are ratios and sanity bars, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import ompx, tune
+from repro.apps import Stencil1D, XSBench, run
+from repro.gpu.device import get_device
+from repro.gpu.launch import LaunchConfig, launch_kernel
+
+pytestmark = [pytest.mark.slow, pytest.mark.tune]
+
+N = 64 * 1024
+CONFIG = LaunchConfig.create(64, 1024)
+REPEATS = 20
+
+
+@ompx.bare_kernel(sync_free=True)
+def saxpy_flat(x, ptr, n):
+    # Branch-free so every engine (including the 40-250x lane-batched
+    # ones) is a legal candidate: this is the engine-bound case tuning
+    # exists for.
+    i = x.global_thread_id_x()
+    a = x.array(ptr, n, np.float64)
+    a[i] = a[i] * 1.000001 + 2.0
+
+
+def _time_launches(device, ptr, repeats=REPEATS):
+    begin = time.perf_counter()
+    for _ in range(repeats):
+        launch_kernel(CONFIG, saxpy_flat.entry, (ptr, N), device)
+    return (time.perf_counter() - begin) / repeats
+
+
+class TestDispatchEconomics:
+    def test_cold_search_cost_and_warm_overhead(self, tmp_path, bench_record):
+        device = get_device(0)
+        ptr = device.allocator.malloc(N * 8)
+        device.allocator.memcpy_h2d(ptr, np.zeros(N))
+        try:
+            untuned_s = _time_launches(device, ptr)
+
+            # Cold: the first tuned launch pays for the search.
+            with tune.tuning(str(tmp_path)):
+                cold_begin = time.perf_counter()
+                launch_kernel(CONFIG, saxpy_flat.entry, (ptr, N), device)
+                cold_s = time.perf_counter() - cold_begin
+
+            # Warm: a fresh session over the persisted cache.
+            with tune.tuning(str(tmp_path)) as warm:
+                warm_s = _time_launches(device, ptr)
+                counters = warm.counters()
+                dispatch_us = warm.overhead.summary()["mean_us"]
+        finally:
+            device.allocator.free(ptr)
+
+        assert counters["tune_searches"] == 0, "warm run must not re-search"
+        assert counters["tune_hits"] == REPEATS
+
+        # Claim 2: warm dispatch overhead < 5% of untuned per-launch time.
+        overhead_pct = 100.0 * (dispatch_us * 1e-6) / untuned_s
+        assert overhead_pct < 5.0, (
+            f"warm dispatch costs {overhead_pct:.2f}% of an untuned launch"
+        )
+        bench_record(
+            "tune/dispatch",
+            untuned_launch_s=untuned_s,
+            cold_first_launch_s=cold_s,
+            warm_launch_s=warm_s,
+            warm_dispatch_us=dispatch_us,
+            warm_overhead_pct=overhead_pct,
+        )
+
+    def test_tuned_beats_the_slowest_legal_engine(self, tmp_path, bench_record):
+        device = get_device(0)
+        ptr = device.allocator.malloc(N * 8)
+        device.allocator.memcpy_h2d(ptr, np.zeros(N))
+        pinned_slow = LaunchConfig.create(64, 1024, engine="block-thread")
+        try:
+            slow_begin = time.perf_counter()
+            launch_kernel(pinned_slow, saxpy_flat.entry, (ptr, N), device)
+            slow_s = time.perf_counter() - slow_begin
+
+            with tune.tuning(str(tmp_path)):
+                launch_kernel(CONFIG, saxpy_flat.entry, (ptr, N), device)  # search
+            with tune.tuning(str(tmp_path)):
+                tuned_begin = time.perf_counter()
+                launch_kernel(CONFIG, saxpy_flat.entry, (ptr, N), device)
+                tuned_s = time.perf_counter() - tuned_begin
+        finally:
+            device.allocator.free(ptr)
+
+        speedup = slow_s / tuned_s
+        # The PR-1 engine spread is 40-250x; even a conservative bar
+        # proves the tuner picked a lane-batched engine.
+        assert speedup > 2.0, (
+            f"tuned launch only {speedup:.2f}x over the cooperative engine"
+        )
+        bench_record(
+            "tune/engine_choice",
+            pinned_block_thread_s=slow_s,
+            tuned_launch_s=tuned_s,
+            speedup=speedup,
+        )
+
+
+class TestEndToEndApps:
+    @pytest.mark.parametrize("app_cls", [XSBench, Stencil1D],
+                             ids=["xsbench", "stencil1d"])
+    def test_tuned_app_speedup_and_bit_identity(self, app_cls, tmp_path,
+                                                bench_record):
+        app = app_cls()
+
+        begin = time.perf_counter()
+        untuned = run(app)
+        untuned_s = time.perf_counter() - begin
+
+        cold_begin = time.perf_counter()
+        cold = run(app, tune=True, tune_cache=str(tmp_path))
+        cold_s = time.perf_counter() - cold_begin
+
+        warm_begin = time.perf_counter()
+        warm = run(app, tune=True, tune_cache=str(tmp_path))
+        warm_s = time.perf_counter() - warm_begin
+
+        # Bit identity on both tuned generations.
+        assert np.array_equal(np.asarray(cold.output), np.asarray(untuned.output))
+        assert np.array_equal(np.asarray(warm.output), np.asarray(untuned.output))
+        assert warm.tune_session.counters()["tune_searches"] == 0
+
+        # The warm tuned run must not regress meaningfully against the
+        # untuned run (generous 1.5x bar: at functional scale the apps
+        # are already near the engine-selection optimum, so the claim is
+        # "no regression", not a headline speedup).
+        assert warm_s < untuned_s * 1.5, (
+            f"warm tuned run {warm_s:.3f}s vs untuned {untuned_s:.3f}s"
+        )
+        key = f"tune/{app.name.lower().replace(' ', '')}"
+        bench_record(
+            key,
+            untuned_s=untuned_s,
+            cold_tuned_s=cold_s,
+            warm_tuned_s=warm_s,
+            warm_speedup=untuned_s / warm_s,
+            cold_search_overhead_s=cold_s - untuned_s,
+        )

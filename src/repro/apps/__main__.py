@@ -30,6 +30,14 @@ the same checksum as a fault-free run, followed by the recovery report.
 cross-checks the results.  ``device=`` selectors in ``--faults`` refer
 to pool indices (0..N-1) whenever a pool is in play.
 
+``--tune`` dispatches every launch through the :mod:`repro.tune`
+persistent plan cache (``--tune-cache DIR`` picks the directory): the
+first run of a (kernel, shape, device spec) searches the execution
+engines and persists the winner; warm runs — including later processes —
+dispatch straight from the cache with zero tuning launches.  Outputs are
+bit-identical to untuned runs.  Composes with ``--resilient``,
+``--serve``, ``--devices`` and ``--trace``.
+
 ``--serve --tenants N`` runs the app through :mod:`repro.serve`: N
 concurrent tenant sessions submit the same functional run to a
 :class:`~repro.serve.KernelService` over the device pool, identical
@@ -47,6 +55,8 @@ Examples::
     python -m repro.apps adam --run --memcheck
     python -m repro.apps stencil1d --run --devices 4 --resilient --faults 'kernel_fault@3 device=1'
     python -m repro.apps xsbench --serve --tenants 4
+    python -m repro.apps xsbench --run --tune --tune-cache /tmp/plans
+    python -m repro.apps stencil1d --run --tune --serve --resilient --devices 2
 """
 
 from __future__ import annotations
@@ -138,6 +148,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--tenants", type=int, default=2, metavar="N",
                         help="number of tenant sessions for --serve "
                              "(default 2)")
+    parser.add_argument("--tune", action="store_true",
+                        help="dispatch every launch through the repro.tune "
+                             "plan cache: cold (kernel, shape, device spec) "
+                             "keys are searched once and persisted; warm "
+                             "runs dispatch with zero derivation. Output is "
+                             "bit-identical to an untuned run. A tune "
+                             "summary is printed afterwards.")
+    parser.add_argument("--tune-cache", metavar="DIR", default=None,
+                        help="plan-cache directory for --tune (default: "
+                             "$XDG_CACHE_HOME/repro/tune)")
     flags = parser.parse_args(flag_args)
     if flags.serve:
         flags.run = True  # --serve is a functional-run mode
@@ -155,9 +175,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     tracer = trace_mod.enable() if flags.trace else None
+    tune_session = None
+    if flags.tune:
+        from .. import tune as tune_mod
+
+        tune_session = tune_mod.enable(flags.tune_cache)
     try:
         return _run_instrumented(app, flags, params, plan)
     finally:
+        if tune_session is not None:
+            from .. import tune as tune_mod
+
+            tune_mod.disable()
+            print()
+            print(tune_session.describe())
         if tracer is not None:
             trace_mod.disable()
             tracer.export_chrome(flags.trace)
@@ -294,6 +325,8 @@ def _run_serve(app, flags, run_params) -> int:
         resilient=flags.resilient,
         verify=flags.verify,
         seed=plan.seed if plan is not None else 0,
+        tune=flags.tune,
+        tune_cache=flags.tune_cache,
     ) as service:
         if plan is not None:
             plan.bind_devices(

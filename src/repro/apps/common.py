@@ -114,6 +114,12 @@ class ExecutionConfig:
       actions even when the run ultimately fails.
     * ``trace`` — install a process tracer for the duration when none is
       active; the tracer is attached to the result as ``result.tracer``.
+    * ``tune``/``tune_cache`` — install a :mod:`repro.tune` session for
+      the duration when none is active, so every launch dispatches
+      through the persistent plan cache (``tune_cache`` overrides the
+      default cache directory).  The session is attached to the result
+      as ``result.tune_session``.  Outputs are bit-identical to untuned
+      runs — tuning only picks among equivalent engines.
     """
 
     variant: str = VersionLabel.OMPX
@@ -127,6 +133,8 @@ class ExecutionConfig:
     seed: Optional[int] = None
     report: Optional[object] = None
     trace: bool = False
+    tune: bool = False
+    tune_cache: Optional[str] = None
 
 
 def run(app: "BenchmarkApp", config: Optional[ExecutionConfig] = None,
@@ -154,14 +162,26 @@ def run(app: "BenchmarkApp", config: Optional[ExecutionConfig] = None,
 
         if trace_mod.get_tracer() is None:
             tracer = trace_mod.enable()
+    tune_session = owns_tune = None
+    if config.tune:
+        from .. import tune as tune_mod
+
+        tune_session = tune_mod.active_session()
+        if tune_session is None:
+            tune_session = owns_tune = tune_mod.enable(config.tune_cache)
     try:
         result = _run_with_config(app, variant, params, config)
     finally:
+        if owns_tune is not None:
+            from .. import tune as tune_mod
+
+            tune_mod.disable()
         if tracer is not None:
             from .. import trace as trace_mod
 
             trace_mod.disable()
     result.tracer = tracer
+    result.tune_session = tune_session
     return result
 
 

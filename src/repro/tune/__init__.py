@@ -1,0 +1,160 @@
+"""repro.tune — trace-guided autotuning with a persistent plan cache.
+
+The subsystem that closes the predict -> measure -> commit loop
+(ROADMAP item 2): :mod:`repro.perf` predicts candidate execution plans,
+real launches measure them with :class:`~repro.gpu.engine.KernelStats`
+feedback, and the winner is persisted in a :class:`PlanCache` keyed on
+(kernel identity, launch geometry, device spec, toolchain version) so
+later runs — and later *processes* — dispatch straight to the tuned
+engine with zero derivation.
+
+Typical use::
+
+    from repro import tune
+
+    with tune.tuning():                      # or: --tune on the CLI
+        run(app)                             # first run searches + caches
+        run(app)                             # second run: cache hits only
+
+    session = tune.enable(cache_dir="/tmp/plans")   # long-lived services
+    ...
+    tune.disable()                                   # saves the cache
+
+Key invariants:
+
+* **Bit identity.**  Tuning selects among engines that are bit-identical
+  by construction (the PR-1 equivalence guarantee) and never re-shapes a
+  launch, so ``--tune`` output equals untuned output exactly.
+* **Crash safety.**  The cache file is schema-versioned, written
+  atomically, and a corrupted file is ignored with a
+  :class:`RuntimeWarning` — never an error.
+* **Zero cost when disabled.**  The launch hot path does one global
+  read; no tune module is even imported until a session is installed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..errors import PlanCacheError, TuneError
+from .cache import SCHEMA_VERSION, Plan, PlanCache, default_cache_dir
+from .key import (
+    device_fingerprint,
+    kernel_identity,
+    plan_cache_key,
+    toolchain_version,
+)
+from .overhead import DispatchProfiler
+from .session import COUNTER_NAMES, TuneSession
+from .state import active_session, set_session
+from .tuner import ENGINE_PRIORS, Autotuner
+
+__all__ = [
+    "TuneError",
+    "PlanCacheError",
+    "SCHEMA_VERSION",
+    "Plan",
+    "PlanCache",
+    "default_cache_dir",
+    "plan_cache_key",
+    "kernel_identity",
+    "device_fingerprint",
+    "toolchain_version",
+    "Autotuner",
+    "ENGINE_PRIORS",
+    "DispatchProfiler",
+    "TuneSession",
+    "COUNTER_NAMES",
+    "active_session",
+    "enable",
+    "disable",
+    "tuning",
+    "warm",
+]
+
+
+def enable(
+    cache_dir: Optional[str] = None,
+    *,
+    budget: int = 4,
+    seed: int = 0,
+    toolchain: Optional[str] = None,
+) -> TuneSession:
+    """Install a process-wide tuning session; returns it.
+
+    Raises :class:`TuneError` if one is already active — nested owners
+    must either share the active session (check :func:`active_session`)
+    or scope themselves with :func:`tuning`.
+    """
+    if active_session() is not None:
+        raise TuneError(
+            "a tuning session is already active; call repro.tune.disable() "
+            "first or share the existing session"
+        )
+    session = TuneSession(
+        cache_dir, budget=budget, seed=seed, toolchain=toolchain
+    )
+    set_session(session)
+    return session
+
+
+def disable() -> Optional[TuneSession]:
+    """Uninstall the active session (saving its cache); returns it."""
+    session = set_session(None)
+    if session is not None:
+        session.save()
+    return session
+
+
+@contextmanager
+def tuning(
+    cache_dir: Optional[str] = None,
+    *,
+    budget: int = 4,
+    seed: int = 0,
+    toolchain: Optional[str] = None,
+) -> Iterator[TuneSession]:
+    """Scoped tuning: enable on entry, save + restore on exit.
+
+    Unlike :func:`enable` this composes with an already-active session
+    by reusing it (the common case when ``--tune`` wraps a serving tier
+    that also asked for tuning).
+    """
+    existing = active_session()
+    if existing is not None:
+        yield existing
+        return
+    session = enable(cache_dir, budget=budget, seed=seed, toolchain=toolchain)
+    try:
+        yield session
+    finally:
+        if active_session() is session:
+            disable()
+        else:  # someone swapped sessions underneath; still persist ours
+            session.save()
+
+
+def warm(pool, kernel, config, args=(), *, args_factory=None, session=None):
+    """Pre-tune one launch for every distinct device spec in a pool.
+
+    Pool workers read per-device-spec cache entries (the spec
+    fingerprint is part of the key), so warming once per *spec* — not
+    per device — is enough for a mixed A100/MI250 pool to dispatch every
+    shard from the cache.  ``args_factory(device) -> args`` builds
+    per-device arguments when the launch needs live device pointers;
+    plain ``args`` covers pointer-free launches.  Returns
+    ``{spec name: engine name}``.
+    """
+    session = session or active_session()
+    if session is None:
+        raise TuneError(
+            "tune.warm() needs an active tuning session; call "
+            "repro.tune.enable() (or pass session=) first"
+        )
+    plans = {}
+    for device in pool.distinct_specs():
+        launch_args = args_factory(device) if args_factory is not None else args
+        engine, _ = session.resolve(kernel, config, launch_args, device)
+        plans[device.spec.name] = engine.name if engine is not None else None
+    return plans

@@ -1,0 +1,247 @@
+"""The persistent compiled-plan cache.
+
+A :class:`PlanCache` maps :func:`~repro.tune.key.plan_cache_key` strings
+to :class:`Plan` records — the chosen engine, the launch geometry the
+plan was tuned for, and specialization flags — persisted as one JSON
+file (``plans.json``) under a configurable cache directory.
+
+Durability contract (the serving tier depends on every clause):
+
+* **Versioned schema.**  The file carries ``schema`` and is discarded
+  wholesale on mismatch — old caches are rebuilt, never migrated.
+* **Corruption is a warning, not an error.**  A truncated, garbage or
+  wrong-shape file is ignored with a :class:`RuntimeWarning` and
+  rebuilt.  A stale cache must never take down a run that would succeed
+  without one (:class:`~repro.errors.PlanCacheError` is reserved for
+  *misuse*: a cache path that is a file, an unwritable directory).
+* **Atomic publication.**  Saves write a sibling temp file and
+  ``os.replace`` it over ``plans.json``, so a reader never observes a
+  half-written file even mid-crash.
+* **Merge-on-save.**  Before replacing, the on-disk file is re-read and
+  unknown entries are merged in, so two processes tuning different
+  kernels against one cache dir both keep their work (last writer wins
+  only on identical keys).
+* **In-process locking.**  All cache instances for the same resolved
+  path share one :class:`threading.Lock`, serializing concurrent
+  serving sessions in one process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import PlanCacheError
+
+__all__ = ["SCHEMA_VERSION", "Plan", "PlanCache", "default_cache_dir"]
+
+#: Bump when the on-disk layout changes; mismatched files are rebuilt.
+SCHEMA_VERSION = 1
+
+_FILENAME = "plans.json"
+
+#: One lock per resolved cache file path, shared by every PlanCache
+#: instance in the process (serving sessions each construct their own).
+_PATH_LOCKS: Dict[str, threading.Lock] = {}
+_PATH_LOCKS_GUARD = threading.Lock()
+
+
+def default_cache_dir() -> str:
+    """The cache directory used when ``--tune-cache`` is not given."""
+    root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(root, "repro", "tune")
+
+
+def _lock_for(path: str) -> threading.Lock:
+    with _PATH_LOCKS_GUARD:
+        lock = _PATH_LOCKS.get(path)
+        if lock is None:
+            lock = _PATH_LOCKS[path] = threading.Lock()
+        return lock
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One tuned execution plan: the decision, not the measurement.
+
+    ``engine`` is the execution engine name (``"vector"``, ``"map"``,
+    ``"block-thread"``, ...); ``grid``/``block``/``shared_bytes`` record
+    the geometry the plan was tuned for (the tuner never re-shapes a
+    launch, so these always equal the key's geometry — they are stored
+    so a cache file is self-describing); ``flags`` carries
+    specialization metadata (``searched``, candidate count, the winning
+    measured nanoseconds) for reporting and tests.
+    """
+
+    engine: str
+    grid: Tuple[int, ...]
+    block: Tuple[int, ...]
+    shared_bytes: int = 0
+    flags: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """JSON-serializable dict form (inverse of :meth:`from_json`)."""
+        return {
+            "engine": self.engine,
+            "grid": list(self.grid),
+            "block": list(self.block),
+            "shared_bytes": self.shared_bytes,
+            "flags": dict(self.flags),
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Plan":
+        return cls(
+            engine=str(obj["engine"]),
+            grid=tuple(int(d) for d in obj["grid"]),
+            block=tuple(int(d) for d in obj["block"]),
+            shared_bytes=int(obj.get("shared_bytes", 0)),
+            flags=dict(obj.get("flags", {})),
+        )
+
+
+class PlanCache:
+    """A persistent key -> :class:`Plan` store under one cache directory."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = os.path.abspath(cache_dir or default_cache_dir())
+        if os.path.exists(self.cache_dir) and not os.path.isdir(self.cache_dir):
+            raise PlanCacheError(
+                f"plan cache path exists and is not a directory: {self.cache_dir!r}"
+            )
+        self.path = os.path.join(self.cache_dir, _FILENAME)
+        self._lock = _lock_for(self.path)
+        self._plans: Dict[str, Plan] = {}
+        self._dirty = False
+        self._cleared = False
+        self._load()
+
+    # -- persistence ---------------------------------------------------
+
+    def _read_file(self, *, warn: bool) -> Optional[Dict[str, Plan]]:
+        """Parse the on-disk file; ``None`` for absent/invalid content."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            if warn:
+                warnings.warn(
+                    f"ignoring unreadable plan cache {self.path!r} "
+                    f"({exc}); it will be rebuilt",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+            return None
+        try:
+            if raw.get("schema") != SCHEMA_VERSION:
+                if warn:
+                    warnings.warn(
+                        f"ignoring plan cache {self.path!r} with schema "
+                        f"{raw.get('schema')!r} (expected {SCHEMA_VERSION}); "
+                        f"it will be rebuilt",
+                        RuntimeWarning,
+                        stacklevel=4,
+                    )
+                return None
+            return {
+                str(k): Plan.from_json(v) for k, v in raw["plans"].items()
+            }
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            if warn:
+                warnings.warn(
+                    f"ignoring malformed plan cache {self.path!r} "
+                    f"({exc!r}); it will be rebuilt",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+            return None
+
+    def _load(self) -> None:
+        with self._lock:
+            loaded = self._read_file(warn=True)
+            if loaded:
+                self._plans.update(loaded)
+
+    def save(self) -> None:
+        """Atomically publish in-memory plans, merging concurrent writers."""
+        with self._lock:
+            if not self._dirty:
+                return
+            os.makedirs(self.cache_dir, exist_ok=True)
+            # Merge-on-save: adopt entries another process published since
+            # we loaded, then overlay our own (ours win on shared keys).
+            # An explicit clear() is the one exception — it means "drop
+            # everything", so the next save must not resurrect the file.
+            if self._cleared:
+                self._cleared = False
+            else:
+                on_disk = self._read_file(warn=False) or {}
+                on_disk.update(self._plans)
+                self._plans = on_disk
+            payload = {
+                "schema": SCHEMA_VERSION,
+                "plans": {k: p.to_json() for k, p in self._plans.items()},
+            }
+            fd, tmp = tempfile.mkstemp(
+                prefix=_FILENAME + ".", dir=self.cache_dir
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, indent=1, sort_keys=True)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._dirty = False
+
+    # -- access --------------------------------------------------------
+
+    def get(self, key: Optional[str]) -> Optional[Plan]:
+        """The cached :class:`Plan` for ``key`` (``None``-key safe)."""
+        if key is None:
+            return None
+        with self._lock:
+            return self._plans.get(key)
+
+    def put(self, key: str, plan: Plan) -> None:
+        """Store ``plan`` under ``key``; persisted by the next :meth:`save`."""
+        if not isinstance(key, str) or not key:
+            raise PlanCacheError(f"plan cache keys are non-empty strings, got {key!r}")
+        with self._lock:
+            self._plans[key] = plan
+            self._dirty = True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    def keys(self):
+        """Snapshot list of every cached key."""
+        with self._lock:
+            return list(self._plans)
+
+    def clear(self) -> None:
+        """Drop every plan; the next :meth:`save` truncates the file too."""
+        with self._lock:
+            self._plans.clear()
+            self._dirty = True
+            self._cleared = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlanCache({self.cache_dir!r}, entries={len(self)})"

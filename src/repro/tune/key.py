@@ -1,0 +1,144 @@
+"""Plan-cache keys: what makes two launches "the same tuning problem".
+
+A cached plan is only transferable between launches that agree on every
+input the plan decision depended on (the Fridman et al. portability
+study in PAPERS.md is blunt about this: tuned choices do not transfer
+across accelerators).  The key therefore covers:
+
+* **kernel identity** — module-qualified name *plus a source hash*, so
+  editing a kernel's body invalidates its plans without any manual
+  version bump;
+* **problem shape/geometry** — grid, block and dynamic-shared bytes of
+  the requested launch (the tuner never silently re-shapes a launch;
+  geometry is part of the problem statement);
+* **device spec** — a fingerprint over every architectural field of the
+  :class:`~repro.gpu.device.DeviceSpec`, so an A100 plan is invisible
+  on an MI250 and a *re-parameterized* A100 (e.g. a bandwidth recal)
+  re-tunes;
+* **toolchain version** — plans are artifacts of the stack that
+  produced them; a version bump invalidates everything at once.
+
+Keys are plain strings so they survive the JSON round trip unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from dataclasses import fields
+from typing import Callable, Optional
+from weakref import WeakKeyDictionary
+
+from .. import __version__ as _repro_version
+
+__all__ = [
+    "kernel_identity",
+    "device_fingerprint",
+    "toolchain_version",
+    "plan_cache_key",
+]
+
+#: Stack version stamped into every cache key.  Derived from the package
+#: version; bump ``_PLAN_REVISION`` when a change invalidates existing
+#: plans without a release (e.g. an engine-selection semantics change).
+_PLAN_REVISION = 1
+
+#: Memoized per-kernel identity strings — source hashing is not free and
+#: the launch fast path computes a key per launch.
+_IDENTITY_MEMO: "WeakKeyDictionary[Callable, str]" = WeakKeyDictionary()
+
+#: Memoized per-spec fingerprints, keyed by the (frozen, hashable) spec.
+_SPEC_MEMO: dict = {}
+
+
+def toolchain_version() -> str:
+    """The toolchain/stack version cached plans are keyed under."""
+    return f"repro-{_repro_version}+plan{_PLAN_REVISION}"
+
+
+def _source_hash(fn: Callable) -> str:
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError):
+        # No retrievable source (REPL lambdas, C callables): fall back to
+        # the name alone.  Such kernels still cache; they just will not
+        # self-invalidate on edit.
+        return "nosrc"
+    return hashlib.sha256(source.encode()).hexdigest()[:12]
+
+
+def kernel_identity(kernel: Callable) -> Optional[str]:
+    """Stable identity of the kernel *function* (through its wrappers).
+
+    ``None`` for objects that cannot be identified (or weak-referenced),
+    which makes the launch untunable — it is planned fresh every time,
+    exactly like :func:`~repro.gpu.engine.plan_key` treats unhashable
+    kernels.
+    """
+    entry = getattr(kernel, "entry", kernel)
+    fn = getattr(entry, "fn", None) or entry
+    try:
+        cached = _IDENTITY_MEMO.get(fn)
+    except TypeError:
+        return None
+    if cached is not None:
+        return cached
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if module is None or qualname is None:
+        return None
+    identity = f"{module}:{qualname}#{_source_hash(fn)}"
+    try:
+        _IDENTITY_MEMO[fn] = identity
+    except TypeError:
+        pass
+    return identity
+
+
+def device_fingerprint(spec) -> str:
+    """A short digest over every field of a :class:`DeviceSpec`.
+
+    Any architectural difference — not just the name — changes the
+    fingerprint, so two specs that merely *share a name* never share
+    plans.
+    """
+    cached = _SPEC_MEMO.get(spec)
+    if cached is not None:
+        return cached
+    body = hashlib.sha256()
+    for f in fields(spec):
+        body.update(f.name.encode())
+        body.update(repr(getattr(spec, f.name)).encode())
+    fingerprint = f"{spec.name}@{body.hexdigest()[:12]}"
+    _SPEC_MEMO[spec] = fingerprint
+    return fingerprint
+
+
+def plan_cache_key(
+    kernel: Callable,
+    grid,
+    block,
+    shared_bytes: int,
+    spec,
+    *,
+    toolchain: Optional[str] = None,
+) -> Optional[str]:
+    """The persistent cache key for one (kernel, shape, device, toolchain).
+
+    ``None`` when the kernel has no stable identity (never cached).
+    ``toolchain`` defaults to :func:`toolchain_version`; tests pass an
+    explicit value to exercise invalidation-on-bump.
+    """
+    identity = kernel_identity(kernel)
+    if identity is None:
+        return None
+    grid_t = grid.as_tuple() if hasattr(grid, "as_tuple") else tuple(grid)
+    block_t = block.as_tuple() if hasattr(block, "as_tuple") else tuple(block)
+    return "|".join((
+        identity,
+        "g" + "x".join(str(d) for d in grid_t),
+        "b" + "x".join(str(d) for d in block_t),
+        f"s{int(shared_bytes)}",
+        device_fingerprint(spec),
+        toolchain or toolchain_version(),
+    ))

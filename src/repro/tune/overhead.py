@@ -1,0 +1,71 @@
+"""Hot-path dispatch-overhead profiling.
+
+At serving scale the Python dispatcher *is* the hardware: the simulated
+kernels are cheap, so time-per-launch of ``launch_kernel``'s own
+bookkeeping (placement resolution, geometry validation, cache lookup)
+is the number the tune subsystem must not regress.  The launch path
+records it here whenever a tuning session is active — search time is
+excluded (the launch that pays for a search reports only its dispatch
+share), so warm-cache and untuned dispatch are directly comparable.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["DispatchProfiler"]
+
+
+class DispatchProfiler:
+    """Thread-safe accumulator of per-launch dispatch nanoseconds."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total_ns = 0
+        self._min_ns: Optional[int] = None
+        self._max_ns = 0
+
+    def record(self, ns: int) -> None:
+        """Fold one launch's dispatch time (nanoseconds) into the stats."""
+        ns = max(int(ns), 0)
+        with self._lock:
+            self._count += 1
+            self._total_ns += ns
+            self._max_ns = max(self._max_ns, ns)
+            self._min_ns = ns if self._min_ns is None else min(self._min_ns, ns)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def mean_us(self) -> float:
+        """Mean dispatch time per launch, in microseconds."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            return self._total_ns / self._count / 1e3
+
+    def summary(self) -> Dict[str, float]:
+        """Snapshot: launches plus total/mean/min/max microseconds."""
+        with self._lock:
+            count = self._count
+            total = self._total_ns
+            low = self._min_ns or 0
+            high = self._max_ns
+        return {
+            "launches": count,
+            "total_us": total / 1e3,
+            "mean_us": (total / count / 1e3) if count else 0.0,
+            "min_us": low / 1e3,
+            "max_us": high / 1e3,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DispatchProfiler(launches={self.count}, "
+            f"mean_us={self.mean_us:.2f})"
+        )

@@ -1,0 +1,190 @@
+"""TuneSession: the live tuning state the launch fast path consults.
+
+One session owns a :class:`~repro.tune.cache.PlanCache`, an
+:class:`~repro.tune.tuner.Autotuner`, a
+:class:`~repro.tune.overhead.DispatchProfiler`, and the ``tune_*``
+counters.  Install it with :func:`repro.tune.enable` (or the
+``tuning()`` context manager) and every
+:func:`~repro.gpu.launch.launch_kernel` call without an explicit engine
+pin resolves its engine here:
+
+* **hit** — the persisted plan supplies the engine; zero derivation and
+  zero tuning launches (the second-process acceptance criterion).
+* **miss** — a search runs (budget-bounded, seeded, side-effect free)
+  and the winner is **promoted** into the cache, which is saved
+  immediately so concurrent processes see it.
+
+Searches are skipped — and the engine-selection derived plan cached
+instead — whenever measurement could perturb semantics: a fault plan or
+the memcheck sanitizer is active (probe launches would consume injection
+triggers and break seeded replay), or an argument is opaque (its side
+effects could not be rolled back).  Either way the cached plan equals
+what an untuned run would execute, preserving bit-identity.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..trace import get_tracer
+from .cache import Plan, PlanCache
+from .key import plan_cache_key
+from .overhead import DispatchProfiler
+from .tuner import Autotuner, SearchAborted, searchable_args
+
+__all__ = ["TuneSession", "COUNTER_NAMES"]
+
+#: The trace-counter names the acceptance criteria key off.
+COUNTER_NAMES = (
+    "tune_hits",
+    "tune_misses",
+    "tune_searches",
+    "tune_promotes",
+    "tune_uncacheable",
+)
+
+
+def _injection_active() -> bool:
+    from ..faults.inject import active_plan
+    from ..faults.memcheck import get_memcheck
+
+    return active_plan() is not None or get_memcheck() is not None
+
+
+class TuneSession:
+    """Everything ``--tune`` turns on, bundled for one process/service."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        *,
+        budget: int = 4,
+        seed: int = 0,
+        toolchain: Optional[str] = None,
+    ) -> None:
+        self.cache = PlanCache(cache_dir)
+        self.tuner = Autotuner(budget=budget, seed=seed)
+        self.toolchain = toolchain
+        self.overhead = DispatchProfiler()
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+        self._counter_lock = threading.Lock()
+        # One search at a time: concurrent launches of the same cold
+        # kernel (serving dispatchers, pool workers) must not race
+        # duplicate measurements; the loser of the lock re-checks the
+        # cache and takes the winner's plan as a hit.
+        self._search_lock = threading.Lock()
+
+    # -- counters ------------------------------------------------------
+
+    def _bump(self, name: str) -> None:
+        with self._counter_lock:
+            self._counters[name] += 1
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.counter(name)
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the ``tune_*`` counters."""
+        with self._counter_lock:
+            return dict(self._counters)
+
+    # -- the launch fast path ------------------------------------------
+
+    def resolve(self, kernel, config, args: Sequence, device) -> Tuple[object, int]:
+        """Resolve the engine for one launch; returns ``(engine, search_ns)``.
+
+        ``engine`` is ``None`` when the launch is uncacheable (no stable
+        kernel identity) — the caller falls through to ordinary
+        selection.  ``search_ns`` is the time spent in this call, which
+        the dispatch-overhead profiler subtracts so a launch that paid
+        for a cold search does not skew the per-launch dispatch figure.
+        """
+        from ..gpu.engine import _ENGINES_BY_NAME
+
+        begin = time.perf_counter_ns()
+        key = plan_cache_key(
+            kernel, config.grid, config.block, config.shared_bytes,
+            device.spec, toolchain=self.toolchain,
+        )
+        if key is None:
+            self._bump("tune_uncacheable")
+            return None, time.perf_counter_ns() - begin
+        plan = self.cache.get(key)
+        engine = _ENGINES_BY_NAME.get(plan.engine) if plan is not None else None
+        if engine is not None:
+            self._bump("tune_hits")
+            return engine, time.perf_counter_ns() - begin
+        self._bump("tune_misses")
+        with self._search_lock:
+            plan = self.cache.get(key)
+            engine = _ENGINES_BY_NAME.get(plan.engine) if plan is not None else None
+            if engine is not None:
+                # A concurrent launch searched while we waited.
+                self._bump("tune_hits")
+                return engine, time.perf_counter_ns() - begin
+            engine = self._plan_and_promote(kernel, config, args, device, key)
+        return engine, time.perf_counter_ns() - begin
+
+    def _plan_and_promote(self, kernel, config, args, device, key: str):
+        from ..gpu.engine import _ENGINES_BY_NAME, select_engine
+
+        reason = None
+        if _injection_active():
+            reason = "fault injection or memcheck active"
+        elif not searchable_args(args):
+            reason = "opaque argument state"
+        if reason is None:
+            self._bump("tune_searches")
+            try:
+                plan = self.tuner.search(kernel, config, args, device)
+            except SearchAborted:
+                # A device fault fired mid-probe; do not cache anything
+                # and let the real launch surface (and poison with) it.
+                return select_engine(kernel, device, config.block)
+        else:
+            derived = select_engine(kernel, device, config.block)
+            plan = Plan(
+                engine=derived.name,
+                grid=config.grid.as_tuple(),
+                block=config.block.as_tuple(),
+                shared_bytes=config.shared_bytes,
+                flags={"searched": False, "reason": reason},
+            )
+        self.cache.put(key, plan)
+        self._bump("tune_promotes")
+        self.cache.save()
+        return _ENGINES_BY_NAME[plan.engine]
+
+    # -- lifecycle / reporting -----------------------------------------
+
+    def save(self) -> None:
+        """Flush the plan cache to disk (idempotent)."""
+        self.cache.save()
+
+    def summary(self) -> Dict[str, object]:
+        """Counters + dispatch overhead + cache shape, for CLI/stats."""
+        return {
+            "counters": self.counters(),
+            "dispatch": self.overhead.summary(),
+            "cache_dir": self.cache.cache_dir,
+            "cached_plans": len(self.cache),
+        }
+
+    def describe(self) -> str:
+        """One-paragraph human rendering of :meth:`summary`."""
+        counters = self.counters()
+        dispatch = self.overhead.summary()
+        return (
+            f"tune: {counters['tune_hits']} hit(s), "
+            f"{counters['tune_misses']} miss(es), "
+            f"{counters['tune_searches']} search(es), "
+            f"{counters['tune_promotes']} promote(s); "
+            f"{len(self.cache)} plan(s) in {self.cache.cache_dir}; "
+            f"dispatch {dispatch['mean_us']:.1f} us/launch over "
+            f"{int(dispatch['launches'])} launch(es)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TuneSession cache={self.cache.cache_dir!r} {self.counters()}>"

@@ -1,0 +1,39 @@
+"""The process-global tuning session slot.
+
+This module exists so the launch hot path (:mod:`repro.gpu.launch`) can
+ask "is tuning on?" without importing the rest of :mod:`repro.tune` —
+the same zero-cost-when-disabled contract the tracer follows: the
+disabled path is one global read and an ``is None`` test, and no tuning
+module is imported until a session is actually installed.
+
+It deliberately imports nothing from the gpu/perf layers (they import
+*us*), which is what keeps the tune <-> launch dependency acyclic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["active_session", "set_session"]
+
+_lock = threading.Lock()
+_active = None
+
+
+def active_session():
+    """The installed :class:`~repro.tune.TuneSession`, or ``None``."""
+    return _active
+
+
+def set_session(session) -> Optional[object]:
+    """Install (or with ``None``, clear) the process tuning session.
+
+    Returns the previously installed session so callers can detect a
+    double-enable and restore on teardown.
+    """
+    global _active
+    with _lock:
+        previous = _active
+        _active = session
+        return previous

@@ -1,0 +1,333 @@
+"""The autotuner: model-seeded, measurement-committed engine search.
+
+The search closes the loop ROADMAP item 2 describes: the perf model
+(:mod:`repro.perf.occupancy` / :mod:`repro.perf.roofline`) *predicts* a
+candidate ordering, real launches *measure* it, and the winner is
+committed as a :class:`~repro.tune.cache.Plan`.  Concretely:
+
+1. **Candidates** are the execution engines that can run this kernel at
+   all — derived from the same declared flags and static analysis
+   :func:`~repro.gpu.engine.select_engine` consults, plus each engine's
+   thread-count guard rail.  The tuner never re-shapes the launch:
+   grid/block/shared are part of the problem statement (and of the cache
+   key), so every candidate is bit-identical by the PR-1 engine
+   equivalence guarantee — which is what makes ``--tune`` runs safe to
+   compare checksum-for-checksum against untuned runs.
+2. **Prediction** orders candidates by a per-engine simulator-throughput
+   prior scaled by the occupancy saturation of the requested geometry,
+   with a deterministic seeded jitter breaking ties.  Predictions are
+   recorded via :meth:`~repro.trace.Tracer.prediction` so trace exports
+   can join predicted-vs-observed per candidate (the PR-2 feature).
+3. **Measurement** runs the top ``budget`` candidates for real, on the
+   real arguments, between a device-memory snapshot and restore — so a
+   non-idempotent kernel (Adam's in-place moment updates) measures
+   safely and the subsequent committed launch starts from pristine
+   state.  Time is wall-clock of the simulator: on this substrate the
+   interpreter *is* the hardware, and the 40-250x engine spread is
+   exactly what is being tuned.
+
+A candidate that fails its guard rail or raises from the kernel body is
+discarded (the launch path would have the same problem; the search just
+learned it early).  A :class:`~repro.errors.KernelFault` aborts the
+whole search instead — faults must poison the device through the real
+launch path, not be half-observed by a measurement probe.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import KernelFault, LaunchError, PerfModelError, TuneError
+from ..gpu.engine import (
+    _ENGINES_BY_NAME,
+    _MAX_COOPERATIVE_THREADS,
+    _MAX_MAP_THREADS,
+    _MAX_VECTOR_THREADS,
+    _analyze_or_none,
+    select_engine,
+)
+from ..trace import get_tracer
+from .cache import Plan
+
+__all__ = ["Autotuner", "SearchAborted", "ENGINE_PRIORS"]
+
+#: Relative simulator throughput of each engine — the PR-1 benchmark
+#: ordering (vector 40-250x over block-thread; map ~ a few x).  These
+#: seed the *search order* only; measurement decides the winner.
+ENGINE_PRIORS: Dict[str, float] = {
+    "vector": 250.0,
+    "wave": 40.0,
+    "map": 3.0,
+    "block-thread": 1.0,
+}
+
+_ENGINE_CAPS: Dict[str, int] = {
+    "block-thread": _MAX_COOPERATIVE_THREADS,
+    "map": _MAX_MAP_THREADS,
+    "vector": _MAX_VECTOR_THREADS,
+    "wave": _MAX_VECTOR_THREADS,
+}
+
+#: Register pressure assumed for occupancy seeding when the kernel has
+#: not been through the compiler model (typical for functional runs).
+_DEFAULT_REGISTERS = 32
+
+
+class SearchAborted(Exception):
+    """Internal: a device fault fired during candidate measurement.
+
+    Not a :class:`~repro.errors.TuneError` and never user-visible: the
+    session catches it, skips caching, and lets the real launch
+    reproduce (and properly poison the device with) the fault.
+    """
+
+
+def _kernel_flags(kernel: Callable) -> Tuple[bool, object]:
+    # Same attribute lookups select_engine's _plan does, so the tuner and
+    # the automatic path always agree about what the kernel declared.
+    return (
+        bool(getattr(kernel, "sync_free", False)),
+        getattr(kernel, "vectorize", None),
+    )
+
+
+class Autotuner:
+    """Engine search with a tunable budget and seeded deterministic order."""
+
+    def __init__(
+        self,
+        *,
+        budget: int = 4,
+        seed: int = 0,
+        registers_per_thread: int = _DEFAULT_REGISTERS,
+    ) -> None:
+        if budget < 1:
+            raise TuneError(f"exploration budget must be >= 1, got {budget}")
+        if registers_per_thread < 1:
+            raise TuneError(
+                f"registers_per_thread must be >= 1, got {registers_per_thread}"
+            )
+        self.budget = budget
+        self.seed = seed
+        self.registers_per_thread = registers_per_thread
+
+    # -- candidate enumeration ----------------------------------------
+
+    def candidates(self, kernel: Callable, config, device) -> List[str]:
+        """Engine names that can correctly execute this launch.
+
+        Mirrors :func:`~repro.gpu.engine.select_engine`'s reasoning, but
+        keeps *every* legal engine instead of picking one: block-thread
+        is always legal (full SIMT reference); map needs a sync-free
+        body; vector/wave need the static analysis to prove the kernel
+        batchable.  Each engine's thread guard rail filters by size.
+        ``vectorize=False`` pins the legacy engines, exactly as it does
+        for automatic selection.
+        """
+        sync_free, vectorize = _kernel_flags(kernel)
+        traits = _analyze_or_none(kernel)
+        names = ["block-thread"]
+        barrier_free = traits is not None and not (
+            traits.uses_barrier or traits.uses_shared or traits.uses_warp_collectives
+        )
+        if sync_free or barrier_free:
+            names.append("map")
+        if vectorize is not False and traits is not None and traits.vectorizable \
+                and not (traits.uses_warp_collectives or traits.uses_atomics):
+            if not (traits.uses_barrier or traits.uses_shared):
+                names.append("vector")
+            names.append("wave")
+        total = config.total_threads
+        feasible = [n for n in names if total <= _ENGINE_CAPS[n]]
+        derived = select_engine(kernel, device, config.block).name
+        if derived not in feasible and total <= _ENGINE_CAPS.get(derived, 0):
+            feasible.append(derived)
+        return feasible
+
+    # -- prediction ----------------------------------------------------
+
+    def predicted_order(
+        self, kernel: Callable, config, device, names: Sequence[str]
+    ) -> List[Tuple[str, float]]:
+        """``(engine, predicted score)`` best-first, deterministically.
+
+        Score = engine throughput prior x occupancy saturation of the
+        requested geometry (cooperative engines live or die by
+        residency; the model supplies the knee).  The seeded jitter is a
+        sub-percent perturbation: it fixes the order among engines the
+        model cannot separate without ever overriding a real gap.
+        """
+        from ..perf.occupancy import compute_occupancy
+        from ..perf.roofline import saturation
+
+        try:
+            occ = compute_occupancy(
+                device.spec,
+                config.block.volume,
+                self.registers_per_thread,
+                config.shared_bytes,
+            )
+            sat = saturation(occ.occupancy)
+        except PerfModelError:
+            sat = 0.5  # geometry outside the model's envelope; order by prior
+        rng = random.Random(self.seed)
+        scored = [
+            (name, ENGINE_PRIORS.get(name, 1.0) * sat * (1.0 + 1e-3 * rng.random()))
+            for name in names
+        ]
+        scored.sort(key=lambda item: -item[1])
+        return scored
+
+    # -- measurement ---------------------------------------------------
+
+    def search(self, kernel: Callable, config, args: Sequence, device) -> Plan:
+        """Measure candidates and commit the fastest as a :class:`Plan`.
+
+        Device memory (on the launch device and on every device an
+        argument pointer lives on) plus raw ndarray arguments are
+        snapshotted around each probe, so measurement is side-effect
+        free.  Raises :class:`SearchAborted` on a device fault.
+        """
+        ordered = self.predicted_order(
+            kernel, config, device, self.candidates(kernel, config, device)
+        )
+        kernel_name = getattr(
+            getattr(kernel, "fn", None) or kernel, "__name__", "kernel"
+        )
+        tracer = get_tracer()
+        if tracer is not None:
+            for rank, (name, score) in enumerate(ordered):
+                tracer.prediction(
+                    kernel_name, tune_engine=name, tune_rank=rank,
+                    tune_score=score,
+                )
+        grid_t = config.grid.as_tuple()
+        block_t = config.block.as_tuple()
+        if len(ordered) == 1:
+            # Nothing to race; commit the only legal engine unmeasured.
+            return Plan(
+                engine=ordered[0][0], grid=grid_t, block=block_t,
+                shared_bytes=config.shared_bytes,
+                flags={"searched": True, "candidates": 1, "measured": 0,
+                       "seed": self.seed},
+            )
+        measured: List[Tuple[int, str]] = []
+        probes = 0
+        snap = _snapshot(device, args)
+        try:
+            for name, _score in ordered[: self.budget]:
+                engine = _ENGINES_BY_NAME[name]
+                probes += 1
+                begin = time.perf_counter_ns()
+                try:
+                    if tracer is None:
+                        engine.run(
+                            kernel, config.grid, config.block, tuple(args),
+                            device, config.shared_bytes,
+                        )
+                    else:
+                        with tracer.span(
+                            f"tune:probe:{kernel_name}", cat="tune",
+                            engine=name,
+                        ):
+                            engine.run(
+                                kernel, config.grid, config.block, tuple(args),
+                                device, config.shared_bytes,
+                            )
+                except LaunchError as exc:
+                    if isinstance(exc.__cause__, KernelFault):
+                        raise SearchAborted(name) from exc
+                    continue  # infeasible candidate; the rail spoke
+                finally:
+                    elapsed = time.perf_counter_ns() - begin
+                    _restore(snap)
+                measured.append((elapsed, name))
+                if tracer is not None:
+                    tracer.prediction(
+                        kernel_name, tune_engine=name,
+                        tune_measured_ns=elapsed,
+                    )
+        finally:
+            _restore(snap)
+        if not measured:
+            # Every probe refused; fall back to the derived engine and
+            # let the real launch surface whatever is wrong.
+            derived = select_engine(kernel, device, config.block)
+            return Plan(
+                engine=derived.name, grid=grid_t, block=block_t,
+                shared_bytes=config.shared_bytes,
+                flags={"searched": False, "reason": "no feasible candidate"},
+            )
+        best_ns, winner = min(measured)
+        return Plan(
+            engine=winner, grid=grid_t, block=block_t,
+            shared_bytes=config.shared_bytes,
+            flags={
+                "searched": True,
+                "candidates": len(ordered),
+                "measured": probes,
+                "best_ns": best_ns,
+                "seed": self.seed,
+            },
+        )
+
+
+# -- measurement isolation ---------------------------------------------
+
+
+def searchable_args(args: Sequence) -> bool:
+    """Whether every argument's state can be snapshotted and restored.
+
+    Device pointers are handles (state lives in the allocator, which we
+    snapshot); numbers/strings are immutable; raw ndarrays are copied.
+    Anything opaque (the classic-OpenMP accessor objects, user callables)
+    disables the search — the derived plan is cached instead, because
+    re-executing a kernel whose side effects we cannot roll back would
+    break the bit-identity guarantee.
+    """
+    from ..gpu.memory import DevicePointer
+
+    import numpy as np
+
+    def ok(value) -> bool:
+        if value is None or isinstance(
+            value, (bool, int, float, complex, str, bytes,
+                    DevicePointer, np.ndarray, np.generic)
+        ):
+            return True
+        if isinstance(value, (tuple, list)):
+            return all(ok(v) for v in value)
+        return False
+
+    return all(ok(a) for a in args)
+
+
+def _snapshot(device, args: Sequence):
+    """Capture every store a measurement probe could mutate."""
+    from ..gpu.device import get_device
+    from ..gpu.memory import DevicePointer
+
+    import numpy as np
+
+    ordinals = {device.ordinal}
+    arrays = []
+    for arg in args:
+        if isinstance(arg, DevicePointer):
+            ordinals.add(arg.device_ordinal)
+        elif isinstance(arg, np.ndarray):
+            arrays.append((arg, arg.copy()))
+    allocators = []
+    for ordinal in sorted(ordinals):
+        allocator = get_device(ordinal).allocator
+        allocators.append((allocator, allocator.snapshot()))
+    return allocators, arrays
+
+
+def _restore(snap) -> None:
+    allocators, arrays = snap
+    for allocator, saved in allocators:
+        allocator.restore(saved)
+    for array, saved in arrays:
+        array[...] = saved

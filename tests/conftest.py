@@ -46,6 +46,11 @@ def pytest_runtest_call(item):
         seconds = 120
     elif marker is None and item.get_closest_marker("serve") is not None:
         seconds = 120
+    elif marker is None and item.get_closest_marker("tune") is not None:
+        # Tuning tests launch measurement probes across several engines
+        # (including the slow cooperative one) and spin up serving
+        # tiers; a lost wakeup there hangs just like a serve bug does.
+        seconds = 120
     elif marker is not None:
         seconds = int(marker.args[0]) if marker.args else 60
     else:

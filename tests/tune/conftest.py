@@ -1,0 +1,20 @@
+"""Shared guard rails for the tuning tests.
+
+A leaked process-wide tuning session would silently turn every later
+test into a tuned run (and leak plan-cache writes into ``~/.cache``), so
+each test here runs under an autouse fixture that uninstalls whatever
+session it left behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import tune
+
+
+@pytest.fixture(autouse=True)
+def no_session_leaks():
+    assert tune.active_session() is None, "a previous test leaked a session"
+    yield
+    tune.set_session(None)

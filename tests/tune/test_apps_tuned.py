@@ -1,0 +1,84 @@
+"""Bit-identity acceptance: --tune changes timings, never checksums."""
+
+import numpy as np
+import pytest
+
+from repro import tune
+from repro.apps import ALL_APPS, ExecutionConfig, run
+from repro.gpu.device import get_device
+from repro.openmp.data import data_environment
+
+pytestmark = pytest.mark.tune
+
+
+@pytest.fixture(autouse=True)
+def clean_env():
+    yield
+    for ordinal in (0, 1):
+        data_environment(get_device(ordinal)).reset()
+
+
+@pytest.mark.parametrize("app_cls", ALL_APPS, ids=lambda a: a.name)
+def test_tuned_run_is_bit_identical(app_cls, tmp_path):
+    """All six apps: warm-cache --tune output equals untuned output."""
+    app = app_cls()
+    untuned = run(app)
+    tuned = run(app, tune=True, tune_cache=str(tmp_path))
+    assert app.verify(tuned, app.functional_params())
+    # Bit-identical, not approximately equal: tuning only picks among
+    # the PR-1-equivalent engines and never re-shapes a launch.
+    assert np.array_equal(np.asarray(tuned.output), np.asarray(untuned.output))
+    assert tuned.checksum == untuned.checksum
+    session = tuned.tune_session
+    assert session is not None
+    counters = session.counters()
+    assert counters["tune_misses"] + counters["tune_hits"] > 0
+
+    # Warm second run from the persisted cache: zero tuning launches.
+    warm = run(app, tune=True, tune_cache=str(tmp_path))
+    assert warm.checksum == untuned.checksum
+    warm_counters = warm.tune_session.counters()
+    assert warm_counters["tune_searches"] == 0
+    assert warm_counters["tune_misses"] == 0
+
+
+def test_run_reuses_an_externally_owned_session(tmp_path):
+    app = ALL_APPS[-1]()  # stencil1d: the cheapest app
+    with tune.tuning(str(tmp_path)) as session:
+        result = run(app, tune=True)
+        assert result.tune_session is session
+        assert tune.active_session() is session  # run() did not disable it
+    assert tune.active_session() is None
+
+
+def test_untuned_run_attaches_no_session():
+    app = ALL_APPS[-1]()
+    result = run(app)
+    assert result.tune_session is None
+    assert tune.active_session() is None
+
+
+def test_tuned_sharded_run_composes_with_the_pool(tmp_path):
+    # --tune --devices 2: pool workers resolve engines through the same
+    # session; per-device-spec keys mean a uniform pool shares plans.
+    app = ALL_APPS[-1]()
+    plain = run(app, devices=2)
+    tuned = run(app, devices=2, tune=True, tune_cache=str(tmp_path))
+    assert tuned.checksum == plain.checksum
+    counters = tuned.tune_session.counters()
+    assert counters["tune_promotes"] >= 1
+
+
+def test_tuned_resilient_run_composes(tmp_path):
+    app = ALL_APPS[-1]()
+    plain = run(app)
+    tuned = run(app, resilient=True, devices=2, tune=True,
+                tune_cache=str(tmp_path))
+    assert tuned.checksum == plain.checksum
+
+
+def test_execution_config_carries_the_tune_fields(tmp_path):
+    config = ExecutionConfig(tune=True, tune_cache=str(tmp_path))
+    result = run(ALL_APPS[-1](), config)
+    assert result.tune_session is not None
+    assert result.tune_session.cache.cache_dir == str(tmp_path)

@@ -1,0 +1,191 @@
+"""PlanCache durability contract: versioning, corruption, atomicity, merge."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import PlanCacheError, ReproError, TuneError
+from repro.tune import SCHEMA_VERSION, Plan, PlanCache, default_cache_dir
+
+pytestmark = pytest.mark.tune
+
+
+def make_plan(engine="vector", **flags):
+    return Plan(engine=engine, grid=(4, 1, 1), block=(64, 1, 1),
+                shared_bytes=0, flags=flags)
+
+
+class TestPlanRecord:
+    def test_json_round_trip(self):
+        plan = make_plan(searched=True, best_ns=1234)
+        again = Plan.from_json(json.loads(json.dumps(plan.to_json())))
+        assert again == plan
+
+    def test_geometry_coerced_to_int_tuples(self):
+        obj = {"engine": "map", "grid": [2.0, 1, 1], "block": ["8", 1, 1]}
+        plan = Plan.from_json(obj)
+        assert plan.grid == (2, 1, 1)
+        assert plan.block == (8, 1, 1)
+        assert plan.shared_bytes == 0
+        assert plan.flags == {}
+
+
+class TestBasicStore:
+    def test_put_get_save_load(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        assert len(cache) == 0
+        cache.put("k1", make_plan())
+        assert cache.get("k1") == make_plan()
+        assert "k1" in cache
+        assert cache.keys() == ["k1"]
+        cache.save()
+
+        fresh = PlanCache(str(tmp_path))
+        assert fresh.get("k1") == make_plan()
+        assert len(fresh) == 1
+
+    def test_get_none_key_is_safe(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        assert cache.get(None) is None
+
+    def test_clean_cache_save_is_a_no_op(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        cache.save()
+        assert not os.path.exists(cache.path)
+
+    def test_cache_dir_created_lazily_on_save(self, tmp_path):
+        target = tmp_path / "nested" / "plans"
+        cache = PlanCache(str(target))
+        cache.put("k", make_plan())
+        cache.save()
+        assert (target / "plans.json").is_file()
+
+    def test_default_cache_dir_respects_xdg(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == str(tmp_path / "repro" / "tune")
+
+    def test_clear_empties_and_marks_dirty(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        cache.put("k", make_plan())
+        cache.save()
+        cache.clear()
+        cache.save()
+        assert len(PlanCache(str(tmp_path))) == 0
+
+
+class TestMisuse:
+    def test_cache_path_that_is_a_file_is_refused(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("hello")
+        with pytest.raises(PlanCacheError, match="not a directory"):
+            PlanCache(str(blocker))
+
+    def test_misuse_error_is_a_tune_and_repro_error(self):
+        assert issubclass(PlanCacheError, TuneError)
+        assert issubclass(PlanCacheError, ReproError)
+
+    @pytest.mark.parametrize("bad", ["", None, 42, ("a",)])
+    def test_non_string_or_empty_keys_are_refused(self, tmp_path, bad):
+        cache = PlanCache(str(tmp_path))
+        with pytest.raises(PlanCacheError, match="non-empty strings"):
+            cache.put(bad, make_plan())
+
+
+class TestCorruptionIsAWarningNotAnError:
+    """Satellite: a stale/corrupt cache must never take down a run."""
+
+    def _seed_file(self, tmp_path, text):
+        path = tmp_path / "plans.json"
+        path.write_text(text)
+        return path
+
+    def test_garbage_bytes_warn_and_rebuild(self, tmp_path):
+        self._seed_file(tmp_path, "\x00\xff this is not json {{{")
+        with pytest.warns(RuntimeWarning, match="rebuilt"):
+            cache = PlanCache(str(tmp_path))
+        assert len(cache) == 0
+        cache.put("k", make_plan())
+        cache.save()
+        assert PlanCache(str(tmp_path)).get("k") == make_plan()
+
+    def test_truncated_json_warns_and_rebuilds(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        cache.put("k", make_plan())
+        cache.save()
+        full = (tmp_path / "plans.json").read_text()
+        self._seed_file(tmp_path, full[: len(full) // 2])
+        with pytest.warns(RuntimeWarning, match="rebuilt"):
+            reopened = PlanCache(str(tmp_path))
+        assert len(reopened) == 0
+
+    def test_schema_mismatch_discards_wholesale(self, tmp_path):
+        payload = {
+            "schema": SCHEMA_VERSION + 1,
+            "plans": {"k": make_plan().to_json()},
+        }
+        self._seed_file(tmp_path, json.dumps(payload))
+        with pytest.warns(RuntimeWarning, match="schema"):
+            cache = PlanCache(str(tmp_path))
+        assert len(cache) == 0
+
+    def test_wrong_shape_top_level_warns(self, tmp_path):
+        self._seed_file(tmp_path, json.dumps(["not", "a", "mapping"]))
+        with pytest.warns(RuntimeWarning):
+            cache = PlanCache(str(tmp_path))
+        assert len(cache) == 0
+
+    def test_malformed_plan_record_warns(self, tmp_path):
+        payload = {"schema": SCHEMA_VERSION, "plans": {"k": {"engine": "map"}}}
+        self._seed_file(tmp_path, json.dumps(payload))
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            cache = PlanCache(str(tmp_path))
+        assert len(cache) == 0
+
+    def test_corrupt_file_is_replaced_by_next_save(self, tmp_path):
+        self._seed_file(tmp_path, "garbage")
+        with pytest.warns(RuntimeWarning):
+            cache = PlanCache(str(tmp_path))
+        cache.put("k", make_plan())
+        cache.save()
+        raw = json.loads((tmp_path / "plans.json").read_text())
+        assert raw["schema"] == SCHEMA_VERSION
+        assert "k" in raw["plans"]
+
+
+class TestAtomicityAndMerge:
+    def test_save_leaves_no_temp_droppings(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        cache.put("k", make_plan())
+        cache.save()
+        assert os.listdir(tmp_path) == ["plans.json"]
+
+    def test_saved_file_is_always_parseable(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        for i in range(5):
+            cache.put(f"k{i}", make_plan(searched=True, index=i))
+            cache.save()
+            raw = json.loads((tmp_path / "plans.json").read_text())
+            assert len(raw["plans"]) == i + 1
+
+    def test_merge_on_save_keeps_both_writers(self, tmp_path):
+        # Two sessions share one cache dir but tune different kernels —
+        # the slower saver must not clobber the faster one's plans.
+        a = PlanCache(str(tmp_path))
+        b = PlanCache(str(tmp_path))
+        a.put("from-a", make_plan("vector"))
+        b.put("from-b", make_plan("map"))
+        a.save()
+        b.save()
+        merged = PlanCache(str(tmp_path))
+        assert merged.get("from-a").engine == "vector"
+        assert merged.get("from-b").engine == "map"
+
+    def test_identical_keys_last_writer_wins(self, tmp_path):
+        a = PlanCache(str(tmp_path))
+        b = PlanCache(str(tmp_path))
+        a.put("k", make_plan("vector"))
+        b.put("k", make_plan("wave"))
+        a.save()
+        b.save()
+        assert PlanCache(str(tmp_path)).get("k").engine == "wave"

@@ -1,0 +1,85 @@
+"""The --tune / --tune-cache CLI flags and their composition surface."""
+
+import pytest
+
+from repro import tune
+from repro.apps import Stencil1D, VersionLabel, XSBench
+from repro.apps.__main__ import main
+from repro.gpu import get_device
+from repro.trace.export import validate_chrome_trace
+
+pytestmark = pytest.mark.tune
+
+APPS = {"xsbench": XSBench, "stencil1d": Stencil1D}
+
+
+def _expected_checksum(key):
+    app = APPS[key]()
+    params = app.functional_params()
+    return app.run_single(VersionLabel.OMPX, params, get_device(0)).checksum
+
+
+@pytest.mark.parametrize("key", sorted(APPS))
+def test_tune_run_matches_untuned_checksum(key, tmp_path, capsys):
+    code = main([key, "--run", "--tune", "--tune-cache", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert f"checksum = {_expected_checksum(key):.6f}" in out
+    assert "verification PASSED" in out
+    # The tune summary printed, pointing at the requested cache dir.
+    assert "tune:" in out
+    assert str(tmp_path) in out
+    assert tune.active_session() is None  # the CLI cleaned up
+
+
+def test_second_invocation_is_all_hits(tmp_path, capsys):
+    main(["stencil1d", "--run", "--tune", "--tune-cache", str(tmp_path)])
+    capsys.readouterr()
+    code = main(["stencil1d", "--run", "--tune", "--tune-cache", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    # Warm cache: zero searches, zero misses — only hits.
+    assert "0 search(es)" in out
+    assert "0 miss(es)" in out
+    assert "verification PASSED" in out
+
+
+@pytest.mark.parametrize("key", sorted(APPS))
+def test_tune_serve_resilient_devices_compose(key, tmp_path, capsys):
+    # The acceptance composition: --tune --serve --resilient --devices 2.
+    code = main([
+        key, "--tune", "--tune-cache", str(tmp_path),
+        "--serve", "--resilient", "--devices", "2",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert f"checksum = {_expected_checksum(key):.6f}" in out
+    assert "tune:" in out
+    assert tune.active_session() is None
+
+
+def test_tune_trace_compose(tmp_path, capsys):
+    trace_path = tmp_path / "tuned.json"
+    code = main([
+        "stencil1d", "--run", "--tune", "--tune-cache", str(tmp_path),
+        "--trace", str(trace_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "tune:" in out
+    events = validate_chrome_trace(trace_path)
+    assert events
+
+
+def test_tune_resilient_faulted_run_still_passes(tmp_path, capsys):
+    # Searches are suppressed under an active fault plan, so the seeded
+    # fault replay stays deterministic and recovery still heals the run.
+    code = main([
+        "xsbench", "--run", "--tune", "--tune-cache", str(tmp_path),
+        "--resilient", "--devices", "2",
+        "--faults", "launch:kernel_fault@1 device=1;seed=9",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert f"checksum = {_expected_checksum('xsbench'):.6f}" in out
+    assert "0 search(es)" in out

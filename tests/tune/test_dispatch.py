@@ -1,0 +1,222 @@
+"""The launch fast path: sessions, counters, persistence, composition."""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro import faults, trace, tune
+from repro import ompx
+from repro.errors import TuneError
+from repro.gpu.device import A100_SPEC, MI250_SPEC, get_device
+from repro.gpu.launch import LaunchConfig, launch_kernel
+from repro.sched import DevicePool
+
+pytestmark = pytest.mark.tune
+
+N = 256
+CONFIG = LaunchConfig.create(4, 64)
+
+
+@ompx.bare_kernel(sync_free=True)
+def double_up(x, ptr, n):
+    i = x.global_thread_id_x()
+    if i < n:
+        x.array(ptr, n, np.float64)[i] *= 2.0
+
+
+@ompx.bare_kernel(sync_free=True)
+def warm_probe(x, bias):
+    # Pure compute, no memory arguments: safe to measure on any device.
+    i = x.global_thread_id_x()
+    t = i * 2 + bias
+    del t
+
+
+@pytest.fixture
+def device():
+    return get_device(0)
+
+
+@pytest.fixture
+def buf(device):
+    ptr = device.allocator.malloc(N * 8)
+    device.allocator.memcpy_h2d(ptr, np.arange(N, dtype=np.float64))
+    yield ptr
+    device.allocator.free(ptr)
+
+
+def read_buf(device, ptr):
+    out = np.zeros(N)
+    device.allocator.memcpy_d2h(out, ptr)
+    return out
+
+
+class TestSessionLifecycle:
+    def test_enable_twice_is_refused(self, tmp_path):
+        tune.enable(str(tmp_path))
+        try:
+            with pytest.raises(TuneError, match="already active"):
+                tune.enable(str(tmp_path))
+        finally:
+            tune.disable()
+
+    def test_disable_returns_and_uninstalls(self, tmp_path):
+        session = tune.enable(str(tmp_path))
+        assert tune.active_session() is session
+        assert tune.disable() is session
+        assert tune.active_session() is None
+        assert tune.disable() is None
+
+    def test_tuning_context_reuses_an_active_session(self, tmp_path):
+        with tune.tuning(str(tmp_path)) as outer:
+            with tune.tuning("/nonexistent-ignored") as inner:
+                assert inner is outer
+            assert tune.active_session() is outer
+        assert tune.active_session() is None
+
+
+class TestLaunchFastPath:
+    def test_miss_search_promote_then_hit(self, tmp_path, device, buf):
+        with tune.tuning(str(tmp_path)) as session:
+            launch_kernel(CONFIG, double_up.entry, (buf, N), device)
+            first = session.counters()
+            assert first["tune_misses"] == 1
+            assert first["tune_searches"] == 1
+            assert first["tune_promotes"] == 1
+            assert first["tune_hits"] == 0
+
+            launch_kernel(CONFIG, double_up.entry, (buf, N), device)
+            second = session.counters()
+            assert second["tune_hits"] == 1
+            assert second["tune_searches"] == 1  # no re-search
+        # Both launches really ran (probes were rolled back, real
+        # launches were not): 2 doublings.
+        assert np.array_equal(read_buf(device, buf), np.arange(N) * 4.0)
+
+    def test_tuned_output_is_bit_identical(self, tmp_path, device, buf):
+        launch_kernel(CONFIG, double_up.entry, (buf, N), device)
+        untuned = read_buf(device, buf)
+        device.allocator.memcpy_h2d(buf, np.arange(N, dtype=np.float64))
+        with tune.tuning(str(tmp_path)):
+            launch_kernel(CONFIG, double_up.entry, (buf, N), device)
+        assert np.array_equal(read_buf(device, buf), untuned)
+
+    def test_second_session_reuses_the_persisted_cache(self, tmp_path, device, buf):
+        # The acceptance criterion: a fresh session (a second process,
+        # modulo the interpreter) performs ZERO tuning launches.
+        with tune.tuning(str(tmp_path)):
+            launch_kernel(CONFIG, double_up.entry, (buf, N), device)
+        with tune.tuning(str(tmp_path)) as warm:
+            launch_kernel(CONFIG, double_up.entry, (buf, N), device)
+            counters = warm.counters()
+        assert counters["tune_hits"] == 1
+        assert counters["tune_misses"] == 0
+        assert counters["tune_searches"] == 0
+        assert counters["tune_promotes"] == 0
+
+    def test_engine_pin_bypasses_the_session(self, tmp_path, device, buf):
+        pinned = LaunchConfig.create(4, 64, engine="block-thread")
+        with tune.tuning(str(tmp_path)) as session:
+            launch_kernel(pinned, double_up.entry, (buf, N), device)
+            assert all(v == 0 for v in session.counters().values())
+
+    def test_unidentifiable_kernel_counts_uncacheable(self, tmp_path, device, buf):
+        opaque = functools.partial(double_up.entry)
+        with tune.tuning(str(tmp_path)) as session:
+            launch_kernel(CONFIG, opaque, (buf, N), device)
+            assert session.counters()["tune_uncacheable"] == 1
+            assert len(session.cache) == 0
+        assert np.array_equal(read_buf(device, buf), np.arange(N) * 2.0)
+
+    def test_dispatch_overhead_is_profiled(self, tmp_path, device, buf):
+        with tune.tuning(str(tmp_path)) as session:
+            launch_kernel(CONFIG, double_up.entry, (buf, N), device)
+            launch_kernel(CONFIG, double_up.entry, (buf, N), device)
+            summary = session.overhead.summary()
+        assert summary["launches"] == 2
+        assert summary["mean_us"] > 0
+        assert summary["max_us"] >= summary["min_us"]
+
+    def test_no_session_means_no_overhead_tracking(self, device, buf):
+        assert tune.active_session() is None
+        launch_kernel(CONFIG, double_up.entry, (buf, N), device)  # plain run
+
+
+class TestTraceIntegration:
+    def test_counters_mirror_into_the_tracer(self, tmp_path, device, buf):
+        tracer = trace.enable()
+        try:
+            with tune.tuning(str(tmp_path)):
+                launch_kernel(CONFIG, double_up.entry, (buf, N), device)
+                launch_kernel(CONFIG, double_up.entry, (buf, N), device)
+            counters = tracer.counters
+        finally:
+            trace.disable()
+        assert counters["tune_misses"] == 1
+        assert counters["tune_searches"] == 1
+        assert counters["tune_promotes"] == 1
+        assert counters["tune_hits"] == 1
+
+    def test_search_probes_appear_as_tune_spans(self, tmp_path, device, buf):
+        tracer = trace.enable()
+        try:
+            with tune.tuning(str(tmp_path)):
+                launch_kernel(CONFIG, double_up.entry, (buf, N), device)
+            spans = [s for s in tracer.spans if s.cat == "tune"]
+            predictions = [p for p in tracer.predictions if "tune_engine" in p]
+        finally:
+            trace.disable()
+        assert spans, "expected tune:probe:* spans in the trace"
+        assert any("double_up" in s.name for s in spans)
+        # Every candidate got a ranked prediction record for the
+        # predicted-vs-observed join.
+        assert {p["tune_engine"] for p in predictions} >= {"block-thread", "map"}
+
+
+class TestFaultComposition:
+    def test_active_fault_plan_skips_the_search(self, tmp_path, device, buf):
+        # Probe launches would consume injection triggers and desync the
+        # seeded replay, so the derived plan is cached unsearched.
+        with tune.tuning(str(tmp_path)) as session:
+            with faults.inject("malloc:oom@999"):
+                launch_kernel(CONFIG, double_up.entry, (buf, N), device)
+            counters = session.counters()
+            assert counters["tune_misses"] == 1
+            assert counters["tune_searches"] == 0
+            assert counters["tune_promotes"] == 1
+            key = session.cache.keys()[0]
+            plan = session.cache.get(key)
+        assert plan.flags["searched"] is False
+        assert "fault" in plan.flags["reason"]
+
+
+class TestPoolWarm:
+    def test_warm_tunes_once_per_distinct_spec(self, tmp_path):
+        specs = [A100_SPEC, MI250_SPEC, MI250_SPEC]
+        with DevicePool(3, specs=specs) as pool:
+            distinct = pool.distinct_specs()
+            assert len(distinct) == 2
+            with tune.tuning(str(tmp_path)) as session:
+                plans = tune.warm(pool, warm_probe.entry, CONFIG, (1,))
+                assert set(plans) == {d.spec.name for d in distinct}
+                assert session.counters()["tune_promotes"] == 2
+                # Every pool device now dispatches from the cache.
+                for device in pool.devices:
+                    engine, _ = session.resolve(
+                        warm_probe.entry, CONFIG, (1,), device)
+                    assert engine is not None
+                hits = session.counters()["tune_hits"]
+                assert hits == len(pool.devices)
+
+    def test_warm_requires_a_session(self):
+        with DevicePool(1) as pool:
+            with pytest.raises(TuneError, match="active tuning session"):
+                tune.warm(pool, warm_probe.entry, CONFIG, (1,))
+
+    def test_uniform_pool_specs_share_one_plan(self, tmp_path):
+        with DevicePool(2, specs=[MI250_SPEC, MI250_SPEC]) as pool:
+            assert len(pool.distinct_specs()) == 1
+            with tune.tuning(str(tmp_path)) as session:
+                tune.warm(pool, warm_probe.entry, CONFIG, (1,))
+                assert session.counters()["tune_searches"] == 1

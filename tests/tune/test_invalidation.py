@@ -1,0 +1,116 @@
+"""Cache invalidation: plans never outlive what they were tuned against."""
+
+import numpy as np
+import pytest
+
+from repro import ompx, tune
+from repro.gpu.device import get_device
+from repro.gpu.launch import LaunchConfig, launch_kernel
+
+pytestmark = pytest.mark.tune
+
+N = 128
+CONFIG = LaunchConfig.create(2, 64)
+
+
+@ompx.bare_kernel(sync_free=True)
+def stamp(x, ptr, n):
+    i = x.global_thread_id_x()
+    if i < n:
+        x.array(ptr, n, np.float64)[i] = i
+
+
+def make_buf(device):
+    ptr = device.allocator.malloc(N * 8)
+    device.allocator.memcpy_h2d(ptr, np.zeros(N))
+    return ptr
+
+
+class TestDeviceSpecInvalidation:
+    def test_a_different_spec_re_tunes(self, tmp_path):
+        nvidia, amd = get_device(0), get_device(1)
+        assert nvidia.spec != amd.spec
+        b0, b1 = make_buf(nvidia), make_buf(amd)
+        try:
+            with tune.tuning(str(tmp_path)) as session:
+                launch_kernel(CONFIG, stamp.entry, (b0, N), nvidia)
+                launch_kernel(CONFIG, stamp.entry, (b1, N), amd)
+                counters = session.counters()
+                # The A100 plan is invisible on the MI250: two misses,
+                # two searches, two distinct cache entries.
+                assert counters["tune_misses"] == 2
+                assert counters["tune_searches"] == 2
+                assert counters["tune_hits"] == 0
+                assert len(session.cache) == 2
+                keys = session.cache.keys()
+                assert any(nvidia.spec.name in k for k in keys)
+                assert any(amd.spec.name in k for k in keys)
+        finally:
+            nvidia.allocator.free(b0)
+            amd.allocator.free(b1)
+
+    def test_each_spec_then_hits_its_own_plan(self, tmp_path):
+        nvidia, amd = get_device(0), get_device(1)
+        b0, b1 = make_buf(nvidia), make_buf(amd)
+        try:
+            with tune.tuning(str(tmp_path)):
+                launch_kernel(CONFIG, stamp.entry, (b0, N), nvidia)
+                launch_kernel(CONFIG, stamp.entry, (b1, N), amd)
+            with tune.tuning(str(tmp_path)) as warm:
+                launch_kernel(CONFIG, stamp.entry, (b0, N), nvidia)
+                launch_kernel(CONFIG, stamp.entry, (b1, N), amd)
+                assert warm.counters()["tune_hits"] == 2
+                assert warm.counters()["tune_searches"] == 0
+        finally:
+            nvidia.allocator.free(b0)
+            amd.allocator.free(b1)
+
+
+class TestToolchainInvalidation:
+    def test_a_bumped_toolchain_re_tunes_everything(self, tmp_path):
+        device = get_device(0)
+        buf = make_buf(device)
+        try:
+            with tune.tuning(str(tmp_path)):
+                launch_kernel(CONFIG, stamp.entry, (buf, N), device)
+            # Same cache dir, new stack version: the old plan must not
+            # be visible (it is an artifact of the stack that made it).
+            with tune.tuning(str(tmp_path), toolchain="repro-9.9.9+plan9") as bumped:
+                launch_kernel(CONFIG, stamp.entry, (buf, N), device)
+                counters = bumped.counters()
+                assert counters["tune_hits"] == 0
+                assert counters["tune_misses"] == 1
+                assert counters["tune_searches"] == 1
+                # Both generations coexist in the file; nothing is lost.
+                bumped.save()
+        finally:
+            device.allocator.free(buf)
+        assert len(tune.PlanCache(str(tmp_path))) == 2
+
+    def test_same_toolchain_still_hits(self, tmp_path):
+        device = get_device(0)
+        buf = make_buf(device)
+        try:
+            with tune.tuning(str(tmp_path), toolchain="repro-9.9.9+plan9"):
+                launch_kernel(CONFIG, stamp.entry, (buf, N), device)
+            with tune.tuning(str(tmp_path), toolchain="repro-9.9.9+plan9") as again:
+                launch_kernel(CONFIG, stamp.entry, (buf, N), device)
+                assert again.counters()["tune_hits"] == 1
+        finally:
+            device.allocator.free(buf)
+
+
+class TestGeometryInvalidation:
+    def test_a_different_block_shape_is_a_new_problem(self, tmp_path):
+        device = get_device(0)
+        buf = make_buf(device)
+        try:
+            with tune.tuning(str(tmp_path)) as session:
+                launch_kernel(LaunchConfig.create(2, 64), stamp.entry,
+                              (buf, N), device)
+                launch_kernel(LaunchConfig.create(1, 128), stamp.entry,
+                              (buf, N), device)
+                assert session.counters()["tune_misses"] == 2
+                assert len(session.cache) == 2
+        finally:
+            device.allocator.free(buf)

@@ -1,0 +1,109 @@
+"""Plan-cache keys: identity, fingerprints, and what changes them."""
+
+import dataclasses
+import functools
+
+import pytest
+
+from repro import __version__, ompx
+from repro.gpu.device import A100_SPEC, MI250_SPEC
+from repro.gpu.launch import LaunchConfig
+from repro.tune import (
+    device_fingerprint,
+    kernel_identity,
+    plan_cache_key,
+    toolchain_version,
+)
+
+pytestmark = pytest.mark.tune
+
+
+def saxpy_like(x, out, n):
+    i = x.global_thread_id_x()
+    if i < n:
+        out[i] = out[i] + 1.0
+
+
+def saxpy_variant(x, out, n):
+    i = x.global_thread_id_x()
+    if i < n:
+        out[i] = out[i] + 2.0
+
+
+class TestToolchainVersion:
+    def test_carries_package_version_and_plan_revision(self):
+        version = toolchain_version()
+        assert __version__ in version
+        assert "plan" in version
+
+
+class TestKernelIdentity:
+    def test_stable_and_memoized(self):
+        assert kernel_identity(saxpy_like) == kernel_identity(saxpy_like)
+        assert "saxpy_like" in kernel_identity(saxpy_like)
+
+    def test_sees_through_the_bare_kernel_wrappers(self):
+        # The launch path receives the ompx entry adapter, not the raw
+        # function; both must resolve to the *function's* identity so a
+        # plan tuned through one front end is visible to another.
+        bare = ompx.bare_kernel(sync_free=True)(saxpy_like)
+        assert kernel_identity(bare) == kernel_identity(saxpy_like)
+        assert kernel_identity(bare.entry) == kernel_identity(saxpy_like)
+
+    def test_source_hash_distinguishes_bodies(self):
+        # Editing a kernel body must invalidate its cached plans even
+        # though nothing else about the launch changed.
+        a = kernel_identity(saxpy_like)
+        b = kernel_identity(saxpy_variant)
+        assert a != b
+        assert a.split("#")[1] != b.split("#")[1]
+
+    def test_unidentifiable_callables_return_none(self):
+        partial = functools.partial(saxpy_like)
+        assert kernel_identity(partial) is None
+
+
+class TestDeviceFingerprint:
+    def test_distinct_specs_never_share(self):
+        assert device_fingerprint(A100_SPEC) != device_fingerprint(MI250_SPEC)
+
+    def test_fingerprint_is_memoized_and_stable(self):
+        assert device_fingerprint(A100_SPEC) == device_fingerprint(A100_SPEC)
+        assert device_fingerprint(A100_SPEC).startswith(A100_SPEC.name + "@")
+
+    def test_reparameterized_spec_changes_fingerprint(self):
+        # Same name, one architectural field recalibrated: plans must
+        # not transfer (the spec digest covers every field, not the name).
+        recal = dataclasses.replace(A100_SPEC, max_threads_per_sm=1536)
+        assert device_fingerprint(recal) != device_fingerprint(A100_SPEC)
+        assert recal.name == A100_SPEC.name
+
+
+class TestPlanCacheKey:
+    def _key(self, kernel=saxpy_like, grid=(4, 1, 1), block=(64, 1, 1),
+             shared=0, spec=A100_SPEC, toolchain=None):
+        return plan_cache_key(kernel, grid, block, shared, spec,
+                              toolchain=toolchain)
+
+    def test_key_is_deterministic(self):
+        assert self._key() == self._key()
+
+    def test_geometry_is_part_of_the_problem_statement(self):
+        base = self._key()
+        assert self._key(grid=(8, 1, 1)) != base
+        assert self._key(block=(128, 1, 1)) != base
+        assert self._key(shared=1024) != base
+
+    def test_key_accepts_dim3_geometry(self):
+        config = LaunchConfig.create((4, 1, 1), (64, 1, 1))
+        assert plan_cache_key(
+            saxpy_like, config.grid, config.block, 0, A100_SPEC
+        ) == self._key()
+
+    def test_device_and_toolchain_segment_the_cache(self):
+        base = self._key()
+        assert self._key(spec=MI250_SPEC) != base
+        assert self._key(toolchain="repro-0.0.0+plan0") != base
+
+    def test_unidentifiable_kernel_yields_no_key(self):
+        assert self._key(kernel=functools.partial(saxpy_like)) is None

@@ -1,0 +1,79 @@
+"""Serving-tier tuning: tenants share one session and reuse its plans."""
+
+import numpy as np
+import pytest
+
+from repro import ompx, tune
+from repro.gpu.launch import LaunchConfig
+from repro.serve import KernelService
+
+pytestmark = pytest.mark.tune
+
+CONFIG = LaunchConfig.create(2, 32)
+
+
+@ompx.bare_kernel(sync_free=True)
+def served(x, bias):
+    i = x.global_thread_id_x()
+    t = i + bias
+    del t
+
+
+class TestServiceTuning:
+    def test_service_owns_and_tears_down_its_session(self, tmp_path):
+        service = KernelService(devices=1, dispatchers=1, tune=True,
+                                tune_cache=str(tmp_path))
+        try:
+            assert tune.active_session() is not None
+        finally:
+            service.close()
+        assert tune.active_session() is None
+
+    def test_tenants_share_one_plan(self, tmp_path):
+        with KernelService(devices=1, dispatchers=1, tune=True,
+                           tune_cache=str(tmp_path)) as service:
+            alice = service.session("alice")
+            bob = service.session("bob")
+            alice.run(served.entry, CONFIG, 1, label="a")
+            bob.run(served.entry, CONFIG, 2, label="b")
+            stats = service.stats()
+            counters = stats["tune"]["counters"]
+            # Plans are keyed on (kernel, shape, spec) — not the tenant —
+            # so bob dispatches from alice's search.
+            assert counters["tune_searches"] == 1
+            assert counters["tune_hits"] >= 1
+            assert "tune:" in service.summary()
+        # The cache was persisted at close: a later service is all hits.
+        with KernelService(devices=1, dispatchers=1, tune=True,
+                           tune_cache=str(tmp_path)) as warm_service:
+            carol = warm_service.session("carol")
+            carol.run(served.entry, CONFIG, 3, label="c")
+            warm = warm_service.stats()["tune"]["counters"]
+            assert warm["tune_searches"] == 0
+            assert warm["tune_hits"] == 1
+
+    def test_service_reuses_an_external_session(self, tmp_path):
+        with tune.tuning(str(tmp_path)) as session:
+            with KernelService(devices=1, dispatchers=1, tune=True) as service:
+                tenant = service.session("t0")
+                tenant.run(served.entry, CONFIG, 1)
+                assert service.stats()["tune"]["counters"]["tune_promotes"] == 1
+            # The service must not tear down a session it does not own.
+            assert tune.active_session() is session
+        assert tune.active_session() is None
+
+    def test_untuned_service_reports_no_tune_stats(self):
+        with KernelService(devices=1, dispatchers=1) as service:
+            tenant = service.session("t0")
+            tenant.run(served.entry, CONFIG, 1)
+            assert "tune" not in service.stats()
+
+    def test_tuned_app_submission_round_trips(self, tmp_path):
+        from repro.apps import Stencil1D
+
+        app = Stencil1D()
+        with KernelService(devices=2, dispatchers=1, tune=True,
+                           tune_cache=str(tmp_path)) as service:
+            tenant = service.session("t0")
+            result = tenant.run_app(app)
+            assert app.verify(result, app.functional_params())

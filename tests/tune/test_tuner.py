@@ -1,0 +1,187 @@
+"""Autotuner: candidate enumeration, prediction, side-effect-free search."""
+
+import numpy as np
+import pytest
+
+from repro import ompx
+from repro.errors import TuneError
+from repro.gpu.device import get_device
+from repro.gpu.launch import LaunchConfig
+from repro.tune import ENGINE_PRIORS, Autotuner
+from repro.tune.tuner import searchable_args
+
+pytestmark = pytest.mark.tune
+
+N = 256
+
+
+@ompx.bare_kernel(sync_free=True)
+def add_one(x, ptr, n):
+    i = x.global_thread_id_x()
+    if i < n:
+        x.array(ptr, n, np.float64)[i] += 1.0
+
+
+@ompx.bare_kernel(sync_free=True)
+def scale_all(x, ptr, n):
+    # Branch-free body (grid x block == n exactly): the static analysis
+    # proves this one vectorizable, unlike the guarded kernels below.
+    i = x.global_thread_id_x()
+    a = x.array(ptr, n, np.float64)
+    a[i] = a[i] * 2.0
+
+
+@ompx.bare_kernel()
+def with_barrier(x, ptr, n):
+    i = x.global_thread_id_x()
+    x.sync_threads()
+    if i < n:
+        x.array(ptr, n, np.float64)[i] += 1.0
+
+
+@ompx.bare_kernel(sync_free=True, vectorize=False)
+def pinned_scalar(x, ptr, n):
+    i = x.global_thread_id_x()
+    if i < n:
+        x.array(ptr, n, np.float64)[i] += 1.0
+
+
+@pytest.fixture
+def device():
+    return get_device(0)
+
+
+@pytest.fixture
+def buf(device):
+    ptr = device.allocator.malloc(N * 8)
+    device.allocator.memcpy_h2d(ptr, np.arange(N, dtype=np.float64))
+    yield ptr
+    device.allocator.free(ptr)
+
+
+def config(grid=4, block=64):
+    return LaunchConfig.create(grid, block)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("budget", [0, -3])
+    def test_budget_must_be_positive(self, budget):
+        with pytest.raises(TuneError, match="budget"):
+            Autotuner(budget=budget)
+
+    def test_register_assumption_must_be_positive(self):
+        with pytest.raises(TuneError, match="registers"):
+            Autotuner(registers_per_thread=0)
+
+
+class TestCandidates:
+    def test_sync_free_vectorizable_kernel_gets_every_engine(self, device):
+        names = Autotuner().candidates(scale_all.entry, config(), device)
+        assert set(names) == {"block-thread", "map", "vector", "wave"}
+
+    def test_guarded_kernel_keeps_the_scalar_engines(self, device):
+        # The `if i < n` bound check defeats lane batching, so only the
+        # scalar engines remain candidates.
+        names = Autotuner().candidates(add_one.entry, config(), device)
+        assert set(names) == {"block-thread", "map"}
+
+    def test_barrier_kernel_is_cooperative_only(self, device):
+        names = Autotuner().candidates(with_barrier.entry, config(), device)
+        assert names == ["block-thread"]
+
+    def test_vectorize_false_pins_the_scalar_engines(self, device):
+        names = Autotuner().candidates(pinned_scalar.entry, config(), device)
+        assert "vector" not in names
+        assert "wave" not in names
+        assert "block-thread" in names
+
+    def test_thread_guard_rails_filter_by_size(self, device):
+        # 40960 blocks x 1024 threads = ~42M: beyond the cooperative
+        # (2M) and map (20M) rails, still inside the lane-batched ones.
+        huge = config(grid=40960, block=1024)
+        names = Autotuner().candidates(scale_all.entry, huge, device)
+        assert "block-thread" not in names
+        assert "map" not in names
+        assert {"vector", "wave"} <= set(names)
+
+
+class TestPrediction:
+    def test_order_is_deterministic_for_a_seed(self, device):
+        names = Autotuner().candidates(add_one.entry, config(), device)
+        first = Autotuner(seed=7).predicted_order(
+            add_one.entry, config(), device, names)
+        second = Autotuner(seed=7).predicted_order(
+            add_one.entry, config(), device, names)
+        assert first == second
+
+    def test_priors_dominate_at_equal_occupancy(self, device):
+        names = ["block-thread", "map", "vector", "wave"]
+        ordered = Autotuner().predicted_order(
+            add_one.entry, config(), device, names)
+        assert [name for name, _ in ordered] == sorted(
+            names, key=lambda n: -ENGINE_PRIORS[n])
+
+    def test_scores_are_positive_and_sorted(self, device):
+        names = Autotuner().candidates(add_one.entry, config(), device)
+        ordered = Autotuner().predicted_order(
+            add_one.entry, config(), device, names)
+        scores = [score for _, score in ordered]
+        assert all(s > 0 for s in scores)
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSearch:
+    def test_winner_is_a_legal_engine_with_measurements(self, device, buf):
+        cfg = config()
+        plan = Autotuner().search(add_one.entry, cfg, (buf, N), device)
+        assert plan.engine in Autotuner().candidates(add_one.entry, cfg, device)
+        assert plan.flags["searched"] is True
+        assert plan.flags["measured"] >= 2
+        assert plan.flags["best_ns"] > 0
+        assert plan.grid == cfg.grid.as_tuple()
+        assert plan.block == cfg.block.as_tuple()
+
+    def test_probes_leave_device_memory_untouched(self, device, buf):
+        # add_one is non-idempotent: if any probe's writes leaked, the
+        # buffer would show +1 per measured candidate.
+        before = np.zeros(N)
+        device.allocator.memcpy_d2h(before, buf)
+        Autotuner().search(add_one.entry, config(), (buf, N), device)
+        after = np.zeros(N)
+        device.allocator.memcpy_d2h(after, buf)
+        assert np.array_equal(before, after)
+
+    def test_budget_bounds_the_probe_count(self, device, buf):
+        plan = Autotuner(budget=2).search(
+            add_one.entry, config(), (buf, N), device)
+        assert plan.flags["measured"] == 2
+
+    def test_single_candidate_commits_unmeasured(self, device, buf):
+        plan = Autotuner().search(with_barrier.entry, config(), (buf, N), device)
+        assert plan.engine == "block-thread"
+        assert plan.flags["candidates"] == 1
+        assert plan.flags["measured"] == 0
+
+    def test_raw_ndarray_arguments_are_restored_too(self, device):
+        host = np.arange(N, dtype=np.float64)
+
+        @ompx.bare_kernel(sync_free=True)
+        def bump_host(x, arr, n):
+            i = x.global_thread_id_x()
+            if i < n:
+                arr[i] += 1.0
+
+        Autotuner().search(bump_host.entry, config(), (host, N), device)
+        assert np.array_equal(host, np.arange(N, dtype=np.float64))
+
+
+class TestSearchableArgs:
+    def test_snapshotable_values_pass(self, device, buf):
+        assert searchable_args(
+            (None, True, 3, 2.5, 1j, "s", b"b", buf,
+             np.arange(4), np.float64(2.0), (1, [2, buf])))
+
+    @pytest.mark.parametrize("opaque", [object(), {"a": 1}, print, iter(())])
+    def test_opaque_values_disable_the_search(self, opaque):
+        assert not searchable_args((1, opaque))
+        assert not searchable_args(([opaque],))
