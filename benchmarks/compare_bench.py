@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_<rev>.json`` snapshots; exit non-zero on regression.
+
+The perf-trajectory gate (ROADMAP item 5): every PR can run the slow
+benchmark suite with ``--bench-json benchmarks/`` to produce a snapshot,
+then::
+
+    python benchmarks/compare_bench.py benchmarks/BENCH_old.json \\
+        benchmarks/BENCH_new.json
+
+compares metric by metric.  Each metric's *direction* is inferred from
+its name (``*speedup*``/``*throughput*`` are higher-is-better;
+``*_s``/``*_ms*``/``*overhead*``/``*_pct`` are lower-is-better; anything
+unrecognized is reported but never gates), and a metric regresses when
+it moves beyond the tolerance in the bad direction.  Tolerances are
+per-metric-kind: timing metrics get a generous default because CI
+machines are noisy; ratio metrics (speedups, overhead percentages) are
+steadier and get a tighter one.  ``--tolerance-pct`` overrides both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (suffix/fragment, direction, default tolerance %) — first match wins.
+#: direction: +1 = higher is better, -1 = lower is better, 0 = informational.
+_RULES = (
+    ("speedup", +1, 15.0),
+    ("throughput", +1, 25.0),
+    ("ops_per_s", +1, 25.0),
+    ("overhead_pct", -1, None),  # absolute-points rule, see below
+    ("overhead", -1, 25.0),
+    ("_pct", -1, None),
+    ("_ms_per_run", -1, 30.0),
+    ("_ms", -1, 30.0),
+    ("_s", -1, 30.0),
+)
+
+#: Percentage-point slack for ``*_pct`` metrics (they hover near zero,
+#: so relative tolerances are meaningless there).
+_PCT_POINTS_SLACK = 10.0
+
+
+def _classify(metric: str):
+    for fragment, direction, tolerance in _RULES:
+        if metric.endswith(fragment) or fragment in metric:
+            return direction, tolerance
+    return 0, None
+
+
+def _load(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        sys.exit(f"cannot read snapshot {path}: {exc}")
+    records = data.get("records", data)
+    if not isinstance(records, dict):
+        sys.exit(f"{path}: expected an object of records")
+    return records
+
+
+def compare(old: dict, new: dict, override_pct=None):
+    """Yield (name, metric, old, new, verdict) rows; verdict in
+    {'ok', 'regressed', 'improved', 'info', 'added', 'removed'}."""
+    names = sorted(set(old) | set(new))
+    for name in names:
+        old_metrics = old.get(name)
+        new_metrics = new.get(name)
+        if old_metrics is None:
+            for metric, value in sorted(new_metrics.items()):
+                yield name, metric, None, value, "added"
+            continue
+        if new_metrics is None:
+            for metric, value in sorted(old_metrics.items()):
+                yield name, metric, value, None, "removed"
+            continue
+        for metric in sorted(set(old_metrics) | set(new_metrics)):
+            before = old_metrics.get(metric)
+            after = new_metrics.get(metric)
+            if before is None or after is None:
+                yield (name, metric, before, after,
+                       "added" if before is None else "removed")
+                continue
+            direction, tolerance = _classify(metric)
+            if override_pct is not None and tolerance is not None:
+                tolerance = override_pct
+            if direction == 0:
+                yield name, metric, before, after, "info"
+                continue
+            if tolerance is None:
+                # Percentage-point metric: absolute slack either side.
+                slack = (_PCT_POINTS_SLACK if override_pct is None
+                         else override_pct)
+                delta = (after - before) * direction
+                if delta < -slack:
+                    verdict = "regressed"
+                elif delta > slack:
+                    verdict = "improved"
+                else:
+                    verdict = "ok"
+                yield name, metric, before, after, verdict
+                continue
+            scale = abs(before) if before else 0.0
+            if scale == 0.0:
+                yield name, metric, before, after, "info"
+                continue
+            change_pct = (after - before) / scale * 100.0 * direction
+            if change_pct < -tolerance:
+                verdict = "regressed"
+            elif change_pct > tolerance:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+            yield name, metric, before, after, verdict
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare two BENCH_<rev>.json perf snapshots"
+    )
+    parser.add_argument("old", type=Path, help="baseline snapshot")
+    parser.add_argument("new", type=Path, help="candidate snapshot")
+    parser.add_argument(
+        "--tolerance-pct", type=float, default=None, metavar="P",
+        help="override every metric's tolerance with P percent "
+             "(percentage-point metrics use P points)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = list(
+        compare(_load(args.old), _load(args.new), args.tolerance_pct)
+    )
+    if not rows:
+        print("no overlapping records; nothing to compare")
+        return 0
+
+    width = max(len(f"{name}.{metric}") for name, metric, *_ in rows)
+    regressions = 0
+    for name, metric, before, after, verdict in rows:
+        key = f"{name}.{metric}"
+        fmt = lambda v: "—" if v is None else f"{v:.4g}"
+        marker = {
+            "regressed": "REGRESSED", "improved": "improved",
+            "ok": "ok", "info": "info",
+            "added": "added", "removed": "removed",
+        }[verdict]
+        print(f"{key:<{width}}  {fmt(before):>10} -> {fmt(after):>10}  {marker}")
+        if verdict == "regressed":
+            regressions += 1
+
+    if regressions:
+        print(f"\n{regressions} metric(s) regressed beyond tolerance")
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

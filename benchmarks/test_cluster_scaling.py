@@ -1,0 +1,115 @@
+"""Zero-fault cluster overhead: process isolation must stay cheap.
+
+The cluster tier's acceptance criterion: running the same sharded
+workload over a pre-spawned 3-worker :class:`~repro.cluster.ClusterPool`
+must stay within ~10% of the in-process ``DevicePool(3)`` path at steady
+state.  Spawn cost is excluded deliberately — it is a one-time setup
+price (measured separately below as a sanity metric), while the
+steady-state tax is what a long serving or tuning session actually pays
+per run: pickling job payloads, pipe transport, heartbeat bookkeeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.apps import Adam, ExecutionConfig, XSBench, run
+from repro.cluster import ClusterPool
+from repro.sched import DevicePool
+
+ROUNDS = 6
+WARMUP = 2
+WORKERS = 3
+
+
+def _time_runs(app, params, pool, rounds: int) -> float:
+    config = ExecutionConfig(params=params, pool=pool)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        run(app, config)
+    return time.perf_counter() - start
+
+
+@pytest.mark.slow
+@pytest.mark.cluster
+def test_zero_fault_cluster_overhead_is_small(bench_record):
+    # XSBench scaled to a compute-dense operating point: ~200 ms/run of
+    # lookup arithmetic against a few-KB material table, so the pipe tax
+    # (pickling scales with payload *bytes*, not with compute) is a
+    # rounding error and the three worker processes' freedom from the
+    # parent's GIL can actually show.  Transport-bound workloads (Adam's
+    # multi-MB parameter vectors) pay proportionally more — that
+    # trade-off is documented in EXPERIMENTS.md, not asserted here.
+    app = XSBench()
+    params = dict(app.functional_params())
+    params["lookups"] = 40_000
+
+    with DevicePool(WORKERS) as pool:
+        _time_runs(app, params, pool, WARMUP)
+        plain_s = _time_runs(app, params, pool, ROUNDS)
+
+    spawn_start = time.perf_counter()
+    with ClusterPool(WORKERS, heartbeat_s=0.25) as cpool:
+        spawn_s = time.perf_counter() - spawn_start
+        _time_runs(app, params, cpool, WARMUP)
+        cluster_s = _time_runs(app, params, cpool, ROUNDS)
+        assert cpool.report["workers_lost"] == 0  # genuinely zero-fault
+
+    overhead_pct = (cluster_s / plain_s - 1.0) * 100.0
+    bench_record(
+        "cluster/zero_fault_overhead",
+        plain_ms_per_run=plain_s / ROUNDS * 1e3,
+        cluster_ms_per_run=cluster_s / ROUNDS * 1e3,
+        overhead_pct=overhead_pct,
+        spawn_s=spawn_s,
+    )
+    print(
+        f"\nplain: {plain_s / ROUNDS * 1e3:.1f} ms/run, "
+        f"cluster: {cluster_s / ROUNDS * 1e3:.1f} ms/run "
+        f"({overhead_pct:+.1f}%), spawn {spawn_s:.2f}s"
+    )
+    # The target is <10% steady-state overhead (typically *negative*
+    # here: worker processes escape the parent's GIL); the absolute
+    # cushion keeps CI scheduler noise from flaking it while still
+    # catching structural regressions (per-job respawns, sync-per-submit,
+    # payload re-pickling in a loop).
+    assert cluster_s <= plain_s * 1.10 + 50e-3, (
+        f"clustered sharded run cost {cluster_s:.4f}s vs {plain_s:.4f}s "
+        f"in-process over {ROUNDS} rounds — zero-fault overhead too high"
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.cluster
+def test_recovery_latency_is_bounded(bench_record):
+    """One SIGKILL mid-stream: time from kill to full readmission."""
+    import os
+    import signal
+
+    app = Adam()
+    params = app.functional_params()
+
+    with ClusterPool(WORKERS, heartbeat_s=0.1, deadline_s=1.0) as pool:
+        config = ExecutionConfig(params=params, pool=pool)
+        run(app, config)  # warm
+
+        victim = pool._handles[1]
+        kill_at = time.perf_counter()
+        os.kill(victim.proc.pid, signal.SIGKILL)
+        run(app, config)  # must absorb the loss mid-stream
+
+        deadline = time.monotonic() + 30
+        while (
+            time.monotonic() < deadline
+            and pool.report["worker_restarts"] == 0
+        ):
+            time.sleep(0.01)
+        recovery_s = time.perf_counter() - kill_at
+        assert pool.report["workers_lost"] == 1
+        assert pool.report["worker_restarts"] == 1
+
+    bench_record("cluster/recovery", kill_to_readmit_s=recovery_s)
+    print(f"\nkill-to-readmission: {recovery_s:.2f}s")
+    assert recovery_s < 15.0

@@ -38,6 +38,18 @@ dispatch straight from the cache with zero tuning launches.  Outputs are
 bit-identical to untuned runs.  Composes with ``--resilient``,
 ``--serve``, ``--devices`` and ``--trace``.
 
+``--cluster N`` shards the run across N supervised worker OS
+processes (:mod:`repro.cluster`), each hosting its own device — true
+multi-process parallelism past the GIL, with heartbeat supervision:
+a SIGKILLed or hung worker is quarantined like a failed super-device,
+its shards are redispatched to the survivors, and a restarted worker is
+canary-probed back in.  The recovery report prints afterwards.
+Composes with ``--resilient`` (device healing *inside* each worker),
+``--faults`` (the plan is shipped to and re-bound inside the workers;
+trigger counters then count per worker process), ``--tune``, ``--trace``
+and ``--serve``.  Degrades to the in-process pool with a warning when no
+worker can be spawned.
+
 ``--serve --tenants N`` runs the app through :mod:`repro.serve`: N
 concurrent tenant sessions submit the same functional run to a
 :class:`~repro.serve.KernelService` over the device pool, identical
@@ -57,6 +69,7 @@ Examples::
     python -m repro.apps xsbench --serve --tenants 4
     python -m repro.apps xsbench --run --tune --tune-cache /tmp/plans
     python -m repro.apps stencil1d --run --tune --serve --resilient --devices 2
+    python -m repro.apps xsbench --run --cluster 3 --faults 'kernel_fault@2 device=1'
 """
 
 from __future__ import annotations
@@ -122,6 +135,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "devices (--run mode; N=1 is the single-device "
                              "path). In --estimate mode, also print the "
                              "modeled multi-device scaling.")
+    parser.add_argument("--cluster", type=int, default=0, metavar="N",
+                        help="run data-parallel across N supervised worker "
+                             "OS processes (repro.cluster), one device per "
+                             "worker; lost workers are quarantined and their "
+                             "shards redispatched. Composes with "
+                             "--resilient/--faults/--tune/--trace/--serve.")
     parser.add_argument("--trace", metavar="OUT.json", default=None,
                         help="profile the run and write a Chrome/Perfetto "
                              "trace_event JSON to this path")
@@ -238,6 +257,9 @@ def _dispatch(app, flags, params) -> int:
     if flags.devices < 1:
         print(f"--devices must be >= 1, got {flags.devices}", file=sys.stderr)
         return 2
+    if flags.cluster < 0:
+        print(f"--cluster must be >= 0, got {flags.cluster}", file=sys.stderr)
+        return 2
     if flags.run:
         run_params = app.functional_params()
         if flags.serve:
@@ -247,10 +269,17 @@ def _dispatch(app, flags, params) -> int:
             params=run_params,
             device=flags.device,
             devices=flags.devices,
+            cluster=flags.cluster,
             resilient=flags.resilient,
             verify=flags.verify,
         )
-        if flags.devices > 1 or flags.resilient:
+        if flags.cluster > 0:
+            mode = "resilient, " if flags.resilient else ""
+            print(f"{app.name}: functional run of variant {flags.variant!r} "
+                  f"sharded across {flags.cluster} worker processes ({mode}"
+                  f"reduced scale: {dict(run_params)})")
+            result = _run_pooled(app, config)
+        elif flags.devices > 1 or flags.resilient:
             mode = "resilient, " if flags.resilient else ""
             print(f"{app.name}: functional run of variant {flags.variant!r} "
                   f"sharded across {flags.devices} pool devices ({mode}"
@@ -290,7 +319,7 @@ def _run_pooled(app, config: ExecutionConfig):
     final error.  Fault-plan ``device=`` selectors are bound to pool
     indices by :func:`repro.apps.run` itself.
     """
-    if not config.resilient:
+    if not config.resilient and not config.cluster:
         return run_app(app, config)
     from ..resilience import RecoveryReport
 
@@ -316,19 +345,24 @@ def _run_serve(app, flags, run_params) -> int:
     if variant == VersionLabel.NATIVE_VENDOR:
         variant = VersionLabel.NATIVE_LLVM  # same sources
     plan = faults_mod.active_plan()
+    backing = (
+        f"{flags.cluster} cluster worker(s)" if flags.cluster
+        else f"{flags.devices} pool device(s)"
+    )
     print(f"{app.name}: serving variant {variant!r} to {flags.tenants} "
-          f"tenant(s) over {flags.devices} pool device(s) "
+          f"tenant(s) over {backing} "
           f"(reduced scale: {dict(run_params)})")
     failures = 0
     with KernelService(
         devices=flags.devices,
+        cluster=flags.cluster,
         resilient=flags.resilient,
         verify=flags.verify,
         seed=plan.seed if plan is not None else 0,
         tune=flags.tune,
         tune_cache=flags.tune_cache,
     ) as service:
-        if plan is not None:
+        if plan is not None and not flags.cluster:
             plan.bind_devices(
                 {i: d.ordinal for i, d in enumerate(service.devices)}
             )

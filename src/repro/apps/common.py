@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import abc
 import functools
-import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
@@ -106,6 +105,13 @@ class ExecutionConfig:
       A :class:`~repro.resilience.ResilientPool` routes through
       :meth:`~repro.resilience.ResilientPool.run_to_completion`
       automatically.
+    * ``cluster`` — shard across that many supervised worker OS
+      processes instead of in-process pool threads (see
+      :mod:`repro.cluster`); degrades to an in-process pool with a
+      :class:`RuntimeWarning` when no worker can be spawned.  Composes
+      with ``resilient`` (device healing inside each worker), ``tune``
+      and an active fault plan (shipped to and re-bound inside the
+      workers — trigger counters then count per worker process).
     * ``resilient``/``verify``/``seed``/``report`` — wrap the pool in
       :class:`~repro.resilience.ResilientPool` (``verify=2`` adds the
       dual-device cross-check); ``seed=None`` inherits the active fault
@@ -127,6 +133,7 @@ class ExecutionConfig:
     device: object = None
     devices: int = 1
     placement: object = "round_robin"
+    cluster: int = 0
     pool: Optional[object] = None
     resilient: bool = False
     verify: int = 1
@@ -188,6 +195,25 @@ def run(app: "BenchmarkApp", config: Optional[ExecutionConfig] = None,
 def _run_with_config(app, variant, params, config: ExecutionConfig) -> FunctionalResult:
     if config.pool is not None:
         return _run_on_pool(app, variant, params, config.pool)
+    if config.cluster > 0:
+        from ..cluster import cluster_pool
+        from ..faults import active_plan
+
+        seed = config.seed if config.seed is not None else _active_plan_seed()
+        pool = cluster_pool(
+            config.cluster,
+            resilient=config.resilient,
+            verify=config.verify,
+            seed=seed,
+            report=config.report,
+            plan=active_plan(),
+            tune=config.tune,
+            tune_cache=config.tune_cache,
+        )
+        try:
+            return _run_on_pool(app, variant, params, pool)
+        finally:
+            pool.close()
     if config.devices > 1 or config.resilient:
         from ..sched import DevicePool
 
@@ -208,7 +234,9 @@ def _run_with_config(app, variant, params, config: ExecutionConfig) -> Functiona
 
 
 def _run_on_pool(app, variant, params, pool) -> FunctionalResult:
-    """Dispatch onto an already-built backend (plain or resilient)."""
+    """Dispatch onto an already-built backend (plain/resilient/cluster)."""
+    if getattr(pool, "is_cluster", False):
+        return app.run_clustered(variant, params, pool)
     if hasattr(pool, "run_to_completion"):
         return pool.run_to_completion(
             lambda rp: app.run_sharded(variant, params, rp),
@@ -236,6 +264,16 @@ def _active_plan_seed() -> int:
 
     plan = active_plan()
     return plan.seed if plan is not None else 0
+
+
+#: The pre-1.2 runner trio, removed after its DeprecationWarning cycle;
+#: looked up by ``BenchmarkApp.__getattr__`` to raise a pointed error.
+_REMOVED_RUNNERS = {
+    "run_functional": "repro.apps.run(app, variant=..., device=...)",
+    "run_functional_sharded":
+        "repro.apps.run(app, devices=N) or run(app, pool=...)",
+    "run_functional_resilient": "repro.apps.run(app, resilient=True)",
+}
 
 
 class BenchmarkApp(abc.ABC):
@@ -362,40 +400,33 @@ class BenchmarkApp(abc.ABC):
             valid=False,
         )
 
-    # --- deprecated pre-redesign entry points --------------------------------------
-    def _deprecated(self, old: str, new: str) -> None:
-        warnings.warn(
-            f"BenchmarkApp.{old} is deprecated; use {new} (see the README "
-            f"migration note for the unified run() API)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def run_functional(
-        self, variant: str, params: Mapping[str, object], device: Device
-    ) -> FunctionalResult:
-        """Deprecated: use :func:`run` (or :meth:`run_single` as the hook)."""
-        self._deprecated("run_functional", "repro.apps.run(app, ...)")
-        return run(self, ExecutionConfig(variant=variant, params=params,
-                                         device=device))
-
-    def run_functional_sharded(
+    def run_clustered(
         self, variant: str, params: Mapping[str, object], pool
     ) -> FunctionalResult:
-        """Deprecated: use :func:`run` with ``pool=``/``devices=``."""
-        self._deprecated("run_functional_sharded", "repro.apps.run(app, pool=...)")
-        return self.run_sharded(variant, params, pool)
+        """Run one variant across a :class:`~repro.cluster.ClusterPool`.
 
-    def run_functional_resilient(
-        self, variant: str, params: Mapping[str, object], rpool
-    ) -> FunctionalResult:
-        """Deprecated: use :func:`run` with ``resilient=True`` or ``pool=``."""
-        self._deprecated(
-            "run_functional_resilient", "repro.apps.run(app, resilient=True)"
-        )
-        return rpool.run_to_completion(
-            lambda rp: self.run_sharded(variant, params, rp),
-            label=f"{self.name}:{variant}",
+        Always uses the *generic* self-contained shard strategy — the
+        base :meth:`run_sharded` — never an app's in-process override:
+        Stencil-1D's halo exchange rides streams, events and peer copies
+        that cannot cross process boundaries, so under a cluster it
+        decomposes with deep ghost cells instead (see its
+        ``shard_functional_params``).  Shards are submitted unpinned, so
+        a worker lost mid-run redispatches its shards to the survivors
+        and the gathered output stays bit-identical.
+        """
+        return BenchmarkApp.run_sharded(self, variant, params, pool)
+
+    # --- removed pre-1.2 entry points ----------------------------------------------
+    def __getattr__(self, name: str):
+        if name in _REMOVED_RUNNERS:
+            raise AttributeError(
+                f"BenchmarkApp.{name} was removed in release 1.2 at the "
+                f"end of its deprecation cycle; use "
+                f"{_REMOVED_RUNNERS[name]} instead (see the README "
+                f"migration table for the unified run() API)"
+            )
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
         )
 
     # --- performance-model inputs ---------------------------------------------------

@@ -1,0 +1,1012 @@
+"""The parent-side :class:`ClusterPool`: supervision over worker processes.
+
+A :class:`ClusterPool` satisfies :class:`~repro.sched.PoolProtocol` by
+sharding submissions across spawned worker OS processes, each hosting a
+slice of a :class:`~repro.sched.DevicePool` (see
+:mod:`repro.cluster.worker`).  The parent never touches a simulated
+device itself — its ``devices`` are :class:`DeviceProxy` stand-ins, one
+per remote device, numbered with cluster-wide *super-device* indices.
+
+The robustness core is the supervisor: every worker heartbeats on its
+pipe; a worker whose process exits, whose pipe drops, or whose heartbeat
+goes silent past the liveness deadline is declared **lost** and handled
+exactly like a failed device one tier down — the
+:class:`~repro.resilience.HealthTracker` state machine quarantines the
+worker (a lost worker is a quarantined *super-device*), its in-flight
+unpinned jobs are redispatched to the survivors after a seeded backoff,
+pinned jobs fail with :class:`~repro.errors.WorkerLost` (or
+:class:`~repro.errors.HeartbeatTimeout` for silent hangs), and — when
+``restart=True`` — a replacement process is spawned, canary-probed, and
+readmitted to HEALTHY on a passing probe or RETIRED on a failing one.
+Every recovery action lands in the shared
+:class:`~repro.resilience.RecoveryReport`.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import pickle
+import threading
+import time
+import warnings
+from random import Random
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import (
+    CancelledError,
+    ClusterError,
+    HeartbeatTimeout,
+    SchedulerError,
+    WorkerLost,
+)
+from ..gpu.device import A100_SPEC, DeviceSpec
+from ..gpu.memory import DevicePointer
+from ..resilience.health import HealthTracker
+from ..resilience.report import RecoveryReport
+from ..trace import get_tracer
+from .worker import READY_SEQ, WorkerConfig, _fence, _worker_main
+
+__all__ = ["ClusterPool", "DeviceProxy", "ClusterFuture", "CLUSTER_KINDS"]
+
+#: Recovery-report counters the cluster tier adds via ``ensure_kinds``.
+CLUSTER_KINDS = (
+    "workers_lost",
+    "heartbeat_timeouts",
+    "worker_restarts",
+    "redispatches",
+    "degraded",
+)
+
+_job_ids = itertools.count(1)
+
+#: Worker handle lifecycle states (internal).
+_STARTING, _UP, _LOST, _RESPAWNING, _RETIRED, _STOPPED = (
+    "starting", "up", "lost", "respawning", "retired", "stopped",
+)
+
+
+class DeviceProxy:
+    """Parent-side stand-in for one device living in a worker process.
+
+    ``ordinal`` is the cluster-wide super-device index (what fault-plan
+    ``device=`` selectors address under ``--cluster``); ``rank`` and
+    ``local_index`` say where the real device lives.  Proxies expose the
+    attribute surface layers above actually read (``spec``, ``ordinal``,
+    ``is_poisoned``) — nothing device-resident crosses the process
+    boundary.
+    """
+
+    is_poisoned = False
+
+    def __init__(self, ordinal: int, spec: DeviceSpec, rank: int,
+                 local_index: int) -> None:
+        self.ordinal = ordinal
+        self.spec = spec
+        self.rank = rank
+        self.local_index = local_index
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DeviceProxy #{self.ordinal} {self.spec.name} "
+            f"@ worker {self.rank}[{self.local_index}]>"
+        )
+
+
+class ClusterFuture:
+    """The result handle for one cluster submission.
+
+    Mirrors :class:`~repro.sched.KernelFuture`'s caller surface (``wait``
+    / ``result`` / ``exception`` / ``done`` / ``cancelled``) so
+    :func:`repro.sched.gather` and the serve dispatchers work unchanged.
+    ``attempts`` counts dispatches — a redispatch after a worker loss
+    shows up exactly like a resilient retry.  Completion is
+    first-writer-wins: a worker completing a job the supervisor already
+    redispatched is dropped as stale.
+    """
+
+    def __init__(self, label: str, device: DeviceProxy, *,
+                 pinned: bool) -> None:
+        self.label = label
+        self.device = device
+        self.track = f"worker:{device.rank}"
+        self.pinned = pinned
+        self.attempts = 0
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._result = None
+        self._exception: Optional[BaseException] = None
+
+    # --- supervisor side ----------------------------------------------------
+    def _settle(self, result=None, exc: Optional[BaseException] = None) -> bool:
+        with self._lock:
+            if self._done.is_set():
+                return False
+            self._result = result
+            self._exception = exc
+            self._done.set()
+            return True
+
+    # --- caller side --------------------------------------------------------
+    def cancel(self, reason: str = "cancelled", *,
+               retryable: bool = False) -> bool:
+        """Resolve to :class:`CancelledError` if not already completed."""
+        return self._settle(exc=CancelledError(
+            f"job {self.label!r} on super-device {self.device.ordinal}: "
+            f"{reason}",
+            retryable=retryable,
+        ))
+
+    def cancelled(self) -> bool:
+        """True once the future resolved to a :class:`CancelledError`."""
+        return self._done.is_set() and isinstance(
+            self._exception, CancelledError
+        )
+
+    def done(self) -> bool:
+        """True once a result, error or cancellation has landed."""
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until resolved (or ``timeout``); True when resolved."""
+        return self._done.wait(timeout)
+
+    def exception(
+        self, timeout: Optional[float] = None
+    ) -> Optional[BaseException]:
+        """The failure this job resolved to, or ``None`` on success.
+
+        Raises :class:`~repro.errors.SchedulerError` if the job does
+        not complete within ``timeout`` seconds.
+        """
+        if not self._done.wait(timeout):
+            raise SchedulerError(
+                f"future {self.label!r} on super-device "
+                f"{self.device.ordinal} did not complete within {timeout}s"
+            )
+        return self._exception
+
+    def result(self, timeout: Optional[float] = None):
+        """The job's return value; re-raises its failure if it has one."""
+        exc = self.exception(timeout)
+        if exc is not None:
+            raise exc
+        return self._result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "pending" if not self._done.is_set()
+            else "cancelled" if self.cancelled()
+            else "failed" if self._exception is not None
+            else "done"
+        )
+        return (
+            f"<ClusterFuture {self.label!r} on super-device "
+            f"{self.device.ordinal} ({state})>"
+        )
+
+
+class _Job:
+    """One dispatchable unit: pre-pickled payload plus its future."""
+
+    __slots__ = ("payload", "future", "local_device")
+
+    def __init__(self, payload: bytes, future: ClusterFuture,
+                 local_device: Optional[int]) -> None:
+        self.payload = payload
+        self.future = future
+        self.local_device = local_device  # pinned local index, or None
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    def __init__(self, rank: int, config: WorkerConfig) -> None:
+        self.rank = rank
+        self.config = config
+        self.proc = None
+        self.conn = None
+        self.receiver: Optional[threading.Thread] = None
+        self.send_lock = threading.Lock()
+        self.ready = threading.Event()
+        self.state = _STARTING
+        self.last_seen = time.monotonic()
+        self.inflight: Dict[int, _Job] = {}
+        self.stats: Optional[dict] = None
+
+    def send(self, message) -> bool:
+        with self.send_lock:
+            try:
+                self.conn.send(message)
+                return True
+            except (BrokenPipeError, OSError, ValueError, TypeError,
+                    AttributeError):
+                # Loss handling may close (or null out) the connection
+                # from the supervisor thread while a submitter is mid-
+                # send; a closed/cleared handle surfaces as OSError,
+                # ValueError("Connection is closed"), or a TypeError/
+                # AttributeError from the stdlib writing to a None
+                # handle.  All mean the same thing: the worker is gone.
+                return False
+
+
+class ClusterPool:
+    """Work sharded across supervised worker processes, PoolProtocol-shaped.
+
+    ``ClusterPool(3)`` spawns three workers with one A100 each;
+    ``devices_per_worker`` widens each worker's local pool, and
+    ``specs=[...]`` (a flat spec list, distributed round-robin) builds
+    heterogeneous clusters.  ``resilient=True`` wraps each worker's local
+    pool in a :class:`~repro.resilience.ResilientPool`, stacking
+    device-level healing *inside* workers under process-level
+    supervision outside them.
+
+    ``plan`` (a :class:`~repro.faults.FaultPlan` or spec string) is
+    pickled to every worker and re-bound so ``device=`` selectors address
+    super-device indices; note fault trigger counters then count per
+    worker process.  ``tune=True`` with a shared ``tune_cache`` enables
+    the autotuner in every worker (the plan cache file is
+    concurrency-safe, so workers share one cache).
+    """
+
+    is_cluster = True
+
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        devices_per_worker: int = 1,
+        specs: Optional[Sequence[DeviceSpec]] = None,
+        resilient: bool = False,
+        verify: int = 1,
+        seed: int = 0,
+        report: Optional[RecoveryReport] = None,
+        heartbeat_s: float = 0.25,
+        deadline_s: float = 2.0,
+        max_redispatch: int = 3,
+        restart: bool = True,
+        spawn_timeout_s: float = 30.0,
+        plan=None,
+        tune: bool = False,
+        tune_cache: Optional[str] = None,
+    ) -> None:
+        if specs is None:
+            if workers <= 0:
+                raise ClusterError(
+                    "ClusterPool needs workers >= 1 (or an explicit "
+                    "specs= list)"
+                )
+            if devices_per_worker < 1:
+                raise ClusterError("devices_per_worker must be >= 1")
+            per_worker = [
+                [A100_SPEC] * devices_per_worker for _ in range(workers)
+            ]
+        else:
+            specs = list(specs)
+            if not specs:
+                raise ClusterError("specs= must name at least one device")
+            workers = workers or len(specs)
+            if workers > len(specs):
+                raise ClusterError(
+                    f"workers={workers} exceeds len(specs)={len(specs)}"
+                )
+            per_worker = [specs[i::workers] for i in range(workers)]
+        if deadline_s <= heartbeat_s:
+            raise ClusterError(
+                f"deadline_s={deadline_s} must exceed heartbeat_s="
+                f"{heartbeat_s}; a deadline shorter than one heartbeat "
+                f"declares every worker dead"
+            )
+
+        self.report = report or RecoveryReport()
+        self.report.ensure_kinds(CLUSTER_KINDS)
+        self.health = HealthTracker(
+            workers, report=self.report, noun="worker"
+        )
+        self._heartbeat_s = heartbeat_s
+        self._deadline_s = deadline_s
+        self._max_redispatch = max_redispatch
+        self._restart = restart
+        self._spawn_timeout_s = spawn_timeout_s
+        self._rng = Random(seed)
+        self._lock = threading.Lock()
+        self._rr = 0
+        self._closing = False
+        self._closed = False
+
+        plan_bytes = None
+        if plan is not None:
+            from ..faults import FaultPlan
+
+            if isinstance(plan, str):
+                plan = FaultPlan.parse(plan)
+            plan_bytes = pickle.dumps(plan)
+
+        # Assign super-device indices in rank order: worker 0's devices
+        # first, then worker 1's, so `--cluster 3` numbers its
+        # super-devices 0..N-1 exactly like `--devices N` numbers shards.
+        self._proxies: List[DeviceProxy] = []
+        self._handles: List[_WorkerHandle] = []
+        next_global = 0
+        for rank, worker_specs in enumerate(per_worker):
+            indices = list(
+                range(next_global, next_global + len(worker_specs))
+            )
+            next_global += len(worker_specs)
+            for local, (gidx, spec) in enumerate(
+                zip(indices, worker_specs)
+            ):
+                self._proxies.append(DeviceProxy(gidx, spec, rank, local))
+            self._handles.append(
+                _WorkerHandle(
+                    rank,
+                    WorkerConfig(
+                        rank=rank,
+                        size=workers,
+                        global_indices=indices,
+                        specs=list(worker_specs),
+                        heartbeat_s=heartbeat_s,
+                        resilient=resilient,
+                        verify=verify,
+                        seed=seed,
+                        plan_bytes=plan_bytes,
+                        tune=tune,
+                        tune_cache=tune_cache,
+                    ),
+                )
+            )
+
+        try:
+            for handle in self._handles:
+                self._start_worker(handle)
+            deadline = time.monotonic() + spawn_timeout_s
+            for handle in self._handles:
+                remaining = max(0.0, deadline - time.monotonic())
+                if not handle.ready.wait(remaining):
+                    raise ClusterError(
+                        f"worker {handle.rank} did not become ready within "
+                        f"{spawn_timeout_s}s"
+                    )
+                with self._lock:
+                    handle.state = _UP
+                    handle.last_seen = time.monotonic()
+        except Exception as exc:
+            self._teardown_processes()
+            if isinstance(exc, ClusterError):
+                # Spawning failed outright: callers that can fall back to
+                # an in-process pool (see ``cluster_pool``) key off this.
+                exc.degradable = True
+                raise
+            wrapped = ClusterError(f"cluster failed to start: {exc}")
+            wrapped.degradable = True
+            raise wrapped from exc
+
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="cluster-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    # --- spawn / receive ----------------------------------------------------
+    def _start_worker(self, handle: _WorkerHandle) -> None:
+        """Spawn one worker process and its receiver thread."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, handle.config),
+            name=f"cluster-worker-{handle.rank}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        handle.proc = proc
+        handle.conn = parent_conn
+        handle.ready.clear()
+        handle.receiver = threading.Thread(
+            target=self._receive,
+            args=(handle,),
+            name=f"cluster-recv-{handle.rank}",
+            daemon=True,
+        )
+        handle.receiver.start()
+
+    def _receive(self, handle: _WorkerHandle) -> None:
+        conn = handle.conn
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                if not self._closing and handle.state in (_STARTING, _UP):
+                    self._on_worker_lost(handle, reason="connection lost")
+                return
+            kind = message[0]
+            if kind == "hb":
+                handle.last_seen = time.monotonic()
+                if message[1] == READY_SEQ:
+                    handle.ready.set()
+            elif kind in ("ok", "err"):
+                self._on_completion(handle, kind, message[1], message[2])
+            elif kind == "stats":
+                handle.stats = message[1]
+            elif kind == "bye":
+                with self._lock:
+                    if handle.state != _LOST:
+                        handle.state = _STOPPED
+                return
+
+    def _on_completion(self, handle: _WorkerHandle, kind: str,
+                       job_id: int, payload: bytes) -> None:
+        with self._lock:
+            job = handle.inflight.pop(job_id, None)
+        if job is None:
+            return  # redispatched elsewhere; stale completion
+        try:
+            value = pickle.loads(payload)
+        except Exception as exc:  # noqa: BLE001 - never lose a future
+            job.future._settle(exc=ClusterError(
+                f"could not unpickle worker {handle.rank}'s result for "
+                f"{job.future.label!r}: {exc}"
+            ))
+            return
+        self._trace_count("completions")
+        if kind == "ok":
+            job.future._settle(result=value)
+        else:
+            job.future._settle(exc=value)
+
+    # --- supervision --------------------------------------------------------
+    def _supervise(self) -> None:
+        interval = max(0.05, self._heartbeat_s / 2.0)
+        while not self._closing:
+            time.sleep(interval)
+            now = time.monotonic()
+            for handle in self._handles:
+                if handle.state != _UP:
+                    continue
+                exitcode = handle.proc.exitcode
+                if exitcode is not None:
+                    self._on_worker_lost(
+                        handle, reason=f"process exited with code {exitcode}"
+                    )
+                elif now - handle.last_seen > self._deadline_s:
+                    self._on_worker_lost(
+                        handle,
+                        reason=(
+                            f"heartbeat silent for more than "
+                            f"{self._deadline_s}s"
+                        ),
+                        hb_timeout=True,
+                    )
+
+    def _on_worker_lost(self, handle: _WorkerHandle, *, reason: str,
+                        hb_timeout: bool = False) -> None:
+        """Quarantine a lost worker, redispatch its orphans, respawn it."""
+        if self._closing:
+            return  # clean shutdown in progress; exits are expected
+        with self._lock:
+            if handle.state not in (_STARTING, _UP):
+                return  # already handled by the other observer
+            handle.state = _LOST
+            orphans = list(handle.inflight.values())
+            handle.inflight.clear()
+        last_seen_ago = time.monotonic() - handle.last_seen
+        self.report.record(
+            "workers_lost", f"worker {handle.rank}: {reason}"
+        )
+        if hb_timeout:
+            self.report.record(
+                "heartbeat_timeouts",
+                f"worker {handle.rank}: last heartbeat "
+                f"{last_seen_ago:.2f}s ago",
+            )
+        self._trace_count("workers_lost")
+        self.health.quarantine(handle.rank, f"worker lost: {reason}")
+        # The process is unreachable or wedged either way; reap it.
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.proc.is_alive():
+            handle.proc.kill()
+
+        def make_error() -> WorkerLost:
+            if hb_timeout:
+                return HeartbeatTimeout(
+                    f"worker {handle.rank} lost: {reason}",
+                    worker=handle.rank,
+                    reason=reason,
+                    jobs_lost=len(orphans),
+                    deadline_s=self._deadline_s,
+                    last_seen_s=round(last_seen_ago, 3),
+                )
+            return WorkerLost(
+                f"worker {handle.rank} lost: {reason}",
+                worker=handle.rank,
+                reason=reason,
+                jobs_lost=len(orphans),
+            )
+
+        if orphans:
+            # One seeded backoff per loss event (not per job): gives a
+            # crashing survivor a beat to be detected before we pile the
+            # orphans onto it, deterministically under a fixed seed.
+            time.sleep(self._rng.uniform(0.05, 0.15))
+        for job in orphans:
+            self._redispatch(job, make_error)
+        if self._restart and not self._closing:
+            with self._lock:
+                handle.state = _RESPAWNING
+            threading.Thread(
+                target=self._respawn,
+                args=(handle,),
+                name=f"cluster-respawn-{handle.rank}",
+                daemon=True,
+            ).start()
+
+    def _redispatch(self, job: _Job, make_error) -> None:
+        future = job.future
+        if future.done():
+            return
+        if future.pinned:
+            # Pinned jobs touch worker-resident state; they cannot move.
+            future._settle(exc=make_error())
+            return
+        if future.attempts > self._max_redispatch:
+            future._settle(exc=ClusterError(
+                f"job {future.label!r} lost {future.attempts} worker(s); "
+                f"giving up after max_redispatch={self._max_redispatch}"
+            ))
+            return
+        target = self._pick_worker(prefer_not=future.device.rank)
+        if target is None:
+            future._settle(exc=make_error())
+            return
+        self.report.record(
+            "redispatches",
+            f"{future.label!r}: worker {future.device.rank} -> "
+            f"{target.rank}",
+        )
+        self._trace_count("redispatches")
+        self._dispatch(target, job)
+
+    def _respawn(self, handle: _WorkerHandle) -> None:
+        """Start a replacement process; canary-probe before readmitting."""
+        try:
+            if self._closing:
+                return
+            self._start_worker(handle)
+            if self._closing:
+                return
+            if not handle.ready.wait(self._spawn_timeout_s):
+                raise ClusterError(
+                    f"restarted worker {handle.rank} never became ready"
+                )
+            with self._lock:
+                handle.state = _UP
+                handle.last_seen = time.monotonic()
+            probe = ClusterFuture(
+                f"canary:worker{handle.rank}",
+                self._proxy_for(handle.rank),
+                pinned=True,
+            )
+            job = _Job(pickle.dumps({"kind": "canary"}), probe, None)
+            self._dispatch(handle, job)
+            probe.result(timeout=self._spawn_timeout_s)
+        except Exception as exc:  # noqa: BLE001 - retire on any failure
+            with self._lock:
+                handle.state = _RETIRED
+            self.health.retire(
+                handle.rank,
+                f"worker {handle.rank} restart failed: {exc}",
+            )
+            if handle.proc is not None and handle.proc.is_alive():
+                handle.proc.kill()
+            return
+        self.health.mark_healthy(
+            handle.rank,
+            f"worker {handle.rank} restarted, canary passed",
+        )
+        self.report.record(
+            "worker_restarts", f"worker {handle.rank} back in rotation"
+        )
+        self._trace_count("worker_restarts")
+
+    def _proxy_for(self, rank: int) -> DeviceProxy:
+        for proxy in self._proxies:
+            if proxy.rank == rank:
+                return proxy
+        raise ClusterError(f"no devices belong to worker {rank}")
+
+    # --- placement ----------------------------------------------------------
+    def _active_handles(self) -> List[_WorkerHandle]:
+        active = set(self.health.active_indices())
+        return [
+            h for h in self._handles
+            if h.rank in active and h.state == _UP
+        ]
+
+    def _pick_worker(
+        self, prefer_not: Optional[int] = None
+    ) -> Optional[_WorkerHandle]:
+        candidates = self._active_handles()
+        if not candidates:
+            return None
+        others = [h for h in candidates if h.rank != prefer_not]
+        pool = others or candidates
+        with self._lock:
+            handle = pool[self._rr % len(pool)]
+            self._rr += 1
+        return handle
+
+    def _dispatch(self, handle: _WorkerHandle, job: _Job) -> None:
+        job_id = next(_job_ids)
+        job.future.attempts += 1
+        # Rewrite the payload's pinned device and re-point the future's
+        # proxy at the target worker so redispatches land correctly.
+        spec = pickle.loads(job.payload)
+        spec["device"] = job.local_device
+        payload = pickle.dumps(spec)
+        if job.future.device.rank != handle.rank:
+            job.future.device = next(
+                p for p in self._proxies if p.rank == handle.rank
+            )
+            job.future.track = f"worker:{handle.rank}"
+        with self._lock:
+            handle.inflight[job_id] = job
+        self._trace_count("dispatches")
+        if not handle.send(("job", job_id, payload)):
+            # The pipe died under us; the loss path redispatches the
+            # orphans it swept.  If the loss was handled *before* our
+            # inflight insert, this job missed that sweep — pull it
+            # back out and redispatch it ourselves.
+            self._on_worker_lost(handle, reason="send failed")
+            with self._lock:
+                stranded = handle.inflight.pop(job_id, None)
+            if stranded is not None:
+                self._redispatch(
+                    stranded,
+                    lambda: WorkerLost(
+                        f"worker {handle.rank} lost: send failed",
+                        worker=handle.rank,
+                        reason="send failed",
+                        jobs_lost=1,
+                    ),
+                )
+
+    # --- PoolProtocol surface -----------------------------------------------
+    @property
+    def devices(self) -> List[DeviceProxy]:
+        """Super-device proxies on workers still eligible for placement."""
+        active = set(self.health.active_indices())
+        return [p for p in self._proxies if p.rank in active]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def distinct_specs(self) -> List[DeviceProxy]:
+        """One representative active proxy per distinct device spec."""
+        seen: Dict[DeviceSpec, DeviceProxy] = {}
+        for proxy in self.devices:
+            seen.setdefault(proxy.spec, proxy)
+        return list(seen.values())
+
+    def _resolve_device(self, device) -> Optional[DeviceProxy]:
+        if device is None:
+            return None
+        if isinstance(device, DeviceProxy):
+            proxy = device
+        elif isinstance(device, int):
+            active = self.devices
+            if not 0 <= device < len(active):
+                raise ClusterError(
+                    f"device index {device} out of range for {len(active)} "
+                    f"active super-device(s)"
+                )
+            proxy = active[device]
+        else:
+            raise ClusterError(
+                f"device= must be a DeviceProxy or an index, got "
+                f"{type(device).__name__}"
+            )
+        if proxy.rank not in set(self.health.active_indices()):
+            raise ClusterError(
+                f"super-device {proxy.ordinal} lives on worker "
+                f"{proxy.rank}, which is "
+                f"{self.health.state(proxy.rank)}"
+            )
+        return proxy
+
+    def _check_args_portable(self, values, label: str) -> None:
+        for value in values:
+            if isinstance(value, DevicePointer):
+                raise ClusterError(
+                    f"job {label!r} carries a DevicePointer argument; "
+                    f"device-resident memory cannot cross the process "
+                    f"boundary — pass host data and allocate inside the "
+                    f"job"
+                )
+
+    def _submit_payload(self, spec: dict, device,
+                        label: str) -> ClusterFuture:
+        if self._closed or self._closing:
+            raise ClusterError(
+                f"cannot submit {label!r}: the cluster pool is closed"
+            )
+        proxy = self._resolve_device(device)
+        pinned = proxy is not None
+        if proxy is None:
+            handle = self._pick_worker()
+            if handle is None:
+                raise ClusterError(
+                    f"cannot submit {label!r}: no workers are active"
+                )
+            proxy = self._proxy_for(handle.rank)
+        else:
+            handle = self._handles[proxy.rank]
+            if handle.state != _UP:
+                raise ClusterError(
+                    f"cannot submit {label!r}: worker {proxy.rank} is "
+                    f"{handle.state}"
+                )
+        try:
+            payload = pickle.dumps(spec)
+        except Exception as exc:  # noqa: BLE001 - any pickling failure
+            raise ClusterError(
+                f"job {label!r} is not picklable and cannot be shipped "
+                f"to a worker process: {exc}"
+            ) from exc
+        future = ClusterFuture(label, proxy, pinned=pinned)
+        job = _Job(
+            payload, future,
+            proxy.local_index if pinned else None,
+        )
+        self._dispatch(handle, job)
+        return future
+
+    def submit_call(
+        self,
+        fn: Callable,
+        *,
+        device=None,
+        label: Optional[str] = None,
+        shard: bool = False,
+    ) -> ClusterFuture:
+        """Run ``fn(device)`` in a worker process; return a future.
+
+        ``fn`` must be picklable (a module-level function or a
+        ``functools.partial`` over one) and self-contained: it gets the
+        *worker-local* :class:`~repro.gpu.device.Device` and must
+        allocate, compute and download there.  ``device=`` pins the job
+        to one super-device (no redispatch on worker loss — pinned jobs
+        fail with :class:`WorkerLost` instead).
+        """
+        name = label or getattr(fn, "__name__", None) or getattr(
+            getattr(fn, "func", None), "__name__", "call"
+        )
+        if isinstance(fn, functools.partial):
+            self._check_args_portable(
+                list(fn.args) + list(fn.keywords.values()), name
+            )
+        spec = {
+            "kind": "call",
+            "fn": fn,
+            "label": name,
+            "shard": bool(shard),
+        }
+        return self._submit_payload(spec, device, name)
+
+    def submit(
+        self,
+        kernel,
+        config,
+        *args,
+        device=None,
+        label: Optional[str] = None,
+    ) -> ClusterFuture:
+        """Launch ``kernel`` in a worker process; return a future.
+
+        The kernel travels *by reference* — its ``(module, qualname)``
+        pair — because decorator wrapper objects do not pickle; the
+        worker re-imports it.  Arguments must be host values (NumPy
+        arrays, scalars); :class:`DevicePointer`\\ s are rejected because
+        the memory they name lives in a different process.
+        """
+        name = label or getattr(
+            getattr(kernel, "fn", None) or kernel, "__name__", "kernel"
+        )
+        self._check_args_portable(args, name)
+        module = getattr(kernel, "__module__", None)
+        qualname = getattr(kernel, "__qualname__", None)
+        if not module or not qualname:
+            raise ClusterError(
+                f"kernel {name!r} has no importable (module, qualname) "
+                f"identity; cluster submission ships kernels by reference"
+            )
+        spec = {
+            "kind": "kernel",
+            "module": module,
+            "qualname": qualname,
+            "config": config,
+            "args": tuple(args),
+            "label": name,
+        }
+        return self._submit_payload(spec, device, name)
+
+    def synchronize(self) -> None:
+        """Fence every active worker: returns once queued work is done."""
+        fences = []
+        for proxy in self.devices:
+            try:
+                fences.append(
+                    self.submit_call(_fence, device=proxy, label="fence")
+                )
+            except ClusterError:
+                continue  # the worker died between enumeration and submit
+        for fence in fences:
+            # A fence lost to a dying worker is not a failure of the
+            # caller's work; surviving workers were still fenced.
+            try:
+                fence.result(timeout=self._spawn_timeout_s)
+            except ClusterError:
+                pass
+
+    # --- collectives (see actions.py for the action types) ------------------
+    def scatter(self, action) -> List[ClusterFuture]:
+        """Run one copy of ``action`` on every active worker.
+
+        Each copy gets ``rank``/``size`` stamped (armi's ``mpiActions``
+        shape) and runs pinned to its worker — a scatter participant
+        holds rank-specific state, so it fails with :class:`WorkerLost`
+        rather than silently running twice elsewhere.
+        """
+        from .actions import ClusterAction
+
+        if not isinstance(action, ClusterAction):
+            raise ClusterError(
+                f"scatter() needs a ClusterAction, got "
+                f"{type(action).__name__}"
+            )
+        handles = self._active_handles()
+        if not handles:
+            raise ClusterError("cannot scatter: no workers are active")
+        futures = []
+        size = len(handles)
+        for position, handle in enumerate(handles):
+            copy = action._with_rank(position, size)
+            futures.append(
+                self._submit_payload(
+                    {
+                        "kind": "action",
+                        "action": copy,
+                        "label": f"{type(action).__name__}:r{position}",
+                    },
+                    self._proxy_for(handle.rank),
+                    f"{type(action).__name__}:r{position}",
+                )
+            )
+        return futures
+
+    def broadcast(self, value, *, key: str = "broadcast") -> List:
+        """Park ``value`` in every active worker's context store."""
+        from .actions import _StoreAction
+
+        return self.gather(self.scatter(_StoreAction(key, value)))
+
+    def all_reduce(self, action, op: str = "sum"):
+        """Scatter ``action``, reduce the gathered results, broadcast back.
+
+        Failure-aware: participants that die mid-collective surface as
+        :class:`WorkerLost` from the gather (the collective fails as a
+        unit rather than silently reducing over a partial set).
+        """
+        reducers = {
+            "sum": lambda values: functools.reduce(
+                lambda a, b: a + b, values
+            ),
+            "min": min,
+            "max": max,
+        }
+        if op not in reducers:
+            raise ClusterError(
+                f"unknown all_reduce op {op!r}; use one of "
+                f"{sorted(reducers)}"
+            )
+        values = self.gather(self.scatter(action))
+        reduced = reducers[op](values)
+        self.broadcast(reduced, key=f"all_reduce:{op}")
+        return reduced
+
+    @staticmethod
+    def gather(futures: Sequence[ClusterFuture],
+               timeout: Optional[float] = None) -> List:
+        """Wait on all futures; re-raise the first failure in order."""
+        from ..sched import gather as _gather
+
+        return _gather(futures, timeout)
+
+    # --- lifecycle ----------------------------------------------------------
+    def close(self, *, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop every worker; drain in-flight work unless ``drain=False``.
+
+        With ``drain=False`` workers cancel their queued jobs (those
+        futures resolve to :class:`CancelledError`).  Workers that fail
+        to exit within ``timeout`` are killed with a
+        :class:`RuntimeWarning`; any still-unresolved future is failed
+        with a :class:`ClusterError` so no caller blocks forever.
+        """
+        if self._closed:
+            return
+        self._closing = True
+        stopped = []
+        for handle in self._handles:
+            if handle.state == _UP and handle.send(("stop", drain)):
+                stopped.append(handle)
+        deadline = time.monotonic() + timeout
+        for handle in stopped:
+            if handle.receiver is None:
+                continue
+            handle.receiver.join(max(0.0, deadline - time.monotonic()))
+        for handle in stopped:
+            if handle.proc is None:
+                continue
+            handle.proc.join(max(0.0, deadline - time.monotonic()))
+            if handle.proc.is_alive():
+                warnings.warn(
+                    f"cluster worker {handle.rank} did not exit within "
+                    f"{timeout}s; killing it",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                handle.proc.kill()
+                handle.proc.join(1.0)
+        self._teardown_processes()
+        unresolved = [
+            job for handle in self._handles
+            for job in handle.inflight.values()
+            if not job.future.done()
+        ]
+        for job in unresolved:
+            job.future._settle(exc=ClusterError(
+                f"job {job.future.label!r} was still in flight when the "
+                f"cluster pool closed"
+            ))
+        self._closed = True
+
+    def _teardown_processes(self) -> None:
+        for handle in self._handles:
+            if handle.conn is not None:
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+            if handle.proc is not None and handle.proc.is_alive():
+                handle.proc.kill()
+                handle.proc.join(1.0)
+
+    def __enter__(self) -> "ClusterPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close(drain=exc_type is None)
+        return False
+
+    def worker_stats(self) -> List[dict]:
+        """Final per-worker counters (populated as workers stop)."""
+        return [
+            dict(handle.stats) for handle in self._handles
+            if handle.stats is not None
+        ]
+
+    def _trace_count(self, name: str) -> None:
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.counter(f"cluster_{name}", delta=1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        states = self.health.snapshot()
+        return (
+            f"<ClusterPool {len(self._handles)} worker(s), "
+            f"{len(self._proxies)} super-device(s), health={states}>"
+        )

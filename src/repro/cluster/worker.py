@@ -1,0 +1,414 @@
+"""The worker-process side of :mod:`repro.cluster`.
+
+Each worker is a *spawned* OS process hosting its own slice of the
+simulated machine: a fresh :class:`~repro.sched.DevicePool` over the
+specs assigned to it (optionally wrapped in a
+:class:`~repro.resilience.ResilientPool`, so device-level healing keeps
+working *inside* the worker while the parent supervises the worker as a
+whole).  The parent talks to it over one duplex pipe with a tiny framed
+protocol:
+
+parent -> worker
+    ``("job", job_id, payload_bytes)``  dispatch one pickled job spec
+    ``("stop", drain)``                 shut down (drain or cancel queued)
+
+worker -> parent
+    ``("hb", seq)``                     heartbeat; ``seq == 0`` means ready
+    ``("ok", job_id, result_bytes)``    job succeeded (pickled result)
+    ``("err", job_id, exc_bytes)``      job failed (pickled exception)
+    ``("stats", payload)``              final counters, sent during stop
+    ``("bye",)``                        clean shutdown acknowledged
+
+Everything that crosses the pipe is pickled *by reference where it must
+be*: kernels travel as ``(module, qualname)`` pairs (decorator wrapper
+objects do not pickle), callables and :class:`ClusterAction`\\ s travel
+as ordinary pickles.  Results and exceptions are pre-pickled on the
+worker; anything unpicklable is downgraded to a descriptive
+:class:`~repro.errors.ClusterError` so the parent never loses a future
+to a serialization failure.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ClusterError
+
+__all__ = ["WorkerConfig", "WorkerContext"]
+
+#: Heartbeat sequence 0 is reserved for the readiness announcement.
+READY_SEQ = 0
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a spawned worker needs to build its half of the machine.
+
+    Must stay picklable (it rides the spawn ``Process(args=...)``);
+    device specs pickle by value, the fault plan travels pre-pickled so
+    the parent can bind/rebind without importing worker state.
+    """
+
+    rank: int
+    size: int
+    global_indices: List[int]
+    specs: List[Any]
+    heartbeat_s: float = 0.25
+    resilient: bool = False
+    verify: int = 1
+    seed: int = 0
+    plan_bytes: Optional[bytes] = None
+    tune: bool = False
+    tune_cache: Optional[str] = None
+
+
+@dataclass
+class WorkerContext:
+    """What a :class:`~repro.cluster.ClusterAction` sees when it runs.
+
+    ``store`` is a per-worker scratch dict that survives across actions
+    (the broadcast collective parks values there); ``global_indices``
+    maps the worker's local devices back to cluster-wide super-device
+    indices.
+    """
+
+    rank: int
+    size: int
+    pool: Any
+    devices: List[Any]
+    global_indices: List[int]
+    store: Dict[str, Any] = field(default_factory=dict)
+
+
+def _fence(device) -> None:
+    """Module-level no-op fence job (lambdas do not pickle)."""
+    del device
+
+
+def _resolve_kernel(module: str, qualname: str):
+    """Re-import a kernel shipped by reference (wrappers do not pickle)."""
+    try:
+        obj: Any = import_module(module)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        return obj
+    except (ImportError, AttributeError) as exc:
+        raise ClusterError(
+            f"worker could not resolve kernel {module}.{qualname}: {exc}"
+        ) from exc
+
+
+def _pickle_or_error(value: Any, *, label: str) -> bytes:
+    """Pickle ``value``; fall back to a ClusterError describing why not."""
+    try:
+        return pickle.dumps(value)
+    except Exception as exc:  # noqa: BLE001 - any pickling failure
+        fallback = ClusterError(
+            f"job {label!r} produced an unpicklable "
+            f"{type(value).__name__}: {exc}"
+        )
+        return pickle.dumps(fallback)
+
+
+class _WorkerRuntime:
+    """The in-process state of one worker: pool, heartbeats, dispatch."""
+
+    def __init__(self, conn, config: WorkerConfig) -> None:
+        self.conn = conn
+        self.config = config
+        self.send_lock = threading.Lock()
+        self.stop_event = threading.Event()
+        self.inner_pool = None  # the raw DevicePool (owns the devices)
+        self.pool = None  # what jobs run against (maybe ResilientPool)
+        self.context: Optional[WorkerContext] = None
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self._plan_cm = None
+        self._tuned = False
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    # --- plumbing -----------------------------------------------------------
+    def send(self, message: Tuple) -> None:
+        """Pipe sends are not atomic across threads; serialize them."""
+        with self.send_lock:
+            try:
+                self.conn.send(message)
+            except (BrokenPipeError, OSError):
+                # Parent is gone; nothing left to report to.
+                self.stop_event.set()
+
+    def _job_started(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def _job_finished(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            self._inflight_cv.notify_all()
+
+    def _wait_inflight(self, timeout: float) -> bool:
+        """Wait for every accepted job to report back (drain shutdown)."""
+        deadline = timeout
+        with self._inflight_cv:
+            return self._inflight_cv.wait_for(
+                lambda: self._inflight == 0, timeout=deadline
+            )
+
+    def _heartbeat_loop(self) -> None:
+        seq = READY_SEQ + 1
+        while not self.stop_event.wait(self.config.heartbeat_s):
+            self.send(("hb", seq))
+            seq += 1
+
+    # --- setup / teardown ---------------------------------------------------
+    def start(self) -> None:
+        from ..sched import DevicePool
+
+        self.inner_pool = DevicePool(specs=list(self.config.specs))
+        self.pool = self.inner_pool
+        if self.config.plan_bytes is not None:
+            from .. import faults
+
+            plan = pickle.loads(self.config.plan_bytes)
+            # Map cluster-wide super-device selectors onto this worker's
+            # local pool ordinals; selectors for other workers' devices
+            # keep matching raw ordinals, which local pool devices
+            # (fresh registry entries above the defaults) never use.
+            plan.bind_devices(
+                {
+                    global_idx: device.ordinal
+                    for global_idx, device in zip(
+                        self.config.global_indices, self.inner_pool.devices
+                    )
+                }
+            )
+            self._plan_cm = faults.inject(plan)
+            self._plan_cm.__enter__()
+        if self.config.resilient:
+            from ..resilience import ResilientPool
+
+            self.pool = ResilientPool(
+                self.inner_pool,
+                verify=self.config.verify,
+                seed=self.config.seed + self.config.rank,
+            )
+        if self.config.tune and self.config.tune_cache:
+            from .. import tune as tune_mod
+
+            if tune_mod.active_session() is None:
+                tune_mod.enable(
+                    self.config.tune_cache, seed=self.config.seed
+                )
+                self._tuned = True
+        self.context = WorkerContext(
+            rank=self.config.rank,
+            size=self.config.size,
+            pool=self.pool,
+            devices=list(self.inner_pool.devices),
+            global_indices=list(self.config.global_indices),
+        )
+
+    def shutdown(self, drain: bool) -> None:
+        try:
+            if self.pool is not None and self.pool is not self.inner_pool:
+                self.pool.close(drain=drain)
+            if self.inner_pool is not None:
+                self.inner_pool.close(drain=drain)
+        finally:
+            if self._tuned:
+                from .. import tune as tune_mod
+
+                tune_mod.disable()
+            if self._plan_cm is not None:
+                self._plan_cm.__exit__(None, None, None)
+                self._plan_cm = None
+
+    # --- job dispatch -------------------------------------------------------
+    def dispatch(self, job_id: int, payload: bytes) -> None:
+        try:
+            spec = pickle.loads(payload)
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            self.send(
+                (
+                    "err",
+                    job_id,
+                    pickle.dumps(
+                        ClusterError(f"worker could not unpickle job: {exc}")
+                    ),
+                )
+            )
+            return
+        kind = spec.get("kind")
+        label = spec.get("label") or kind or "job"
+        self._job_started()
+        try:
+            if kind == "call":
+                future = self.pool.submit_call(
+                    spec["fn"],
+                    device=spec.get("device"),
+                    label=label,
+                    shard=bool(spec.get("shard", False)),
+                )
+            elif kind == "kernel":
+                kernel = _resolve_kernel(spec["module"], spec["qualname"])
+                future = self.pool.submit(
+                    kernel,
+                    spec["config"],
+                    *spec.get("args", ()),
+                    device=spec.get("device"),
+                    label=label,
+                )
+            elif kind == "action":
+                self._run_on_thread(job_id, label, spec["action"])
+                return
+            elif kind == "canary":
+                self._run_on_thread(job_id, label, None)
+                return
+            else:
+                raise ClusterError(f"unknown cluster job kind {kind!r}")
+        except Exception as exc:  # noqa: BLE001 - submission failed
+            self.jobs_failed += 1
+            self.send(("err", job_id, _pickle_or_error(exc, label=label)))
+            self._job_finished()
+            return
+        self._attach(job_id, label, future)
+
+    def _attach(self, job_id: int, label: str, future) -> None:
+        """Stream a future's completion back over the pipe.
+
+        Plain :class:`KernelFuture`\\ s support ``add_done_callback`` —
+        no extra thread.  :class:`ResilientFuture`\\ s resolve on the
+        waiting thread (retries happen there), so those get a waiter.
+        """
+        if hasattr(future, "add_done_callback"):
+            future.add_done_callback(
+                lambda fut: self._complete(job_id, label, fut)
+            )
+            return
+        waiter = threading.Thread(
+            target=self._wait_and_complete,
+            args=(job_id, label, future),
+            name=f"cluster-wait-{job_id}",
+            daemon=True,
+        )
+        waiter.start()
+
+    def _wait_and_complete(self, job_id: int, label: str, future) -> None:
+        try:
+            exc = future.exception()
+        except Exception as wait_exc:  # noqa: BLE001 - resolution blew up
+            exc = wait_exc
+        try:
+            if exc is not None:
+                self.jobs_failed += 1
+                self.send(("err", job_id, _pickle_or_error(exc, label=label)))
+                return
+            self.jobs_done += 1
+            self.send(
+                ("ok", job_id, _pickle_or_error(future.result(), label=label))
+            )
+        finally:
+            self._job_finished()
+
+    def _complete(self, job_id: int, label: str, future) -> None:
+        try:
+            exc = future.exception()
+            if exc is not None:
+                self.jobs_failed += 1
+                self.send(("err", job_id, _pickle_or_error(exc, label=label)))
+            else:
+                self.jobs_done += 1
+                self.send(
+                    ("ok", job_id, _pickle_or_error(future.result(), label=label))
+                )
+        finally:
+            self._job_finished()
+
+    def _run_on_thread(self, job_id: int, label: str, action) -> None:
+        """Actions (and canaries) block on their own pool's futures, so
+        they must never run on a pool worker thread — dedicated thread."""
+
+        def runner() -> None:
+            try:
+                if action is None:
+                    result = self._canary()
+                else:
+                    result = action.invoke(self.context)
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                self.jobs_failed += 1
+                self.send(("err", job_id, _pickle_or_error(exc, label=label)))
+                self._job_finished()
+                return
+            self.jobs_done += 1
+            self.send(("ok", job_id, _pickle_or_error(result, label=label)))
+            self._job_finished()
+
+        thread = threading.Thread(
+            target=runner, name=f"cluster-action-{job_id}", daemon=True
+        )
+        thread.start()
+
+    def _canary(self) -> str:
+        """Probe every local device with the resilience canary kernel."""
+        from ..resilience.pool import _canary_probe
+
+        for device in self.inner_pool.devices:
+            _canary_probe(device)
+        return f"canary ok on {len(self.inner_pool.devices)} device(s)"
+
+    # --- main loop ----------------------------------------------------------
+    def run(self) -> None:
+        self.start()
+        self.send(("hb", READY_SEQ))
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop, name="cluster-heartbeat", daemon=True
+        )
+        heartbeat.start()
+        drain = True
+        try:
+            while True:
+                try:
+                    message = self.conn.recv()
+                except (EOFError, OSError):
+                    drain = False
+                    break
+                if message[0] == "job":
+                    self.dispatch(message[1], message[2])
+                elif message[0] == "stop":
+                    drain = bool(message[1])
+                    break
+        finally:
+            self.stop_event.set()
+            if drain:
+                # Don't announce stats/bye while completions are still in
+                # flight — the parent treats post-bye silence as final.
+                self._wait_inflight(timeout=30.0)
+            try:
+                self.shutdown(drain)
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+            self.send(
+                (
+                    "stats",
+                    {
+                        "rank": self.config.rank,
+                        "jobs_done": self.jobs_done,
+                        "jobs_failed": self.jobs_failed,
+                    },
+                )
+            )
+            self.send(("bye",))
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+def _worker_main(conn, config: WorkerConfig) -> None:
+    """Spawn entry point (must be module-level to pickle by reference)."""
+    _WorkerRuntime(conn, config).run()

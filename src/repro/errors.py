@@ -29,6 +29,9 @@ __all__ = [
     "SchedulerError",
     "CancelledError",
     "WatchdogTimeout",
+    "ClusterError",
+    "WorkerLost",
+    "HeartbeatTimeout",
     "ServeError",
     "QueueFull",
     "SessionClosed",
@@ -334,6 +337,127 @@ class WatchdogTimeout(GpuError):
         if self.deadline_s is not None:
             extra.append(f"deadline={self.deadline_s}s")
         return f"{base} [{', '.join(extra)}]" if extra else base
+
+
+class ClusterError(SchedulerError):
+    """The multi-process cluster layer was misused or failed to start.
+
+    Raised for bad :class:`~repro.cluster.ClusterPool` configuration,
+    submissions to a closed cluster, payloads that cannot cross a process
+    boundary (device-resident pointers, unpicklable callables), and
+    spawn failures.  Failures *inside* a worker's job are not wrapped:
+    the worker pickles the original error back, so a clustered run fails
+    exactly like an in-process pooled run would.
+    """
+
+
+class WorkerLost(ClusterError):
+    """A cluster worker process died (or was declared dead) with jobs on it.
+
+    The cross-process analogue of a retired device: supervision detected
+    the loss (process exit, broken pipe, or a missed liveness deadline —
+    see :class:`HeartbeatTimeout`), quarantined the worker as a
+    super-device, and redispatched its relocatable jobs to survivors.
+    This error surfaces only on futures that could *not* be relocated:
+    jobs pinned to the lost worker's devices, jobs over the redispatch
+    budget, or any job when no workers survive.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        worker: "int | None" = None,
+        reason: "str | None" = None,
+        jobs_lost: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.reason = reason
+        self.jobs_lost = jobs_lost
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        extra = []
+        if self.worker is not None:
+            extra.append(f"worker={self.worker}")
+        if self.reason is not None:
+            extra.append(f"reason={self.reason}")
+        if self.jobs_lost is not None:
+            extra.append(f"jobs_lost={self.jobs_lost}")
+        return f"{base} [{', '.join(extra)}]" if extra else base
+
+    # Workers hand these across process boundaries; like LaunchError, the
+    # structured context must survive pickling, so reduce to
+    # (message, state) instead of the default cls(*args) re-call.
+    def _state(self) -> dict:
+        return {
+            "worker": self.worker,
+            "reason": self.reason,
+            "jobs_lost": self.jobs_lost,
+        }
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "",), self._state())
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.args == other.args and self._state() == other._state()
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.args))
+
+
+class HeartbeatTimeout(WorkerLost):
+    """A worker missed its liveness deadline (hung, not crashed).
+
+    A worker's heartbeat thread beats on its own schedule, so a silent
+    worker is one whose *process* stopped making progress — a hard hang,
+    a stop signal, severe starvation.  Supervision treats it exactly
+    like a crash (quarantine + redispatch), but reports the deadline
+    that expired and when the worker was last heard from, because a hung
+    worker — unlike a dead one — is also force-killed to reclaim it.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        worker: "int | None" = None,
+        reason: "str | None" = None,
+        jobs_lost: "int | None" = None,
+        deadline_s: "float | None" = None,
+        last_seen_s: "float | None" = None,
+    ) -> None:
+        super().__init__(
+            message, worker=worker, reason=reason, jobs_lost=jobs_lost
+        )
+        self.deadline_s = deadline_s
+        self.last_seen_s = last_seen_s
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        extra = []
+        if self.deadline_s is not None:
+            extra.append(f"deadline={self.deadline_s}s")
+        if self.last_seen_s is not None:
+            extra.append(f"last_seen={self.last_seen_s:.3f}s ago")
+        return f"{base} [{', '.join(extra)}]" if extra else base
+
+    def _state(self) -> dict:
+        state = super()._state()
+        state.update(
+            {"deadline_s": self.deadline_s, "last_seen_s": self.last_seen_s}
+        )
+        return state
 
 
 class ServeError(ReproError):

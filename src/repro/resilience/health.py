@@ -42,14 +42,23 @@ _TRANSITIONS = {
 
 
 class HealthTracker:
-    """Health states for a pool's devices, keyed by pool index."""
+    """Health states for a pool's devices, keyed by pool index.
 
-    def __init__(self, count: int, *, report: RecoveryReport) -> None:
+    ``noun`` names what is being tracked in error messages: the
+    resilience tier tracks ``"device"``\\ s, the cluster tier reuses the
+    same state machine over whole worker processes (``noun="worker"``) —
+    a lost worker is a quarantined *super-device*.
+    """
+
+    def __init__(
+        self, count: int, *, report: RecoveryReport, noun: str = "device"
+    ) -> None:
         if count < 1:
-            raise SchedulerError("HealthTracker needs at least one device")
+            raise SchedulerError(f"HealthTracker needs at least one {noun}")
         self._lock = threading.Lock()
         self._states: Dict[int, str] = {i: HEALTHY for i in range(count)}
         self._report = report
+        self._noun = noun
 
     def state(self, index: int) -> str:
         """Current health state of one pool device."""
@@ -83,8 +92,8 @@ class HealthTracker:
                 return False
             if new_state not in _TRANSITIONS[current]:
                 raise SchedulerError(
-                    f"illegal health transition for pool device {index}: "
-                    f"{current} -> {new_state}"
+                    f"illegal health transition for pool {self._noun} "
+                    f"{index}: {current} -> {new_state}"
                 )
             self._states[index] = new_state
             return True

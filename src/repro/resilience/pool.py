@@ -349,6 +349,18 @@ class ResilientPool:
     def __len__(self) -> int:
         return len(self.health.active_indices())
 
+    def distinct_specs(self) -> List[Device]:
+        """One representative *active* device per distinct spec.
+
+        Mirrors :meth:`DevicePool.distinct_specs` but only over devices
+        still eligible for placement, so ``repro.tune.warm`` never
+        probes a quarantined or retired device.
+        """
+        seen = {}
+        for device in self.devices:
+            seen.setdefault(device.spec, device)
+        return list(seen.values())
+
     def submit_call(
         self,
         fn: Callable[[Device], object],

@@ -38,15 +38,31 @@ class RecoveryReport:
         self.counts: Dict[str, int] = {kind: 0 for kind in KINDS}
         self.events: List[Tuple[int, str, str]] = []
 
+    def ensure_kinds(self, kinds) -> None:
+        """Register additional event kinds (zero-initialized).
+
+        Layers that extend recovery across new failure domains — the
+        cluster tier counts lost workers and cross-process redispatches —
+        add their counters here instead of subclassing, so one report
+        instance can observe a whole stacked run (worker-local device
+        healing *and* cluster supervision).  Known kinds are untouched.
+        """
+        with self._lock:
+            for kind in kinds:
+                self.counts.setdefault(str(kind), 0)
+
     def record(self, kind: str, detail: str = "", *, count: int = 1) -> None:
         """Count one recovery action (and trace it).
 
-        ``kind`` must be one of the known counters; ``count`` lets bulk
-        actions (re-executing N shards) land as one event with weight N.
+        ``kind`` must be one of the known counters (the module
+        :data:`KINDS` plus anything added via :meth:`ensure_kinds`);
+        ``count`` lets bulk actions (re-executing N shards) land as one
+        event with weight N.
         """
         if kind not in self.counts:
             raise KeyError(
-                f"unknown recovery event kind {kind!r}; known: {KINDS}"
+                f"unknown recovery event kind {kind!r}; known: "
+                f"{tuple(self.counts)}"
             )
         with self._lock:
             self.counts[kind] += count
@@ -79,7 +95,7 @@ class RecoveryReport:
         if not events:
             return "recovery report: no recovery actions (clean run)"
         nonzero = ", ".join(
-            f"{kind}={counts[kind]}" for kind in KINDS if counts[kind]
+            f"{kind}={count}" for kind, count in counts.items() if count
         )
         lines = [f"recovery report: {nonzero}"]
         for seq, kind, detail in events:

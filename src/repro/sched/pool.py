@@ -87,6 +87,7 @@ class KernelFuture:
         #: is already done — e.g. the worker finishing a job the watchdog
         #: timed out.  The resilience layer counts these.
         self.stale_callback: Optional[Callable[[], None]] = None
+        self._callbacks: List[Callable[["KernelFuture"], None]] = []
 
     # --- worker side --------------------------------------------------------
     def _start(self) -> bool:
@@ -106,6 +107,7 @@ class KernelFuture:
             self._state = _DONE
             self._result = value
         self._done.set()
+        self._invoke_callbacks()
         return True
 
     def _set_exception(self, exc: BaseException) -> bool:
@@ -117,12 +119,44 @@ class KernelFuture:
             self._state = _DONE
             self._exception = exc
         self._done.set()
+        self._invoke_callbacks()
         return True
 
     def _notify_stale(self) -> None:
         callback = self.stale_callback
         if callback is not None:
             callback()
+
+    def _invoke_callbacks(self) -> None:
+        with self._state_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                warnings.warn(
+                    f"KernelFuture done-callback for {self.label!r} raised "
+                    f"{type(exc).__name__}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    # --- completion notification -------------------------------------------
+    def add_done_callback(self, fn: Callable[["KernelFuture"], None]) -> None:
+        """Invoke ``fn(future)`` when the job completes.
+
+        Runs on the thread that completes the future (the pool worker, or
+        the canceller); if the future is already done, ``fn`` runs
+        immediately on the calling thread.  Callback exceptions are
+        reported as :class:`RuntimeWarning`\\ s rather than crashing the
+        pool worker.  The cluster tier uses this to stream results back
+        over a pipe without a waiter thread per job.
+        """
+        with self._state_lock:
+            if self._state != _DONE:
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     # --- caller side --------------------------------------------------------
     def cancel(self, reason: str = "cancelled", *, retryable: bool = False) -> bool:
@@ -143,6 +177,7 @@ class KernelFuture:
                 retryable=retryable,
             )
         self._done.set()
+        self._invoke_callbacks()
         return True
 
     def cancelled(self) -> bool:

@@ -65,7 +65,11 @@ class KernelService:
     :class:`~repro.sched.DevicePool`; ``resilient=True`` wraps it in a
     :class:`~repro.resilience.ResilientPool` (with ``verify``/``seed``
     forwarded) so backend faults are healed before tenants ever see
-    them.  Alternatively pass ``backend=`` — anything satisfying
+    them.  ``cluster=N`` serves over N supervised worker *processes*
+    instead (:func:`repro.cluster.cluster_pool`, with ``resilient``
+    meaning device healing inside each worker) — lost workers are
+    quarantined and redispatched under the tenants transparently.
+    Alternatively pass ``backend=`` — anything satisfying
     :class:`~repro.sched.PoolProtocol` — and the service will serve over
     it without taking ownership of its lifecycle.
 
@@ -81,6 +85,7 @@ class KernelService:
         backend: Optional[PoolProtocol] = None,
         specs: Optional[List[DeviceSpec]] = None,
         placement: object = "round_robin",
+        cluster: int = 0,
         resilient: bool = False,
         verify: int = 1,
         seed: int = 0,
@@ -99,7 +104,20 @@ class KernelService:
         self.report = RecoveryReport()
         self._owned = backend is None
         self._pool: Optional[DevicePool] = None
-        if backend is None:
+        if backend is None and cluster > 0:
+            from ..cluster import cluster_pool
+            from ..faults import active_plan
+
+            backend = cluster_pool(
+                cluster,
+                specs=specs,
+                resilient=resilient,
+                verify=verify,
+                seed=seed,
+                report=self.report,
+                plan=active_plan(),
+            )
+        elif backend is None:
             self._pool = DevicePool(devices, specs=specs, placement=placement)
             if resilient:
                 from ..resilience import ResilientPool

@@ -1,10 +1,11 @@
-"""The unified run() entry point and the deprecated run_functional* shims.
+"""The unified run() entry point and the removed run_functional* trio.
 
 One surface replaces the old trio: ``run(app, config)`` (or keyword
 overrides) resolves single-device, sharded, resilient and
 externally-pooled execution — all bit-identical for the data-parallel
-apps — while the old method names keep working behind
-DeprecationWarning.
+apps.  The old method names finished their DeprecationWarning cycle in
+release 1.2 and now raise a pointed :class:`AttributeError` naming the
+replacement.
 """
 
 import warnings
@@ -83,35 +84,35 @@ class TestUnifiedRun:
         assert result.tracer is None
 
 
-class TestDeprecatedShims:
-    def test_run_functional_warns_but_works(self, baseline):
-        app, params, clean = baseline
-        with pytest.warns(DeprecationWarning, match="run_functional"):
-            result = app.run_functional(
-                VersionLabel.OMPX, params, get_device(0)
-            )
-        assert result.checksum == clean.checksum
+class TestRemovedRunners:
+    """The 1.2 removal: old names raise a helpful AttributeError."""
 
-    def test_run_functional_sharded_warns_but_works(self, baseline):
-        app, params, clean = baseline
-        with DevicePool(2) as pool:
-            with pytest.warns(DeprecationWarning,
-                              match="run_functional_sharded"):
-                result = app.run_functional_sharded(
-                    VersionLabel.OMPX, params, pool
-                )
-        assert result.checksum == clean.checksum
+    @pytest.mark.parametrize("old_name, replacement_hint", [
+        ("run_functional", "repro.apps.run(app, variant="),
+        ("run_functional_sharded", "repro.apps.run(app, devices=N)"),
+        ("run_functional_resilient", "repro.apps.run(app, resilient=True)"),
+    ])
+    def test_removed_name_raises_pointed_error(
+        self, baseline, old_name, replacement_hint
+    ):
+        app, _, _ = baseline
+        with pytest.raises(AttributeError) as excinfo:
+            getattr(app, old_name)
+        message = str(excinfo.value)
+        assert old_name in message
+        assert "removed in release 1.2" in message
+        assert replacement_hint in message
 
-    def test_run_functional_resilient_warns_but_works(self, baseline):
-        app, params, clean = baseline
-        with DevicePool(2) as pool:
-            with ResilientPool(pool) as rpool:
-                with pytest.warns(DeprecationWarning,
-                                  match="run_functional_resilient"):
-                    result = app.run_functional_resilient(
-                        VersionLabel.OMPX, params, rpool
-                    )
-        assert result.checksum == clean.checksum
+    def test_removed_names_fail_hasattr(self, baseline):
+        app, _, _ = baseline
+        assert not hasattr(app, "run_functional")
+        assert not hasattr(app, "run_functional_sharded")
+        assert not hasattr(app, "run_functional_resilient")
+
+    def test_other_missing_attributes_raise_plain_error(self, baseline):
+        app, _, _ = baseline
+        with pytest.raises(AttributeError, match="no attribute"):
+            app.definitely_not_a_method
 
     def test_new_surface_does_not_warn(self, baseline):
         app, params, _ = baseline

@@ -1,0 +1,115 @@
+"""Supervision: crash/hang detection, redispatch, restart, readmission.
+
+These tests SIGKILL/SIGSTOP real worker processes and assert the
+parent-side self-healing story: lost workers become quarantined
+super-devices, orphaned unpinned jobs re-land on survivors, restarted
+workers pass a canary probe before readmission, and pinned work on a
+dead worker fails with :class:`~repro.errors.WorkerLost` (or its
+heartbeat-expiry subclass) instead of hanging.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cluster import ClusterPool
+from repro.errors import HeartbeatTimeout, WorkerLost
+
+from .helpers import ordinal_probe, pid_probe, slow_probe
+
+pytestmark = [pytest.mark.cluster]
+
+
+def _wait_for(predicate, timeout=20.0, interval=0.1):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestCrashRecovery:
+    def test_sigkill_redispatches_quarantines_and_readmits(self):
+        with ClusterPool(3, heartbeat_s=0.1, deadline_s=1.0, seed=7) as pool:
+            futures = [
+                pool.submit_call(slow_probe, label=f"job{i}")
+                for i in range(6)
+            ]
+            time.sleep(0.15)
+            victim = pool._handles[1]
+            old_pid = victim.proc.pid  # respawn replaces handle.proc
+            os.kill(old_pid, signal.SIGKILL)
+
+            # Every unpinned orphan re-lands on a survivor and finishes.
+            assert [f.result(timeout=30) for f in futures] == ["done"] * 6
+            assert any(f.attempts > 1 for f in futures)
+            assert pool.report["workers_lost"] == 1
+            assert pool.report["redispatches"] >= 1
+
+            # The lost worker is a quarantined super-device until its
+            # replacement passes the canary probe, then healthy again.
+            assert _wait_for(lambda: pool.health.state(1) == "healthy")
+            assert pool.report["quarantines"] == 1
+            assert pool.report["worker_restarts"] == 1
+
+            # The readmitted worker accepts pinned work in a NEW process.
+            pinned = pool.submit_call(
+                pid_probe, device=pool.devices[1], label="pinned-after"
+            )
+            assert pinned.result(timeout=30) != old_pid
+
+    def test_restart_false_leaves_the_worker_quarantined(self):
+        with ClusterPool(
+            2, heartbeat_s=0.1, deadline_s=1.0, restart=False
+        ) as pool:
+            os.kill(pool._handles[0].proc.pid, signal.SIGKILL)
+            assert _wait_for(
+                lambda: pool.health.state(0) == "quarantined", timeout=10
+            )
+            time.sleep(0.5)  # no respawn may sneak in afterwards
+            assert pool.health.state(0) == "quarantined"
+            assert pool.report["worker_restarts"] == 0
+            # The survivor still serves unpinned work.
+            assert pool.submit_call(
+                ordinal_probe
+            ).result(timeout=30) is not None
+
+    def test_pinned_jobs_on_a_dead_worker_fail_with_worker_lost(self):
+        with ClusterPool(
+            2, heartbeat_s=0.1, deadline_s=1.0, restart=False
+        ) as pool:
+            pinned = pool.submit_call(
+                slow_probe, device=pool.devices[1], label="pinned"
+            )
+            time.sleep(0.15)
+            os.kill(pool._handles[1].proc.pid, signal.SIGKILL)
+            with pytest.raises(WorkerLost) as excinfo:
+                pinned.result(timeout=30)
+            assert excinfo.value.worker == 1
+
+
+class TestHangDetection:
+    def test_sigstop_trips_the_heartbeat_deadline(self):
+        with ClusterPool(
+            2, heartbeat_s=0.1, deadline_s=1.0, restart=False
+        ) as pool:
+            victim = pool._handles[1]
+            pinned = pool.submit_call(
+                slow_probe, device=pool.devices[1], label="hang-pinned"
+            )
+            os.kill(victim.proc.pid, signal.SIGSTOP)
+            try:
+                with pytest.raises(HeartbeatTimeout) as excinfo:
+                    pinned.result(timeout=30)
+            finally:
+                os.kill(victim.proc.pid, signal.SIGCONT)
+            exc = excinfo.value
+            assert exc.worker == 1
+            assert exc.deadline_s == 1.0
+            assert "deadline=" in str(exc)
+            assert pool.report["heartbeat_timeouts"] == 1
+            # A hang is a loss: HeartbeatTimeout classifies as WorkerLost.
+            assert isinstance(exc, WorkerLost)

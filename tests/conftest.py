@@ -51,6 +51,11 @@ def pytest_runtest_call(item):
         # (including the slow cooperative one) and spin up serving
         # tiers; a lost wakeup there hangs just like a serve bug does.
         seconds = 120
+    elif marker is None and item.get_closest_marker("cluster") is not None:
+        # Cluster tests spawn worker processes and deliberately kill
+        # them; a supervision bug (lost heartbeat wakeup, join on a dead
+        # pipe) hangs exactly like a resilience bug does.
+        seconds = 120
     elif marker is not None:
         seconds = int(marker.args[0]) if marker.args else 60
     else:

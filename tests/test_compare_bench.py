@@ -1,0 +1,93 @@
+"""benchmarks/compare_bench.py: the perf-trajectory regression gate.
+
+The comparator must understand metric *direction* (a smaller speedup is
+a regression, a smaller runtime is an improvement), tolerate CI noise
+inside the per-kind tolerances, and exit non-zero exactly when a metric
+moves beyond tolerance in the bad direction.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "compare_bench.py"
+)
+
+
+@pytest.fixture(scope="module")
+def compare_bench():
+    spec = importlib.util.spec_from_file_location("compare_bench", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(tmp_path, name, records):
+    path = tmp_path / name
+    path.write_text(json.dumps({"records": records}))
+    return str(path)
+
+
+class TestDirections:
+    def test_identical_snapshots_pass(self, compare_bench, tmp_path):
+        snap = _write(tmp_path, "a.json", {"r": {"speedup": 2.0}})
+        assert compare_bench.main([snap, snap]) == 0
+
+    def test_smaller_speedup_is_a_regression(self, compare_bench, tmp_path):
+        old = _write(tmp_path, "old.json", {"r": {"speedup": 2.0}})
+        new = _write(tmp_path, "new.json", {"r": {"speedup": 1.0}})
+        assert compare_bench.main([old, new]) == 1
+
+    def test_bigger_speedup_is_not(self, compare_bench, tmp_path):
+        old = _write(tmp_path, "old.json", {"r": {"speedup": 1.0}})
+        new = _write(tmp_path, "new.json", {"r": {"speedup": 2.0}})
+        assert compare_bench.main([old, new]) == 0
+
+    def test_slower_timing_is_a_regression(self, compare_bench, tmp_path):
+        old = _write(tmp_path, "old.json", {"r": {"cold_search_s": 1.0}})
+        new = _write(tmp_path, "new.json", {"r": {"cold_search_s": 2.0}})
+        assert compare_bench.main([old, new]) == 1
+
+    def test_faster_timing_is_not(self, compare_bench, tmp_path):
+        old = _write(tmp_path, "old.json", {"r": {"cold_search_s": 2.0}})
+        new = _write(tmp_path, "new.json", {"r": {"cold_search_s": 1.0}})
+        assert compare_bench.main([old, new]) == 0
+
+    def test_overhead_pct_uses_absolute_points(self, compare_bench, tmp_path):
+        # 2% -> 5% overhead is inside the 10-point slack (percent
+        # metrics hover near zero, so a relative rule would flake)...
+        old = _write(tmp_path, "old.json", {"r": {"overhead_pct": 2.0}})
+        new = _write(tmp_path, "new.json", {"r": {"overhead_pct": 5.0}})
+        assert compare_bench.main([old, new]) == 0
+        # ...while 2% -> 30% regresses.
+        worse = _write(tmp_path, "worse.json", {"r": {"overhead_pct": 30.0}})
+        assert compare_bench.main([old, worse]) == 1
+
+
+class TestTolerances:
+    def test_noise_inside_tolerance_passes(self, compare_bench, tmp_path):
+        old = _write(tmp_path, "old.json", {"r": {"run_ms": 100.0}})
+        new = _write(tmp_path, "new.json", {"r": {"run_ms": 110.0}})
+        assert compare_bench.main([old, new]) == 0
+
+    def test_override_tightens_the_gate(self, compare_bench, tmp_path):
+        old = _write(tmp_path, "old.json", {"r": {"run_ms": 100.0}})
+        new = _write(tmp_path, "new.json", {"r": {"run_ms": 110.0}})
+        assert compare_bench.main([old, new, "--tolerance-pct", "5"]) == 1
+
+    def test_added_and_removed_records_do_not_gate(
+        self, compare_bench, tmp_path
+    ):
+        old = _write(tmp_path, "old.json", {"gone": {"x_s": 1.0}})
+        new = _write(tmp_path, "new.json", {"fresh": {"y_s": 1.0}})
+        assert compare_bench.main([old, new]) == 0
+
+    def test_unknown_metric_names_are_informational(
+        self, compare_bench, tmp_path
+    ):
+        old = _write(tmp_path, "old.json", {"r": {"weirdness": 1.0}})
+        new = _write(tmp_path, "new.json", {"r": {"weirdness": 99.0}})
+        assert compare_bench.main([old, new]) == 0

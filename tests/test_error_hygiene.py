@@ -107,6 +107,66 @@ def test_lint_covers_the_tune_package():
     } <= tune_files
 
 
+def test_lint_covers_the_cluster_package():
+    # And for repro.cluster: worker processes ship their failures back
+    # over a pipe as pickled exceptions, so every raise there must stay
+    # inside the ReproError hierarchy for the parent-side classify-and-
+    # redispatch logic to work.
+    cluster_files = {p.name for p in sorted(SRC_ROOT.rglob("*.py"))
+                     if p.parent.name == "cluster"}
+    assert {
+        "__init__.py", "pool.py", "worker.py", "actions.py",
+    } <= cluster_files
+
+
+def test_cluster_errors_slot_into_the_hierarchy():
+    # Callers classify a dead worker with `except WorkerLost` and any
+    # cluster-tier failure with `except ClusterError`; both must stay
+    # rooted at SchedulerError (the cluster is a scheduler backend) so
+    # `except ReproError` / `except SchedulerError` call sites keep
+    # working, and a heartbeat expiry must be catchable as a lost worker.
+    assert issubclass(errors.ClusterError, errors.SchedulerError)
+    assert issubclass(errors.WorkerLost, errors.ClusterError)
+    assert issubclass(errors.HeartbeatTimeout, errors.WorkerLost)
+    for name in ("ClusterError", "WorkerLost", "HeartbeatTimeout"):
+        assert name in errors.__all__
+
+
+def _pickle_roundtrip(exc):
+    import pickle
+
+    return pickle.loads(pickle.dumps(exc))
+
+
+def test_worker_lost_pickles_and_compares_by_state():
+    # These exceptions cross the process boundary (pickled over the
+    # worker pipe), so a round trip must preserve identity-relevant
+    # state and equality must follow it.
+    exc = errors.WorkerLost("worker died", worker=2, reason="SIGKILL",
+                            jobs_lost=3)
+    clone = _pickle_roundtrip(exc)
+    assert clone == exc
+    assert clone.worker == 2
+    assert clone.reason == "SIGKILL"
+    assert clone.jobs_lost == 3
+    assert "worker=2" in str(clone)
+    other = errors.WorkerLost("worker died", worker=1, reason="SIGKILL",
+                              jobs_lost=3)
+    assert other != exc
+    assert hash(clone) == hash(exc)
+
+
+def test_heartbeat_timeout_pickles_with_deadline_fields():
+    exc = errors.HeartbeatTimeout("silent worker", worker=0,
+                                  reason="no heartbeat", deadline_s=2.0,
+                                  last_seen_s=3.7)
+    clone = _pickle_roundtrip(exc)
+    assert clone == exc
+    assert clone.deadline_s == 2.0
+    assert clone.last_seen_s == 3.7
+    assert isinstance(clone, errors.WorkerLost)
+
+
 def test_tune_errors_slot_into_the_hierarchy():
     # Callers classify tuning misconfiguration with `except TuneError`
     # and cache misuse with `except PlanCacheError`; both must stay
