@@ -56,7 +56,10 @@ def _load(path: Path) -> dict:
         data = json.loads(path.read_text())
     except (OSError, ValueError) as exc:
         sys.exit(f"cannot read snapshot {path}: {exc}")
-    records = data.get("records", data)
+    # bench_record snapshots nest under "metrics" (with a sibling
+    # "revision"); accept "records" and bare objects for hand-rolled
+    # fixtures.
+    records = data.get("metrics", data.get("records", data))
     if not isinstance(records, dict):
         sys.exit(f"{path}: expected an object of records")
     return records

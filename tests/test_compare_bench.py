@@ -67,6 +67,25 @@ class TestDirections:
         assert compare_bench.main([old, worse]) == 1
 
 
+class TestSnapshotShapes:
+    def test_bench_record_metrics_shape_loads(self, compare_bench, tmp_path):
+        # The --bench-json writer nests records under "metrics" with a
+        # sibling "revision"; the gate must read its own snapshots.
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "revision": "abc1234",
+            "metrics": {"cluster/overhead": {"overhead_pct": 3.0}},
+        }))
+        assert compare_bench.main([str(path), str(path)]) == 0
+
+    def test_committed_snapshot_self_compares_clean(self, compare_bench):
+        snapshots = sorted(_SCRIPT.parent.glob("BENCH_*.json"))
+        if not snapshots:
+            pytest.skip("no committed benchmark snapshot yet")
+        latest = str(snapshots[-1])
+        assert compare_bench.main([latest, latest]) == 0
+
+
 class TestTolerances:
     def test_noise_inside_tolerance_passes(self, compare_bench, tmp_path):
         old = _write(tmp_path, "old.json", {"r": {"run_ms": 100.0}})
