@@ -1,11 +1,19 @@
 #!/usr/bin/env python3
-"""The vendor-library wrapper layer (§3.6): one ompxblas call site, two
-vendor backends.
+"""The vendor-library wrapper layer (§3.6): one ompxblas call site, three
+vendor backends, a pluggable registry, streams, and expression templates.
 
-The same ``ompxblas_dgemm`` call runs against the NVIDIA device (where the
-wrapper dispatches to the cuBLAS stand-in) and the AMD device (rocBLAS
-stand-in).  The call site never changes — only the offload target does,
-which is exactly the portability §3.6 promises.
+The same ``ompxblas_dgemm`` call runs against the NVIDIA device (cuBLAS
+stand-in), the AMD device (rocBLAS stand-in) and the Intel XeHPC preset
+(oneMKL stand-in).  The call site never changes — only the offload target
+does, which is exactly the portability §3.6 promises.  On top of the
+plain wrappers this walks through:
+
+* the backend *registry* (``register_backend``) a fourth vendor would
+  plug into,
+* *stream-bound* handles (``ompxblas_set_stream``, the
+  ``cublasSetStream`` idiom) ordering BLAS calls with kernel launches,
+* *strided-batched* GEMM, and the Grid-style lattice expression
+  templates that lower ``c.assign(a * b)`` onto one such call.
 
 Run:  python examples/vendor_blas.py
 """
@@ -13,7 +21,9 @@ Run:  python examples/vendor_blas.py
 import numpy as np
 
 from repro import ompx
-from repro.gpu import get_device
+from repro.gpu import Stream, get_device
+from repro.ompx.lattice import LatticeField
+from repro.ompx.vendor import BlasBackend, register_backend, registered_backends
 
 M, K, N = 64, 48, 32
 
@@ -54,12 +64,101 @@ def gemm_on(device) -> np.ndarray:
     return result
 
 
+def demo_registry() -> None:
+    """A fourth vendor plugs in with one call — no wrapper changes."""
+    print("backend registry (what a new vendor implements):")
+    print(f"  registered: { {v: cls.name for v, cls in registered_backends().items()} }")
+
+    class VerboseMkl(BlasBackend):
+        name = "oneMKL-verbose"
+        library_efficiency = 0.82
+
+    saved = registered_backends()
+    register_backend("intel", VerboseMkl)
+    try:
+        handle = ompx.ompxblas_create(get_device(3))
+        print(f"  after register_backend('intel', ...): {handle.backend_name}")
+        ompx.ompxblas_destroy(handle)
+    finally:
+        for vendor, cls in saved.items():
+            register_backend(vendor, cls)
+
+
+def demo_streams() -> None:
+    """cublasSetStream: BLAS calls order with work on the same stream."""
+    device = get_device(0)
+    handle = ompx.ompxblas_create(device)
+    stream = Stream(device, name="blas")
+    ompx.ompxblas_set_stream(handle, stream)
+
+    n = 4096
+    x = np.full(n, 2.0)
+    d_x = ompx.ompx_malloc(x.nbytes, device)
+    ompx.ompx_memcpy(d_x, x, x.nbytes, device)
+    ompx.ompxblas_dscal(handle, n, 3.0, d_x, 1)   # enqueued, not yet run
+    nrm = ompx.ompxblas_dnrm2(handle, n, d_x, 1)  # scalar: drains stream
+    assert np.isclose(nrm, np.linalg.norm(np.full(n, 6.0)))
+    print(f"  dscal+dnrm2 on stream {stream.name!r}: ||x|| = {nrm:.3f}")
+    ompx.ompxblas_destroy(handle)     # drains the bound stream first
+    device.allocator.free(d_x)
+
+
+def demo_lattice_expression_templates() -> None:
+    """Grid-style: c.assign(a * b) fuses into ONE strided-batched ZGEMM."""
+    device = get_device(0)
+    handle = ompx.ompxblas_create(device)
+    rng = np.random.default_rng(41)
+    sites = 256
+
+    def su3_field(count):
+        return (rng.standard_normal((count, 3, 3))
+                + 1j * rng.standard_normal((count, 3, 3)))
+
+    h_a, h_link = su3_field(sites), su3_field(1)
+    a = LatticeField.from_host(handle, h_a)
+    link = LatticeField.from_host(handle, h_link)   # broadcast: stride 0
+    c = LatticeField(handle, sites)
+
+    c.assign(a * link)                 # one zgemm_strided_batched, batch=256
+    assert handle.backend.calls == {"gemm_strided_batched": 1}
+    assert np.array_equal(c.to_host(), _hand_site_loop(h_a, h_link[0]))
+    print(f"  {sites} SU(3) site products -> "
+          f"{handle.backend.calls['gemm_strided_batched']} library call "
+          f"(bit-identical to the site loop)")
+
+    for f in (a, link, c):
+        f.free()
+    ompx.ompxblas_destroy(handle)
+
+
+def _hand_site_loop(h_a: np.ndarray, link: np.ndarray) -> np.ndarray:
+    """The MILC-style per-site triple loop the ET layer replaces."""
+    out = np.zeros_like(h_a)
+    for s in range(h_a.shape[0]):
+        for row in range(3):
+            for col in range(3):
+                acc = 0.0 + 0.0j
+                for k in range(3):
+                    acc = acc + h_a[s, row, k] * link[k, col]
+                out[s, row, col] = acc
+    return out
+
+
 def main() -> None:
     print("ompxblas_dgemm through the §3.6 wrapper layer:")
     nvidia = gemm_on(get_device(0))
     amd = gemm_on(get_device(1))
-    assert np.allclose(nvidia, amd)
-    print(f"  both backends agree; C[0, :4] = {nvidia[0, :4].round(4)}")
+    intel = gemm_on(get_device(3))    # XeHPC preset -> oneMKL stand-in
+    assert np.allclose(nvidia, amd) and np.allclose(nvidia, intel)
+    print(f"  all three backends agree; C[0, :4] = {nvidia[0, :4].round(4)}")
+
+    demo_registry()
+
+    print("stream-bound handles (cublasSetStream):")
+    demo_streams()
+
+    print("lattice expression templates over zgemm_strided_batched:")
+    demo_lattice_expression_templates()
 
     # Level-1 calls route the same way.
     dev = get_device(1)

@@ -16,13 +16,21 @@ from .common import (
     checksum,
     run,
 )
+from .mlpstep import MLPStep
 from .rsbench import RSBench
 from .stencil1d import Stencil1D
 from .su3 import SU3
+from .su3et import SU3ET
 from .xsbench import XSBench
 
 #: Figure 6 order.
 ALL_APPS = (XSBench, RSBench, SU3, AIDW, Adam, Stencil1D)
+
+#: The full workload portfolio: the six evaluated apps plus the §3.6
+#: vendor-library workloads (GEMM-heavy training step, expression-
+#: template lattice sweep).  Figure 8 reproduction uses ``ALL_APPS``;
+#: the CLI and the composition tests use the portfolio.
+PORTFOLIO_APPS = ALL_APPS + (MLPStep, SU3ET)
 
 __all__ = [
     "Adam",
@@ -30,12 +38,15 @@ __all__ = [
     "BenchmarkApp",
     "ExecutionConfig",
     "FunctionalResult",
+    "MLPStep",
     "VersionLabel",
     "checksum",
     "run",
     "RSBench",
     "Stencil1D",
     "SU3",
+    "SU3ET",
     "XSBench",
     "ALL_APPS",
+    "PORTFOLIO_APPS",
 ]

@@ -70,6 +70,8 @@ Examples::
     python -m repro.apps xsbench --run --tune --tune-cache /tmp/plans
     python -m repro.apps stencil1d --run --tune --serve --resilient --devices 2
     python -m repro.apps xsbench --run --cluster 3 --faults 'kernel_fault@2 device=1'
+    python -m repro.apps mlpstep --run --devices 2
+    python -m repro.apps su3et --run --variant ompx --device-spec xehpc
 """
 
 from __future__ import annotations
@@ -83,16 +85,13 @@ from .. import trace as trace_mod
 from ..errors import AppError, FaultSpecError, ReproError
 from ..harness.report import format_seconds
 from ..perf.timing import AMD_SYSTEM, NVIDIA_SYSTEM
-from . import ALL_APPS, ExecutionConfig, VersionLabel
+from . import PORTFOLIO_APPS, ExecutionConfig, VersionLabel
 from . import run as run_app
 
+#: CLI key -> app class, straight from the portfolio registry.
 _BY_KEY = {
-    "xsbench": 0,
-    "rsbench": 1,
-    "su3": 2,
-    "aidw": 3,
-    "adam": 4,
-    "stencil1d": 5,
+    app.name.lower().replace("-", "").replace(" ", ""): app
+    for app in PORTFOLIO_APPS
 }
 
 
@@ -120,7 +119,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if key not in _BY_KEY:
         print(f"unknown app {key!r}; choose from {sorted(_BY_KEY)}", file=sys.stderr)
         return 2
-    app = ALL_APPS[_BY_KEY[key]]()
+    app = _BY_KEY[key]()
 
     app_args, flag_args = _split_args(argv[1:])
     parser = argparse.ArgumentParser(prog=f"repro.apps {key}", add_help=False)
@@ -129,7 +128,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--estimate", action="store_true")
     parser.add_argument("--variant", default=VersionLabel.OMPX,
                         choices=list(VersionLabel.ALL))
-    parser.add_argument("--device", type=int, default=0, choices=[0, 1, 2])
+    parser.add_argument("--device", type=int, default=0, choices=[0, 1, 2, 3])
+    parser.add_argument("--device-spec", metavar="NAME", default=None,
+                        help="run on the first registered device matching the "
+                             "named preset (a100, mi250, xehpc — see "
+                             "repro.gpu.PRESETS); overrides --device")
     parser.add_argument("--devices", type=int, default=1, metavar="N",
                         help="run data-parallel across a DevicePool of N "
                              "devices (--run mode; N=1 is the single-device "
@@ -180,6 +183,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     flags = parser.parse_args(flag_args)
     if flags.serve:
         flags.run = True  # --serve is a functional-run mode
+    if flags.device_spec is not None:
+        from ..gpu.device import get_spec, registered_devices
+
+        try:
+            spec = get_spec(flags.device_spec)
+        except ReproError as exc:
+            print(f"bad --device-spec: {exc}", file=sys.stderr)
+            return 2
+        flags.device = next(
+            ordinal for ordinal, dev in sorted(registered_devices().items())
+            if dev.spec is spec
+        )
 
     try:
         params = app.parse_args(app_args) if app_args else app.paper_params()

@@ -1,0 +1,371 @@
+"""MLPStep: batched MLP training step through the vendor BLAS layer (§3.6).
+
+Command line: ``1024 128 64 128 20`` — 1024 independent tiny MLPs
+(one per hyper-parameter sample, a population-training shape), batch
+128, 64 input features, 128 hidden units, 20 fused
+forward/backward/Adam steps.
+
+This is the GEMM-heavy member of the portfolio: every matrix product —
+forward activations, weight gradients, back-propagated deltas — goes
+through ``ompxblas_dgemm_strided_batched`` (batch = models), the loss
+delta through ``dcopy``/``daxpy``/``dscal``, and only the elementwise
+Adam update is a hand kernel.  All four source variants share the
+vendor-library calls (the wrappers are front-end-agnostic host API —
+the §3.6 porting story), so the variants differ *only* in how the Adam
+kernel is expressed, and the results are bit-identical across them.
+
+The model is deliberately linear (two dense layers, L2 loss): GEMMs
+dominate, and the golden reference is a page of NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .. import cuda, ompx
+from ..errors import AppError
+from ..gpu.device import Device
+from ..openmp import target_teams_distribute_parallel_for
+from ..openmp.codegen import RegionTraits
+from ..perf.roofline import Footprint
+from .adam import adam_update
+from .common import BenchmarkApp, FunctionalResult, VersionLabel, checksum
+
+__all__ = ["MLPStep", "mlp_adam_cuda_kernel", "mlp_adam_ompx_kernel"]
+
+_BLOCK = 256
+_OUT = 8          # output width of the regression head
+_BETA1 = 0.9
+_BETA2 = 0.999
+
+
+@cuda.kernel(sync_free=True, vectorize=True)
+def mlp_adam_cuda_kernel(t, d_w, d_g, d_m, d_v, n, b1_t, b2_t):
+    i = t.blockIdx.x * t.blockDim.x + t.threadIdx.x
+    active = i < n
+    wv = t.array(d_w, n, np.float64)
+    gv = t.array(d_g, n, np.float64)
+    mv = t.array(d_m, n, np.float64)
+    vv = t.array(d_v, n, np.float64)
+    w, m, v = adam_update(
+        t.load(wv, i), t.load(gv, i), t.load(mv, i), t.load(vv, i), b1_t, b2_t
+    )
+    t.store(wv, i, w, mask=active)
+    t.store(mv, i, m, mask=active)
+    t.store(vv, i, v, mask=active)
+
+
+@ompx.bare_kernel(sync_free=True, vectorize=True)
+def mlp_adam_ompx_kernel(x, d_w, d_g, d_m, d_v, n, b1_t, b2_t):
+    i = x.block_id_x() * x.block_dim_x() + x.thread_id_x()
+    active = i < n
+    wv = x.array(d_w, n, np.float64)
+    gv = x.array(d_g, n, np.float64)
+    mv = x.array(d_m, n, np.float64)
+    vv = x.array(d_v, n, np.float64)
+    w, m, v = adam_update(
+        x.load(wv, i), x.load(gv, i), x.load(mv, i), x.load(vv, i), b1_t, b2_t
+    )
+    x.store(wv, i, w, mask=active)
+    x.store(mv, i, m, mask=active)
+    x.store(vv, i, v, mask=active)
+
+
+def mlp_adam_omp_body(indices, acc, h_w, h_g, h_m, h_v, b1_t, b2_t):
+    """Classic-OpenMP worksharing body: one Adam step over the chunk."""
+    w = acc.mapped(h_w)
+    g = acc.mapped(h_g)
+    m = acc.mapped(h_m)
+    v = acc.mapped(h_v)
+    wi, mi, vi = adam_update(w[indices], g[indices], m[indices], v[indices],
+                             b1_t, b2_t)
+    w[indices] = wi
+    m[indices] = mi
+    v[indices] = vi
+
+
+def _cm(a: np.ndarray) -> np.ndarray:
+    """Per-model column-major image of a ``(models, rows, cols)`` stack."""
+    return np.ascontiguousarray(a.transpose(0, 2, 1))
+
+
+class MLPStep(BenchmarkApp):
+    name = "MLPStep"
+    description = "Batched MLP train step over vendor BLAS"
+    command_line = "1024 128 64 128 20"
+    reports = "total"
+    perf_hints = {"vendor_library": True}
+
+    @classmethod
+    def parse_args(cls, argv: Sequence[str]) -> Mapping[str, object]:
+        if len(argv) != 5:
+            raise AppError(
+                f"mlpstep expects '<models> <batch> <features> <hidden> "
+                f"<steps>', got {argv!r}"
+            )
+        models, batch, features, hidden, steps = (int(a) for a in argv)
+        if min(models, batch, features, hidden, steps) <= 0:
+            raise AppError("all mlpstep arguments must be positive")
+        return {
+            "models": models, "batch": batch, "features": features,
+            "hidden": hidden, "steps": steps, "block": _BLOCK,
+        }
+
+    @classmethod
+    def paper_params(cls) -> Mapping[str, object]:
+        return cls.parse_args(cls.command_line.split())
+
+    @classmethod
+    def functional_params(cls) -> Mapping[str, object]:
+        return {"models": 6, "batch": 5, "features": 4, "hidden": 3,
+                "steps": 2, "block": 32}
+
+    # --- golden reference ---------------------------------------------------------
+    def _inputs(self, params):
+        pre = params.get("_prebuilt")
+        if pre is not None:
+            return pre
+        rng = np.random.default_rng(23)
+        models, batch = params["models"], params["batch"]
+        features, hidden = params["features"], params["hidden"]
+        return (
+            rng.standard_normal((models, batch, features)),        # x
+            rng.standard_normal((models, batch, _OUT)),            # y
+            rng.standard_normal((models, features, hidden)) * 0.1,  # w1
+            rng.standard_normal((models, hidden, _OUT)) * 0.1,      # w2
+        )
+
+    def reference(self, params) -> np.ndarray:
+        x, y, w1, w2 = (a.copy() for a in self._inputs(params))
+        m1, v1 = np.zeros_like(w1), np.zeros_like(w1)
+        m2, v2 = np.zeros_like(w2), np.zeros_like(w2)
+        inv_batch = 1.0 / params["batch"]
+        b1_t = b2_t = 1.0
+        for _ in range(params["steps"]):
+            z1 = x @ w1
+            z2 = z1 @ w2
+            dz2 = (z2 - y) * inv_batch
+            gw2 = z1.transpose(0, 2, 1) @ dz2
+            dz1 = dz2 @ w2.transpose(0, 2, 1)
+            gw1 = x.transpose(0, 2, 1) @ dz1
+            b1_t *= _BETA1
+            b2_t *= _BETA2
+            w1, m1, v1 = adam_update(w1, gw1, m1, v1, b1_t, b2_t)
+            w2, m2, v2 = adam_update(w2, gw2, m2, v2, b1_t, b2_t)
+        models = params["models"]
+        return np.concatenate(
+            [w1.reshape(models, -1), w2.reshape(models, -1)], axis=1
+        )
+
+    def shard_functional_params(self, params, n):
+        """Shard the model population; each model trains independently."""
+        from ..sched import shard
+
+        x, y, w1, w2 = self._inputs(params)
+        subs = []
+        for x_i, y_i, w1_i, w2_i in zip(
+            shard(x, n), shard(y, n), shard(w1, n), shard(w2, n)
+        ):
+            sub = dict(params)
+            sub["models"] = int(x_i.shape[0])
+            sub["_prebuilt"] = (x_i, y_i, w1_i, w2_i)
+            subs.append(sub)
+        return subs
+
+    # --- functional execution ----------------------------------------------------------
+    def run_single(self, variant: str, params, device: Device) -> FunctionalResult:
+        models, batch = params["models"], params["batch"]
+        feats, hidden = params["features"], params["hidden"]
+        steps, block = params["steps"], params["block"]
+        h_x, h_y, h_w1, h_w2 = (a.copy() for a in self._inputs(params))
+        inv_batch = 1.0 / batch
+
+        alloc = device.allocator
+        handle = ompx.ompxblas_create(device)
+        sizes = {
+            "x": batch * feats, "y": batch * _OUT, "w1": feats * hidden,
+            "w2": hidden * _OUT, "z1": batch * hidden, "z2": batch * _OUT,
+            "dz1": batch * hidden, "dz2": batch * _OUT,
+            "gw1": feats * hidden, "gw2": hidden * _OUT,
+            "m1": feats * hidden, "v1": feats * hidden,
+            "m2": hidden * _OUT, "v2": hidden * _OUT,
+        }
+        d = {key: alloc.malloc(models * size * 8) for key, size in sizes.items()}
+        try:
+            alloc.memcpy_h2d(d["x"], _cm(h_x))
+            alloc.memcpy_h2d(d["y"], _cm(h_y))
+            alloc.memcpy_h2d(d["w1"], _cm(h_w1))
+            alloc.memcpy_h2d(d["w2"], _cm(h_w2))
+            n1 = models * feats * hidden
+            n2 = models * hidden * _OUT
+            h_m1 = np.zeros(n1)
+            h_v1 = np.zeros(n1)
+            h_m2 = np.zeros(n2)
+            h_v2 = np.zeros(n2)
+            h_g1 = np.zeros(n1)
+            h_g2 = np.zeros(n2)
+            # Host-side flat weight images (the OMP variant's authoritative
+            # copy; uploaded before each step's GEMMs).
+            hw1 = _cm(h_w1).reshape(-1)
+            hw2 = _cm(h_w2).reshape(-1)
+            b1_t = b2_t = 1.0
+            for _ in range(steps):
+                if variant == VersionLabel.OMP:
+                    alloc.memcpy_h2d(d["w1"], hw1)
+                    alloc.memcpy_h2d(d["w2"], hw2)
+                self._gradient_pass(
+                    handle, d, models, batch, feats, hidden, inv_batch
+                )
+                b1_t *= _BETA1
+                b2_t *= _BETA2
+                layers = (
+                    (n1, d["w1"], d["gw1"], d["m1"], d["v1"],
+                     hw1, h_g1, h_m1, h_v1),
+                    (n2, d["w2"], d["gw2"], d["m2"], d["v2"],
+                     hw2, h_g2, h_m2, h_v2),
+                )
+                for (n, d_w, d_g, d_m, d_v, h_w, h_g, h_m, h_v) in layers:
+                    teams = (n + block - 1) // block
+                    if variant == VersionLabel.OMP:
+                        alloc.memcpy_d2h(h_g, d_g)
+                        target_teams_distribute_parallel_for(
+                            device,
+                            n,
+                            vector_body=lambda idx, acc, w=h_w, g=h_g, m=h_m,
+                            v=h_v, p=b1_t, q=b2_t: mlp_adam_omp_body(
+                                idx, acc, w, g, m, v, p, q
+                            ),
+                            thread_limit=block,
+                            maps=[(h_w, "tofrom"), (h_g, "to"),
+                                  (h_m, "tofrom"), (h_v, "tofrom")],
+                            traits=self.omp_region_traits(params),
+                        )
+                    elif variant == VersionLabel.OMPX:
+                        ompx.target_teams_bare(
+                            device, teams, block, mlp_adam_ompx_kernel,
+                            (d_w, d_g, d_m, d_v, n, b1_t, b2_t),
+                        )
+                    else:
+                        cuda.launch(
+                            mlp_adam_cuda_kernel, teams, block,
+                            (d_w, d_g, d_m, d_v, n, b1_t, b2_t), device=device,
+                        )
+                        device.synchronize()
+            if variant == VersionLabel.OMP:
+                w1_cm = hw1.reshape(models, hidden, feats)
+                w2_cm = hw2.reshape(models, _OUT, hidden)
+            else:
+                w1_cm = np.zeros((models, hidden, feats))
+                w2_cm = np.zeros((models, _OUT, hidden))
+                alloc.memcpy_d2h(w1_cm, d["w1"])
+                alloc.memcpy_d2h(w2_cm, d["w2"])
+            out = np.concatenate(
+                [
+                    np.ascontiguousarray(w1_cm.transpose(0, 2, 1)).reshape(models, -1),
+                    np.ascontiguousarray(w2_cm.transpose(0, 2, 1)).reshape(models, -1),
+                ],
+                axis=1,
+            )
+        finally:
+            ompx.ompxblas_destroy(handle)
+            for ptr in d.values():
+                alloc.free(ptr)
+
+        return FunctionalResult(
+            variant=variant, output=out, checksum=checksum(out), valid=False
+        )
+
+    def _gradient_pass(self, handle, d, models, batch, feats, hidden, inv_batch):
+        """One forward+backward sweep: five strided-batched GEMMs + L1 ops."""
+        N, T = ompx.OMPXBLAS_OP_N, ompx.OMPXBLAS_OP_T
+        gemm = ompx.ompxblas_dgemm_strided_batched
+        # z1 = x @ w1
+        gemm(handle, N, N, batch, hidden, feats, 1.0,
+             d["x"], batch, batch * feats, d["w1"], feats, feats * hidden,
+             0.0, d["z1"], batch, batch * hidden, models)
+        # z2 = z1 @ w2
+        gemm(handle, N, N, batch, _OUT, hidden, 1.0,
+             d["z1"], batch, batch * hidden, d["w2"], hidden, hidden * _OUT,
+             0.0, d["z2"], batch, batch * _OUT, models)
+        # dz2 = (z2 - y) / batch
+        n_out = models * batch * _OUT
+        ompx.ompxblas_dcopy(handle, n_out, d["z2"], 1, d["dz2"], 1)
+        ompx.ompxblas_daxpy(handle, n_out, -1.0, d["y"], 1, d["dz2"], 1)
+        ompx.ompxblas_dscal(handle, n_out, inv_batch, d["dz2"], 1)
+        # gw2 = z1^T @ dz2
+        gemm(handle, T, N, hidden, _OUT, batch, 1.0,
+             d["z1"], batch, batch * hidden, d["dz2"], batch, batch * _OUT,
+             0.0, d["gw2"], hidden, hidden * _OUT, models)
+        # dz1 = dz2 @ w2^T
+        gemm(handle, N, T, batch, hidden, _OUT, 1.0,
+             d["dz2"], batch, batch * _OUT, d["w2"], hidden, hidden * _OUT,
+             0.0, d["dz1"], batch, batch * hidden, models)
+        # gw1 = x^T @ dz1
+        gemm(handle, T, N, feats, hidden, batch, 1.0,
+             d["x"], batch, batch * feats, d["dz1"], batch, batch * hidden,
+             0.0, d["gw1"], feats, feats * hidden, models)
+
+    # --- performance model --------------------------------------------------------------
+    def footprint(self, params, label: str = VersionLabel.OMPX) -> Footprint:
+        from ..ompx.vendor import gemm_footprint
+
+        models, batch = params["models"], params["batch"]
+        feats, hidden, steps = params["features"], params["hidden"], params["steps"]
+        gemms = (
+            (batch, hidden, feats), (batch, _OUT, hidden),
+            (hidden, _OUT, batch), (batch, hidden, _OUT),
+            (feats, hidden, batch),
+        )
+        flops = reads = writes = 0.0
+        for m, n, k in gemms:
+            fp = gemm_footprint(m, n, k, batch=models)
+            flops += fp.flops_fp64
+            reads += fp.global_read_bytes
+            writes += fp.global_write_bytes
+        n_params = models * (feats * hidden + hidden * _OUT)
+        flops += n_params * 12.0                      # the Adam update
+        reads += n_params * 4 * 8.0
+        writes += n_params * 3 * 8.0
+        return Footprint(
+            flops_fp64=flops * steps,
+            special_ops=n_params * steps * 0.25,      # one sqrt per parameter
+            global_read_bytes=reads * steps,
+            global_write_bytes=writes * steps,
+        )
+
+    def transfer_plan(self, params):
+        """Inputs and weights up once; trained weights down once."""
+        from ..perf.transfer import TransferPlan
+
+        models, batch = params["models"], params["batch"]
+        feats, hidden = params["features"], params["hidden"]
+        weight_bytes = models * (feats * hidden + hidden * _OUT) * 8.0
+        input_bytes = models * batch * (feats + _OUT) * 8.0
+        return TransferPlan(
+            h2d_bytes=input_bytes + weight_bytes, d2h_bytes=weight_bytes,
+            h2d_transfers=4, d2h_transfers=2,
+        )
+
+    def launch_geometry(self, params) -> Tuple[int, int]:
+        models, block = params["models"], params["block"]
+        n = models * (params["features"] * params["hidden"] + params["hidden"] * _OUT)
+        return ((n + block - 1) // block, block)
+
+    def launches(self, params) -> int:
+        return params["steps"] * 2                    # two Adam layers per step
+
+    def kernel_for(self, label: str):
+        if label == VersionLabel.OMPX:
+            return mlp_adam_ompx_kernel
+        if label == VersionLabel.OMP:
+            return mlp_adam_omp_body
+        return mlp_adam_cuda_kernel
+
+    def omp_region_traits(self, params) -> RegionTraits:
+        return RegionTraits(
+            style="worksharing",
+            spmd_amenable=True,
+            requested_thread_limit=params["block"],
+        )

@@ -37,6 +37,10 @@ __all__ = [
     "SessionClosed",
     "TuneError",
     "PlanCacheError",
+    "VendorError",
+    "BlasDimensionError",
+    "UnknownVendorError",
+    "HandleDestroyedError",
     "AppError",
 ]
 
@@ -526,6 +530,98 @@ class PlanCacheError(TuneError):
     a :class:`RuntimeWarning` and rebuilt, because a stale cache must
     not be able to take down a run that would succeed without one.
     """
+
+
+class VendorError(ReproError):
+    """Base class for §3.6 vendor-library wrapper errors.
+
+    Stream-bound handles run BLAS calls on stream worker threads and the
+    cluster layer hands failures across processes, so — like
+    :class:`LaunchError` — the structured context must survive pickling.
+    Subclasses declare their context in ``_FIELDS`` and inherit the
+    (message, state) reduction, field-sensitive equality and the
+    ``[k=v, ...]`` rendering.
+    """
+
+    _FIELDS: "tuple[str, ...]" = ()
+
+    def __init__(self, message: str = "", **fields) -> None:
+        super().__init__(message)
+        for name in self._FIELDS:
+            setattr(self, name, fields.pop(name, None))
+        if fields:
+            raise TypeError(
+                f"{type(self).__name__} got unexpected fields: "
+                f"{', '.join(sorted(fields))}"
+            )
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        extra = [
+            f"{name}={getattr(self, name)!r}"
+            for name in self._FIELDS
+            if getattr(self, name) is not None
+        ]
+        return f"{base} [{', '.join(extra)}]" if extra else base
+
+    def _state(self) -> dict:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "",), self._state())
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.args == other.args and self._state() == other._state()
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.args))
+
+
+class BlasDimensionError(VendorError):
+    """A BLAS argument violates its dimension contract.
+
+    Covers the classic cuBLAS ``CUBLAS_STATUS_INVALID_VALUE`` family: a
+    leading dimension smaller than the matrix's row count, a vector
+    increment below one, or a negative batch count.  ``param`` names the
+    offending argument (``"lda"``, ``"incx"``, ``"batch_count"``, ...),
+    ``value`` is what the caller passed and ``minimum`` the smallest
+    legal value for this call; ``op`` is the BLAS entry point.
+    """
+
+    _FIELDS = ("op", "param", "value", "minimum")
+
+
+class UnknownVendorError(VendorError):
+    """No BLAS backend is registered for a device's vendor tag.
+
+    ``vendor`` is the tag that failed to dispatch; ``known`` lists the
+    tags the registry can serve (extend it with
+    :func:`repro.ompx.vendor.register_backend`).
+    """
+
+    _FIELDS = ("vendor", "known")
+
+
+class HandleDestroyedError(VendorError):
+    """A BLAS call arrived on a destroyed handle (use-after-destroy).
+
+    Mirrors ``CUBLAS_STATUS_NOT_INITIALIZED``: after
+    ``ompxblas_destroy`` the handle is invalid, and any further call —
+    including a second destroy — reports the ``op`` attempted and the
+    ``device`` ordinal the handle belonged to, instead of silently
+    computing on a dangling context.
+    """
+
+    _FIELDS = ("op", "device")
 
 
 class AppError(ReproError):

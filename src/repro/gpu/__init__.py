@@ -7,7 +7,9 @@ streams and kernel launch.
 
 The paper's evaluation hardware (Figure 7) is available as device presets:
 ``get_device(0)`` is the NVIDIA A100 (40 GB), ``get_device(1)`` the AMD
-MI250 (one GCD, 64-wide wavefronts).
+MI250 (one GCD, 64-wide wavefronts), and ``get_device(3)`` an Intel
+XeHPC-class stack; :data:`PRESETS`/:func:`get_spec` select the same
+specs by name.
 """
 
 from .atomics import AtomicDomain
@@ -15,6 +17,8 @@ from .context import BlockState, ThreadCtx
 from .device import (
     A100_SPEC,
     MI250_SPEC,
+    PRESETS,
+    XEHPC_SPEC,
     Device,
     DeviceSpec,
     Placement,
@@ -22,6 +26,7 @@ from .device import (
     add_device,
     current_device,
     get_device,
+    get_spec,
     registered_devices,
     remove_device,
     reset_devices,
@@ -51,6 +56,9 @@ __all__ = [
     "ThreadCtx",
     "A100_SPEC",
     "MI250_SPEC",
+    "XEHPC_SPEC",
+    "PRESETS",
+    "get_spec",
     "Device",
     "DeviceSpec",
     "Placement",

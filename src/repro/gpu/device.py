@@ -21,6 +21,9 @@ __all__ = [
     "DeviceSpec",
     "A100_SPEC",
     "MI250_SPEC",
+    "XEHPC_SPEC",
+    "PRESETS",
+    "get_spec",
     "Device",
     "Placement",
     "resolve_placement",
@@ -39,6 +42,7 @@ class Vendor:
 
     NVIDIA = "nvidia"
     AMD = "amd"
+    INTEL = "intel"
 
 
 @dataclass(frozen=True)
@@ -197,6 +201,61 @@ MI250_SPEC = DeviceSpec(
     sm_clock_ghz=1.7,
     max_threads_per_block=1024,
 )
+
+# The third-vendor preset the portability-and-scalability study argues
+# for: an Intel XeHPC-class accelerator (Data Center GPU Max / Ponte
+# Vecchio).  Level Zero exposes each stack as its own device (implicit
+# scaling off), so the numbers are one stack of a Max 1550: 64 Xe-cores,
+# 64 GB HBM2e at half the two-stack 3.2 TB/s, and FP64 at the same rate
+# as FP32 (no narrow FP64 path).
+XEHPC_SPEC = DeviceSpec(
+    name="Intel Max 1550 (1 stack)",
+    vendor=Vendor.INTEL,
+    warp_size=32,                   # SIMD32 sub-groups
+    num_sms=64,                     # Xe-cores per stack
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=64 * 1024,     # large GRF, exposed as 64K regs/Xe-core
+    shared_mem_per_block=128 * 1024,  # SLM per work-group
+    shared_mem_per_sm=128 * 1024,
+    global_mem_bytes=64 * 1024**3,
+    peak_bandwidth_gbs=1638.0,
+    peak_fp64_gflops=26000.0,       # vector FP64 == FP32 rate per stack
+    peak_fp32_gflops=26000.0,
+    peak_int_gops=26000.0,
+    peak_special_gops=3250.0,       # XMX helps matmul, not specials
+    shared_bandwidth_gbs=11200.0,
+    icache_bytes=96 * 1024,         # generous per-Xe-core instruction cache
+    kernel_launch_latency_us=4.0,   # Level Zero submission overhead
+    sm_clock_ghz=1.6,
+    max_threads_per_block=1024,
+)
+
+
+#: Named device presets: every spec selectable by name instead of by
+#: positional registry ordinal (``--device-spec``, tests, serving
+#: configs).  Keys are the short architecture names.
+PRESETS: Dict[str, DeviceSpec] = {
+    "a100": A100_SPEC,
+    "mi250": MI250_SPEC,
+    "xehpc": XEHPC_SPEC,
+}
+
+
+def get_spec(name: str) -> DeviceSpec:
+    """Look up a device preset by name (case-insensitive).
+
+    The named companion to ordinal selection: ``get_spec("xehpc")``
+    returns :data:`XEHPC_SPEC` wherever code previously had to import
+    the constant or hardcode an ordinal.
+    """
+    try:
+        return PRESETS[str(name).lower()]
+    except KeyError:
+        raise GpuError(
+            f"no device preset named {name!r}; known presets: "
+            f"{', '.join(sorted(PRESETS))}"
+        ) from None
 
 
 class Device:
@@ -469,16 +528,17 @@ class Device:
 
 # --- registry ---------------------------------------------------------------
 #
-# The default registry mirrors the paper's two systems, with one twist the
-# paper's AMD users will recognize: an MI250 is two GCDs, and the ROCm/LLVM
-# stack exposes EACH GCD as its own device.  Ordinal 0 is the A100,
-# ordinals 1 and 2 are the MI250's two GCDs (1 is the conventional
-# default AMD target throughout this library).
+# The default registry mirrors the paper's two systems plus the third
+# vendor, with one twist the paper's AMD users will recognize: an MI250
+# is two GCDs, and the ROCm/LLVM stack exposes EACH GCD as its own
+# device.  Ordinal 0 is the A100, ordinals 1 and 2 are the MI250's two
+# GCDs (1 is the conventional default AMD target throughout this
+# library), and ordinal 3 is the Intel XeHPC stack.
 
 _registry_lock = threading.RLock()
 _devices: Dict[int, Device] = {}
 _current: Optional[int] = None
-_DEFAULT_SPECS = (A100_SPEC, MI250_SPEC, MI250_SPEC)
+_DEFAULT_SPECS = (A100_SPEC, MI250_SPEC, MI250_SPEC, XEHPC_SPEC)
 
 
 def _ensure_defaults() -> None:
@@ -492,7 +552,8 @@ def _ensure_defaults() -> None:
 
 
 def get_device(ordinal: int) -> Device:
-    """Return the device with the given ordinal (0 = A100, 1 = MI250)."""
+    """Return the device with the given ordinal (0 = A100, 1 = MI250,
+    3 = XeHPC)."""
     _ensure_defaults()
     with _registry_lock:
         try:
@@ -538,8 +599,9 @@ def resolve_placement(placement: Placement, *, default=None) -> Device:
 def add_device(spec: DeviceSpec) -> Device:
     """Register a new device after the defaults (used by DevicePool).
 
-    The three Figure-7 defaults keep ordinals 0-2; new devices take the
-    next free ordinal so existing pointers and fault selectors stay valid.
+    The default devices (Figure 7 plus the XeHPC stack) keep ordinals
+    0-3; new devices take the next free ordinal so existing pointers and
+    fault selectors stay valid.
     """
     _ensure_defaults()
     with _registry_lock:
@@ -552,7 +614,7 @@ def add_device(spec: DeviceSpec) -> Device:
 def remove_device(ordinal: int) -> None:
     """Unregister and reset a device added by :func:`add_device`.
 
-    The default devices (ordinals 0-2) cannot be removed — the library's
+    The default devices (ordinals 0-3) cannot be removed — the library's
     front ends assume they exist.
     """
     if ordinal < len(_DEFAULT_SPECS):

@@ -84,6 +84,43 @@ def render_trace_summary(records: Sequence[Dict[str, Any]]) -> str:
             ["time(%)", "total", "calls", "mean", "min", "max", "kernel"],
             rows, title="GPU activities (kernel launches)"))
 
+    vendor: Dict[str, List[Dict[str, Any]]] = {}
+    for rec in records:
+        if rec.get("cat") == "vendor":
+            name = rec["name"]
+            if name.startswith("exec:"):
+                name = name[len("exec:"):]
+            if name.startswith("vendor:"):
+                name = name[len("vendor:"):]
+            backend = str(rec.get("args", {}).get("backend", "?"))
+            vendor.setdefault(f"{name} [{backend}]", []).append(rec)
+    if vendor:
+        grand_total = sum(
+            sum(r["dur_us"] for r in recs) for recs in vendor.values()
+        )
+        rows = []
+        for name, recs in sorted(
+            vendor.items(), key=lambda kv: -sum(r["dur_us"] for r in kv[1])
+        ):
+            durs = [r["dur_us"] / 1e6 for r in recs]
+            total = sum(durs)
+            share = 100.0 * total * 1e6 / grand_total if grand_total else 0.0
+            gflops = sum(
+                float(r.get("args", {}).get("flops", 0)) for r in recs
+            ) / 1e9
+            rows.append([
+                f"{share:.1f}%",
+                format_seconds(total),
+                str(len(durs)),
+                format_seconds(total / len(durs)),
+                f"{gflops:.3g}",
+                name,
+            ])
+        out.append("")
+        out.append(render_table(
+            ["time(%)", "total", "calls", "mean", "gflop", "library call"],
+            rows, title="Vendor library calls (ompxblas)"))
+
     copies: Dict[str, List[Dict[str, Any]]] = {}
     for rec in records:
         if rec.get("cat") == "memcpy":

@@ -23,6 +23,7 @@ from .depend import taskwait_interop
 from .device import DIM_X, DIM_Y, DIM_Z, OmpxThread
 from . import capi
 from ..gpu.collectives import block_inclusive_scan, block_reduce, warp_inclusive_scan
+from .lattice import LatticeExpr, LatticeField
 from .host import (
     ompx_device_can_access_peer,
     ompx_device_disable_peer_access,
@@ -43,17 +44,32 @@ from .host import (
 from .vendor import (
     OMPXBLAS_OP_N,
     OMPXBLAS_OP_T,
+    HAND_KERNEL_EFFICIENCY,
+    BlasBackend,
     CublasSim,
     OmpxBlasHandle,
+    OneMklSim,
     RocblasSim,
+    gemm_footprint,
+    modeled_gemm_seconds,
     ompxblas_create,
     ompxblas_daxpy,
+    ompxblas_dcopy,
     ompxblas_ddot,
     ompxblas_destroy,
     ompxblas_dgemm,
+    ompxblas_dgemm_batched,
+    ompxblas_dgemm_strided_batched,
+    ompxblas_dgemv,
     ompxblas_dnrm2,
     ompxblas_dscal,
+    ompxblas_dswap,
+    ompxblas_get_stream,
+    ompxblas_set_stream,
     ompxblas_sgemm,
+    ompxblas_zgemm_strided_batched,
+    register_backend,
+    registered_backends,
 )
 
 __all__ = [
@@ -85,17 +101,34 @@ __all__ = [
     "block_inclusive_scan",
     "warp_inclusive_scan",
     "ompx_stream_synchronize",
+    "LatticeExpr",
+    "LatticeField",
     "OMPXBLAS_OP_N",
     "OMPXBLAS_OP_T",
+    "HAND_KERNEL_EFFICIENCY",
+    "BlasBackend",
     "CublasSim",
     "OmpxBlasHandle",
+    "OneMklSim",
     "RocblasSim",
+    "gemm_footprint",
+    "modeled_gemm_seconds",
     "ompxblas_create",
     "ompxblas_daxpy",
+    "ompxblas_dcopy",
     "ompxblas_ddot",
     "ompxblas_destroy",
     "ompxblas_dgemm",
+    "ompxblas_dgemm_batched",
+    "ompxblas_dgemm_strided_batched",
+    "ompxblas_dgemv",
     "ompxblas_dnrm2",
     "ompxblas_dscal",
+    "ompxblas_dswap",
+    "ompxblas_get_stream",
+    "ompxblas_set_stream",
     "ompxblas_sgemm",
+    "ompxblas_zgemm_strided_batched",
+    "register_backend",
+    "registered_backends",
 ]

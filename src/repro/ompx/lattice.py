@@ -1,0 +1,209 @@
+"""Grid-style lazy lattice expressions over the §3.6 vendor BLAS wrappers.
+
+Lattice-QCD frameworks such as Grid build site-local linear algebra from
+*expression templates*: ``c = a * b`` does not compute anything — it
+builds a tiny expression tree, and the assignment lowers the whole tree
+into one fused device call.  This module reproduces that pattern on top
+of the portable ``ompxblas_*`` layer: a site-wise product of two SU(3)
+lattice fields fuses into a **single** strided-batched complex GEMM
+(batch = sites, m = n = k = 3), exactly how a vendor library wants to
+see it, instead of one tiny matmul per site.
+
+The grammar deliberately covers the GEMM-shaped subset::
+
+    c.assign(a * b)                      # C[s] = A[s] @ B[s]
+    c.assign(alpha * (a * b))            # C[s] = alpha * A[s] @ B[s]
+    c.assign(a * b + beta * c)           # C[s] = A[s] @ B[s] + beta*C[s]
+
+where any operand field may be a *broadcast* field (one matrix applied
+to every site — the SU(3) link matrices), which lowers to a zero-stride
+batched operand, as ``cublasZgemmStridedBatched`` allows.  Anything the
+single fused call cannot express raises ``TypeError`` at assignment
+time, the expression-template equivalent of a compile error.
+
+Matrices are stored row-major per site (C order).  The column-major
+BLAS sees each one transposed, so the lowering swaps the operands —
+``C^T = B^T @ A^T`` — the standard trick row-major cuBLAS callers use.
+Because complex multiplication is bitwise commutative and the simulated
+backend accumulates in ascending ``k`` order, the fused GEMM is
+**bit-identical** to a hand-written per-site triple loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..gpu.memory import DevicePointer
+from .vendor import OMPXBLAS_OP_N, OmpxBlasHandle, ompxblas_zgemm_strided_batched
+
+__all__ = ["LatticeExpr", "LatticeField", "MatMul", "Scale", "Add"]
+
+_NC = 3                 # SU(3)
+_MATRIX_ELEMS = _NC * _NC
+
+
+class LatticeExpr:
+    """Base of the expression tree: operators build nodes, never compute."""
+
+    def __mul__(self, other):
+        if isinstance(other, LatticeExpr):
+            return MatMul(self, other)
+        return Scale(float(other), self)
+
+    def __rmul__(self, scalar):
+        return Scale(float(scalar), self)
+
+    def __add__(self, other):
+        if not isinstance(other, LatticeExpr):
+            return NotImplemented
+        return Add(self, other)
+
+
+class MatMul(LatticeExpr):
+    """Site-wise matrix product of two fields (deferred)."""
+
+    def __init__(self, left: LatticeExpr, right: LatticeExpr) -> None:
+        self.left = left
+        self.right = right
+
+
+class Scale(LatticeExpr):
+    """A real scalar times a sub-expression (deferred)."""
+
+    def __init__(self, alpha: float, expr: LatticeExpr) -> None:
+        self.alpha = alpha
+        self.expr = expr
+
+
+class Add(LatticeExpr):
+    """Sum of two sub-expressions (deferred)."""
+
+    def __init__(self, left: LatticeExpr, right: LatticeExpr) -> None:
+        self.left = left
+        self.right = right
+
+
+class LatticeField(LatticeExpr):
+    """A device-resident lattice of 3x3 complex matrices.
+
+    ``sites == 1`` marks a *broadcast* field (e.g. one SU(3) link matrix
+    applied at every site); it lowers to a zero-stride batched operand.
+    """
+
+    def __init__(self, handle: OmpxBlasHandle, sites: int) -> None:
+        if sites < 1:
+            raise ValueError(f"a lattice field needs >= 1 site, got {sites}")
+        self.handle = handle
+        self.sites = int(sites)
+        self._nbytes = self.sites * _MATRIX_ELEMS * 16
+        self.ptr: Optional[DevicePointer] = (
+            handle.device.allocator.malloc(self._nbytes)
+        )
+
+    # --- lifecycle -----------------------------------------------------------
+    @classmethod
+    def from_host(cls, handle: OmpxBlasHandle, host: np.ndarray) -> "LatticeField":
+        """Upload a ``(sites, 3, 3)`` complex array as a field."""
+        host = np.ascontiguousarray(host, dtype=np.complex128)
+        if host.ndim != 3 or host.shape[1:] != (_NC, _NC):
+            raise ValueError(
+                f"expected a (sites, {_NC}, {_NC}) array, got shape {host.shape}"
+            )
+        field = cls(handle, host.shape[0])
+        handle.device.allocator.memcpy_h2d(field.ptr, host)
+        return field
+
+    def to_host(self) -> np.ndarray:
+        """Download the field; drains the handle's stream first."""
+        self.handle.device.synchronize()
+        out = np.zeros((self.sites, _NC, _NC), dtype=np.complex128)
+        self.handle.device.allocator.memcpy_d2h(out, self.ptr)
+        return out
+
+    def free(self) -> None:
+        """Release the device allocation (idempotent)."""
+        if self.ptr is not None:
+            self.handle.device.allocator.free(self.ptr)
+            self.ptr = None
+
+    # --- assignment: lower the tree into one fused vendor call ---------------
+    def assign(self, expr: LatticeExpr) -> "LatticeField":
+        """Evaluate ``expr`` into this field with a single batched GEMM."""
+        alpha, matmul, beta = _normalize(expr, self)
+        left, right = matmul.left, matmul.right
+        for operand in (left, right):
+            if not isinstance(operand, LatticeField):
+                raise TypeError(
+                    "lattice matmul operands must be fields; nested products "
+                    "need an explicit temporary"
+                )
+            if operand.sites not in (1, self.sites):
+                raise TypeError(
+                    f"operand has {operand.sites} sites; the target has "
+                    f"{self.sites} (broadcast fields must have exactly 1)"
+                )
+            if operand.ptr == self.ptr:
+                raise TypeError(
+                    "the assignment target aliases a matmul operand; GEMM "
+                    "forbids C overlapping A or B"
+                )
+        stride = lambda f: 0 if f.sites == 1 else _MATRIX_ELEMS
+        # Row-major caller, column-major library: pass (B, A) so the
+        # library computes C^T = B^T @ A^T in place.
+        ompxblas_zgemm_strided_batched(
+            self.handle, OMPXBLAS_OP_N, OMPXBLAS_OP_N, _NC, _NC, _NC,
+            complex(alpha),
+            right.ptr, _NC, stride(right),
+            left.ptr, _NC, stride(left),
+            complex(beta),
+            self.ptr, _NC, _MATRIX_ELEMS,
+            self.sites,
+        )
+        return self
+
+
+def _normalize(
+    expr: LatticeExpr, out: LatticeField
+) -> Tuple[float, MatMul, float]:
+    """Flatten ``expr`` to ``alpha * (A @ B) + beta * out`` or raise.
+
+    This is the whole "template instantiation": the supported grammar is
+    exactly what one strided-batched GEMM can fuse.
+    """
+    def core(e: LatticeExpr) -> LatticeExpr:
+        while isinstance(e, Scale):
+            e = e.expr
+        return e
+
+    alpha, node, beta = 1.0, expr, 0.0
+    if isinstance(node, Add):
+        node, tail = node.left, node.right
+        if isinstance(core(tail), MatMul) and not isinstance(core(node), MatMul):
+            node, tail = tail, node  # canonical order: matmul + accumulate
+        if not isinstance(core(node), MatMul):
+            raise TypeError(
+                "expression does not fuse into one batched GEMM: a sum "
+                "needs an alpha * (A * B) term; use an explicit temporary "
+                "for general field sums"
+            )
+        beta_scale = 1.0
+        if isinstance(tail, Scale):
+            beta_scale, tail = tail.alpha, tail.expr
+        if tail is not out:
+            raise TypeError(
+                "the additive term must be the assignment target itself "
+                "(GEMM accumulates beta*C); use an explicit temporary "
+                "for general field sums"
+            )
+        beta = beta_scale
+    while isinstance(node, Scale):
+        alpha *= node.alpha
+        node = node.expr
+    if not isinstance(node, MatMul):
+        raise TypeError(
+            f"expression does not fuse into one batched GEMM: expected "
+            f"alpha * (A * B) [+ beta * target], got {type(node).__name__}"
+        )
+    return alpha, node, beta

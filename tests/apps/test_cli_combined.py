@@ -81,3 +81,27 @@ def test_serve_composes_with_resilient_trace(tmp_path, capsys):
     assert "3 submitted" in out
     events = validate_chrome_trace(trace_path)
     assert events
+
+
+class TestDeviceSpecFlag:
+    """--device-spec resolves a preset name to a registered ordinal."""
+
+    def test_runs_on_the_named_preset(self, capsys):
+        code = main(["su3et", "--run", "--variant", "ompx",
+                     "--device-spec", "xehpc"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "verification PASSED" in out
+
+    def test_spec_name_is_case_insensitive(self, capsys):
+        code = main(["adam", "--run", "--device-spec", "A100"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "verification PASSED" in out
+
+    def test_unknown_spec_name_exits_2(self, capsys):
+        code = main(["adam", "--run", "--device-spec", "h100"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "bad --device-spec" in err
+        assert "xehpc" in err  # the refusal lists what exists

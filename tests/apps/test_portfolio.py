@@ -1,0 +1,162 @@
+"""The §3.6 GEMM portfolio apps: MLPStep and the ET SU(3) variant.
+
+These two apps route their linear algebra through the ``ompxblas_*``
+vendor layer, so the usual acceptance bar tightens: not only must every
+variant match the NumPy reference, the variants must agree with each
+other *bitwise* — the GEMMs are the same library call no matter which
+front end drives them, and the elementwise remainder is ported
+text-for-text.
+"""
+
+import numpy as np
+import pytest
+
+import repro.trace as trace
+from repro.apps import MLPStep, SU3, SU3ET, PORTFOLIO_APPS, VersionLabel
+from repro.errors import AppError
+from repro.gpu import get_device
+from repro.openmp.data import data_environment
+from repro.sched import DevicePool
+
+NEW_APPS = (MLPStep, SU3ET)
+
+
+@pytest.fixture(autouse=True)
+def clean_env():
+    yield
+    for ordinal in (0, 1, 3):
+        data_environment(get_device(ordinal)).reset()
+
+
+class TestParams:
+    def test_portfolio_extends_the_figure6_set(self):
+        assert set(NEW_APPS) < set(PORTFOLIO_APPS)
+        names = [cls.name for cls in PORTFOLIO_APPS]
+        assert names.index("MLPStep") > names.index("Stencil 1D")
+
+    @pytest.mark.parametrize("app_cls", NEW_APPS, ids=lambda c: c.name)
+    def test_paper_command_line_parses(self, app_cls):
+        params = app_cls.parse_args(app_cls.command_line.split())
+        assert params == app_cls.paper_params()
+
+    def test_mlpstep_args(self):
+        params = MLPStep.parse_args(["8", "64", "32", "16", "5"])
+        assert params["models"] == 8
+        assert params["batch"] == 64
+        assert params["features"] == 32
+        assert params["hidden"] == 16
+        assert params["steps"] == 5
+
+    def test_mlpstep_rejects_wrong_arity(self):
+        with pytest.raises(AppError, match="expects"):
+            MLPStep.parse_args(["8", "64"])
+
+    def test_mlpstep_rejects_nonpositive(self):
+        with pytest.raises(AppError, match="positive"):
+            MLPStep.parse_args(["8", "0", "32", "16", "5"])
+
+    def test_su3et_shares_the_su3_command_line(self):
+        # The ET variant is the same benchmark, differently expressed:
+        # identical flags, identical paper-scale parameters.
+        assert SU3ET.parse_args(SU3.command_line.split()) == SU3.paper_params()
+        assert SU3ET.name == "SU3-ET"
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("app_cls", NEW_APPS, ids=lambda c: c.name)
+    @pytest.mark.parametrize("variant", [
+        VersionLabel.OMPX, VersionLabel.OMP, VersionLabel.NATIVE_LLVM,
+    ])
+    @pytest.mark.parametrize("ordinal", [0, 1, 3], ids=["a100", "mi250", "xehpc"])
+    def test_variant_matches_reference(self, app_cls, variant, ordinal):
+        app = app_cls()
+        params = app.functional_params()
+        result = app.run_single(variant, params, get_device(ordinal))
+        assert app.verify(result, params), (
+            f"{app.name} {variant} on device {ordinal} diverged from reference"
+        )
+
+    @pytest.mark.parametrize("app_cls", NEW_APPS, ids=lambda c: c.name)
+    def test_variants_agree_bitwise(self, app_cls):
+        """Byte-for-byte, not allclose: the GEMM path is shared."""
+        app = app_cls()
+        params = app.functional_params()
+        device = get_device(0)
+        results = {
+            variant: app.run_single(variant, params, device)
+            for variant in app.functional_variants
+        }
+        base_variant, *rest = list(results)
+        base = results[base_variant]
+        for variant in rest:
+            assert np.array_equal(results[variant].output, base.output), (
+                f"{app.name}: {variant} output != {base_variant}"
+            )
+            assert results[variant].checksum == base.checksum
+
+    def test_et_matches_the_loop_su3_bitwise(self):
+        """Grid-style fusion is a faithful rewrite of the MILC loops."""
+        params = SU3.functional_params()
+        device = get_device(0)
+        loop = SU3().run_single(VersionLabel.OMPX, params, device)
+        fused = SU3ET().run_single(VersionLabel.OMPX, params, device)
+        assert np.array_equal(fused.output, loop.output)
+        assert fused.checksum == loop.checksum
+
+
+class TestSharded:
+    @pytest.mark.parametrize("app_cls", NEW_APPS, ids=lambda c: c.name)
+    def test_sharded_matches_single_device_bitwise(self, app_cls):
+        app = app_cls()
+        params = app.functional_params()
+        single = app.run_single(VersionLabel.OMPX, params, get_device(0))
+        with DevicePool(3) as pool:
+            sharded = app.run_sharded(VersionLabel.OMPX, params, pool)
+        assert sharded.checksum == single.checksum
+        np.testing.assert_array_equal(sharded.output, single.output)
+        assert app.verify(sharded, params)
+
+
+class TestVendorDispatch:
+    def test_mlpstep_issues_vendor_calls_under_trace(self):
+        app = MLPStep()
+        params = app.functional_params()
+        t = trace.enable()
+        try:
+            app.run_single(VersionLabel.OMPX, params, get_device(0))
+        finally:
+            trace.disable()
+        vendor = [s for s in t.spans if s.cat == "vendor"]
+        assert t.counters["vendor_calls"] == len(vendor) > 0
+        names = {s.name for s in vendor}
+        assert "vendor:dgemm_strided_batched" in names
+        assert all(s.args["flops"] > 0 for s in vendor
+                   if "gemm" in s.name)
+
+    def test_su3et_fuses_to_one_gemm_per_direction(self):
+        app = SU3ET()
+        params = app.functional_params()
+        t = trace.enable()
+        try:
+            app.run_single(VersionLabel.OMPX, params, get_device(0))
+        finally:
+            trace.disable()
+        gemms = [s for s in t.spans
+                 if s.name == "vendor:zgemm_strided_batched"]
+        assert len(gemms) == app.launches(params)
+        # ... while the loop-SU3 app would have launched kernels instead.
+        assert not [s for s in t.spans if s.cat == "kernel"]
+
+    def test_su3et_native_variant_uses_hand_kernels(self):
+        """Only the ompx port takes the library route; the CUDA original
+        keeps its hand-written kernels (that is the comparison §3.6 asks
+        for)."""
+        app = SU3ET()
+        params = app.functional_params()
+        t = trace.enable()
+        try:
+            app.run_single(VersionLabel.NATIVE_LLVM, params, get_device(0))
+        finally:
+            trace.disable()
+        assert not [s for s in t.spans if s.cat == "vendor"]
+        assert [s for s in t.spans if s.cat == "kernel"]

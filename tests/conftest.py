@@ -96,6 +96,12 @@ def amd():
     return get_device(1)
 
 
+@pytest.fixture
+def intel():
+    """The Intel XeHPC preset device (ordinal 3)."""
+    return get_device(3)
+
+
 @pytest.fixture(params=[0, 1], ids=["a100", "mi250"])
 def any_device(request):
     """Parametrized over both device presets."""

@@ -6,10 +6,13 @@ from repro.errors import GpuError, LaunchError
 from repro.gpu.device import (
     A100_SPEC,
     MI250_SPEC,
+    PRESETS,
+    XEHPC_SPEC,
     DeviceSpec,
     Vendor,
     current_device,
     get_device,
+    get_spec,
     registered_devices,
     set_current_device,
 )
@@ -26,6 +29,11 @@ class TestSpecs:
     def test_mi250_identity(self):
         assert MI250_SPEC.vendor == Vendor.AMD
         assert MI250_SPEC.warp_size == 64  # wavefront64
+
+    def test_xehpc_identity(self):
+        assert XEHPC_SPEC.vendor == Vendor.INTEL
+        assert XEHPC_SPEC.warp_size == 32  # SIMD32 sub-groups
+        assert XEHPC_SPEC.num_sms == 64    # Xe-cores per stack
 
     def test_warp_size_must_be_power_of_two(self):
         with pytest.raises(ValueError):
@@ -79,6 +87,21 @@ class TestClampDims:
         assert clamped.y == A100_SPEC.max_grid_dim.y
 
 
+class TestPresets:
+    def test_presets_name_every_spec(self):
+        assert PRESETS == {
+            "a100": A100_SPEC, "mi250": MI250_SPEC, "xehpc": XEHPC_SPEC,
+        }
+
+    def test_get_spec_is_case_insensitive(self):
+        assert get_spec("XeHPC") is XEHPC_SPEC
+        assert get_spec("a100") is A100_SPEC
+
+    def test_get_spec_unknown_name(self):
+        with pytest.raises(GpuError, match="preset"):
+            get_spec("h100")
+
+
 class TestRegistry:
     def test_default_devices(self):
         devices = registered_devices()
@@ -86,7 +109,9 @@ class TestRegistry:
         assert devices[1].spec is MI250_SPEC
         # the MI250's second GCD is its own device, as under ROCm/LLVM
         assert devices[2].spec is MI250_SPEC
-        assert len(devices) == 3
+        # the third vendor: an Intel XeHPC-class stack at ordinal 3
+        assert devices[3].spec is XEHPC_SPEC
+        assert len(devices) == 4
 
     def test_get_device_is_stable(self):
         assert get_device(0) is get_device(0)

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 import repro.gpu.launch as launch_mod
-from repro.apps import ALL_APPS, VersionLabel
+from repro.apps import PORTFOLIO_APPS, VersionLabel
 from repro.gpu import get_device
 from repro.gpu.engine import _ENGINES_BY_NAME
 
@@ -28,9 +28,13 @@ ENGINE_MATRIX = {
     "AIDW": ("block-thread",),
     "Adam": ("block-thread", "map", "vector"),
     "Stencil 1D": ("block-thread", "wave"),
+    # The §3.6 portfolio: GEMMs run in the vendor library (engine-
+    # independent by construction); only the hand kernels are pinned.
+    "MLPStep": ("block-thread", "map", "vector"),
+    "SU3-ET": ("block-thread", "map"),
 }
 
-_APPS_BY_NAME = {cls.name: cls for cls in ALL_APPS}
+_APPS_BY_NAME = {cls.name: cls for cls in PORTFOLIO_APPS}
 
 _COUNTERS = (
     "threads_run",
@@ -100,6 +104,21 @@ def test_engines_agree_bitwise_and_on_stats(app_name, engines):
         assert _counter_rows(log) == _counter_rows(base_log), (
             f"{app_name}: {engine_name} KernelStats diverged from {base_name}"
         )
+
+
+def test_intel_preset_matches_a100_bitwise():
+    """The fourth ordinal (XeHPC) runs the engine matrix bit-identically."""
+    app = _APPS_BY_NAME["Adam"]()
+    params = app.functional_params()
+    base, _ = _run_forced(app, params, "block-thread", get_device(0))
+    intel = get_device(3)
+    for engine_name in ENGINE_MATRIX["Adam"]:
+        result, log = _run_forced(app, params, engine_name, intel)
+        assert all(stats.engine == engine_name for stats in log)
+        assert np.array_equal(result.output, base.output), (
+            f"xehpc/{engine_name} diverged from the a100 reference"
+        )
+        assert result.checksum == base.checksum
 
 
 def test_auto_selection_matches_forced_block_thread():

@@ -19,9 +19,10 @@ from repro.ompx import bare_kernel, target_teams_bare
 from repro.openmp.target import target_teams_distribute_parallel_for
 
 
-@pytest.fixture
-def device():
-    return get_device(0)
+@pytest.fixture(params=[0, 3], ids=["a100", "xehpc"])
+def device(request):
+    """The validation contract holds on the NVIDIA and Intel presets alike."""
+    return get_device(request.param)
 
 
 @cuda.kernel

@@ -1,0 +1,169 @@
+"""Grid-style lattice expression templates lowering onto vendor BLAS."""
+
+import numpy as np
+import pytest
+
+from repro import ompx
+from repro.ompx.lattice import Add, LatticeField, MatMul, Scale
+
+
+@pytest.fixture
+def handle(nvidia):
+    h = ompx.ompxblas_create(nvidia)
+    yield h
+    ompx.ompxblas_destroy(h)
+
+
+def random_field(rng, sites):
+    return (rng.standard_normal((sites, 3, 3))
+            + 1j * rng.standard_normal((sites, 3, 3)))
+
+
+class TestLaziness:
+    def test_operators_build_trees_not_results(self, handle):
+        rng = np.random.default_rng(1)
+        a = LatticeField.from_host(handle, random_field(rng, 4))
+        b = LatticeField.from_host(handle, random_field(rng, 4))
+        expr = 2.0 * (a * b)
+        assert isinstance(expr, Scale)
+        assert isinstance(expr.expr, MatMul)
+        assert isinstance(a * b + a, Add)
+        # nothing ran: the backend saw no calls
+        assert handle.backend.calls == {}
+        for f in (a, b):
+            f.free()
+
+    def test_assign_is_one_fused_library_call(self, handle):
+        rng = np.random.default_rng(2)
+        sites = 6
+        host_a = random_field(rng, sites)
+        host_b = random_field(rng, sites)
+        a = LatticeField.from_host(handle, host_a)
+        b = LatticeField.from_host(handle, host_b)
+        c = LatticeField(handle, sites)
+        c.assign(a * b)
+        assert handle.backend.calls == {"gemm_strided_batched": 1}
+        out = c.to_host()
+        assert np.allclose(out, host_a @ host_b)
+        for f in (a, b, c):
+            f.free()
+
+
+class TestSemantics:
+    def test_broadcast_link_matrix(self, handle):
+        """A 1-site field multiplies every site (zero-stride operand)."""
+        rng = np.random.default_rng(3)
+        sites = 5
+        host_a = random_field(rng, sites)
+        link = random_field(rng, 1)
+        a = LatticeField.from_host(handle, host_a)
+        b = LatticeField.from_host(handle, link)
+        c = LatticeField(handle, sites)
+        c.assign(a * b)
+        assert np.allclose(c.to_host(), host_a @ link[0])
+        for f in (a, b, c):
+            f.free()
+
+    def test_alpha_and_beta_fuse(self, handle):
+        rng = np.random.default_rng(4)
+        sites = 4
+        host_a = random_field(rng, sites)
+        host_b = random_field(rng, sites)
+        host_c = random_field(rng, sites)
+        a = LatticeField.from_host(handle, host_a)
+        b = LatticeField.from_host(handle, host_b)
+        c = LatticeField.from_host(handle, host_c)
+        c.assign(2.0 * (a * b) + 0.5 * c)
+        assert handle.backend.calls == {"gemm_strided_batched": 1}
+        assert np.allclose(c.to_host(), 2.0 * (host_a @ host_b) + 0.5 * host_c)
+        for f in (a, b, c):
+            f.free()
+
+    def test_accumulate_order_is_commutative(self, handle):
+        """``beta*c + alpha*(a*b)`` normalizes the same as the mirror."""
+        rng = np.random.default_rng(5)
+        sites = 3
+        host_a = random_field(rng, sites)
+        host_b = random_field(rng, sites)
+        host_c = random_field(rng, sites)
+        a = LatticeField.from_host(handle, host_a)
+        b = LatticeField.from_host(handle, host_b)
+        c = LatticeField.from_host(handle, host_c)
+        c.assign(0.25 * c + a * b)
+        assert np.allclose(c.to_host(), host_a @ host_b + 0.25 * host_c)
+        for f in (a, b, c):
+            f.free()
+
+    def test_bit_identical_to_hand_triple_loop(self, handle):
+        """The fused GEMM reproduces the MILC loop bit-for-bit."""
+        rng = np.random.default_rng(6)
+        sites = 8
+        host_a = random_field(rng, sites)
+        host_b = random_field(rng, sites)
+        a = LatticeField.from_host(handle, host_a)
+        b = LatticeField.from_host(handle, host_b)
+        c = LatticeField(handle, sites)
+        c.assign(a * b)
+        hand = np.zeros_like(host_a)
+        for s in range(sites):
+            for row in range(3):
+                for col in range(3):
+                    acc = 0.0 + 0.0j
+                    for k in range(3):
+                        acc = acc + host_a[s, row, k] * host_b[s, k, col]
+                    hand[s, row, col] = acc
+        assert np.array_equal(c.to_host(), hand)
+        for f in (a, b, c):
+            f.free()
+
+
+class TestRejections:
+    def test_unfusable_sum_of_fields(self, handle):
+        rng = np.random.default_rng(7)
+        a = LatticeField.from_host(handle, random_field(rng, 2))
+        b = LatticeField.from_host(handle, random_field(rng, 2))
+        c = LatticeField(handle, 2)
+        with pytest.raises(TypeError, match="fuse"):
+            c.assign(a + b)
+        for f in (a, b, c):
+            f.free()
+
+    def test_accumulator_must_be_the_target(self, handle):
+        rng = np.random.default_rng(8)
+        a = LatticeField.from_host(handle, random_field(rng, 2))
+        b = LatticeField.from_host(handle, random_field(rng, 2))
+        other = LatticeField.from_host(handle, random_field(rng, 2))
+        c = LatticeField(handle, 2)
+        with pytest.raises(TypeError, match="target"):
+            c.assign(a * b + 2.0 * other)
+        for f in (a, b, other, c):
+            f.free()
+
+    def test_nested_products_need_a_temporary(self, handle):
+        rng = np.random.default_rng(9)
+        a = LatticeField.from_host(handle, random_field(rng, 2))
+        b = LatticeField.from_host(handle, random_field(rng, 2))
+        c = LatticeField(handle, 2)
+        with pytest.raises(TypeError, match="temporary"):
+            c.assign((a * b) * a)
+        for f in (a, b, c):
+            f.free()
+
+    def test_target_may_not_alias_an_operand(self, handle):
+        rng = np.random.default_rng(10)
+        a = LatticeField.from_host(handle, random_field(rng, 2))
+        b = LatticeField.from_host(handle, random_field(rng, 2))
+        with pytest.raises(TypeError, match="alias"):
+            a.assign(a * b)
+        for f in (a, b):
+            f.free()
+
+    def test_site_count_mismatch(self, handle):
+        rng = np.random.default_rng(11)
+        a = LatticeField.from_host(handle, random_field(rng, 4))
+        b = LatticeField.from_host(handle, random_field(rng, 3))
+        c = LatticeField(handle, 4)
+        with pytest.raises(TypeError, match="sites"):
+            c.assign(a * b)
+        for f in (a, b, c):
+            f.free()

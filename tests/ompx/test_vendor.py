@@ -5,10 +5,26 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.ompx.vendor as vendor_mod
+import repro.trace as trace
 from repro import ompx
-from repro.errors import ReproError
-from repro.gpu import get_device
-from repro.ompx.vendor import CublasSim, RocblasSim
+from repro.errors import (
+    BlasDimensionError,
+    HandleDestroyedError,
+    ReproError,
+    UnknownVendorError,
+    VendorError,
+)
+from repro.gpu import Stream, get_device
+from repro.ompx.vendor import (
+    HAND_KERNEL_EFFICIENCY,
+    BlasBackend,
+    CublasSim,
+    OneMklSim,
+    RocblasSim,
+    gemm_footprint,
+    modeled_gemm_seconds,
+)
 
 
 def upload_colmajor(device, matrix: np.ndarray):
@@ -196,3 +212,405 @@ class TestLevel1:
         nvidia.default_stream.enqueue(lambda: log.append(1))
         ompx.ompxblas_destroy(handle)
         assert log == [1]
+
+    def test_dcopy_and_dswap(self, any_device):
+        n = 8
+        x = np.arange(n, dtype=np.float64)
+        y = np.full(n, -1.0)
+        handle = ompx.ompxblas_create(any_device)
+        alloc = any_device.allocator
+        d_x = alloc.malloc(x.nbytes)
+        d_y = alloc.malloc(y.nbytes)
+        alloc.memcpy_h2d(d_x, x)
+        alloc.memcpy_h2d(d_y, y)
+        ompx.ompxblas_dcopy(handle, n, d_x, 1, d_y, 1)
+        out = np.zeros(n)
+        alloc.memcpy_d2h(out, d_y)
+        assert np.array_equal(out, x)
+        ompx.ompxblas_dscal(handle, n, 2.0, d_y, 1)
+        ompx.ompxblas_dswap(handle, n, d_x, 1, d_y, 1)
+        alloc.memcpy_d2h(out, d_x)
+        assert np.array_equal(out, 2.0 * x)
+        alloc.memcpy_d2h(out, d_y)
+        assert np.array_equal(out, x)
+        for p in (d_x, d_y):
+            alloc.free(p)
+
+
+class TestGemv:
+    @pytest.mark.parametrize("trans", ["N", "T"])
+    def test_dgemv_matches_numpy(self, any_device, trans):
+        rng = np.random.default_rng(17)
+        m, n = 5, 3
+        a = rng.random((m, n))
+        x = rng.random(n if trans == "N" else m)
+        y0 = rng.random(m if trans == "N" else n)
+        handle = ompx.ompxblas_create(any_device)
+        alloc = any_device.allocator
+        d_a = upload_colmajor(any_device, a)
+        d_x = alloc.malloc(x.nbytes)
+        d_y = alloc.malloc(y0.nbytes)
+        alloc.memcpy_h2d(d_x, x)
+        alloc.memcpy_h2d(d_y, y0)
+        ompx.ompxblas_dgemv(handle, trans, m, n, 2.0, d_a, m, d_x, 1, 0.5, d_y, 1)
+        out = np.zeros_like(y0)
+        alloc.memcpy_d2h(out, d_y)
+        op_a = a if trans == "N" else a.T
+        assert np.allclose(out, 2.0 * (op_a @ x) + 0.5 * y0)
+        for p in (d_a, d_x, d_y):
+            alloc.free(p)
+
+    def test_bad_lda_carries_structured_fields(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        d = ompx.ompx_malloc(256, nvidia)
+        with pytest.raises(BlasDimensionError) as ei:
+            ompx.ompxblas_dgemv(handle, "N", 4, 2, 1.0, d, 2, d, 1, 0.0, d, 1)
+        err = ei.value
+        assert err.op == "dgemv"
+        assert err.param == "lda"
+        assert err.value == 2 and err.minimum == 4
+        ompx.ompx_free(d, nvidia)
+
+
+def upload_stack(device, mats):
+    """Concatenated column-major images of a list of logical matrices."""
+    flat = np.concatenate(
+        [np.asfortranarray(mat).ravel(order="K") for mat in mats]
+    )
+    ptr = device.allocator.malloc(flat.nbytes)
+    device.allocator.memcpy_h2d(ptr, flat)
+    return ptr
+
+
+class TestBatchedGemm:
+    def test_dgemm_batched_pointer_arrays(self, nvidia):
+        rng = np.random.default_rng(3)
+        m, n, k, batch = 3, 2, 4, 3
+        a_list = [rng.random((m, k)) for _ in range(batch)]
+        b_list = [rng.random((k, n)) for _ in range(batch)]
+        handle = ompx.ompxblas_create(nvidia)
+        alloc = nvidia.allocator
+        d_a = [upload_colmajor(nvidia, a) for a in a_list]
+        d_b = [upload_colmajor(nvidia, b) for b in b_list]
+        d_c = [alloc.malloc(m * n * 8) for _ in range(batch)]
+        ompx.ompxblas_dgemm_batched(
+            handle, "N", "N", m, n, k, 1.0, d_a, m, d_b, k, 0.0, d_c, m, batch
+        )
+        for i in range(batch):
+            out = download_colmajor(nvidia, d_c[i], m, n)
+            assert np.allclose(out, a_list[i] @ b_list[i])
+        for p in d_a + d_b + d_c:
+            alloc.free(p)
+
+    def test_pointer_count_mismatch(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        d = ompx.ompx_malloc(256, nvidia)
+        with pytest.raises(BlasDimensionError) as ei:
+            ompx.ompxblas_dgemm_batched(
+                handle, "N", "N", 2, 2, 2, 1.0, [d], 2, [d, d], 2, 0.0,
+                [d, d], 2, 2,
+            )
+        assert ei.value.param == "a_array"
+        assert ei.value.value == 1 and ei.value.minimum == 2
+        ompx.ompx_free(d, nvidia)
+
+    @pytest.mark.parametrize("transa,transb", [("N", "N"), ("T", "N"), ("N", "T")])
+    def test_dgemm_strided_batched(self, any_device, transa, transb):
+        rng = np.random.default_rng(11)
+        m, n, k, batch = 3, 4, 2, 3
+        a_logical = [rng.random((m, k)) for _ in range(batch)]
+        b_logical = [rng.random((k, n)) for _ in range(batch)]
+        a_stored = [a if transa == "N" else a.T for a in a_logical]
+        b_stored = [b if transb == "N" else b.T for b in b_logical]
+        handle = ompx.ompxblas_create(any_device)
+        alloc = any_device.allocator
+        d_a = upload_stack(any_device, a_stored)
+        d_b = upload_stack(any_device, b_stored)
+        d_c = alloc.malloc(batch * m * n * 8)
+        lda = a_stored[0].shape[0]
+        ldb = b_stored[0].shape[0]
+        ompx.ompxblas_dgemm_strided_batched(
+            handle, transa, transb, m, n, k, 1.0,
+            d_a, lda, m * k, d_b, ldb, k * n, 0.0, d_c, m, m * n, batch,
+        )
+        flat = np.zeros(batch * m * n)
+        alloc.memcpy_d2h(flat, d_c)
+        for i in range(batch):
+            out = flat[i * m * n:(i + 1) * m * n].reshape(n, m).T
+            assert np.allclose(out, a_logical[i] @ b_logical[i])
+        for p in (d_a, d_b, d_c):
+            alloc.free(p)
+
+    def test_zgemm_broadcast_operand(self, nvidia):
+        """stride 0 broadcasts one matrix across the batch (the SU3 shape)."""
+        rng = np.random.default_rng(8)
+        batch = 5
+        a = rng.random((batch, 3, 3)) + 1j * rng.random((batch, 3, 3))
+        b = rng.random((3, 3)) + 1j * rng.random((3, 3))
+        handle = ompx.ompxblas_create(nvidia)
+        alloc = nvidia.allocator
+        d_a = upload_stack(nvidia, [a[i] for i in range(batch)])
+        d_b = upload_colmajor_complex(nvidia, b)
+        d_c = alloc.malloc(batch * 9 * 16)
+        ompx.ompxblas_zgemm_strided_batched(
+            handle, "N", "N", 3, 3, 3, 1.0 + 0j,
+            d_a, 3, 9, d_b, 3, 0, 0.0 + 0j, d_c, 3, 9, batch,
+        )
+        flat = np.zeros(batch * 9, dtype=np.complex128)
+        alloc.memcpy_d2h(flat, d_c)
+        for i in range(batch):
+            out = flat[i * 9:(i + 1) * 9].reshape(3, 3).T
+            assert np.allclose(out, a[i] @ b)
+        for p in (d_a, d_b, d_c):
+            alloc.free(p)
+
+    def test_output_stride_must_not_alias(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        d = ompx.ompx_malloc(4096, nvidia)
+        with pytest.raises(BlasDimensionError, match="alias"):
+            ompx.ompxblas_dgemm_strided_batched(
+                handle, "N", "N", 2, 2, 2, 1.0,
+                d, 2, 4, d, 2, 4, 0.0, d, 2, 2, 3,
+            )
+        ompx.ompx_free(d, nvidia)
+
+    def test_zero_batch_is_a_noop(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        d = ompx.ompx_malloc(64, nvidia)
+        ompx.ompxblas_dgemm_strided_batched(
+            handle, "N", "N", 2, 2, 2, 1.0, d, 2, 4, d, 2, 4, 0.0, d, 2, 4, 0
+        )
+        assert handle.backend.calls.get("gemm_strided_batched", 0) == 1
+        ompx.ompx_free(d, nvidia)
+
+
+def upload_colmajor_complex(device, matrix):
+    ptr = device.allocator.malloc(matrix.nbytes)
+    device.allocator.memcpy_h2d(
+        ptr, np.asfortranarray(matrix).ravel(order="K")
+    )
+    return ptr
+
+
+class TestBackendRegistry:
+    def test_three_default_vendors(self):
+        backends = ompx.registered_backends()
+        assert backends["nvidia"] is CublasSim
+        assert backends["amd"] is RocblasSim
+        assert backends["intel"] is OneMklSim
+
+    def test_intel_gets_onemkl(self, intel):
+        handle = ompx.ompxblas_create(intel)
+        assert isinstance(handle.backend, OneMklSim)
+        assert handle.backend_name == "oneMKL-sim"
+        ompx.ompxblas_destroy(handle)
+
+    def test_register_backend_replaces_and_restores(self, nvidia):
+        class FancyBlas(CublasSim):
+            name = "fancy-sim"
+
+        ompx.register_backend("nvidia", FancyBlas)
+        try:
+            handle = ompx.ompxblas_create(nvidia)
+            assert handle.backend_name == "fancy-sim"
+        finally:
+            ompx.register_backend("nvidia", CublasSim)
+        assert ompx.registered_backends()["nvidia"] is CublasSim
+
+    def test_register_rejects_non_backend(self):
+        with pytest.raises(TypeError):
+            ompx.register_backend("nvidia", dict)
+
+    def test_snapshot_is_a_copy(self):
+        snapshot = ompx.registered_backends()
+        snapshot["nvidia"] = RocblasSim
+        assert ompx.registered_backends()["nvidia"] is CublasSim
+
+    def test_unknown_vendor_error_fields(self, nvidia, monkeypatch):
+        monkeypatch.setattr(vendor_mod, "_BACKENDS", {})
+        with pytest.raises(UnknownVendorError) as ei:
+            ompx.ompxblas_create(nvidia)
+        err = ei.value
+        assert err.vendor == "nvidia"
+        assert err.known == ()
+        assert "register_backend" in str(err)
+
+
+class TestHandleLifecycle:
+    def test_use_after_destroy_raises(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        d = ompx.ompx_malloc(64, nvidia)
+        ompx.ompxblas_destroy(handle)
+        with pytest.raises(HandleDestroyedError) as ei:
+            ompx.ompxblas_dscal(handle, 4, 1.0, d, 1)
+        assert ei.value.op == "dscal"
+        assert ei.value.device == nvidia.ordinal
+        ompx.ompx_free(d, nvidia)
+
+    def test_double_destroy_raises(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        ompx.ompxblas_destroy(handle)
+        with pytest.raises(HandleDestroyedError) as ei:
+            ompx.ompxblas_destroy(handle)
+        assert ei.value.op == "destroy"
+
+    def test_get_stream_after_destroy_raises(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        ompx.ompxblas_destroy(handle)
+        with pytest.raises(HandleDestroyedError):
+            ompx.ompxblas_get_stream(handle)
+
+
+class TestStreamBinding:
+    def test_default_is_unbound(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        assert ompx.ompxblas_get_stream(handle) is None
+        ompx.ompxblas_destroy(handle)
+
+    def test_set_and_clear(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        stream = Stream(nvidia, "blas")
+        ompx.ompxblas_set_stream(handle, stream)
+        assert ompx.ompxblas_get_stream(handle) is stream
+        ompx.ompxblas_set_stream(handle, None)
+        assert ompx.ompxblas_get_stream(handle) is None
+        ompx.ompxblas_destroy(handle)
+
+    def test_stream_must_match_device(self, nvidia, amd):
+        handle = ompx.ompxblas_create(nvidia)
+        foreign = Stream(amd, "wrong-device")
+        with pytest.raises(VendorError, match="device"):
+            ompx.ompxblas_set_stream(handle, foreign)
+        ompx.ompxblas_destroy(handle)
+
+    def test_bound_calls_order_with_stream_work(self, nvidia):
+        """BLAS calls and plain stream ops interleave in FIFO order."""
+        n = 4
+        x = np.ones(n)
+        handle = ompx.ompxblas_create(nvidia)
+        alloc = nvidia.allocator
+        d_x = alloc.malloc(x.nbytes)
+        alloc.memcpy_h2d(d_x, x)
+        stream = Stream(nvidia, "ordered")
+        ompx.ompxblas_set_stream(handle, stream)
+        log = []
+        stream.enqueue(lambda: log.append("before"))
+        ompx.ompxblas_dscal(handle, n, 3.0, d_x, 1)
+        stream.enqueue(lambda: log.append("after"))
+        stream.synchronize()
+        assert log == ["before", "after"]
+        out = np.zeros(n)
+        alloc.memcpy_d2h(out, d_x)
+        assert np.array_equal(out, 3.0 * x)
+        ompx.ompxblas_destroy(handle)
+        alloc.free(d_x)
+
+    def test_scalar_result_synchronizes_the_stream(self, nvidia):
+        """ddot with a host result pointer is a synchronization point."""
+        n = 8
+        x = np.arange(n, dtype=np.float64)
+        handle = ompx.ompxblas_create(nvidia)
+        alloc = nvidia.allocator
+        d_x = alloc.malloc(x.nbytes)
+        alloc.memcpy_h2d(d_x, x)
+        stream = Stream(nvidia, "sync-point")
+        ompx.ompxblas_set_stream(handle, stream)
+        log = []
+        stream.enqueue(lambda: log.append("queued"))
+        value = ompx.ompxblas_ddot(handle, n, d_x, 1, d_x, 1)
+        assert log == ["queued"]          # drained before the result returned
+        assert np.isclose(value, x @ x)
+        ompx.ompxblas_destroy(handle)
+        alloc.free(d_x)
+
+    def test_destroy_drains_bound_stream(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        stream = Stream(nvidia, "drain-me")
+        ompx.ompxblas_set_stream(handle, stream)
+        log = []
+        stream.enqueue(lambda: log.append(1))
+        ompx.ompxblas_destroy(handle)
+        assert log == [1]
+
+
+class TestTraceIntegration:
+    def test_gemm_emits_vendor_span_and_counters(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        d = ompx.ompx_malloc(9 * 8, nvidia)
+        with trace.tracing() as t:
+            ompx.ompxblas_dgemm(
+                handle, "N", "N", 3, 3, 3, 1.0, d, 3, d, 3, 0.0, d, 3
+            )
+        spans = [sp for sp in t.spans if sp.cat == "vendor"]
+        assert len(spans) == 1
+        (sp,) = spans
+        assert sp.name == "vendor:dgemm"
+        assert sp.args["backend"] == "cuBLAS-sim"
+        assert sp.args["m"] == sp.args["n"] == sp.args["k"] == 3
+        assert sp.args["flops"] == 2.0 * 27
+        assert sp.args["modeled_s"] > 0
+        assert t.counters["vendor_calls"] == 1
+        assert t.counters["vendor_flops"] == 2.0 * 27
+        assert t.counters["vendor_bytes"] > 0
+        ompx.ompx_free(d, nvidia)
+
+    def test_stream_bound_call_records_exec_span(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        d = ompx.ompx_malloc(64, nvidia)
+        stream = Stream(nvidia, "traced")
+        ompx.ompxblas_set_stream(handle, stream)
+        with trace.tracing() as t:
+            ompx.ompxblas_dscal(handle, 8, 2.0, d, 1)
+            stream.synchronize()
+        names = [sp.name for sp in t.spans if sp.cat == "vendor"]
+        assert names == ["exec:vendor:dscal"]
+        ompx.ompxblas_destroy(handle)
+        ompx.ompx_free(d, nvidia)
+
+    def test_untraced_calls_record_nothing(self, nvidia):
+        handle = ompx.ompxblas_create(nvidia)
+        d = ompx.ompx_malloc(64, nvidia)
+        with trace.tracing() as t:
+            pass
+        before = len(t.spans)
+        ompx.ompxblas_dscal(handle, 8, 2.0, d, 1)
+        assert len(t.spans) == before
+        ompx.ompx_free(d, nvidia)
+
+
+class TestModeledPerformance:
+    def test_library_beats_hand_kernel(self, nvidia):
+        """§3.6's reason to exist: the tuned library wins on big GEMMs."""
+        handle = ompx.ompxblas_create(nvidia)
+        m = n = k = 2048
+        library = handle.backend.modeled_gemm_seconds(m, n, k)
+        hand = modeled_gemm_seconds(
+            nvidia.spec, m, n, k, efficiency=HAND_KERNEL_EFFICIENCY
+        )
+        assert library < hand
+        assert hand / library == pytest.approx(
+            handle.backend.library_efficiency / HAND_KERNEL_EFFICIENCY
+        )
+
+    def test_backend_efficiency_ordering(self):
+        assert CublasSim.library_efficiency > RocblasSim.library_efficiency
+        assert RocblasSim.library_efficiency > OneMklSim.library_efficiency
+        assert OneMklSim.library_efficiency > HAND_KERNEL_EFFICIENCY
+
+    def test_complex_gemm_counts_four_times_the_flops(self):
+        real = gemm_footprint(8, 8, 8, dtype=np.float64)
+        cplx = gemm_footprint(8, 8, 8, dtype=np.complex128)
+        assert cplx.flops_fp64 == 4 * real.flops_fp64
+
+    def test_batch_scales_linearly(self):
+        one = gemm_footprint(4, 4, 4)
+        many = gemm_footprint(4, 4, 4, batch=7)
+        assert many.flops_fp64 == 7 * one.flops_fp64
+        assert many.global_read_bytes == 7 * one.global_read_bytes
+
+    def test_fp32_lands_in_the_fp32_pipe(self):
+        fp = gemm_footprint(4, 4, 4, dtype=np.float32)
+        assert fp.flops_fp32 > 0 and fp.flops_fp64 == 0
+
+    def test_abstract_backend_is_not_registered(self):
+        assert BlasBackend not in ompx.registered_backends().values()

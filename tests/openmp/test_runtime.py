@@ -12,9 +12,10 @@ from repro.openmp.runtime import (
 
 
 class TestDeviceQueries:
-    def test_three_devices_registered(self):
+    def test_default_devices_registered(self):
         # A100 + the MI250's two GCDs (each GCD is an OpenMP device)
-        assert omp_get_num_devices() == 3
+        # + the Intel XeHPC stack
+        assert omp_get_num_devices() == 4
 
     def test_initial_device_is_host(self):
         assert omp_get_initial_device() == -1

@@ -213,6 +213,72 @@ def test_scheduler_error_is_a_repro_error():
     assert "SchedulerError" in errors.__all__
 
 
+def test_lint_covers_the_ompx_vendor_module():
+    # And for repro.ompx: the §3.6 vendor-library layer refuses bad BLAS
+    # arguments with VendorError subclasses, so its modules — vendor.py
+    # above all — must stay inside the walk.
+    ompx_files = {p.name for p in sorted(SRC_ROOT.rglob("*.py"))
+                  if p.parent.name == "ompx"}
+    assert {"__init__.py", "vendor.py", "lattice.py"} <= ompx_files
+
+
+def test_vendor_errors_slot_into_the_hierarchy():
+    # Callers classify any BLAS-wrapper failure with `except VendorError`
+    # (mirroring how real code checks one cublasStatus_t enum); the
+    # specific refusals must each be catchable as that base and remain
+    # rooted at ReproError so `except ReproError` call sites keep working.
+    assert issubclass(errors.VendorError, errors.ReproError)
+    assert issubclass(errors.BlasDimensionError, errors.VendorError)
+    assert issubclass(errors.UnknownVendorError, errors.VendorError)
+    assert issubclass(errors.HandleDestroyedError, errors.VendorError)
+    for name in ("VendorError", "BlasDimensionError", "UnknownVendorError",
+                 "HandleDestroyedError"):
+        assert name in errors.__all__
+
+
+def test_blas_dimension_error_pickles_and_compares_by_state():
+    # Stream-bound handles raise on stream worker threads and the cluster
+    # layer ships failures across processes, so the structured context
+    # must survive a pickle round trip and drive equality.
+    exc = errors.BlasDimensionError("lda below row count", op="dgemm",
+                                    param="lda", value=2, minimum=4)
+    clone = _pickle_roundtrip(exc)
+    assert clone == exc
+    assert clone.op == "dgemm"
+    assert clone.param == "lda"
+    assert clone.value == 2 and clone.minimum == 4
+    assert "param='lda'" in str(clone)
+    assert hash(clone) == hash(exc)
+    other = errors.BlasDimensionError("lda below row count", op="dgemm",
+                                      param="ldb", value=2, minimum=4)
+    assert other != exc
+
+
+def test_unknown_vendor_error_pickles_with_registry_snapshot():
+    exc = errors.UnknownVendorError("no backend", vendor="xpu",
+                                    known=("nvidia", "amd", "intel"))
+    clone = _pickle_roundtrip(exc)
+    assert clone == exc
+    assert clone.vendor == "xpu"
+    assert clone.known == ("nvidia", "amd", "intel")
+    assert "xpu" in str(clone)
+
+
+def test_handle_destroyed_error_pickles_with_call_site():
+    exc = errors.HandleDestroyedError("use after destroy", op="dscal",
+                                      device=3)
+    clone = _pickle_roundtrip(exc)
+    assert clone == exc
+    assert clone.op == "dscal" and clone.device == 3
+    assert isinstance(clone, errors.VendorError)
+
+
+def test_vendor_error_equality_is_type_strict():
+    assert errors.BlasDimensionError("x") != errors.HandleDestroyedError("x")
+    base = errors.VendorError("x")
+    assert base.__eq__(errors.LaunchError("x")) is NotImplemented
+
+
 def test_fault_and_sticky_errors_are_gpu_errors():
     # The fault framework's error classes slot into the existing hierarchy
     # so `except GpuError` call sites keep catching them.

@@ -108,6 +108,47 @@ class TestSchema:
         assert t.counters["launches"] == len(kernel_spans(t))
 
 
+class TestIntelPreset:
+    """The schema parity extends to the fourth ordinal (XeHPC preset)."""
+
+    def _launch_all(self, device):
+        @cuda.kernel(sync_free=True)
+        def noop_cuda(t):
+            pass
+
+        @hip.kernel(sync_free=True)
+        def noop_hip(t):
+            pass
+
+        @ompx.bare_kernel(sync_free=True)
+        def noop_bare(x):
+            pass
+
+        cuda.launch(noop_cuda, 2, 32, (), device=device)
+        device.synchronize()
+        hip.launch(noop_hip, 2, 32, (), device=device)
+        device.synchronize()
+        target_teams_parallel(device, 2, 32, lambda t: None)
+        ompx.target_teams_bare(device, 2, 32, noop_bare)
+
+    def test_all_front_ends_agree_on_intel(self, intel):
+        t = trace.enable()
+        self._launch_all(intel)
+        spans = kernel_spans(t)
+        assert len(spans) == len(FRONTENDS)
+        schemas = {frozenset(sp.args) for sp in spans}
+        assert len(schemas) == 1, f"front ends disagree on xehpc: {schemas}"
+        assert schemas == {frozenset(EXPECTED_ARG_KEYS)}
+
+    def test_intel_schema_matches_a100(self, nvidia, intel):
+        t = trace.enable()
+        self._launch_all(intel)
+        intel_schemas = {frozenset(sp.args) for sp in kernel_spans(t)}
+        t = trace.enable()
+        self._launch_all(nvidia)
+        assert {frozenset(sp.args) for sp in kernel_spans(t)} == intel_schemas
+
+
 class TestDisabled:
     def test_disabled_tracing_adds_no_spans(self, frontend, nvidia, amd):
         t = trace.enable()
