@@ -57,6 +57,26 @@ submissions coalesce onto one execution (MPS-style), every tenant's
 future receives the verified result, and the per-tenant service stats
 are printed.  Combine with ``--resilient`` for a self-healing backend.
 
+``--checkpoint DIR`` makes the run crash-consistent through
+:mod:`repro.ckpt`: the work is split into shards and a schema-versioned,
+digest-verified snapshot of the completed shard outputs (plus the fault
+plan's replay cursor) is atomically published to DIR every
+``--checkpoint-every N`` shards.  After a crash — up to and including
+``kill -9`` of the supervisor itself — rerunning the same command with
+``--resume`` loads the newest intact snapshot (falling back down the
+chain past a torn one), re-executes only the missing shards, and
+produces output bit-identical to an uninterrupted run.  A
+``checkpoint[DIR]: writes=... resumed_step=... steps_skipped=...``
+summary prints afterwards.  Composes with ``--devices``, ``--cluster``
+(worker loss and supervisor loss recover from the same chain),
+``--resilient`` (retries resume from the last snapshot instead of step
+zero), ``--faults`` (the replay cursor keeps injected faults
+deterministic across the cut; ``checkpoint_write``/``checkpoint_read``
+are themselves injectable sites), ``--trace`` and ``--tune``.  With
+``--serve`` the flag instead journals accepted submissions to
+DIR/journal.jsonl and ``--resume`` re-admits the not-yet-retired ones
+effectively once.  ``--resume`` without ``--checkpoint`` is an error.
+
 Examples::
 
     python -m repro.apps xsbench -m event
@@ -72,6 +92,8 @@ Examples::
     python -m repro.apps xsbench --run --cluster 3 --faults 'kernel_fault@2 device=1'
     python -m repro.apps mlpstep --run --devices 2
     python -m repro.apps su3et --run --variant ompx --device-spec xehpc
+    python -m repro.apps xsbench --run --checkpoint /tmp/xs-chain --checkpoint-every 2
+    python -m repro.apps xsbench --run --checkpoint /tmp/xs-chain --resume --cluster 2
 """
 
 from __future__ import annotations
@@ -180,6 +202,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--tune-cache", metavar="DIR", default=None,
                         help="plan-cache directory for --tune (default: "
                              "$XDG_CACHE_HOME/repro/tune)")
+    parser.add_argument("--checkpoint", metavar="DIR", default=None,
+                        help="snapshot the run's completed shards (plus the "
+                             "fault-plan replay cursor) into DIR after every "
+                             "--checkpoint-every shards, crash-consistently "
+                             "(repro.ckpt); with --serve, journal accepted "
+                             "submissions into DIR instead. Composes with "
+                             "--devices/--cluster/--resilient/--tune/"
+                             "--trace/--faults.")
+    parser.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                        help="checkpoint cadence in shards (default 1: "
+                             "snapshot after every shard)")
+    parser.add_argument("--resume", action="store_true",
+                        help="restore the newest valid snapshot from "
+                             "--checkpoint DIR and execute only the "
+                             "unfinished shards; the result is bit-identical "
+                             "to an uninterrupted run")
     flags = parser.parse_args(flag_args)
     if flags.serve:
         flags.run = True  # --serve is a functional-run mode
@@ -275,6 +313,13 @@ def _dispatch(app, flags, params) -> int:
     if flags.cluster < 0:
         print(f"--cluster must be >= 0, got {flags.cluster}", file=sys.stderr)
         return 2
+    if flags.resume and not flags.checkpoint:
+        print("--resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
+    if flags.checkpoint_every < 1:
+        print(f"--checkpoint-every must be >= 1, got {flags.checkpoint_every}",
+              file=sys.stderr)
+        return 2
     if flags.run:
         run_params = app.functional_params()
         if flags.serve:
@@ -287,7 +332,14 @@ def _dispatch(app, flags, params) -> int:
             cluster=flags.cluster,
             resilient=flags.resilient,
             verify=flags.verify,
+            checkpoint_dir=flags.checkpoint,
+            checkpoint_every=flags.checkpoint_every,
+            resume=flags.resume,
         )
+        if flags.checkpoint:
+            word = "resuming" if flags.resume else "checkpointing"
+            print(f"{app.name}: {word} into {flags.checkpoint} "
+                  f"(cadence: every {flags.checkpoint_every} shard(s))")
         if flags.cluster > 0:
             mode = "resilient, " if flags.resilient else ""
             print(f"{app.name}: functional run of variant {flags.variant!r} "
@@ -304,6 +356,8 @@ def _dispatch(app, flags, params) -> int:
             print(f"{app.name}: functional run of variant {flags.variant!r} on "
                   f"device {flags.device} (reduced scale: {dict(run_params)})")
             result = run_app(app, config)
+        if getattr(result, "checkpoint", None) is not None:
+            print(result.checkpoint.summary())
         ok = app.verify(result, run_params)
         print(f"checksum = {result.checksum:.6f}  "
               f"verification {'PASSED' if ok else 'FAILED'}")
@@ -376,7 +430,13 @@ def _run_serve(app, flags, run_params) -> int:
         seed=plan.seed if plan is not None else 0,
         tune=flags.tune,
         tune_cache=flags.tune_cache,
+        journal_dir=flags.checkpoint,
     ) as service:
+        if flags.resume and flags.checkpoint:
+            recovered = service.recover()
+            if recovered:
+                print(f"  re-admitted {len(recovered)} journaled "
+                      f"submission(s) from {flags.checkpoint}")
         if plan is not None and not flags.cluster:
             plan.bind_devices(
                 {i: d.ordinal for i, d in enumerate(service.devices)}

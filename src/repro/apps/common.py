@@ -126,6 +126,18 @@ class ExecutionConfig:
       default cache directory).  The session is attached to the result
       as ``result.tune_session``.  Outputs are bit-identical to untuned
       runs — tuning only picks among equivalent engines.
+    * ``checkpoint_dir``/``checkpoint_every``/``checkpoint_shards``/
+      ``resume`` — execute through :func:`repro.ckpt.run_checkpointed`:
+      the run is sharded into waves of ``checkpoint_every`` shards with
+      a crash-consistent snapshot (completed shards + fault-plan replay
+      cursor) after each wave.  ``resume=True`` restores the newest
+      valid snapshot from ``checkpoint_dir`` and re-executes only the
+      unfinished tail — bit-identical to an uninterrupted run.
+      Composes with every other axis: under ``resilient`` the retry
+      loop re-enters from the last checkpoint instead of step zero;
+      under ``cluster`` the chain survives SIGKILL of the supervisor
+      process itself.  The session is attached to the result as
+      ``result.checkpoint``.
     """
 
     variant: str = VersionLabel.OMPX
@@ -142,6 +154,10 @@ class ExecutionConfig:
     trace: bool = False
     tune: bool = False
     tune_cache: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
+    checkpoint_shards: Optional[int] = None
+    resume: bool = False
 
 
 def run(app: "BenchmarkApp", config: Optional[ExecutionConfig] = None,
@@ -193,6 +209,10 @@ def run(app: "BenchmarkApp", config: Optional[ExecutionConfig] = None,
 
 
 def _run_with_config(app, variant, params, config: ExecutionConfig) -> FunctionalResult:
+    if config.resume and config.checkpoint_dir is None:
+        raise AppError("resume=True requires checkpoint_dir (--checkpoint DIR)")
+    if config.checkpoint_dir is not None:
+        return _run_checkpointed(app, variant, params, config)
     if config.pool is not None:
         return _run_on_pool(app, variant, params, config.pool)
     if config.cluster > 0:
@@ -231,6 +251,82 @@ def _run_with_config(app, variant, params, config: ExecutionConfig) -> Functiona
     from ..gpu.device import resolve_placement
 
     return app.run_single(variant, params, resolve_placement(config.device))
+
+
+def _run_checkpointed(app, variant, params, config: ExecutionConfig) -> FunctionalResult:
+    """Build the configured backend and execute through the ckpt runner.
+
+    The checkpoint strategy subsumes the plain sharded/clustered paths
+    (same shard contract, plus snapshots), so every backend — external
+    pool, cluster, resilient, plain — funnels into
+    :func:`repro.ckpt.run_checkpointed`.  A resilient backend wraps the
+    whole body in ``run_to_completion``; because a re-entered session
+    restores the latest snapshot first, each retry replays only the
+    unfinished tail.
+    """
+    from ..ckpt import CheckpointSession, run_checkpointed
+
+    session = CheckpointSession(
+        config.checkpoint_dir, every=config.checkpoint_every
+    )
+
+    def body(pool) -> FunctionalResult:
+        return run_checkpointed(
+            app, variant, params, pool, session,
+            resume=config.resume, shards=config.checkpoint_shards,
+        )
+
+    def dispatch(pool) -> FunctionalResult:
+        if hasattr(pool, "run_to_completion"):
+            return pool.run_to_completion(
+                body, label=f"{app.name}:{variant}:ckpt"
+            )
+        return body(pool)
+
+    if config.pool is not None:
+        result = dispatch(config.pool)
+    elif config.cluster > 0:
+        from ..cluster import cluster_pool
+        from ..faults import active_plan
+
+        seed = config.seed if config.seed is not None else _active_plan_seed()
+        pool = cluster_pool(
+            config.cluster,
+            resilient=config.resilient,
+            verify=config.verify,
+            seed=seed,
+            report=config.report,
+            plan=active_plan(),
+            tune=config.tune,
+            tune_cache=config.tune_cache,
+        )
+        try:
+            result = dispatch(pool)
+        finally:
+            pool.close()
+    else:
+        from ..sched import DevicePool
+
+        with DevicePool(
+            max(config.devices, 1), placement=config.placement
+        ) as pool:
+            _bind_fault_plan(pool)
+            if config.resilient:
+                from ..resilience import ResilientPool
+
+                seed = (
+                    config.seed if config.seed is not None
+                    else _active_plan_seed()
+                )
+                with ResilientPool(
+                    pool, verify=config.verify, seed=seed,
+                    report=config.report,
+                ) as rpool:
+                    result = dispatch(rpool)
+            else:
+                result = dispatch(pool)
+    result.checkpoint = session
+    return result
 
 
 def _run_on_pool(app, variant, params, pool) -> FunctionalResult:

@@ -1,0 +1,36 @@
+"""repro.ckpt — crash-consistent checkpoint/restart with deterministic resume.
+
+The durable-state layer under every recovery path in the stack:
+
+* :mod:`~repro.ckpt.format` — the schema-versioned, digest-validated,
+  atomically published snapshot file format (and its
+  ``checkpoint_write``/``checkpoint_read`` fault-injection sites);
+* :mod:`~repro.ckpt.session` — :class:`CheckpointSession`: cadence,
+  bounded snapshot chains, fallback past corrupt snapshots, and the
+  resume-identity check;
+* :mod:`~repro.ckpt.runner` — :func:`run_checkpointed`: wave-sharded app
+  execution that snapshots completed shards plus the fault-plan replay
+  cursor, so a resumed run is bit-identical to an uninterrupted one;
+* :mod:`~repro.ckpt.journal` — :class:`SubmissionJournal`: the serving
+  tier's accepted/done journal for effectively-once re-admission.
+
+Wired in through ``run(app, checkpoint_dir=...)`` /
+``python -m repro.apps --checkpoint DIR [--resume]`` and
+``KernelService(journal_dir=...)``.
+"""
+
+from .format import SCHEMA_VERSION, list_snapshots, read_snapshot, write_snapshot
+from .journal import SubmissionJournal
+from .runner import run_checkpointed, run_identity
+from .session import CheckpointSession
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CheckpointSession",
+    "SubmissionJournal",
+    "run_checkpointed",
+    "run_identity",
+    "list_snapshots",
+    "read_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,166 @@
+"""The serving tier's submission journal: effectively-once re-admission.
+
+A :class:`SubmissionJournal` is an append-only line-JSON file
+(``journal.jsonl``) recording two events per app submission the
+:class:`~repro.serve.KernelService` *accepted*:
+
+* ``accepted`` — the submission cleared admission control, with enough
+  of a descriptor (app identity, variant, JSON-able params, tenant, and
+  the coalescing digest) to rebuild it in a fresh process;
+* ``done`` — the submission's execution finished (successfully or not;
+  either way the service will never run it again on its own).
+
+A service that crashes between the two leaves an ``accepted`` line with
+no matching ``done`` — exactly the submissions a restarted service must
+re-admit.  :meth:`pending` returns them **deduplicated by coalescing
+digest**: entries that would have coalesced onto one execution in the
+original process are re-admitted as one, and the service's normal
+request coalescing handles waiters — together giving effectively-once
+semantics rather than at-least-once re-execution of every accepted line.
+
+Crash-consistency is append-only discipline: every line is flushed when
+written, a SIGKILL can tear at most the final line, and the reader
+ignores a trailing line that does not parse.  No rewrite, no compaction
+— a journal is per-service-incarnation scratch, reset with
+:meth:`reset` once recovery has drained it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, List
+
+from ..errors import CheckpointError
+
+__all__ = ["SubmissionJournal"]
+
+_FILENAME = "journal.jsonl"
+
+
+class SubmissionJournal:
+    """Append-only accepted/done journal under one directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+        if os.path.exists(self.directory) and not os.path.isdir(self.directory):
+            raise CheckpointError(
+                "journal path exists and is not a directory",
+                path=self.directory,
+            )
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create journal directory: {exc}", path=self.directory
+            ) from exc
+        self.path = os.path.join(self.directory, _FILENAME)
+        self._lock = threading.Lock()
+        self._next_id = self._scan_next_id()
+        self._handle = None
+
+    def _scan_next_id(self) -> int:
+        last = 0
+        for entry in self._read_entries():
+            last = max(last, int(entry.get("id", 0)))
+        return last + 1
+
+    def _read_entries(self) -> List[Dict[str, Any]]:
+        """Every parseable line; a torn trailing line is silently dropped."""
+        entries: List[Dict[str, Any]] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().split("\n")
+        except OSError:
+            return entries
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                if index >= len(lines) - 2:
+                    continue  # torn tail from a mid-write crash
+                raise CheckpointError(
+                    f"journal line {index + 1} is corrupt mid-file",
+                    path=self.path,
+                )
+            entries.append(obj)
+        return entries
+
+    # --- writing ----------------------------------------------------------
+    def _append(self, obj: Dict[str, Any]) -> None:
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(json.dumps(obj, sort_keys=True) + "\n")
+            self._handle.flush()
+
+    def record_accepted(self, descriptor: Dict[str, Any]) -> int:
+        """Journal one accepted submission; returns its journal id.
+
+        ``descriptor`` must be JSON-serializable (the service skips
+        journaling for submissions it cannot describe, e.g. prebuilt
+        ndarray params) and should carry a ``"key"`` — the stringified
+        coalescing digest — for :meth:`pending`'s dedupe.
+        """
+        with self._lock:
+            entry_id = self._next_id
+            self._next_id += 1
+        self._append({"id": entry_id, "event": "accepted", **descriptor})
+        return entry_id
+
+    def record_done(self, entry_id: int) -> None:
+        """Journal that submission ``entry_id`` finished (either way)."""
+        self._append({"id": int(entry_id), "event": "done"})
+
+    # --- recovery ---------------------------------------------------------
+    def pending(self, *, dedupe: bool = True) -> List[Dict[str, Any]]:
+        """Accepted-but-unfinished entries, deduped by coalescing key.
+
+        Ordered by journal id; of entries sharing a ``"key"`` only the
+        first survives (they would have coalesced onto one execution).
+        Keyless entries are never deduped against each other.
+        ``dedupe=False`` returns every pending entry — recovery uses it
+        to retire the duplicates it is *not* re-admitting.
+        """
+        accepted: Dict[int, Dict[str, Any]] = {}
+        finished = set()
+        for entry in self._read_entries():
+            if entry.get("event") == "accepted":
+                accepted[int(entry["id"])] = entry
+            elif entry.get("event") == "done":
+                finished.add(int(entry["id"]))
+        seen_keys = set()
+        out: List[Dict[str, Any]] = []
+        for entry_id in sorted(accepted):
+            if entry_id in finished:
+                continue
+            entry = accepted[entry_id]
+            key = entry.get("key")
+            if dedupe and key is not None:
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+            out.append(entry)
+        return out
+
+    def reset(self) -> None:
+        """Truncate the journal (recovery drained, fresh incarnation)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+        self._next_id = 1
+
+    def close(self) -> None:
+        """Release the append handle (the file itself is kept)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SubmissionJournal({self.path!r})"

@@ -1,0 +1,184 @@
+"""Checkpoint-aware sharded execution: waves, cursors, deterministic resume.
+
+:func:`run_checkpointed` is the execution strategy behind
+``run(app, checkpoint_dir=...)``.  It reuses the app sharding contract
+(:meth:`~repro.apps.BenchmarkApp.shard_functional_params` builds the
+full problem once and slices it, so concatenating per-shard outputs in
+order reproduces the single-device output bit-exactly for *any* shard
+count) but executes the shards in **waves** of ``checkpoint_every``
+shards, snapshotting after each wave:
+
+* the outputs of every completed shard,
+* the step index (completed-shard count), and
+* the deterministic-replay cursor of the active
+  :class:`~repro.faults.FaultPlan` (counters + RNG state), so a resumed
+  run fires the *remaining* fault triggers exactly as the uninterrupted
+  run would have.
+
+The wave barrier is what makes the cut crash-consistent: at every
+snapshot, no shard is half-run, so "resume" is simply "skip the shards
+the snapshot already holds".  Resumed output is built from restored +
+freshly computed shards in shard order — bit-identical to an
+uninterrupted run because the shards themselves are.
+
+The run **identity** (app, variant, params digest, shard count, fault
+plan fingerprint) is recorded in every snapshot; resuming under a
+different identity is a :class:`~repro.errors.CheckpointError`, never a
+silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..errors import AppError
+from .session import CheckpointSession
+
+__all__ = ["run_checkpointed", "run_identity"]
+
+
+def run_identity(
+    app, variant: str, params: Mapping[str, object], nshards: int
+) -> Dict[str, Any]:
+    """The resume-compatibility fingerprint recorded in every snapshot.
+
+    Two runs may share a checkpoint chain only when they would compute
+    the same shards in the same order: same app class, variant,
+    parameter digest, shard count, and — because snapshots carry the
+    fault-plan cursor — the same fault plan (seed + rules).  The
+    parameter digest reuses the serving tier's structural
+    :func:`~repro.serve.coalesce.digest`; parameters it cannot digest
+    weaken the check to presence-only rather than blocking
+    checkpointing.
+    """
+    from ..faults import active_plan
+    from ..serve.coalesce import digest
+
+    plan = active_plan()
+    return {
+        "app": (type(app).__module__, type(app).__qualname__, app.name),
+        "variant": variant,
+        "params": digest(params),
+        "nshards": int(nshards),
+        "fault_plan": None
+        if plan is None
+        else (plan.seed, tuple(rule.key for rule in plan.rules)),
+    }
+
+
+def run_checkpointed(
+    app,
+    variant: str,
+    params: Mapping[str, object],
+    pool,
+    session: CheckpointSession,
+    *,
+    resume: bool = False,
+    shards: Optional[int] = None,
+):
+    """Run ``app`` sharded over ``pool`` with wave checkpoints.
+
+    ``shards`` fixes the shard count (default: ``max(len(pool), 4)``, so
+    even a narrow pool gets a multi-wave chain worth resuming).  On
+    resume the shard count recorded in the chain wins — it is part of
+    the identity, and re-sharding differently would orphan the restored
+    outputs.
+
+    Re-entry on the *same session* (a resilient
+    ``run_to_completion`` retry after a mid-run fault) always restores
+    the latest snapshot, so retries replay only the unfinished tail —
+    this is what turns "retry from step zero" into "retry from the last
+    checkpoint".
+    """
+    from ..faults import active_plan
+    from ..sched import gather
+    from ..trace import get_tracer
+
+    if variant == "omp":
+        raise AppError(
+            "the classic-OpenMP variant offloads through host mapping "
+            "tables and cannot be sharded, so it cannot be checkpointed; "
+            "use the ompx or native variant"
+        )
+
+    nshards = int(shards) if shards else max(len(pool), 4)
+    resume = resume or session.began
+    plan = active_plan()
+
+    # Peek at the chain before computing identity: the recorded shard
+    # count wins on resume (see docstring), and identity must agree with
+    # it or begin() would reject every resume with a non-default pool.
+    restored = None
+    if resume:
+        loaded = session.load_latest()
+        if loaded is not None:
+            recorded = loaded[1].get("meta", {}).get("identity", {})
+            if isinstance(recorded, dict) and recorded.get("nshards"):
+                nshards = int(recorded["nshards"])
+    identity = run_identity(app, variant, params, nshards)
+    restored = session.begin(identity, resume=resume)
+
+    done: Dict[int, np.ndarray] = {}
+    if restored is not None:
+        state = restored["state"]
+        done = {int(k): v for k, v in state["done"].items()}
+        if plan is not None and state.get("fault_cursor") is not None:
+            plan.restore_cursor(state["fault_cursor"])
+        session.note_skipped(len(done))
+
+    sub_params = app.shard_functional_params(params, nshards)
+    # Empty chunks are dropped by repro.sched.shard, so the realized
+    # shard list can be shorter than requested on tiny problems.
+    nshards_real = len(sub_params)
+    pending = [i for i in range(nshards_real) if i not in done]
+
+    tracer = get_tracer()
+
+    def payload(complete: bool) -> Dict[str, Any]:
+        return {
+            "meta": {
+                "identity": identity,
+                "nshards": nshards,
+                "complete": complete,
+            },
+            "state": {
+                "done": dict(done),
+                "fault_cursor": None if plan is None else plan.snapshot_cursor(),
+                "next": len(done),
+            },
+        }
+
+    for start in range(0, len(pending), session.every):
+        wave = pending[start : start + session.every]
+        futures = [
+            pool.submit_call(
+                functools.partial(app.run_single, variant, sub_params[i]),
+                label=f"{app.name}:shard{i}",
+                shard=True,
+            )
+            for i in wave
+        ]
+        for i, result in zip(wave, gather(futures)):
+            done[i] = result.output
+            if tracer is not None:
+                tracer.counter("ckpt_steps_executed")
+        session.commit(len(done), payload(len(done) == nshards_real))
+
+    if not pending:
+        # A fully restored run re-publishes its terminal snapshot so
+        # `--resume` of a finished run is idempotent (and observable:
+        # zero ckpt_steps_executed, every shard counted as skipped).
+        session.commit(len(done), payload(True))
+
+    output = np.concatenate([done[i] for i in range(nshards_real)])
+    from ..apps.common import FunctionalResult
+
+    return FunctionalResult(
+        variant=variant,
+        output=output,
+        checksum=app.result_checksum(output),
+        valid=False,
+    )

@@ -1,0 +1,217 @@
+"""Checkpoint sessions: a bounded snapshot chain with corruption fallback.
+
+A :class:`CheckpointSession` owns one checkpoint directory and the
+policy around it — how often to snapshot (``every``), how many published
+snapshots to keep (``keep``), and what a resuming process may trust.
+The session is deliberately ignorant of *what* is being checkpointed:
+the runner hands it opaque state dicts, the session guarantees the
+durability story.
+
+Three rules make the whole stack crash-consistent:
+
+* **Commit failures never kill the run.**  A snapshot that cannot be
+  written (full disk, injected ``checkpoint_write:error``) is a
+  :class:`RuntimeWarning` plus a counter — the run continues and the
+  next cadence point tries again.  Checkpointing is an optimization of
+  recovery, and an optimization must not introduce new failure modes.
+* **Corrupt snapshots fall back, they do not fail.**  On resume, the
+  newest snapshot is validated first; a corrupt one is warned about,
+  counted (``ckpt_fallbacks``), and the next-older one is tried.  Only
+  when the entire chain is exhausted does the run restart from step
+  zero (which is exactly what it would have done without checkpoints).
+* **Identity mismatches are errors.**  Resuming a chain written by a
+  different run (other app/variant/params/shard-count/fault-plan) would
+  silently compute garbage; that raises
+  :class:`~repro.errors.CheckpointError` instead.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import CheckpointError, CorruptCheckpointError, ReproError
+from . import format as fmt
+
+__all__ = ["CheckpointSession"]
+
+
+class CheckpointSession:
+    """Policy + chain management for one checkpoint directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        every: int = 1,
+        keep: int = 3,
+        on_commit: Optional[Callable[[int, str], None]] = None,
+    ) -> None:
+        if every < 1:
+            raise CheckpointError(
+                f"checkpoint_every must be >= 1, got {every}", path=directory
+            )
+        if keep < 1:
+            raise CheckpointError(
+                f"checkpoint keep must be >= 1, got {keep}", path=directory
+            )
+        self.directory = os.path.abspath(directory)
+        if os.path.exists(self.directory) and not os.path.isdir(self.directory):
+            raise CheckpointError(
+                "checkpoint path exists and is not a directory",
+                path=self.directory,
+            )
+        self.every = int(every)
+        self.keep = int(keep)
+        #: Test/ops hook called after each successful publication with
+        #: ``(step, path)``.  Exceptions propagate — chaos tests use this
+        #: to SIGKILL the process at a precise point in the chain.
+        self.on_commit = on_commit
+        self.stats: Dict[str, int] = {
+            "writes": 0,
+            "write_failures": 0,
+            "fallbacks": 0,
+            "resumed_step": -1,
+            "steps_skipped": 0,
+        }
+        #: True once :meth:`begin` has opened the chain.  A re-entry on
+        #: the same session (a resilient retry of the whole run body)
+        #: must restore the latest snapshot even when the original call
+        #: was a fresh run — the retry is a continuation, not a restart.
+        self.began = False
+
+    # --- writing ----------------------------------------------------------
+    def commit(self, step: int, payload: Dict[str, Any]) -> Optional[str]:
+        """Publish ``payload`` as step ``step`` and prune the chain.
+
+        Returns the published path, or ``None`` when the write failed
+        (warned + counted, never raised).
+        """
+        try:
+            path = fmt.write_snapshot(self.directory, step, payload)
+        except (ReproError, OSError) as exc:
+            self.stats["write_failures"] += 1
+            self._count("ckpt_write_failures")
+            warnings.warn(
+                f"checkpoint write for step {step} failed ({exc}); "
+                "continuing without it",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        self.stats["writes"] += 1
+        self._prune()
+        if self.on_commit is not None:
+            self.on_commit(step, path)
+        return path
+
+    def _prune(self) -> None:
+        """Drop the oldest published snapshots beyond ``keep``.
+
+        Pruning runs *after* a successful publication, so the chain
+        never shrinks below its newest valid member; unlink failures are
+        ignored (a stale extra snapshot is harmless).
+        """
+        chain = fmt.list_snapshots(self.directory)
+        for _, path in chain[: max(0, len(chain) - self.keep)]:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # --- reading ----------------------------------------------------------
+    def load_latest(self) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """The newest *valid* snapshot, walking back through corruption.
+
+        Returns ``(step, payload)`` or ``None`` when no snapshot in the
+        chain validates.  Corrupt members are warned about and counted,
+        never raised: an unreadable chain degrades to a from-scratch run.
+        """
+        for step, path in reversed(fmt.list_snapshots(self.directory)):
+            try:
+                return fmt.read_snapshot(path)
+            except CorruptCheckpointError as exc:
+                self.stats["fallbacks"] += 1
+                self._count("ckpt_fallbacks")
+                warnings.warn(
+                    f"snapshot {os.path.basename(path)} failed validation "
+                    f"({exc}); falling back to an older snapshot",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return None
+
+    def begin(
+        self, identity: Dict[str, Any], *, resume: bool = False
+    ) -> Optional[Dict[str, Any]]:
+        """Open the chain for a run with ``identity``; maybe restore state.
+
+        With ``resume=True``, returns the newest valid snapshot's state
+        after checking that its recorded identity matches — a mismatch
+        raises :class:`CheckpointError`, because those snapshots belong
+        to a different run.  With ``resume=False`` (a fresh run), any
+        existing chain is deleted so stale snapshots can never be
+        resumed into a later, different invocation by accident.
+        """
+        if not resume:
+            self.began = True
+            for _, path in fmt.list_snapshots(self.directory):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            return None
+        self.began = True
+        loaded = self.load_latest()
+        if loaded is None:
+            return None
+        step, payload = loaded
+        recorded = payload.get("meta", {}).get("identity")
+        if recorded != identity:
+            raise CheckpointError(
+                "refusing to resume: checkpoint chain was written by a "
+                f"different run (recorded identity {recorded!r}, this run "
+                f"{identity!r})",
+                path=self.directory,
+            )
+        self.stats["resumed_step"] = step
+        self._count("ckpt_resumes")
+        return payload
+
+    # --- misc -------------------------------------------------------------
+    def _count(self, name: str) -> None:
+        from ..trace import get_tracer
+
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.counter(name)
+
+    def note_skipped(self, count: int) -> None:
+        """Record that ``count`` completed steps were not re-executed."""
+        if count:
+            self.stats["steps_skipped"] += count
+            from ..trace import get_tracer
+
+            tracer = get_tracer()
+            if tracer is not None:
+                tracer.counter("ckpt_steps_skipped", float(count))
+
+    def summary(self) -> str:
+        """One-line human rendering of the session's counters."""
+        s = self.stats
+        bits = [f"writes={s['writes']}"]
+        if s["write_failures"]:
+            bits.append(f"write_failures={s['write_failures']}")
+        if s["fallbacks"]:
+            bits.append(f"fallbacks={s['fallbacks']}")
+        if s["resumed_step"] >= 0:
+            bits.append(f"resumed_step={s['resumed_step']}")
+            bits.append(f"steps_skipped={s['steps_skipped']}")
+        return f"checkpoint[{self.directory}]: " + " ".join(bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CheckpointSession(dir={self.directory!r}, every={self.every}, "
+            f"keep={self.keep})"
+        )

@@ -41,6 +41,8 @@ __all__ = [
     "BlasDimensionError",
     "UnknownVendorError",
     "HandleDestroyedError",
+    "CheckpointError",
+    "CorruptCheckpointError",
     "AppError",
 ]
 
@@ -532,15 +534,18 @@ class PlanCacheError(TuneError):
     """
 
 
-class VendorError(ReproError):
-    """Base class for §3.6 vendor-library wrapper errors.
+class _StructuredError(ReproError):
+    """Shared machinery for errors whose context must survive pickling.
 
-    Stream-bound handles run BLAS calls on stream worker threads and the
-    cluster layer hands failures across processes, so — like
-    :class:`LaunchError` — the structured context must survive pickling.
-    Subclasses declare their context in ``_FIELDS`` and inherit the
-    (message, state) reduction, field-sensitive equality and the
-    ``[k=v, ...]`` rendering.
+    Subclasses declare their structured context in ``_FIELDS`` and
+    inherit the (message, state) reduction, field-sensitive equality and
+    the ``[k=v, ...]`` rendering.  The default BaseException reduction
+    re-calls ``cls(*args)``, which would drop every keyword-only field,
+    so this base reduces to (message, state) instead — the same contract
+    :class:`LaunchError` and :class:`WorkerLost` implement by hand.
+
+    Not exported: catch the concrete families (:class:`VendorError`,
+    :class:`CheckpointError`, ...) instead.
     """
 
     _FIELDS: "tuple[str, ...]" = ()
@@ -586,6 +591,18 @@ class VendorError(ReproError):
         return hash((type(self), self.args))
 
 
+class VendorError(_StructuredError):
+    """Base class for §3.6 vendor-library wrapper errors.
+
+    Stream-bound handles run BLAS calls on stream worker threads and the
+    cluster layer hands failures across processes, so — like
+    :class:`LaunchError` — the structured context must survive pickling.
+    Subclasses declare their context in ``_FIELDS`` and inherit the
+    (message, state) reduction, field-sensitive equality and the
+    ``[k=v, ...]`` rendering.
+    """
+
+
 class BlasDimensionError(VendorError):
     """A BLAS argument violates its dimension contract.
 
@@ -622,6 +639,46 @@ class HandleDestroyedError(VendorError):
     """
 
     _FIELDS = ("op", "device")
+
+
+class CheckpointError(_StructuredError):
+    """The checkpoint layer was misused or a checkpoint operation failed.
+
+    Raised for bad :class:`repro.ckpt.CheckpointSession` configuration
+    (a directory path occupied by a regular file, a non-positive
+    cadence) and for resume-identity mismatches: resuming a chain that
+    was written by a *different* run (other app, variant, params digest,
+    shard count, or fault plan) is an error, never a silent restart,
+    because the snapshots would be meaningless for the new run.
+
+    Chains cross process boundaries (the supervisor that resumes is a
+    fresh process, and chaos tests hand failures back over pipes), so —
+    like :class:`VendorError` — the structured context must survive
+    pickling.  ``path`` names the checkpoint file or directory involved.
+    """
+
+    _FIELDS = ("path",)
+
+
+class CorruptCheckpointError(CheckpointError):
+    """A snapshot file failed validation when read back.
+
+    Covers every way bytes on disk can lie: a truncated payload
+    (``length`` short of the header's promise), a digest mismatch
+    (bit-rot or an injected ``checkpoint_read`` corruption), an
+    unparseable header, or an unknown schema version.  The reader treats
+    this as a *fallback* signal — older snapshots in the chain are tried
+    before the run restarts from step zero — so in normal operation this
+    error is caught, logged as a :class:`RuntimeWarning`, and counted,
+    not surfaced.
+
+    ``step`` is the snapshot's step index if the header survived,
+    ``reason`` the validation stage that failed, and
+    ``expected_digest``/``actual_digest`` the content fingerprints when
+    the mismatch was digest-level.
+    """
+
+    _FIELDS = ("path", "step", "reason", "expected_digest", "actual_digest")
 
 
 class AppError(ReproError):

@@ -10,20 +10,26 @@ and the same ``(spec, seed)``, the injected-fault sequence — recorded in
 
 Sites and actions
 -----------------
-======== ===========================================================
-site     actions
-======== ===========================================================
-malloc   ``oom`` (raise OutOfMemoryError), ``error``
-free     ``invalid_pointer`` (raise InvalidPointerError), ``error``
-memcpy   ``truncate`` (copy only ``bytes=`` bytes), ``error``
-memset   ``error``
-launch   ``kernel_fault`` (raise KernelFault — optionally only in
-         block ``block=`` and only after ``after_barriers=`` barriers),
-         ``delay`` (sleep ``delay=`` seconds before the kernel runs),
-         ``error``
-enqueue  ``delay`` (sleep ``delay=`` seconds before the op runs),
-         ``abort`` (refuse the enqueue)
-======== ===========================================================
+================ ===========================================================
+site             actions
+================ ===========================================================
+malloc           ``oom`` (raise OutOfMemoryError), ``error``
+free             ``invalid_pointer`` (raise InvalidPointerError), ``error``
+memcpy           ``truncate`` (copy only ``bytes=`` bytes), ``error``
+memset           ``error``
+launch           ``kernel_fault`` (raise KernelFault — optionally only in
+                 block ``block=`` and only after ``after_barriers=``
+                 barriers), ``delay`` (sleep ``delay=`` seconds before the
+                 kernel runs), ``error``
+enqueue          ``delay`` (sleep ``delay=`` seconds before the op runs),
+                 ``abort`` (refuse the enqueue)
+checkpoint_write ``truncate`` (cut the published snapshot to ``bytes=``
+                 bytes — a torn write), ``corrupt`` (flip ``bytes=`` bytes
+                 of the published snapshot — media bit-rot), ``delay``,
+                 ``error`` (the write itself fails)
+checkpoint_read  ``truncate`` / ``corrupt`` (damage the bytes as read, not
+                 on disk), ``delay``, ``error``
+================ ===========================================================
 
 Spec strings
 ------------
@@ -73,7 +79,16 @@ from ..errors import (
 __all__ = ["FaultRule", "FaultPlan", "SITES"]
 
 #: Instrumentation points a rule may attach to, mirroring repro.trace.
-SITES = ("malloc", "free", "memcpy", "memset", "launch", "enqueue")
+SITES = (
+    "malloc",
+    "free",
+    "memcpy",
+    "memset",
+    "launch",
+    "enqueue",
+    "checkpoint_write",
+    "checkpoint_read",
+)
 
 _ACTIONS: Dict[str, Tuple[str, ...]] = {
     "malloc": ("oom", "error"),
@@ -82,12 +97,17 @@ _ACTIONS: Dict[str, Tuple[str, ...]] = {
     "memset": ("error",),
     "launch": ("kernel_fault", "delay", "error"),
     "enqueue": ("delay", "abort", "error"),
+    "checkpoint_write": ("truncate", "corrupt", "delay", "error"),
+    "checkpoint_read": ("truncate", "corrupt", "delay", "error"),
 }
 
 #: Bare-action shorthand: actions that name their site uniquely, so the
-#: ``site:`` prefix may be omitted in spec fragments.  ``error`` is
-#: deliberately absent (valid at several sites), and the two stream-ish
-#: actions resolve to ``enqueue``, their original home.
+#: ``site:`` prefix may be omitted in spec fragments.  ``error`` and
+#: ``corrupt`` are deliberately absent (valid at several sites), and
+#: ``truncate``/``delay``/``abort`` resolve to their original homes
+#: (``memcpy``/``enqueue``) even though the checkpoint sites now accept
+#: them too — changing an established shorthand would silently rewrite
+#: existing specs.
 _SITE_FOR_ACTION: Dict[str, str] = {
     "oom": "malloc",
     "invalid_pointer": "free",
@@ -297,6 +317,54 @@ class FaultPlan:
         self._fires = [0] * len(self.rules)
         self.log.clear()
 
+    # --- deterministic-resume cursor --------------------------------------
+    def snapshot_cursor(self) -> Dict[str, Any]:
+        """Capture the plan's replay position as plain picklable data.
+
+        The cursor holds everything :meth:`fire` consults when deciding
+        whether a rule triggers — per-rule match/fire counters and the
+        seeded RNG's internal state — plus the ``(seed, rule keys)``
+        identity so a restore can refuse a cursor taken from a different
+        plan.  A plan restored from a cursor fires the remaining ``@N``/
+        ``every=``/``p=`` triggers byte-identically to an uninterrupted
+        run: this is what lets a resumed checkpointed run replay the same
+        fault sequence the crashed run would have seen.
+        """
+        return {
+            "seed": self.seed,
+            "rules": [rule.key for rule in self.rules],
+            "matches": list(self._matches),
+            "fires": list(self._fires),
+            "rng_state": self._rng.getstate(),
+            "log": list(self.log),
+        }
+
+    def restore_cursor(self, cursor: Dict[str, Any]) -> None:
+        """Rewind/fast-forward the plan to a :meth:`snapshot_cursor` point.
+
+        Raises :class:`FaultSpecError` if the cursor identifies a
+        different plan (other seed or rule set): silently adopting it
+        would desynchronize the RNG stream from the counters and make
+        "deterministic" replay quietly wrong.  Device bindings are left
+        alone, as with :meth:`reset`.
+        """
+        want = [rule.key for rule in self.rules]
+        if cursor.get("seed") != self.seed or list(cursor.get("rules", ())) != want:
+            raise FaultSpecError(
+                "fault-plan cursor does not match this plan "
+                f"(cursor seed={cursor.get('seed')!r} rules="
+                f"{list(cursor.get('rules', ()))!r}; plan seed={self.seed!r} "
+                f"rules={want!r})"
+            )
+        self._matches = list(cursor["matches"])
+        self._fires = list(cursor["fires"])
+        # Random.setstate wants the exact nested-tuple shape getstate
+        # produced; a cursor that crossed a JSON boundary arrives as
+        # lists, so rebuild the tuples first.
+        state = cursor["rng_state"]
+        self._rng.setstate((state[0], tuple(state[1]), state[2]))
+        self.log[:] = [tuple(entry) for entry in cursor["log"]]
+
     def bind_devices(self, mapping: Dict[Any, Any]) -> None:
         """Re-map ``device=`` selectors onto live registry ordinals.
 
@@ -396,6 +464,11 @@ class FaultPlan:
             delay_s = float(payload.get("delay", 0.001))
             self._record(rule, index, f"call #{n} delay={delay_s}s")
             effects["delay_s"] = effects.get("delay_s", 0.0) + delay_s
+            return
+        if rule.action == "corrupt":
+            count = max(1, int(payload.get("bytes", 1)))
+            self._record(rule, index, f"call #{n} corrupt={count}B")
+            effects["corrupt_bytes"] = effects.get("corrupt_bytes", 0) + count
             return
         if rule.action == "kernel_fault":
             # Always delivered as an effect, never raised here: the fault

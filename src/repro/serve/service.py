@@ -96,6 +96,7 @@ class KernelService:
         max_redispatch: int = 8,
         tune: bool = False,
         tune_cache: Optional[str] = None,
+        journal_dir: Optional[str] = None,
     ) -> None:
         #: Service-level recovery report: backend healing (when the
         #: service owns a resilient backend) plus cross-tenant artifacts
@@ -166,6 +167,17 @@ class KernelService:
             if self._tune_session is None:
                 self._tune_session = tune_mod.enable(tune_cache)
                 self._owns_tune = True
+        # ``journal_dir=`` journals every accepted app submission the
+        # service can describe as JSON (app identity, variant, params,
+        # tenant, coalescing key) and marks it done when its future is
+        # delivered.  A service that crashes in between leaves pending
+        # entries a fresh incarnation re-admits via :meth:`recover` —
+        # deduped by coalescing key, so the replay is effectively-once.
+        self._journal = None
+        if journal_dir is not None:
+            from ..ckpt import SubmissionJournal
+
+            self._journal = SubmissionJournal(journal_dir)
         self._sessions: List[Session] = []
         self._closed = False
         self._close_lock = threading.Lock()
@@ -226,14 +238,51 @@ class KernelService:
                     coalesce: bool) -> ServeFuture:
         name = f"{app.name}:{variant}"
         key = app_key(app, variant, params) if coalesce else None
-        return self._submit(
-            state, "app", name, key,
-            {"app": app, "variant": variant, "params": params},
-        )
+        journal_id = None
+        if self._journal is not None:
+            journal_id = self._journal_accept(state.name, app, variant,
+                                              params, key)
+        try:
+            return self._submit(
+                state, "app", name, key,
+                {"app": app, "variant": variant, "params": params},
+                journal_id=journal_id,
+            )
+        except ServeError:
+            # The submission never entered the queue; nothing to recover.
+            if journal_id is not None:
+                self._journal.record_done(journal_id)
+            raise
+
+    def _journal_accept(self, tenant: str, app, variant: str, params,
+                        key) -> Optional[int]:
+        """Journal one app submission, or ``None`` if it defies JSON.
+
+        Only JSON-describable submissions are recoverable: a prebuilt
+        ndarray parameter set cannot be rebuilt from a journal line, so
+        it is skipped (counted, not failed) — recovery is best-effort
+        extra safety, never a new reason for a submission to be refused.
+        """
+        import json as json_mod
+
+        descriptor = {
+            "tenant": tenant,
+            "app": [type(app).__module__, type(app).__qualname__],
+            "variant": variant,
+            "params": None if params is None else dict(params),
+            "key": None if key is None else repr(key),
+        }
+        try:
+            json_mod.dumps(descriptor)
+        except (TypeError, ValueError):
+            trace_count("serve_journal_skipped")
+            return None
+        return self._journal.record_accepted(descriptor)
 
     def _submit(self, state, kind: str, label: str, key,
-                payload: dict) -> ServeFuture:
+                payload: dict, *, journal_id: Optional[int] = None) -> ServeFuture:
         future = ServeFuture(state.name, label)
+        future.journal_id = journal_id
         request = Request(
             kind=kind, label=label, key=key, tenant_name=state.name,
             future=future, payload=payload,
@@ -295,8 +344,22 @@ class KernelService:
                 else future._set_result(value)
             if written:
                 self._record_outcome(future.tenant, failed)
+                self._journal_done(future)
         for future in resubmit:
             self._resubmit(future, request)
+
+    def _journal_done(self, future: ServeFuture) -> None:
+        """Mark a delivered future's journal entry finished (either way).
+
+        Delivery — success *or* failure — means the service will never
+        run this submission again on its own, so recovery must not
+        either.  Cancelled-before-dispatch futures are deliberately NOT
+        marked: the service never ran them, and a restarted incarnation
+        re-admitting them is the journal working as intended.
+        """
+        entry_id = getattr(future, "journal_id", None)
+        if self._journal is not None and entry_id is not None:
+            self._journal.record_done(entry_id)
 
     def _resubmit(self, future: ServeFuture, request: Request) -> None:
         """Re-enqueue a follower privately after its shared execution failed.
@@ -317,6 +380,7 @@ class KernelService:
         except ReproError as refused:
             if future._set_exception(refused):
                 self._record_outcome(future.tenant, True)
+                self._journal_done(future)
 
     def _record_outcome(self, tenant_name: str, failed: bool) -> None:
         key = "failed" if failed else "completed"
@@ -457,6 +521,55 @@ class KernelService:
                     f"device {device.ordinal}: serve heal after a fault",
                 )
 
+    # --- crash recovery -----------------------------------------------------
+    def recover(self) -> List[ServeFuture]:
+        """Re-admit accepted-but-unfinished submissions from the journal.
+
+        Call this on a *fresh* service incarnation pointed at the dead
+        one's ``journal_dir``.  Every pending entry — accepted by the
+        old service, never marked done — is resubmitted under its
+        original tenant through the normal session surface, so quotas,
+        fair share and coalescing all apply; entries that would have
+        coalesced in the old process are deduped by coalescing key
+        before re-admission.  Together: effectively-once, not
+        at-least-once.
+
+        The old entries are marked done as they are re-admitted (the new
+        incarnation's own accepted/done pair takes over responsibility),
+        so a second crash replays the re-admissions, not the originals
+        twice.  Returns the futures of the re-admitted submissions.
+        """
+        import importlib
+
+        if self._journal is None:
+            raise ServeError(
+                "recover() requires the service to be built with "
+                "journal_dir="
+            )
+        futures: List[ServeFuture] = []
+        every_pending = self._journal.pending(dedupe=False)
+        for entry in self._journal.pending():
+            module_name, qualname = entry["app"]
+            obj = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                obj = getattr(obj, part)
+            app = obj()
+            session = self.session(str(entry.get("tenant", "recovered")))
+            futures.append(
+                session.submit_app(
+                    app,
+                    variant=str(entry["variant"]),
+                    params=entry.get("params"),
+                )
+            )
+            trace_count("serve_recovered")
+        # Retire every old pending entry — re-admitted leaders AND the
+        # duplicates they deduped (the one re-admission covers them all;
+        # the new incarnation's own accepted/done pair takes over).
+        for entry in every_pending:
+            self._journal.record_done(int(entry["id"]))
+        return futures
+
     # --- introspection ------------------------------------------------------
     def stats(self) -> Dict[str, dict]:
         """Structured counters: per-tenant snapshots plus service totals."""
@@ -548,6 +661,8 @@ class KernelService:
                 self.backend.close()
             if self._pool is not None:
                 self._pool.close()
+        if self._journal is not None:
+            self._journal.close()
         if self._owns_tune:
             from .. import tune as tune_mod
 

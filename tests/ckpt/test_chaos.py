@@ -1,0 +1,205 @@
+"""Chaos acceptance for checkpoint/restart: every portfolio app survives
+both kinds of violent death bit-identically.
+
+* **Worker SIGKILL mid-run** — the cluster tier redispatches the orphaned
+  shard; the checkpoint chain keeps publishing through the chaos.
+* **Supervisor SIGKILL mid-chain** — a spawn child running the
+  checkpointed cluster run kills *itself* right after a snapshot
+  publishes; a fresh process ``--resume``-s the chain and must produce
+  output ``np.array_equal`` to an uninterrupted single-device run while
+  re-executing only the unfinished shards.
+
+Both are also exercised under a seeded fault plan that corrupts
+checkpoint writes, proving the fallback chain holds under chaos.
+"""
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps import PORTFOLIO_APPS, ExecutionConfig, run
+from repro.apps.__main__ import main
+from repro.cluster import ClusterPool
+from repro.gpu import get_device
+from repro.resilience import RecoveryReport
+
+from . import helpers
+
+pytestmark = [pytest.mark.ckpt, pytest.mark.cluster]
+
+APP_IDS = [cls.name for cls in PORTFOLIO_APPS]
+
+
+def _reference(app):
+    params = app.functional_params()
+    return params, app.run_single("ompx", params, get_device(0))
+
+
+class TestWorkerKill:
+    def test_all_eight_apps_checkpoint_through_a_worker_kill(self, tmp_path):
+        report = RecoveryReport()
+        with ClusterPool(
+            3, heartbeat_s=0.1, deadline_s=1.5, seed=1234, report=report
+        ) as pool:
+            victim = pool._handles[2]
+            old_pid = victim.proc.pid
+
+            def killer():
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline and not victim.inflight:
+                    time.sleep(0.001)
+                os.kill(old_pid, signal.SIGKILL)
+
+            thread = threading.Thread(target=killer, daemon=True)
+            thread.start()
+
+            for app_cls in PORTFOLIO_APPS:
+                app = app_cls()
+                params, reference = _reference(app)
+                result = run(app, ExecutionConfig(
+                    params=params,
+                    pool=pool,
+                    checkpoint_dir=str(tmp_path / app.name),
+                ))
+                assert np.array_equal(
+                    reference.output, result.output
+                ), f"{app.name}: output diverged after worker loss"
+                assert result.checkpoint.stats["writes"] >= 1
+            thread.join()
+        assert report["workers_lost"] == 1
+        assert report["redispatches"] >= 1
+
+
+class TestSupervisorKill:
+    def _kill_and_resume(self, app_name, directory, *, kill_after,
+                         fault_spec=None, expect_fallback=False):
+        """Spawn the self-killing supervisor, then resume in this process
+        (a different, 'fresh' process from the dead supervisor's view)."""
+        from repro import faults
+
+        ctx = multiprocessing.get_context("spawn")
+        child = ctx.Process(
+            target=helpers.crashing_checkpointed_cluster_run,
+            args=(app_name, directory, kill_after, fault_spec),
+        )
+        child.start()
+        child.join(timeout=90)
+        assert child.exitcode == -signal.SIGKILL, (
+            f"supervisor should have died by SIGKILL, got {child.exitcode}"
+        )
+
+        app = helpers.app_by_name(app_name)
+        params, reference = _reference(app)
+        config = ExecutionConfig(
+            params=params,
+            cluster=2,
+            checkpoint_dir=directory,
+            resume=True,
+            trace=True,
+        )
+        if fault_spec:
+            with faults.inject(fault_spec):
+                result = run(app, config)
+        else:
+            result = run(app, config)
+
+        assert np.array_equal(reference.output, result.output), (
+            f"{app_name}: resumed output diverged from uninterrupted run"
+        )
+        stats = result.checkpoint.stats
+        executed = result.tracer.counters["ckpt_steps_executed"]
+        # Only the unfinished tail ran: restored + executed covers the
+        # whole 4-shard chain with no recomputation of restored shards.
+        assert stats["resumed_step"] >= 1
+        assert stats["steps_skipped"] >= 1
+        assert executed == 4 - stats["steps_skipped"]
+        if expect_fallback:
+            assert stats["fallbacks"] >= 1
+        return stats
+
+    @pytest.mark.parametrize("app_name", APP_IDS)
+    def test_fresh_process_resumes_after_supervisor_sigkill(
+        self, app_name, tmp_path
+    ):
+        stats = self._kill_and_resume(
+            app_name, str(tmp_path), kill_after=2
+        )
+        assert stats["resumed_step"] == 2
+        assert stats["steps_skipped"] == 2
+
+    @pytest.mark.parametrize("app_name", ["XSBench", "Stencil 1D"])
+    def test_resume_under_checkpoint_site_faults_falls_back(
+        self, app_name, tmp_path
+    ):
+        # Snapshot #2 is corrupted as it is written, and the supervisor
+        # dies right after publishing it: resume must detect the damage,
+        # fall back to snapshot #1, and still be bit-identical.
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            stats = self._kill_and_resume(
+                app_name,
+                str(tmp_path),
+                kill_after=2,
+                fault_spec="checkpoint_write:corrupt@2,bytes=3;seed=11",
+                expect_fallback=True,
+            )
+        assert stats["resumed_step"] == 1
+        assert stats["steps_skipped"] == 1
+
+
+class TestCliComposition:
+    def test_checkpoint_flag_runs_and_summarizes(self, capsys, tmp_path):
+        d = str(tmp_path / "chain")
+        assert main([
+            "xsbench", "--run", "--checkpoint", d, "--checkpoint-every", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointing into" in out
+        assert "checkpoint[" in out
+        assert "PASSED" in out
+
+    def test_resume_flag_skips_the_finished_chain(self, capsys, tmp_path):
+        d = str(tmp_path / "chain")
+        assert main(["stencil1d", "--run", "--checkpoint", d]) == 0
+        capsys.readouterr()
+        assert main([
+            "stencil1d", "--run", "--checkpoint", d, "--resume",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resuming into" in out
+        assert "resumed_step=" in out
+
+    def test_checkpoint_composes_with_cluster(self, capsys, tmp_path):
+        d = str(tmp_path / "chain")
+        assert main([
+            "stencil1d", "--run", "--cluster", "2", "--checkpoint", d,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert "checkpoint[" in out
+
+    def test_serve_journals_through_the_checkpoint_dir(self, capsys, tmp_path):
+        d = str(tmp_path / "chain")
+        assert main([
+            "adam", "--serve", "--checkpoint", d, "--tenants", "2",
+        ]) == 0
+        assert os.path.exists(os.path.join(d, "journal.jsonl"))
+        capsys.readouterr()
+        # A clean drain leaves nothing to re-admit; --resume --serve is a
+        # no-op restart, not an error.
+        assert main([
+            "adam", "--serve", "--checkpoint", d, "--resume", "--tenants", "1",
+        ]) == 0
+
+    def test_resume_without_checkpoint_is_rejected(self, capsys):
+        assert main(["xsbench", "--run", "--resume"]) == 2
+
+    def test_zero_cadence_is_rejected(self, capsys, tmp_path):
+        assert main([
+            "xsbench", "--run", "--checkpoint", str(tmp_path),
+            "--checkpoint-every", "0",
+        ]) == 2

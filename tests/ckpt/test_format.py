@@ -1,0 +1,189 @@
+"""Snapshot format: atomic publication, validation, injected damage."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.ckpt import format as fmt
+from repro.errors import CheckpointError, CorruptCheckpointError
+
+pytestmark = pytest.mark.ckpt
+
+
+def _payload(step=0):
+    return {
+        "meta": {"identity": {"app": "t", "nshards": 4}, "step": step},
+        "state": {"done": {0: np.arange(8, dtype=np.float64)}},
+    }
+
+
+class TestRoundTrip:
+    def test_write_then_read_is_identity(self, tmp_path):
+        path = fmt.write_snapshot(str(tmp_path), 7, _payload(7))
+        assert os.path.basename(path) == "ckpt-00000007.ckpt"
+        step, payload = fmt.read_snapshot(path)
+        assert step == 7
+        np.testing.assert_array_equal(
+            payload["state"]["done"][0], np.arange(8, dtype=np.float64)
+        )
+
+    def test_list_snapshots_sorted_and_scoped(self, tmp_path):
+        for step in (3, 1, 2):
+            fmt.write_snapshot(str(tmp_path), step, _payload(step))
+        (tmp_path / "garbage.txt").write_text("not a snapshot")
+        (tmp_path / ".ckpt-00000009-x.tmp").write_text("torn temp file")
+        assert [s for s, _ in fmt.list_snapshots(str(tmp_path))] == [1, 2, 3]
+
+    def test_list_snapshots_of_missing_directory_is_empty(self, tmp_path):
+        assert fmt.list_snapshots(str(tmp_path / "nope")) == []
+
+    def test_write_creates_the_directory(self, tmp_path):
+        target = tmp_path / "deep" / "chain"
+        fmt.write_snapshot(str(target), 0, _payload())
+        assert fmt.list_snapshots(str(target))
+
+    def test_no_temp_files_survive_a_successful_write(self, tmp_path):
+        fmt.write_snapshot(str(tmp_path), 0, _payload())
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_unwritable_directory_is_a_checkpoint_error(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        with pytest.raises(CheckpointError):
+            fmt.write_snapshot(str(blocker / "sub"), 0, _payload())
+
+
+class TestValidation:
+    """Every way disk bytes can lie maps to a named corruption reason."""
+
+    def _written(self, tmp_path):
+        return fmt.write_snapshot(str(tmp_path), 0, _payload())
+
+    def _expect(self, path, reason):
+        with pytest.raises(CorruptCheckpointError) as ei:
+            fmt.read_snapshot(path)
+        assert ei.value.reason == reason
+        return ei.value
+
+    def test_missing_file(self, tmp_path):
+        self._expect(str(tmp_path / "ckpt-00000000.ckpt"), "missing")
+
+    def test_empty_file(self, tmp_path):
+        path = self._written(tmp_path)
+        open(path, "wb").close()
+        self._expect(path, "empty")
+
+    def test_garbage_header(self, tmp_path):
+        path = self._written(tmp_path)
+        body = open(path, "rb").read().partition(b"\n")[2]
+        with open(path, "wb") as h:
+            h.write(b"not json\n" + body)
+        self._expect(path, "header")
+
+    def test_unknown_schema_version(self, tmp_path):
+        path = self._written(tmp_path)
+        header, _, body = open(path, "rb").read().partition(b"\n")
+        header = header.replace(
+            b'"schema": 1', b'"schema": 99'
+        ).replace(b'"schema":1', b'"schema":99')
+        with open(path, "wb") as h:
+            h.write(header + b"\n" + body)
+        self._expect(path, "schema")
+
+    def test_truncated_payload(self, tmp_path):
+        path = self._written(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as h:
+            h.truncate(size - 10)
+        self._expect(path, "truncated")
+
+    def test_flipped_payload_bit(self, tmp_path):
+        path = self._written(tmp_path)
+        with open(path, "r+b") as h:
+            h.seek(-1, os.SEEK_END)
+            last = h.read(1)
+            h.seek(-1, os.SEEK_END)
+            h.write(bytes([last[0] ^ 0xFF]))
+        err = self._expect(path, "digest")
+        assert err.expected_digest != err.actual_digest
+
+    def test_corrupt_error_is_pickle_stable(self, tmp_path):
+        path = self._written(tmp_path)
+        with open(path, "r+b") as h:
+            h.truncate(os.path.getsize(path) - 4)
+        with pytest.raises(CorruptCheckpointError) as ei:
+            fmt.read_snapshot(path)
+        clone = pickle.loads(pickle.dumps(ei.value))
+        assert clone == ei.value
+        assert clone.reason == "truncated"
+        assert clone.path == path
+
+
+class TestInjectedFaults:
+    """checkpoint_write/checkpoint_read sites under a seeded FaultPlan."""
+
+    def test_write_truncate_tears_the_published_file(self, tmp_path):
+        with faults.inject("checkpoint_write:truncate@1,bytes=20;seed=3"):
+            path = fmt.write_snapshot(str(tmp_path), 0, _payload())
+        assert os.path.getsize(path) == 20
+        with pytest.raises(CorruptCheckpointError):
+            fmt.read_snapshot(path)
+
+    def test_write_corrupt_flips_published_bytes(self, tmp_path):
+        with faults.inject("checkpoint_write:corrupt@1,bytes=3;seed=3"):
+            path = fmt.write_snapshot(str(tmp_path), 0, _payload())
+        with pytest.raises(CorruptCheckpointError) as ei:
+            fmt.read_snapshot(path)
+        assert ei.value.reason == "digest"
+
+    def test_write_error_raises_tagged(self, tmp_path):
+        from repro.errors import GpuError
+
+        with faults.inject("checkpoint_write:error@1;seed=3"):
+            with pytest.raises(GpuError) as ei:
+                fmt.write_snapshot(str(tmp_path), 0, _payload())
+        assert getattr(ei.value, "injected", False)
+        # The failed write must not have published anything.
+        assert fmt.list_snapshots(str(tmp_path)) == []
+
+    def test_read_corrupt_leaves_disk_intact(self, tmp_path):
+        path = fmt.write_snapshot(str(tmp_path), 0, _payload())
+        with faults.inject("checkpoint_read:corrupt@1,bytes=2;seed=3"):
+            with pytest.raises(CorruptCheckpointError):
+                fmt.read_snapshot(path)
+        # Without the plan the same file reads back clean.
+        step, _ = fmt.read_snapshot(path)
+        assert step == 0
+
+    def test_read_truncate_effect(self, tmp_path):
+        path = fmt.write_snapshot(str(tmp_path), 0, _payload())
+        with faults.inject("checkpoint_read:truncate@1,bytes=10;seed=3"):
+            with pytest.raises(CorruptCheckpointError):
+                fmt.read_snapshot(path)
+
+    def test_fired_faults_are_logged_with_site(self, tmp_path):
+        with faults.inject("checkpoint_write:corrupt@1,bytes=1;seed=3") as plan:
+            fmt.write_snapshot(str(tmp_path), 0, _payload())
+        assert plan.fired == 1
+        assert plan.log[0][1] == "checkpoint_write"
+
+
+class TestTraceIntegration:
+    def test_ckpt_spans_and_counters(self, tmp_path):
+        from repro import trace as trace_mod
+
+        tracer = trace_mod.enable()
+        try:
+            path = fmt.write_snapshot(str(tmp_path), 0, _payload())
+            fmt.read_snapshot(path)
+        finally:
+            trace_mod.disable()
+        names = [s.name for s in tracer.spans]
+        assert "ckpt:write" in names
+        assert "ckpt:read" in names
+        assert tracer.counters["ckpt_writes"] >= 1
+        assert tracer.counters["ckpt_reads"] >= 1

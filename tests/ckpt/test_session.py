@@ -1,0 +1,151 @@
+"""CheckpointSession policy: cadence, pruning, fallback, identity."""
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.ckpt import CheckpointSession, list_snapshots
+from repro.errors import CheckpointError
+
+pytestmark = pytest.mark.ckpt
+
+IDENTITY = {"app": ("m", "Q", "demo"), "variant": "ompx", "nshards": 4}
+
+
+def _payload(step, identity=IDENTITY):
+    return {
+        "meta": {"identity": identity, "nshards": 4, "complete": False},
+        "state": {"done": {i: [i] for i in range(step)}},
+    }
+
+
+class TestValidation:
+    def test_every_must_be_positive(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointSession(str(tmp_path), every=0)
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointSession(str(tmp_path), keep=0)
+
+    def test_path_collision_with_a_file(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        with pytest.raises(CheckpointError):
+            CheckpointSession(str(blocker))
+
+
+class TestChain:
+    def test_commit_publishes_and_prunes_to_keep(self, tmp_path):
+        session = CheckpointSession(str(tmp_path), keep=2)
+        for step in range(5):
+            assert session.commit(step, _payload(step)) is not None
+        steps = [s for s, _ in list_snapshots(str(tmp_path))]
+        assert steps == [3, 4]
+        assert session.stats["writes"] == 5
+
+    def test_commit_failure_warns_and_continues(self, tmp_path):
+        session = CheckpointSession(str(tmp_path))
+        with faults.inject("checkpoint_write:error@1;seed=5"):
+            with pytest.warns(RuntimeWarning, match="checkpoint write"):
+                assert session.commit(0, _payload(0)) is None
+        assert session.stats["write_failures"] == 1
+        # The next cadence point succeeds normally.
+        assert session.commit(1, _payload(1)) is not None
+
+    def test_on_commit_hook_sees_each_publication(self, tmp_path):
+        seen = []
+        session = CheckpointSession(
+            str(tmp_path), on_commit=lambda step, path: seen.append(step)
+        )
+        session.commit(0, _payload(0))
+        session.commit(1, _payload(1))
+        assert seen == [0, 1]
+
+    def test_on_commit_not_called_for_failed_writes(self, tmp_path):
+        seen = []
+        session = CheckpointSession(
+            str(tmp_path), on_commit=lambda step, path: seen.append(step)
+        )
+        with faults.inject("checkpoint_write:error@1;seed=5"):
+            with pytest.warns(RuntimeWarning):
+                session.commit(0, _payload(0))
+        assert seen == []
+
+
+class TestFallback:
+    def test_load_latest_walks_past_corruption(self, tmp_path):
+        session = CheckpointSession(str(tmp_path), keep=3)
+        for step in range(3):
+            session.commit(step, _payload(step))
+        newest = list_snapshots(str(tmp_path))[-1][1]
+        with open(newest, "r+b") as h:
+            h.truncate(os.path.getsize(newest) - 8)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            step, payload = session.load_latest()
+        assert step == 1
+        assert session.stats["fallbacks"] == 1
+
+    def test_fully_corrupt_chain_degrades_to_none(self, tmp_path):
+        session = CheckpointSession(str(tmp_path), keep=3)
+        for step in range(2):
+            session.commit(step, _payload(step))
+        for _, path in list_snapshots(str(tmp_path)):
+            open(path, "wb").close()
+        with pytest.warns(RuntimeWarning):
+            assert session.load_latest() is None
+        assert session.stats["fallbacks"] == 2
+
+    def test_load_latest_on_empty_directory(self, tmp_path):
+        session = CheckpointSession(str(tmp_path))
+        assert session.load_latest() is None
+
+
+class TestBegin:
+    def test_fresh_run_deletes_stale_chain(self, tmp_path):
+        stale = CheckpointSession(str(tmp_path))
+        stale.commit(0, _payload(0))
+        session = CheckpointSession(str(tmp_path))
+        assert session.begin(IDENTITY, resume=False) is None
+        assert list_snapshots(str(tmp_path)) == []
+        assert session.began
+
+    def test_resume_restores_matching_identity(self, tmp_path):
+        writer = CheckpointSession(str(tmp_path))
+        writer.commit(2, _payload(2))
+        session = CheckpointSession(str(tmp_path))
+        payload = session.begin(IDENTITY, resume=True)
+        assert payload["meta"]["identity"] == IDENTITY
+        assert session.stats["resumed_step"] == 2
+
+    def test_resume_with_no_chain_returns_none(self, tmp_path):
+        session = CheckpointSession(str(tmp_path))
+        assert session.begin(IDENTITY, resume=True) is None
+        assert session.stats["resumed_step"] == -1
+
+    def test_identity_mismatch_refuses_to_resume(self, tmp_path):
+        writer = CheckpointSession(str(tmp_path))
+        writer.commit(1, _payload(1))
+        other = dict(IDENTITY, variant="blocked")
+        session = CheckpointSession(str(tmp_path))
+        with pytest.raises(CheckpointError, match="different run"):
+            session.begin(other, resume=True)
+
+
+class TestReporting:
+    def test_note_skipped_accumulates(self, tmp_path):
+        session = CheckpointSession(str(tmp_path))
+        session.note_skipped(3)
+        session.note_skipped(0)
+        assert session.stats["steps_skipped"] == 3
+
+    def test_summary_mentions_resume_details(self, tmp_path):
+        writer = CheckpointSession(str(tmp_path))
+        writer.commit(2, _payload(2))
+        session = CheckpointSession(str(tmp_path))
+        session.begin(IDENTITY, resume=True)
+        session.note_skipped(2)
+        text = session.summary()
+        assert "resumed_step=2" in text
+        assert "steps_skipped=2" in text

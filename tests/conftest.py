@@ -56,6 +56,11 @@ def pytest_runtest_call(item):
         # them; a supervision bug (lost heartbeat wakeup, join on a dead
         # pipe) hangs exactly like a resilience bug does.
         seconds = 120
+    elif marker is None and item.get_closest_marker("ckpt") is not None:
+        # Checkpoint tests kill supervisors mid-run and resume in fresh
+        # processes; a stuck resume (waiting on a snapshot that will
+        # never appear) hangs exactly like a cluster bug does.
+        seconds = 120
     elif marker is not None:
         seconds = int(marker.args[0]) if marker.args else 60
     else:

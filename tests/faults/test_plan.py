@@ -85,6 +85,8 @@ class TestPlanParsing:
                 "memset": "memset:error",
                 "launch": "launch:kernel_fault",
                 "enqueue": "enqueue:abort",
+                "checkpoint_write": "checkpoint_write:corrupt",
+                "checkpoint_read": "checkpoint_read:truncate",
             }[site]
             assert FaultPlan.parse(spec).rules[0].site == site
 

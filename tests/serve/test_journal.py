@@ -1,0 +1,152 @@
+"""Submission journal: accepted/done bookkeeping and crash recovery."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import Adam, XSBench
+from repro.ckpt import SubmissionJournal
+from repro.errors import CheckpointError, ServeError
+from repro.gpu.device import get_device
+from repro.serve import KernelService
+
+pytestmark = [pytest.mark.serve, pytest.mark.ckpt]
+
+
+class TestJournalUnit:
+    def test_accepted_then_done_is_not_pending(self, tmp_path):
+        journal = SubmissionJournal(str(tmp_path))
+        a = journal.record_accepted({"tenant": "t0", "key": "k1"})
+        b = journal.record_accepted({"tenant": "t0", "key": "k2"})
+        journal.record_done(a)
+        pending = journal.pending()
+        assert [e["id"] for e in pending] == [b]
+        journal.close()
+
+    def test_ids_are_monotonic_across_incarnations(self, tmp_path):
+        first = SubmissionJournal(str(tmp_path))
+        first.record_accepted({"key": "a"})
+        first.close()
+        second = SubmissionJournal(str(tmp_path))
+        assert second.record_accepted({"key": "b"}) == 2
+        second.close()
+
+    def test_pending_dedupes_by_coalescing_key(self, tmp_path):
+        journal = SubmissionJournal(str(tmp_path))
+        journal.record_accepted({"tenant": "alice", "key": "K"})
+        journal.record_accepted({"tenant": "bob", "key": "K"})
+        journal.record_accepted({"tenant": "carol", "key": "other"})
+        deduped = journal.pending()
+        assert [e["tenant"] for e in deduped] == ["alice", "carol"]
+        everything = journal.pending(dedupe=False)
+        assert [e["tenant"] for e in everything] == ["alice", "bob", "carol"]
+        journal.close()
+
+    def test_keyless_entries_are_never_deduped(self, tmp_path):
+        journal = SubmissionJournal(str(tmp_path))
+        journal.record_accepted({"tenant": "a"})
+        journal.record_accepted({"tenant": "b"})
+        assert len(journal.pending()) == 2
+        journal.close()
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        journal = SubmissionJournal(str(tmp_path))
+        keep = journal.record_accepted({"key": "k"})
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"id": 2, "event": "acc')  # SIGKILL mid-write
+        reopened = SubmissionJournal(str(tmp_path))
+        assert [e["id"] for e in reopened.pending()] == [keep]
+        reopened.close()
+
+    def test_mid_file_corruption_is_an_error(self, tmp_path):
+        journal = SubmissionJournal(str(tmp_path))
+        journal.record_accepted({"key": "k"})
+        journal.close()
+        lines = open(journal.path, encoding="utf-8").read()
+        with open(journal.path, "w", encoding="utf-8") as handle:
+            handle.write("garbage not json\n" + lines + lines)
+        with pytest.raises(CheckpointError, match="mid-file"):
+            SubmissionJournal(str(tmp_path)).pending()
+
+    def test_reset_truncates(self, tmp_path):
+        journal = SubmissionJournal(str(tmp_path))
+        journal.record_accepted({"key": "k"})
+        journal.reset()
+        assert journal.pending() == []
+        assert journal.record_accepted({"key": "k2"}) == 1
+        journal.close()
+
+    def test_journal_path_collision_is_a_checkpoint_error(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        with pytest.raises(CheckpointError):
+            SubmissionJournal(str(blocker))
+
+
+class TestServiceIntegration:
+    def test_clean_drain_leaves_nothing_pending(self, tmp_path):
+        with KernelService(devices=1, journal_dir=str(tmp_path)) as service:
+            session = service.session("t0")
+            future = session.submit_app(Adam(), variant="ompx")
+            future.result(timeout=60)
+        assert SubmissionJournal(str(tmp_path)).pending() == []
+
+    def test_journal_records_the_coalescing_key(self, tmp_path):
+        with KernelService(devices=1, journal_dir=str(tmp_path)) as service:
+            session = service.session("t0")
+            session.submit_app(Adam(), variant="ompx").result(timeout=60)
+        lines = [
+            json.loads(line)
+            for line in open(tmp_path / "journal.jsonl", encoding="utf-8")
+            if line.strip()
+        ]
+        accepted = [e for e in lines if e["event"] == "accepted"]
+        assert accepted and accepted[0]["key"]
+        assert accepted[0]["tenant"] == "t0"
+
+    def test_recover_requires_a_journal(self):
+        with KernelService(devices=1) as service:
+            with pytest.raises(ServeError, match="journal_dir"):
+                service.recover()
+
+    def test_crash_window_recovery_is_effectively_once(self, tmp_path):
+        app = XSBench()
+        params = dict(app.functional_params())
+        expected = app.run_single("ompx", params, get_device(0))
+
+        # Simulate the crash window: two tenants' submissions accepted
+        # (journaled) by a service that dies before running them.
+        dead = SubmissionJournal(str(tmp_path))
+        descriptor = {
+            "app": [type(app).__module__, type(app).__qualname__],
+            "variant": "ompx",
+            "params": params,
+            "key": "same-coalescing-key",
+        }
+        dead.record_accepted(dict(descriptor, tenant="alice"))
+        dead.record_accepted(dict(descriptor, tenant="bob"))
+        dead.close()
+
+        # A fresh incarnation re-admits the deduped pending set.
+        with KernelService(devices=2, journal_dir=str(tmp_path)) as service:
+            futures = service.recover()
+            assert len(futures) == 1  # alice+bob coalesced to one
+            result = futures[0].result(timeout=120)
+        np.testing.assert_array_equal(result.output, expected.output)
+
+        # Both old entries were retired: a second restart has nothing
+        # left to replay (effectively-once, not at-least-once).
+        assert SubmissionJournal(str(tmp_path)).pending(dedupe=False) == []
+
+    def test_unjournalable_params_skip_journaling_not_the_run(self, tmp_path):
+        app = XSBench()
+        params = dict(app.functional_params())
+        params["note"] = np.zeros(4)  # ignored by the app, not JSON-able
+        with KernelService(devices=1, journal_dir=str(tmp_path)) as service:
+            session = service.session("t0")
+            future = session.submit_app(app, variant="ompx", params=params)
+            future.result(timeout=60)
+        # Nothing journaled, nothing pending — and the run completed.
+        assert SubmissionJournal(str(tmp_path)).pending(dedupe=False) == []

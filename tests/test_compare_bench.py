@@ -110,3 +110,39 @@ class TestTolerances:
         old = _write(tmp_path, "old.json", {"r": {"weirdness": 1.0}})
         new = _write(tmp_path, "new.json", {"r": {"weirdness": 99.0}})
         assert compare_bench.main([old, new]) == 0
+
+
+class TestMissingBaseline:
+    """First run on a branch/fork: no committed BENCH_*.json in history.
+
+    The CI gate resolves its baseline with ``git log`` and gets an empty
+    string; the comparator must warn and pass instead of failing every
+    first PR — while a missing *candidate* (the suite that should have
+    produced it broke) stays a hard error.
+    """
+
+    def test_empty_baseline_path_warns_and_passes(
+        self, compare_bench, tmp_path, capsys
+    ):
+        new = _write(tmp_path, "new.json", {"r": {"speedup": 2.0}})
+        assert compare_bench.main(["", new]) == 0
+        assert "no baseline snapshot" in capsys.readouterr().err
+
+    def test_nonexistent_baseline_path_warns_and_passes(
+        self, compare_bench, tmp_path, capsys
+    ):
+        new = _write(tmp_path, "new.json", {"r": {"speedup": 2.0}})
+        missing = str(tmp_path / "BENCH_nothere.json")
+        assert compare_bench.main([missing, new]) == 0
+        assert "skipping comparison" in capsys.readouterr().err
+
+    def test_missing_candidate_is_still_an_error(
+        self, compare_bench, tmp_path
+    ):
+        with pytest.raises(SystemExit):
+            compare_bench.main(["", str(tmp_path / "BENCH_missing.json")])
+
+    def test_present_baseline_still_gates(self, compare_bench, tmp_path):
+        old = _write(tmp_path, "old.json", {"r": {"speedup": 2.0}})
+        new = _write(tmp_path, "new.json", {"r": {"speedup": 1.0}})
+        assert compare_bench.main([old, new]) == 1

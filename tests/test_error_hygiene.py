@@ -286,3 +286,69 @@ def test_fault_and_sticky_errors_are_gpu_errors():
     assert issubclass(errors.MemcheckError, errors.KernelFault)
     assert issubclass(errors.StickyContextError, errors.GpuError)
     assert issubclass(errors.FaultSpecError, errors.ReproError)
+
+
+def test_lint_covers_the_ckpt_package():
+    # And for repro.ckpt: a corrupt snapshot must surface as
+    # CorruptCheckpointError (the session's fallback signal), never as a
+    # generic exception the fallback walk would not classify.
+    ckpt_files = {p.name for p in sorted(SRC_ROOT.rglob("*.py"))
+                  if p.parent.name == "ckpt"}
+    assert {
+        "__init__.py", "format.py", "session.py", "runner.py", "journal.py",
+    } <= ckpt_files
+
+
+def test_checkpoint_errors_slot_into_the_hierarchy():
+    # Callers classify any checkpoint-layer failure with
+    # `except CheckpointError`, and the session's fallback walk catches
+    # the corruption subclass specifically; both must stay rooted at
+    # ReproError so `except ReproError` call sites keep working.
+    assert issubclass(errors.CheckpointError, errors.ReproError)
+    assert issubclass(errors.CorruptCheckpointError, errors.CheckpointError)
+    for name in ("CheckpointError", "CorruptCheckpointError"):
+        assert name in errors.__all__
+
+
+def test_corrupt_checkpoint_error_pickles_and_compares_by_state():
+    # Corruption verdicts cross process boundaries (a resumed supervisor
+    # reports why it fell back), so the structured context must survive
+    # a pickle round trip and drive equality.
+    exc = errors.CorruptCheckpointError(
+        "digest mismatch", path="/tmp/c/ckpt-00000002.ckpt", step=2,
+        reason="digest", expected_digest="aa", actual_digest="bb",
+    )
+    clone = _pickle_roundtrip(exc)
+    assert clone == exc
+    assert clone.step == 2
+    assert clone.reason == "digest"
+    assert clone.expected_digest == "aa" and clone.actual_digest == "bb"
+    assert "reason='digest'" in str(clone)
+    assert hash(clone) == hash(exc)
+    other = errors.CorruptCheckpointError(
+        "digest mismatch", path="/tmp/c/ckpt-00000002.ckpt", step=3,
+        reason="digest", expected_digest="aa", actual_digest="bb",
+    )
+    assert other != exc
+
+
+def test_checkpoint_error_pickles_with_path():
+    exc = errors.CheckpointError("identity mismatch", path="/tmp/chain")
+    clone = _pickle_roundtrip(exc)
+    assert clone == exc
+    assert clone.path == "/tmp/chain"
+    assert isinstance(clone, errors.ReproError)
+
+
+def test_checkpoint_error_equality_is_type_strict():
+    assert (errors.CheckpointError("x", path="p")
+            != errors.CorruptCheckpointError("x", path="p"))
+    base = errors.CheckpointError("x")
+    assert base.__eq__(errors.VendorError("x")) is NotImplemented
+
+
+def test_checkpoint_error_rejects_unknown_fields():
+    import pytest as _pytest
+
+    with _pytest.raises(TypeError):
+        errors.CheckpointError("x", bogus=1)
